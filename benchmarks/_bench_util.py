@@ -1,0 +1,72 @@
+"""Helpers shared by the figure-reproduction benchmarks."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core import BoxStats, metric_boxstats
+from repro.core.report import ascii_box_row, format_boxstats_table
+from repro.telemetry.dataset import MeasurementDataset
+from repro.telemetry.sample import PAPER_METRICS
+
+#: Column labels for a paper-vs-measured comparison table.
+_HEADER = f"{'quantity':<44} {'paper':>12} {'measured':>12}"
+
+
+def comparison_table(title: str, rows: list[tuple[str, str, str]]) -> str:
+    """Render a paper-vs-measured comparison table."""
+    lines = [f"--- {title} ---", _HEADER, "-" * len(_HEADER)]
+    for name, paper, measured in rows:
+        lines.append(f"{name:<44} {paper:>12} {measured:>12}")
+    return "\n".join(lines)
+
+
+def emit(benchmark, title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print the comparison table and attach it to the benchmark record."""
+    table = comparison_table(title, rows)
+    print("\n" + table)
+    if benchmark is not None:
+        benchmark.extra_info["comparison"] = rows
+
+
+def pct(value: float) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value:.1%}"
+
+
+def metric_summary_lines(
+    dataset: MeasurementDataset,
+    per_gpu_median: bool = True,
+) -> str:
+    """The four-metric box table for one figure's dataset."""
+    stats = {
+        metric: metric_boxstats(dataset, metric, per_gpu_median)
+        for metric in PAPER_METRICS
+        if metric in dataset
+    }
+    return format_boxstats_table(stats, label_header="metric")
+
+
+def grouped_box_art(
+    grouped: dict[Any, BoxStats],
+    width: int = 44,
+    max_rows: int = 12,
+) -> str:
+    """ASCII box plots per group, on a shared axis (a text 'figure')."""
+    lo = min(s.whisker_lo for s in grouped.values())
+    hi = max(s.whisker_hi for s in grouped.values())
+    if hi <= lo:
+        hi = lo + 1.0
+    lines = [f"axis: {lo:.1f} .. {hi:.1f}"]
+    for label, stats in list(grouped.items())[:max_rows]:
+        lines.append(f"{str(label):<14} {ascii_box_row(stats, lo, hi, width)}")
+    if len(grouped) > max_rows:
+        lines.append(f"... ({len(grouped) - max_rows} more groups)")
+    return "\n".join(lines)
+
+
+def boxvar(values: np.ndarray) -> float:
+    """The paper's variation statistic of a raw sample."""
+    return BoxStats.from_values(values).variation

@@ -1,0 +1,70 @@
+"""Ablation: how much of the tail is defects vs bulk process spread.
+
+The paper's outliers (1.5x slow GPUs, 250 W power outliers) are distinct
+pathologies, not the tail of the process distribution.  Removing the defect
+population should eliminate the extreme outliers while leaving the bulk
+variation (the 8-9%) intact.
+"""
+
+import numpy as np
+
+from _bench_util import boxvar, emit, pct
+from repro.cluster.cluster import Cluster
+from repro.cluster.cooling import WaterCooling
+from repro.cluster.topology import cabinet_topology
+from repro.gpu.defects import DefectConfig
+from repro.gpu.silicon import SiliconConfig
+from repro.gpu.specs import V100
+from repro.sim import simulate_run
+from repro.workloads import sgemm
+
+DEFECTS_ON = DefectConfig(
+    power_delivery_rate=0.01, sick_slow_rate=0.01, hot_runner_rate=0.01
+)
+
+
+def _cluster(defect_config):
+    return Cluster(
+        name="ablation-defects",
+        spec=V100,
+        topology=cabinet_topology("ablation", 80, 4, 3),
+        cooling=WaterCooling(),
+        silicon_config=SiliconConfig(),
+        defect_config=defect_config,
+        run_noise_sigma=0.001,
+        seed=31,
+    )
+
+
+def test_ablation_defect_population(benchmark):
+    with_defects = simulate_run(_cluster(DEFECTS_ON), sgemm())
+    without = simulate_run(_cluster(DefectConfig.none()), sgemm())
+
+    def worst(run):
+        return float(run.performance_ms.max() / np.median(run.performance_ms))
+
+    rows = [
+        ("bulk variation (defects on)", "~8%",
+         pct(boxvar(with_defects.performance_ms))),
+        ("bulk variation (defects off)", "~8%",
+         pct(boxvar(without.performance_ms))),
+        ("worst GPU (defects on)", "~1.5x", f"{worst(with_defects):.2f}x"),
+        ("worst GPU (defects off)", "~1.05x", f"{worst(without):.2f}x"),
+        ("min power (defects on)", "~255 W",
+         f"{with_defects.true_power_w.min():.0f} W"),
+        ("min power (defects off)", "~297 W",
+         f"{without.true_power_w.min():.0f} W"),
+    ]
+    emit(benchmark, "Ablation: defect population on/off", rows)
+
+    # Bulk variation barely moves (outliers are excluded from it by
+    # construction)...
+    assert abs(boxvar(with_defects.performance_ms)
+               - boxvar(without.performance_ms)) < 0.03
+    # ...but the extreme tail and the power outliers are defect-driven.
+    assert worst(with_defects) > 1.2
+    assert worst(without) < 1.12
+    assert with_defects.true_power_w.min() < 290.0
+    assert without.true_power_w.min() > 290.0
+
+    benchmark(lambda: simulate_run(_cluster(DEFECTS_ON), sgemm()))

@@ -1,0 +1,59 @@
+"""Ablation: reactive engine vs fixed-point steady-state solver.
+
+The campaign pipeline uses the analytic steady-state solve (fast, fleet
+scale); the time-series figures use the reactive engine (transients).  The
+two must agree at equilibrium — this benchmark quantifies the agreement and
+the speed gap that justifies having both.
+"""
+
+import numpy as np
+
+from _bench_util import emit
+from repro.sim.engine import Engine, EngineConfig
+from repro.workloads import sgemm
+
+
+def test_ablation_engine_agrees_with_steady(benchmark, cloudlab_cluster):
+    fleet = cloudlab_cluster.fleet
+    wl = sgemm()
+    phase = wl.phases[0]
+
+    def engine_settled():
+        engine = Engine(fleet, wl, EngineConfig(thermal_time_scale=25.0))
+        engine.run_for(40.0)
+        return engine
+
+    engine = benchmark.pedantic(engine_settled, rounds=1, iterations=1)
+    op = fleet.controller.solve_steady(
+        phase.activity, phase.dram_utilization,
+        fleet.throughput_efficiency(), fleet.power_cap_w(),
+    )
+
+    f_gap = np.abs(engine.frequency_mhz() - op.f_effective_mhz)
+    t_gap = np.abs(engine.state.temperature_c - op.temperature_c)
+    rows = [
+        ("max frequency disagreement", "<= few p-states",
+         f"{f_gap.max():.1f} MHz"),
+        ("max temperature disagreement", "< sensor noise x few",
+         f"{t_gap.max():.1f} C"),
+    ]
+    emit(None, "Ablation: engine vs steady-state solver", rows)
+
+    assert f_gap.max() <= 4 * 7.5
+    assert t_gap.max() < 6.0
+
+
+def test_ablation_steady_solver_speed(benchmark, cloudlab_cluster):
+    """The fixed-point solve is what makes 27k-GPU campaigns feasible."""
+    fleet = cloudlab_cluster.fleet
+    wl = sgemm()
+    phase = wl.phases[0]
+
+    op = benchmark(
+        fleet.controller.solve_steady,
+        phase.activity,
+        phase.dram_utilization,
+        fleet.throughput_efficiency(),
+        fleet.power_cap_w(),
+    )
+    assert op.n == fleet.n

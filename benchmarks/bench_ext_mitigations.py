@@ -1,0 +1,120 @@
+"""Extension: quantifying Section VII's proposed mitigations.
+
+The paper ends with proposals it does not evaluate; these benchmarks close
+that loop on the simulated fleet:
+
+* blacklisting drains confirmed outliers and removes the slow-assignment
+  risk at a small capacity cost;
+* weighted sharding recovers most of the bulk-synchronous penalty on sick
+  nodes;
+* a global power manager holds the fleet at one clock, removing most of
+  the performance variation at equal facility power.
+"""
+
+import numpy as np
+
+from _bench_util import emit, pct
+from repro.core import flag_outlier_gpus
+from repro.mitigation import (
+    BlacklistPolicy,
+    allocate_equal_frequency,
+    allocate_uniform,
+    build_blacklist,
+    evaluate_allocation,
+    evaluate_blacklist,
+    evaluate_sharding,
+)
+from repro.telemetry.sample import METRIC_PERFORMANCE
+from repro.workloads import sgemm
+
+
+def test_ext_blacklisting(benchmark, longhorn_sgemm, longhorn_resnet):
+    reports = [
+        flag_outlier_gpus(longhorn_sgemm),
+        flag_outlier_gpus(longhorn_resnet),
+    ]
+    drained = build_blacklist(reports, longhorn_sgemm)
+    outcome = benchmark(
+        evaluate_blacklist, longhorn_sgemm, drained,
+        BlacklistPolicy(), job_width=4,
+    )
+    rows = [
+        ("GPUs drained (confirmed twice)", "few", str(len(drained))),
+        ("capacity cost", "small", pct(outcome.capacity_lost)),
+        ("worst GPU before -> after", "tail removed",
+         f"{outcome.worst_before:.2f}x -> {outcome.worst_after:.2f}x"),
+        ("4-GPU slow-assignment before -> after", "drops",
+         f"{pct(outcome.slow_assignment_before)} -> "
+         f"{pct(outcome.slow_assignment_after)}"),
+    ]
+    emit(None, "Extension: blacklisting trade-off", rows)
+
+    assert drained
+    assert outcome.capacity_lost < 0.15
+    assert outcome.worst_after < outcome.worst_before
+    assert outcome.slow_assignment_after <= outcome.slow_assignment_before
+
+
+def test_ext_weighted_sharding(benchmark, longhorn_resnet_single):
+    """Shard by measured speed: the sick node stops gating iterations."""
+    med = longhorn_resnet_single.per_gpu_median(METRIC_PERFORMANCE)
+    values = med[METRIC_PERFORMANCE]
+    nodes = med["node_label"]
+
+    def worst_node_speedup():
+        speeds = 1.0 / values  # iterations per ms per GPU
+        per_node = {}
+        for node in np.unique(nodes):
+            member_speeds = speeds[nodes == node]
+            if member_speeds.shape[0] == 4:
+                per_node[node] = evaluate_sharding(member_speeds, 64)
+        worst = max(per_node.values(), key=lambda r: r["speedup"])
+        return worst
+
+    worst = benchmark(worst_node_speedup)
+    rows = [
+        ("worst node: uniform iteration", "gated by straggler",
+         f"{worst['uniform_ms']:.1f} units"),
+        ("worst node: weighted iteration", "recovers",
+         f"{worst['weighted_ms']:.1f} units"),
+        ("speedup on the sick node", ">1.2x", f"{worst['speedup']:.2f}x"),
+        ("weighted efficiency", ">90%", pct(worst['weighted_efficiency'])),
+    ]
+    emit(None, "Extension: weighted sharding on sick nodes", rows)
+
+    assert worst["speedup"] > 1.2
+    assert worst["weighted_efficiency"] > 0.9
+
+
+def test_ext_global_power_management(benchmark, longhorn_cluster):
+    fleet = longhorn_cluster.fleet
+    budget = fleet.n * 280.0  # a realistic facility cap below n x TDP
+
+    def compare():
+        uniform = evaluate_allocation(
+            fleet, sgemm(), allocate_uniform(fleet, budget),
+            rng=np.random.default_rng(0),
+        )
+        managed_alloc = allocate_equal_frequency(fleet, sgemm(), budget)
+        managed = evaluate_allocation(
+            fleet, sgemm(), managed_alloc, rng=np.random.default_rng(0)
+        )
+        return uniform, managed, managed_alloc
+
+    uniform, managed, alloc = benchmark(compare)
+    rows = [
+        ("variation: per-GPU caps -> global", "shrinks sharply",
+         f"{pct(uniform['variation'])} -> {pct(managed['variation'])}"),
+        ("median runtime change", "~none",
+         f"{uniform['median_ms']:.0f} -> {managed['median_ms']:.0f} ms"),
+        ("fleet frequency target", "one clock",
+         f"{alloc.target_frequency_mhz:.0f} MHz "
+         f"(spread {managed['frequency_spread_mhz']:.0f} MHz)"),
+        ("facility power", f"<= {budget/1000:.0f} kW",
+         f"{managed['total_power_w']/1000:.0f} kW"),
+    ]
+    emit(None, "Extension: global power management (Sec. VII)", rows)
+
+    assert managed["variation"] < 0.4 * uniform["variation"]
+    assert managed["median_ms"] < uniform["median_ms"] * 1.05
+    assert managed["total_power_w"] <= budget * 1.01

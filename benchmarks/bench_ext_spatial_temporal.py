@@ -1,0 +1,73 @@
+"""Extension: the spatial/temporal effects the paper defers to future work.
+
+Section VII ("Spatial Effects"): the study eliminated neighbour and
+history effects by design; cloud-style per-GPU allocation would not.  On
+the simulated fleet we can measure what they would have found:
+
+* sharing an air-cooled chassis with busy neighbours costs a few percent
+  (and is the worst on already-hot nodes), while cold-plate clusters are
+  immune — cooling technology decides whether spatial effects exist;
+* a short job scheduled right after a hot one pays a heat-soak penalty
+  that decays on the thermal time constant.
+"""
+
+from _bench_util import emit, pct
+from repro.sim.spatial import spatial_penalty, temporal_soak_slowdown
+from repro.workloads import lammps_reaxc, sgemm
+
+
+def test_ext_spatial_effects_by_cooling(
+    benchmark, longhorn_cluster, vortex_cluster, frontera_cluster
+):
+    results = {}
+    for name, cluster in (("Longhorn/air", longhorn_cluster),
+                          ("Frontera/oil", frontera_cluster),
+                          ("Vortex/water", vortex_cluster)):
+        results[name] = spatial_penalty(cluster, sgemm())
+
+    rows = [
+        (f"{name}: preheat / median / worst slowdown",
+         "air >> oil > water",
+         f"{r['median_preheat_c']:.1f} C / {pct(r['median_slowdown'] - 1)}"
+         f" / {pct(r['worst_slowdown'] - 1)}")
+        for name, r in results.items()
+    ]
+    emit(None, "Extension: spatial interference (busy neighbours)", rows)
+
+    assert (results["Longhorn/air"]["median_preheat_c"]
+            > results["Frontera/oil"]["median_preheat_c"]
+            > results["Vortex/water"]["median_preheat_c"])
+    assert results["Longhorn/air"]["worst_slowdown"] > 1.02
+    assert results["Vortex/water"]["median_slowdown"] < 1.01
+
+    benchmark(lambda: spatial_penalty(vortex_cluster, sgemm()))
+
+
+def test_ext_temporal_heat_soak(benchmark, longhorn_cluster):
+    cases = {
+        "60 s job, 5 s gap": (5.0, 60.0),
+        "60 s job, 10 min gap": (600.0, 60.0),
+        "1 h job, 5 s gap": (5.0, 3600.0),
+    }
+    results = {
+        label: temporal_soak_slowdown(longhorn_cluster, sgemm(), gap, dur)
+        for label, (gap, dur) in cases.items()
+    }
+    results["memory-bound job"] = temporal_soak_slowdown(
+        longhorn_cluster, lammps_reaxc(), 5.0, 60.0
+    )
+
+    rows = [
+        (label, "decays with gap/duration", f"{value:.3f}x")
+        for label, value in results.items()
+    ]
+    emit(None, "Extension: temporal heat-soak penalty", rows)
+
+    assert results["60 s job, 5 s gap"] > 1.01
+    assert results["60 s job, 10 min gap"] < results["60 s job, 5 s gap"]
+    assert results["1 h job, 5 s gap"] < 1.01
+    assert results["memory-bound job"] < 1.01
+
+    benchmark(
+        lambda: temporal_soak_slowdown(longhorn_cluster, sgemm(), 5.0, 60.0)
+    )

@@ -1,0 +1,78 @@
+"""Fig. 1: normalized SGEMM runtime across the five clusters.
+
+Paper: every cluster shows 5-9% performance variation with outliers up to
+~1.5x the median GPU, despite identical architecture and SKU within each
+cluster.
+"""
+
+import numpy as np
+
+from _bench_util import emit, pct
+from repro.core import metric_boxstats, normalized_performance
+from repro.core.report import ascii_histogram
+from repro.telemetry.sample import METRIC_PERFORMANCE
+
+#: Paper-reported SGEMM performance variation per cluster (Sections IV-B..F).
+PAPER_VARIATION = {
+    "Longhorn": 0.09,
+    "Summit": 0.08,
+    "Vortex": 0.09,
+    "Frontera": 0.05,
+    "Corona": 0.07,
+}
+
+
+def test_fig01_normalized_runtime(
+    benchmark,
+    longhorn_sgemm,
+    summit_sgemm,
+    vortex_sgemm,
+    frontera_sgemm,
+    corona_sgemm,
+):
+    datasets = {
+        "Longhorn": longhorn_sgemm,
+        "Summit": summit_sgemm,
+        "Vortex": vortex_sgemm,
+        "Frontera": frontera_sgemm,
+        "Corona": corona_sgemm,
+    }
+
+    rows = []
+    for name, ds in datasets.items():
+        stats = metric_boxstats(ds, METRIC_PERFORMANCE)
+        normalized = normalized_performance(ds)
+        worst = float(normalized.max())
+        rows.append((
+            f"{name} variation / worst-vs-median",
+            f"{pct(PAPER_VARIATION[name])} / <=1.5x",
+            f"{pct(stats.variation)} / {worst:.2f}x",
+        ))
+        # Shape assertions: significant variation everywhere, bounded tails.
+        assert 0.5 * PAPER_VARIATION[name] < stats.variation \
+            < 2.2 * PAPER_VARIATION[name]
+        assert 1.02 < worst < 2.2
+        # Normalization property of Fig. 1's y-axis.
+        assert np.median(normalized) == 1.0
+    emit(benchmark, "Fig. 1: normalized SGEMM runtime, all clusters", rows)
+    print("\nLonghorn normalized-runtime distribution (Fig. 1, leftmost box):")
+    print(ascii_histogram(normalized_performance(datasets["Longhorn"]),
+                          bins=10, width=40))
+
+    benchmark(lambda: normalized_performance(datasets["Longhorn"]))
+
+
+def test_fig01_every_cluster_has_outliers(
+    benchmark, longhorn_sgemm, summit_sgemm, corona_sgemm
+):
+    """All clusters 'contain several outliers' (Fig. 1 caption)."""
+    counts = {}
+    for name, ds in (("Longhorn", longhorn_sgemm), ("Summit", summit_sgemm),
+                     ("Corona", corona_sgemm)):
+        stats = metric_boxstats(ds, METRIC_PERFORMANCE)
+        counts[name] = stats.n_outliers
+        assert stats.n_outliers >= 1
+    emit(benchmark, "Fig. 1: performance outlier counts",
+         [(f"{k} outlier GPUs", ">=1", str(v)) for k, v in counts.items()])
+
+    benchmark(lambda: metric_boxstats(longhorn_sgemm, METRIC_PERFORMANCE))

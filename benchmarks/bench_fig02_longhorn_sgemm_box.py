@@ -1,0 +1,58 @@
+"""Fig. 2: Longhorn SGEMM box plots (frequency, duration, power, temperature).
+
+Paper: 9% performance variation; GPUs configured at 1530 MHz actually run
+1300-1440 MHz (11% frequency variation); wide temperature spread; some
+power outliers near 250 W.
+"""
+
+import numpy as np
+
+from _bench_util import emit, grouped_box_art, metric_summary_lines, pct
+from repro.core import grouped_boxstats, metric_boxstats
+from repro.telemetry.sample import (
+    METRIC_FREQUENCY,
+    METRIC_PERFORMANCE,
+    METRIC_POWER,
+    METRIC_TEMPERATURE,
+)
+
+
+def test_fig02_longhorn_box_plots(benchmark, longhorn_sgemm):
+    perf = metric_boxstats(longhorn_sgemm, METRIC_PERFORMANCE)
+    freq = metric_boxstats(longhorn_sgemm, METRIC_FREQUENCY)
+    power = metric_boxstats(longhorn_sgemm, METRIC_POWER)
+    temp = metric_boxstats(longhorn_sgemm, METRIC_TEMPERATURE)
+
+    rows = [
+        ("performance variation", "9%", pct(perf.variation)),
+        ("frequency variation", "11%", pct(freq.variation)),
+        ("frequency band (bulk)", "1300-1440 MHz",
+         f"{freq.whisker_lo:.0f}-{freq.whisker_hi:.0f} MHz"),
+        ("temperature median", "~66 C", f"{temp.median:.0f} C"),
+        ("temperature whisker span", ">=25 C",
+         f"{temp.range:.0f} C"),
+        ("low power outliers", "~250 W",
+         f"min {longhorn_sgemm[METRIC_POWER].min():.0f} W"),
+        ("power median", "~297 W", f"{power.median:.0f} W"),
+    ]
+    emit(benchmark, "Fig. 2: SGEMM on Longhorn", rows)
+    print(metric_summary_lines(longhorn_sgemm))
+
+    assert 0.05 < perf.variation < 0.16
+    assert 0.05 < freq.variation < 0.16
+    assert 1280.0 <= freq.whisker_lo and freq.whisker_hi <= 1470.0
+    assert 60.0 < temp.median < 75.0
+    assert temp.range >= 20.0
+    assert longhorn_sgemm[METRIC_POWER].min() < 280.0
+
+    benchmark(lambda: metric_boxstats(longhorn_sgemm, METRIC_PERFORMANCE))
+
+
+def test_fig02_per_cabinet_grouping(benchmark, longhorn_sgemm):
+    """Fig. 2 colors points by cabinet; the grouped view must build."""
+    grouped = benchmark(
+        grouped_boxstats, longhorn_sgemm, METRIC_PERFORMANCE, "cabinet"
+    )
+    assert len(grouped) == 35  # 104 nodes / 3 per cabinet
+    print("\nFig. 2b (performance by cabinet):")
+    print(grouped_box_art(grouped))

@@ -1,0 +1,50 @@
+"""Fig. 3: Longhorn SGEMM scatter-plot correlations.
+
+Paper: perf-temperature weakly positive (rho = 0.46), power-performance
+weakly negative (-0.35), performance-frequency strongly negative (-0.97),
+power-temperature uncorrelated (-0.1).
+"""
+
+from _bench_util import emit
+from repro.core.correlation import paper_correlation_pairs
+
+PAPER_RHO = {
+    "perf_vs_temperature": 0.46,
+    "perf_vs_power": -0.35,
+    "perf_vs_frequency": -0.97,
+    "power_vs_temperature": -0.10,
+}
+
+
+def test_fig03_correlations(benchmark, longhorn_sgemm):
+    pairs = benchmark(paper_correlation_pairs, longhorn_sgemm)
+
+    rows = [
+        (name, f"{PAPER_RHO[name]:+.2f}", f"{pairs[name].rho:+.2f}")
+        for name in PAPER_RHO
+    ]
+    emit(benchmark, "Fig. 3: SGEMM correlations on Longhorn", rows)
+
+    # Signs and strength classes must match the paper.
+    assert pairs["perf_vs_frequency"].rho < -0.9          # strong negative
+    assert pairs["perf_vs_power"].rho < -0.1              # negative
+    assert pairs["perf_vs_temperature"].rho > 0.05        # weak positive
+    assert abs(pairs["power_vs_temperature"].rho) < 0.45  # near zero
+
+
+def test_fig03_same_temperature_wide_performance(benchmark, longhorn_sgemm):
+    """Paper: GPUs at the same temperature differ by up to 200 ms (10%)."""
+    import numpy as np
+    from repro.telemetry.sample import METRIC_PERFORMANCE, METRIC_TEMPERATURE
+
+    def spread_at_median_temperature():
+        temp = longhorn_sgemm[METRIC_TEMPERATURE]
+        perf = longhorn_sgemm[METRIC_PERFORMANCE]
+        t_med = np.median(temp)
+        band = np.abs(temp - t_med) <= 1.0
+        return float(np.ptp(perf[band]) / np.median(perf[band]))
+
+    spread = benchmark(spread_at_median_temperature)
+    emit(None, "Fig. 3a: perf spread at fixed temperature",
+         [("spread among same-temp GPUs", "~10%", f"{spread:.0%}")])
+    assert spread > 0.04

@@ -1,0 +1,68 @@
+"""Fig. 4: Summit SGEMM box plots, grouped by row.
+
+Paper: 8% performance variation across all rows; ~100 MHz frequency
+variation; rows D and F carry the most performance outliers; rows A and H
+have sub-290 W GPUs; the water-cooled temperature range is a narrow
+40-62 degC.
+"""
+
+import numpy as np
+
+from _bench_util import emit, grouped_box_art, pct
+from repro.core import grouped_boxstats, metric_boxstats
+from repro.telemetry.sample import (
+    METRIC_FREQUENCY,
+    METRIC_PERFORMANCE,
+    METRIC_POWER,
+    METRIC_TEMPERATURE,
+)
+
+
+def test_fig04_summit_fleet_stats(benchmark, summit_sgemm):
+    perf = metric_boxstats(summit_sgemm, METRIC_PERFORMANCE)
+    freq = metric_boxstats(summit_sgemm, METRIC_FREQUENCY)
+    temp = metric_boxstats(summit_sgemm, METRIC_TEMPERATURE)
+
+    rows = [
+        ("performance variation", "8%", pct(perf.variation)),
+        ("frequency whisker span", "~100 MHz", f"{freq.range:.0f} MHz"),
+        ("temperature band (bulk)", "40-62 C",
+         f"{temp.whisker_lo:.0f}-{temp.whisker_hi:.0f} C"),
+    ]
+    emit(benchmark, "Fig. 4: SGEMM on Summit", rows)
+
+    assert 0.05 < perf.variation < 0.12
+    assert 60.0 < freq.range < 160.0
+    assert temp.whisker_lo > 36.0
+    assert temp.whisker_hi < 68.0
+
+    benchmark(lambda: metric_boxstats(summit_sgemm, METRIC_PERFORMANCE))
+
+
+def test_fig04_by_row_breakdown(benchmark, summit_sgemm):
+    grouped = benchmark(
+        grouped_boxstats, summit_sgemm, METRIC_PERFORMANCE, "row"
+    )
+    assert len(grouped) == 8
+    print("\nFig. 4a (kernel duration by row):")
+    print(grouped_box_art(grouped))
+
+    # Every row shows comparable variation ("8% across all rows").
+    variations = np.array([s.variation for s in grouped.values()])
+    assert variations.min() > 0.04
+    assert variations.max() < 0.14
+
+
+def test_fig04_low_power_gpus_exist(benchmark, summit_sgemm):
+    """Rows with GPUs below 290 W (Fig. 4c)."""
+    power = summit_sgemm[METRIC_POWER]
+    rows_col = summit_sgemm["row"]
+    low = power < 290.0
+    rows_with_low = set(np.unique(rows_col[low]))
+    emit(None, "Fig. 4c: sub-290 W GPUs",
+         [("rows containing sub-290 W GPUs", "several (A, H, ...)",
+           ",".join(sorted(rows_with_low)))])
+    assert "h" in rows_with_low  # the forced row-H power-delivery cluster
+    assert len(rows_with_low) >= 2
+
+    benchmark(lambda: (power < 290.0).sum())

@@ -1,0 +1,48 @@
+"""Fig. 5: Summit SGEMM scatter correlations.
+
+Paper: performance-frequency strongly negative (rho = -0.99);
+performance-power essentially uncorrelated (-0.09); and a string of power
+outliers below 290 W that all complete around 2510 ms.
+"""
+
+import numpy as np
+
+from _bench_util import emit
+from repro.core.correlation import paper_correlation_pairs
+from repro.telemetry.sample import METRIC_PERFORMANCE, METRIC_POWER
+
+
+def test_fig05_correlations(benchmark, summit_sgemm):
+    pairs = benchmark(paper_correlation_pairs, summit_sgemm)
+    rows = [
+        ("perf_vs_frequency", "-0.99", f"{pairs['perf_vs_frequency'].rho:+.2f}"),
+        ("perf_vs_power", "-0.09", f"{pairs['perf_vs_power'].rho:+.2f}"),
+    ]
+    emit(benchmark, "Fig. 5: SGEMM correlations on Summit", rows)
+
+    assert pairs["perf_vs_frequency"].rho < -0.85
+    # Power decouples on Summit: much weaker than Longhorn's -0.35.
+    assert abs(pairs["perf_vs_power"].rho) < 0.45
+
+
+def test_fig05_power_outlier_string(benchmark, summit_sgemm):
+    """The sub-290 W outliers cluster at a common slow runtime (~2510 ms)."""
+    def outlier_runtime_band():
+        power = summit_sgemm[METRIC_POWER]
+        perf = summit_sgemm[METRIC_PERFORMANCE]
+        low = power < 290.0
+        return (
+            int(low.sum()),
+            float(np.median(perf[low])),
+            float(np.median(perf[~low])),
+        )
+
+    n_low, t_low, t_bulk = benchmark(outlier_runtime_band)
+    rows = [
+        ("sub-290 W observations", ">0", str(n_low)),
+        ("their median runtime vs fleet", "~2510 vs ~2350 ms",
+         f"{t_low:.0f} vs {t_bulk:.0f} ms"),
+    ]
+    emit(None, "Fig. 5b: the power-outlier string", rows)
+    assert n_low > 0
+    assert t_low > t_bulk * 1.02  # power-capped GPUs are consistently slower

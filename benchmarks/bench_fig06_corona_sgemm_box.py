@@ -1,0 +1,82 @@
+"""Fig. 6: Corona (AMD MI60) SGEMM box plots.
+
+Paper: 7% runtime variation; frequency shows much less variability than the
+NVIDIA clusters (coarse DPM levels); power IQR ~2% and *no* GPU reaches the
+300 W TDP; node group c115 is the single severe outlier at ~165 W, running
+near the slowdown temperature.
+"""
+
+import numpy as np
+
+from _bench_util import emit, pct
+from repro.core import grouped_boxstats, metric_boxstats
+from repro.gpu.specs import MI60
+from repro.telemetry.sample import (
+    METRIC_FREQUENCY,
+    METRIC_PERFORMANCE,
+    METRIC_POWER,
+    METRIC_TEMPERATURE,
+)
+
+
+def test_fig06_corona_fleet_stats(benchmark, corona_sgemm):
+    bulk = corona_sgemm.filter(corona_sgemm["cabinet"] != "c115")
+    perf = metric_boxstats(bulk, METRIC_PERFORMANCE)
+    freq = metric_boxstats(bulk, METRIC_FREQUENCY)
+    power = metric_boxstats(bulk, METRIC_POWER)
+    temp = metric_boxstats(bulk, METRIC_TEMPERATURE)
+
+    rows = [
+        ("runtime variation", "7%", pct(perf.variation)),
+        ("frequency variation (coarse ladder)", "small",
+         pct(freq.variation)),
+        ("power variation", "2%", pct(power.variation)),  # see EXPERIMENTS.md
+        ("max power (never 300 W)", "<300 W",
+         f"{corona_sgemm[METRIC_POWER].max():.0f} W"),
+        ("temperature near slowdown", "<=99 C",
+         f"max {temp.whisker_hi:.0f} C"),
+    ]
+    emit(benchmark, "Fig. 6: SGEMM on Corona", rows)
+
+    assert 0.04 < perf.variation < 0.15
+    assert power.variation < 0.12
+    assert corona_sgemm["true_power_w"].max() < 300.0
+    assert temp.whisker_hi <= 99.5
+
+    benchmark(lambda: metric_boxstats(bulk, METRIC_PERFORMANCE))
+
+
+def test_fig06_coarse_dpm_levels(benchmark, corona_sgemm):
+    """Reported frequencies sit on the 8-level AMD ladder (Section IV-D)."""
+    def distinct_levels():
+        return np.unique(corona_sgemm[METRIC_FREQUENCY]).shape[0]
+
+    n_levels = benchmark(distinct_levels)
+    emit(None, "Fig. 6a: AMD frequency granularity",
+         [("distinct reported frequencies", f"<= {MI60.n_pstates}",
+           str(n_levels))])
+    assert n_levels <= MI60.n_pstates
+
+
+def test_fig06_c115_outlier(benchmark, corona_sgemm):
+    """The c115 group: hot, slow, and ~165 W (Figs. 6-7)."""
+    def c115_profile():
+        c115 = corona_sgemm.where(cabinet="c115")
+        rest = corona_sgemm.filter(corona_sgemm["cabinet"] != "c115")
+        return (
+            float(np.median(c115[METRIC_POWER])),
+            float(np.median(c115[METRIC_PERFORMANCE])
+                  / np.median(rest[METRIC_PERFORMANCE])),
+            float(np.median(c115[METRIC_TEMPERATURE])),
+        )
+
+    power, slowdown, temp = benchmark(c115_profile)
+    rows = [
+        ("c115 power", "165 W", f"{power:.0f} W"),
+        ("c115 slowdown vs median GPU", "clear outlier", f"{slowdown:.2f}x"),
+        ("c115 temperature", "~99 C (near slowdown)", f"{temp:.0f} C"),
+    ]
+    emit(None, "Fig. 6: node group c115", rows)
+    assert power < 230.0
+    assert slowdown > 1.2
+    assert temp > 90.0

@@ -1,0 +1,50 @@
+"""Fig. 7: Corona SGEMM scatter correlations and the per-GPU repeatability
+contrast with NVIDIA clusters.
+
+Paper: duration-temperature weakly positive (rho = 0.20); duration-power
+moderately negative (-0.48); duration-frequency weaker than on NVIDIA
+clusters (-0.76 vs -0.97/-0.99) because the coarse DPM ladder dithers.
+"""
+
+from _bench_util import emit
+from repro.core.correlation import paper_correlation_pairs, pearson
+from repro.telemetry.sample import METRIC_FREQUENCY, METRIC_PERFORMANCE
+
+
+def test_fig07_correlations(benchmark, corona_sgemm):
+    pairs = benchmark(paper_correlation_pairs, corona_sgemm)
+    rows = [
+        ("perf_vs_temperature", "+0.20",
+         f"{pairs['perf_vs_temperature'].rho:+.2f}"),
+        ("perf_vs_power", "-0.48", f"{pairs['perf_vs_power'].rho:+.2f}"),
+        ("perf_vs_frequency", "-0.76",
+         f"{pairs['perf_vs_frequency'].rho:+.2f}"),
+    ]
+    emit(benchmark, "Fig. 7: SGEMM correlations on Corona", rows)
+
+    assert pairs["perf_vs_temperature"].rho > 0.0
+    assert pairs["perf_vs_power"].rho < -0.2
+
+
+def test_fig07_weaker_freq_correlation_than_nvidia(
+    benchmark, corona_sgemm, longhorn_sgemm
+):
+    """The AMD perf-frequency coupling is weaker than NVIDIA's (Takeaway 4).
+
+    Compared on the healthy bulk (outlier groups excluded) where the
+    coarse-ladder dithering is the distinguishing mechanism.
+    """
+    def rho_gap():
+        bulk = corona_sgemm.filter(corona_sgemm["cabinet"] != "c115")
+        rho_amd = pearson(bulk[METRIC_PERFORMANCE], bulk[METRIC_FREQUENCY])
+        rho_nv = pearson(
+            longhorn_sgemm[METRIC_PERFORMANCE],
+            longhorn_sgemm[METRIC_FREQUENCY],
+        )
+        return rho_amd, rho_nv
+
+    rho_amd, rho_nv = benchmark(rho_gap)
+    emit(None, "Fig. 7 vs Fig. 3: vendor DVFS coupling",
+         [("Corona rho(perf, freq)", "-0.76", f"{rho_amd:+.2f}"),
+          ("Longhorn rho(perf, freq)", "-0.97", f"{rho_nv:+.2f}")])
+    assert rho_nv < rho_amd < -0.2  # NVIDIA more negative than AMD

@@ -1,0 +1,59 @@
+"""Fig. 9: Vortex (water-cooled V100) SGEMM box plots.
+
+Paper: 9% performance variation, frequencies 1330-1442 MHz (~100 MHz span),
+a narrow 10 degC Q1-Q3 temperature spread (median 46 degC), and *all* GPUs
+within 5 W of the 300 W limit — no low-power outliers.
+"""
+
+import numpy as np
+
+from _bench_util import emit, pct
+from repro.core import metric_boxstats
+from repro.telemetry.sample import (
+    METRIC_FREQUENCY,
+    METRIC_PERFORMANCE,
+    METRIC_POWER,
+    METRIC_TEMPERATURE,
+)
+
+
+def test_fig09_vortex_fleet_stats(benchmark, vortex_sgemm):
+    perf = metric_boxstats(vortex_sgemm, METRIC_PERFORMANCE)
+    freq = metric_boxstats(vortex_sgemm, METRIC_FREQUENCY)
+    temp = metric_boxstats(vortex_sgemm, METRIC_TEMPERATURE)
+
+    rows = [
+        ("performance variation", "9%", pct(perf.variation)),
+        ("frequency band", "1330-1442 MHz",
+         f"{freq.whisker_lo:.0f}-{freq.whisker_hi:.0f} MHz"),
+        ("temperature median", "46 C", f"{temp.median:.0f} C"),
+        ("temperature Q1-Q3", "10 C", f"{temp.iqr:.0f} C"),
+        ("true power within 5 W of TDP", "yes",
+         f"min {vortex_sgemm['true_power_w'].min():.0f} W"),
+    ]
+    emit(benchmark, "Fig. 9: SGEMM on Vortex", rows)
+
+    assert 0.04 < perf.variation < 0.14
+    assert freq.whisker_lo > 1290.0
+    assert 40.0 < temp.median < 52.0
+    assert temp.iqr < 12.0
+    assert vortex_sgemm["true_power_w"].min() > 290.0
+
+    benchmark(lambda: metric_boxstats(vortex_sgemm, METRIC_PERFORMANCE))
+
+
+def test_fig09_coverage_is_partial(benchmark, vortex_sgemm, vortex_cluster):
+    """The paper reached 184 of 216 GPUs; each campaign day covers a subset."""
+    def per_day_observed():
+        counts = [
+            int(np.unique(sub["gpu_index"]).shape[0])
+            for _, sub in vortex_sgemm.groupby("day")
+        ]
+        return max(counts)
+
+    n = benchmark(per_day_observed)
+    emit(None, "Fig. 9: observed GPUs",
+         [("GPUs measured per day", "184 of 216",
+           f"{n} of {vortex_cluster.n_gpus}")])
+    assert n < vortex_cluster.n_gpus
+    assert n > 0.6 * vortex_cluster.n_gpus

@@ -1,0 +1,39 @@
+"""Fig. 10: Vortex SGEMM scatter correlations.
+
+Paper: duration-frequency strongly negative (rho = -0.98);
+duration-temperature essentially uncorrelated (0.04) — water cooling
+decouples temperature from performance (unlike air-cooled Longhorn's 0.46).
+"""
+
+from _bench_util import emit
+from repro.core.correlation import paper_correlation_pairs
+
+
+def test_fig10_correlations(benchmark, vortex_sgemm):
+    pairs = benchmark(paper_correlation_pairs, vortex_sgemm)
+    rows = [
+        ("perf_vs_frequency", "-0.98",
+         f"{pairs['perf_vs_frequency'].rho:+.2f}"),
+        ("perf_vs_temperature", "+0.04",
+         f"{pairs['perf_vs_temperature'].rho:+.2f}"),
+    ]
+    emit(benchmark, "Fig. 10: SGEMM correlations on Vortex", rows)
+
+    assert pairs["perf_vs_frequency"].rho < -0.9
+    assert abs(pairs["perf_vs_temperature"].rho) < 0.35
+
+
+def test_fig10_water_weakens_temp_coupling(
+    benchmark, vortex_sgemm, longhorn_sgemm
+):
+    """Cooling comparison: air couples temperature to performance more."""
+    def couplings():
+        v = paper_correlation_pairs(vortex_sgemm)["perf_vs_temperature"].rho
+        l = paper_correlation_pairs(longhorn_sgemm)["perf_vs_temperature"].rho
+        return v, l
+
+    rho_vortex, rho_longhorn = benchmark(couplings)
+    emit(None, "Fig. 10 vs Fig. 3: cooling and the temp coupling",
+         [("Vortex (water) rho(perf, T)", "+0.04", f"{rho_vortex:+.2f}"),
+          ("Longhorn (air) rho(perf, T)", "+0.46", f"{rho_longhorn:+.2f}")])
+    assert rho_longhorn > rho_vortex

@@ -1,0 +1,77 @@
+"""Fig. 12: Frontera (mineral-oil RTX 5000) SGEMM box plots.
+
+Paper: 5% performance variation, 7% frequency variation; Turing boost
+clocks run higher than the V100s'; nearly all GPUs within 5 W of the 230 W
+TDP; a narrow 4 degC Q3-Q1 temperature spread around a *high* 76 degC
+median (oil sits between air and water); two c197 GPUs are severe outliers
+(1100-1600 ms slower, ~16 degC cooler, ~59 W below median).
+"""
+
+import numpy as np
+
+from _bench_util import emit, pct
+from repro.core import metric_boxstats
+from repro.telemetry.sample import (
+    METRIC_FREQUENCY,
+    METRIC_PERFORMANCE,
+    METRIC_POWER,
+    METRIC_TEMPERATURE,
+)
+
+
+def test_fig12_frontera_fleet_stats(benchmark, frontera_sgemm):
+    bulk = frontera_sgemm.filter(frontera_sgemm["cabinet"] != "c197")
+    perf = metric_boxstats(bulk, METRIC_PERFORMANCE)
+    freq = metric_boxstats(bulk, METRIC_FREQUENCY)
+    temp = metric_boxstats(bulk, METRIC_TEMPERATURE)
+
+    rows = [
+        ("performance variation", "5%", pct(perf.variation)),
+        ("frequency variation", "7%", pct(freq.variation)),
+        ("frequencies above V100 range", ">1530 MHz",
+         f"median {freq.median:.0f} MHz"),
+        ("temperature median", "76 C", f"{temp.median:.0f} C"),
+        ("temperature Q3-Q1", "4 C", f"{temp.iqr:.0f} C"),
+    ]
+    emit(benchmark, "Fig. 12: SGEMM on Frontera", rows)
+
+    assert 0.03 < perf.variation < 0.10
+    assert freq.median > 1530.0
+    assert 70.0 < temp.median < 82.0
+    assert temp.iqr < 8.0
+
+    benchmark(lambda: metric_boxstats(bulk, METRIC_PERFORMANCE))
+
+
+def test_fig12_c197_outlier_pair(benchmark, frontera_sgemm):
+    """The flagged pump cabinet: slower, cooler, far less power."""
+    def c197_profile():
+        c197 = frontera_sgemm.where(cabinet="c197")
+        rest = frontera_sgemm.filter(frontera_sgemm["cabinet"] != "c197")
+        med = frontera_sgemm.per_gpu_median(METRIC_PERFORMANCE)
+        c197_gpus = med.filter(np.asarray(
+            [c.startswith("c197") for c in med["gpu_label"]]
+        ))
+        sick = np.sort(c197_gpus[METRIC_PERFORMANCE])[-2:]
+        return (
+            float(np.median(rest[METRIC_PERFORMANCE])),
+            sick,
+            float(np.median(c197[METRIC_POWER].min())),
+            float(np.median(rest[METRIC_POWER])),
+            float(c197[METRIC_TEMPERATURE].min()),
+            float(np.median(rest[METRIC_TEMPERATURE])),
+        )
+
+    t_med, sick, p_min, p_med, t_min, t_med_fleet = benchmark(c197_profile)
+    slowdowns = sick - t_med
+    rows = [
+        ("c197 pair slowdown", "1100-1600 ms",
+         f"{slowdowns.min():.0f}-{slowdowns.max():.0f} ms"),
+        ("c197 power deficit", "~59 W", f"{p_med - p_min:.0f} W"),
+        ("c197 temperature deficit", "~16 C", f"{t_med_fleet - t_min:.0f} C"),
+    ]
+    emit(None, "Fig. 12: the c197 outlier pair", rows)
+
+    assert slowdowns.max() > 600.0          # clearly separated outliers
+    assert p_med - p_min > 25.0             # much less power
+    assert t_med_fleet - t_min > 5.0        # cooler than the fleet

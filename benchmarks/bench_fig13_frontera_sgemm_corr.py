@@ -1,0 +1,25 @@
+"""Fig. 13: Frontera SGEMM scatter correlations.
+
+Paper: duration-power strongly negative (rho = -0.96) even with the c197
+outliers present; power-temperature almost uncorrelated (-0.1) — in oil, as
+in water, temperature decouples from the other metrics.
+"""
+
+from _bench_util import emit
+from repro.core.correlation import paper_correlation_pairs
+
+
+def test_fig13_correlations(benchmark, frontera_sgemm):
+    pairs = benchmark(paper_correlation_pairs, frontera_sgemm)
+    rows = [
+        ("perf_vs_power", "-0.96", f"{pairs['perf_vs_power'].rho:+.2f}"),
+        ("perf_vs_frequency", "strong negative",
+         f"{pairs['perf_vs_frequency'].rho:+.2f}"),
+        ("power_vs_temperature", "-0.10",
+         f"{pairs['power_vs_temperature'].rho:+.2f}"),
+    ]
+    emit(benchmark, "Fig. 13: SGEMM correlations on Frontera", rows)
+
+    assert pairs["perf_vs_power"].rho < -0.7
+    assert pairs["perf_vs_frequency"].rho < -0.9
+    assert abs(pairs["power_vs_temperature"].rho) < 0.4

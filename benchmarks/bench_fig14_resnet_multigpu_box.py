@@ -1,0 +1,64 @@
+"""Fig. 14: multi-GPU ResNet-50 on Longhorn.
+
+Paper: the largest performance variation of the study (22%) with frequency
+pinned at 1530 MHz for most nodes — plus enormous power variability (104%)
+from the varied kernel mix.
+"""
+
+import numpy as np
+
+from _bench_util import emit, pct
+from repro.core import metric_boxstats
+from repro.telemetry.sample import (
+    METRIC_FREQUENCY,
+    METRIC_PERFORMANCE,
+    METRIC_POWER,
+)
+
+
+def test_fig14_resnet_multigpu(benchmark, longhorn_resnet):
+    # ML variability is run-level (Section V-A), matching the paper's
+    # iteration-duration box plots.
+    perf = metric_boxstats(longhorn_resnet, METRIC_PERFORMANCE,
+                           per_gpu_median=False)
+    power = metric_boxstats(longhorn_resnet, METRIC_POWER,
+                            per_gpu_median=False)
+    freq = longhorn_resnet[METRIC_FREQUENCY]
+
+    rows = [
+        ("iteration-duration variation", "22%", pct(perf.variation)),
+        ("power variation", "104%", pct(power.variation)),
+        ("runs at the 1530 MHz boost", "most", pct((freq == 1530.0).mean())),
+        ("worst straggler vs median", "3.5x",
+         f"{longhorn_resnet[METRIC_PERFORMANCE].max() / perf.median:.2f}x"),
+    ]
+    emit(benchmark, "Fig. 14: multi-GPU ResNet-50 on Longhorn", rows)
+
+    assert 0.12 < perf.variation < 0.32
+    assert power.variation > 0.5
+    assert (freq == 1530.0).mean() > 0.75
+    # Stragglers are dramatic but bounded.
+    worst = longhorn_resnet[METRIC_PERFORMANCE].max() / perf.median
+    assert 1.3 < worst < 4.0
+
+    benchmark(lambda: metric_boxstats(
+        longhorn_resnet, METRIC_PERFORMANCE, per_gpu_median=False
+    ))
+
+
+def test_fig14_resnet_vs_sgemm_variability(
+    benchmark, longhorn_resnet, longhorn_sgemm
+):
+    """Takeaway 5: ResNet's variation exceeds SGEMM's on the same machine."""
+    def variations():
+        resnet = metric_boxstats(longhorn_resnet, METRIC_PERFORMANCE,
+                                 per_gpu_median=False).variation
+        sg = metric_boxstats(longhorn_sgemm, METRIC_PERFORMANCE,
+                             per_gpu_median=False).variation
+        return resnet, sg
+
+    v_resnet, v_sgemm = benchmark(variations)
+    emit(None, "Takeaway 5: application-specific variability",
+         [("ResNet-50 variation", "22%", pct(v_resnet)),
+          ("SGEMM variation", "9%", pct(v_sgemm))])
+    assert v_resnet > 1.4 * v_sgemm

@@ -1,0 +1,66 @@
+"""Fig. 15: multi-GPU ResNet-50 scatter plots on Longhorn.
+
+Paper: iteration duration and frequency are almost uncorrelated (rho =
+-0.01) because most runs sit at 1530 MHz; duration and power are negatively
+correlated (-0.48); and the c002 stragglers form the paradoxical cloud —
+max clocks, terrible iteration times, power as low as 76 W — because the
+healthy GPUs on a sick node spend iterations busy-waiting.
+"""
+
+import numpy as np
+
+from _bench_util import emit
+from repro.core.correlation import paper_correlation_pairs
+from repro.telemetry.sample import (
+    METRIC_FREQUENCY,
+    METRIC_PERFORMANCE,
+    METRIC_POWER,
+)
+
+
+def test_fig15_correlations(benchmark, longhorn_resnet):
+    pairs = benchmark(paper_correlation_pairs, longhorn_resnet)
+    rows = [
+        ("perf_vs_frequency", "-0.01",
+         f"{pairs['perf_vs_frequency'].rho:+.2f}"),
+        ("perf_vs_power", "-0.48", f"{pairs['perf_vs_power'].rho:+.2f}"),
+    ]
+    emit(benchmark, "Fig. 15: ResNet-50 correlations", rows)
+
+    # Much weaker frequency coupling than SGEMM's -0.97, negative power
+    # coupling — the paper's qualitative contrast.
+    assert pairs["perf_vs_frequency"].rho > -0.75
+    assert -0.8 < pairs["perf_vs_power"].rho < -0.15
+
+
+def test_fig15_c002_straggler_cloud(benchmark, longhorn_resnet):
+    """Max-frequency, slow, low-power points concentrated in c002."""
+    def straggler_profile():
+        perf = longhorn_resnet[METRIC_PERFORMANCE]
+        freq = longhorn_resnet[METRIC_FREQUENCY]
+        power = longhorn_resnet[METRIC_POWER]
+        cab = longhorn_resnet["cabinet"]
+        slow = perf > np.median(perf) * 1.3
+        at_max = freq == 1530.0
+        cloud = slow & at_max
+        cabs, counts = np.unique(cab[cloud], return_counts=True)
+        top_cabinet = str(cabs[np.argmax(counts)]) if cloud.any() else ""
+        return (
+            int(cloud.sum()),
+            float(power[cloud].min()) if cloud.any() else np.nan,
+            top_cabinet,
+        )
+
+    n_cloud, p_min, top_cabinet = benchmark(straggler_profile)
+    rows = [
+        ("slow runs at 1530 MHz", ">0", str(n_cloud)),
+        ("their minimum power", "76 W", f"{p_min:.0f} W"),
+        ("most common cabinet in cloud", "c002", top_cabinet),
+    ]
+    emit(None, "Fig. 15: the c002 straggler cloud", rows)
+
+    # Some stragglers come from the sick c002 silicon, others from rare
+    # pathological runs on arbitrary nodes — both clouds exist in Fig. 15.
+    assert n_cloud > 0
+    assert p_min < 160.0        # far below the healthy-median power
+    assert top_cabinet == "c002"

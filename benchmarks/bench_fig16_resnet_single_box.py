@@ -1,0 +1,65 @@
+"""Fig. 16: single-GPU ResNet-50 (batch scaled to 16).
+
+Paper: all GPUs at the 1530 MHz boost with power well within TDP; iteration
+durations lower than multi-GPU; still 14% performance variation and 24%
+power variation; the bulk-synchronous amplification is gone, so the c002
+stragglers hurt less than in the 4-GPU runs.
+"""
+
+import numpy as np
+
+from _bench_util import emit, pct
+from repro.core import metric_boxstats
+from repro.telemetry.sample import (
+    METRIC_FREQUENCY,
+    METRIC_PERFORMANCE,
+    METRIC_POWER,
+)
+
+
+def test_fig16_single_gpu_resnet(benchmark, longhorn_resnet_single,
+                                 longhorn_resnet):
+    perf = metric_boxstats(longhorn_resnet_single, METRIC_PERFORMANCE,
+                           per_gpu_median=False)
+    power = metric_boxstats(longhorn_resnet_single, METRIC_POWER,
+                            per_gpu_median=False)
+    freq = longhorn_resnet_single[METRIC_FREQUENCY]
+    multi_perf = metric_boxstats(longhorn_resnet, METRIC_PERFORMANCE,
+                                 per_gpu_median=False)
+
+    rows = [
+        ("iteration-duration variation", "14%", pct(perf.variation)),
+        ("power variation", "24%", pct(power.variation)),
+        ("runs at the 1530 MHz boost", "~all", pct((freq == 1530.0).mean())),
+        ("iteration duration vs multi-GPU", "lower",
+         f"{perf.median:.0f} vs {multi_perf.median:.0f} ms"),
+    ]
+    emit(benchmark, "Fig. 16: single-GPU ResNet-50", rows)
+
+    assert 0.07 < perf.variation < 0.25
+    assert 0.1 < power.variation < 0.6
+    assert (freq == 1530.0).mean() > 0.9
+    assert perf.median < multi_perf.median
+
+    benchmark(lambda: metric_boxstats(
+        longhorn_resnet_single, METRIC_PERFORMANCE, per_gpu_median=False
+    ))
+
+
+def test_fig16_bulk_sync_amplification(
+    benchmark, longhorn_resnet, longhorn_resnet_single
+):
+    """Multi-GPU jobs 'run as fast as the slowest GPU' (Section V-A):
+    the 4-GPU variation exceeds the single-GPU variation."""
+    def variations():
+        multi = metric_boxstats(longhorn_resnet, METRIC_PERFORMANCE,
+                                per_gpu_median=False).variation
+        single = metric_boxstats(longhorn_resnet_single, METRIC_PERFORMANCE,
+                                 per_gpu_median=False).variation
+        return multi, single
+
+    multi, single = benchmark(variations)
+    emit(None, "Fig. 16 vs 14: bulk-synchronous amplification",
+         [("multi-GPU variation", "22%", pct(multi)),
+          ("single-GPU variation", "14%", pct(single))])
+    assert multi > single

@@ -1,0 +1,61 @@
+"""Fig. 17: multi-GPU BERT pre-training on Longhorn.
+
+Paper: median power ~40 W below ResNet's (less compute-intense GEMMs);
+still large power variability (~87%); lower performance variability (8%);
+and the outlier nodes are the *same* c002 nodes as ResNet's (Takeaway 6).
+"""
+
+import numpy as np
+
+from _bench_util import emit, pct
+from repro.core import flag_outlier_gpus, metric_boxstats, persistent_outliers
+from repro.telemetry.sample import METRIC_PERFORMANCE, METRIC_POWER
+
+
+def test_fig17_bert_stats(benchmark, longhorn_bert, longhorn_resnet):
+    perf = metric_boxstats(longhorn_bert, METRIC_PERFORMANCE,
+                           per_gpu_median=False)
+    power = metric_boxstats(longhorn_bert, METRIC_POWER,
+                            per_gpu_median=False)
+    resnet_power = metric_boxstats(longhorn_resnet, METRIC_POWER,
+                                   per_gpu_median=False)
+
+    rows = [
+        ("performance variation", "8%", pct(perf.variation)),
+        ("power variation", "87%", pct(power.variation)),
+        ("median power below ResNet", "~40 W",
+         f"{resnet_power.median - power.median:.0f} W"),
+    ]
+    emit(benchmark, "Fig. 17: BERT on Longhorn", rows)
+
+    assert 0.04 < perf.variation < 0.16
+    assert power.variation > 0.4
+    assert resnet_power.median - power.median > 10.0
+
+    benchmark(lambda: metric_boxstats(
+        longhorn_bert, METRIC_PERFORMANCE, per_gpu_median=False
+    ))
+
+
+def test_fig17_takeaway6_shared_outlier_nodes(
+    benchmark, longhorn_bert, longhorn_resnet
+):
+    """BERT's and ResNet-50's outlier nodes are the same."""
+    def overlap():
+        bert_report = flag_outlier_gpus(longhorn_bert)
+        resnet_report = flag_outlier_gpus(longhorn_resnet)
+        shared = persistent_outliers([bert_report, resnet_report])
+        return bert_report, resnet_report, shared
+
+    bert_report, resnet_report, shared = benchmark(overlap)
+    rows = [
+        ("BERT outlier nodes", "c002...",
+         ",".join(list(bert_report.node_labels)[:3])),
+        ("ResNet outlier nodes", "c002...",
+         ",".join(list(resnet_report.node_labels)[:3])),
+        ("GPUs flagged by both", ">0", str(len(shared))),
+    ]
+    emit(None, "Takeaway 6: persistent outliers across ML apps", rows)
+
+    assert shared
+    assert set(bert_report.node_labels) & set(resnet_report.node_labels)

@@ -1,0 +1,56 @@
+"""Fig. 18: LAMMPS (REAXC) on Longhorn.
+
+Paper: the memory-bound extreme — frequency saturates at 1530 MHz, median
+power <= 180 W, performance varies by *less than 1%*, yet power still
+varies ~20% and temperatures spread 8 degC (Q1-Q3).  Takeaway 7.
+"""
+
+import numpy as np
+
+from _bench_util import emit, pct
+from repro.core import metric_boxstats
+from repro.telemetry.sample import (
+    METRIC_FREQUENCY,
+    METRIC_PERFORMANCE,
+    METRIC_POWER,
+    METRIC_TEMPERATURE,
+)
+
+
+def test_fig18_lammps_stats(benchmark, longhorn_lammps):
+    perf = metric_boxstats(longhorn_lammps, METRIC_PERFORMANCE)
+    power = metric_boxstats(longhorn_lammps, METRIC_POWER)
+    temp = metric_boxstats(longhorn_lammps, METRIC_TEMPERATURE)
+    freq = longhorn_lammps[METRIC_FREQUENCY]
+
+    rows = [
+        ("performance variation", "<1%", pct(perf.variation)),
+        ("power variation", "20%", pct(power.variation)),
+        ("median power", "<=180 W", f"{power.median:.0f} W"),
+        ("frequency pinned at boost", "yes", pct((freq == 1530.0).mean())),
+        ("temperature Q1-Q3", "8 C", f"{temp.iqr:.0f} C"),
+    ]
+    emit(benchmark, "Fig. 18: LAMMPS on Longhorn", rows)
+
+    assert perf.variation < 0.03
+    assert 0.08 < power.variation < 0.45
+    assert power.median < 200.0
+    assert (freq == 1530.0).mean() > 0.9
+    assert 2.0 < temp.iqr < 16.0
+
+    benchmark(lambda: metric_boxstats(longhorn_lammps, METRIC_PERFORMANCE))
+
+
+def test_fig18_memory_bound_insensitivity(
+    benchmark, longhorn_lammps, longhorn_sgemm
+):
+    """Takeaway 7/8: memory-bound work can use bad GPUs nearly for free."""
+    def variation_ratio():
+        lammps = metric_boxstats(longhorn_lammps, METRIC_PERFORMANCE).variation
+        sg = metric_boxstats(longhorn_sgemm, METRIC_PERFORMANCE).variation
+        return sg / lammps
+
+    ratio = benchmark(variation_ratio)
+    emit(None, "Takeaway 7: SGEMM/LAMMPS variation ratio",
+         [("compute vs memory-bound variability", ">=9x", f"{ratio:.1f}x")])
+    assert ratio > 3.0

@@ -1,0 +1,64 @@
+"""Fig. 19: PageRank (rajat30) on Longhorn.
+
+Paper: like LAMMPS, frequency pins at boost and performance varies only
+~1%, while median power still varies ~22% — Takeaway 8.  PageRank differs
+from LAMMPS in mechanism: memory-*latency* bound (61% dependency stalls)
+rather than bandwidth bound.
+"""
+
+import numpy as np
+
+from _bench_util import emit, pct
+from repro.core import metric_boxstats
+from repro.telemetry.sample import (
+    METRIC_FREQUENCY,
+    METRIC_PERFORMANCE,
+    METRIC_POWER,
+)
+
+
+def test_fig19_pagerank_stats(benchmark, longhorn_pagerank):
+    perf = metric_boxstats(longhorn_pagerank, METRIC_PERFORMANCE)
+    power = metric_boxstats(longhorn_pagerank, METRIC_POWER)
+    freq = longhorn_pagerank[METRIC_FREQUENCY]
+
+    rows = [
+        ("performance variation", "1%", pct(perf.variation)),
+        ("power variation", "22%", pct(power.variation)),
+        ("frequency pinned at boost", "yes", pct((freq == 1530.0).mean())),
+        ("kernel duration above 1 ms floor", ">1 ms",
+         f"{perf.median:.1f} ms"),
+    ]
+    emit(benchmark, "Fig. 19: PageRank on Longhorn", rows)
+
+    assert perf.variation < 0.03
+    assert 0.08 < power.variation < 0.5
+    assert (freq == 1530.0).mean() > 0.9
+    assert perf.median > 1.0
+
+    benchmark(lambda: metric_boxstats(longhorn_pagerank, METRIC_PERFORMANCE))
+
+
+def test_fig19_real_spmv_substrate(benchmark):
+    """The workload's parameters derive from a real pull-based PageRank."""
+    import scipy.sparse as sp
+
+    from repro.workloads.pagerank import (
+        derive_spmv_phase,
+        pagerank_pull,
+        synthesize_circuit_graph,
+    )
+
+    adj = synthesize_circuit_graph(n_nodes=30_000)
+    rank, iterations = benchmark.pedantic(
+        pagerank_pull, args=(adj,), rounds=3, iterations=1
+    )
+    phase = derive_spmv_phase(adj)
+    rows = [
+        ("rank vector sums to 1", "1.0", f"{rank.sum():.6f}"),
+        ("iterations to converge", "<200", str(iterations)),
+        ("SpMV FLOPs per sweep", "2*nnz", f"{phase.compute_flop:.2e}"),
+    ]
+    emit(None, "Fig. 19: real SpMV PageRank substrate", rows)
+    assert abs(rank.sum() - 1.0) < 1e-9
+    assert iterations < 200

@@ -1,0 +1,46 @@
+"""Fig. 20: Summit day-of-week consistency.
+
+Paper: ~8% performance variation on every day of the week across eight
+weeks, with power-outlier counts swinging by day (more on Mondays,
+Wednesdays, Fridays) without moving the performance statistics —
+Takeaway 9: the variability is not transient.
+"""
+
+import numpy as np
+
+from _bench_util import emit, pct
+from repro.core.daily import day_of_week_stats, weekday_consistency
+
+
+def test_fig20_summit_weekday_stats(benchmark, summit_sgemm_weeks):
+    stats = benchmark(day_of_week_stats, summit_sgemm_weeks)
+    assert len(stats) == 7
+
+    rows = [
+        (f"{day} perf variation / power outliers", "~8% / varies",
+         f"{pct(s.performance.variation)} / {s.n_power_outliers}")
+        for day, s in stats.items()
+    ]
+    emit(None, "Fig. 20: Summit by day of week", rows)
+
+    variations = [s.performance.variation for s in stats.values()]
+    assert min(variations) > 0.04
+    assert max(variations) < 0.13
+
+
+def test_fig20_consistency_summary(benchmark, summit_sgemm_weeks):
+    stats = day_of_week_stats(summit_sgemm_weeks)
+    summary = benchmark(weekday_consistency, stats)
+    rows = [
+        ("daily median drift", "~0", pct(summary["median_drift"])),
+        ("daily variation spread", "small", pct(summary["variation_spread"])),
+        ("power-outlier imbalance", ">1x",
+         f"{summary['outlier_imbalance']:.1f}x"),
+    ]
+    emit(None, "Takeaway 9 on Summit", rows)
+
+    assert summary["median_drift"] < 0.01
+    assert summary["variation_spread"] < 0.05
+    # Outlier counts swing day to day (partial coverage hits different
+    # defective columns), while performance stays put.
+    assert summary["outlier_imbalance"] > 1.0

@@ -1,0 +1,54 @@
+"""Fig. 23 (Appendix B-A): Summit row H, per-column breakdown.
+
+Paper: most of row H's columns are clean; the outliers concentrate in a
+handful of columns (13, 14, 28, 33, 36, 50), with columns 33/36 showing
+outliers across all four metrics.
+"""
+
+import numpy as np
+
+from _bench_util import emit, grouped_box_art
+from repro.core import grouped_boxstats, metric_boxstats
+from repro.telemetry.sample import METRIC_PERFORMANCE, METRIC_POWER
+
+
+def _row_h(summit_sgemm):
+    return summit_sgemm.where(row="h")
+
+
+def test_fig23_rowh_column_breakdown(benchmark, summit_sgemm):
+    row_h = _row_h(summit_sgemm)
+    grouped = benchmark(
+        grouped_boxstats, row_h, METRIC_PERFORMANCE, "column"
+    )
+    assert len(grouped) == 36
+    print("\nFig. 23 (row H kernel duration by column, first 12):")
+    print(grouped_box_art(grouped))
+
+
+def test_fig23_outliers_concentrate_in_few_columns(benchmark, summit_sgemm):
+    row_h = _row_h(summit_sgemm)
+
+    def outlier_columns():
+        # The paper's Fig. 24 caption uses "at least one reported power
+        # level < 290 W" as the outlier criterion for this population.
+        power = row_h[METRIC_POWER]
+        cols = row_h["column"]
+        mask = power < 290.0
+        cols_with, counts = np.unique(cols[mask], return_counts=True)
+        return cols_with, counts
+
+    cols_with, counts = benchmark(outlier_columns)
+    total_cols = 36
+    rows = [
+        ("columns with power outliers", "6-ish of 29",
+         f"{cols_with.shape[0]} of {total_cols}"),
+        ("busiest columns", "13,14,28,33,36,50",
+         ",".join(str(c) for c in cols_with[np.argsort(counts)[::-1][:6]])),
+    ]
+    emit(None, "Fig. 23: row-H outlier concentration", rows)
+
+    # Concentration: far fewer columns carry outliers than exist.
+    assert 0 < cols_with.shape[0] <= total_cols // 2
+    # Column 36 (the forced power-delivery cluster) is among them.
+    assert 36 in set(int(c) for c in cols_with)

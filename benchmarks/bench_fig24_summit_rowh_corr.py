@@ -1,0 +1,46 @@
+"""Fig. 24 (Appendix B-A): correlations among row-H GPUs with power outliers.
+
+Paper: within the sub-290 W population, performance and frequency remain
+well correlated, but the power outliers complete around a common ~2510 ms
+while drawing anywhere from 250-285 W — power decouples from runtime; and
+their temperatures are unremarkable (water cooling does its job).
+"""
+
+import numpy as np
+
+from _bench_util import emit
+from repro.core.correlation import pearson
+from repro.telemetry.sample import (
+    METRIC_FREQUENCY,
+    METRIC_PERFORMANCE,
+    METRIC_POWER,
+    METRIC_TEMPERATURE,
+)
+
+
+def test_fig24_rowh_outlier_correlations(benchmark, summit_sgemm):
+    row_h = summit_sgemm.where(row="h")
+
+    def analyze():
+        low_power = row_h.filter(row_h[METRIC_POWER] < 290.0)
+        rho_pf = pearson(low_power[METRIC_PERFORMANCE],
+                         low_power[METRIC_FREQUENCY])
+        runtime_spread = float(np.ptp(low_power[METRIC_PERFORMANCE])
+                               / np.median(low_power[METRIC_PERFORMANCE]))
+        power_span = float(np.ptp(low_power[METRIC_POWER]))
+        temp_max = float(low_power[METRIC_TEMPERATURE].max())
+        return low_power.n_rows, rho_pf, runtime_spread, power_span, temp_max
+
+    n, rho_pf, runtime_spread, power_span, temp_max = benchmark(analyze)
+    rows = [
+        ("sub-290 W row-H observations", ">0", str(n)),
+        ("rho(perf, freq) among them", "correlated", f"{rho_pf:+.2f}"),
+        ("their power span", "250-285 W (~35 W)", f"{power_span:.0f} W"),
+        ("their temperatures", "unremarkable (<62 C)", f"max {temp_max:.0f} C"),
+    ]
+    emit(None, "Fig. 24: row-H power-outlier population", rows)
+
+    assert n >= 5
+    assert rho_pf < -0.5          # frequency still explains runtime
+    assert power_span > 10.0      # wide power range at similar runtimes
+    assert temp_max < 70.0        # no thermal signature (water cooling)

@@ -1,0 +1,60 @@
+"""Fig. 26 (Appendix B-B): Summit row H, column 36, per-node breakdown.
+
+Paper: of the column's 16 nodes, a specific subset (~7) produce the
+outliers while the rest are clean; nodes 10 and 11 dominate the frequency/
+performance/power outliers; the *only* temperature outliers sit on node 2 —
+which has no performance or power outliers at all.
+"""
+
+import numpy as np
+
+from _bench_util import emit
+from repro.core import node_outlier_counts
+from repro.telemetry.sample import (
+    METRIC_PERFORMANCE,
+    METRIC_POWER,
+    METRIC_TEMPERATURE,
+)
+
+
+def test_fig26_col36_node_breakdown(benchmark, summit_sgemm):
+    col36 = summit_sgemm.where(row="h", column=36)
+    assert col36.n_rows > 0
+
+    counts = benchmark(node_outlier_counts, col36)
+
+    n_nodes_total = np.unique(col36["node_label"]).shape[0]
+    nodes_with = sorted(counts)
+    rows = [
+        ("nodes in the column", "16", str(n_nodes_total)),
+        ("nodes with any outlier", "~7", str(len(nodes_with))),
+        ("example outlier nodes", "n02, n10, n11 ...",
+         ",".join(n.rsplit("-", 1)[-1] for n in nodes_with[:6])),
+    ]
+    emit(None, "Fig. 26: row H column 36 node breakdown", rows)
+
+    assert n_nodes_total == 16
+    assert 2 <= len(nodes_with) <= 12  # a subset, not everyone
+
+
+def test_fig26_node2_temperature_only(benchmark, summit_sgemm):
+    """Node 2's outliers are exclusively thermal (hot-runner TIM defect)."""
+    col36 = summit_sgemm.where(row="h", column=36)
+
+    def node2_profile():
+        counts = node_outlier_counts(
+            col36,
+            metrics=(METRIC_PERFORMANCE, METRIC_POWER, METRIC_TEMPERATURE),
+        )
+        return counts.get("rowh-col36-n02", {})
+
+    node2 = benchmark(node2_profile)
+    emit(None, "Fig. 26: rowh-col36-n02",
+         [("temperature outliers", ">=1",
+           str(node2.get(METRIC_TEMPERATURE, 0))),
+          ("performance outliers", "0",
+           str(node2.get(METRIC_PERFORMANCE, 0)))])
+
+    assert node2.get(METRIC_TEMPERATURE, 0) >= 1
+    # Water cooling keeps the hot runner performing normally.
+    assert node2.get(METRIC_PERFORMANCE, 0) <= 1

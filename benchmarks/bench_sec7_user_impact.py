@@ -1,0 +1,60 @@
+"""Section VII: impact on users and application-aware placement.
+
+Paper: a single-GPU SGEMM job on Longhorn has an ~18% chance of landing on
+a GPU 6-7% slower than the fastest ones (9% on Summit); a 4-GPU job on
+Longhorn hits a slow GPU 40-50% of the time.  Operators can mitigate by
+scheduling compute-intense work onto low-variability nodes.
+"""
+
+from _bench_util import emit, pct
+from repro.core import plan_placements, slow_assignment_probability
+from repro.workloads import bert_pretraining, lammps_reaxc, pagerank, sgemm
+
+
+def test_sec7_slow_assignment_probabilities(
+    benchmark, longhorn_sgemm, summit_sgemm
+):
+    lh_single = slow_assignment_probability(
+        longhorn_sgemm, n_gpus=1, slow_threshold=0.06
+    )
+    lh_node = slow_assignment_probability(
+        longhorn_sgemm, n_gpus=4, slow_threshold=0.06
+    )
+    summit_single = slow_assignment_probability(
+        summit_sgemm, n_gpus=1, slow_threshold=0.06
+    )
+
+    rows = [
+        ("Longhorn single-GPU job", "18%", pct(lh_single)),
+        ("Longhorn 4-GPU job", "40-50%", pct(lh_node)),
+        ("Summit single-GPU job", "9%", pct(summit_single)),
+    ]
+    emit(benchmark, "Sec. VII: chance of drawing a slow GPU", rows)
+
+    assert 0.03 < lh_single < 0.40
+    assert lh_node > 1.8 * lh_single        # multi-GPU amplification
+    assert 0.2 < lh_node < 0.75
+    assert summit_single < lh_single * 2.5
+
+    benchmark(lambda: slow_assignment_probability(longhorn_sgemm, n_gpus=4))
+
+
+def test_sec7_variability_aware_placement(benchmark, longhorn_sgemm):
+    workloads = [sgemm(), bert_pretraining(), lammps_reaxc(), pagerank()]
+    plan = benchmark(plan_placements, longhorn_sgemm, workloads)
+
+    rows = []
+    for name in ("SGEMM", "BERT", "LAMMPS", "PageRank"):
+        rows.append((
+            f"{name}: planned vs random slowdown",
+            "planned <= random",
+            f"{plan.expected_slowdowns[name]:.3f}x vs "
+            f"{plan.baseline_slowdowns[name]:.3f}x",
+        ))
+    emit(None, "Sec. VII: application-aware placement", rows)
+
+    # Sensitive workloads benefit; memory-bound ones barely care.
+    assert plan.expected_slowdowns["SGEMM"] <= plan.baseline_slowdowns["SGEMM"]
+    assert plan.expected_slowdowns["PageRank"] < 1.02
+    # Every workload got a distinct node.
+    assert len(set(plan.assignments.values())) == len(workloads)

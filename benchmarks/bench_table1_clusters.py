@@ -1,0 +1,50 @@
+"""Table I: summary of clusters studied.
+
+Rebuilds every preset and prints the inventory row-for-row; the benchmark
+measures full-cluster construction (silicon sampling + defect assignment +
+cooling environment for 27,648 GPUs on Summit).
+"""
+
+import pytest
+
+from _bench_util import emit
+from repro.cluster import get_preset, list_presets, longhorn, summit
+
+#: (cluster, GPU, #GPUs, #nodes, cooling) from Table I.
+PAPER_TABLE_1 = {
+    "CloudLab": ("V100", 12, 3, "air"),
+    "Longhorn": ("V100", 416, 104, "air"),
+    "Frontera": ("RTX5000", 360, 90, "oil"),
+    "Vortex": ("V100", 216, 54, "water"),
+    "Summit": ("V100", 27648, 4608, "water"),
+    "Corona": ("MI60", 328, 82, "air"),
+}
+
+
+def test_table1_inventory(benchmark):
+    clusters = {
+        name: get_preset(name, seed=2022) for name in list_presets()
+    }
+
+    rows = []
+    for name, cluster in clusters.items():
+        cfg = cluster.config()
+        gpu, n_gpus, n_nodes, cooling = PAPER_TABLE_1[name]
+        rows.append((
+            f"{name}: GPU/#GPUs/#nodes/cooling",
+            f"{gpu}/{n_gpus}/{n_nodes}/{cooling}",
+            f"{cfg.gpu_name}/{cfg.n_gpus}/{cfg.n_nodes}/{cfg.cooling}",
+        ))
+        assert cfg.gpu_name == gpu
+        assert cfg.n_gpus == n_gpus
+        assert cfg.n_nodes == n_nodes
+        assert cfg.cooling == cooling
+    emit(benchmark, "Table I: clusters studied", rows)
+
+    benchmark(longhorn, seed=1)
+
+
+def test_table1_summit_scale_build(benchmark):
+    """Constructing the 27,648-GPU Summit model."""
+    cluster = benchmark(summit, seed=7)
+    assert cluster.n_gpus == 27648

@@ -1,0 +1,66 @@
+"""Table II: summary of applications studied, plus their classification.
+
+Verifies the workload inventory (inputs, GPUs per job, performance metric)
+and the profiler characterization that drives Section VII's classification.
+"""
+
+from _bench_util import emit
+from repro.core.classify import classify_workload
+from repro.gpu.specs import V100
+from repro.workloads import get_workload, list_workloads
+
+#: workload -> (n_gpus, units, metric, expected class) from Table II + Sec V.
+PAPER_TABLE_2 = {
+    "sgemm": (1, 100, "kernel_ms", "compute-bound"),
+    "resnet50": (4, 500, "iteration_ms", "compute-bound"),
+    "bert": (4, 250, "iteration_ms", "balanced"),
+    "lammps": (1, 12, "aggregate_ms", "memory-bandwidth-bound"),
+    "pagerank": (1, 100, "kernel_ms", "memory-latency-bound"),
+}
+
+
+def test_table2_inventory(benchmark):
+    rows = []
+    for name, (n_gpus, units, metric, app_class) in PAPER_TABLE_2.items():
+        wl = get_workload(name)
+        measured_class = classify_workload(wl).value
+        rows.append((
+            f"{wl.name}: GPUs/units/metric/class",
+            f"{n_gpus}/{units}/{metric.split('_')[0]}/{app_class}",
+            f"{wl.n_gpus}/{wl.units_per_run}/"
+            f"{wl.performance_metric.split('_')[0]}/{measured_class}",
+        ))
+        assert wl.n_gpus == n_gpus
+        assert wl.performance_metric == metric
+        assert measured_class == app_class
+    emit(benchmark, "Table II: applications studied", rows)
+
+    benchmark(lambda: [get_workload(n) for n in list_workloads()])
+
+
+def test_table2_profiler_counters(benchmark):
+    """FU-utilization and stall numbers quoted in Sections V-A..V-D."""
+    sgemm = get_workload("sgemm")
+    resnet = get_workload("resnet50")
+    lammps = get_workload("lammps")
+    pagerank = get_workload("pagerank")
+
+    rows = [
+        ("SGEMM FU utilization (0-10)", "10", f"{sgemm.fu_utilization:.0f}"),
+        ("ResNet-50 FU utilization", "5.4", f"{resnet.fu_utilization:.1f}"),
+        ("ResNet/LAMMPS FU ratio", "4.3x",
+         f"{resnet.fu_utilization / lammps.fu_utilization:.1f}x"),
+        ("PageRank memory stalls", "61%", f"{pagerank.mem_stall_frac:.0%}"),
+        ("LAMMPS memory stalls", "7%", f"{lammps.mem_stall_frac:.0%}"),
+        ("SGEMM memory stalls", "3%", f"{sgemm.mem_stall_frac:.0%}"),
+        ("LAMMPS/PageRank DRAM-util ratio", "4.24x",
+         f"{lammps.dram_utilization_profile / pagerank.dram_utilization_profile:.1f}x"),
+    ]
+    emit(benchmark, "Table II: profiler characterization", rows)
+    assert 3.5 < resnet.fu_utilization / lammps.fu_utilization < 5.0
+
+    benchmark(
+        lambda: get_workload("sgemm").steady_load(
+            V100.f_max_mhz, V100.compute_throughput, V100.mem_bandwidth_gbs
+        )
+    )

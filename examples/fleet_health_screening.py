@@ -1,0 +1,72 @@
+"""Operator workflow: periodic fleet screening and maintenance triage.
+
+Section VII: the paper's benchmarking "helped TACC's operators identify and
+perform targeted maintenance on problematic nodes" and motivates periodic
+automated screening.  This example is that tool:
+
+1. run a short SGEMM screening campaign plus an ML canary (ResNet),
+2. flag outlier GPUs per metric,
+3. cross-reference the two applications — GPUs bad in *both* are hardware
+   problems, not software flukes,
+4. emit a ranked maintenance ticket list and archive the raw measurements.
+
+Run:  python examples/fleet_health_screening.py
+"""
+
+from pathlib import Path
+
+from repro import (
+    CampaignConfig,
+    flag_outlier_gpus,
+    longhorn,
+    persistent_outliers,
+    resnet50,
+    run_campaign,
+    sgemm,
+    write_csv,
+)
+from repro.core import node_outlier_counts, worst_performers
+from repro.telemetry.sample import METRIC_PERFORMANCE, METRIC_POWER
+
+
+def main() -> None:
+    cluster = longhorn(seed=7)
+    config = CampaignConfig(days=3, runs_per_day=2)
+
+    print(f"Screening {cluster.name} ({cluster.n_gpus} GPUs)...")
+    sgemm_data = run_campaign(cluster, sgemm(), config)
+    resnet_data = run_campaign(cluster, resnet50(), config)
+
+    sgemm_report = flag_outlier_gpus(sgemm_data, METRIC_PERFORMANCE)
+    resnet_report = flag_outlier_gpus(resnet_data, METRIC_PERFORMANCE)
+    power_report = flag_outlier_gpus(sgemm_data, METRIC_POWER)
+
+    print(f"\nSGEMM performance outliers : {sgemm_report.n_outlier_gpus} GPUs "
+          f"on {len(sgemm_report.node_labels)} nodes")
+    print(f"ResNet performance outliers: {resnet_report.n_outlier_gpus} GPUs")
+    print(f"Power outliers             : {power_report.n_outlier_gpus} GPUs")
+
+    confirmed = persistent_outliers([sgemm_report, resnet_report])
+    print(f"\nConfirmed (flagged by both applications): "
+          f"{sorted(confirmed) or 'none'}")
+
+    print("\nPer-node outlier census (any metric):")
+    for node, metrics in list(node_outlier_counts(sgemm_data).items())[:8]:
+        detail = ", ".join(f"{m.split('_')[0]}:{c}" for m, c in metrics.items())
+        print(f"  {node:<14} {detail}")
+
+    print("\nMaintenance tickets (worst SGEMM performers):")
+    for rank, (gpu, median_ms) in enumerate(
+        worst_performers(sgemm_data, k=5), start=1
+    ):
+        tag = " <- confirmed by ML canary" if gpu in confirmed else ""
+        print(f"  #{rank} {gpu:<16} median {median_ms:.0f} ms{tag}")
+
+    out = Path("screening_longhorn.csv.gz")
+    write_csv(sgemm_data, out)
+    print(f"\nRaw measurements archived to {out} "
+          f"({sgemm_data.n_rows} rows)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""repro — reproduction of *Not All GPUs Are Created Equal* (SC 2022).
+
+A GPU-fleet variability simulator plus the paper's characterization suite.
+
+Quickstart::
+
+    from repro import longhorn, sgemm, VariabilitySuite, CampaignConfig
+
+    cluster = longhorn(seed=7)
+    suite = VariabilitySuite(cluster, CampaignConfig(days=7))
+    report = suite.characterize(sgemm())
+    print(report.render())
+    print(f"performance variation: {report.performance_variation:.1%}")
+
+Layers (see DESIGN.md):
+
+* :mod:`repro.gpu` — SKU specs, silicon lottery, power/thermal/DVFS models;
+* :mod:`repro.cluster` — topologies, cooling plants, facility drift, the
+  six paper cluster presets;
+* :mod:`repro.workloads` — SGEMM, ResNet-50, BERT, LAMMPS, PageRank;
+* :mod:`repro.sim` — steady-state runs, the reactive engine, campaigns;
+* :mod:`repro.telemetry` — sensors, traces, datasets, persistence;
+* :mod:`repro.core` — the analysis/characterization suite (works on real
+  cluster telemetry too);
+* :mod:`repro.hostbench` — real CPU microkernels through the same pipeline.
+"""
+
+from .cluster import (
+    Cluster,
+    cloudlab,
+    corona,
+    frontera,
+    get_preset,
+    list_presets,
+    longhorn,
+    summit,
+    vortex,
+)
+from .core import (
+    BoxStats,
+    ClusterReport,
+    VariabilitySuite,
+    correlation_matrix,
+    flag_outlier_gpus,
+    metric_boxstats,
+    normalized_performance,
+    pearson,
+    per_gpu_repeatability,
+    persistent_outliers,
+    plan_placements,
+    project_variation,
+    required_sample_size,
+    slow_assignment_probability,
+)
+from .gpu import MI60, RTX5000, V100, GPUFleet, get_spec
+from .mitigation import (
+    BlacklistPolicy,
+    allocate_equal_frequency,
+    allocate_uniform,
+    build_blacklist,
+    evaluate_allocation,
+    evaluate_blacklist,
+    evaluate_sharding,
+    weighted_shards,
+)
+from .sim import (
+    CampaignConfig,
+    run_campaign,
+    simulate_run,
+    simulate_timeseries,
+)
+from .telemetry import MeasurementDataset, read_csv, write_csv
+from .workloads import (
+    Workload,
+    bert_pretraining,
+    get_workload,
+    lammps_reaxc,
+    list_workloads,
+    pagerank,
+    resnet50,
+    sgemm,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # clusters
+    "Cluster",
+    "longhorn",
+    "summit",
+    "frontera",
+    "vortex",
+    "corona",
+    "cloudlab",
+    "get_preset",
+    "list_presets",
+    # gpu
+    "V100",
+    "RTX5000",
+    "MI60",
+    "GPUFleet",
+    "get_spec",
+    # workloads
+    "Workload",
+    "sgemm",
+    "resnet50",
+    "bert_pretraining",
+    "lammps_reaxc",
+    "pagerank",
+    "get_workload",
+    "list_workloads",
+    # sim
+    "CampaignConfig",
+    "run_campaign",
+    "simulate_run",
+    "simulate_timeseries",
+    # telemetry
+    "MeasurementDataset",
+    "read_csv",
+    "write_csv",
+    # core
+    "BoxStats",
+    "VariabilitySuite",
+    "ClusterReport",
+    "metric_boxstats",
+    "normalized_performance",
+    "correlation_matrix",
+    "pearson",
+    "flag_outlier_gpus",
+    "persistent_outliers",
+    "per_gpu_repeatability",
+    "required_sample_size",
+    "project_variation",
+    "slow_assignment_probability",
+    "plan_placements",
+    # mitigation (Section VII, implemented)
+    "BlacklistPolicy",
+    "build_blacklist",
+    "evaluate_blacklist",
+    "weighted_shards",
+    "evaluate_sharding",
+    "allocate_uniform",
+    "allocate_equal_frequency",
+    "evaluate_allocation",
+]

@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The operator-facing entry points, mirroring how the paper's artifact is
+driven from the shell:
+
+``list``
+    Inventory of cluster presets and workloads.
+``characterize``
+    Run a measurement campaign and print the full variability report
+    (optionally archiving the raw measurements to CSV).
+``screen``
+    Maintenance triage: flag outliers across one or more applications and
+    print confirmed offenders.
+``sweep``
+    The Fig.-22 power-limit sweep on an admin-access cluster.
+``project``
+    Scaled-normal projection of a campaign's variability to a larger
+    cluster (Section IV-D).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .cluster import get_preset, list_presets
+from .core import (
+    VariabilitySuite,
+    flag_outlier_gpus,
+    metric_boxstats,
+    persistent_outliers,
+    project_variation,
+)
+from .core.boxstats import BoxStats
+from .errors import ReproError
+from .sim import CampaignConfig, run_campaign, simulate_run
+from .telemetry.io import write_csv
+from .telemetry.sample import METRIC_PERFORMANCE
+from .workloads import get_workload, list_workloads
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU fleet variability characterization "
+                    "(SC'22 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list cluster presets and workloads")
+
+    p = sub.add_parser("characterize",
+                       help="campaign + full variability report")
+    _add_cluster_args(p)
+    p.add_argument("--workload", default="sgemm",
+                   help="workload name (see `repro list`)")
+    p.add_argument("--days", type=int, default=7)
+    p.add_argument("--runs-per-day", type=int, default=1)
+    p.add_argument("--coverage", type=float, default=1.0)
+    p.add_argument("--csv", metavar="PATH",
+                   help="archive raw measurements to (gzipped) CSV")
+
+    p = sub.add_parser("screen", help="outlier triage across applications")
+    _add_cluster_args(p)
+    p.add_argument("--workloads", default="sgemm,resnet50",
+                   help="comma-separated workload names")
+    p.add_argument("--days", type=int, default=3)
+    p.add_argument("--min-confirmations", type=int, default=2)
+
+    p = sub.add_parser("sweep", help="power-limit sweep (admin clusters)")
+    _add_cluster_args(p, default_cluster="cloudlab")
+    p.add_argument("--limits", default="300,250,200,150,100",
+                   help="comma-separated watt limits")
+    p.add_argument("--runs", type=int, default=6)
+
+    p = sub.add_parser("project",
+                       help="project variability to a larger cluster")
+    _add_cluster_args(p)
+    p.add_argument("--target-n", type=int, required=True,
+                   help="hypothetical cluster size (GPUs)")
+    p.add_argument("--days", type=int, default=5)
+
+    return parser
+
+
+def _add_cluster_args(p: argparse.ArgumentParser,
+                      default_cluster: str = "longhorn") -> None:
+    p.add_argument("--cluster", default=default_cluster,
+                   help="cluster preset name")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="shrink the cluster for quick looks (0-1]")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("cluster presets:")
+    for name in list_presets():
+        cluster = get_preset(name, scale=0.05 if name == "Summit" else 1.0)
+        cfg = cluster.config()
+        print(f"  {name:<10} {cfg.gpu_name:<8} {cfg.cooling:<6} "
+              f"{'(scaled preview)' if name == 'Summit' else f'{cfg.n_gpus} GPUs'}")
+    print("\nworkloads:")
+    for name in list_workloads():
+        wl = get_workload(name)
+        print(f"  {name:<14} {wl.n_gpus} GPU(s), metric "
+              f"{wl.performance_metric}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    cluster = get_preset(args.cluster, seed=args.seed, scale=args.scale)
+    workload = get_workload(args.workload)
+    suite = VariabilitySuite(cluster, CampaignConfig(
+        days=args.days, runs_per_day=args.runs_per_day,
+        coverage=args.coverage,
+    ))
+    dataset = suite.measure(workload)
+    report = suite.analyze(dataset)
+    print(report.render())
+    if args.csv:
+        write_csv(dataset, args.csv)
+        print(f"\nraw measurements written to {args.csv} "
+              f"({dataset.n_rows} rows)")
+    return 0
+
+
+def _cmd_screen(args: argparse.Namespace) -> int:
+    cluster = get_preset(args.cluster, seed=args.seed, scale=args.scale)
+    config = CampaignConfig(days=args.days)
+    reports = []
+    for name in args.workloads.split(","):
+        workload = get_workload(name.strip())
+        dataset = run_campaign(cluster, workload, config)
+        report = flag_outlier_gpus(dataset, METRIC_PERFORMANCE)
+        reports.append(report)
+        print(f"{workload.name:<18} {report.n_outlier_gpus:>3} outlier GPUs "
+              f"on nodes {list(report.node_labels)[:6]}")
+    confirmed = persistent_outliers(
+        reports, min_occurrences=min(args.min_confirmations, len(reports))
+    )
+    print(f"\nconfirmed outliers ({args.min_confirmations}+ apps): "
+          f"{sorted(confirmed) or 'none'}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    cluster = get_preset(args.cluster, seed=args.seed, scale=args.scale)
+    workload = get_workload("sgemm")
+    print(f"{'limit':>8} {'median':>10} {'variation':>10}")
+    for limit in (float(x) for x in args.limits.split(",")):
+        perf = np.concatenate([
+            simulate_run(cluster, workload, day=0, run_index=i,
+                         power_limit_w=limit).performance_ms
+            for i in range(args.runs)
+        ])
+        stats = BoxStats.from_values(perf)
+        print(f"{limit:>6.0f} W {stats.median:>8.0f} ms "
+              f"{stats.variation:>9.1%}")
+    return 0
+
+
+def _cmd_project(args: argparse.Namespace) -> int:
+    cluster = get_preset(args.cluster, seed=args.seed, scale=args.scale)
+    dataset = run_campaign(
+        cluster, get_workload("sgemm"), CampaignConfig(days=args.days)
+    )
+    measured = metric_boxstats(dataset, METRIC_PERFORMANCE)
+    med = dataset.per_gpu_median(METRIC_PERFORMANCE)
+    projected = project_variation(
+        med[METRIC_PERFORMANCE], args.target_n
+    )
+    print(f"measured on {cluster.name} ({cluster.n_gpus} GPUs): "
+          f"{measured.variation:.1%}")
+    print(f"projected at {args.target_n} GPUs: {projected:.1%}")
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "characterize": _cmd_characterize,
+    "screen": _cmd_screen,
+    "sweep": _cmd_sweep,
+    "project": _cmd_project,
+}

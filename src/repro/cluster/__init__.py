@@ -1,0 +1,54 @@
+"""Cluster substrate: machine-room topology, cooling plants, facilities.
+
+This subpackage turns a GPU population into a *cluster*: nodes with labels
+matching the paper's plots (``c002-010``, ``rowh-col36-n10``), cabinet /
+row-column grouping used for the per-group box plots, cooling technologies
+with their spatial temperature fields, facility-level day-to-day conditions,
+and the exclusive-node job allocator the paper's methodology relies on.
+"""
+
+from .topology import Topology, cabinet_topology, row_column_topology
+from .cooling import (
+    AirCooling,
+    CoolingEnvironment,
+    CoolingFault,
+    MineralOilCooling,
+    WaterCooling,
+)
+from .facility import FacilityModel
+from .cluster import Cluster, ClusterConfig
+from .presets import (
+    cloudlab,
+    corona,
+    frontera,
+    get_preset,
+    list_presets,
+    longhorn,
+    summit,
+    vortex,
+)
+from .allocator import Allocation, ExclusiveNodeAllocator
+
+__all__ = [
+    "Topology",
+    "cabinet_topology",
+    "row_column_topology",
+    "AirCooling",
+    "WaterCooling",
+    "MineralOilCooling",
+    "CoolingEnvironment",
+    "CoolingFault",
+    "FacilityModel",
+    "Cluster",
+    "ClusterConfig",
+    "cloudlab",
+    "corona",
+    "frontera",
+    "longhorn",
+    "summit",
+    "vortex",
+    "get_preset",
+    "list_presets",
+    "Allocation",
+    "ExclusiveNodeAllocator",
+]

@@ -1,0 +1,96 @@
+"""Job allocation: exclusive nodes, the way the paper's experiments ran.
+
+Section III: "we ensured there was no timesharing of our allocated nodes or
+GPUs during data collection" — every job gets whole nodes.  The allocator
+supports the two access patterns the study needs:
+
+* **sweep**: enumerate (nearly) every node, for the >90%-coverage
+  characterization campaigns;
+* **random**: draw nodes the way a batch scheduler would assign an
+  unsuspecting user, for the user-impact analysis of Section VII
+  ("40%-50% of the time they will be assigned a slower GPU").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AllocationError
+from .topology import Topology
+
+__all__ = ["Allocation", "ExclusiveNodeAllocator"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """GPUs granted to one job.
+
+    ``node_index`` identifies the (single) node; ``gpu_indices`` are global
+    GPU indices within the cluster.
+    """
+
+    node_index: int
+    gpu_indices: np.ndarray
+
+    @property
+    def n_gpus(self) -> int:
+        """Number of GPUs in the allocation."""
+        return int(self.gpu_indices.shape[0])
+
+
+class ExclusiveNodeAllocator:
+    """Grants exclusive single-node allocations on a topology."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+
+    def allocate_node(self, node_index: int, n_gpus: int | None = None) -> Allocation:
+        """All (or the first ``n_gpus``) GPUs of a specific node."""
+        gpus = self.topology.gpus_of_node(node_index)
+        if n_gpus is not None:
+            if not 1 <= n_gpus <= gpus.shape[0]:
+                raise AllocationError(
+                    f"requested {n_gpus} GPUs but node has {gpus.shape[0]}"
+                )
+            gpus = gpus[:n_gpus]
+        return Allocation(node_index=node_index, gpu_indices=gpus)
+
+    def sweep(
+        self,
+        n_gpus: int | None = None,
+        coverage: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ) -> list[Allocation]:
+        """One allocation per node, optionally covering a random subset.
+
+        ``coverage`` < 1 models shared-cluster reality: the study could not
+        always get every node (Vortex: 184 of 216 GPUs; Summit queue
+        placement varies by day).  Requires ``rng`` when < 1.
+        """
+        if not 0 < coverage <= 1:
+            raise AllocationError(f"coverage must be in (0, 1], got {coverage}")
+        nodes = np.arange(self.topology.n_nodes)
+        if coverage < 1.0:
+            if rng is None:
+                raise AllocationError("coverage < 1 requires an rng")
+            keep = max(1, int(round(self.topology.n_nodes * coverage)))
+            nodes = np.sort(rng.choice(nodes, size=keep, replace=False))
+        return [self.allocate_node(int(n), n_gpus) for n in nodes]
+
+    def random_assignment(
+        self, n_gpus: int, rng: np.random.Generator
+    ) -> Allocation:
+        """What a batch scheduler would hand an arbitrary user job."""
+        if not 1 <= n_gpus <= self.topology.gpus_per_node:
+            raise AllocationError(
+                f"jobs span one node; requested {n_gpus} GPUs but nodes have "
+                f"{self.topology.gpus_per_node}"
+            )
+        node = int(rng.integers(0, self.topology.n_nodes))
+        gpus = self.topology.gpus_of_node(node)
+        if n_gpus < gpus.shape[0]:
+            picked = rng.choice(gpus, size=n_gpus, replace=False)
+            gpus = np.sort(picked)
+        return Allocation(node_index=node, gpu_indices=gpus)

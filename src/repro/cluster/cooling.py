@@ -1,0 +1,183 @@
+"""Cooling-plant models: air, water, and mineral oil.
+
+Cooling technology is one of the paper's main axes (Table I).  Its
+signature in the data is the *coolant temperature field* each GPU sees:
+
+* **Air** (Longhorn, Corona, CloudLab): wide spatial spread — hot/cold
+  aisles (cabinet offsets), per-node placement, and serial preheating of
+  air through the chassis (slot gradient).  Junction temperature ranges
+  exceed 30 degC (Takeaway 1) and hot GPUs can hit the slowdown threshold
+  and thermally throttle (Corona, Section IV-D).
+* **Water** (Summit, Vortex): cold plates on a chilled loop — narrow spread
+  (Summit 40-62 degC, Vortex Q1-Q3 = 10 degC) but *no* reduction in
+  performance or power variability (Takeaway 3).
+* **Mineral oil** (Frontera): per-cabinet immersion baths stirred by pumps;
+  narrow spread (Q3-Q1 = 4 degC) around a high median (76 degC) —
+  "somewhere between air and water-cooling in effectiveness" (Section IV-F).
+
+Each model also accepts :class:`CoolingFault` entries — a degraded pump or
+blocked airflow raising the coolant temperature of one cabinet or node —
+which is how the Corona ``c115`` hot outlier is injected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import require, require_positive
+from ..errors import ConfigError
+from .topology import Topology
+
+__all__ = [
+    "CoolingFault",
+    "CoolingEnvironment",
+    "AirCooling",
+    "WaterCooling",
+    "MineralOilCooling",
+]
+
+
+@dataclass(frozen=True)
+class CoolingFault:
+    """A localized cooling degradation.
+
+    Parameters
+    ----------
+    scope:
+        ``"node"`` or ``"cabinet"``.
+    label:
+        The node or cabinet label affected (must exist in the topology).
+    coolant_delta_c:
+        Degrees added to the coolant temperature seen by affected GPUs.
+    """
+
+    scope: str
+    label: str
+    coolant_delta_c: float
+
+    def __post_init__(self) -> None:
+        require(self.scope in ("node", "cabinet"),
+                f"fault scope must be 'node' or 'cabinet', got {self.scope!r}")
+        require(self.coolant_delta_c > 0, "coolant_delta_c must be positive")
+
+
+@dataclass(frozen=True)
+class CoolingEnvironment:
+    """Realized per-GPU thermal environment (parallel arrays)."""
+
+    r_theta_base_c_per_w: np.ndarray
+    coolant_c: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of GPUs covered."""
+        return int(self.coolant_c.shape[0])
+
+
+def _apply_faults(
+    coolant: np.ndarray, topology: Topology, faults: tuple[CoolingFault, ...]
+) -> None:
+    for fault in faults:
+        if fault.scope == "node":
+            node = topology.node_index(fault.label)
+            coolant[topology.gpus_of_node(node)] += fault.coolant_delta_c
+        else:
+            try:
+                cab = topology.cabinet_labels.index(fault.label)
+            except ValueError:
+                raise ConfigError(
+                    f"unknown cabinet label {fault.label!r} in cooling fault"
+                ) from None
+            coolant[topology.cabinet_of_gpu == cab] += fault.coolant_delta_c
+
+
+@dataclass(frozen=True)
+class AirCooling:
+    """Forced-air cooling with hot/cold-aisle and chassis-position spread."""
+
+    inlet_c: float = 22.0
+    cabinet_sigma_c: float = 3.0
+    node_sigma_c: float = 1.5
+    slot_gradient_c: float = 1.6
+    r_theta_base_c_per_w: float = 0.145
+    daily_sigma_c: float = 1.2
+    faults: tuple[CoolingFault, ...] = ()
+
+    kind = "air"
+
+    def __post_init__(self) -> None:
+        require_positive(self.r_theta_base_c_per_w, "r_theta_base_c_per_w")
+        require(self.cabinet_sigma_c >= 0, "cabinet_sigma_c must be >= 0")
+        require(self.node_sigma_c >= 0, "node_sigma_c must be >= 0")
+
+    def environment(
+        self, topology: Topology, rng: np.random.Generator
+    ) -> CoolingEnvironment:
+        """Sample the static thermal environment for every GPU."""
+        cab_offset = rng.normal(0.0, self.cabinet_sigma_c, size=topology.n_cabinets)
+        node_offset = rng.normal(0.0, self.node_sigma_c, size=topology.n_nodes)
+        coolant = (
+            self.inlet_c
+            + cab_offset[topology.cabinet_of_gpu]
+            + node_offset[topology.node_of_gpu]
+            + self.slot_gradient_c * topology.slot_of_gpu
+        )
+        _apply_faults(coolant, topology, self.faults)
+        r_base = np.full(topology.n_gpus, self.r_theta_base_c_per_w)
+        return CoolingEnvironment(r_theta_base_c_per_w=r_base, coolant_c=coolant)
+
+
+@dataclass(frozen=True)
+class WaterCooling:
+    """Cold-plate water cooling on a facility chilled loop."""
+
+    loop_c: float = 25.0
+    node_sigma_c: float = 1.2
+    r_theta_base_c_per_w: float = 0.09
+    daily_sigma_c: float = 0.4
+    faults: tuple[CoolingFault, ...] = ()
+
+    kind = "water"
+
+    def __post_init__(self) -> None:
+        require_positive(self.r_theta_base_c_per_w, "r_theta_base_c_per_w")
+        require(self.node_sigma_c >= 0, "node_sigma_c must be >= 0")
+
+    def environment(
+        self, topology: Topology, rng: np.random.Generator
+    ) -> CoolingEnvironment:
+        """Sample the static thermal environment for every GPU."""
+        node_offset = rng.normal(0.0, self.node_sigma_c, size=topology.n_nodes)
+        coolant = self.loop_c + node_offset[topology.node_of_gpu]
+        _apply_faults(coolant, topology, self.faults)
+        r_base = np.full(topology.n_gpus, self.r_theta_base_c_per_w)
+        return CoolingEnvironment(r_theta_base_c_per_w=r_base, coolant_c=coolant)
+
+
+@dataclass(frozen=True)
+class MineralOilCooling:
+    """Per-cabinet mineral-oil immersion baths with circulation pumps."""
+
+    bath_c: float = 48.0
+    cabinet_sigma_c: float = 1.0
+    r_theta_base_c_per_w: float = 0.12
+    daily_sigma_c: float = 0.6
+    faults: tuple[CoolingFault, ...] = ()
+
+    kind = "oil"
+
+    def __post_init__(self) -> None:
+        require_positive(self.r_theta_base_c_per_w, "r_theta_base_c_per_w")
+        require(self.cabinet_sigma_c >= 0, "cabinet_sigma_c must be >= 0")
+
+    def environment(
+        self, topology: Topology, rng: np.random.Generator
+    ) -> CoolingEnvironment:
+        """Sample the static thermal environment for every GPU."""
+        cab_offset = rng.normal(0.0, self.cabinet_sigma_c, size=topology.n_cabinets)
+        coolant = self.bath_c + cab_offset[topology.cabinet_of_gpu]
+        _apply_faults(coolant, topology, self.faults)
+        r_base = np.full(topology.n_gpus, self.r_theta_base_c_per_w)
+        return CoolingEnvironment(r_theta_base_c_per_w=r_base, coolant_c=coolant)

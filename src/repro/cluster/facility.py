@@ -1,0 +1,85 @@
+"""Facility-level, time-varying conditions.
+
+The paper checks that variability is *not transient* by repeating runs over
+days and weeks (Section VI-A).  Real machine rooms drift: facility thermal
+load follows the work week, chiller setpoints wander, and shared access
+means a study samples different node subsets on different days.  The
+:class:`FacilityModel` captures the first two as a deterministic weekday
+pattern plus a seeded daily perturbation of the coolant temperature; the
+third is handled by the campaign scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import require
+from ..rng import RngFactory
+
+__all__ = ["FacilityModel", "WEEKDAY_NAMES"]
+
+WEEKDAY_NAMES = (
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
+    "Sunday",
+)
+
+
+@dataclass(frozen=True)
+class FacilityModel:
+    """Day-to-day environmental drift of a computing facility.
+
+    Parameters
+    ----------
+    weekday_offsets_c:
+        Deterministic coolant-temperature offset per weekday
+        (Monday-first, 7 entries).  Working days run slightly warmer.
+    daily_sigma_c:
+        Std-dev of the random facility-wide offset drawn each day.
+    """
+
+    weekday_offsets_c: tuple[float, ...] = (0.8, 0.9, 0.8, 0.9, 0.7, -0.5, -0.6)
+    daily_sigma_c: float = 0.8
+
+    def __post_init__(self) -> None:
+        require(
+            len(self.weekday_offsets_c) == 7,
+            "weekday_offsets_c needs exactly 7 entries (Monday-first)",
+        )
+        require(self.daily_sigma_c >= 0, "daily_sigma_c must be >= 0")
+
+    @staticmethod
+    def weekday_of(day_index: int) -> int:
+        """Weekday index (0 = Monday) of campaign day ``day_index``."""
+        return day_index % 7
+
+    @staticmethod
+    def weekday_name(day_index: int) -> str:
+        """Weekday name of campaign day ``day_index``."""
+        return WEEKDAY_NAMES[day_index % 7]
+
+    def coolant_offset_c(self, day_index: int, rng_factory: RngFactory) -> float:
+        """Facility-wide coolant offset for a campaign day.
+
+        Deterministic in (day, master seed): the same day always replays
+        the same conditions, which is what makes campaign results exactly
+        reproducible.
+        """
+        if day_index < 0:
+            raise ValueError(f"day_index must be >= 0, got {day_index}")
+        base = self.weekday_offsets_c[self.weekday_of(day_index)]
+        jitter = rng_factory.generator(f"facility-day-{day_index}").normal(
+            0.0, self.daily_sigma_c
+        )
+        return float(base + jitter)
+
+    @classmethod
+    def steady(cls) -> "FacilityModel":
+        """A facility with no day-to-day drift (for controlled experiments)."""
+        return cls(weekday_offsets_c=(0.0,) * 7, daily_sigma_c=0.0)

@@ -1,0 +1,415 @@
+"""Preset builders for the six clusters studied in the paper (Table I).
+
+========== ========= ======== ======= ============ ======================
+cluster    GPU       # GPUs   # nodes cooling      notable outliers
+========== ========= ======== ======= ============ ======================
+CloudLab   V100      12       3       air          (admin access)
+Longhorn   V100      416      104     air          c002 ML stragglers
+Frontera   RTX 5000  360      90      mineral oil  c197 pump cabinet
+Vortex     V100      216      54      water        —
+Summit     V100      27648    4608    water        row H power outliers
+Corona     MI60      328      82      air          c115 hot node
+========== ========= ======== ======= ============ ======================
+
+Each preset is deterministic in its seed and pins the paper's *named*
+outliers at their published locations (via :class:`ForcedDefect` and
+:class:`CoolingFault`) on top of a random defect background whose incidence
+is spatially concentrated the way the paper observed.
+
+All presets accept ``scale`` in (0, 1] which shrinks the node count
+proportionally (minimum one cabinet) — handy for fast tests; forced defects
+whose location falls outside a scaled topology are dropped.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigError
+from ..gpu.defects import DefectConfig, DefectType
+from ..gpu.silicon import SiliconConfig
+from ..gpu.specs import MI60, RTX5000, V100
+from .cluster import Cluster, ForcedDefect
+from .cooling import AirCooling, CoolingFault, MineralOilCooling, WaterCooling
+from .facility import FacilityModel
+from .topology import cabinet_topology, row_column_topology
+
+__all__ = [
+    "longhorn",
+    "summit",
+    "frontera",
+    "vortex",
+    "corona",
+    "cloudlab",
+    "get_preset",
+    "list_presets",
+    "PAPER_CLUSTERS",
+]
+
+
+def _scaled_nodes(n_nodes: int, scale: float, per_group: int) -> int:
+    if not 0 < scale <= 1:
+        raise ConfigError(f"scale must be in (0, 1], got {scale}")
+    if scale == 1.0:
+        return n_nodes  # exact Table I node counts at full scale
+    nodes = max(per_group, int(round(n_nodes * scale)))
+    # Round to whole location groups so labels stay regular.
+    return max(per_group, (nodes // per_group) * per_group)
+
+
+def _keep_known_locations(cluster_kwargs: dict, topology) -> dict:
+    """Drop forced defects / cooling faults whose labels fell off a scaled topology."""
+    node_labels = set(topology.node_labels)
+    cab_labels = set(topology.cabinet_labels)
+    gpu_labels = None
+    forced = []
+    for fd in cluster_kwargs.get("forced_defects", ()):
+        if fd.scope == "node" and fd.label not in node_labels:
+            continue
+        if fd.scope == "cabinet" and fd.label not in cab_labels:
+            continue
+        if fd.scope == "gpu":
+            if gpu_labels is None:
+                gpu_labels = set(topology.gpu_labels)
+            if fd.label not in gpu_labels:
+                continue
+        forced.append(fd)
+    cluster_kwargs["forced_defects"] = tuple(forced)
+    return cluster_kwargs
+
+
+def _filter_faults(cooling, topology):
+    node_labels = set(topology.node_labels)
+    cab_labels = set(topology.cabinet_labels)
+    kept = tuple(
+        f
+        for f in cooling.faults
+        if (f.scope == "node" and f.label in node_labels)
+        or (f.scope == "cabinet" and f.label in cab_labels)
+    )
+    if kept == cooling.faults:
+        return cooling
+    import dataclasses
+
+    return dataclasses.replace(cooling, faults=kept)
+
+
+# ---------------------------------------------------------------------------
+# TACC Longhorn: 104 nodes x 4 V100, air cooled.
+# ---------------------------------------------------------------------------
+
+def longhorn(seed: int = 0, scale: float = 1.0) -> Cluster:
+    """TACC's Longhorn cluster (Section IV-B): 416 air-cooled V100s.
+
+    The cabinet-c002 SICK_SLOW GPUs reproduce the recurring ML stragglers
+    of Figs. 14/15/17 (and they surface as SGEMM tail outliers too,
+    Takeaway 5/6: "8 of the 10 worst-performing GPUs for SGEMM were also
+    outliers for ResNet").
+    """
+    n_nodes = _scaled_nodes(104, scale, per_group=3)
+    topology = cabinet_topology("Longhorn", n_nodes, gpus_per_node=4,
+                                nodes_per_cabinet=3)
+    cooling = AirCooling(
+        inlet_c=22.0,
+        cabinet_sigma_c=3.2,
+        node_sigma_c=1.6,
+        slot_gradient_c=1.7,
+        r_theta_base_c_per_w=0.145,
+        daily_sigma_c=1.2,
+    )
+    kwargs = dict(
+        name="Longhorn",
+        spec=V100,
+        topology=topology,
+        cooling=_filter_faults(cooling, topology),
+        silicon_config=SiliconConfig(voltage_offset_sigma=0.007),
+        defect_config=DefectConfig(
+            power_delivery_rate=0.0005,
+            sick_slow_rate=0.0025,
+            sick_slow_frequency_cap=(0.70, 0.88),
+            hot_runner_rate=0.010,
+            hot_runner_resistance=(1.25, 1.75),
+        ),
+        facility=FacilityModel(),
+        run_noise_sigma=0.0008,
+        forced_defects=(
+            ForcedDefect("cabinet", "c002", DefectType.SICK_SLOW,
+                         severity=0.70, count=2),
+            ForcedDefect("gpu", "c002-003-1", DefectType.SICK_SLOW,
+                         severity=0.80),
+        ),
+        seed=seed,
+    )
+    return Cluster(**_keep_known_locations(kwargs, topology))
+
+
+# ---------------------------------------------------------------------------
+# ORNL Summit: 8 rows x 36 columns x 16 nodes x 6 V100, water cooled.
+# ---------------------------------------------------------------------------
+
+def summit(seed: int = 0, scale: float = 1.0) -> Cluster:
+    """ORNL's Summit supercomputer (Section IV-C): 27,648 water-cooled V100s.
+
+    The row-H / column-36 POWER_DELIVERY defects reproduce Appendix B: a
+    string of sub-290 W power outliers all completing near 2510 ms, plus a
+    temperature-only HOT_RUNNER on node 2 of the same column.  Additional
+    power-delivery defects are seeded across rows A/D/F/H columns 13, 14,
+    28, 33 to reproduce the concentrated-outlier columns of Fig. 23.
+    """
+    # 8 rows x 36 cols x 16 nodes = 4608 nodes; scale shrinks nodes/column.
+    nodes_per_column = max(1, int(round(16 * scale)))
+    n_rows, n_cols = (8, 36) if scale >= 0.05 else (4, 9)
+    topology = row_column_topology(
+        "Summit", n_rows=n_rows, n_columns=n_cols,
+        nodes_per_column=nodes_per_column, gpus_per_node=6,
+    )
+    cooling = WaterCooling(
+        loop_c=25.0,
+        node_sigma_c=1.2,
+        r_theta_base_c_per_w=0.09,
+        daily_sigma_c=0.4,
+    )
+
+    def pd(node: str, slot: int, cap: float) -> ForcedDefect:
+        return ForcedDefect("gpu", f"{node}-{slot}", DefectType.POWER_DELIVERY,
+                            severity=cap)
+
+    forced = (
+        # Row H, column 36 (Appendix B-B): 7 nodes with power outliers.
+        pd("rowh-col36-n02", 1, 0.94),
+        pd("rowh-col36-n06", 4, 0.92),
+        pd("rowh-col36-n08", 0, 0.90),
+        pd("rowh-col36-n10", 2, 0.85),
+        pd("rowh-col36-n11", 3, 0.87),
+        pd("rowh-col36-n13", 5, 0.93),
+        pd("rowh-col36-n14", 2, 0.91),
+        pd("rowh-col36-n18", 0, 0.895),
+        # Temperature-only outlier node (Appendix B-B).
+        ForcedDefect("node", "rowh-col36-n02", DefectType.HOT_RUNNER,
+                     severity=1.7, count=2),
+        # Other concentrated row-H columns (Fig. 23).
+        pd("rowh-col13-n04", 1, 0.90),
+        pd("rowh-col14-n18", 0, 0.88),
+        pd("rowh-col28-n13", 2, 0.89),
+        pd("rowh-col33-n07", 3, 0.86),
+        # Rows D and F carry the most performance outliers (Fig. 4a);
+        # on Summit these follow the frequency trend (Fig. 5a), so they are
+        # power-delivery limited rather than throughput-sick.
+        ForcedDefect("node", "rowd-col09-n05", DefectType.POWER_DELIVERY,
+                     severity=0.82, count=2),
+        ForcedDefect("node", "rowf-col21-n11", DefectType.POWER_DELIVERY,
+                     severity=0.84, count=2),
+        # Rows A and H have extra sub-290 W GPUs (Fig. 4c).
+        pd("rowa-col05-n03", 4, 0.93),
+        pd("rowa-col17-n09", 2, 0.91),
+    )
+    kwargs = dict(
+        name="Summit",
+        spec=V100,
+        topology=topology,
+        cooling=_filter_faults(cooling, topology),
+        silicon_config=SiliconConfig(),
+        defect_config=DefectConfig(
+            power_delivery_rate=0.0035,
+            sick_slow_rate=0.0002,
+            hot_runner_rate=0.003,
+            hot_runner_resistance=(1.4, 1.8),
+            spatial_concentration_shape=0.25,
+        ),
+        facility=FacilityModel(daily_sigma_c=0.3),
+        run_noise_sigma=0.0004,
+        forced_defects=forced,
+        seed=seed,
+    )
+    return Cluster(**_keep_known_locations(kwargs, topology))
+
+
+# ---------------------------------------------------------------------------
+# TACC Frontera (GPU subsystem): 90 nodes x 4 RTX 5000, mineral oil.
+# ---------------------------------------------------------------------------
+
+def frontera(seed: int = 0, scale: float = 1.0) -> Cluster:
+    """TACC's Frontera RTX-5000 subsystem (Section IV-F): mineral-oil baths.
+
+    Cabinet c197 holds the two sick GPUs that ran 1100-1600 ms slower,
+    16 degC cooler, and 59 W below the median — the pump-flagged cabinet.
+    """
+    n_nodes = _scaled_nodes(90, scale, per_group=3)
+    n_cabinets = n_nodes // 3
+    topology = cabinet_topology(
+        "Frontera", n_nodes, gpus_per_node=4, nodes_per_cabinet=3,
+        cabinet_numbers=tuple(range(180, 180 + n_cabinets)),
+    )
+    cooling = MineralOilCooling(
+        bath_c=48.0,
+        cabinet_sigma_c=1.0,
+        r_theta_base_c_per_w=0.12,
+        daily_sigma_c=0.6,
+    )
+    kwargs = dict(
+        name="Frontera",
+        spec=RTX5000,
+        topology=topology,
+        cooling=_filter_faults(cooling, topology),
+        silicon_config=SiliconConfig(voltage_offset_sigma=0.007),
+        defect_config=DefectConfig(
+            power_delivery_rate=0.002,
+            sick_slow_rate=0.0,  # the two sick GPUs are pinned below
+            hot_runner_rate=0.003,
+        ),
+        facility=FacilityModel(daily_sigma_c=0.5),
+        run_noise_sigma=0.0008,
+        forced_defects=(
+            ForcedDefect("cabinet", "c197", DefectType.SICK_SLOW,
+                         severity=0.68, count=2),
+        ),
+        seed=seed,
+    )
+    return Cluster(**_keep_known_locations(kwargs, topology))
+
+
+# ---------------------------------------------------------------------------
+# SNL Vortex: 54 nodes x 4 V100, water cooled.
+# ---------------------------------------------------------------------------
+
+def vortex(seed: int = 0, scale: float = 1.0) -> Cluster:
+    """SNL's Vortex cluster (Section IV-E): 216 water-cooled V100s.
+
+    No named outliers; the paper observed all GPUs within 5 W of the TDP
+    with frequencies spanning 1330-1442 MHz.
+    """
+    n_nodes = _scaled_nodes(54, scale, per_group=3)
+    topology = cabinet_topology("Vortex", n_nodes, gpus_per_node=4,
+                                nodes_per_cabinet=3)
+    cooling = WaterCooling(
+        loop_c=25.0,
+        node_sigma_c=2.0,
+        r_theta_base_c_per_w=0.070,
+        daily_sigma_c=0.4,
+    )
+    kwargs = dict(
+        name="Vortex",
+        spec=V100,
+        topology=topology,
+        cooling=_filter_faults(cooling, topology),
+        silicon_config=SiliconConfig(voltage_offset_sigma=0.013),
+        defect_config=DefectConfig(
+            power_delivery_rate=0.0,
+            sick_slow_rate=0.0,
+            hot_runner_rate=0.002,
+        ),
+        facility=FacilityModel(daily_sigma_c=0.4),
+        run_noise_sigma=0.0010,
+        forced_defects=(),
+        seed=seed,
+    )
+    return Cluster(**_keep_known_locations(kwargs, topology))
+
+
+# ---------------------------------------------------------------------------
+# LLNL Corona: 82 nodes x 4 MI60, air cooled (hot room).
+# ---------------------------------------------------------------------------
+
+def corona(seed: int = 0, scale: float = 1.0) -> Cluster:
+    """LLNL's Corona cluster (Section IV-D): 328 air-cooled AMD MI60s.
+
+    Corona runs hot: junction temperatures approach the 100 degC slowdown
+    threshold, so the DVFS controller thermally throttles and the fleet
+    never reaches the 300 W TDP.  Group c115 carries a cooling fault that
+    turns it into the 165 W hot-and-slow outlier of Figs. 6/7.
+    """
+    n_nodes = _scaled_nodes(82, scale, per_group=3)
+    n_cabinets = -(-n_nodes // 3)
+    topology = cabinet_topology(
+        "Corona", n_nodes, gpus_per_node=4, nodes_per_cabinet=3,
+        cabinet_numbers=tuple(range(100, 100 + n_cabinets)),
+    )
+    cooling = AirCooling(
+        inlet_c=28.5,
+        cabinet_sigma_c=0.8,
+        node_sigma_c=0.7,
+        slot_gradient_c=0.6,
+        r_theta_base_c_per_w=0.19,
+        daily_sigma_c=1.2,
+        faults=(CoolingFault("cabinet", "c115", coolant_delta_c=30.0),),
+    )
+    kwargs = dict(
+        name="Corona",
+        spec=MI60,
+        topology=topology,
+        cooling=_filter_faults(cooling, topology),
+        silicon_config=SiliconConfig(voltage_offset_sigma=0.010,
+                                     thermal_resistance_log_sigma=0.05),
+        defect_config=DefectConfig(
+            power_delivery_rate=0.0,
+            sick_slow_rate=0.002,
+            sick_slow_frequency_cap=(0.70, 0.88),
+            hot_runner_rate=0.004,
+            hot_runner_resistance=(1.2, 1.5),
+        ),
+        facility=FacilityModel(daily_sigma_c=1.0),
+        run_noise_sigma=0.022,
+        forced_defects=(),
+        seed=seed,
+    )
+    return Cluster(**_keep_known_locations(kwargs, topology))
+
+
+# ---------------------------------------------------------------------------
+# NSF CloudLab: 3 nodes x 4 V100, air cooled, admin access.
+# ---------------------------------------------------------------------------
+
+def cloudlab(seed: int = 0, scale: float = 1.0) -> Cluster:
+    """The small CloudLab testbed (Section VI-B): 12 V100s, root access.
+
+    Used for the power-limit sweep (Fig. 22) because administrative
+    privileges allow ``nvidia-smi``-style power caps.
+    """
+    del scale  # already minimal
+    topology = cabinet_topology("CloudLab", 3, gpus_per_node=4,
+                                nodes_per_cabinet=3)
+    cooling = AirCooling(
+        inlet_c=23.0,
+        cabinet_sigma_c=1.0,
+        node_sigma_c=1.2,
+        slot_gradient_c=1.5,
+        r_theta_base_c_per_w=0.15,
+        daily_sigma_c=0.8,
+    )
+    return Cluster(
+        name="CloudLab",
+        spec=V100,
+        topology=topology,
+        cooling=cooling,
+        silicon_config=SiliconConfig(),
+        defect_config=DefectConfig.none(),
+        facility=FacilityModel(daily_sigma_c=0.6),
+        run_noise_sigma=0.0012,
+        admin_access=True,
+        seed=seed,
+    )
+
+
+#: Builders for the five production clusters of the main study (Fig. 1)
+#: plus CloudLab.
+PAPER_CLUSTERS = {
+    "Longhorn": longhorn,
+    "Summit": summit,
+    "Frontera": frontera,
+    "Vortex": vortex,
+    "Corona": corona,
+    "CloudLab": cloudlab,
+}
+
+
+def get_preset(name: str, seed: int = 0, scale: float = 1.0) -> Cluster:
+    """Build a preset cluster by name (case-insensitive)."""
+    for key, builder in PAPER_CLUSTERS.items():
+        if key.lower() == name.lower():
+            return builder(seed=seed, scale=scale)
+    raise ConfigError(f"unknown cluster preset {name!r}; known: {sorted(PAPER_CLUSTERS)}")
+
+
+def list_presets() -> list[str]:
+    """Names of the available cluster presets."""
+    return sorted(PAPER_CLUSTERS)

@@ -1,0 +1,131 @@
+"""Lightweight dataclass-config utilities.
+
+All user-facing configuration objects in the library are frozen dataclasses.
+This module provides shared helpers: validation guards and dict/JSON
+round-tripping used by the persistence layer and by tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Mapping, Type, TypeVar
+
+from .errors import ConfigError
+
+T = TypeVar("T")
+
+__all__ = [
+    "require",
+    "require_positive",
+    "require_in_range",
+    "asdict_shallow",
+    "config_to_dict",
+    "config_from_dict",
+    "dump_json",
+    "load_json",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise unless ``value`` is strictly positive and finite."""
+    if not (value > 0 and value == value and value != float("inf")):
+        raise ConfigError(f"{name} must be positive and finite, got {value!r}")
+
+
+def require_in_range(value: float, lo: float, hi: float, name: str) -> None:
+    """Raise unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ConfigError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def asdict_shallow(obj: Any) -> dict[str, Any]:
+    """A shallow version of :func:`dataclasses.asdict`.
+
+    Unlike the stdlib helper it does not recurse, so nested dataclasses stay
+    as objects.  Useful when a caller wants to tweak one field via
+    ``dataclasses.replace``-style construction.
+    """
+    if not dataclasses.is_dataclass(obj):
+        raise TypeError(f"expected a dataclass instance, got {type(obj).__name__}")
+    return {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
+
+
+def config_to_dict(obj: Any) -> dict[str, Any]:
+    """Recursively convert a dataclass config to plain JSON-able types."""
+    if not dataclasses.is_dataclass(obj):
+        raise TypeError(f"expected a dataclass instance, got {type(obj).__name__}")
+    out: dict[str, Any] = {}
+    for f in dataclasses.fields(obj):
+        value = getattr(obj, f.name)
+        out[f.name] = _jsonify(value)
+    return out
+
+
+def _jsonify(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return config_to_dict(value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if hasattr(value, "item") and callable(value.item):  # numpy scalar
+        return value.item()
+    return value
+
+
+def config_from_dict(cls: Type[T], data: Mapping[str, Any]) -> T:
+    """Rebuild a (possibly nested) dataclass from a plain dict.
+
+    Nested dataclass fields are reconstructed recursively; unknown keys in
+    ``data`` raise :class:`ConfigError` so stale files fail loudly.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass type")
+    field_map = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = set(data) - set(field_map)
+    if unknown:
+        raise ConfigError(
+            f"unknown keys for {cls.__name__}: {sorted(unknown)}"
+        )
+    kwargs: dict[str, Any] = {}
+    for name, value in data.items():
+        field = field_map[name]
+        ftype = field.type
+        # Resolve string annotations pointing at dataclasses in this package.
+        resolved = _resolve_dataclass(ftype)
+        if resolved is not None and isinstance(value, Mapping):
+            kwargs[name] = config_from_dict(resolved, value)
+        elif isinstance(value, list):
+            kwargs[name] = tuple(value) if _wants_tuple(ftype) else value
+        else:
+            kwargs[name] = value
+    return cls(**kwargs)
+
+
+def _resolve_dataclass(ftype: Any) -> Type[Any] | None:
+    if isinstance(ftype, type) and dataclasses.is_dataclass(ftype):
+        return ftype
+    return None
+
+
+def _wants_tuple(ftype: Any) -> bool:
+    text = str(ftype)
+    return text.startswith("tuple") or text.startswith("Tuple") or "tuple[" in text
+
+
+def dump_json(obj: Any, path: str | Path) -> None:
+    """Serialize a dataclass config to a JSON file."""
+    Path(path).write_text(json.dumps(config_to_dict(obj), indent=2, sort_keys=True))
+
+
+def load_json(cls: Type[T], path: str | Path) -> T:
+    """Load a dataclass config from a JSON file written by :func:`dump_json`."""
+    return config_from_dict(cls, json.loads(Path(path).read_text()))

@@ -1,0 +1,85 @@
+"""The variability characterization suite — the paper's methodology.
+
+Everything in this subpackage operates on plain measurement tables
+(:class:`~repro.telemetry.dataset.MeasurementDataset`), so it applies
+unchanged to *real* cluster telemetry: box/IQR statistics with the paper's
+variability definition, correlation analysis, outlier flagging and
+cross-application persistence, per-GPU repeatability, statistical sample
+sizing, cluster-size projection, application classification, scheduling
+recommendations, day-of-week analysis, and plain-text reporting.
+"""
+
+from .boxstats import BoxStats
+from .variability import (
+    grouped_boxstats,
+    metric_boxstats,
+    normalized_performance,
+    variability_table,
+)
+from .correlation import CorrelationPair, correlation_matrix, pearson, spearman
+from .outliers import (
+    OutlierReport,
+    flag_outlier_gpus,
+    node_outlier_counts,
+    persistent_outliers,
+    worst_performers,
+)
+from .repeatability import per_gpu_repeatability, repeatability_summary
+from .sampling import (
+    achieved_accuracy,
+    coverage_margin,
+    required_sample_size,
+)
+from .projection import fit_normal, project_variation
+from .classify import (
+    ApplicationClass,
+    classify_counters,
+    classify_workload,
+)
+from .scheduler import (
+    PlacementPlan,
+    node_variability_scores,
+    plan_placements,
+    slow_assignment_probability,
+)
+from .daily import day_of_week_stats, weekday_consistency
+from .report import ascii_box_row, format_boxstats_table, render_cluster_report
+from .suite import ClusterReport, VariabilitySuite
+
+__all__ = [
+    "BoxStats",
+    "metric_boxstats",
+    "grouped_boxstats",
+    "variability_table",
+    "normalized_performance",
+    "pearson",
+    "spearman",
+    "CorrelationPair",
+    "correlation_matrix",
+    "OutlierReport",
+    "flag_outlier_gpus",
+    "persistent_outliers",
+    "node_outlier_counts",
+    "worst_performers",
+    "per_gpu_repeatability",
+    "repeatability_summary",
+    "required_sample_size",
+    "achieved_accuracy",
+    "coverage_margin",
+    "fit_normal",
+    "project_variation",
+    "ApplicationClass",
+    "classify_workload",
+    "classify_counters",
+    "node_variability_scores",
+    "slow_assignment_probability",
+    "PlacementPlan",
+    "plan_placements",
+    "day_of_week_stats",
+    "weekday_consistency",
+    "ascii_box_row",
+    "format_boxstats_table",
+    "render_cluster_report",
+    "VariabilitySuite",
+    "ClusterReport",
+]

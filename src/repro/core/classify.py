@@ -1,0 +1,91 @@
+"""Application classification from profiler counters (Section VII).
+
+"Metrics like FU utilization, DRAM utilization, and memory stalls can be
+used by operators to classify applications and modify schedulers to assign
+medium- and high-compute intensity workloads on nodes with less variation."
+
+The rules below reproduce the paper's categorization of its own workloads:
+SGEMM and ResNet-50 are compute-intensive, BERT is balanced, LAMMPS is
+memory-bandwidth-bound, PageRank is memory-latency-bound (irregular).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..config import require_in_range
+from ..workloads.base import Workload
+
+__all__ = ["ApplicationClass", "CounterProfile", "classify_counters",
+           "classify_workload", "expected_performance_sensitivity"]
+
+
+class ApplicationClass(enum.Enum):
+    """Placement-relevant application categories."""
+
+    COMPUTE_BOUND = "compute-bound"
+    BALANCED = "balanced"
+    MEMORY_BANDWIDTH_BOUND = "memory-bandwidth-bound"
+    MEMORY_LATENCY_BOUND = "memory-latency-bound"
+
+
+@dataclass(frozen=True)
+class CounterProfile:
+    """The profiler counters the classification consumes.
+
+    ``fu_utilization`` uses nvprof's 0-10 scale; the rest are fractions.
+    """
+
+    fu_utilization: float
+    dram_utilization: float
+    mem_stall_frac: float
+
+    def __post_init__(self) -> None:
+        require_in_range(self.fu_utilization, 0.0, 10.0, "fu_utilization")
+        require_in_range(self.dram_utilization, 0.0, 1.0, "dram_utilization")
+        require_in_range(self.mem_stall_frac, 0.0, 1.0, "mem_stall_frac")
+
+
+def classify_counters(profile: CounterProfile) -> ApplicationClass:
+    """Classify an application from its profiler counters.
+
+    Decision order matters: heavy memory-dependency stalls identify
+    irregular (latency-bound) codes even when DRAM utilization is modest
+    — exactly PageRank's signature (61% stalls, low DRAM utilization).
+    """
+    if profile.mem_stall_frac >= 0.45:
+        return ApplicationClass.MEMORY_LATENCY_BOUND
+    if profile.dram_utilization >= 0.60:
+        return ApplicationClass.MEMORY_BANDWIDTH_BOUND
+    if profile.fu_utilization >= 5.0:
+        return ApplicationClass.COMPUTE_BOUND
+    return ApplicationClass.BALANCED
+
+
+def classify_workload(workload: Workload) -> ApplicationClass:
+    """Classify one of this package's workload models."""
+    return classify_counters(
+        CounterProfile(
+            fu_utilization=workload.fu_utilization,
+            dram_utilization=workload.dram_utilization_profile,
+            mem_stall_frac=workload.mem_stall_frac,
+        )
+    )
+
+
+def expected_performance_sensitivity(app_class: ApplicationClass) -> float:
+    """Relative performance sensitivity to GPU variability, by class.
+
+    A unitless weight used by the placement planner: how much of the
+    fleet's frequency spread an application of this class converts into
+    runtime spread.  Compute-bound work converts ~all of it (SGEMM: 9%
+    runtime vs 11% frequency variation); memory-bound work converts almost
+    none (LAMMPS/PageRank: ~1%).
+    """
+    return {
+        ApplicationClass.COMPUTE_BOUND: 1.0,
+        ApplicationClass.BALANCED: 0.55,
+        ApplicationClass.MEMORY_BANDWIDTH_BOUND: 0.08,
+        ApplicationClass.MEMORY_LATENCY_BOUND: 0.08,
+    }[app_class]

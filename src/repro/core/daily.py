@@ -1,0 +1,91 @@
+"""Day-of-week analysis (Section VI-A, Figs. 20-21).
+
+The paper repeats its campaigns across weeks and groups by weekday to show
+the variability is not transient: performance variation is flat across the
+week even though the *number of power outliers* swings by day (more on
+Mondays/Wednesdays/Fridays on Summit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.facility import WEEKDAY_NAMES
+from ..errors import AnalysisError
+from ..telemetry.dataset import MeasurementDataset
+from ..telemetry.sample import METRIC_PERFORMANCE, METRIC_POWER
+from .boxstats import BoxStats
+
+__all__ = ["WeekdayStats", "day_of_week_stats", "weekday_consistency"]
+
+
+@dataclass(frozen=True)
+class WeekdayStats:
+    """One weekday's box statistics and outlier census."""
+
+    weekday: str
+    performance: BoxStats
+    power: BoxStats
+    n_power_outliers: int
+    n_performance_outliers: int
+
+
+def day_of_week_stats(
+    dataset: MeasurementDataset,
+    performance_metric: str = METRIC_PERFORMANCE,
+    power_metric: str = METRIC_POWER,
+) -> dict[str, WeekdayStats]:
+    """Box statistics per weekday (Monday-first ordering preserved)."""
+    if "weekday" not in dataset:
+        raise AnalysisError("dataset needs a weekday column (campaign output)")
+    out: dict[str, WeekdayStats] = {}
+    for weekday in WEEKDAY_NAMES:
+        subset = dataset.where(weekday=weekday)
+        if subset.n_rows < 3:
+            continue
+        perf = BoxStats.from_values(subset.column(performance_metric))
+        power = BoxStats.from_values(subset.column(power_metric))
+        out[weekday] = WeekdayStats(
+            weekday=weekday,
+            performance=perf,
+            power=power,
+            n_power_outliers=power.n_outliers,
+            n_performance_outliers=perf.n_outliers,
+        )
+    if not out:
+        raise AnalysisError("no weekday had enough observations")
+    return out
+
+
+def weekday_consistency(
+    stats: dict[str, WeekdayStats],
+) -> dict[str, float]:
+    """How stable the study is across the week (Takeaway 9 check).
+
+    Returns:
+
+    ``median_drift``
+        Max relative deviation of daily performance medians from their
+        overall mean — near zero when the phenomenon is persistent.
+    ``variation_spread``
+        Max minus min of the daily performance variations.
+    ``outlier_imbalance``
+        Ratio of the busiest to the quietest day by power-outlier count
+        (>= 1; large values mean outliers concentrate on specific days).
+    """
+    if not stats:
+        raise AnalysisError("empty weekday statistics")
+    medians = np.array([s.performance.median for s in stats.values()])
+    variations = np.array([s.performance.variation for s in stats.values()])
+    outliers = np.array([s.n_power_outliers for s in stats.values()], dtype=float)
+    mean_median = medians.mean()
+    quietest = outliers.min()
+    return {
+        "median_drift": float(np.abs(medians - mean_median).max() / mean_median),
+        "variation_spread": float(variations.max() - variations.min()),
+        "outlier_imbalance": float(
+            outliers.max() / quietest if quietest > 0 else np.inf
+        ),
+    }

@@ -1,0 +1,129 @@
+"""Cluster-size projection via the scaled-normal model (Section IV-D).
+
+To separate cluster-size effects from genuine differences, the paper fits a
+normal distribution to Longhorn's per-GPU performance and asks what
+whisker-to-whisker variation a Summit-sized sample from that distribution
+would show: 9.4%, versus the 8% actually measured on Summit — evidence that
+"cluster size may impact the severity of variability".
+
+The quartiles of a normal are size-invariant, but the paper's *range*
+statistic (most extreme observations inside the Tukey fences) grows with
+sample count until it saturates at the fences; that growth is what this
+module computes, both analytically and by Monte Carlo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .boxstats import WHISKER_FACTOR
+
+__all__ = ["NormalFit", "fit_normal", "expected_whisker_span", "project_variation"]
+
+#: Quartile z-score of the standard normal.
+_Z_Q3 = 0.6744897501960817
+
+
+@dataclass(frozen=True)
+class NormalFit:
+    """A robust normal fit (median / IQR based, outlier-resistant)."""
+
+    mean: float
+    std: float
+    n: int
+
+
+def fit_normal(values: np.ndarray) -> NormalFit:
+    """Fit a normal via median and IQR (robust to the outlier tail)."""
+    x = np.asarray(values, dtype=float).ravel()
+    x = x[np.isfinite(x)]
+    if x.shape[0] < 8:
+        raise AnalysisError("need at least 8 observations to fit")
+    q1, med, q3 = np.percentile(x, [25, 50, 75])
+    std = (q3 - q1) / (2.0 * _Z_Q3)
+    if std <= 0:
+        raise AnalysisError("degenerate sample: IQR is zero")
+    return NormalFit(mean=float(med), std=float(std), n=int(x.shape[0]))
+
+
+def _phi(x: float) -> float:
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+def expected_whisker_span(n: int) -> float:
+    """E[span of the in-fence extremes] of n standard normal samples.
+
+    The paper's *range* statistic is the most extreme observation inside
+    the Tukey fences (at ``z = +-z_q3 * (1 + 2 * 1.5) = +-2.698`` for a
+    normal), so the expected span is twice the Blom-position quantile of
+    the normal *truncated to the fences*: it grows with n and saturates at
+    the fence span as the fences fill up.
+    """
+    if n < 2:
+        raise AnalysisError("need n >= 2 for a span")
+    fence = _Z_Q3 * (1.0 + 2.0 * WHISKER_FACTOR)  # z_q3 + 1.5 * (2 z_q3)
+    p_in = _phi(fence) - _phi(-fence)
+    m = max(2.0, n * p_in)  # expected in-fence count
+    blom = (m - 0.375) / (m + 0.25)
+    target = _phi(-fence) + blom * p_in
+    expected_max = math.sqrt(2.0) * _erfinv(2.0 * target - 1.0)
+    return 2.0 * min(expected_max, fence)
+
+
+def _erfinv(y: float) -> float:
+    a = 0.147
+    ln_term = math.log(1.0 - y * y)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    x = math.copysign(
+        math.sqrt(math.sqrt(first * first - ln_term / a) - first), y
+    )
+    for _ in range(2):
+        err = math.erf(x) - y
+        x -= err / (2.0 / math.sqrt(math.pi) * math.exp(-x * x))
+    return x
+
+
+def project_variation(
+    values: np.ndarray,
+    target_n: int,
+    method: str = "analytic",
+    rng: np.random.Generator | None = None,
+    mc_trials: int = 200,
+) -> float:
+    """Projected whisker-range variation of a ``target_n``-GPU cluster.
+
+    Parameters
+    ----------
+    values:
+        Per-GPU performance medians of the measured (smaller) cluster.
+    target_n:
+        Size of the hypothetical cluster.
+    method:
+        ``"analytic"`` (Blom approximation) or ``"montecarlo"``.
+    rng, mc_trials:
+        Monte Carlo settings (``montecarlo`` only).
+    """
+    if target_n < 2:
+        raise AnalysisError("target_n must be >= 2")
+    fit = fit_normal(values)
+    if method == "analytic":
+        span = expected_whisker_span(target_n) * fit.std
+        return span / fit.mean
+    if method == "montecarlo":
+        if rng is None:
+            rng = np.random.default_rng(0)
+        spans = np.empty(mc_trials)
+        for trial in range(mc_trials):
+            x = rng.normal(fit.mean, fit.std, size=target_n)
+            q1, med, q3 = np.percentile(x, [25, 50, 75])
+            iqr = q3 - q1
+            inside = x[(x >= q1 - WHISKER_FACTOR * iqr)
+                       & (x <= q3 + WHISKER_FACTOR * iqr)]
+            spans[trial] = (inside.max() - inside.min()) / med
+        return float(spans.mean())
+    raise AnalysisError(f"unknown projection method {method!r}")

@@ -1,0 +1,140 @@
+"""Plain-text report rendering for terminals and logs.
+
+Benchmarks and examples print through these helpers so the reproduced
+figures are readable without a plotting stack: ASCII box-plot rows, aligned
+metric tables, and the full cluster report the operator workflow produces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from .boxstats import BoxStats
+
+__all__ = ["ascii_box_row", "ascii_histogram", "format_boxstats_table",
+           "render_cluster_report"]
+
+
+def ascii_box_row(
+    stats: BoxStats,
+    lo: float,
+    hi: float,
+    width: int = 48,
+) -> str:
+    """One box-and-whisker rendered as text on the [lo, hi] axis.
+
+    ``|`` marks the whiskers, ``=`` the box, ``#`` the median::
+
+        ----|====#=======|------
+    """
+    if hi <= lo:
+        raise ValueError(f"need hi > lo, got [{lo}, {hi}]")
+
+    def pos(value: float) -> int:
+        frac = (value - lo) / (hi - lo)
+        return int(round(np.clip(frac, 0.0, 1.0) * (width - 1)))
+
+    cells = ["-"] * width
+    for a, b in ((pos(stats.whisker_lo), pos(stats.q1)),
+                 (pos(stats.q3), pos(stats.whisker_hi))):
+        for i in range(min(a, b), max(a, b) + 1):
+            cells[i] = "-"
+    for i in range(pos(stats.q1), pos(stats.q3) + 1):
+        cells[i] = "="
+    cells[pos(stats.whisker_lo)] = "|"
+    cells[pos(stats.whisker_hi)] = "|"
+    cells[pos(stats.median)] = "#"
+    return "".join(cells)
+
+
+def ascii_histogram(
+    values,
+    bins: int = 12,
+    width: int = 50,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Horizontal ASCII histogram (the Fig.-1 distributions, in text)."""
+    x = np.asarray(values, dtype=float).ravel()
+    x = x[np.isfinite(x)]
+    if x.shape[0] == 0:
+        raise ValueError("nothing to histogram")
+    if bins < 1 or width < 1:
+        raise ValueError("bins and width must be positive")
+    counts, edges = np.histogram(x, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines = []
+    fmt = value_format.format
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"{fmt(lo):>10} .. {fmt(hi):>10} |{bar:<{width}}| {count}")
+    return "\n".join(lines)
+
+
+def format_boxstats_table(
+    rows: Mapping[Any, BoxStats],
+    value_format: str = "{:.1f}",
+    label_header: str = "group",
+) -> str:
+    """Aligned table of box statistics, one row per group.
+
+    Columns: group, n, median, Q1, Q3, whiskers, variation, outliers —
+    everything a paper box-plot figure encodes.
+    """
+    if not rows:
+        raise ValueError("no rows to format")
+    header = (
+        f"{label_header:<18} {'n':>6} {'median':>10} {'q1':>10} {'q3':>10} "
+        f"{'whisk_lo':>10} {'whisk_hi':>10} {'variation':>9} {'outl':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for label, stats in rows.items():
+        fmt = value_format.format
+        lines.append(
+            f"{str(label):<18} {stats.n:>6d} {fmt(stats.median):>10} "
+            f"{fmt(stats.q1):>10} {fmt(stats.q3):>10} "
+            f"{fmt(stats.whisker_lo):>10} {fmt(stats.whisker_hi):>10} "
+            f"{stats.variation:>8.1%} {stats.n_outliers:>5d}"
+        )
+    return "\n".join(lines)
+
+
+def render_cluster_report(report: "ClusterReport") -> str:  # noqa: F821
+    """Render a :class:`~repro.core.suite.ClusterReport` as text."""
+    lines: list[str] = []
+    lines.append(f"=== Variability report: {report.cluster_name} "
+                 f"({report.workload_name}) ===")
+    lines.append(
+        f"GPUs observed: {report.n_gpus_observed}, runs: {report.n_runs}"
+    )
+    lines.append("")
+    lines.append("Per-metric fleet statistics (per-GPU medians):")
+    lines.append(format_boxstats_table(report.metrics, label_header="metric"))
+    lines.append("")
+    lines.append("Correlations (run-level):")
+    for name, pair in report.correlations.items():
+        lines.append(
+            f"  {name:<24} rho={pair.rho:+.2f} "
+            f"(spearman {pair.rho_spearman:+.2f}, {pair.describe()})"
+        )
+    lines.append("")
+    lines.append(
+        f"Performance outliers: {report.performance_outliers.n_outlier_gpus} GPUs "
+        f"on nodes {list(report.performance_outliers.node_labels)[:8]}"
+    )
+    lines.append(
+        f"Slow-assignment probability (1 GPU): "
+        f"{report.slow_assignment_single:.0%}; "
+        f"(node-wide): {report.slow_assignment_node:.0%}"
+    )
+    lines.append(
+        f"Sampling: cv={report.power_cv:.3f}, recommended sample "
+        f"{report.recommended_sample_size}, measured {report.n_gpus_observed} "
+        f"({report.sampling_margin:.1f}x margin)"
+    )
+    if report.maintenance_candidates:
+        lines.append("Maintenance candidates (worst performers):")
+        for label, value in report.maintenance_candidates:
+            lines.append(f"  {label:<24} {value:.1f} ms")
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Fleet variability summaries over measurement datasets.
+
+The entry points mirror how the paper presents its data: per-metric box
+statistics (Figs. 2, 4, 6, 9, 12, 14, 16-19), grouped box plots by cabinet
+or row (same figures' x-axes), and median-normalized performance (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..telemetry.dataset import MeasurementDataset
+from ..telemetry.sample import METRIC_PERFORMANCE, PAPER_METRICS
+from .boxstats import BoxStats
+
+__all__ = [
+    "metric_boxstats",
+    "grouped_boxstats",
+    "variability_table",
+    "normalized_performance",
+]
+
+
+def _values(
+    dataset: MeasurementDataset, metric: str, per_gpu_median: bool
+) -> np.ndarray:
+    if per_gpu_median:
+        return dataset.per_gpu_median(metric).column(metric)
+    return dataset.column(metric)
+
+
+def metric_boxstats(
+    dataset: MeasurementDataset,
+    metric: str,
+    per_gpu_median: bool = True,
+) -> BoxStats:
+    """Box statistics of one metric across the fleet.
+
+    ``per_gpu_median=True`` collapses repeated runs to each GPU's median
+    first (Section III: "we use the median of each measurement to avoid
+    one-off outliers"); pass ``False`` to treat every run as a point, the
+    way the scatter plots do.
+    """
+    return BoxStats.from_values(_values(dataset, metric, per_gpu_median))
+
+
+def grouped_boxstats(
+    dataset: MeasurementDataset,
+    metric: str,
+    group: str,
+    per_gpu_median: bool = True,
+) -> dict[Any, BoxStats]:
+    """Box statistics of a metric per group (cabinet, row, weekday...).
+
+    Groups with fewer than 3 observations are skipped — a box plot of two
+    points is noise.
+    """
+    out: dict[Any, BoxStats] = {}
+    for value, subset in dataset.groupby(group):
+        values = _values(subset, metric, per_gpu_median)
+        if values.shape[0] >= 3:
+            out[value] = BoxStats.from_values(values)
+    if not out:
+        raise AnalysisError(
+            f"no group of {group!r} had enough observations for box stats"
+        )
+    return out
+
+
+def variability_table(
+    dataset: MeasurementDataset,
+    metrics: tuple[str, ...] = PAPER_METRICS,
+    per_gpu_median: bool = True,
+) -> dict[str, BoxStats]:
+    """Box statistics for each of the paper's four metrics."""
+    return {
+        metric: metric_boxstats(dataset, metric, per_gpu_median)
+        for metric in metrics
+        if metric in dataset
+    }
+
+
+def normalized_performance(
+    dataset: MeasurementDataset,
+    metric: str = METRIC_PERFORMANCE,
+    per_gpu_median: bool = True,
+) -> np.ndarray:
+    """Per-GPU performance normalized to a median of 1.0 (Fig. 1)."""
+    values = _values(dataset, metric, per_gpu_median)
+    median = np.median(values)
+    if median <= 0:
+        raise AnalysisError("performance median must be positive to normalize")
+    return values / median

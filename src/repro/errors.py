@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by library code derive from :class:`ReproError` so that
+callers can catch everything from this package with a single ``except``
+clause while still letting programming errors (``TypeError`` etc.) surface.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine entered an invalid state."""
+
+
+class AllocationError(ReproError):
+    """A job allocation request could not be satisfied."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received data it cannot process."""
+
+
+class TelemetryError(ReproError):
+    """Telemetry recording or trace manipulation failed."""
+
+
+class DatasetError(ReproError):
+    """A measurement dataset is malformed or an I/O round-trip failed."""

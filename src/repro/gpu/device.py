@@ -1,0 +1,151 @@
+"""The :class:`GPUFleet` — a population of simulated GPUs ready to run.
+
+A fleet bundles everything hardware-side: the SKU spec, the silicon sample,
+the defect assignment, and the thermal environment (per-GPU base thermal
+resistance and coolant temperature supplied by the cluster's cooling model).
+From those it derives the power model, thermal model, and DVFS controller.
+
+Fleets are cheap, immutable views: per-day facility conditions produce a new
+fleet via :meth:`GPUFleet.with_coolant` without resampling silicon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .defects import DefectAssignment, DefectType
+from .dvfs import DvfsController, DvfsPolicy
+from .power import PowerModel
+from .silicon import SiliconPopulation
+from .specs import GPUSpec
+from .thermal import ThermalModel
+
+__all__ = ["GPUFleet"]
+
+
+class GPUFleet:
+    """A homogeneous-SKU population of simulated GPUs.
+
+    Parameters
+    ----------
+    spec:
+        SKU specification.
+    silicon:
+        Manufacturing sample, one entry per GPU.
+    defects:
+        Defect assignment, one entry per GPU.
+    r_theta_base_c_per_w:
+        Cooling-technology base junction-to-coolant resistance per GPU
+        (shape ``(n,)``); multiplied by the silicon TIM-quality and any
+        HOT_RUNNER defect factor to form the effective resistance.
+    coolant_c:
+        Per-GPU coolant temperature (shape ``(n,)``).
+    policy:
+        DVFS policy; defaults to the vendor-appropriate one.
+    """
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        silicon: SiliconPopulation,
+        defects: DefectAssignment,
+        r_theta_base_c_per_w: np.ndarray,
+        coolant_c: np.ndarray,
+        policy: DvfsPolicy | None = None,
+    ) -> None:
+        n = silicon.n
+        if defects.n != n:
+            raise ValueError(f"defects cover {defects.n} GPUs, silicon covers {n}")
+        r_base = np.asarray(r_theta_base_c_per_w, dtype=float)
+        coolant = np.asarray(coolant_c, dtype=float)
+        if r_base.shape != (n,) or coolant.shape != (n,):
+            raise ValueError(
+                f"r_theta_base and coolant_c must have shape ({n},), got "
+                f"{r_base.shape} and {coolant.shape}"
+            )
+        self.spec = spec
+        self.silicon = silicon
+        self.defects = defects
+        self.r_theta_base = r_base
+        self.coolant_c = coolant
+        self.policy = policy if policy is not None else DvfsPolicy.for_spec(spec)
+
+        self.power_model = PowerModel(spec, silicon)
+        self.thermal_model = ThermalModel(
+            spec, self.effective_r_theta(), coolant
+        )
+        self.controller = DvfsController(
+            spec, self.power_model, self.thermal_model, self.policy
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of GPUs in the fleet."""
+        return self.silicon.n
+
+    def effective_r_theta(self) -> np.ndarray:
+        """Effective junction-to-coolant thermal resistance per GPU."""
+        return (
+            self.r_theta_base
+            * self.silicon.thermal_resistance_scale
+            * self.defects.extra_thermal_resistance
+        )
+
+    def power_cap_w(
+        self, power_limit_w: float | np.ndarray | None = None
+    ) -> np.ndarray:
+        """Effective per-GPU power cap.
+
+        Board-level POWER_DELIVERY defects cap a GPU at a fraction of TDP;
+        an administrative power limit (``nvidia-smi -pl``, Section VI-B)
+        caps everything below that.  The effective cap is the minimum.
+        """
+        cap = np.full(self.n, self.spec.tdp_w)
+        if power_limit_w is not None:
+            cap = np.minimum(cap, np.broadcast_to(
+                np.asarray(power_limit_w, dtype=float), (self.n,)
+            ))
+        return cap * self.defects.power_cap_frac
+
+    def throughput_efficiency(self) -> np.ndarray:
+        """Per-GPU work-throughput multiplier (silicon IPC x defect)."""
+        return self.silicon.compute_efficiency * self.defects.efficiency
+
+    def frequency_cap_mhz(self) -> np.ndarray:
+        """Per-GPU boost ceiling (SICK_SLOW defects clock below f_max)."""
+        return self.spec.f_max_mhz * self.defects.frequency_cap_frac
+
+    def memory_bandwidth_gbs(self) -> np.ndarray:
+        """Per-GPU achieved DRAM bandwidth."""
+        return self.spec.mem_bandwidth_gbs * self.silicon.bandwidth_efficiency
+
+    # ------------------------------------------------------------------
+
+    def with_coolant(self, coolant_c: np.ndarray) -> "GPUFleet":
+        """A fleet identical to this one but in a new thermal environment."""
+        return GPUFleet(
+            spec=self.spec,
+            silicon=self.silicon,
+            defects=self.defects,
+            r_theta_base_c_per_w=self.r_theta_base,
+            coolant_c=coolant_c,
+            policy=self.policy,
+        )
+
+    def take(self, indices: np.ndarray) -> "GPUFleet":
+        """Sub-fleet at ``indices`` (e.g. the GPUs of one allocation)."""
+        indices = np.asarray(indices)
+        return GPUFleet(
+            spec=self.spec,
+            silicon=self.silicon.take(indices),
+            defects=self.defects.take(indices),
+            r_theta_base_c_per_w=self.r_theta_base[indices].copy(),
+            coolant_c=self.coolant_c[indices].copy(),
+            policy=self.policy,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n_def = self.defects.defective_indices().shape[0]
+        return f"GPUFleet(spec={self.spec.name}, n={self.n}, defective={n_def})"

@@ -1,0 +1,336 @@
+"""Vendor DVFS (dynamic voltage & frequency scaling) controller.
+
+GPU power management is local and reactive (Section II-B): firmware walks
+the discrete p-state ladder to keep board power under the TDP and junction
+temperature under the slowdown threshold.  We provide two views of the same
+policy:
+
+* :meth:`DvfsController.solve_steady` — the settled operating point a long,
+  stationary kernel reaches (the regime the paper measures: SGEMM kernels
+  are sized so "the DVFS controller [reaches] a stable state").  Solved as a
+  vectorized fixed point over the whole population at once.
+* :meth:`DvfsController.control_step` — one reactive controller tick for the
+  time-stepped engine, reproducing the rise-overshoot-settle transients of
+  Fig. 11.
+
+The AMD MI60's coarse DPM ladder cannot sit exactly at the cap, so the
+controller *dithers* between two adjacent levels; the effective frequency is
+a duty-cycle blend while the reported (sampled) frequency snaps to a level.
+This is what makes Corona's per-run repeatability much worse (Fig. 8, median
+6.06% vs 0.12–0.44% on NVIDIA clusters) and weakens its perf/frequency
+correlation (-0.76 vs -0.97/-0.99) despite identical physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import require
+from .power import PowerModel
+from .specs import GPUSpec, VENDOR_AMD
+from .thermal import ThermalModel
+
+__all__ = ["DvfsPolicy", "SteadyOperatingPoint", "DvfsController"]
+
+#: Fixed-point iterations for the leakage/temperature coupling.  The
+#: contraction factor is R * dP_leak/dT ~ 0.05-0.1, so 7 iterations push the
+#: error far below sensor resolution.
+_FIXED_POINT_ITERS = 7
+
+
+@dataclass(frozen=True)
+class DvfsPolicy:
+    """Tunable behaviour of the power-management firmware."""
+
+    #: Degrees of headroom kept below the slowdown temperature.
+    thermal_headroom_c: float = 1.0
+    #: Watts of headroom kept below the power cap when stepping up.
+    power_headroom_w: float = 2.0
+    #: Whether the ladder is coarse enough that the controller dithers
+    #: between adjacent levels (AMD DPM behaviour).
+    dither: bool = False
+    #: Maximum duty-cycle fraction spent at the level *above* the feasible
+    #: one while dithering.
+    dither_max_duty: float = 0.90
+    #: p-states stepped per control tick when over the cap (reactive mode).
+    down_step: int = 2
+    #: p-states stepped per control tick when under the cap (reactive mode).
+    up_step: int = 1
+
+    def __post_init__(self) -> None:
+        require(self.thermal_headroom_c >= 0, "thermal_headroom_c must be >= 0")
+        require(self.power_headroom_w >= 0, "power_headroom_w must be >= 0")
+        require(0 <= self.dither_max_duty < 1, "dither_max_duty must be in [0, 1)")
+        require(self.down_step >= 1 and self.up_step >= 1,
+                "step sizes must be >= 1")
+
+    @classmethod
+    def for_spec(cls, spec: GPUSpec) -> "DvfsPolicy":
+        """Default policy for a SKU (AMD ladders dither, NVIDIA's do not)."""
+        if spec.vendor == VENDOR_AMD:
+            return cls(dither=True, dither_max_duty=0.50, power_headroom_w=2.0,
+                       down_step=1, up_step=1)
+        return cls(dither=False)
+
+
+@dataclass(frozen=True)
+class SteadyOperatingPoint:
+    """Settled operating point of every GPU in the population.
+
+    All arrays have shape ``(n,)``.
+    """
+
+    pstate_index: np.ndarray      # int, feasible ladder level
+    f_effective_mhz: np.ndarray   # duty-cycle-blended core clock
+    f_reported_mhz: np.ndarray    # what the profiler would report
+    power_w: np.ndarray           # settled board power
+    temperature_c: np.ndarray     # settled junction temperature
+    power_capped: np.ndarray      # bool: limited by power, not ladder top
+    thermally_capped: np.ndarray  # bool: limited by the slowdown threshold
+
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return int(self.pstate_index.shape[0])
+
+
+class DvfsController:
+    """Power-management firmware for a homogeneous-SKU population."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        power_model: PowerModel,
+        thermal_model: ThermalModel,
+        policy: DvfsPolicy | None = None,
+    ) -> None:
+        if power_model.n != thermal_model.n:
+            raise ValueError(
+                f"power model covers {power_model.n} GPUs but thermal model "
+                f"covers {thermal_model.n}"
+            )
+        self.spec = spec
+        self.power = power_model
+        self.thermal = thermal_model
+        self.policy = policy if policy is not None else DvfsPolicy.for_spec(spec)
+
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return self.power.n
+
+    # ------------------------------------------------------------------
+    # steady state
+    # ------------------------------------------------------------------
+
+    def power_grid(
+        self,
+        activity: np.ndarray | float,
+        dram_utilization: np.ndarray | float,
+        efficiency: np.ndarray | float = 1.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fixed-point settled (power, temperature) at every (GPU, p-state).
+
+        Returns two ``(n, k)`` arrays.  Solves the leakage/temperature
+        coupling ``P = P0(f) + P_leak(T)``, ``T = Tc + R * P`` by iteration.
+        """
+        steps = self.spec.pstate_array()          # (k,)
+        act = _as_col(activity, self.n)
+        util = _as_col(dram_utilization, self.n)
+        eff = _as_col(efficiency, self.n)
+
+        f_grid = np.broadcast_to(steps, (self.n, steps.shape[0]))
+        p_base = (
+            self.power.dynamic_power(f_grid, act, eff)
+            + self.power.memory_power(util)
+            + self.spec.idle_power_w
+        ).astype(np.float32)
+        # The fixed point runs in float32: the grid is n x k (up to ~5M
+        # entries on Summit) and the exp-heavy leakage term dominates the
+        # whole simulation; 0.01 W precision is far below sensor noise.
+        leak_scale = (
+            self.power.silicon.leakage_scale[:, None]
+            * self.spec.leakage_nominal_w
+        ).astype(np.float32)
+        k_t = np.float32(self.spec.leakage_temp_coeff)
+        r = self.thermal.r_theta[:, None].astype(np.float32)
+        tc = self.thermal.coolant_c[:, None].astype(np.float32)
+
+        # Clamp the iterate well above the shutdown threshold: operating
+        # points that hot are rejected by the feasibility check regardless,
+        # and the clamp keeps the exponential leakage term from blowing up
+        # on (GPU, p-state) pairs that would physically thermally run away.
+        t_clamp = np.float32(self.spec.t_shutdown_c + 40.0)
+        t = np.broadcast_to(tc, p_base.shape).copy()
+        p = p_base + leak_scale * np.exp(k_t * (t - np.float32(25.0)))
+        for _ in range(_FIXED_POINT_ITERS):
+            np.minimum(tc + r * p, t_clamp, out=t)
+            p = p_base + leak_scale * np.exp(k_t * (t - np.float32(25.0)))
+        return p.astype(np.float64), t.astype(np.float64)
+
+    def solve_steady(
+        self,
+        activity: np.ndarray | float,
+        dram_utilization: np.ndarray | float,
+        efficiency: np.ndarray | float = 1.0,
+        power_cap_w: np.ndarray | float | None = None,
+        f_cap_mhz: np.ndarray | float | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> SteadyOperatingPoint:
+        """Settled operating point of every GPU under a stationary load.
+
+        Parameters
+        ----------
+        activity, dram_utilization, efficiency:
+            Workload switching activity, DRAM utilization, and (defect)
+            throughput multiplier; scalars or ``(n,)`` arrays.
+        power_cap_w:
+            Effective per-GPU power cap.  ``None`` uses the SKU TDP.  Pass
+            ``min(TDP * defect_cap, power_limit)`` to combine board defects
+            with ``nvidia-smi``-style administrative limits (Section VI-B).
+        f_cap_mhz:
+            Per-GPU boost ceiling; SICK_SLOW defects cannot clock past it.
+            ``None`` allows the full ladder.
+        rng:
+            Required when the policy dithers (AMD); supplies the per-call
+            duty cycles.
+        """
+        if power_cap_w is None:
+            cap = np.full(self.n, self.spec.tdp_w)
+        else:
+            cap = np.broadcast_to(
+                np.asarray(power_cap_w, dtype=float), (self.n,)
+            ).copy()
+
+        p_grid, t_grid = self.power_grid(activity, dram_utilization, efficiency)
+        t_limit = self.spec.t_slowdown_c - self.policy.thermal_headroom_c
+
+        power_ok = p_grid <= cap[:, None]
+        thermal_ok = t_grid <= t_limit
+        feasible = power_ok & thermal_ok
+        if f_cap_mhz is not None:
+            f_cap = np.broadcast_to(
+                np.asarray(f_cap_mhz, dtype=float), (self.n,)
+            )
+            feasible &= self.spec.pstate_array()[None, :] <= f_cap[:, None]
+
+        # Highest feasible ladder index per GPU; the ladder is monotone in
+        # power and temperature so feasibility is a prefix — but defects and
+        # degenerate configs could break that, so scan explicitly.
+        k = p_grid.shape[1]
+        rev = feasible[:, ::-1]
+        first_true = np.argmax(rev, axis=1)
+        any_true = rev.any(axis=1)
+        idx = np.where(any_true, k - 1 - first_true, 0)
+
+        rows = np.arange(self.n)
+        steps = self.spec.pstate_array()
+        f_level = steps[idx]
+        p_level = p_grid[rows, idx]
+        t_level = t_grid[rows, idx]
+
+        at_top = idx == k - 1
+        # Why is the GPU not at the top of the ladder?
+        above = np.minimum(idx + 1, k - 1)
+        p_above = p_grid[rows, above]
+        t_above = t_grid[rows, above]
+        power_capped = (~at_top) & (p_above > cap)
+        thermally_capped = (~at_top) & (t_above > t_limit) & ~power_capped
+        if f_cap_mhz is not None:
+            # A GPU pinned by its boost ceiling is not (necessarily) at a
+            # power or thermal limit; exclude it from both categories so it
+            # does not dither past the ceiling.
+            at_ceiling = (~at_top) & (steps[above] > f_cap)
+            power_capped &= ~at_ceiling
+            thermally_capped &= ~at_ceiling
+
+        f_eff = f_level.astype(float).copy()
+        f_rep = f_level.astype(float).copy()
+        p_out = p_level.copy()
+        t_out = t_level.copy()
+
+        if self.policy.dither:
+            if rng is None:
+                raise ValueError("a dithering policy requires an rng")
+            dither_mask = (~at_top) & (power_capped | thermally_capped)
+            n_d = int(dither_mask.sum())
+            if n_d:
+                # The controller may only spend time at the level above to
+                # the extent the time-averaged power and temperature stay
+                # under their limits; the realized duty cycle is a noisy
+                # fraction of that headroom (run-to-run DPM nondeterminism).
+                p_lo = p_level[dither_mask]
+                p_hi = p_above[dither_mask]
+                t_lo = t_level[dither_mask]
+                t_hi = t_above[dither_mask]
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    duty_p = (
+                        cap[dither_mask] - self.policy.power_headroom_w - p_lo
+                    ) / (p_hi - p_lo)
+                    duty_t = (t_limit - t_lo) / (t_hi - t_lo)
+                duty_limit = np.clip(
+                    np.nan_to_num(np.minimum(duty_p, duty_t), nan=0.0), 0.0, 1.0
+                )
+                duty_limit = np.minimum(duty_limit, self.policy.dither_max_duty)
+                duty = duty_limit * rng.uniform(0.3, 1.0, size=n_d)
+                f_hi = steps[above[dither_mask]]
+                f_lo = f_level[dither_mask]
+                f_eff[dither_mask] = f_lo + duty * (f_hi - f_lo)
+                f_rep[dither_mask] = np.where(duty >= 0.5, f_hi, f_lo)
+                p_out[dither_mask] = (
+                    p_level[dither_mask]
+                    + duty * (p_above[dither_mask] - p_level[dither_mask])
+                )
+                t_out[dither_mask] = (
+                    t_level[dither_mask]
+                    + duty * (t_above[dither_mask] - t_level[dither_mask])
+                )
+
+        return SteadyOperatingPoint(
+            pstate_index=idx.astype(np.int32),
+            f_effective_mhz=f_eff,
+            f_reported_mhz=f_rep,
+            power_w=p_out,
+            temperature_c=t_out,
+            power_capped=power_capped,
+            thermally_capped=thermally_capped,
+        )
+
+    # ------------------------------------------------------------------
+    # reactive control (time-stepped engine)
+    # ------------------------------------------------------------------
+
+    def control_step(
+        self,
+        pstate_index: np.ndarray,
+        power_w: np.ndarray,
+        temperature_c: np.ndarray,
+        power_cap_w: np.ndarray,
+    ) -> np.ndarray:
+        """One firmware tick: step the ladder based on instantaneous P and T.
+
+        Over the cap (or over the slowdown threshold) steps down by
+        ``policy.down_step``; comfortably under the cap steps up by
+        ``policy.up_step``.  Returns the new p-state indices.
+        """
+        idx = np.asarray(pstate_index, dtype=np.int64).copy()
+        t_limit = self.spec.t_slowdown_c - self.policy.thermal_headroom_c
+        over = (power_w > power_cap_w) | (temperature_c > t_limit)
+        under = (power_w < power_cap_w - self.policy.power_headroom_w) & (
+            temperature_c < t_limit - 1.0
+        )
+        idx[over] -= self.policy.down_step
+        idx[under & ~over] += self.policy.up_step
+        return np.clip(idx, 0, self.spec.n_pstates - 1)
+
+
+def _as_col(value: np.ndarray | float, n: int) -> np.ndarray:
+    """Broadcast a scalar or (n,) array to an (n, 1) column."""
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim == 0:
+        return np.full((n, 1), float(arr))
+    if arr.shape != (n,):
+        raise ValueError(f"expected scalar or shape ({n},), got {arr.shape}")
+    return arr[:, None]

@@ -1,0 +1,114 @@
+"""Board power model.
+
+Total board power is the sum of four contributions::
+
+    P = activity * eff * C_eff * (V(f) * (1 + v_off))**2 * f   (core dynamic)
+      + dram_util * P_mem_max                                   (memory)
+      + leak_scale * P_leak0 * exp(k * (T - 25))                 (leakage)
+      + P_idle                                                   (baseboard)
+
+The dynamic term carries the manufacturing voltage offset — the lever through
+which process spread becomes a per-GPU power difference and, under a fixed
+TDP, a per-GPU frequency and performance difference.  The leakage term grows
+exponentially with junction temperature, which couples cooling quality into
+the power budget (and therefore performance) on air-cooled clusters.
+
+All methods are vectorized: per-GPU parameter arrays of shape ``(n,)``
+broadcast against frequency grids of shape ``(n,)`` or ``(n, k)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .silicon import SiliconPopulation
+from .specs import GPUSpec
+
+__all__ = ["PowerModel"]
+
+
+class PowerModel:
+    """Vectorized power evaluation for a homogeneous-SKU GPU population.
+
+    Parameters
+    ----------
+    spec:
+        The SKU electrical specification.
+    silicon:
+        Per-die manufacturing parameters; ``silicon.n`` defines the
+        population size all evaluations broadcast over.
+    """
+
+    def __init__(self, spec: GPUSpec, silicon: SiliconPopulation) -> None:
+        self.spec = spec
+        self.silicon = silicon
+        # Pre-square the per-die voltage multiplier once.
+        self._v_mult_sq = (1.0 + silicon.voltage_offset) ** 2
+
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return self.silicon.n
+
+    # -- components ---------------------------------------------------------
+
+    def dynamic_power(
+        self,
+        f_mhz: np.ndarray,
+        activity: np.ndarray | float,
+        efficiency: np.ndarray | float = 1.0,
+    ) -> np.ndarray:
+        """Core switching power at frequency ``f_mhz``.
+
+        ``activity`` is the workload's switching-activity factor in [0, 1];
+        ``efficiency`` is the defect throughput multiplier (sick GPUs stall,
+        switching less and burning less power — the 76 W stragglers of
+        Fig. 15b fall out of this coupling).
+        """
+        f = np.asarray(f_mhz, dtype=float)
+        v_nom = self.spec.voltage_at(f)
+        v_sq = v_nom**2 * _col(self._v_mult_sq, f.ndim)
+        act = np.asarray(activity, dtype=float) * np.asarray(efficiency, dtype=float)
+        return act * self.spec.c_eff_w_per_v2mhz * v_sq * f
+
+    def memory_power(self, dram_utilization: np.ndarray | float) -> np.ndarray:
+        """DRAM + memory-controller power at the given utilization."""
+        util = np.clip(np.asarray(dram_utilization, dtype=float), 0.0, 1.0)
+        return util * self.spec.mem_power_max_w
+
+    def leakage_power(self, temperature_c: np.ndarray | float) -> np.ndarray:
+        """Static power of each die at junction temperature ``temperature_c``."""
+        t = np.asarray(temperature_c, dtype=float)
+        base = self.spec.leakage_nominal_w * np.exp(
+            self.spec.leakage_temp_coeff * (t - 25.0)
+        )
+        return _col(self.silicon.leakage_scale, t.ndim) * base
+
+    # -- totals ---------------------------------------------------------------
+
+    def total_power(
+        self,
+        f_mhz: np.ndarray,
+        temperature_c: np.ndarray,
+        activity: np.ndarray | float,
+        dram_utilization: np.ndarray | float,
+        efficiency: np.ndarray | float = 1.0,
+    ) -> np.ndarray:
+        """Board power at an operating point (vectorized, broadcasting)."""
+        return (
+            self.dynamic_power(f_mhz, activity, efficiency)
+            + self.memory_power(dram_utilization)
+            + self.leakage_power(temperature_c)
+            + self.spec.idle_power_w
+        )
+
+    def idle_power(self, temperature_c: np.ndarray | float) -> np.ndarray:
+        """Board power with clocks parked (leakage + baseboard only)."""
+        return self.leakage_power(temperature_c) + self.spec.idle_power_w
+
+
+def _col(per_gpu: np.ndarray, target_ndim: int) -> np.ndarray:
+    """Reshape a per-GPU (n,) array to broadcast against (n, k) grids."""
+    if target_ndim <= 1:
+        return per_gpu
+    return per_gpu.reshape(per_gpu.shape[0], *([1] * (target_ndim - 1)))

@@ -1,0 +1,173 @@
+"""Manufacturing (silicon) variability model.
+
+The paper attributes intra-SKU performance variability to "the manufacturing
+process and the chip's power constraints" (Section I).  We model each die as
+a sample from a process distribution with four physical knobs:
+
+``voltage_offset``
+    Multiplicative offset on the V-f curve.  A die from a slow process
+    corner needs more voltage at a given frequency, so it burns more dynamic
+    power and — under a fixed TDP — settles at a lower DVFS state.  This is
+    the primary driver of the compute-bound variability the paper measures.
+``leakage_scale``
+    Multiplicative spread of static power.  Leaky dies lose more of their
+    power budget to leakage, and because leakage grows exponentially with
+    temperature this couples performance to cooling quality (the weak
+    perf/temperature correlation on air-cooled clusters, Fig. 3a).
+``thermal_resistance_scale``
+    Quality of the die-attach / thermal-interface material, scaling the
+    junction-to-coolant thermal resistance.  Produces hot runners.
+``bandwidth_efficiency``
+    Achievable fraction of peak DRAM bandwidth (HBM stack binning).  Tiny
+    spread; bounds the variability floor of memory-bound workloads.
+``power_sensor_gain``
+    Board power-telemetry calibration gain.  GPU boards report power
+    through shunt/INA sensors with a few-percent board-to-board gain
+    error; two GPUs both pegged at the 300 W cap therefore *report*
+    slightly different wattages.  This is what turns the hard power cap
+    into the 292-300 W cloud the paper's scatter plots show, and it is
+    persistent per board (not per run).
+
+The population is vectorized: one :class:`SiliconPopulation` holds parallel
+NumPy arrays for an entire cluster's GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import require, require_positive
+
+__all__ = ["SiliconConfig", "SiliconPopulation", "sample_population"]
+
+
+@dataclass(frozen=True)
+class SiliconConfig:
+    """Distribution parameters of the manufacturing process for one SKU batch.
+
+    Defaults are calibrated for the NVIDIA V100 batches in the paper's
+    clusters; per-SKU presets live in :mod:`repro.cluster.presets`.
+    """
+
+    #: Std-dev of the (Gaussian, mean-0) relative voltage offset.
+    voltage_offset_sigma: float = 0.010
+    #: Hard clip applied to voltage offsets, in sigmas (guards silly tails).
+    voltage_offset_clip_sigmas: float = 3.5
+    #: Sigma of the log-normal leakage scale (median 1.0).
+    leakage_log_sigma: float = 0.15
+    #: Sigma of the log-normal thermal-resistance scale (median 1.0).
+    thermal_resistance_log_sigma: float = 0.12
+    #: Std-dev of DRAM bandwidth efficiency around its mean.
+    bandwidth_efficiency_sigma: float = 0.0015
+    #: Mean DRAM bandwidth efficiency (fraction of the spec's peak).
+    bandwidth_efficiency_mean: float = 0.93
+    #: Std-dev of compute efficiency (achieved IPC) around 1.0.
+    compute_efficiency_sigma: float = 0.004
+    #: Std-dev of the per-board power-telemetry gain around 1.0.
+    power_sensor_gain_sigma: float = 0.008
+
+    def __post_init__(self) -> None:
+        require(self.voltage_offset_sigma >= 0, "voltage_offset_sigma must be >= 0")
+        require(self.leakage_log_sigma >= 0, "leakage_log_sigma must be >= 0")
+        require(
+            self.thermal_resistance_log_sigma >= 0,
+            "thermal_resistance_log_sigma must be >= 0",
+        )
+        require(0 < self.bandwidth_efficiency_mean <= 1.0,
+                "bandwidth_efficiency_mean must be in (0, 1]")
+        require_positive(self.voltage_offset_clip_sigmas, "voltage_offset_clip_sigmas")
+
+
+@dataclass(frozen=True)
+class SiliconPopulation:
+    """Per-die manufacturing parameters for ``n`` GPUs (parallel arrays).
+
+    All arrays have shape ``(n,)``.  Instances are immutable; defect
+    injection layers additional caps on top (see :mod:`repro.gpu.defects`)
+    without mutating the silicon sample.
+    """
+
+    voltage_offset: np.ndarray          # relative, ~N(0, sigma), clipped
+    leakage_scale: np.ndarray           # ~LogNormal, median 1
+    thermal_resistance_scale: np.ndarray  # ~LogNormal, median 1
+    bandwidth_efficiency: np.ndarray    # fraction of peak DRAM bandwidth
+    compute_efficiency: np.ndarray      # achieved-IPC multiplier, ~1
+    power_sensor_gain: np.ndarray       # power-telemetry gain, ~1
+
+    def __post_init__(self) -> None:
+        n = self.voltage_offset.shape[0]
+        for name in (
+            "leakage_scale",
+            "thermal_resistance_scale",
+            "bandwidth_efficiency",
+            "compute_efficiency",
+            "power_sensor_gain",
+        ):
+            arr = getattr(self, name)
+            if arr.shape != (n,):
+                raise ValueError(
+                    f"silicon array {name} has shape {arr.shape}, expected ({n},)"
+                )
+
+    @property
+    def n(self) -> int:
+        """Number of dies in the population."""
+        return int(self.voltage_offset.shape[0])
+
+    def take(self, indices: np.ndarray) -> "SiliconPopulation":
+        """Sub-population at ``indices`` (fancy-indexing view, copied)."""
+        return SiliconPopulation(
+            voltage_offset=self.voltage_offset[indices].copy(),
+            leakage_scale=self.leakage_scale[indices].copy(),
+            thermal_resistance_scale=self.thermal_resistance_scale[indices].copy(),
+            bandwidth_efficiency=self.bandwidth_efficiency[indices].copy(),
+            compute_efficiency=self.compute_efficiency[indices].copy(),
+            power_sensor_gain=self.power_sensor_gain[indices].copy(),
+        )
+
+
+def sample_population(
+    n: int,
+    config: SiliconConfig,
+    rng: np.random.Generator,
+) -> SiliconPopulation:
+    """Draw ``n`` dies from the process distribution described by ``config``.
+
+    Draw order is fixed (voltage, leakage, thermal, bandwidth, compute,
+    sensor gain) so results are reproducible for a given generator state.
+    """
+    if n <= 0:
+        raise ValueError(f"population size must be positive, got {n}")
+    clip = config.voltage_offset_sigma * config.voltage_offset_clip_sigmas
+    voltage_offset = np.clip(
+        rng.normal(0.0, config.voltage_offset_sigma, size=n), -clip, clip
+    )
+    leakage_scale = rng.lognormal(0.0, config.leakage_log_sigma, size=n)
+    thermal_resistance_scale = rng.lognormal(
+        0.0, config.thermal_resistance_log_sigma, size=n
+    )
+    bandwidth_efficiency = np.clip(
+        rng.normal(
+            config.bandwidth_efficiency_mean,
+            config.bandwidth_efficiency_sigma,
+            size=n,
+        ),
+        0.5,
+        1.0,
+    )
+    compute_efficiency = np.clip(
+        rng.normal(1.0, config.compute_efficiency_sigma, size=n), 0.9, 1.1
+    )
+    power_sensor_gain = np.clip(
+        rng.normal(1.0, config.power_sensor_gain_sigma, size=n), 0.9, 1.1
+    )
+    return SiliconPopulation(
+        voltage_offset=voltage_offset,
+        leakage_scale=leakage_scale,
+        thermal_resistance_scale=thermal_resistance_scale,
+        bandwidth_efficiency=bandwidth_efficiency,
+        compute_efficiency=compute_efficiency,
+        power_sensor_gain=power_sensor_gain,
+    )

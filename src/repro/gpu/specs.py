@@ -1,0 +1,275 @@
+"""Vendor SKU specifications for the GPUs studied in the paper.
+
+The paper covers three SKUs (Table I):
+
+* NVIDIA Tesla **V100**-SXM2 — Volta, 80 SMs, 300 W TDP, 1530 MHz boost,
+  fine-grained DVFS steps (7.5 MHz), HBM2 at ~900 GB/s.  Used on Longhorn,
+  Summit, Vortex, and CloudLab.
+* NVIDIA Quadro **RTX 5000** — Turing, 48 SMs, 230 W TDP, ~1815 MHz boost,
+  15 MHz steps, GDDR6 at ~448 GB/s.  Used on Frontera.
+* AMD Radeon Instinct **MI60** — Vega20, 64 CUs, 300 W TDP, 1800 MHz boost,
+  *coarse* DPM states (8 levels), HBM2 at ~1024 GB/s.  Used on Corona.
+
+Temperature thresholds come from Section III of the paper.  Electrical
+parameters (voltage rails, effective capacitance, leakage) are calibrated so
+that a fully-active compute kernel exceeds TDP at the boost clock — forcing
+the DVFS controller into the power-capped regime the paper observes — while
+memory-bound workloads stay comfortably below TDP at the boost clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import require, require_positive
+from ..errors import ConfigError
+
+__all__ = [
+    "GPUSpec",
+    "VENDOR_NVIDIA",
+    "VENDOR_AMD",
+    "V100",
+    "RTX5000",
+    "MI60",
+    "get_spec",
+    "list_specs",
+    "register_spec",
+]
+
+VENDOR_NVIDIA = "NVIDIA"
+VENDOR_AMD = "AMD"
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Immutable description of a GPU stock-keeping unit (SKU).
+
+    Attributes
+    ----------
+    name, vendor:
+        Marketing name and vendor string.
+    sm_count:
+        Streaming multiprocessors (NVIDIA) or compute units (AMD).
+    tdp_w:
+        Board thermal design power in watts; the DVFS power cap.
+    pstates_mhz:
+        Discrete core-clock states in MHz, ascending.  NVIDIA exposes fine
+        steps, AMD exposes a handful of DPM levels — the granularity
+        difference itself is a finding of the paper (Section IV-D).
+    v_min, v_max:
+        Core voltage at the lowest / highest p-state (volts).
+    vf_gamma:
+        Shape of the voltage/frequency curve
+        ``V(f) = v_min + (v_max - v_min) * x**vf_gamma`` with
+        ``x = (f - f_min)/(f_max - f_min)``.
+    c_eff_w_per_v2mhz:
+        Effective switched capacitance: dynamic power at activity 1.0 is
+        ``c_eff * V(f)**2 * f`` watts.
+    idle_power_w:
+        Board power with clocks idle.
+    mem_bandwidth_gbs:
+        Peak DRAM bandwidth (GB/s) — the memory roofline.
+    mem_power_max_w:
+        DRAM + memory-controller power at 100% DRAM utilization.
+    leakage_nominal_w:
+        Static (leakage) power of a *nominal* die at the reference
+        temperature (25 C).
+    leakage_temp_coeff:
+        Exponential temperature coefficient of leakage (1/degC):
+        ``P_leak(T) = leakage_nominal * exp(coeff * (T - 25))``.
+    compute_throughput:
+        FLOPs retired per MHz per millisecond at full functional-unit
+        utilization (i.e. peak FLOP/s divided by boost MHz, expressed per
+        ms).  Normalizes the roofline so kernel durations land in the
+        ranges the paper reports (e.g. a 25536^3 SGEMM ~2.3 s on a V100).
+    t_shutdown_c, t_slowdown_c, t_max_operating_c:
+        Thermal thresholds from Section III.
+    thermal_capacitance_j_per_c:
+        Lumped heat capacity of die + heatsink for the RC transient model.
+    dvfs_interval_ms:
+        Control period of the on-board power-management firmware.
+    """
+
+    name: str
+    vendor: str
+    sm_count: int
+    tdp_w: float
+    pstates_mhz: tuple[float, ...]
+    v_min: float
+    v_max: float
+    vf_gamma: float
+    c_eff_w_per_v2mhz: float
+    idle_power_w: float
+    mem_bandwidth_gbs: float
+    mem_power_max_w: float
+    leakage_nominal_w: float
+    leakage_temp_coeff: float
+    compute_throughput: float
+    t_shutdown_c: float
+    t_slowdown_c: float
+    t_max_operating_c: float
+    thermal_capacitance_j_per_c: float = 600.0
+    dvfs_interval_ms: float = 25.0
+
+    def __post_init__(self) -> None:
+        require(len(self.pstates_mhz) >= 2, "a GPUSpec needs at least two p-states")
+        steps = np.asarray(self.pstates_mhz, dtype=float)
+        if not np.all(np.diff(steps) > 0):
+            raise ConfigError("pstates_mhz must be strictly ascending")
+        require_positive(self.tdp_w, "tdp_w")
+        require_positive(self.c_eff_w_per_v2mhz, "c_eff_w_per_v2mhz")
+        require_positive(self.mem_bandwidth_gbs, "mem_bandwidth_gbs")
+        require_positive(self.compute_throughput, "compute_throughput")
+        require(self.v_max > self.v_min > 0, "need v_max > v_min > 0")
+        require(
+            self.t_shutdown_c > self.t_slowdown_c,
+            "t_shutdown_c must exceed t_slowdown_c",
+        )
+
+    # -- frequency helpers -------------------------------------------------
+
+    @property
+    def f_min_mhz(self) -> float:
+        """Lowest supported core clock."""
+        return self.pstates_mhz[0]
+
+    @property
+    def f_max_mhz(self) -> float:
+        """Boost (highest) core clock."""
+        return self.pstates_mhz[-1]
+
+    @property
+    def n_pstates(self) -> int:
+        """Number of discrete frequency states."""
+        return len(self.pstates_mhz)
+
+    def pstate_array(self) -> np.ndarray:
+        """P-states as a float ndarray (ascending MHz)."""
+        return np.asarray(self.pstates_mhz, dtype=float)
+
+    def nearest_pstate_index(self, f_mhz: float | np.ndarray) -> np.ndarray:
+        """Index of the highest p-state **not above** ``f_mhz`` (clamped)."""
+        steps = self.pstate_array()
+        idx = np.searchsorted(steps, np.asarray(f_mhz, dtype=float), side="right") - 1
+        return np.clip(idx, 0, len(steps) - 1)
+
+    # -- electrical helpers --------------------------------------------------
+
+    def voltage_at(self, f_mhz: float | np.ndarray) -> np.ndarray:
+        """Nominal core voltage on the V-f curve at frequency ``f_mhz``."""
+        f = np.asarray(f_mhz, dtype=float)
+        x = np.clip((f - self.f_min_mhz) / (self.f_max_mhz - self.f_min_mhz), 0.0, 1.0)
+        return self.v_min + (self.v_max - self.v_min) * np.power(x, self.vf_gamma)
+
+    def peak_dynamic_power_w(self) -> float:
+        """Dynamic power of a nominal die at boost clock, activity 1.0."""
+        return float(self.c_eff_w_per_v2mhz * self.v_max**2 * self.f_max_mhz)
+
+
+def _nvidia_steps(lo: float, hi: float, step: float) -> tuple[float, ...]:
+    n = int(round((hi - lo) / step)) + 1
+    return tuple(lo + i * step for i in range(n))
+
+
+#: NVIDIA Tesla V100-SXM2 16GB (Volta).  Calibrated so a fully-active
+#: compute kernel draws ~355 W at 1530 MHz — well over the 300 W TDP —
+#: so SGEMM settles in the 1300–1450 MHz band the paper measures.
+V100 = GPUSpec(
+    name="V100",
+    vendor=VENDOR_NVIDIA,
+    sm_count=80,
+    tdp_w=300.0,
+    pstates_mhz=_nvidia_steps(135.0, 1530.0, 7.5),
+    v_min=0.712,
+    v_max=1.093,
+    vf_gamma=1.5,
+    c_eff_w_per_v2mhz=0.1510,
+    idle_power_w=22.0,
+    mem_bandwidth_gbs=900.0,
+    mem_power_max_w=60.0,
+    leakage_nominal_w=18.0,
+    leakage_temp_coeff=0.018,
+    compute_throughput=1.026e7,
+    t_shutdown_c=90.0,
+    t_slowdown_c=87.0,
+    t_max_operating_c=83.0,
+    thermal_capacitance_j_per_c=650.0,
+    dvfs_interval_ms=25.0,
+)
+
+#: NVIDIA Quadro RTX 5000 (Turing).  Lower 230 W TDP, faster boost clock
+#: (Section IV-F notes Frontera's operating frequencies sit above the V100s').
+RTX5000 = GPUSpec(
+    name="RTX5000",
+    vendor=VENDOR_NVIDIA,
+    sm_count=48,
+    tdp_w=230.0,
+    pstates_mhz=_nvidia_steps(300.0, 1815.0, 15.0),
+    v_min=0.70,
+    v_max=1.06,
+    vf_gamma=1.45,
+    c_eff_w_per_v2mhz=0.0934,
+    idle_power_w=15.0,
+    mem_bandwidth_gbs=448.0,
+    mem_power_max_w=45.0,
+    leakage_nominal_w=12.0,
+    leakage_temp_coeff=0.015,
+    compute_throughput=6.17e6,
+    t_shutdown_c=96.0,
+    t_slowdown_c=93.0,
+    t_max_operating_c=89.0,
+    thermal_capacitance_j_per_c=420.0,
+    dvfs_interval_ms=25.0,
+)
+
+#: AMD Radeon Instinct MI60 (Vega20).  Coarse DPM states; Corona's GPUs run
+#: hot under air cooling and thermally throttle below peak power (Section IV-D).
+MI60 = GPUSpec(
+    name="MI60",
+    vendor=VENDOR_AMD,
+    sm_count=64,
+    tdp_w=300.0,
+    pstates_mhz=(300.0, 701.0, 892.0, 1085.0, 1287.0, 1440.0, 1597.0, 1725.0, 1800.0),
+    v_min=0.72,
+    v_max=1.10,
+    vf_gamma=1.55,
+    c_eff_w_per_v2mhz=0.1040,
+    idle_power_w=20.0,
+    mem_bandwidth_gbs=1024.0,
+    mem_power_max_w=64.0,
+    leakage_nominal_w=14.0,
+    leakage_temp_coeff=0.017,
+    compute_throughput=8.2e6,
+    t_shutdown_c=105.0,
+    t_slowdown_c=100.0,
+    t_max_operating_c=99.0,
+    thermal_capacitance_j_per_c=700.0,
+    dvfs_interval_ms=40.0,
+)
+
+
+_REGISTRY: dict[str, GPUSpec] = {s.name: s for s in (V100, RTX5000, MI60)}
+
+
+def register_spec(spec: GPUSpec) -> None:
+    """Add a custom SKU to the registry (e.g. for what-if studies)."""
+    if spec.name in _REGISTRY:
+        raise ConfigError(f"spec {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+
+
+def get_spec(name: str) -> GPUSpec:
+    """Look up a registered SKU by name (``'V100'``, ``'RTX5000'``, ``'MI60'``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown GPU spec {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_specs() -> list[str]:
+    """Names of all registered SKUs."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,105 @@
+"""Lumped RC thermal model.
+
+Each GPU is a single thermal node: junction temperature ``T`` relaxes toward
+``T_coolant + R_theta * P`` with time constant ``R_theta * C_th``::
+
+    C_th * dT/dt = P - (T - T_coolant) / R_theta
+
+``R_theta`` (junction-to-coolant thermal resistance, degC/W) combines the
+cooling technology's base resistance with the die's thermal-interface
+quality (silicon sample) and any HOT_RUNNER defect multiplier.  The cooling
+technology also sets the per-GPU coolant temperature field — wide for air
+(hot/cold aisles, vertical gradients), narrow for water and mineral oil —
+which is where the paper's cooling-dependent temperature spreads come from
+(Takeaway 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .specs import GPUSpec
+
+__all__ = ["ThermalModel"]
+
+
+class ThermalModel:
+    """Vectorized RC thermal dynamics for a GPU population.
+
+    Parameters
+    ----------
+    spec:
+        SKU specification (supplies the lumped heat capacity).
+    r_theta_c_per_w:
+        Per-GPU junction-to-coolant thermal resistance, shape ``(n,)``.
+        Already includes silicon TIM-quality and defect multipliers.
+    coolant_c:
+        Per-GPU coolant temperature, shape ``(n,)``.
+    """
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        r_theta_c_per_w: np.ndarray,
+        coolant_c: np.ndarray,
+    ) -> None:
+        r = np.asarray(r_theta_c_per_w, dtype=float)
+        tc = np.asarray(coolant_c, dtype=float)
+        if r.ndim != 1 or r.shape != tc.shape:
+            raise ValueError(
+                f"r_theta and coolant must be 1-D and equal length, got "
+                f"{r.shape} vs {tc.shape}"
+            )
+        if np.any(r <= 0):
+            raise ValueError("thermal resistances must be positive")
+        self.spec = spec
+        self.r_theta = r
+        self.coolant_c = tc
+
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return int(self.r_theta.shape[0])
+
+    @property
+    def time_constant_s(self) -> np.ndarray:
+        """Per-GPU thermal time constant ``R * C`` in seconds."""
+        return self.r_theta * self.spec.thermal_capacitance_j_per_c
+
+    def steady_temperature(self, power_w: np.ndarray) -> np.ndarray:
+        """Equilibrium junction temperature at dissipation ``power_w``.
+
+        Broadcasts: ``power_w`` may be ``(n,)`` or ``(n, k)``.
+        """
+        p = np.asarray(power_w, dtype=float)
+        r = self.r_theta if p.ndim == 1 else self.r_theta[:, None]
+        tc = self.coolant_c if p.ndim == 1 else self.coolant_c[:, None]
+        return tc + r * p
+
+    def power_at_temperature(self, temperature_c: np.ndarray) -> np.ndarray:
+        """Dissipation that would hold the junction at ``temperature_c``.
+
+        The inverse of :meth:`steady_temperature`; used by the DVFS solver
+        to convert a thermal-throttle threshold into a power ceiling.
+        """
+        t = np.asarray(temperature_c, dtype=float)
+        return (t - self.coolant_c) / self.r_theta
+
+    def step(
+        self,
+        temperature_c: np.ndarray,
+        power_w: np.ndarray,
+        dt_s: float,
+    ) -> np.ndarray:
+        """Advance junction temperatures by ``dt_s`` seconds (exact ODE step).
+
+        Uses the closed-form solution of the linear RC ODE over the step, so
+        the integration is unconditionally stable for any ``dt_s``::
+
+            T(t+dt) = T_inf + (T(t) - T_inf) * exp(-dt / (R*C))
+        """
+        if dt_s <= 0:
+            raise ValueError(f"dt_s must be positive, got {dt_s}")
+        t_inf = self.steady_temperature(power_w)
+        decay = np.exp(-dt_s / self.time_constant_s)
+        return t_inf + (np.asarray(temperature_c, dtype=float) - t_inf) * decay

@@ -1,0 +1,23 @@
+"""Host microbenchmarks: real measurements through the same pipeline.
+
+The paper's artifact ships scripts that run GEMM/SpMV on whatever
+accelerator is present.  Without GPUs, this subpackage is the equivalent
+zero-hardware path: it runs real NumPy/SciPy kernels on the *host CPU*,
+records wall-clock timings into the same
+:class:`~repro.telemetry.dataset.MeasurementDataset` shape, and feeds the
+same analysis suite — demonstrating that :mod:`repro.core` operates on real
+measurements, not just simulated ones.
+"""
+
+from .kernels import KERNELS, HostKernel, gemm_kernel, spmv_kernel, stream_kernel
+from .harness import HostBenchConfig, run_host_benchmark
+
+__all__ = [
+    "HostKernel",
+    "KERNELS",
+    "gemm_kernel",
+    "spmv_kernel",
+    "stream_kernel",
+    "HostBenchConfig",
+    "run_host_benchmark",
+]

@@ -1,0 +1,48 @@
+"""Mitigation strategies the paper proposes (Section VII), implemented.
+
+The paper closes by sketching what operators and system designers should
+build on top of variability characterization.  This subpackage implements
+those sketches so they can be evaluated quantitatively:
+
+* :mod:`repro.mitigation.blacklist` — "Blacklisting, Maintenance":
+  flag-and-drain policies with their capacity/variability trade-off.
+* :mod:`repro.mitigation.load_balance` — "dynamic load balancing": weighted
+  sharding for bulk-synchronous jobs so stragglers stop gating iterations.
+* :mod:`repro.mitigation.global_power` — "New Hardware and System Design":
+  a global power manager that re-allocates a facility budget across GPUs to
+  equalize their settled frequencies instead of capping each at its TDP.
+"""
+
+from .blacklist import (
+    BlacklistPolicy,
+    BlacklistOutcome,
+    build_blacklist,
+    evaluate_blacklist,
+)
+from .load_balance import (
+    ShardingPlan,
+    bulk_synchronous_time_ms,
+    evaluate_sharding,
+    weighted_shards,
+)
+from .global_power import (
+    PowerAllocation,
+    allocate_equal_frequency,
+    allocate_uniform,
+    evaluate_allocation,
+)
+
+__all__ = [
+    "BlacklistPolicy",
+    "BlacklistOutcome",
+    "build_blacklist",
+    "evaluate_blacklist",
+    "ShardingPlan",
+    "weighted_shards",
+    "bulk_synchronous_time_ms",
+    "evaluate_sharding",
+    "PowerAllocation",
+    "allocate_equal_frequency",
+    "allocate_uniform",
+    "evaluate_allocation",
+]

@@ -1,0 +1,170 @@
+"""Blacklisting and maintenance policies (Section VII).
+
+"Cluster operators can use our study to improve the cluster's operation and
+help develop strategies for better maintenance ... Performing periodic
+variability benchmarking can help automate this."
+
+A blacklist policy turns outlier reports into a drain list, and the
+evaluation quantifies the operational trade the paper implies but does not
+measure: how much capacity you give up versus how much scheduler-visible
+variability and slow-assignment risk you remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import require
+from ..core.boxstats import BoxStats
+from ..core.outliers import OutlierReport, persistent_outliers
+from ..core.scheduler import slow_assignment_probability
+from ..errors import AnalysisError
+from ..telemetry.dataset import MeasurementDataset
+from ..telemetry.sample import METRIC_PERFORMANCE
+
+__all__ = [
+    "BlacklistPolicy",
+    "BlacklistOutcome",
+    "build_blacklist",
+    "evaluate_blacklist",
+]
+
+
+@dataclass(frozen=True)
+class BlacklistPolicy:
+    """When does a flagged GPU get drained?
+
+    Parameters
+    ----------
+    min_confirmations:
+        Reports (distinct applications / campaigns) that must flag a GPU
+        before it is drained — guards against transients, per the paper's
+        repeatability analysis (Fig. 8).
+    min_slowdown:
+        Additional requirement: the GPU's median must exceed the fleet
+        median by this fraction (drains performance outliers, not sensor
+        glitches).
+    drain_whole_node:
+        Whether one bad GPU drains its entire node (exclusive-node
+        schedulers cannot allocate around a dead GPU).
+    """
+
+    min_confirmations: int = 2
+    min_slowdown: float = 0.05
+    drain_whole_node: bool = True
+
+    def __post_init__(self) -> None:
+        require(self.min_confirmations >= 1, "min_confirmations must be >= 1")
+        require(self.min_slowdown >= 0, "min_slowdown must be >= 0")
+
+
+@dataclass(frozen=True)
+class BlacklistOutcome:
+    """Before/after comparison of a blacklist application."""
+
+    drained_gpus: tuple[str, ...]
+    drained_nodes: tuple[str, ...]
+    capacity_lost: float             # fraction of the fleet drained
+    variation_before: float
+    variation_after: float
+    worst_before: float              # worst median / fleet median
+    worst_after: float
+    slow_assignment_before: float
+    slow_assignment_after: float
+
+
+def build_blacklist(
+    reports: list[OutlierReport],
+    dataset: MeasurementDataset,
+    policy: BlacklistPolicy | None = None,
+    metric: str = METRIC_PERFORMANCE,
+) -> tuple[str, ...]:
+    """GPU labels to drain under ``policy``.
+
+    ``reports`` are outlier reports from (ideally several) applications on
+    the same cluster; ``dataset`` supplies the medians for the slowdown
+    check.
+    """
+    if not reports:
+        raise AnalysisError("need at least one outlier report")
+    policy = policy if policy is not None else BlacklistPolicy()
+    confirmed = persistent_outliers(
+        reports, min_occurrences=min(policy.min_confirmations, len(reports))
+    )
+
+    med = dataset.per_gpu_median(metric)
+    labels = med.column("gpu_label")
+    values = med.column(metric)
+    fleet_median = float(np.median(values))
+    by_label = dict(zip(labels, values))
+
+    drained = [
+        gpu
+        for gpu in confirmed
+        if gpu in by_label
+        and by_label[gpu] > fleet_median * (1.0 + policy.min_slowdown)
+    ]
+    return tuple(sorted(drained))
+
+
+def evaluate_blacklist(
+    dataset: MeasurementDataset,
+    drained_gpus: tuple[str, ...],
+    policy: BlacklistPolicy | None = None,
+    metric: str = METRIC_PERFORMANCE,
+    job_width: int = 1,
+) -> BlacklistOutcome:
+    """Quantify what draining ``drained_gpus`` buys and costs.
+
+    ``job_width`` sets the slow-assignment probe (1 for single-GPU jobs,
+    the node width for bulk-synchronous jobs).
+    """
+    policy = policy if policy is not None else BlacklistPolicy()
+    labels = dataset.column("gpu_label")
+    if policy.drain_whole_node:
+        if "node_label" not in dataset:
+            raise AnalysisError("drain_whole_node needs a node_label column")
+        nodes = dataset.column("node_label")
+        bad_nodes = {
+            node
+            for gpu, node in zip(labels, nodes)
+            if gpu in set(drained_gpus)
+        }
+        keep = ~np.isin(nodes, sorted(bad_nodes))
+        drained_nodes = tuple(sorted(bad_nodes))
+    else:
+        keep = ~np.isin(labels, drained_gpus)
+        drained_nodes = ()
+
+    before_med = dataset.per_gpu_median(metric)
+    n_before = before_med.n_rows
+    after = dataset.filter(keep)
+    if after.n_rows == 0:
+        raise AnalysisError("the blacklist drained the whole fleet")
+    after_med = after.per_gpu_median(metric)
+
+    def stats(med_ds):
+        values = med_ds.column(metric)
+        box = BoxStats.from_values(values)
+        return box.variation, float(values.max() / np.median(values))
+
+    var_before, worst_before = stats(before_med)
+    var_after, worst_after = stats(after_med)
+
+    return BlacklistOutcome(
+        drained_gpus=tuple(sorted(drained_gpus)),
+        drained_nodes=drained_nodes,
+        capacity_lost=1.0 - after_med.n_rows / n_before,
+        variation_before=var_before,
+        variation_after=var_after,
+        worst_before=worst_before,
+        worst_after=worst_after,
+        slow_assignment_before=slow_assignment_probability(
+            dataset, n_gpus=job_width, metric=metric
+        ),
+        slow_assignment_after=slow_assignment_probability(
+            after, n_gpus=job_width, metric=metric
+        ),
+    )

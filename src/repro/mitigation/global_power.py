@@ -1,0 +1,181 @@
+"""Global power management across a GPU fleet (Section VII).
+
+"Using this information, we can develop techniques for global power
+management that can enable optimal PM decisions across accelerators and
+further reduce performance variability."
+
+Today every GPU manages itself against its own TDP, so a facility budget of
+``n x TDP`` buys a 8-9% frequency spread.  A *global* manager can instead
+pick one fleet-wide frequency target and give each die exactly the power
+*it* needs to hold that clock — fast silicon donates headroom to slow
+silicon.  Because the settled power is convex in frequency, equalizing
+frequencies at a fixed total budget is the variance-minimizing allocation
+for compute-bound work.
+
+The implementation reuses the DVFS fixed-point grid: ``P[i, k]`` is die
+``i``'s settled power at ladder level ``k``, so the equal-frequency
+allocation under budget ``B`` is simply the largest ``k`` with
+``sum_i P[i, k] <= B`` (and every die within its board limit), with caps
+``P[:, k]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import require
+from ..errors import AnalysisError
+from ..gpu.device import GPUFleet
+from ..workloads.base import Workload
+
+__all__ = [
+    "PowerAllocation",
+    "allocate_uniform",
+    "allocate_equal_frequency",
+    "evaluate_allocation",
+]
+
+#: Watts of slack added to each GPU's cap above its predicted need, so
+#: sensor noise does not immediately re-throttle the allocation.
+_CAP_MARGIN_W = 1.5
+
+
+@dataclass(frozen=True)
+class PowerAllocation:
+    """A per-GPU power-cap assignment under a facility budget."""
+
+    strategy: str
+    caps_w: np.ndarray
+    total_budget_w: float
+    #: Fleet frequency target (MHz) for equal-frequency allocations;
+    #: ``None`` for strategies without one.
+    target_frequency_mhz: float | None = None
+
+    @property
+    def n(self) -> int:
+        """Fleet size."""
+        return int(self.caps_w.shape[0])
+
+    @property
+    def allocated_w(self) -> float:
+        """Sum of the granted caps."""
+        return float(self.caps_w.sum())
+
+
+def allocate_uniform(fleet: GPUFleet, total_budget_w: float) -> PowerAllocation:
+    """Today's de-facto policy: everyone gets the same cap.
+
+    The cap is the smaller of the fair share and the SKU TDP (a budget
+    above ``n x TDP`` cannot be spent).
+    """
+    require(total_budget_w > 0, "total_budget_w must be positive")
+    share = min(total_budget_w / fleet.n, fleet.spec.tdp_w)
+    return PowerAllocation(
+        strategy="uniform",
+        caps_w=np.full(fleet.n, share),
+        total_budget_w=total_budget_w,
+    )
+
+
+def allocate_equal_frequency(
+    fleet: GPUFleet,
+    workload: Workload,
+    total_budget_w: float,
+) -> PowerAllocation:
+    """Give each die the power it needs to hold one fleet-wide clock.
+
+    Finds the highest ladder level whose fleet-total settled power fits the
+    budget (with every die also inside its own board limit), then caps each
+    die just above its individual need at that level.
+    """
+    require(total_budget_w > 0, "total_budget_w must be positive")
+    spec = fleet.spec
+    act, dram = workload.steady_load(
+        spec.f_max_mhz, spec.compute_throughput, spec.mem_bandwidth_gbs
+    )
+    p_grid, _ = fleet.controller.power_grid(
+        act, dram, fleet.throughput_efficiency()
+    )
+    board_limit = fleet.power_cap_w()  # TDP x any power-delivery defect
+    steps = spec.pstate_array()
+
+    # A die's own ceiling: the highest level it can hold within its board
+    # limit and any SICK_SLOW boost cap.  Defective dies do not gate the
+    # healthy fleet — they simply saturate at their own ceiling while the
+    # global target keeps rising (they are just as slow under per-GPU TDP
+    # management, so the comparison stays fair).
+    per_die_ok = (
+        (p_grid <= board_limit[:, None])
+        & (steps[None, :] <= fleet.frequency_cap_mhz()[:, None])
+    )
+    if not per_die_ok[:, 0].all():
+        raise AnalysisError(
+            "some die cannot hold even the lowest ladder level"
+        )
+    k = p_grid.shape[1]
+    max_level = k - 1 - np.argmax(per_die_ok[:, ::-1], axis=1)
+
+    rows = np.arange(fleet.n)
+    level = None
+    for candidate in range(k):
+        effective = np.minimum(candidate, max_level)
+        total = p_grid[rows, effective].sum()
+        if total <= total_budget_w:
+            level = candidate
+        else:
+            break
+    if level is None:
+        raise AnalysisError(
+            f"budget {total_budget_w:.0f} W cannot hold the fleet at even "
+            "the lowest ladder level"
+        )
+    effective = np.minimum(level, max_level)
+    caps = np.minimum(p_grid[rows, effective] + _CAP_MARGIN_W, board_limit)
+    return PowerAllocation(
+        strategy="equal-frequency",
+        caps_w=caps,
+        total_budget_w=total_budget_w,
+        target_frequency_mhz=float(steps[level]),
+    )
+
+
+def evaluate_allocation(
+    fleet: GPUFleet,
+    workload: Workload,
+    allocation: PowerAllocation,
+    rng: np.random.Generator | None = None,
+) -> dict[str, float]:
+    """Settled-fleet metrics under an allocation (compute-bound probe).
+
+    Returns the unit-time variation (whisker range / median), the median
+    and worst unit times, the realized total power, and the frequency
+    spread — the quantities a global power manager is judged on.
+    """
+    from ..core.boxstats import BoxStats  # local import: core sits above
+
+    spec = fleet.spec
+    act, dram = workload.steady_load(
+        spec.f_max_mhz, spec.compute_throughput, spec.mem_bandwidth_gbs
+    )
+    eff = fleet.throughput_efficiency()
+    op = fleet.controller.solve_steady(
+        act, dram, eff,
+        power_cap_w=np.minimum(allocation.caps_w, fleet.power_cap_w()),
+        f_cap_mhz=fleet.frequency_cap_mhz(),
+        rng=rng,
+    )
+    unit_ms = workload.unit_time_ms(
+        op.f_effective_mhz, spec.compute_throughput,
+        fleet.memory_bandwidth_gbs(), eff,
+    )
+    stats = BoxStats.from_values(unit_ms)
+    return {
+        "variation": stats.variation,
+        "median_ms": stats.median,
+        "worst_ms": float(unit_ms.max()),
+        "total_power_w": float(op.power_w.sum()),
+        "frequency_spread_mhz": float(np.ptp(op.f_effective_mhz)),
+        "median_frequency_mhz": float(np.median(op.f_effective_mhz)),
+    }

@@ -1,0 +1,121 @@
+"""Variability-aware load balancing for bulk-synchronous jobs (Section VII).
+
+The paper shows that 4-GPU training runs "as fast as the slowest GPU"
+(Section V-A): a node with one sick member loses the whole difference every
+iteration.  CPU-land solved this with dynamic load balancing [32, 33]; here
+is the GPU-data-parallel version: shard each iteration's batch
+proportionally to the members' measured speeds, so everyone finishes
+together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import require
+from ..errors import AnalysisError
+
+__all__ = [
+    "ShardingPlan",
+    "weighted_shards",
+    "bulk_synchronous_time_ms",
+    "evaluate_sharding",
+]
+
+
+@dataclass(frozen=True)
+class ShardingPlan:
+    """Batch split across the members of one job."""
+
+    shards: np.ndarray               # items per GPU, sums to the batch
+    speeds: np.ndarray               # measured items/ms per GPU
+
+    @property
+    def batch_size(self) -> int:
+        """Total items per iteration."""
+        return int(self.shards.sum())
+
+    @property
+    def n_gpus(self) -> int:
+        """Job width."""
+        return int(self.shards.shape[0])
+
+
+def weighted_shards(
+    speeds: np.ndarray,
+    batch_size: int,
+    min_per_gpu: int = 1,
+) -> ShardingPlan:
+    """Split a batch proportionally to measured per-GPU speeds.
+
+    Uses largest-remainder rounding so the shards are integers that sum
+    exactly to ``batch_size``; every GPU keeps at least ``min_per_gpu``
+    (a zero shard would idle a device the job still synchronizes with).
+    """
+    speeds = np.asarray(speeds, dtype=float)
+    if speeds.ndim != 1 or speeds.shape[0] == 0:
+        raise AnalysisError("speeds must be a non-empty 1-D array")
+    if np.any(speeds <= 0):
+        raise AnalysisError("speeds must be positive")
+    require(batch_size >= speeds.shape[0] * min_per_gpu,
+            "batch too small for the job width")
+
+    ideal = speeds / speeds.sum() * batch_size
+    floors = np.maximum(np.floor(ideal).astype(int), min_per_gpu)
+    # Largest-remainder distribution of the leftover items.
+    remaining = batch_size - int(floors.sum())
+    if remaining > 0:
+        order = np.argsort(ideal - np.floor(ideal))[::-1]
+        floors[order[:remaining]] += 1
+    elif remaining < 0:
+        # min_per_gpu floors overshot: take back from the largest shards.
+        order = np.argsort(floors)[::-1]
+        for i in order:
+            if remaining == 0:
+                break
+            take = min(floors[i] - min_per_gpu, -remaining)
+            floors[i] -= take
+            remaining += take
+        if remaining != 0:
+            raise AnalysisError("cannot satisfy min_per_gpu with this batch")
+    return ShardingPlan(shards=floors, speeds=speeds)
+
+
+def bulk_synchronous_time_ms(plan: ShardingPlan) -> float:
+    """Iteration time of a sharded bulk-synchronous step: max over members."""
+    return float((plan.shards / plan.speeds).max())
+
+
+def evaluate_sharding(
+    speeds: np.ndarray,
+    batch_size: int,
+) -> dict[str, float]:
+    """Uniform vs weighted sharding on one job's members.
+
+    Returns iteration times for both strategies, the speedup, and the
+    efficiency (achieved throughput over the sum of member throughputs —
+    1.0 means no synchronization waste at all).
+    """
+    speeds = np.asarray(speeds, dtype=float)
+    n = speeds.shape[0]
+    if batch_size % n:
+        raise AnalysisError(
+            f"uniform baseline needs batch {batch_size} divisible by {n}"
+        )
+    uniform = ShardingPlan(
+        shards=np.full(n, batch_size // n, dtype=int), speeds=speeds
+    )
+    weighted = weighted_shards(speeds, batch_size)
+
+    t_uniform = bulk_synchronous_time_ms(uniform)
+    t_weighted = bulk_synchronous_time_ms(weighted)
+    ideal = batch_size / speeds.sum()
+    return {
+        "uniform_ms": t_uniform,
+        "weighted_ms": t_weighted,
+        "speedup": t_uniform / t_weighted,
+        "uniform_efficiency": ideal / t_uniform,
+        "weighted_efficiency": ideal / t_weighted,
+    }

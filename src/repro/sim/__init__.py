@@ -1,0 +1,40 @@
+"""Simulation layer: steady-state runs, time-stepped engine, campaigns.
+
+Two complementary simulators over the same physics:
+
+* :mod:`repro.sim.run` — the settled-state path used for fleet-wide
+  measurement campaigns (the paper's methodology runs kernels long enough
+  to reach DVFS steady state, so the fixed-point solve *is* the
+  measurement);
+* :mod:`repro.sim.engine` — a time-stepped reactive simulator for the
+  frequency/power transients of Figs. 11 and 25.
+
+:mod:`repro.sim.campaign` sweeps runs across days/weeks and nodes, emitting
+the long-form :class:`~repro.telemetry.dataset.MeasurementDataset` the
+analysis suite consumes.
+"""
+
+from .run import RunMeasurements, simulate_run
+from .engine import Engine, EngineConfig
+from .timeseries import simulate_timeseries
+from .campaign import CampaignConfig, run_campaign
+from .spatial import (
+    SharedNodeResult,
+    simulate_with_neighbors,
+    spatial_penalty,
+    temporal_soak_slowdown,
+)
+
+__all__ = [
+    "RunMeasurements",
+    "simulate_run",
+    "Engine",
+    "EngineConfig",
+    "simulate_timeseries",
+    "CampaignConfig",
+    "run_campaign",
+    "SharedNodeResult",
+    "simulate_with_neighbors",
+    "spatial_penalty",
+    "temporal_soak_slowdown",
+]

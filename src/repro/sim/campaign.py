@@ -1,0 +1,144 @@
+"""Measurement campaigns: many runs, many days, most of the fleet.
+
+The paper's methodology (Section III): measure >90% of each cluster's GPUs,
+repeat over days and weeks to rule out transients, use exclusive node
+allocations, and record everything.  :func:`run_campaign` reproduces that
+protocol and emits a long-form :class:`~repro.telemetry.dataset.MeasurementDataset`
+with one row per (GPU, run), carrying the identity columns every analysis
+in :mod:`repro.core` groups by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.allocator import ExclusiveNodeAllocator
+from ..cluster.cluster import Cluster
+from ..cluster.facility import FacilityModel
+from ..config import require
+from ..telemetry.dataset import MeasurementDataset
+from ..telemetry.sample import (
+    METRIC_FREQUENCY,
+    METRIC_PERFORMANCE,
+    METRIC_POWER,
+    METRIC_TEMPERATURE,
+)
+from ..workloads.base import Workload
+from .run import simulate_run
+
+__all__ = ["CampaignConfig", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Shape of a measurement campaign.
+
+    Parameters
+    ----------
+    days:
+        Calendar days covered (the paper: 1-8 weeks depending on cluster).
+    runs_per_day:
+        Independent runs per covered GPU per day.
+    coverage:
+        Fraction of nodes reachable each day (shared clusters rarely grant
+        everything; Vortex yielded 184 of 216 GPUs).
+    power_limit_w:
+        Administrative power cap applied to every run (CloudLab sweeps).
+    """
+
+    days: int = 7
+    runs_per_day: int = 1
+    coverage: float = 1.0
+    power_limit_w: float | None = None
+
+    def __post_init__(self) -> None:
+        require(self.days >= 1, "days must be >= 1")
+        require(self.runs_per_day >= 1, "runs_per_day must be >= 1")
+        require(0 < self.coverage <= 1, "coverage must be in (0, 1]")
+
+
+def run_campaign(
+    cluster: Cluster,
+    workload: Workload,
+    config: CampaignConfig | None = None,
+) -> MeasurementDataset:
+    """Execute a campaign and return the long-form measurement table.
+
+    Columns: ``cluster``, ``workload``, ``day``, ``weekday``, ``run``,
+    ``gpu_index``, ``gpu_label``, ``node_label``, ``cabinet`` (plus ``row``
+    / ``column`` on grid topologies), the four reported metrics, the
+    ``true_*`` ground-truth columns, cap flags, and ``defect_kind`` (ground
+    truth for validation — a real operator would not have it).
+    """
+    config = config if config is not None else CampaignConfig()
+    topo = cluster.topology
+    allocator = ExclusiveNodeAllocator(topo)
+
+    parts: list[MeasurementDataset] = []
+    for day in range(config.days):
+        day_rng = cluster.rng_factory.child(f"campaign-day-{day}").generator(
+            "coverage"
+        )
+        allocations = allocator.sweep(coverage=config.coverage, rng=day_rng)
+        gpu_indices = np.concatenate([a.gpu_indices for a in allocations])
+        for run_index in range(config.runs_per_day):
+            result = simulate_run(
+                cluster,
+                workload,
+                day=day,
+                run_index=run_index,
+                gpu_indices=gpu_indices,
+                power_limit_w=config.power_limit_w,
+            )
+            parts.append(_to_dataset(cluster, workload, day, run_index, result))
+    return MeasurementDataset.concat(parts)
+
+
+def _to_dataset(
+    cluster: Cluster,
+    workload: Workload,
+    day: int,
+    run_index: int,
+    result,
+) -> MeasurementDataset:
+    topo = cluster.topology
+    idx = result.gpu_indices
+    n = idx.shape[0]
+    node_idx = topo.node_of_gpu[idx]
+    columns: dict[str, np.ndarray] = {
+        "cluster": np.full(n, cluster.name, dtype=object),
+        "workload": np.full(n, workload.name, dtype=object),
+        "day": np.full(n, day, dtype=np.int64),
+        "weekday": np.full(n, FacilityModel.weekday_name(day), dtype=object),
+        "run": np.full(n, run_index, dtype=np.int64),
+        "gpu_index": idx.astype(np.int64),
+        "gpu_label": np.asarray(
+            [topo.gpu_labels[i] for i in idx], dtype=object
+        ),
+        "node_label": np.asarray(
+            [topo.node_labels[i] for i in node_idx], dtype=object
+        ),
+        "cabinet": np.asarray(
+            [topo.cabinet_labels[c] for c in topo.cabinet_of_gpu[idx]],
+            dtype=object,
+        ),
+        METRIC_PERFORMANCE: result.performance_ms,
+        METRIC_FREQUENCY: result.frequency_mhz,
+        METRIC_POWER: result.power_w,
+        METRIC_TEMPERATURE: result.temperature_c,
+        "true_frequency_mhz": result.true_frequency_mhz,
+        "true_power_w": result.true_power_w,
+        "true_temperature_c": result.true_temperature_c,
+        "power_capped": result.power_capped,
+        "thermally_capped": result.thermally_capped,
+        "defect_kind": cluster.defects.kind[idx].astype(np.int64),
+    }
+    if topo.has_grid:
+        rows = topo.row_of_gpu[idx]
+        columns["row"] = np.asarray(
+            [topo.row_labels[r] for r in rows], dtype=object
+        )
+        columns["column"] = (topo.column_of_gpu[idx] + 1).astype(np.int64)
+    return MeasurementDataset(columns)

@@ -1,0 +1,224 @@
+"""Time-stepped reactive simulator (the transients of Figs. 11 and 25).
+
+The steady-state solver answers *where* the DVFS controller lands; this
+engine shows *how*: kernels launch, frequency boosts, power overshoots the
+TDP, the firmware steps the ladder down, temperature relaxes on its RC
+constant.  It integrates a subset of GPUs (time-series figures track one or
+two) at a fixed step with the reactive controller running at the firmware's
+control interval.
+
+Work accounting is explicit: a kernel completes when its compute leg has
+retired ``compute_flop`` (at the instantaneous clock) and its memory leg
+has moved ``memory_bytes`` — so kernel durations emerge from the frequency
+trajectory instead of being prescribed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import require
+from ..errors import SimulationError
+from ..gpu.device import GPUFleet
+from ..workloads.base import Workload
+
+__all__ = ["EngineConfig", "EngineState", "Engine"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Integration settings for the reactive engine."""
+
+    #: Integration step (seconds).  Must not exceed the control interval.
+    dt_s: float = 0.005
+    #: Host-side gap between consecutive kernel launches (seconds).
+    launch_gap_s: float = 0.015
+    #: Idle activity between kernels.
+    idle_activity: float = 0.02
+    #: Acceleration factor for the thermal transient: the RC time constant
+    #: of a heatsinked GPU is minutes, so tests and short traces can
+    #: fast-forward the thermal state without touching the electrical
+    #: dynamics.  1.0 integrates in real time.
+    thermal_time_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        require(self.dt_s > 0, "dt_s must be positive")
+        require(self.launch_gap_s >= 0, "launch_gap_s must be >= 0")
+        require(0 <= self.idle_activity <= 1, "idle_activity must be in [0, 1]")
+        require(self.thermal_time_scale >= 1.0,
+                "thermal_time_scale must be >= 1")
+
+
+@dataclass
+class EngineState:
+    """Mutable integration state (arrays over the engine's GPUs)."""
+
+    time_s: float
+    pstate_index: np.ndarray
+    temperature_c: np.ndarray
+    kernel_active: np.ndarray       # bool
+    compute_remaining: np.ndarray   # FLOPs left in the current kernel
+    memory_remaining: np.ndarray    # bytes left in the current kernel
+    gap_remaining_s: np.ndarray     # host gap left before the next launch
+    kernels_completed: np.ndarray   # int
+    kernel_start_times: list[float]
+
+
+class Engine:
+    """Reactive DVFS/thermal integrator for a (small) GPU fleet.
+
+    Parameters
+    ----------
+    fleet:
+        GPUs to integrate (time-series studies use 1-4).
+    workload:
+        Single-phase workloads only — the engine exists for SGEMM-style
+        traces; phase mixtures are a steady-state concern.
+    config:
+        Integration settings.
+    power_limit_w:
+        Optional administrative cap.
+    """
+
+    def __init__(
+        self,
+        fleet: GPUFleet,
+        workload: Workload,
+        config: EngineConfig | None = None,
+        power_limit_w: float | None = None,
+    ) -> None:
+        if len(workload.phases) != 1:
+            raise SimulationError(
+                "the reactive engine integrates single-phase workloads; "
+                f"{workload.name} has {len(workload.phases)} phases"
+            )
+        self.fleet = fleet
+        self.workload = workload
+        self.phase = workload.phases[0]
+        self.config = config if config is not None else EngineConfig()
+        if self.config.dt_s * 1000.0 > fleet.spec.dvfs_interval_ms:
+            raise SimulationError(
+                f"dt {self.config.dt_s * 1e3:.1f} ms exceeds the firmware "
+                f"control interval {fleet.spec.dvfs_interval_ms} ms"
+            )
+        self.cap = fleet.power_cap_w(power_limit_w)
+        self.f_ceiling_index = fleet.spec.nearest_pstate_index(
+            fleet.frequency_cap_mhz()
+        )
+        self._steps_per_control = max(
+            1, int(round(fleet.spec.dvfs_interval_ms / 1000.0 / self.config.dt_s))
+        )
+        n = fleet.n
+        self.state = EngineState(
+            time_s=0.0,
+            pstate_index=np.minimum(
+                np.full(n, fleet.spec.n_pstates - 1, dtype=np.int64),
+                self.f_ceiling_index,
+            ),
+            temperature_c=fleet.coolant_c.copy(),
+            kernel_active=np.zeros(n, dtype=bool),
+            compute_remaining=np.zeros(n),
+            memory_remaining=np.zeros(n),
+            gap_remaining_s=np.zeros(n),
+            kernels_completed=np.zeros(n, dtype=np.int64),
+            kernel_start_times=[],
+        )
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """GPUs integrated by this engine."""
+        return self.fleet.n
+
+    def frequency_mhz(self) -> np.ndarray:
+        """Instantaneous core clocks."""
+        return self.fleet.spec.pstate_array()[self.state.pstate_index]
+
+    def instantaneous_power(self) -> np.ndarray:
+        """Board power at the current state."""
+        s = self.state
+        act = np.where(
+            s.kernel_active, self.phase.activity, self.config.idle_activity
+        )
+        dram = np.where(s.kernel_active, self.phase.dram_utilization, 0.02)
+        return self.fleet.power_model.total_power(
+            self.frequency_mhz(),
+            s.temperature_c,
+            act,
+            dram,
+            self.fleet.throughput_efficiency(),
+        )
+
+    def step(self) -> None:
+        """Advance the integration by one dt."""
+        s = self.state
+        cfg = self.config
+        dt = cfg.dt_s
+
+        # Launch kernels where the host gap has elapsed.
+        ready = (~s.kernel_active) & (s.gap_remaining_s <= 0.0)
+        if ready.any():
+            s.kernel_active[ready] = True
+            s.compute_remaining[ready] = self.phase.compute_flop
+            s.memory_remaining[ready] = self.phase.memory_bytes
+            s.kernel_start_times.append(s.time_s)
+        s.gap_remaining_s = np.maximum(s.gap_remaining_s - dt, 0.0)
+
+        power = self.instantaneous_power()
+        s.temperature_c = self.fleet.thermal_model.step(
+            s.temperature_c, power, dt * cfg.thermal_time_scale
+        )
+
+        # Retire work at the instantaneous clock (dt in ms for the roofline
+        # throughput constants).
+        f = self.frequency_mhz()
+        eff = self.fleet.throughput_efficiency()
+        active = s.kernel_active
+        if active.any():
+            dt_ms = dt * 1000.0
+            s.compute_remaining[active] -= (
+                f[active] * self.fleet.spec.compute_throughput * eff[active] * dt_ms
+            )
+            s.memory_remaining[active] -= (
+                self.fleet.memory_bandwidth_gbs()[active] * 1.0e6 * dt_ms
+            )
+            done = active & (s.compute_remaining <= 0) & (s.memory_remaining <= 0)
+            if done.any():
+                s.kernel_active[done] = False
+                s.kernels_completed[done] += 1
+                s.gap_remaining_s[done] = cfg.launch_gap_s
+
+        # Hardware fast cap: board power limits clamp within microseconds
+        # (voltage droop detection), far faster than the firmware control
+        # interval — without this, every kernel launch would briefly report
+        # hundreds of watts over a POWER_DELIVERY cap, which real boards
+        # (and Fig. 25) never show.
+        over = power > self.cap * 1.02
+        for _ in range(4):
+            if not over.any():
+                break
+            s.pstate_index[over] = np.maximum(s.pstate_index[over] - 4, 0)
+            power = self.instantaneous_power()
+            over = power > self.cap * 1.02
+
+        # Firmware control tick.
+        self._tick += 1
+        if self._tick % self._steps_per_control == 0:
+            new_idx = self.fleet.controller.control_step(
+                s.pstate_index, power, s.temperature_c, self.cap
+            )
+            s.pstate_index = np.minimum(new_idx, self.f_ceiling_index)
+
+        s.time_s += dt
+
+    def run_for(self, duration_s: float) -> None:
+        """Integrate for ``duration_s`` of simulated time."""
+        if duration_s <= 0:
+            raise SimulationError(f"duration must be positive, got {duration_s}")
+        steps = int(round(duration_s / self.config.dt_s))
+        for _ in range(steps):
+            self.step()

@@ -1,0 +1,281 @@
+"""Simulate one measurement run of a workload across cluster GPUs.
+
+A *run* follows the paper's protocol (Sections III-V): allocate GPUs
+exclusively, execute the workload long enough for DVFS to settle, and
+record the per-GPU medians of performance, frequency, power, and
+temperature through the profiler's sensor path.
+
+The simulation is fully vectorized over the participating GPUs:
+
+1. build the day's fleet and apply run-level coolant jitter;
+2. draw the run's software factors (ML speed/activity multipliers, drift);
+3. solve the DVFS steady state per GPU;
+4. evaluate the workload roofline at the settled clocks;
+5. for multi-GPU jobs, apply bulk-synchronous semantics: the node's
+   iteration time is the max across its GPUs (plus allreduce), and GPUs
+   that finish early busy-wait at low activity — which is re-fed into the
+   power solve so straggler *neighbours* show max clocks and low power
+   (Fig. 15);
+6. push everything through the sensor model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..config import require
+from ..errors import SimulationError
+from ..telemetry.sample import SensorModel
+from ..workloads.base import WAIT_ACTIVITY, Workload
+
+__all__ = ["RunMeasurements", "simulate_run", "EXPECTED_MAX_OF_NORMALS"]
+
+#: E[max of k standard normals] — the bulk-synchronous amplification of
+#: per-iteration jitter for k GPUs (k=1 means no amplification).
+EXPECTED_MAX_OF_NORMALS = {1: 0.0, 2: 0.564, 3: 0.846, 4: 1.029, 6: 1.267, 8: 1.423}
+
+#: Std-dev (degC) of the facility-wide coolant fluctuation within one run.
+_RUN_COOLANT_SIGMA_SHARED = 0.35
+#: Std-dev (degC) of per-GPU coolant fluctuation within one run.
+_RUN_COOLANT_SIGMA_LOCAL = 0.20
+
+
+@dataclass(frozen=True)
+class RunMeasurements:
+    """What the profiler recorded for one run (arrays over the run's GPUs).
+
+    ``performance_ms`` follows the workload's metric (median kernel
+    duration, iteration duration, or long-kernel aggregate).  ``true_*``
+    fields carry the unobservable ground truth for validation.
+    """
+
+    gpu_indices: np.ndarray
+    performance_ms: np.ndarray
+    frequency_mhz: np.ndarray
+    power_w: np.ndarray
+    temperature_c: np.ndarray
+    true_frequency_mhz: np.ndarray
+    true_power_w: np.ndarray
+    true_temperature_c: np.ndarray
+    power_capped: np.ndarray
+    thermally_capped: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """GPUs measured in this run."""
+        return int(self.gpu_indices.shape[0])
+
+
+def simulate_run(
+    cluster: Cluster,
+    workload: Workload,
+    day: int = 0,
+    run_index: int = 0,
+    gpu_indices: np.ndarray | None = None,
+    power_limit_w: float | None = None,
+    sensor: SensorModel | None = None,
+) -> RunMeasurements:
+    """Simulate one run and return its reported measurements.
+
+    Parameters
+    ----------
+    cluster:
+        The machine.
+    workload:
+        What to run.  Multi-GPU workloads require ``gpu_indices`` to be
+        whole nodes (multiples of the node width, node-aligned).
+    day, run_index:
+        Campaign coordinates; they seed the run's randomness so campaigns
+        replay exactly.
+    gpu_indices:
+        GPUs participating (default: the whole cluster).
+    power_limit_w:
+        Administrative power limit (Section VI-B); requires
+        ``cluster.admin_access``.
+    sensor:
+        Sensor model override.
+    """
+    if power_limit_w is not None and not cluster.admin_access:
+        raise SimulationError(
+            f"cluster {cluster.name} does not grant administrative access; "
+            "power limits cannot be set (Section VI-B used CloudLab for this)"
+        )
+    if gpu_indices is None:
+        gpu_indices = np.arange(cluster.n_gpus)
+    else:
+        gpu_indices = np.asarray(gpu_indices)
+    if workload.is_multi_gpu:
+        _check_node_alignment(cluster, workload, gpu_indices)
+
+    sensor = sensor if sensor is not None else SensorModel()
+    fleet_full = cluster.fleet_for_day(day)
+    fleet = fleet_full.take(gpu_indices)
+    n = fleet.n
+
+    rng = cluster.rng_factory.child(
+        f"run-{workload.name}-day-{day}-idx-{run_index}"
+    ).generator("run")
+
+    # Run-level thermal environment fluctuation.
+    coolant = (
+        fleet.coolant_c
+        + rng.normal(0.0, _RUN_COOLANT_SIGMA_SHARED)
+        + rng.normal(0.0, _RUN_COOLANT_SIGMA_LOCAL, size=n)
+    )
+    fleet = fleet.with_coolant(coolant)
+
+    spec = fleet.spec
+    act0, dram0 = workload.steady_load(
+        spec.f_max_mhz, spec.compute_throughput, spec.mem_bandwidth_gbs
+    )
+
+    # Software factors: correlated speed / activity draws (Section V-A).
+    corr = np.sqrt(workload.activity_speed_correlation)
+    z_shared = rng.normal(size=n)
+    z_speed = corr * z_shared + np.sqrt(1 - corr**2) * rng.normal(size=n)
+    z_act = corr * z_shared + np.sqrt(1 - corr**2) * rng.normal(size=n)
+    time_multiplier = np.exp(workload.run_speed_sigma * z_speed)
+    activity_multiplier = np.exp(-workload.activity_mix_sigma * z_act)
+    act_run = np.clip(act0 * activity_multiplier, 0.02, 1.0)
+
+    efficiency = fleet.throughput_efficiency()
+    cap = fleet.power_cap_w(power_limit_w)
+    f_cap = fleet.frequency_cap_mhz()
+
+    op = fleet.controller.solve_steady(
+        act_run, dram0, efficiency, power_cap_w=cap, f_cap_mhz=f_cap, rng=rng
+    )
+
+    bw = fleet.memory_bandwidth_gbs()
+    drift = 1.0 + rng.normal(0.0, cluster.run_noise_sigma, size=n)
+    unit_ms = (
+        workload.unit_time_ms(
+            op.f_effective_mhz, spec.compute_throughput, bw, efficiency
+        )
+        * time_multiplier
+        * np.clip(drift, 0.5, 1.5)
+    )
+
+    # Rare pathological runs: a stalled input pipeline or contended
+    # filesystem drags the whole job while its GPUs sit near idle (the
+    # extreme 3.5x ML stragglers at 76 W).  Drawn per job, so every GPU
+    # of a multi-GPU job shares the event.
+    path_mult = np.ones(n)
+    if workload.pathological_run_rate > 0.0:
+        k = workload.n_gpus
+        n_jobs = n // k
+        hit = rng.random(n_jobs) < workload.pathological_run_rate
+        lo, hi = workload.pathological_slowdown
+        job_mult = np.where(hit, rng.uniform(lo, hi, size=n_jobs), 1.0)
+        path_mult = np.repeat(job_mult, k)
+        unit_ms = unit_ms * path_mult
+        # A stalled job barely exercises the GPU.
+        act_run = np.clip(act_run / path_mult, 0.02, 1.0)
+        if not workload.is_multi_gpu and hit.any():
+            op = fleet.controller.solve_steady(
+                act_run, dram0, efficiency, power_cap_w=cap,
+                f_cap_mhz=f_cap, rng=rng,
+            )
+
+    true_power = op.power_w
+    true_temp = op.temperature_c
+    if workload.is_multi_gpu:
+        unit_ms, true_power, true_temp, op = _apply_bulk_synchronous(
+            fleet, workload, unit_ms, act_run, dram0, efficiency, cap, f_cap,
+            rng, op
+        )
+    else:
+        jitter_amp = EXPECTED_MAX_OF_NORMALS.get(1, 0.0)
+        unit_ms = unit_ms * (1.0 + workload.iteration_jitter_sigma * jitter_amp)
+
+    # Median-over-units estimation noise; shared within a node for
+    # bulk-synchronous jobs because the iteration time itself is shared.
+    median_noise = rng.normal(
+        0.0, 0.003 / np.sqrt(workload.units_per_run), size=n
+    )
+    if workload.is_multi_gpu:
+        k = workload.n_gpus
+        median_noise = np.repeat(median_noise.reshape(-1, k)[:, 0], k)
+    performance = unit_ms * (1.0 + median_noise)
+
+    reported_power = sensor.read_power(
+        true_power, fleet.silicon.power_sensor_gain, rng
+    )
+    reported_temp = sensor.read_temperature(true_temp, rng)
+    reported_freq = sensor.read_frequency(
+        op.f_reported_mhz, spec.pstate_array()
+    )
+
+    return RunMeasurements(
+        gpu_indices=gpu_indices.copy(),
+        performance_ms=performance,
+        frequency_mhz=reported_freq,
+        power_w=reported_power,
+        temperature_c=reported_temp,
+        true_frequency_mhz=op.f_effective_mhz,
+        true_power_w=true_power,
+        true_temperature_c=true_temp,
+        power_capped=op.power_capped,
+        thermally_capped=op.thermally_capped,
+    )
+
+
+def _check_node_alignment(
+    cluster: Cluster, workload: Workload, gpu_indices: np.ndarray
+) -> None:
+    width = cluster.topology.gpus_per_node
+    if workload.n_gpus > width:
+        raise SimulationError(
+            f"workload wants {workload.n_gpus} GPUs per job but nodes have {width}"
+        )
+    if gpu_indices.shape[0] % workload.n_gpus:
+        raise SimulationError(
+            f"{gpu_indices.shape[0]} GPUs do not divide into jobs of "
+            f"{workload.n_gpus}"
+        )
+    nodes = cluster.topology.node_of_gpu[gpu_indices]
+    groups = nodes.reshape(-1, workload.n_gpus)
+    if not np.all(groups == groups[:, :1]):
+        raise SimulationError(
+            "multi-GPU jobs must be allocated within single nodes "
+            "(exclusive-node policy, Section III)"
+        )
+
+
+def _apply_bulk_synchronous(
+    fleet,
+    workload: Workload,
+    unit_ms: np.ndarray,
+    act_run: np.ndarray,
+    dram0: float,
+    efficiency: np.ndarray,
+    cap: np.ndarray,
+    f_cap: np.ndarray,
+    rng: np.random.Generator,
+    op,
+):
+    """Bulk-synchronous multi-GPU semantics (ResNet/BERT, Section V).
+
+    The job's iteration time is the slowest member plus the allreduce;
+    early finishers busy-wait, so their *sustained* activity — and hence
+    power and temperature — drops in proportion to their idle share.
+    """
+    k = workload.n_gpus
+    groups = unit_ms.reshape(-1, k)
+    jitter_amp = EXPECTED_MAX_OF_NORMALS.get(k, 1.0)
+    t_sync = (
+        groups.max(axis=1) * (1.0 + workload.iteration_jitter_sigma * jitter_amp)
+        + workload.sync_overhead_ms
+    )
+    t_node = np.repeat(t_sync, k)
+
+    duty = np.clip(unit_ms / t_node, 0.0, 1.0)
+    act_eff = act_run * duty + WAIT_ACTIVITY * (1.0 - duty)
+    op2 = fleet.controller.solve_steady(
+        act_eff, dram0 * duty, efficiency, power_cap_w=cap, f_cap_mhz=f_cap,
+        rng=rng
+    )
+    return t_node, op2.power_w, op2.temperature_c, op2

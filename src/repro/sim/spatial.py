@@ -1,0 +1,265 @@
+"""Spatial and temporal interference effects (Section VII, future work).
+
+The paper's methodology deliberately eliminated these with exclusive node
+allocations and staggered runs, and explicitly defers them: "spatial
+effects would be relevant for other scenarios like cloud computing or
+enterprise clusters where GPUs are allocated individually.  We plan to
+study both spatial and temporal (i.e., variability due to a preceding job
+run on the same GPU) effects in the future."  This module is that study,
+on the simulated fleet:
+
+* **Spatial**: GPUs in one chassis share airflow and a power envelope; a
+  neighbour's dissipation pre-heats the coolant your GPU sees.  The
+  coupling strength is a property of the cooling technology — serial
+  airflow couples strongly, cold plates barely at all — so the spatial
+  penalty is predicted to be an air-cooled problem.
+* **Temporal**: a job that starts on a GPU still hot from its predecessor
+  spends its early portion with less thermal/leakage headroom; the penalty
+  decays on the RC time constant and matters only for jobs shorter than a
+  few constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..config import require, require_in_range
+from ..errors import SimulationError
+from ..workloads.base import Workload
+
+__all__ = [
+    "NEIGHBOR_COUPLING_C_PER_W",
+    "SharedNodeResult",
+    "simulate_with_neighbors",
+    "spatial_penalty",
+    "temporal_soak_slowdown",
+]
+
+#: Degrees of local coolant pre-heat per watt of same-node neighbour
+#: dissipation, by cooling technology.  Serial airflow through a chassis
+#: couples an order of magnitude more strongly than cold plates.
+NEIGHBOR_COUPLING_C_PER_W = {
+    "air": 0.016,
+    "oil": 0.006,
+    "water": 0.002,
+}
+
+#: Fixed-point sweeps for the thermal coupling (power <-> coolant).
+_COUPLING_ITERS = 4
+
+
+@dataclass(frozen=True)
+class SharedNodeResult:
+    """Probe-GPU measurements with neighbours active vs idle."""
+
+    probe_gpu_indices: np.ndarray
+    performance_idle_ms: np.ndarray       # neighbours idle (paper's protocol)
+    performance_shared_ms: np.ndarray     # neighbours under load
+    temperature_idle_c: np.ndarray
+    temperature_shared_c: np.ndarray
+    frequency_idle_mhz: np.ndarray
+    frequency_shared_mhz: np.ndarray
+
+    @property
+    def slowdown(self) -> np.ndarray:
+        """Per-probe runtime inflation caused by the neighbours."""
+        return self.performance_shared_ms / self.performance_idle_ms
+
+
+def _solve_with_coupling(
+    fleet,
+    node_of_gpu: np.ndarray,
+    activity: np.ndarray,
+    dram: np.ndarray,
+    coupling_c_per_w: float,
+    rng: np.random.Generator,
+):
+    """Fixed point of (DVFS settle <-> neighbour coolant pre-heat)."""
+    base_coolant = fleet.coolant_c.copy()
+    efficiency = fleet.throughput_efficiency()
+    cap = fleet.power_cap_w()
+    f_cap = fleet.frequency_cap_mhz()
+
+    current = fleet
+    op = None
+    for _ in range(_COUPLING_ITERS):
+        op = current.controller.solve_steady(
+            activity, dram, efficiency, power_cap_w=cap, f_cap_mhz=f_cap,
+            rng=rng,
+        )
+        if coupling_c_per_w == 0.0:
+            break
+        # Neighbour heat: the node's total dissipation minus your own.
+        node_totals = np.zeros(int(node_of_gpu.max()) + 1)
+        np.add.at(node_totals, node_of_gpu, op.power_w)
+        neighbour_w = node_totals[node_of_gpu] - op.power_w
+        current = fleet.with_coolant(
+            base_coolant + coupling_c_per_w * neighbour_w
+        )
+    return op
+
+
+def simulate_with_neighbors(
+    cluster: Cluster,
+    workload: Workload,
+    neighbor_activity: float = 0.8,
+    neighbor_dram: float = 0.3,
+    day: int = 0,
+    run_index: int = 0,
+) -> SharedNodeResult:
+    """Probe one GPU per node while its neighbours run a background load.
+
+    The probe occupies slot 0 of every node (single-GPU allocation, cloud
+    style); slots 1..w-1 either idle (the paper's exclusive protocol) or
+    run a load with the given activity/DRAM utilization.  Returns both
+    settled states so the spatial penalty is a controlled difference.
+    """
+    if workload.is_multi_gpu:
+        raise SimulationError(
+            "spatial probing uses single-GPU workloads (cloud allocation)"
+        )
+    require_in_range(neighbor_activity, 0.0, 1.0, "neighbor_activity")
+    require_in_range(neighbor_dram, 0.0, 1.0, "neighbor_dram")
+
+    topo = cluster.topology
+    fleet = cluster.fleet_for_day(day)
+    rng_factory = cluster.rng_factory.child(
+        f"spatial-{workload.name}-day-{day}-idx-{run_index}"
+    )
+    spec = fleet.spec
+    node_of = topo.node_of_gpu
+    probe = topo.slot_of_gpu == 0
+
+    act_probe, dram_probe = workload.steady_load(
+        spec.f_max_mhz, spec.compute_throughput, spec.mem_bandwidth_gbs
+    )
+    coupling = NEIGHBOR_COUPLING_C_PER_W[cluster.cooling.kind]
+
+    def settle(neigh_act: float, neigh_dram: float, label: str):
+        activity = np.where(probe, act_probe, neigh_act)
+        dram = np.where(probe, dram_probe, neigh_dram)
+        return _solve_with_coupling(
+            fleet, node_of, activity, dram, coupling,
+            rng_factory.generator(label),
+        )
+
+    op_idle = settle(0.02, 0.02, "idle")
+    op_shared = settle(neighbor_activity, neighbor_dram, "shared")
+
+    bw = fleet.memory_bandwidth_gbs()
+    eff = fleet.throughput_efficiency()
+
+    def probe_time(op):
+        return workload.unit_time_ms(
+            op.f_effective_mhz, spec.compute_throughput, bw, eff
+        )[probe]
+
+    idx = np.flatnonzero(probe)
+    return SharedNodeResult(
+        probe_gpu_indices=idx,
+        performance_idle_ms=probe_time(op_idle),
+        performance_shared_ms=probe_time(op_shared),
+        temperature_idle_c=op_idle.temperature_c[probe],
+        temperature_shared_c=op_shared.temperature_c[probe],
+        frequency_idle_mhz=op_idle.f_effective_mhz[probe],
+        frequency_shared_mhz=op_shared.f_effective_mhz[probe],
+    )
+
+
+def spatial_penalty(
+    cluster: Cluster,
+    workload: Workload,
+    neighbor_activity: float = 0.8,
+) -> dict[str, float]:
+    """Fleet-median spatial interference metrics for one cluster."""
+    result = simulate_with_neighbors(cluster, workload, neighbor_activity)
+    return {
+        "median_slowdown": float(np.median(result.slowdown)),
+        "worst_slowdown": float(result.slowdown.max()),
+        "median_preheat_c": float(np.median(
+            result.temperature_shared_c - result.temperature_idle_c
+        )),
+        "median_frequency_loss_mhz": float(np.median(
+            result.frequency_idle_mhz - result.frequency_shared_mhz
+        )),
+    }
+
+
+def temporal_soak_slowdown(
+    cluster: Cluster,
+    workload: Workload,
+    idle_gap_s: float,
+    job_duration_s: float,
+    previous_activity: float = 1.0,
+) -> float:
+    """Median slowdown of a job that starts on GPUs still hot from a
+    predecessor, relative to a fully-cooled start.
+
+    The predecessor ran at ``previous_activity``; the machine then idled
+    for ``idle_gap_s`` before our job of length ``job_duration_s`` began.
+    The residual heat raises the *time-averaged* junction temperature over
+    the job, which costs leakage headroom for the power-capped portion:
+
+        T_avg = T_ss + (T_0 - T_ss) * (tau / D) * (1 - exp(-D / tau))
+
+    with ``T_0`` the soaked starting temperature after the gap's decay.
+    """
+    require(idle_gap_s >= 0, "idle_gap_s must be >= 0")
+    require(job_duration_s > 0, "job_duration_s must be positive")
+    require_in_range(previous_activity, 0.0, 1.0, "previous_activity")
+
+    fleet = cluster.fleet
+    spec = fleet.spec
+    act, dram = workload.steady_load(
+        spec.f_max_mhz, spec.compute_throughput, spec.mem_bandwidth_gbs
+    )
+    eff = fleet.throughput_efficiency()
+    cap = fleet.power_cap_w()
+    f_cap = fleet.frequency_cap_mhz()
+    rng = cluster.rng_factory.generator("temporal")
+
+    # Steady states of the predecessor and of our job on a cold machine.
+    op_prev = fleet.controller.solve_steady(
+        previous_activity, dram, eff, power_cap_w=cap, f_cap_mhz=f_cap,
+        rng=rng,
+    )
+    op_cold = fleet.controller.solve_steady(
+        act, dram, eff, power_cap_w=cap, f_cap_mhz=f_cap,
+        rng=cluster.rng_factory.generator("temporal-cold"),
+    )
+
+    tau = fleet.thermal_model.time_constant_s
+    # Starting temperature: predecessor heat decayed through the gap.
+    t0 = fleet.coolant_c + (
+        op_prev.temperature_c - fleet.coolant_c
+    ) * np.exp(-idle_gap_s / tau)
+    # Both starts relax toward the same steady state T_ss; a job of length
+    # D averages ``T_ss + (T_start - T_ss) * (tau/D) * (1 - e^{-D/tau})``.
+    # Represent each start as a coolant offset equal to its transient
+    # deficit/excess relative to T_ss, then re-settle both.
+    weight = (tau / job_duration_s) * (1.0 - np.exp(-job_duration_s / tau))
+    t_ss = op_cold.temperature_c
+    offset_cold = (fleet.coolant_c - t_ss) * weight
+    offset_hot = (t0 - t_ss) * weight
+
+    def settle_with_offset(offset: np.ndarray, label: str):
+        shifted = fleet.with_coolant(fleet.coolant_c + offset)
+        return shifted.controller.solve_steady(
+            act, dram, eff, power_cap_w=cap, f_cap_mhz=f_cap,
+            rng=cluster.rng_factory.generator(label),
+        )
+
+    op_cold_avg = settle_with_offset(offset_cold, "temporal-coldavg")
+    op_soaked = settle_with_offset(offset_hot, "temporal-hot")
+
+    bw = fleet.memory_bandwidth_gbs()
+    t_cold = workload.unit_time_ms(
+        op_cold_avg.f_effective_mhz, spec.compute_throughput, bw, eff
+    )
+    t_hot = workload.unit_time_ms(
+        op_soaked.f_effective_mhz, spec.compute_throughput, bw, eff
+    )
+    return float(np.median(t_hot / t_cold))

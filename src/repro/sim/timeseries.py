@@ -1,0 +1,90 @@
+"""Continuous telemetry traces of selected GPUs (Figs. 11 and 25).
+
+Wraps the reactive engine with the profiler's sensor path: integrate the
+chosen GPUs under a workload and sample frequency / power / temperature at
+a fixed interval, with kernel-launch markers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..errors import SimulationError
+from ..telemetry.recorder import TraceRecorder
+from ..telemetry.sample import SensorModel
+from ..telemetry.trace import TelemetryTrace
+from ..workloads.base import Workload
+from .engine import Engine, EngineConfig
+
+__all__ = ["simulate_timeseries"]
+
+
+def simulate_timeseries(
+    cluster: Cluster,
+    workload: Workload,
+    gpu_indices: np.ndarray,
+    duration_s: float,
+    sample_interval_s: float = 0.1,
+    day: int = 0,
+    power_limit_w: float | None = None,
+    engine_config: EngineConfig | None = None,
+    sensor: SensorModel | None = None,
+) -> list[TelemetryTrace]:
+    """Integrate selected GPUs and return their telemetry traces.
+
+    Parameters
+    ----------
+    cluster:
+        The machine.
+    workload:
+        Single-phase workload (SGEMM) to trace.
+    gpu_indices:
+        Which GPUs to integrate and record (1-8 is typical).
+    duration_s:
+        Simulated wall-clock length.
+    sample_interval_s:
+        Telemetry sampling interval (>= the profiler's 1 ms floor).
+    day:
+        Campaign day supplying the facility conditions.
+    power_limit_w:
+        Optional administrative cap (requires admin access).
+    """
+    gpu_indices = np.asarray(gpu_indices)
+    if gpu_indices.ndim != 1 or gpu_indices.shape[0] == 0:
+        raise SimulationError("gpu_indices must be a non-empty 1-D array")
+    if power_limit_w is not None and not cluster.admin_access:
+        raise SimulationError(
+            f"cluster {cluster.name} does not grant administrative access"
+        )
+
+    fleet = cluster.fleet_for_day(day).take(gpu_indices)
+    engine = Engine(fleet, workload, engine_config, power_limit_w)
+    labels = [cluster.topology.gpu_labels[i] for i in gpu_indices]
+    rng = cluster.rng_factory.child(
+        f"timeseries-{workload.name}-day-{day}"
+    ).generator("sensor")
+    recorder = TraceRecorder(
+        labels=labels,
+        pstates_mhz=fleet.spec.pstate_array(),
+        power_gain=fleet.silicon.power_sensor_gain,
+        rng=rng,
+        sensor=sensor,
+        interval_s=sample_interval_s,
+    )
+
+    steps = int(round(duration_s / engine.config.dt_s))
+    marked = 0
+    for _ in range(steps):
+        engine.step()
+        starts = engine.state.kernel_start_times
+        while marked < len(starts):
+            recorder.mark_kernel_start(starts[marked])
+            marked += 1
+        recorder.push(
+            engine.state.time_s,
+            engine.frequency_mhz(),
+            engine.instantaneous_power(),
+            engine.state.temperature_c,
+        )
+    return recorder.traces()

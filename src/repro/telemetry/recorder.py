@@ -1,0 +1,126 @@
+"""Incremental trace recorder used by the time-stepped engine.
+
+The engine pushes raw (true) state each control tick; the recorder applies
+the sensor model, enforces the minimum sampling interval, and assembles a
+:class:`~repro.telemetry.trace.TelemetryTrace` per tracked GPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TelemetryError
+from .sample import SensorModel
+from .trace import TelemetryTrace
+
+__all__ = ["TraceRecorder"]
+
+
+class TraceRecorder:
+    """Collects sensor-filtered samples for a set of tracked GPUs.
+
+    Parameters
+    ----------
+    labels:
+        One label per tracked GPU (defines the track count).
+    pstates_mhz:
+        Frequency ladder used for sensor snapping.
+    power_gain:
+        Per-tracked-GPU power-sensor gain.
+    sensor:
+        Sensor model; defaults to the vendor-profiler defaults.
+    interval_s:
+        Sampling interval; must respect the sensor's 1 ms floor.
+    rng:
+        Randomness for sensor noise.
+    """
+
+    def __init__(
+        self,
+        labels: list[str],
+        pstates_mhz: np.ndarray,
+        power_gain: np.ndarray,
+        rng: np.random.Generator,
+        sensor: SensorModel | None = None,
+        interval_s: float = 0.1,
+    ) -> None:
+        self.sensor = sensor if sensor is not None else SensorModel()
+        if interval_s * 1000.0 < self.sensor.min_interval_ms:
+            raise TelemetryError(
+                f"interval {interval_s * 1000:.3f} ms is below the profiler "
+                f"floor of {self.sensor.min_interval_ms} ms"
+            )
+        if len(labels) != power_gain.shape[0]:
+            raise TelemetryError(
+                f"{len(labels)} labels but {power_gain.shape[0]} gain entries"
+            )
+        self.labels = list(labels)
+        self.pstates = np.asarray(pstates_mhz, dtype=float)
+        self.power_gain = np.asarray(power_gain, dtype=float)
+        self.interval_s = interval_s
+        self.rng = rng
+        self._times: list[float] = []
+        self._freq: list[np.ndarray] = []
+        self._power: list[np.ndarray] = []
+        self._temp: list[np.ndarray] = []
+        self._kernel_starts: list[float] = []
+        self._last_t: float | None = None
+
+    @property
+    def n_tracks(self) -> int:
+        """Number of GPUs being recorded."""
+        return len(self.labels)
+
+    def push(
+        self,
+        time_s: float,
+        frequency_mhz: np.ndarray,
+        power_w: np.ndarray,
+        temperature_c: np.ndarray,
+    ) -> bool:
+        """Offer a raw state sample; returns True if it was recorded.
+
+        Samples arriving faster than the configured interval are dropped,
+        the way a fixed-rate profiler would miss them.
+        """
+        if self._last_t is not None and time_s <= self._last_t:
+            raise TelemetryError("samples must arrive in increasing time order")
+        if self._last_t is not None and time_s - self._last_t < self.interval_s - 1e-12:
+            return False
+        self._last_t = time_s
+        self._times.append(time_s)
+        self._freq.append(
+            self.sensor.read_frequency(frequency_mhz, self.pstates)
+        )
+        self._power.append(
+            self.sensor.read_power(power_w, self.power_gain, self.rng)
+        )
+        self._temp.append(
+            self.sensor.read_temperature(temperature_c, self.rng)
+        )
+        return True
+
+    def mark_kernel_start(self, time_s: float) -> None:
+        """Record a kernel launch marker (Fig. 11's vertical lines)."""
+        self._kernel_starts.append(time_s)
+
+    def traces(self) -> list[TelemetryTrace]:
+        """Assemble one trace per tracked GPU."""
+        if not self._times:
+            raise TelemetryError("no samples were recorded")
+        t = np.asarray(self._times)
+        freq = np.stack(self._freq, axis=0)
+        power = np.stack(self._power, axis=0)
+        temp = np.stack(self._temp, axis=0)
+        starts = np.asarray(self._kernel_starts)
+        return [
+            TelemetryTrace(
+                time_s=t.copy(),
+                frequency_mhz=freq[:, i].copy(),
+                power_w=power[:, i].copy(),
+                temperature_c=temp[:, i].copy(),
+                kernel_starts_s=starts.copy(),
+                label=self.labels[i],
+            )
+            for i in range(self.n_tracks)
+        ]

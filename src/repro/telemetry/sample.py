@@ -1,0 +1,98 @@
+"""Metric names and the sensor model shared by all telemetry producers.
+
+The paper collects four metrics per GPU (Section III): performance (kernel
+or iteration duration, ms), SM/CU frequency (MHz), board power (W), and
+SM/CU temperature (degC).  Real profilers quantize: temperatures are
+integer degrees, frequencies snap to the p-state ladder, and power readings
+carry board-to-board gain error plus per-sample noise.  The
+:class:`SensorModel` centralizes that so simulated measurements and host
+microbenchmarks share one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import require
+
+__all__ = [
+    "METRIC_PERFORMANCE",
+    "METRIC_FREQUENCY",
+    "METRIC_POWER",
+    "METRIC_TEMPERATURE",
+    "PAPER_METRICS",
+    "SensorModel",
+]
+
+METRIC_PERFORMANCE = "performance_ms"
+METRIC_FREQUENCY = "frequency_mhz"
+METRIC_POWER = "power_w"
+METRIC_TEMPERATURE = "temperature_c"
+
+#: The four metrics of the study, in the order the paper's figures use.
+PAPER_METRICS = (
+    METRIC_PERFORMANCE,
+    METRIC_FREQUENCY,
+    METRIC_POWER,
+    METRIC_TEMPERATURE,
+)
+
+
+@dataclass(frozen=True)
+class SensorModel:
+    """Quantization and noise of the vendor telemetry path.
+
+    Parameters
+    ----------
+    min_interval_ms:
+        Minimum sampling interval (1 ms for nvprof/rocm-smi; the paper
+        sizes kernels to exceed it).
+    power_noise_w:
+        Per-sample additive power noise (shunt ADC).
+    temperature_noise_c:
+        Per-sample additive temperature noise before integer rounding.
+    power_resolution_w:
+        Reporting resolution of the power sensor.
+    """
+
+    min_interval_ms: float = 1.0
+    power_noise_w: float = 1.0
+    temperature_noise_c: float = 0.5
+    power_resolution_w: float = 1.0
+
+    def __post_init__(self) -> None:
+        require(self.min_interval_ms > 0, "min_interval_ms must be positive")
+        require(self.power_noise_w >= 0, "power_noise_w must be >= 0")
+        require(self.temperature_noise_c >= 0, "temperature_noise_c must be >= 0")
+        require(self.power_resolution_w > 0, "power_resolution_w must be positive")
+
+    def read_power(
+        self,
+        true_power_w: np.ndarray,
+        gain: np.ndarray | float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Power as reported: per-board gain, sample noise, resolution."""
+        p = np.asarray(true_power_w, dtype=float) * np.asarray(gain, dtype=float)
+        p = p + rng.normal(0.0, self.power_noise_w, size=p.shape)
+        return np.round(p / self.power_resolution_w) * self.power_resolution_w
+
+    def read_temperature(
+        self, true_temperature_c: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Temperature as reported: noisy, rounded to integer degrees."""
+        t = np.asarray(true_temperature_c, dtype=float)
+        return np.round(t + rng.normal(0.0, self.temperature_noise_c, size=t.shape))
+
+    def read_frequency(
+        self, true_frequency_mhz: np.ndarray, pstates_mhz: np.ndarray
+    ) -> np.ndarray:
+        """Frequency as reported: snapped to the nearest ladder state."""
+        f = np.asarray(true_frequency_mhz, dtype=float)
+        steps = np.asarray(pstates_mhz, dtype=float)
+        idx = np.clip(np.searchsorted(steps, f), 0, steps.shape[0] - 1)
+        below = np.clip(idx - 1, 0, steps.shape[0] - 1)
+        pick_below = np.abs(steps[below] - f) <= np.abs(steps[idx] - f)
+        return np.where(pick_below, steps[below], steps[idx])

@@ -1,0 +1,146 @@
+"""Time-series traces of one GPU's telemetry (Figs. 11 and 25).
+
+A :class:`TelemetryTrace` is a uniform-interval record of frequency, power,
+and temperature plus kernel-start markers — what you would get from running
+the vendor profiler in continuous mode next to an application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import TelemetryError
+
+__all__ = ["TelemetryTrace"]
+
+
+@dataclass(frozen=True)
+class TelemetryTrace:
+    """Uniformly-sampled telemetry of one GPU.
+
+    Attributes
+    ----------
+    time_s:
+        Sample timestamps (seconds, ascending, uniform).
+    frequency_mhz, power_w, temperature_c:
+        Channel samples, same length as ``time_s``.
+    kernel_starts_s:
+        Launch times of profiled kernels within the window (the vertical
+        lines of Fig. 11).
+    label:
+        GPU identifier for plots/reports.
+    """
+
+    time_s: np.ndarray
+    frequency_mhz: np.ndarray
+    power_w: np.ndarray
+    temperature_c: np.ndarray
+    kernel_starts_s: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=float)
+    )
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        n = self.time_s.shape[0]
+        for name in ("frequency_mhz", "power_w", "temperature_c"):
+            arr = getattr(self, name)
+            if arr.shape != (n,):
+                raise TelemetryError(
+                    f"channel {name} has {arr.shape[0] if arr.ndim else 0} samples, "
+                    f"expected {n}"
+                )
+        if n >= 2 and not np.all(np.diff(self.time_s) > 0):
+            raise TelemetryError("time_s must be strictly ascending")
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples in the trace."""
+        return int(self.time_s.shape[0])
+
+    @property
+    def duration_s(self) -> float:
+        """Covered wall-clock duration."""
+        if self.n_samples < 2:
+            return 0.0
+        return float(self.time_s[-1] - self.time_s[0])
+
+    @property
+    def interval_s(self) -> float:
+        """Sampling interval (median of the time deltas)."""
+        if self.n_samples < 2:
+            raise TelemetryError("need at least two samples for an interval")
+        return float(np.median(np.diff(self.time_s)))
+
+    # ------------------------------------------------------------------
+
+    def window(self, start_s: float, end_s: float) -> "TelemetryTrace":
+        """Sub-trace covering [start_s, end_s] (the paper plots 10 s slices)."""
+        if end_s <= start_s:
+            raise TelemetryError(f"empty window [{start_s}, {end_s}]")
+        mask = (self.time_s >= start_s) & (self.time_s <= end_s)
+        if not mask.any():
+            raise TelemetryError(
+                f"window [{start_s}, {end_s}] contains no samples"
+            )
+        kmask = (self.kernel_starts_s >= start_s) & (self.kernel_starts_s <= end_s)
+        return TelemetryTrace(
+            time_s=self.time_s[mask].copy(),
+            frequency_mhz=self.frequency_mhz[mask].copy(),
+            power_w=self.power_w[mask].copy(),
+            temperature_c=self.temperature_c[mask].copy(),
+            kernel_starts_s=self.kernel_starts_s[kmask].copy(),
+            label=self.label,
+        )
+
+    def downsample(self, factor: int) -> "TelemetryTrace":
+        """Keep every ``factor``-th sample."""
+        if factor < 1:
+            raise TelemetryError(f"factor must be >= 1, got {factor}")
+        return TelemetryTrace(
+            time_s=self.time_s[::factor].copy(),
+            frequency_mhz=self.frequency_mhz[::factor].copy(),
+            power_w=self.power_w[::factor].copy(),
+            temperature_c=self.temperature_c[::factor].copy(),
+            kernel_starts_s=self.kernel_starts_s.copy(),
+            label=self.label,
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Median / min / max per channel (for reports)."""
+        out: dict[str, float] = {}
+        for name in ("frequency_mhz", "power_w", "temperature_c"):
+            arr = getattr(self, name)
+            out[f"{name}_median"] = float(np.median(arr))
+            out[f"{name}_min"] = float(arr.min())
+            out[f"{name}_max"] = float(arr.max())
+        return out
+
+    def ascii_plot(self, channel: str, width: int = 72, height: int = 12) -> str:
+        """Render one channel as an ASCII strip chart (terminal-friendly)."""
+        arr = getattr(self, channel, None)
+        if arr is None or not isinstance(arr, np.ndarray):
+            raise TelemetryError(f"unknown channel {channel!r}")
+        if self.n_samples < 2:
+            raise TelemetryError("need at least two samples to plot")
+        # Bin samples into `width` columns, then scale rows.
+        bins = np.linspace(0, self.n_samples, width + 1).astype(int)
+        col_vals = np.array([
+            arr[lo:hi].mean() if hi > lo else np.nan
+            for lo, hi in zip(bins[:-1], bins[1:])
+        ])
+        finite = col_vals[np.isfinite(col_vals)]
+        lo, hi = float(finite.min()), float(finite.max())
+        span = hi - lo if hi > lo else 1.0
+        rows = []
+        levels = np.clip(
+            ((col_vals - lo) / span * (height - 1)).round(), 0, height - 1
+        )
+        for r in range(height - 1, -1, -1):
+            line = "".join(
+                "*" if np.isfinite(v) and v >= r else " " for v in levels
+            )
+            rows.append(line)
+        header = f"{self.label or channel}: {lo:.1f} .. {hi:.1f}"
+        return "\n".join([header] + rows)

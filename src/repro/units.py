@@ -1,0 +1,77 @@
+"""Physical constants and small unit-conversion helpers.
+
+The simulator works internally in SI-adjacent units chosen to match what the
+vendor profilers report (the units used throughout the paper):
+
+====================  =========================
+quantity              unit
+====================  =========================
+frequency             MHz
+power                 W
+temperature           degrees Celsius
+time (wall clock)     seconds
+kernel duration       milliseconds
+voltage               volts
+energy                joules
+====================  =========================
+
+Keeping conversions in one place avoids scattered magic constants.
+"""
+
+from __future__ import annotations
+
+# --- time ---------------------------------------------------------------
+
+MS_PER_S = 1000.0
+S_PER_MS = 1.0 / MS_PER_S
+S_PER_MIN = 60.0
+S_PER_HOUR = 3600.0
+HOURS_PER_DAY = 24.0
+DAYS_PER_WEEK = 7
+
+# --- frequency ----------------------------------------------------------
+
+MHZ_PER_GHZ = 1000.0
+HZ_PER_MHZ = 1.0e6
+
+
+def ms_to_s(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms * S_PER_MS
+
+
+def s_to_ms(s: float) -> float:
+    """Convert seconds to milliseconds."""
+    return s * MS_PER_S
+
+
+def mhz_to_hz(mhz: float) -> float:
+    """Convert megahertz to hertz."""
+    return mhz * HZ_PER_MHZ
+
+
+def hours_to_s(hours: float) -> float:
+    """Convert hours to seconds."""
+    return hours * S_PER_HOUR
+
+
+def celsius_to_kelvin(c: float) -> float:
+    """Convert Celsius to Kelvin (used only at physics boundaries)."""
+    return c + 273.15
+
+
+def kelvin_to_celsius(k: float) -> float:
+    """Convert Kelvin to Celsius."""
+    return k - 273.15
+
+
+# --- reference temperatures ----------------------------------------------
+
+#: Temperature (deg C) at which leakage parameters are specified.
+LEAKAGE_REFERENCE_C = 25.0
+
+#: Typical machine-room chilled air supply temperature (deg C).
+ROOM_AIR_SUPPLY_C = 22.0
+
+#: Typical facility chilled-water loop temperature (deg C).
+CHILLED_WATER_C = 17.0

@@ -1,0 +1,40 @@
+"""Workload models for the five applications the paper studies (Table II).
+
+Each workload is a set of kernel phases placed on the roofline (compute
+FLOPs vs DRAM traffic) plus the profiler characterization the paper reports
+(functional-unit utilization, DRAM utilization, stall fractions).  The
+placement determines everything the paper observes: compute-bound phases at
+high switching activity push the GPU into its TDP (DVFS variability),
+memory-bound phases leave frequency pinned at boost (performance stability
+with residual power/thermal variability).
+"""
+
+from .base import KernelPhase, Workload, roofline_time_ms
+from .sgemm import sgemm
+from .resnet import resnet50
+from .bert import bert_pretraining
+from .lammps import lammps_reaxc
+from .pagerank import (
+    pagerank,
+    pagerank_pull,
+    synthesize_circuit_graph,
+    derive_spmv_phase,
+)
+from .registry import get_workload, list_workloads, PAPER_WORKLOADS
+
+__all__ = [
+    "KernelPhase",
+    "Workload",
+    "roofline_time_ms",
+    "sgemm",
+    "resnet50",
+    "bert_pretraining",
+    "lammps_reaxc",
+    "pagerank",
+    "pagerank_pull",
+    "synthesize_circuit_graph",
+    "derive_spmv_phase",
+    "get_workload",
+    "list_workloads",
+    "PAPER_WORKLOADS",
+]

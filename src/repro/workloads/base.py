@@ -1,0 +1,297 @@
+"""Workload abstraction: kernel phases on the roofline.
+
+A workload is a repeating *unit* (one SGEMM kernel, one training iteration,
+one simulation step bundle) composed of :class:`KernelPhase` entries.  Each
+phase carries the two roofline coordinates (FLOPs and DRAM bytes per launch)
+and the power-relevant behaviour while resident (switching activity, DRAM
+utilization).  The :func:`roofline_time_ms` model is deliberately simple —
+``max(compute time, memory time)`` with a small serialization term — because
+the paper's findings depend only on *where* a workload sits on the roofline,
+not on microarchitectural detail:
+
+* SGEMM / ResNet conv phases: compute time dominates and scales with 1/f,
+  so DVFS differences become runtime differences;
+* LAMMPS / PageRank phases: memory time dominates and is frequency-flat, so
+  runtime is stable while power still varies (Takeaways 7-8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import require, require_in_range, require_positive
+
+__all__ = ["KernelPhase", "Workload", "roofline_time_ms", "SERIALIZATION_FRACTION"]
+
+#: Fraction of the shorter roofline leg that does not overlap with the
+#: longer one (imperfect latency hiding).
+SERIALIZATION_FRACTION = 0.12
+
+#: Switching activity of a GPU busy-waiting on communication (NCCL spin).
+WAIT_ACTIVITY = 0.06
+
+
+def roofline_time_ms(
+    compute_flop: float,
+    memory_bytes: float,
+    f_mhz: np.ndarray | float,
+    compute_throughput: float,
+    bandwidth_gbs: np.ndarray | float,
+    efficiency: np.ndarray | float = 1.0,
+) -> np.ndarray:
+    """Kernel duration under the overlap roofline model (vectorized).
+
+    Parameters
+    ----------
+    compute_flop, memory_bytes:
+        Work per launch.
+    f_mhz:
+        Core clock; compute throughput scales linearly with it.
+    compute_throughput:
+        SKU constant: FLOPs per MHz per millisecond at full FU utilization.
+    bandwidth_gbs:
+        Achieved DRAM bandwidth (GB/s).
+    efficiency:
+        Throughput multiplier (achieved IPC; defect degradation).
+    """
+    f = np.asarray(f_mhz, dtype=float)
+    bw = np.asarray(bandwidth_gbs, dtype=float)
+    eff = np.asarray(efficiency, dtype=float)
+    t_compute = compute_flop / (f * compute_throughput * eff)
+    # GB/s == bytes per nanosecond; per millisecond that is bw * 1e6 bytes.
+    t_memory = memory_bytes / (bw * 1.0e6)
+    long_leg = np.maximum(t_compute, t_memory)
+    short_leg = np.minimum(t_compute, t_memory)
+    return long_leg + SERIALIZATION_FRACTION * short_leg
+
+
+@dataclass(frozen=True)
+class KernelPhase:
+    """One kernel class inside a workload unit.
+
+    Attributes
+    ----------
+    name:
+        Phase label (``"gemm"``, ``"elementwise"``...).
+    compute_flop:
+        Floating-point work per launch.
+    memory_bytes:
+        DRAM traffic per launch.
+    activity:
+        Core switching-activity factor in [0, 1] while this phase runs
+        (drives dynamic power).
+    dram_utilization:
+        DRAM utilization in [0, 1] while this phase runs (drives memory
+        power).
+    launches:
+        Launches of this phase per workload unit.
+    """
+
+    name: str
+    compute_flop: float
+    memory_bytes: float
+    activity: float
+    dram_utilization: float
+    launches: int = 1
+
+    def __post_init__(self) -> None:
+        require(self.compute_flop >= 0, "compute_flop must be >= 0")
+        require(self.memory_bytes >= 0, "memory_bytes must be >= 0")
+        require(self.compute_flop + self.memory_bytes > 0,
+                "a phase needs some compute or memory work")
+        require_in_range(self.activity, 0.0, 1.0, "activity")
+        require_in_range(self.dram_utilization, 0.0, 1.0, "dram_utilization")
+        require(self.launches >= 1, "launches must be >= 1")
+
+    def time_ms(
+        self,
+        f_mhz: np.ndarray | float,
+        compute_throughput: float,
+        bandwidth_gbs: np.ndarray | float,
+        efficiency: np.ndarray | float = 1.0,
+    ) -> np.ndarray:
+        """Duration of one launch of this phase."""
+        return roofline_time_ms(
+            self.compute_flop,
+            self.memory_bytes,
+            f_mhz,
+            compute_throughput,
+            bandwidth_gbs,
+            efficiency,
+        )
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A complete application model (one Table II row).
+
+    Attributes
+    ----------
+    name:
+        Application name.
+    phases:
+        Kernel phases per unit.
+    n_gpus:
+        GPUs per job (1, or the node width for bulk-synchronous training).
+    units_per_run:
+        Workload units per run: kernel repetitions for SGEMM (100),
+        training iterations for ResNet/BERT (500/250), step bundles for
+        LAMMPS/PageRank.
+    performance_metric:
+        What the paper reports for this app: ``"kernel_ms"`` (median kernel
+        duration), ``"iteration_ms"`` (iteration duration), or
+        ``"aggregate_ms"`` (sum of the long kernels — LAMMPS).
+    fu_utilization:
+        nvprof functional-unit utilization on its 0-10 scale (SGEMM 10,
+        ResNet 5.4 — Section V-A).
+    dram_utilization_profile:
+        Profiler DRAM utilization in [0, 1] used for classification.
+    mem_stall_frac, fu_stall_frac:
+        Profiler stall fractions (PageRank 61% memory stalls vs 7% LAMMPS
+        and 3% SGEMM — Section V-D).
+    activity_mix_sigma:
+        Log-sigma of the per-run, per-GPU activity multiplier.  ML training
+        runs mix kernel populations differently run to run (data order,
+        cuDNN algorithm choice), producing the large power variability of
+        Figs. 14c/17c; 0 for steady kernels.
+    run_speed_sigma:
+        Log-sigma of a per-run, per-GPU duration multiplier that persists
+        for the whole run (cuDNN autotuner picking different convolution
+        algorithms, input-pipeline placement).  This is the software
+        component of ML performance variability: Fig. 16 shows 14%
+        iteration-duration spread even with every GPU pinned at 1530 MHz.
+    activity_speed_correlation:
+        Fraction (0-1) of the activity-mix draw shared with the run-speed
+        draw: runs that land faster algorithms burn more power, producing
+        the negative duration/power correlation of Fig. 15b.
+    iteration_jitter_sigma:
+        Log-sigma of per-iteration duration jitter (input pipeline, NCCL);
+        amplified by the bulk-synchronous max() across GPUs.
+    sync_overhead_ms:
+        Per-unit synchronization cost for multi-GPU jobs (allreduce).
+    pathological_run_rate:
+        Probability that a whole run degrades pathologically (input
+        pipeline stalls, NCCL renegotiation, a contended parallel
+        filesystem) — the mechanism behind the extreme 3.5x ResNet
+        stragglers of Fig. 1 whose GPUs sit near idle power.
+    pathological_slowdown:
+        (lo, hi) multiplier applied to a pathological run's duration.
+    input_description:
+        Human-readable input configuration (Table II).
+    """
+
+    name: str
+    phases: tuple[KernelPhase, ...]
+    n_gpus: int = 1
+    units_per_run: int = 100
+    performance_metric: str = "kernel_ms"
+    fu_utilization: float = 5.0
+    dram_utilization_profile: float = 0.3
+    mem_stall_frac: float = 0.1
+    fu_stall_frac: float = 0.1
+    activity_mix_sigma: float = 0.0
+    run_speed_sigma: float = 0.0
+    activity_speed_correlation: float = 0.0
+    iteration_jitter_sigma: float = 0.0
+    sync_overhead_ms: float = 0.0
+    pathological_run_rate: float = 0.0
+    pathological_slowdown: tuple[float, float] = (1.5, 3.2)
+    input_description: str = ""
+
+    def __post_init__(self) -> None:
+        require(len(self.phases) >= 1, "a workload needs at least one phase")
+        require(self.n_gpus >= 1, "n_gpus must be >= 1")
+        require(self.units_per_run >= 1, "units_per_run must be >= 1")
+        require(
+            self.performance_metric in ("kernel_ms", "iteration_ms", "aggregate_ms"),
+            f"unknown performance metric {self.performance_metric!r}",
+        )
+        require_in_range(self.fu_utilization, 0.0, 10.0, "fu_utilization")
+        require_in_range(self.dram_utilization_profile, 0.0, 1.0,
+                         "dram_utilization_profile")
+        require(self.activity_mix_sigma >= 0, "activity_mix_sigma must be >= 0")
+        require(self.run_speed_sigma >= 0, "run_speed_sigma must be >= 0")
+        require_in_range(self.activity_speed_correlation, 0.0, 1.0,
+                         "activity_speed_correlation")
+        require(self.iteration_jitter_sigma >= 0,
+                "iteration_jitter_sigma must be >= 0")
+        require(self.sync_overhead_ms >= 0, "sync_overhead_ms must be >= 0")
+        require_in_range(self.pathological_run_rate, 0.0, 0.5,
+                         "pathological_run_rate")
+        lo, hi = self.pathological_slowdown
+        require(1.0 <= lo <= hi, "pathological_slowdown must satisfy 1 <= lo <= hi")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_multi_gpu(self) -> bool:
+        """Whether the job spans multiple GPUs (bulk-synchronous)."""
+        return self.n_gpus > 1
+
+    def unit_time_ms(
+        self,
+        f_mhz: np.ndarray | float,
+        compute_throughput: float,
+        bandwidth_gbs: np.ndarray | float,
+        efficiency: np.ndarray | float = 1.0,
+    ) -> np.ndarray:
+        """Duration of one workload unit at an operating point (vectorized)."""
+        total = 0.0
+        for phase in self.phases:
+            total = total + phase.launches * phase.time_ms(
+                f_mhz, compute_throughput, bandwidth_gbs, efficiency
+            )
+        return np.asarray(total, dtype=float)
+
+    def steady_load(
+        self,
+        f_mhz: float,
+        compute_throughput: float,
+        bandwidth_gbs: float,
+    ) -> tuple[float, float]:
+        """Time-weighted (activity, dram_utilization) of the running workload.
+
+        Evaluated at a nominal operating point; the weighting shifts only
+        marginally with frequency, so a single evaluation at boost clock is
+        what the DVFS solver uses as the sustained load.
+        """
+        times = np.array([
+            phase.launches * float(phase.time_ms(
+                f_mhz, compute_throughput, bandwidth_gbs
+            ))
+            for phase in self.phases
+        ])
+        weights = times / times.sum()
+        activity = float(np.dot(weights, [p.activity for p in self.phases]))
+        dram = float(np.dot(weights, [p.dram_utilization for p in self.phases]))
+        return activity, dram
+
+    def compute_fraction(
+        self,
+        f_mhz: float,
+        compute_throughput: float,
+        bandwidth_gbs: float,
+    ) -> float:
+        """Fraction of unit time spent on compute-leg-dominated phases."""
+        compute_time = 0.0
+        total_time = 0.0
+        for phase in self.phases:
+            t = phase.launches * float(
+                phase.time_ms(f_mhz, compute_throughput, bandwidth_gbs)
+            )
+            total_time += t
+            t_c = phase.compute_flop / (f_mhz * compute_throughput)
+            t_m = phase.memory_bytes / (bandwidth_gbs * 1.0e6)
+            if t_c >= t_m:
+                compute_time += t
+        return compute_time / total_time
+
+    def total_flop_per_unit(self) -> float:
+        """Total floating-point work per workload unit."""
+        return sum(p.launches * p.compute_flop for p in self.phases)
+
+    def total_bytes_per_unit(self) -> float:
+        """Total DRAM traffic per workload unit."""
+        return sum(p.launches * p.memory_bytes for p in self.phases)

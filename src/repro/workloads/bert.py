@@ -1,0 +1,82 @@
+"""BERT-Large pre-training (Section V-B).
+
+BERT mixes GEMMs with attention/softmax/layout kernels: its GEMMs are
+30-65% of runtime but only utilize 40-50% of the GPU, so both its power
+draw (median ~40 W below ResNet's) and its performance variability (8% vs
+22%) are lower — Takeaway 6.  Like ResNet it runs bulk-synchronously across
+the node's four GPUs, and its outlier nodes are the *same* c002 nodes, which
+falls out of the shared cluster defect assignment rather than anything in
+this module.
+"""
+
+from __future__ import annotations
+
+from .base import KernelPhase, Workload
+
+__all__ = ["bert_pretraining"]
+
+#: *Effective* training FLOPs per sequence for BERT-Large (seq len 128,
+#: forward + backward), inflated for achieved-throughput gaps the same way
+#: as ResNet — BERT's GEMMs "only utilize 40-50% of the GPU" (Section V-B).
+_FLOP_PER_SEQUENCE = 5.6e11
+
+
+def bert_pretraining(
+    batch_size: int = 64,
+    n_gpus: int = 4,
+    iterations: int = 250,
+) -> Workload:
+    """Build the BERT-Large pre-training workload.
+
+    Parameters
+    ----------
+    batch_size:
+        Global batch size (the paper uses 64).
+    n_gpus:
+        GPUs per job (4 in the paper; Section V-B).
+    iterations:
+        Iterations per run (the paper limits runs to 250).
+    """
+    if batch_size % n_gpus:
+        raise ValueError(
+            f"batch_size {batch_size} must divide evenly across {n_gpus} GPUs"
+        )
+    per_gpu_sequences = batch_size / n_gpus
+    gemm = KernelPhase(
+        name="attention_gemm",
+        compute_flop=_FLOP_PER_SEQUENCE * 0.70 * per_gpu_sequences,
+        memory_bytes=2.0e8 * per_gpu_sequences,
+        activity=0.50,
+        dram_utilization=0.35,
+        launches=1,
+    )
+    other = KernelPhase(
+        name="softmax_layout",
+        compute_flop=_FLOP_PER_SEQUENCE * 0.30 * per_gpu_sequences,
+        memory_bytes=5.5e8 * per_gpu_sequences,
+        activity=0.30,
+        dram_utilization=0.60,
+        launches=1,
+    )
+    return Workload(
+        name="BERT",
+        phases=(gemm, other),
+        n_gpus=n_gpus,
+        units_per_run=iterations,
+        performance_metric="iteration_ms",
+        fu_utilization=4.6,
+        dram_utilization_profile=0.35,
+        mem_stall_frac=0.30,
+        fu_stall_frac=0.15,
+        activity_mix_sigma=0.24,
+        run_speed_sigma=0.020,
+        activity_speed_correlation=0.6,
+        iteration_jitter_sigma=0.03,
+        sync_overhead_ms=14.0 if n_gpus > 1 else 0.0,
+        pathological_run_rate=0.008,
+        pathological_slowdown=(1.4, 2.2),
+        input_description=(
+            f"30522-word vocabulary, batch {batch_size}, {n_gpus} GPU(s), "
+            f"{iterations} iterations, BERT-Large (24 encoders, 16 heads)"
+        ),
+    )

@@ -1,0 +1,42 @@
+"""Registry of the paper's workloads (Table II rows by name)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigError
+from .base import Workload
+from .bert import bert_pretraining
+from .lammps import lammps_reaxc
+from .pagerank import pagerank
+from .resnet import resnet50
+from .sgemm import SGEMM_N_AMD, sgemm
+
+__all__ = ["PAPER_WORKLOADS", "get_workload", "list_workloads"]
+
+#: Factory per canonical workload name.  ``sgemm-amd`` is the Corona-sized
+#: variant (Table II lists 24576^3 for the MI60s).
+PAPER_WORKLOADS: dict[str, Callable[[], Workload]] = {
+    "sgemm": sgemm,
+    "sgemm-amd": lambda: sgemm(n=SGEMM_N_AMD),
+    "resnet50": resnet50,
+    "resnet50-1gpu": lambda: resnet50(batch_size=16, n_gpus=1),
+    "bert": bert_pretraining,
+    "lammps": lammps_reaxc,
+    "pagerank": pagerank,
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Build a paper workload by registry name (case-insensitive)."""
+    key = name.lower()
+    if key not in PAPER_WORKLOADS:
+        raise ConfigError(
+            f"unknown workload {name!r}; known: {sorted(PAPER_WORKLOADS)}"
+        )
+    return PAPER_WORKLOADS[key]()
+
+
+def list_workloads() -> list[str]:
+    """Names of the registered workloads."""
+    return sorted(PAPER_WORKLOADS)

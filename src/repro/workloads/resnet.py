@@ -1,0 +1,111 @@
+"""ResNet-50 training (Section V-A).
+
+ResNet-50 is the paper's most variable workload: 22% iteration-duration
+spread in the 4-GPU configuration and 14% single-GPU, with *frequency pinned
+at 1530 MHz* throughout — i.e. the variability is not DVFS-driven.  Three
+mechanisms reproduce it here:
+
+1. a per-run software speed multiplier (cuDNN autotuner / input pipeline),
+2. per-iteration jitter amplified by the bulk-synchronous ``max()`` across
+   the node's GPUs, and
+3. sick nodes: one SICK_SLOW GPU drags the whole node, and its healthy
+   neighbours appear as the paradoxical "1530 MHz, slow, 76 W" stragglers
+   of Fig. 15 because they spend most of each iteration busy-waiting.
+
+The kernel population (~85 unique kernels, 75% shorter than 2 ms) is
+aggregated into two phases: the convolution/GEMM backbone (compute-leg) and
+the elementwise/batch-norm tail (memory-leg).  The mix holds total switching
+activity around 0.6, which keeps the board below TDP at boost clock — the
+paper's observation that ResNet sees "little PM interference".
+"""
+
+from __future__ import annotations
+
+from .base import KernelPhase, Workload
+
+__all__ = ["resnet50"]
+
+#: *Effective* training FLOPs per image: the nominal ~12 GFLOP of forward
+#: + backward, inflated by the achieved-throughput gap of real training
+#: (kernel launch overheads, low-occupancy layers, im2col expansions —
+#: ResNet sustains well under peak FU utilization, which the paper's 5.4/10
+#: FU reading reflects).  Calibrated so a 16-image/GPU iteration lands near
+#: the ~110 ms the paper's Fig. 15a shows.
+_FLOP_PER_IMAGE = 1.05e11
+
+#: Fraction of training FLOPs in convolution / GEMM kernels.
+_CONV_FLOP_SHARE = 0.92
+
+
+def resnet50(
+    batch_size: int = 64,
+    n_gpus: int = 4,
+    iterations: int = 500,
+) -> Workload:
+    """Build the ResNet-50 training workload.
+
+    Parameters
+    ----------
+    batch_size:
+        Global batch size; the paper uses 64 for the 4-GPU runs and scales
+        to 16 for the single-GPU comparison (Section V-A).
+    n_gpus:
+        GPUs per job; iteration time is the bulk-synchronous max across
+        them plus an allreduce.
+    iterations:
+        Iterations per run (the paper profiles 500).
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if batch_size % n_gpus:
+        raise ValueError(
+            f"batch_size {batch_size} must divide evenly across {n_gpus} GPUs"
+        )
+    per_gpu_images = batch_size / n_gpus
+    # Single-GPU runs use batch 16 whose smaller kernels sustain less
+    # switching activity ("power consumption stays well within TDP ...
+    # hence they run at the max frequency", Section V-A).
+    act_scale = 1.0 if n_gpus > 1 else 0.90
+    conv = KernelPhase(
+        name="conv_gemm",
+        compute_flop=_FLOP_PER_IMAGE * _CONV_FLOP_SHARE * per_gpu_images,
+        memory_bytes=1.3e8 * per_gpu_images,
+        activity=0.62 * act_scale,
+        dram_utilization=0.30,
+        launches=1,
+    )
+    elementwise = KernelPhase(
+        name="elementwise_bn",
+        compute_flop=_FLOP_PER_IMAGE * (1.0 - _CONV_FLOP_SHARE) * per_gpu_images,
+        memory_bytes=3.6e8 * per_gpu_images,
+        activity=0.32 * act_scale,
+        dram_utilization=0.72,
+        launches=1,
+    )
+    return Workload(
+        name="ResNet-50" if n_gpus > 1 else "ResNet-50 (1 GPU)",
+        phases=(conv, elementwise),
+        n_gpus=n_gpus,
+        units_per_run=iterations,
+        performance_metric="iteration_ms",
+        fu_utilization=5.4,
+        dram_utilization_profile=0.30,
+        mem_stall_frac=0.20,
+        fu_stall_frac=0.18,
+        activity_mix_sigma=0.26 if n_gpus > 1 else 0.07,
+        # The bulk-synchronous max() across 4 GPUs compresses relative
+        # spread, so the multi-GPU jobs need a larger per-GPU draw to land
+        # the paper's 22% (vs 14% single-GPU) variation.
+        run_speed_sigma=0.055 if n_gpus > 1 else 0.026,
+        activity_speed_correlation=0.6,
+        iteration_jitter_sigma=0.05,
+        sync_overhead_ms=8.0 if n_gpus > 1 else 0.0,
+        # Rare catastrophic runs (stalled input pipeline): the 3.5x
+        # stragglers of Fig. 1 / Section V-A, milder for single-GPU jobs.
+        pathological_run_rate=0.012 if n_gpus > 1 else 0.004,
+        pathological_slowdown=(1.8, 3.4),
+        input_description=(
+            f"1.2M ImageNet images, batch {batch_size}, {n_gpus} GPU(s), "
+            f"{iterations} iterations"
+        ),
+    )

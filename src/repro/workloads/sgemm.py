@@ -1,0 +1,67 @@
+"""SGEMM: the cross-cluster probe workload (Section IV).
+
+A single dense single-precision matrix-multiply kernel from cuBLAS /
+hipBLAS, repeated 100 times per run.  The matrix size is tuned per SKU the
+way the paper tuned it (Table II): 25536^3 on the V100/RTX 5000 clusters,
+24576^3 on Corona's MI60s — large enough that one kernel runs for seconds,
+giving the DVFS controller time to settle, and occupying every SM/CU.
+
+SGEMM is the purest compute-bound load: functional-unit utilization 10/10,
+negligible memory stalls, switching activity ~1.0.  At the boost clock its
+dynamic power exceeds the TDP, so every healthy GPU is power-capped and the
+silicon lottery becomes directly visible as a frequency (and therefore
+runtime) spread — Figs. 1-13.
+"""
+
+from __future__ import annotations
+
+from .base import KernelPhase, Workload
+
+__all__ = ["sgemm", "SGEMM_N_NVIDIA", "SGEMM_N_AMD"]
+
+#: Matrix dimension used on the NVIDIA clusters (Table II).
+SGEMM_N_NVIDIA = 25536
+#: Matrix dimension used on Corona's AMD MI60s (Table II).
+SGEMM_N_AMD = 24576
+
+#: Effective DRAM traffic per kernel relative to the compulsory 3*n^2*4
+#: bytes (tiling refetch).
+_TRAFFIC_FACTOR = 2.0
+
+
+def sgemm(n: int = SGEMM_N_NVIDIA, repetitions: int = 100) -> Workload:
+    """Build the SGEMM workload for matrix dimension ``n``.
+
+    Parameters
+    ----------
+    n:
+        Square matrix dimension.  Use :data:`SGEMM_N_AMD` for MI60 runs.
+    repetitions:
+        Kernels per run (the paper uses 100; Section IV-A).
+    """
+    if n < 256:
+        raise ValueError(f"matrix dimension {n} is too small to occupy a GPU")
+    flop = 2.0 * float(n) ** 3
+    traffic = 3.0 * float(n) ** 2 * 4.0 * _TRAFFIC_FACTOR
+    phase = KernelPhase(
+        name="sgemm",
+        compute_flop=flop,
+        memory_bytes=traffic,
+        activity=1.0,
+        dram_utilization=0.35,
+        launches=1,
+    )
+    return Workload(
+        name="SGEMM",
+        phases=(phase,),
+        n_gpus=1,
+        units_per_run=repetitions,
+        performance_metric="kernel_ms",
+        fu_utilization=10.0,
+        dram_utilization_profile=0.35,
+        mem_stall_frac=0.03,
+        fu_stall_frac=0.24,
+        activity_mix_sigma=0.0,
+        iteration_jitter_sigma=0.0,
+        input_description=f"{n} x {n} single-precision matrices, {repetitions} reps",
+    )

@@ -1,0 +1,77 @@
+"""Tests for the exclusive-node allocator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.allocator import ExclusiveNodeAllocator
+from repro.cluster.topology import cabinet_topology
+from repro.errors import AllocationError
+
+
+@pytest.fixture()
+def allocator():
+    return ExclusiveNodeAllocator(cabinet_topology("T", 12, 4, 3))
+
+
+class TestAllocateNode:
+    def test_whole_node(self, allocator):
+        alloc = allocator.allocate_node(2)
+        np.testing.assert_array_equal(alloc.gpu_indices, [8, 9, 10, 11])
+        assert alloc.n_gpus == 4
+        assert alloc.node_index == 2
+
+    def test_partial_node(self, allocator):
+        alloc = allocator.allocate_node(0, n_gpus=2)
+        np.testing.assert_array_equal(alloc.gpu_indices, [0, 1])
+
+    def test_too_many_gpus_rejected(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.allocate_node(0, n_gpus=5)
+
+
+class TestSweep:
+    def test_full_sweep_covers_everything(self, allocator):
+        allocations = allocator.sweep()
+        assert len(allocations) == 12
+        all_gpus = np.concatenate([a.gpu_indices for a in allocations])
+        np.testing.assert_array_equal(np.sort(all_gpus), np.arange(48))
+
+    def test_partial_coverage(self, allocator, rng):
+        allocations = allocator.sweep(coverage=0.5, rng=rng)
+        assert len(allocations) == 6
+
+    def test_coverage_needs_rng(self, allocator):
+        with pytest.raises(AllocationError, match="rng"):
+            allocator.sweep(coverage=0.5)
+
+    def test_invalid_coverage(self, allocator, rng):
+        with pytest.raises(AllocationError):
+            allocator.sweep(coverage=0.0, rng=rng)
+
+    def test_coverage_sample_varies_by_rng(self, allocator):
+        a = allocator.sweep(coverage=0.5, rng=np.random.default_rng(1))
+        b = allocator.sweep(coverage=0.5, rng=np.random.default_rng(2))
+        nodes_a = [x.node_index for x in a]
+        nodes_b = [x.node_index for x in b]
+        assert nodes_a != nodes_b
+
+
+class TestRandomAssignment:
+    def test_stays_within_one_node(self, allocator, rng):
+        for _ in range(20):
+            alloc = allocator.random_assignment(4, rng)
+            nodes = alloc.gpu_indices // 4
+            assert np.unique(nodes).shape[0] == 1
+
+    def test_single_gpu(self, allocator, rng):
+        alloc = allocator.random_assignment(1, rng)
+        assert alloc.n_gpus == 1
+
+    def test_partial_node_sorted_unique(self, allocator, rng):
+        alloc = allocator.random_assignment(2, rng)
+        assert alloc.n_gpus == 2
+        assert alloc.gpu_indices[0] < alloc.gpu_indices[1]
+
+    def test_oversized_job_rejected(self, allocator, rng):
+        with pytest.raises(AllocationError):
+            allocator.random_assignment(5, rng)

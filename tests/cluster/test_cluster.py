@@ -1,0 +1,136 @@
+"""Tests for the Cluster composition layer."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster, ForcedDefect
+from repro.cluster.cooling import WaterCooling
+from repro.cluster.facility import FacilityModel
+from repro.cluster.topology import cabinet_topology
+from repro.errors import ConfigError
+from repro.gpu.defects import DefectConfig, DefectType
+from repro.gpu.silicon import SiliconConfig
+from repro.gpu.specs import V100
+
+
+def make_cluster(seed=0, forced=(), defect_config=None, facility=None):
+    topo = cabinet_topology("T", 12, 4, 3)
+    return Cluster(
+        name="T",
+        spec=V100,
+        topology=topo,
+        cooling=WaterCooling(),
+        silicon_config=SiliconConfig(),
+        defect_config=defect_config or DefectConfig.none(),
+        facility=facility,
+        forced_defects=forced,
+        seed=seed,
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_machine(self):
+        a = make_cluster(seed=4)
+        b = make_cluster(seed=4)
+        np.testing.assert_array_equal(
+            a.silicon.voltage_offset, b.silicon.voltage_offset
+        )
+        np.testing.assert_array_equal(
+            a.environment.coolant_c, b.environment.coolant_c
+        )
+
+    def test_different_seed_different_machine(self):
+        a = make_cluster(seed=4)
+        b = make_cluster(seed=5)
+        assert not np.array_equal(
+            a.silicon.voltage_offset, b.silicon.voltage_offset
+        )
+
+
+class TestForcedDefects:
+    def test_gpu_scope(self):
+        cluster = make_cluster(forced=(
+            ForcedDefect("gpu", "c001-002-1", DefectType.SICK_SLOW, 0.7),
+        ))
+        idx = cluster.topology.gpu_labels.index("c001-002-1")
+        assert cluster.defects.kind[idx] == int(DefectType.SICK_SLOW)
+        assert cluster.defects.frequency_cap_frac[idx] == 0.7
+
+    def test_node_scope_with_count(self):
+        cluster = make_cluster(forced=(
+            ForcedDefect("node", "c002-001", DefectType.POWER_DELIVERY,
+                         0.9, count=2),
+        ))
+        gpus = cluster.topology.gpus_of_node(
+            cluster.topology.node_index("c002-001")
+        )
+        assert (cluster.defects.kind[gpus[:2]]
+                == int(DefectType.POWER_DELIVERY)).all()
+        assert (cluster.defects.kind[gpus[2:]] == int(DefectType.NONE)).all()
+
+    def test_cabinet_scope(self):
+        cluster = make_cluster(forced=(
+            ForcedDefect("cabinet", "c003", DefectType.HOT_RUNNER, 1.8),
+        ))
+        cab_gpus = cluster.topology.cabinet_of_gpu == 2
+        np.testing.assert_allclose(
+            cluster.defects.extra_thermal_resistance[cab_gpus], 1.8
+        )
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            make_cluster(forced=(
+                ForcedDefect("gpu", "bogus", DefectType.SICK_SLOW, 0.7),
+            ))
+
+    def test_forced_resets_other_severities(self):
+        """Forcing overrides any random defect already at that GPU."""
+        cluster = make_cluster(
+            defect_config=DefectConfig(
+                power_delivery_rate=0.5, sick_slow_rate=0.0, hot_runner_rate=0.0
+            ),
+            forced=(ForcedDefect("gpu", "c001-001-0",
+                                 DefectType.SICK_SLOW, 0.7),),
+        )
+        idx = cluster.topology.gpu_labels.index("c001-001-0")
+        assert cluster.defects.power_cap_frac[idx] == 1.0
+        assert cluster.defects.frequency_cap_frac[idx] == 0.7
+
+    def test_forced_defect_validation(self):
+        with pytest.raises(ConfigError):
+            ForcedDefect("gpu", "x", DefectType.NONE, 1.0)
+        with pytest.raises(ConfigError):
+            ForcedDefect("rack", "x", DefectType.SICK_SLOW, 0.5)
+
+
+class TestDayConditions:
+    def test_day_zero_offset_applied(self):
+        cluster = make_cluster(
+            facility=FacilityModel(weekday_offsets_c=(2.0,) * 7,
+                                   daily_sigma_c=0.0)
+        )
+        fleet = cluster.fleet_for_day(0)
+        np.testing.assert_allclose(
+            fleet.coolant_c, cluster.environment.coolant_c + 2.0
+        )
+
+    def test_steady_facility_returns_base_fleet(self):
+        cluster = make_cluster(facility=FacilityModel.steady())
+        assert cluster.fleet_for_day(3) is cluster.fleet
+
+
+class TestConfig:
+    def test_config_summary(self):
+        cluster = make_cluster()
+        cfg = cluster.config()
+        assert cfg.n_gpus == 48
+        assert cfg.n_nodes == 12
+        assert cfg.cooling == "water"
+        assert cfg.gpu_name == "V100"
+        assert not cfg.admin_access
+
+    def test_run_noise_validation(self):
+        topo = cabinet_topology("T", 3, 4, 3)
+        with pytest.raises(ConfigError):
+            Cluster("T", V100, topo, WaterCooling(), SiliconConfig(),
+                    DefectConfig.none(), run_noise_sigma=-0.1)

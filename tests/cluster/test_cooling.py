@@ -1,0 +1,125 @@
+"""Tests for cooling-plant models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.cluster.cooling import (
+    AirCooling,
+    CoolingFault,
+    MineralOilCooling,
+    WaterCooling,
+)
+from repro.cluster.topology import cabinet_topology
+
+
+@pytest.fixture()
+def topo():
+    return cabinet_topology("T", 30, 4, 3)
+
+
+class TestEnvironments:
+    def test_air_wider_than_water(self, topo, rng):
+        air = AirCooling().environment(topo, np.random.default_rng(0))
+        water = WaterCooling().environment(topo, np.random.default_rng(0))
+        assert air.coolant_c.std() > water.coolant_c.std()
+
+    def test_air_slot_gradient(self, topo):
+        env = AirCooling(cabinet_sigma_c=0.0, node_sigma_c=0.0,
+                         slot_gradient_c=2.0).environment(
+            topo, np.random.default_rng(0)
+        )
+        # Within a node, later slots see warmer air.
+        first_node = env.coolant_c[:4]
+        np.testing.assert_allclose(np.diff(first_node), 2.0)
+
+    def test_water_uniform_within_node(self, topo):
+        env = WaterCooling(node_sigma_c=1.0).environment(
+            topo, np.random.default_rng(0)
+        )
+        first_node = env.coolant_c[:4]
+        assert np.ptp(first_node) == 0.0
+
+    def test_oil_shared_within_cabinet(self, topo):
+        env = MineralOilCooling(cabinet_sigma_c=2.0).environment(
+            topo, np.random.default_rng(0)
+        )
+        first_cabinet = env.coolant_c[:12]
+        assert np.ptp(first_cabinet) == 0.0
+
+    def test_oil_bath_temperature_level(self, topo):
+        env = MineralOilCooling(bath_c=48.0, cabinet_sigma_c=0.0).environment(
+            topo, np.random.default_rng(0)
+        )
+        np.testing.assert_allclose(env.coolant_c, 48.0)
+
+    def test_r_theta_ranking(self, topo):
+        """Air presents the highest junction-to-coolant resistance."""
+        rng = np.random.default_rng(0)
+        air = AirCooling().environment(topo, rng)
+        water = WaterCooling().environment(topo, rng)
+        assert air.r_theta_base_c_per_w[0] > water.r_theta_base_c_per_w[0]
+
+    def test_environment_size(self, topo):
+        env = WaterCooling().environment(topo, np.random.default_rng(0))
+        assert env.n == topo.n_gpus
+
+    def test_deterministic_given_rng(self, topo):
+        a = AirCooling().environment(topo, np.random.default_rng(5))
+        b = AirCooling().environment(topo, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.coolant_c, b.coolant_c)
+
+
+class TestFaults:
+    def test_node_fault_heats_only_that_node(self, topo):
+        cooling = WaterCooling(
+            node_sigma_c=0.0,
+            faults=(CoolingFault("node", "c002-001", 15.0),),
+        )
+        env = cooling.environment(topo, np.random.default_rng(0))
+        node = topo.node_index("c002-001")
+        hot = topo.gpus_of_node(node)
+        np.testing.assert_allclose(env.coolant_c[hot], 25.0 + 15.0)
+        mask = np.ones(topo.n_gpus, dtype=bool)
+        mask[hot] = False
+        np.testing.assert_allclose(env.coolant_c[mask], 25.0)
+
+    def test_cabinet_fault(self, topo):
+        cooling = MineralOilCooling(
+            cabinet_sigma_c=0.0,
+            faults=(CoolingFault("cabinet", "c002", 10.0),),
+        )
+        env = cooling.environment(topo, np.random.default_rng(0))
+        cab_gpus = topo.cabinet_of_gpu == 1
+        np.testing.assert_allclose(env.coolant_c[cab_gpus], 58.0)
+
+    def test_unknown_cabinet_label_rejected(self, topo):
+        cooling = AirCooling(faults=(CoolingFault("cabinet", "c099", 10.0),))
+        with pytest.raises(ConfigError, match="unknown cabinet"):
+            cooling.environment(topo, np.random.default_rng(0))
+
+    def test_unknown_node_label_rejected(self, topo):
+        cooling = AirCooling(faults=(CoolingFault("node", "bogus", 10.0),))
+        with pytest.raises(KeyError):
+            cooling.environment(topo, np.random.default_rng(0))
+
+    def test_fault_validation(self):
+        with pytest.raises(ConfigError):
+            CoolingFault("rack", "c001", 5.0)
+        with pytest.raises(ConfigError):
+            CoolingFault("node", "c001-001", -2.0)
+
+
+class TestValidation:
+    def test_nonpositive_resistance_rejected(self):
+        with pytest.raises(ConfigError):
+            AirCooling(r_theta_base_c_per_w=0.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigError):
+            WaterCooling(node_sigma_c=-1.0)
+
+    def test_kind_attributes(self):
+        assert AirCooling.kind == "air"
+        assert WaterCooling.kind == "water"
+        assert MineralOilCooling.kind == "oil"

@@ -1,0 +1,61 @@
+"""Tests for the facility drift model."""
+
+import pytest
+
+from repro.cluster.facility import WEEKDAY_NAMES, FacilityModel
+from repro.errors import ConfigError
+from repro.rng import RngFactory
+
+
+class TestWeekdays:
+    def test_seven_names_monday_first(self):
+        assert len(WEEKDAY_NAMES) == 7
+        assert WEEKDAY_NAMES[0] == "Monday"
+        assert WEEKDAY_NAMES[6] == "Sunday"
+
+    def test_weekday_of_wraps(self):
+        assert FacilityModel.weekday_of(0) == 0
+        assert FacilityModel.weekday_of(7) == 0
+        assert FacilityModel.weekday_of(9) == 2
+
+    def test_weekday_name(self):
+        assert FacilityModel.weekday_name(4) == "Friday"
+
+
+class TestOffsets:
+    def test_deterministic_per_day(self):
+        model = FacilityModel()
+        factory = RngFactory(3)
+        a = model.coolant_offset_c(5, factory)
+        b = model.coolant_offset_c(5, RngFactory(3))
+        assert a == b
+
+    def test_different_days_differ(self):
+        model = FacilityModel(daily_sigma_c=1.0)
+        factory = RngFactory(3)
+        assert model.coolant_offset_c(1, factory) != model.coolant_offset_c(2, factory)
+
+    def test_weekend_cooler_on_average(self):
+        model = FacilityModel(daily_sigma_c=0.0)
+        factory = RngFactory(0)
+        weekday = model.coolant_offset_c(0, factory)   # Monday
+        weekend = model.coolant_offset_c(5, factory)   # Saturday
+        assert weekend < weekday
+
+    def test_steady_facility_has_zero_offset(self):
+        model = FacilityModel.steady()
+        assert model.coolant_offset_c(3, RngFactory(0)) == 0.0
+
+    def test_negative_day_rejected(self):
+        with pytest.raises(ValueError):
+            FacilityModel().coolant_offset_c(-1, RngFactory(0))
+
+
+class TestValidation:
+    def test_wrong_weekday_count_rejected(self):
+        with pytest.raises(ConfigError):
+            FacilityModel(weekday_offsets_c=(0.0,) * 6)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigError):
+            FacilityModel(daily_sigma_c=-0.5)

@@ -1,0 +1,139 @@
+"""Tests for the paper's cluster presets (Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    cloudlab,
+    corona,
+    frontera,
+    get_preset,
+    list_presets,
+    longhorn,
+    summit,
+    vortex,
+)
+from repro.errors import ConfigError
+from repro.gpu.defects import DefectType
+
+
+class TestTableI:
+    """Cluster inventory from Table I."""
+
+    def test_longhorn(self):
+        cl = longhorn()
+        assert cl.n_gpus == 416
+        assert cl.n_nodes == 104
+        assert cl.spec.name == "V100"
+        assert cl.cooling.kind == "air"
+
+    def test_frontera(self):
+        cl = frontera()
+        assert cl.n_gpus == 360
+        assert cl.n_nodes == 90
+        assert cl.spec.name == "RTX5000"
+        assert cl.cooling.kind == "oil"
+
+    def test_vortex(self):
+        cl = vortex()
+        assert cl.n_gpus == 216
+        assert cl.n_nodes == 54
+        assert cl.cooling.kind == "water"
+
+    def test_summit(self):
+        cl = summit()
+        assert cl.n_gpus == 27648
+        assert cl.n_nodes == 4608
+        assert cl.cooling.kind == "water"
+        assert cl.topology.has_grid
+
+    def test_corona(self):
+        cl = corona()
+        assert cl.n_nodes == 82
+        assert cl.n_gpus == 328
+        assert cl.spec.name == "MI60"
+        assert cl.cooling.kind == "air"
+
+    def test_cloudlab(self):
+        cl = cloudlab()
+        assert cl.n_gpus == 12
+        assert cl.admin_access
+
+
+class TestNamedOutliers:
+    def test_longhorn_c002_stragglers(self):
+        cl = longhorn(seed=0)
+        cab = cl.topology.cabinet_labels.index("c002")
+        cab_gpus = np.flatnonzero(cl.topology.cabinet_of_gpu == cab)
+        sick = cl.defects.kind[cab_gpus] == int(DefectType.SICK_SLOW)
+        assert sick.sum() >= 2
+
+    def test_frontera_c197_pair(self):
+        cl = frontera(seed=0)
+        assert "c197" in cl.topology.cabinet_labels
+        cab = cl.topology.cabinet_labels.index("c197")
+        cab_gpus = np.flatnonzero(cl.topology.cabinet_of_gpu == cab)
+        assert (cl.defects.kind[cab_gpus]
+                == int(DefectType.SICK_SLOW)).sum() == 2
+
+    def test_corona_c115_cooling_fault(self):
+        cl = corona(seed=0)
+        assert "c115" in cl.topology.cabinet_labels
+        cab = cl.topology.cabinet_labels.index("c115")
+        fault_gpus = cl.topology.cabinet_of_gpu == cab
+        # The faulted cabinet's coolant is hotter than everyone else's.
+        assert (cl.environment.coolant_c[fault_gpus].min()
+                > cl.environment.coolant_c[~fault_gpus].max())
+
+    def test_summit_rowh_col36_power_defects(self):
+        cl = summit(seed=0)
+        labels = cl.topology.gpu_labels
+        idx = labels.index("rowh-col36-n10-2")
+        assert cl.defects.kind[idx] == int(DefectType.POWER_DELIVERY)
+        assert cl.defects.power_cap_frac[idx] == pytest.approx(0.85)
+
+    def test_summit_rowh_col36_n02_hot_runner(self):
+        cl = summit(seed=0)
+        node = cl.topology.node_index("rowh-col36-n02")
+        gpus = cl.topology.gpus_of_node(node)
+        kinds = cl.defects.kind[gpus]
+        assert (kinds == int(DefectType.HOT_RUNNER)).sum() >= 1
+
+
+class TestScaling:
+    def test_scale_shrinks_nodes(self):
+        assert longhorn(scale=0.25).n_nodes < longhorn().n_nodes
+
+    def test_scaled_longhorn_keeps_c002(self):
+        cl = longhorn(scale=0.25)
+        assert "c002" in cl.topology.cabinet_labels
+
+    def test_scaled_summit_still_grid(self):
+        cl = summit(scale=0.0625)
+        assert cl.topology.has_grid
+        assert cl.n_gpus < 2000
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            longhorn(scale=0.0)
+        with pytest.raises(ConfigError):
+            longhorn(scale=1.5)
+
+    def test_forced_defects_dropped_when_out_of_scale(self):
+        # A tiny Frontera has no cabinet c197; the preset must not crash.
+        cl = frontera(scale=0.05)
+        assert "c197" not in cl.topology.cabinet_labels
+
+
+class TestRegistry:
+    def test_list_presets(self):
+        assert set(list_presets()) == {
+            "CloudLab", "Corona", "Frontera", "Longhorn", "Summit", "Vortex"
+        }
+
+    def test_get_preset_case_insensitive(self):
+        assert get_preset("longhorn").name == "Longhorn"
+
+    def test_get_preset_unknown(self):
+        with pytest.raises(ConfigError):
+            get_preset("perlmutter")

@@ -1,0 +1,56 @@
+"""Shared fixtures: small, fast cluster instances and canned datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import cloudlab, corona, frontera, longhorn, summit, vortex
+from repro.sim import CampaignConfig, run_campaign
+from repro.workloads import sgemm
+
+
+@pytest.fixture(scope="session")
+def small_longhorn():
+    """A 1/4-scale Longhorn (fast; keeps cabinet c002 and its defects)."""
+    return longhorn(seed=11, scale=0.25)
+
+
+@pytest.fixture(scope="session")
+def small_summit():
+    """A heavily scaled Summit grid (keeps the row/column structure)."""
+    return summit(seed=11, scale=0.0625)  # 1 node per column
+
+
+@pytest.fixture(scope="session")
+def small_vortex():
+    return vortex(seed=11, scale=0.34)
+
+
+@pytest.fixture(scope="session")
+def small_frontera():
+    return frontera(seed=11, scale=0.34)
+
+
+@pytest.fixture(scope="session")
+def small_corona():
+    """Scaled Corona; cabinet c115 (the cooling-fault outlier) survives."""
+    return corona(seed=11, scale=0.6)
+
+
+@pytest.fixture(scope="session")
+def tiny_cloudlab():
+    return cloudlab(seed=11)
+
+
+@pytest.fixture(scope="session")
+def sgemm_dataset(small_longhorn):
+    """A 3-day SGEMM campaign on the small Longhorn (session-cached)."""
+    return run_campaign(
+        small_longhorn, sgemm(), CampaignConfig(days=3, runs_per_day=2)
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,130 @@
+"""Tests for box-and-whisker statistics (the paper's Section III definitions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.boxstats import WHISKER_FACTOR, BoxStats
+from repro.errors import AnalysisError
+
+
+class TestBasics:
+    def test_known_quartiles(self):
+        stats = BoxStats.from_values(np.arange(1.0, 102.0))
+        assert stats.median == 51.0
+        assert stats.q1 == 26.0
+        assert stats.q3 == 76.0
+        assert stats.iqr == 50.0
+
+    def test_variation_definition(self):
+        """variation = (whisker_hi - whisker_lo) / median (Section III)."""
+        x = np.arange(1.0, 102.0)
+        stats = BoxStats.from_values(x)
+        assert stats.variation == pytest.approx(
+            (stats.whisker_hi - stats.whisker_lo) / stats.median
+        )
+        # No outliers in a uniform ramp: whiskers hit the extremes.
+        assert stats.whisker_lo == 1.0
+        assert stats.whisker_hi == 101.0
+        assert stats.n_outliers == 0
+
+    def test_outliers_detected_and_excluded(self):
+        x = np.concatenate([np.full(50, 100.0) + np.arange(50) * 0.1, [500.0]])
+        stats = BoxStats.from_values(x)
+        assert stats.n_outliers == 1
+        assert stats.whisker_hi < 500.0
+
+    def test_constant_sample(self):
+        stats = BoxStats.from_values(np.full(10, 42.0))
+        assert stats.variation == 0.0
+        assert stats.n_outliers == 0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            BoxStats.from_values(np.array([]))
+
+    def test_nan_filtered(self):
+        stats = BoxStats.from_values(np.array([1.0, np.nan, 3.0, 2.0]))
+        assert stats.n == 3
+
+    def test_zero_median_rejected(self):
+        with pytest.raises(AnalysisError, match="zero median"):
+            BoxStats.from_values(np.array([-1.0, 0.0, 1.0]))
+
+    def test_outlier_mask(self):
+        x = np.concatenate([np.linspace(10, 11, 40), [50.0]])
+        stats = BoxStats.from_values(x)
+        mask = stats.outlier_mask(x)
+        assert mask.sum() == 1
+        assert mask[-1]
+
+    def test_contains(self):
+        stats = BoxStats.from_values(np.linspace(10, 20, 50))
+        assert stats.contains(15.0)
+        assert not stats.contains(100.0)
+
+    def test_as_dict_keys(self):
+        d = BoxStats.from_values(np.arange(1.0, 20.0)).as_dict()
+        assert {"q1", "median", "q3", "variation", "n"} <= set(d)
+
+
+class TestInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(values=st.lists(
+        st.floats(min_value=0.5, max_value=1e6, allow_nan=False),
+        min_size=3, max_size=300,
+    ))
+    def test_property_invariants(self, values):
+        x = np.asarray(values)
+        stats = BoxStats.from_values(x)
+        # Quartile ordering.
+        assert stats.q1 <= stats.median <= stats.q3
+        # Whiskers inside fences and straddling the median.  (The box can
+        # poke past the whiskers on tiny samples because the quartiles are
+        # interpolated while the whiskers are observations.)
+        assert stats.fence_lo <= stats.whisker_lo <= stats.median
+        assert stats.median <= stats.whisker_hi <= stats.fence_hi
+        # Fence construction.
+        assert stats.fence_hi == pytest.approx(
+            stats.q3 + WHISKER_FACTOR * stats.iqr
+        )
+        # Outlier count consistent with the mask.
+        assert stats.n_outliers == int(stats.outlier_mask(x).sum())
+        # Variation is non-negative and matches its definition.
+        assert stats.variation >= 0.0
+        assert stats.range == pytest.approx(
+            stats.whisker_hi - stats.whisker_lo
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+            min_size=5, max_size=100,
+        ),
+        scale=st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_property_variation_scale_invariant(self, values, scale):
+        """variation is a relative measure: scaling the data preserves it."""
+        x = np.asarray(values)
+        a = BoxStats.from_values(x)
+        b = BoxStats.from_values(x * scale)
+        assert a.variation == pytest.approx(b.variation, rel=1e-9, abs=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=st.lists(
+        st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+        min_size=5, max_size=100,
+    ))
+    def test_property_adding_extreme_outlier_does_not_move_whiskers_much(
+        self, values
+    ):
+        """Outliers are excluded from the variance calculation (Section III)."""
+        x = np.asarray(values)
+        base = BoxStats.from_values(x)
+        spiked = BoxStats.from_values(np.append(x, base.median * 1e6))
+        # The spike lands outside the fences whenever the sample has any
+        # spread, so the whisker span must not chase it.
+        if base.iqr > 0:
+            assert spiked.n_outliers >= 1
+            assert spiked.whisker_hi < base.median * 1e5

@@ -1,0 +1,83 @@
+"""Tests for application classification (Section VII)."""
+
+import pytest
+
+from repro.core.classify import (
+    ApplicationClass,
+    CounterProfile,
+    classify_counters,
+    classify_workload,
+    expected_performance_sensitivity,
+)
+from repro.errors import ConfigError
+from repro.workloads import (
+    bert_pretraining,
+    lammps_reaxc,
+    pagerank,
+    resnet50,
+    sgemm,
+)
+
+
+class TestPaperWorkloadClasses:
+    """The classification must reproduce the paper's own categorization."""
+
+    def test_sgemm_compute_bound(self):
+        assert classify_workload(sgemm()) is ApplicationClass.COMPUTE_BOUND
+
+    def test_resnet_compute_bound(self):
+        assert classify_workload(resnet50()) is ApplicationClass.COMPUTE_BOUND
+
+    def test_bert_balanced(self):
+        assert classify_workload(bert_pretraining()) is ApplicationClass.BALANCED
+
+    def test_lammps_bandwidth_bound(self):
+        assert (classify_workload(lammps_reaxc())
+                is ApplicationClass.MEMORY_BANDWIDTH_BOUND)
+
+    def test_pagerank_latency_bound(self):
+        assert (classify_workload(pagerank())
+                is ApplicationClass.MEMORY_LATENCY_BOUND)
+
+
+class TestCounterRules:
+    def test_stalls_take_priority(self):
+        profile = CounterProfile(
+            fu_utilization=8.0, dram_utilization=0.9, mem_stall_frac=0.7
+        )
+        assert classify_counters(profile) is ApplicationClass.MEMORY_LATENCY_BOUND
+
+    def test_dram_before_compute(self):
+        profile = CounterProfile(
+            fu_utilization=8.0, dram_utilization=0.8, mem_stall_frac=0.1
+        )
+        assert classify_counters(profile) is ApplicationClass.MEMORY_BANDWIDTH_BOUND
+
+    def test_default_balanced(self):
+        profile = CounterProfile(
+            fu_utilization=3.0, dram_utilization=0.3, mem_stall_frac=0.1
+        )
+        assert classify_counters(profile) is ApplicationClass.BALANCED
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigError):
+            CounterProfile(fu_utilization=11.0, dram_utilization=0.5,
+                           mem_stall_frac=0.1)
+        with pytest.raises(ConfigError):
+            CounterProfile(fu_utilization=5.0, dram_utilization=1.5,
+                           mem_stall_frac=0.1)
+
+
+class TestSensitivity:
+    def test_ordering_matches_paper(self):
+        """Compute converts ~all variability; memory-bound almost none."""
+        compute = expected_performance_sensitivity(ApplicationClass.COMPUTE_BOUND)
+        balanced = expected_performance_sensitivity(ApplicationClass.BALANCED)
+        memory = expected_performance_sensitivity(
+            ApplicationClass.MEMORY_BANDWIDTH_BOUND
+        )
+        assert compute > balanced > memory
+
+    def test_all_classes_covered(self):
+        for app_class in ApplicationClass:
+            assert expected_performance_sensitivity(app_class) > 0

@@ -1,0 +1,108 @@
+"""Tests for correlation analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.correlation import (
+    correlation_matrix,
+    paper_correlation_pairs,
+    pearson,
+    spearman,
+)
+from repro.errors import AnalysisError
+from repro.telemetry.dataset import MeasurementDataset
+
+
+class TestPearson:
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal(200)
+        y = 0.5 * x + rng.standard_normal(200)
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_perfect_correlation(self):
+        x = np.arange(10.0)
+        assert pearson(x, 3 * x + 1) == pytest.approx(1.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_returns_zero(self):
+        assert pearson(np.ones(10), np.arange(10.0)) == 0.0
+
+    def test_too_few_points(self):
+        with pytest.raises(AnalysisError):
+            pearson(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            pearson(np.arange(5.0), np.arange(6.0))
+
+    def test_nan_pairs_dropped(self):
+        x = np.array([1.0, 2.0, 3.0, np.nan, 5.0])
+        y = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert pearson(x, y) == pytest.approx(1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.tuples(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+        ),
+        min_size=3, max_size=100,
+    ))
+    def test_property_bounded(self, pairs):
+        x = np.array([p[0] for p in pairs])
+        y = np.array([p[1] for p in pairs])
+        assert -1.0 - 1e-9 <= pearson(x, y) <= 1.0 + 1e-9
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_perfect(self):
+        x = np.linspace(1, 10, 50)
+        y = np.exp(x)  # monotone but very nonlinear
+        assert spearman(x, y) == pytest.approx(1.0)
+        assert pearson(x, y) < 0.9
+
+    def test_ties_handled(self):
+        x = np.array([1.0, 1.0, 2.0, 3.0, 3.0, 4.0])
+        y = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        rho = spearman(x, y)
+        assert 0.9 < rho <= 1.0
+
+
+class TestMatrix:
+    @pytest.fixture()
+    def dataset(self, rng):
+        f = rng.uniform(1300, 1450, 300)
+        return MeasurementDataset({
+            "performance_ms": 3.3e6 / f + rng.normal(0, 5, 300),
+            "frequency_mhz": f,
+            "power_w": np.full(300, 299.0) + rng.normal(0, 2, 300),
+            "temperature_c": rng.uniform(50, 80, 300),
+        })
+
+    def test_all_pairs_present(self, dataset):
+        matrix = correlation_matrix(dataset)
+        assert len(matrix) == 6
+
+    def test_strong_pair_detected(self, dataset):
+        matrix = correlation_matrix(dataset)
+        pair = matrix[("performance_ms", "frequency_mhz")]
+        assert pair.rho < -0.95
+        assert pair.describe() == "strong negative"
+
+    def test_paper_pairs_shortnames(self, dataset):
+        pairs = paper_correlation_pairs(dataset)
+        assert set(pairs) == {
+            "perf_vs_frequency", "perf_vs_power",
+            "perf_vs_temperature", "power_vs_temperature",
+        }
+
+    def test_describe_labels(self, dataset):
+        pairs = paper_correlation_pairs(dataset)
+        assert "negligible" in pairs["perf_vs_temperature"].describe() or \
+               "weak" in pairs["perf_vs_temperature"].describe()
+
+    def test_single_metric_rejected(self):
+        ds = MeasurementDataset({"performance_ms": np.arange(10.0)})
+        with pytest.raises(AnalysisError):
+            correlation_matrix(ds)

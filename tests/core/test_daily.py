@@ -1,0 +1,73 @@
+"""Tests for day-of-week analysis (Section VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.daily import day_of_week_stats, weekday_consistency
+from repro.errors import AnalysisError
+from repro.telemetry.dataset import MeasurementDataset
+
+
+def make_dataset(days=7, per_day=40, seed=0):
+    rng = np.random.default_rng(seed)
+    names = ("Monday", "Tuesday", "Wednesday", "Thursday", "Friday",
+             "Saturday", "Sunday")
+    weekday, perf, power = [], [], []
+    for d in range(days):
+        weekday += [names[d % 7]] * per_day
+        perf.append(rng.normal(1000.0, 10.0, per_day))
+        p = rng.normal(298.0, 1.5, per_day)
+        if names[d % 7] == "Monday":
+            p[:4] = 255.0  # a batch of power outliers on Mondays
+        power.append(p)
+    return MeasurementDataset({
+        "weekday": np.asarray(weekday, dtype=object),
+        "performance_ms": np.concatenate(perf),
+        "power_w": np.concatenate(power),
+    })
+
+
+class TestDayOfWeek:
+    def test_stats_per_weekday(self):
+        stats = day_of_week_stats(make_dataset())
+        assert set(stats) == {
+            "Monday", "Tuesday", "Wednesday", "Thursday", "Friday",
+            "Saturday", "Sunday",
+        }
+
+    def test_monday_power_outliers_detected(self):
+        stats = day_of_week_stats(make_dataset())
+        assert stats["Monday"].n_power_outliers >= 4
+        assert stats["Tuesday"].n_power_outliers <= 2
+
+    def test_partial_week(self):
+        stats = day_of_week_stats(make_dataset(days=3))
+        assert set(stats) == {"Monday", "Tuesday", "Wednesday"}
+
+    def test_missing_weekday_column_rejected(self):
+        ds = MeasurementDataset({
+            "performance_ms": np.arange(10.0) + 1,
+            "power_w": np.arange(10.0) + 1,
+        })
+        with pytest.raises(AnalysisError, match="weekday"):
+            day_of_week_stats(ds)
+
+    def test_campaign_dataset(self, sgemm_dataset):
+        stats = day_of_week_stats(sgemm_dataset)
+        assert len(stats) == 3  # 3-day campaign
+
+
+class TestConsistency:
+    def test_persistent_phenomenon_shows_low_drift(self):
+        """Takeaway 9: daily medians barely move."""
+        summary = weekday_consistency(day_of_week_stats(make_dataset()))
+        assert summary["median_drift"] < 0.02
+        assert summary["variation_spread"] < 0.05
+
+    def test_outlier_imbalance_detected(self):
+        summary = weekday_consistency(day_of_week_stats(make_dataset()))
+        assert summary["outlier_imbalance"] > 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            weekday_consistency({})

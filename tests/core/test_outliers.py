@@ -1,0 +1,110 @@
+"""Tests for outlier flagging and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.outliers import (
+    flag_outlier_gpus,
+    node_outlier_counts,
+    persistent_outliers,
+    worst_performers,
+)
+from repro.errors import AnalysisError
+from repro.telemetry.dataset import MeasurementDataset
+
+
+def make_dataset(slow_gpus=(5,), n_gpus=30, n_runs=2, seed=0):
+    rng = np.random.default_rng(seed)
+    gpu = np.repeat(np.arange(n_gpus), n_runs)
+    base = np.repeat(1000.0 + rng.normal(0, 5, n_gpus), n_runs)
+    perf = base + rng.normal(0, 1, gpu.shape[0])
+    for slow in slow_gpus:
+        perf[gpu == slow] *= 1.5
+    return MeasurementDataset({
+        "gpu_index": gpu,
+        "gpu_label": np.asarray([f"g{i:02d}" for i in gpu], dtype=object),
+        "node_label": np.asarray([f"n{i // 4:02d}" for i in gpu], dtype=object),
+        "performance_ms": perf,
+        "power_w": np.full(gpu.shape[0], 299.0) + rng.normal(0, 1, gpu.shape[0]),
+    })
+
+
+class TestFlagging:
+    def test_slow_gpu_flagged(self):
+        report = flag_outlier_gpus(make_dataset(slow_gpus=(5,)))
+        assert "g05" in report.gpu_labels
+        assert "n01" in report.node_labels
+        assert "g05" in report.high_side
+
+    def test_clean_fleet_unflagged(self):
+        report = flag_outlier_gpus(make_dataset(slow_gpus=()))
+        assert report.n_outlier_gpus <= 1  # statistical stragglers only
+
+    def test_low_side_flagging(self):
+        ds = make_dataset(slow_gpus=())
+        perf = ds["performance_ms"].copy()
+        perf[ds["gpu_index"] == 3] *= 0.5
+        fast = MeasurementDataset({
+            name: (perf if name == "performance_ms" else ds[name])
+            for name in ds.column_names
+        })
+        report = flag_outlier_gpus(fast)
+        assert "g03" in report.low_side
+
+    def test_requires_gpu_label(self):
+        ds = MeasurementDataset({
+            "gpu_index": np.arange(10),
+            "performance_ms": np.random.default_rng(0).normal(100, 1, 10),
+        })
+        with pytest.raises(AnalysisError, match="gpu_label"):
+            flag_outlier_gpus(ds)
+
+
+class TestPersistence:
+    def test_takeaway6_same_outliers_across_apps(self):
+        """GPUs slow in both 'applications' are reported as persistent."""
+        a = flag_outlier_gpus(make_dataset(slow_gpus=(5, 9), seed=1))
+        b = flag_outlier_gpus(make_dataset(slow_gpus=(5, 12), seed=2))
+        persistent = persistent_outliers([a, b])
+        assert "g05" in persistent
+        assert persistent["g05"] == 2
+        assert "g09" not in persistent
+
+    def test_min_occurrences_one_includes_all(self):
+        a = flag_outlier_gpus(make_dataset(slow_gpus=(5,)))
+        out = persistent_outliers([a], min_occurrences=1)
+        assert "g05" in out
+
+    def test_invalid_min_occurrences(self):
+        with pytest.raises(AnalysisError):
+            persistent_outliers([], min_occurrences=0)
+
+
+class TestNodeCounts:
+    def test_counts_by_node(self):
+        ds = make_dataset(slow_gpus=(4, 5))  # both GPUs live in node n01
+        counts = node_outlier_counts(ds)
+        assert counts["n01"]["performance_ms"] == 2
+
+    def test_clean_nodes_absent(self):
+        counts = node_outlier_counts(make_dataset(slow_gpus=(5,)))
+        assert "n05" not in counts
+
+
+class TestWorstPerformers:
+    def test_ranked_by_median(self):
+        worst = worst_performers(make_dataset(slow_gpus=(7,)), k=3)
+        assert worst[0][0] == "g07"
+        values = [v for _, v in worst]
+        assert values == sorted(values, reverse=True)
+
+    def test_lower_is_worse_mode(self):
+        ds = make_dataset(slow_gpus=())
+        worst = worst_performers(ds, metric="power_w", k=2,
+                                 higher_is_worse=False)
+        assert len(worst) == 2
+        assert worst[0][1] <= worst[1][1]
+
+    def test_invalid_k(self):
+        with pytest.raises(AnalysisError):
+            worst_performers(make_dataset(), k=0)

@@ -1,0 +1,77 @@
+"""Tests for the scaled-normal cluster-size projection (Section IV-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core.projection import (
+    expected_whisker_span,
+    fit_normal,
+    project_variation,
+)
+from repro.errors import AnalysisError
+
+
+@pytest.fixture()
+def sample(rng):
+    return rng.normal(2400.0, 30.0, 400)
+
+
+class TestFit:
+    def test_recovers_parameters(self, sample):
+        fit = fit_normal(sample)
+        assert fit.mean == pytest.approx(2400.0, rel=0.01)
+        assert fit.std == pytest.approx(30.0, rel=0.15)
+
+    def test_robust_to_outliers(self, sample):
+        spiked = np.append(sample, [10_000.0, 12_000.0])
+        fit = fit_normal(spiked)
+        assert fit.std == pytest.approx(30.0, rel=0.2)
+
+    def test_too_small_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            fit_normal(np.arange(5.0))
+
+    def test_degenerate_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            fit_normal(np.full(20, 5.0))
+
+
+class TestExpectedSpan:
+    def test_grows_with_n(self):
+        spans = [expected_whisker_span(n) for n in (10, 100, 1000, 10_000)]
+        assert spans == sorted(spans)
+
+    def test_saturates_at_fences(self):
+        # The Tukey fences sit at +-(z_q3 * 4) = +-2.698 sigma.
+        assert expected_whisker_span(10**7) <= 2 * 2.698 + 1e-9
+
+    def test_needs_two(self):
+        with pytest.raises(AnalysisError):
+            expected_whisker_span(1)
+
+
+class TestProjection:
+    def test_projection_grows_with_cluster_size(self, sample):
+        small = project_variation(sample, target_n=400)
+        large = project_variation(sample, target_n=27_648)
+        assert large > small
+
+    def test_paper_style_magnitude(self, rng):
+        """A Longhorn-like 9%-variation sample projects to ~9-11% at Summit size."""
+        values = rng.normal(1.0, 0.0165, 408)  # ~9% whisker variation
+        projected = project_variation(values, target_n=27_648)
+        assert 0.07 < projected < 0.12
+
+    def test_montecarlo_agrees_with_analytic(self, sample, rng):
+        analytic = project_variation(sample, 2000, method="analytic")
+        mc = project_variation(sample, 2000, method="montecarlo", rng=rng,
+                               mc_trials=150)
+        assert mc == pytest.approx(analytic, rel=0.15)
+
+    def test_unknown_method(self, sample):
+        with pytest.raises(AnalysisError):
+            project_variation(sample, 100, method="magic")
+
+    def test_target_too_small(self, sample):
+        with pytest.raises(AnalysisError):
+            project_variation(sample, 1)

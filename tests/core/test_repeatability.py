@@ -1,0 +1,69 @@
+"""Tests for per-GPU repeatability analysis (Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.repeatability import per_gpu_repeatability, repeatability_summary
+from repro.errors import AnalysisError
+from repro.telemetry.dataset import MeasurementDataset
+
+
+def make_dataset(n_gpus=20, n_runs=5, noise=0.005, seed=0):
+    rng = np.random.default_rng(seed)
+    gpu = np.repeat(np.arange(n_gpus), n_runs)
+    base = np.repeat(1000.0 + rng.normal(0, 20, n_gpus), n_runs)
+    perf = base * (1.0 + rng.normal(0, noise, gpu.shape[0]))
+    return MeasurementDataset({
+        "gpu_index": gpu,
+        "gpu_label": np.asarray([f"g{i:02d}" for i in gpu], dtype=object),
+        "performance_ms": perf,
+    })
+
+
+class TestPerGpuRepeatability:
+    def test_one_row_per_gpu(self):
+        rep = per_gpu_repeatability(make_dataset())
+        assert rep.n_rows == 20
+        assert "repeat_variation" in rep
+        assert np.all(rep["n_runs"] == 5)
+
+    def test_noise_level_recovered(self):
+        """Range of k runs ~ a few sigma: the metric tracks the noise."""
+        quiet = per_gpu_repeatability(make_dataset(noise=0.001, seed=1))
+        loud = per_gpu_repeatability(make_dataset(noise=0.02, seed=1))
+        assert (np.median(loud["repeat_variation"])
+                > 5 * np.median(quiet["repeat_variation"]))
+
+    def test_single_run_gpus_dropped(self):
+        ds = make_dataset(n_runs=1)
+        with pytest.raises(AnalysisError, match="at least 2"):
+            per_gpu_repeatability(ds)
+
+    def test_min_runs_validation(self):
+        with pytest.raises(AnalysisError):
+            per_gpu_repeatability(make_dataset(), min_runs=1)
+
+    def test_campaign_repeatability_in_paper_band(self, sgemm_dataset):
+        """Longhorn's per-GPU repeat variation is sub-percent (Fig. 8)."""
+        rep = per_gpu_repeatability(sgemm_dataset)
+        assert np.median(rep["repeat_variation"]) < 0.02
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        summary = repeatability_summary(make_dataset())
+        assert summary.median_variation > 0
+        assert summary.worst_variation >= summary.median_variation
+        assert summary.worst_gpu_label.startswith("g")
+
+    def test_noisy_gpu_identified(self):
+        ds = make_dataset(noise=0.001, seed=2)
+        perf = ds["performance_ms"].copy()
+        noisy = ds["gpu_index"] == 7
+        perf[noisy] *= 1.0 + 0.05 * np.arange(noisy.sum())
+        ds2 = MeasurementDataset({
+            name: (perf if name == "performance_ms" else ds[name])
+            for name in ds.column_names
+        })
+        summary = repeatability_summary(ds2)
+        assert summary.worst_gpu_label == "g07"

@@ -1,0 +1,92 @@
+"""Tests for the sample-size methodology (Section III)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sampling import (
+    achieved_accuracy,
+    coverage_margin,
+    required_sample_size,
+    z_score,
+)
+from repro.errors import AnalysisError
+
+
+class TestZScore:
+    def test_classic_values(self):
+        assert z_score(0.95) == pytest.approx(1.959964, abs=1e-4)
+        assert z_score(0.99) == pytest.approx(2.575829, abs=1e-4)
+        assert z_score(0.90) == pytest.approx(1.644854, abs=1e-4)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(AnalysisError):
+            z_score(1.0)
+        with pytest.raises(AnalysisError):
+            z_score(0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(confidence=st.floats(min_value=0.5, max_value=0.999))
+    def test_property_consistent_with_erf(self, confidence):
+        z = z_score(confidence)
+        assert math.erf(z / math.sqrt(2.0)) == pytest.approx(confidence, abs=1e-9)
+
+
+class TestRequiredSampleSize:
+    def test_formula_without_population(self):
+        # n = (z * cv / lambda)^2
+        n = required_sample_size(cv=0.02, accuracy=0.005, confidence=0.95)
+        assert n == math.ceil((1.959964 * 0.02 / 0.005) ** 2)
+
+    def test_zero_cv_needs_one(self):
+        assert required_sample_size(cv=0.0) == 1
+
+    def test_finite_population_correction_shrinks(self):
+        infinite = required_sample_size(cv=0.05)
+        finite = required_sample_size(cv=0.05, population=200)
+        assert finite < infinite
+        assert finite <= 200
+
+    def test_tighter_accuracy_needs_more(self):
+        loose = required_sample_size(cv=0.03, accuracy=0.01)
+        tight = required_sample_size(cv=0.03, accuracy=0.002)
+        assert tight > loose
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        cv=st.floats(min_value=0.001, max_value=0.5),
+        population=st.integers(min_value=10, max_value=30_000),
+    )
+    def test_property_bounded_by_population(self, cv, population):
+        n = required_sample_size(cv, population=population)
+        assert 1 <= n <= population
+
+
+class TestAchievedAccuracy:
+    def test_inverse_of_requirement(self):
+        cv = 0.04
+        n = required_sample_size(cv, accuracy=0.005)
+        assert achieved_accuracy(cv, n) <= 0.005 + 1e-6
+
+    def test_full_census_is_exact(self):
+        # Sampling the whole population leaves no sampling error.
+        assert achieved_accuracy(0.05, 100, population=100) == 0.0
+
+    def test_oversampling_rejected(self):
+        with pytest.raises(AnalysisError):
+            achieved_accuracy(0.05, 101, population=100)
+
+
+class TestCoverageMargin:
+    def test_paper_style_margin(self):
+        """Measuring ~all GPUs puts the study far above the recommendation."""
+        margin = coverage_margin(
+            cv=0.02, n_sampled=400, population=416
+        )
+        assert margin > 2.0
+
+    def test_margin_of_exact_sample_is_one(self):
+        cv = 0.05
+        needed = required_sample_size(cv)
+        assert coverage_margin(cv, needed) == pytest.approx(1.0)

@@ -1,0 +1,115 @@
+"""Tests for variability-aware scheduling (Section VII)."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import (
+    node_variability_scores,
+    plan_placements,
+    slow_assignment_probability,
+)
+from repro.errors import AnalysisError
+from repro.telemetry.dataset import MeasurementDataset
+from repro.workloads import lammps_reaxc, pagerank, sgemm
+
+
+def make_dataset(slow_gpus=(5, 13), n_gpus=32, seed=0):
+    rng = np.random.default_rng(seed)
+    gpu = np.arange(n_gpus)
+    perf = 1000.0 + rng.normal(0, 3, n_gpus)
+    for slow in slow_gpus:
+        perf[slow] *= 1.10
+    return MeasurementDataset({
+        "gpu_index": gpu,
+        "gpu_label": np.asarray([f"g{i:02d}" for i in gpu], dtype=object),
+        "node_label": np.asarray([f"n{i // 4:02d}" for i in gpu], dtype=object),
+        "performance_ms": perf,
+    })
+
+
+class TestSlowAssignment:
+    def test_single_gpu_fraction(self):
+        prob = slow_assignment_probability(make_dataset(), n_gpus=1)
+        assert prob == pytest.approx(2 / 32)
+
+    def test_node_wide_job_amplifies(self):
+        ds = make_dataset()
+        single = slow_assignment_probability(ds, n_gpus=1)
+        node = slow_assignment_probability(ds, n_gpus=4)
+        assert node > single
+        assert node == pytest.approx(2 / 8)  # 2 of 8 nodes contain a slow GPU
+
+    def test_partial_node_hypergeometric(self):
+        ds = make_dataset()
+        p2 = slow_assignment_probability(ds, n_gpus=2)
+        p4 = slow_assignment_probability(ds, n_gpus=4)
+        assert 0 < p2 < p4
+
+    def test_clean_fleet_zero(self):
+        prob = slow_assignment_probability(
+            make_dataset(slow_gpus=()), n_gpus=4, slow_threshold=0.2
+        )
+        assert prob == 0.0
+
+    def test_invalid_n_gpus(self):
+        with pytest.raises(AnalysisError):
+            slow_assignment_probability(make_dataset(), n_gpus=0)
+
+    def test_campaign_probabilities_in_paper_range(self, sgemm_dataset):
+        """Longhorn-like: multi-GPU jobs are much likelier to hit a slow GPU."""
+        single = slow_assignment_probability(sgemm_dataset, n_gpus=1)
+        node = slow_assignment_probability(sgemm_dataset, n_gpus=4)
+        assert 0.02 < single < 0.5
+        assert node > single
+
+
+class TestNodeScores:
+    def test_identical_nodes_score_near_one(self):
+        ds = make_dataset(slow_gpus=())
+        scores = node_variability_scores(ds)
+        assert all(0.95 < s < 1.05 for s in scores.values())
+
+    def test_straggler_node_scores_high(self):
+        scores = node_variability_scores(make_dataset(slow_gpus=(5,)))
+        assert scores["n01"] > 1.05
+
+    def test_requires_node_label(self):
+        ds = MeasurementDataset({
+            "gpu_index": np.arange(8),
+            "gpu_label": np.asarray([f"g{i}" for i in range(8)], dtype=object),
+            "performance_ms": np.full(8, 100.0),
+        })
+        with pytest.raises(AnalysisError):
+            node_variability_scores(ds)
+
+
+class TestPlacement:
+    def test_compute_gets_best_node(self):
+        ds = make_dataset(slow_gpus=(5,))
+        plan = plan_placements(ds, [sgemm(), lammps_reaxc()])
+        scores = node_variability_scores(ds)
+        # SGEMM (compute-bound) lands on a lower-variability node than LAMMPS.
+        assert scores[plan.assignments["SGEMM"]] <= scores[
+            plan.assignments["LAMMPS"]
+        ]
+
+    def test_memory_bound_tolerates_bad_nodes(self):
+        ds = make_dataset(slow_gpus=(5,))
+        plan = plan_placements(ds, [sgemm(), pagerank()])
+        # Even on a worse node, PageRank's expected slowdown stays tiny.
+        assert plan.expected_slowdowns["PageRank"] < 1.02
+
+    def test_plan_beats_random_for_sensitive_work(self):
+        ds = make_dataset(slow_gpus=(5, 9, 13))
+        plan = plan_placements(ds, [sgemm()])
+        assert (plan.expected_slowdowns["SGEMM"]
+                <= plan.baseline_slowdowns["SGEMM"])
+
+    def test_too_many_workloads_rejected(self):
+        ds = make_dataset(slow_gpus=(), n_gpus=4)  # single node
+        with pytest.raises(AnalysisError):
+            plan_placements(ds, [sgemm(), pagerank()])
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(AnalysisError):
+            plan_placements(make_dataset(), [])

@@ -1,0 +1,82 @@
+"""Tests for fleet variability summaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.variability import (
+    grouped_boxstats,
+    metric_boxstats,
+    normalized_performance,
+    variability_table,
+)
+from repro.errors import AnalysisError
+from repro.telemetry.dataset import MeasurementDataset
+
+
+@pytest.fixture()
+def dataset():
+    n_gpus, n_runs = 20, 3
+    rng = np.random.default_rng(0)
+    gpu = np.repeat(np.arange(n_gpus), n_runs)
+    base = np.repeat(1000.0 + 50.0 * rng.standard_normal(n_gpus), n_runs)
+    return MeasurementDataset({
+        "gpu_index": gpu,
+        "gpu_label": np.asarray([f"g{i}" for i in gpu], dtype=object),
+        "cabinet": np.asarray(
+            [f"c{i % 4}" for i in gpu], dtype=object
+        ),
+        "performance_ms": base + rng.normal(0, 2.0, gpu.shape[0]),
+        "power_w": np.full(gpu.shape[0], 300.0) + rng.normal(0, 3, gpu.shape[0]),
+    })
+
+
+class TestMetricBoxstats:
+    def test_per_gpu_median_collapses_runs(self, dataset):
+        stats = metric_boxstats(dataset, "performance_ms")
+        assert stats.n == 20
+
+    def test_run_level(self, dataset):
+        stats = metric_boxstats(dataset, "performance_ms", per_gpu_median=False)
+        assert stats.n == 60
+
+    def test_campaign_dataset(self, sgemm_dataset):
+        stats = metric_boxstats(sgemm_dataset, "performance_ms")
+        assert 0.03 < stats.variation < 0.2  # the paper's 8-9% band
+
+
+class TestGroupedBoxstats:
+    def test_groups(self, dataset):
+        grouped = grouped_boxstats(dataset, "performance_ms", "cabinet")
+        assert set(grouped) == {"c0", "c1", "c2", "c3"}
+
+    def test_small_groups_skipped(self, dataset):
+        tiny = dataset.filter(dataset["gpu_index"] < 1).with_column(
+            "solo", np.asarray(["x"] * 3, dtype=object)
+        )
+        grouped = grouped_boxstats(tiny, "performance_ms", "solo",
+                                   per_gpu_median=False)
+        assert "x" in grouped
+
+    def test_all_groups_too_small_raises(self, dataset):
+        one_row = dataset.head(1)
+        with pytest.raises(AnalysisError):
+            grouped_boxstats(one_row, "performance_ms", "cabinet")
+
+
+class TestVariabilityTable:
+    def test_only_present_metrics(self, dataset):
+        table = variability_table(dataset)
+        assert set(table) == {"performance_ms", "power_w"}
+
+    def test_campaign_has_all_four(self, sgemm_dataset):
+        table = variability_table(sgemm_dataset)
+        assert len(table) == 4
+
+
+class TestNormalizedPerformance:
+    def test_median_is_one(self, dataset):
+        normalized = normalized_performance(dataset)
+        assert np.median(normalized) == pytest.approx(1.0)
+
+    def test_shape_is_per_gpu(self, dataset):
+        assert normalized_performance(dataset).shape == (20,)

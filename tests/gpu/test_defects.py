@@ -1,0 +1,120 @@
+"""Tests for defect injection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.defects import (
+    DefectAssignment,
+    DefectConfig,
+    DefectType,
+    assign_defects,
+)
+
+
+def _assign(n=1000, seed=0, groups=None, **over):
+    cfg = DefectConfig(**over)
+    return assign_defects(n, cfg, np.random.default_rng(seed),
+                          location_group=groups)
+
+
+class TestAssignment:
+    def test_none_config_is_clean(self):
+        a = _assign(power_delivery_rate=0.0, sick_slow_rate=0.0,
+                    hot_runner_rate=0.0)
+        assert a.defective_indices().shape[0] == 0
+        np.testing.assert_allclose(a.power_cap_frac, 1.0)
+        np.testing.assert_allclose(a.frequency_cap_frac, 1.0)
+        np.testing.assert_allclose(a.extra_thermal_resistance, 1.0)
+
+    def test_none_classmethod(self):
+        assert DefectConfig.none().total_rate == 0.0
+
+    def test_rates_approximately_respected(self):
+        a = _assign(n=60_000, power_delivery_rate=0.01, sick_slow_rate=0.01,
+                    hot_runner_rate=0.01)
+        frac = a.defective_indices().shape[0] / 60_000
+        assert 0.02 < frac < 0.04
+
+    def test_severities_within_configured_ranges(self):
+        a = _assign(n=30_000, power_delivery_rate=0.02, sick_slow_rate=0.02,
+                    hot_runner_rate=0.02)
+        pd = a.kind == int(DefectType.POWER_DELIVERY)
+        ss = a.kind == int(DefectType.SICK_SLOW)
+        hr = a.kind == int(DefectType.HOT_RUNNER)
+        assert np.all((a.power_cap_frac[pd] >= 0.85)
+                      & (a.power_cap_frac[pd] <= 0.97))
+        assert np.all((a.frequency_cap_frac[ss] >= 0.55)
+                      & (a.frequency_cap_frac[ss] <= 0.85))
+        assert np.all((a.extra_thermal_resistance[hr] >= 1.5)
+                      & (a.extra_thermal_resistance[hr] <= 2.2))
+
+    def test_healthy_gpus_have_identity_multipliers(self):
+        a = _assign(n=5000, power_delivery_rate=0.05)
+        healthy = a.kind == int(DefectType.NONE)
+        np.testing.assert_allclose(a.power_cap_frac[healthy], 1.0)
+        np.testing.assert_allclose(a.frequency_cap_frac[healthy], 1.0)
+        np.testing.assert_allclose(a.extra_thermal_resistance[healthy], 1.0)
+
+    def test_at_most_one_defect_per_gpu(self):
+        a = _assign(n=20_000, power_delivery_rate=0.1, sick_slow_rate=0.1,
+                    hot_runner_rate=0.1)
+        pd = a.power_cap_frac < 1.0
+        ss = a.frequency_cap_frac < 1.0
+        hr = a.extra_thermal_resistance > 1.0
+        assert np.all(pd.astype(int) + ss.astype(int) + hr.astype(int) <= 1)
+
+    def test_deterministic(self):
+        a = _assign(seed=3)
+        b = _assign(seed=3)
+        np.testing.assert_array_equal(a.kind, b.kind)
+
+    def test_count_helper(self):
+        a = _assign(n=10_000, power_delivery_rate=0.05, sick_slow_rate=0.0,
+                    hot_runner_rate=0.0)
+        assert a.count(DefectType.POWER_DELIVERY) == a.defective_indices().shape[0]
+
+
+class TestSpatialConcentration:
+    def test_defects_cluster_by_group(self):
+        """With a concentrated hazard, defective GPUs share few groups."""
+        n = 40_000
+        groups = np.arange(n) // 100  # 400 groups
+        concentrated = _assign(
+            n=n, groups=groups, power_delivery_rate=0.01,
+            spatial_concentration_shape=0.05,
+        )
+        uniform = _assign(
+            n=n, groups=None, power_delivery_rate=0.01, seed=1,
+        )
+        g_conc = np.unique(groups[concentrated.defective_indices()]).shape[0]
+        g_unif = np.unique(groups[uniform.defective_indices()]).shape[0]
+        assert g_conc < g_unif * 0.6
+
+    def test_group_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="location_group"):
+            _assign(n=10, groups=np.zeros(9, dtype=int))
+
+
+class TestTakeAndValidation:
+    def test_take(self):
+        a = _assign(n=100, power_delivery_rate=0.3)
+        sub = a.take(np.array([0, 5, 9]))
+        assert sub.n == 3
+        assert sub.kind[1] == a.kind[5]
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            DefectConfig(power_delivery_rate=0.9)
+
+    def test_invalid_severity_range_rejected(self):
+        with pytest.raises(ConfigError):
+            DefectConfig(sick_slow_frequency_cap=(0.9, 0.5))
+
+    def test_nonpositive_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            DefectConfig(spatial_concentration_shape=0.0)
+
+    def test_zero_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            _assign(n=0)

@@ -1,0 +1,119 @@
+"""Tests for GPUFleet composition."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.defects import DefectConfig, DefectType, assign_defects
+from repro.gpu.device import GPUFleet
+from repro.gpu.silicon import SiliconConfig, sample_population
+from repro.gpu.specs import V100
+
+
+def make_fleet(n=16, seed=0, defect_config=None):
+    rng = np.random.default_rng(seed)
+    silicon = sample_population(n, SiliconConfig(), rng)
+    defects = assign_defects(
+        n, defect_config or DefectConfig.none(), rng
+    )
+    return GPUFleet(
+        spec=V100,
+        silicon=silicon,
+        defects=defects,
+        r_theta_base_c_per_w=np.full(n, 0.1),
+        coolant_c=np.full(n, 25.0),
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        fleet = make_fleet(12)
+        assert fleet.n == 12
+        assert fleet.controller.n == 12
+
+    def test_mismatched_defects_rejected(self):
+        rng = np.random.default_rng(0)
+        silicon = sample_population(4, SiliconConfig(), rng)
+        defects = assign_defects(5, DefectConfig.none(), rng)
+        with pytest.raises(ValueError):
+            GPUFleet(V100, silicon, defects, np.full(4, 0.1), np.full(4, 25.0))
+
+    def test_mismatched_thermal_arrays_rejected(self):
+        rng = np.random.default_rng(0)
+        silicon = sample_population(4, SiliconConfig(), rng)
+        defects = assign_defects(4, DefectConfig.none(), rng)
+        with pytest.raises(ValueError):
+            GPUFleet(V100, silicon, defects, np.full(3, 0.1), np.full(4, 25.0))
+
+
+class TestDerivedQuantities:
+    def test_effective_r_theta_composition(self):
+        fleet = make_fleet()
+        expected = (
+            fleet.r_theta_base
+            * fleet.silicon.thermal_resistance_scale
+            * fleet.defects.extra_thermal_resistance
+        )
+        np.testing.assert_allclose(fleet.effective_r_theta(), expected)
+
+    def test_power_cap_default_is_tdp(self):
+        fleet = make_fleet()
+        np.testing.assert_allclose(fleet.power_cap_w(), V100.tdp_w)
+
+    def test_power_cap_with_admin_limit(self):
+        fleet = make_fleet()
+        np.testing.assert_allclose(fleet.power_cap_w(150.0), 150.0)
+
+    def test_power_cap_with_defect(self):
+        fleet = make_fleet(
+            n=2000,
+            defect_config=DefectConfig(
+                power_delivery_rate=0.2, sick_slow_rate=0.0, hot_runner_rate=0.0
+            ),
+        )
+        caps = fleet.power_cap_w()
+        defective = fleet.defects.kind == int(DefectType.POWER_DELIVERY)
+        assert defective.any()
+        assert np.all(caps[defective] < V100.tdp_w)
+        np.testing.assert_allclose(caps[~defective], V100.tdp_w)
+
+    def test_frequency_cap(self):
+        fleet = make_fleet(
+            n=2000,
+            defect_config=DefectConfig(
+                power_delivery_rate=0.0, sick_slow_rate=0.2, hot_runner_rate=0.0
+            ),
+        )
+        f_caps = fleet.frequency_cap_mhz()
+        sick = fleet.defects.kind == int(DefectType.SICK_SLOW)
+        assert sick.any()
+        assert np.all(f_caps[sick] < V100.f_max_mhz)
+        np.testing.assert_allclose(f_caps[~sick], V100.f_max_mhz)
+
+    def test_memory_bandwidth_below_peak(self):
+        fleet = make_fleet()
+        bw = fleet.memory_bandwidth_gbs()
+        assert np.all(bw < V100.mem_bandwidth_gbs)
+        assert np.all(bw > 0.5 * V100.mem_bandwidth_gbs)
+
+
+class TestViews:
+    def test_with_coolant_keeps_silicon(self):
+        fleet = make_fleet()
+        warmer = fleet.with_coolant(fleet.coolant_c + 5.0)
+        assert warmer.silicon is fleet.silicon
+        np.testing.assert_allclose(
+            warmer.thermal_model.coolant_c, fleet.coolant_c + 5.0
+        )
+
+    def test_take_subfleet(self):
+        fleet = make_fleet(10)
+        sub = fleet.take(np.array([1, 4, 7]))
+        assert sub.n == 3
+        assert sub.silicon.voltage_offset[2] == fleet.silicon.voltage_offset[7]
+
+    def test_warmer_coolant_raises_settled_temperature(self):
+        fleet = make_fleet(8)
+        op_cool = fleet.controller.solve_steady(1.0, 0.35)
+        warm = fleet.with_coolant(fleet.coolant_c + 10.0)
+        op_warm = warm.controller.solve_steady(1.0, 0.35)
+        assert np.median(op_warm.temperature_c) > np.median(op_cool.temperature_c)

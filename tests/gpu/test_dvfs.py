@@ -1,0 +1,238 @@
+"""Tests for the DVFS controller (steady state and reactive)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.dvfs import DvfsController, DvfsPolicy
+from repro.gpu.power import PowerModel
+from repro.gpu.silicon import SiliconConfig, sample_population
+from repro.gpu.specs import MI60, V100
+from repro.gpu.thermal import ThermalModel
+
+
+def make_controller(n=32, spec=V100, r=0.1, coolant=25.0, seed=0,
+                    policy=None, silicon_cfg=None):
+    silicon = sample_population(
+        n, silicon_cfg or SiliconConfig(), np.random.default_rng(seed)
+    )
+    power = PowerModel(spec, silicon)
+    thermal = ThermalModel(spec, np.full(n, r), np.full(n, coolant))
+    return DvfsController(spec, power, thermal, policy)
+
+
+class TestSteadyStateInvariants:
+    def test_power_within_cap(self):
+        ctl = make_controller()
+        op = ctl.solve_steady(1.0, 0.35)
+        assert np.all(op.power_w <= V100.tdp_w + 1e-9)
+
+    def test_temperature_within_slowdown(self):
+        ctl = make_controller(r=0.25, coolant=40.0)  # hot setup
+        op = ctl.solve_steady(1.0, 0.35)
+        limit = V100.t_slowdown_c - ctl.policy.thermal_headroom_c
+        assert np.all(op.temperature_c <= limit + 1e-9)
+
+    def test_compute_load_throttles_below_boost(self):
+        ctl = make_controller()
+        op = ctl.solve_steady(1.0, 0.35)
+        assert np.median(op.f_effective_mhz) < V100.f_max_mhz
+
+    def test_light_load_runs_at_boost(self):
+        ctl = make_controller()
+        op = ctl.solve_steady(0.2, 0.2)
+        assert np.all(op.f_effective_mhz == V100.f_max_mhz)
+        assert not op.power_capped.any()
+        assert not op.thermally_capped.any()
+
+    def test_lower_cap_never_raises_frequency(self):
+        ctl = make_controller()
+        high = ctl.solve_steady(1.0, 0.35, power_cap_w=300.0)
+        low = ctl.solve_steady(1.0, 0.35, power_cap_w=200.0)
+        assert np.all(low.f_effective_mhz <= high.f_effective_mhz)
+        assert np.all(low.power_w <= 200.0 + 1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(cap=st.floats(min_value=80.0, max_value=300.0))
+    def test_property_cap_respected(self, cap):
+        ctl = make_controller(n=8)
+        op = ctl.solve_steady(1.0, 0.35, power_cap_w=cap)
+        assert np.all(op.power_w <= cap + 1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        act=st.floats(min_value=0.05, max_value=1.0),
+        dram=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_property_operating_point_is_self_consistent(self, act, dram):
+        """Recomputing power at the settled point reproduces it."""
+        ctl = make_controller(n=8)
+        op = ctl.solve_steady(act, dram)
+        p_check = ctl.power.total_power(
+            op.f_effective_mhz, op.temperature_c, act, dram
+        )
+        np.testing.assert_allclose(p_check, op.power_w, rtol=1e-6)
+
+    def test_voltage_offset_lowers_settled_frequency(self):
+        """The silicon-lottery mechanism: higher V-offset => lower f."""
+        cfg = SiliconConfig(
+            leakage_log_sigma=0.0, thermal_resistance_log_sigma=0.0,
+            compute_efficiency_sigma=0.0, bandwidth_efficiency_sigma=0.0,
+        )
+        ctl = make_controller(n=64, silicon_cfg=cfg)
+        op = ctl.solve_steady(1.0, 0.35)
+        rho = np.corrcoef(
+            ctl.power.silicon.voltage_offset, op.f_effective_mhz
+        )[0, 1]
+        assert rho < -0.9
+
+
+class TestFrequencyCeiling:
+    def test_ceiling_respected(self):
+        ctl = make_controller(n=16)
+        f_cap = np.full(16, 1000.0)
+        op = ctl.solve_steady(0.2, 0.2, f_cap_mhz=f_cap)
+        assert np.all(op.f_effective_mhz <= 1000.0)
+
+    def test_ceiling_gpu_not_flagged_as_capped(self):
+        ctl = make_controller(n=4)
+        op = ctl.solve_steady(0.2, 0.2, f_cap_mhz=np.full(4, 1000.0))
+        assert not op.power_capped.any()
+        assert not op.thermally_capped.any()
+
+
+class TestDither:
+    def test_requires_rng(self):
+        ctl = make_controller(
+            spec=MI60, policy=DvfsPolicy(dither=True), r=0.12, coolant=30.0
+        )
+        with pytest.raises(ValueError, match="rng"):
+            ctl.solve_steady(1.0, 0.35)
+
+    def test_dither_stays_within_cap(self):
+        ctl = make_controller(
+            n=64, spec=MI60, policy=DvfsPolicy(dither=True),
+            r=0.12, coolant=30.0,
+        )
+        op = ctl.solve_steady(
+            1.0, 0.35, rng=np.random.default_rng(0)
+        )
+        assert np.all(op.power_w <= MI60.tdp_w + 1e-9)
+
+    def test_effective_frequency_between_ladder_levels(self):
+        ctl = make_controller(
+            n=64, spec=MI60, policy=DvfsPolicy(dither=True),
+            r=0.12, coolant=30.0,
+        )
+        op = ctl.solve_steady(1.0, 0.35, rng=np.random.default_rng(1))
+        steps = MI60.pstate_array()
+        on_level = np.isin(op.f_effective_mhz, steps)
+        # Dithering GPUs sit between levels; reported snaps to a level.
+        assert np.all(np.isin(op.f_reported_mhz, steps))
+        if (~on_level).any():
+            between = op.f_effective_mhz[~on_level]
+            assert np.all(between > steps[0])
+            assert np.all(between < steps[-1])
+
+    def test_dither_is_stochastic_across_runs(self):
+        ctl = make_controller(
+            n=64, spec=MI60, policy=DvfsPolicy(dither=True),
+            r=0.12, coolant=30.0,
+        )
+        a = ctl.solve_steady(1.0, 0.35, rng=np.random.default_rng(1))
+        b = ctl.solve_steady(1.0, 0.35, rng=np.random.default_rng(2))
+        assert not np.array_equal(a.f_effective_mhz, b.f_effective_mhz)
+
+
+class TestReactiveControl:
+    def test_steps_down_when_over_cap(self):
+        ctl = make_controller(n=3)
+        idx = np.array([100, 100, 100])
+        new = ctl.control_step(
+            idx,
+            power_w=np.array([350.0, 350.0, 350.0]),
+            temperature_c=np.full(3, 50.0),
+            power_cap_w=np.full(3, 300.0),
+        )
+        assert np.all(new == 100 - ctl.policy.down_step)
+
+    def test_steps_up_when_under_cap(self):
+        ctl = make_controller(n=2)
+        new = ctl.control_step(
+            np.array([50, 50]),
+            power_w=np.full(2, 150.0),
+            temperature_c=np.full(2, 40.0),
+            power_cap_w=np.full(2, 300.0),
+        )
+        assert np.all(new == 50 + ctl.policy.up_step)
+
+    def test_thermal_violation_steps_down(self):
+        ctl = make_controller(n=1)
+        new = ctl.control_step(
+            np.array([80]),
+            power_w=np.array([200.0]),
+            temperature_c=np.array([V100.t_slowdown_c + 1.0]),
+            power_cap_w=np.array([300.0]),
+        )
+        assert new[0] == 80 - ctl.policy.down_step
+
+    def test_clamped_to_ladder(self):
+        ctl = make_controller(n=2)
+        new = ctl.control_step(
+            np.array([0, V100.n_pstates - 1]),
+            power_w=np.array([400.0, 100.0]),
+            temperature_c=np.full(2, 40.0),
+            power_cap_w=np.full(2, 300.0),
+        )
+        assert new[0] == 0
+        assert new[1] == V100.n_pstates - 1
+
+
+class TestPolicy:
+    def test_for_spec_vendor_defaults(self):
+        assert not DvfsPolicy.for_spec(V100).dither
+        assert DvfsPolicy.for_spec(MI60).dither
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(Exception):
+            DvfsPolicy(dither_max_duty=1.5)
+
+    def test_mismatched_models_rejected(self):
+        silicon = sample_population(4, SiliconConfig(), np.random.default_rng(0))
+        power = PowerModel(V100, silicon)
+        thermal = ThermalModel(V100, np.full(5, 0.1), np.full(5, 25.0))
+        with pytest.raises(ValueError, match="covers"):
+            DvfsController(V100, power, thermal)
+
+
+class TestPowerGridInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        act=st.floats(min_value=0.05, max_value=1.0),
+        dram=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_property_grid_monotone_in_pstate(self, act, dram):
+        """Settled power and temperature never decrease up the ladder."""
+        ctl = make_controller(n=6)
+        p_grid, t_grid = ctl.power_grid(act, dram)
+        assert np.all(np.diff(p_grid, axis=1) >= -1e-6)
+        assert np.all(np.diff(t_grid, axis=1) >= -1e-6)
+
+    def test_grid_matches_pointwise_power(self):
+        """The grid's entries agree with the scalar power model."""
+        ctl = make_controller(n=4)
+        p_grid, t_grid = ctl.power_grid(0.8, 0.3)
+        f = ctl.spec.pstate_array()
+        check = ctl.power.total_power(
+            np.broadcast_to(f, (4, f.shape[0])), t_grid, 0.8, 0.3
+        )
+        np.testing.assert_allclose(p_grid, check, rtol=1e-4)
+
+    def test_grid_temperature_consistent_with_thermal_model(self):
+        ctl = make_controller(n=4)
+        p_grid, t_grid = ctl.power_grid(0.8, 0.3)
+        expected = ctl.thermal.steady_temperature(p_grid)
+        # Away from the runaway clamp, T is the thermal fixed point of P.
+        clamp = ctl.spec.t_shutdown_c + 40.0
+        mask = t_grid < clamp - 1.0
+        np.testing.assert_allclose(t_grid[mask], expected[mask], rtol=1e-3)

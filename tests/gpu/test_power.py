@@ -1,0 +1,122 @@
+"""Tests for the board power model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.power import PowerModel
+from repro.gpu.silicon import SiliconConfig, sample_population
+from repro.gpu.specs import V100
+
+
+@pytest.fixture(scope="module")
+def model():
+    silicon = sample_population(16, SiliconConfig(), np.random.default_rng(0))
+    return PowerModel(V100, silicon)
+
+
+@pytest.fixture(scope="module")
+def nominal_model():
+    cfg = SiliconConfig(
+        voltage_offset_sigma=0.0, leakage_log_sigma=0.0,
+        thermal_resistance_log_sigma=0.0, bandwidth_efficiency_sigma=0.0,
+        compute_efficiency_sigma=0.0, power_sensor_gain_sigma=0.0,
+    )
+    silicon = sample_population(4, cfg, np.random.default_rng(0))
+    return PowerModel(V100, silicon)
+
+
+class TestDynamicPower:
+    def test_monotone_in_frequency(self, model):
+        f = np.linspace(500, 1530, 40)
+        p = model.dynamic_power(np.tile(f, (model.n, 1)), activity=1.0)
+        assert np.all(np.diff(p, axis=1) > 0)
+
+    def test_scales_linearly_with_activity(self, model):
+        f = np.full(model.n, 1400.0)
+        p_half = model.dynamic_power(f, activity=0.5)
+        p_full = model.dynamic_power(f, activity=1.0)
+        np.testing.assert_allclose(p_half * 2.0, p_full)
+
+    def test_efficiency_reduces_switching(self, model):
+        f = np.full(model.n, 1400.0)
+        p = model.dynamic_power(f, activity=1.0, efficiency=0.5)
+        np.testing.assert_allclose(p, model.dynamic_power(f, 0.5))
+
+    def test_voltage_offset_raises_power(self, nominal_model):
+        f = np.full(4, 1400.0)
+        base = nominal_model.dynamic_power(f, 1.0)
+        silicon = nominal_model.silicon
+        silicon.voltage_offset[:] = 0.02
+        bumped = PowerModel(V100, silicon).dynamic_power(f, 1.0)
+        np.testing.assert_allclose(bumped, base * 1.02**2)
+        silicon.voltage_offset[:] = 0.0  # restore shared fixture
+
+
+class TestLeakage:
+    def test_grows_exponentially_with_temperature(self, nominal_model):
+        t = np.full(4, 25.0)
+        p25 = nominal_model.leakage_power(t)
+        p75 = nominal_model.leakage_power(t + 50.0)
+        expected = np.exp(V100.leakage_temp_coeff * 50.0)
+        np.testing.assert_allclose(p75 / p25, expected)
+
+    def test_reference_value(self, nominal_model):
+        p = nominal_model.leakage_power(np.full(4, 25.0))
+        np.testing.assert_allclose(p, V100.leakage_nominal_w)
+
+    def test_leakage_scale_multiplies(self):
+        cfg = SiliconConfig(leakage_log_sigma=0.5)
+        silicon = sample_population(64, cfg, np.random.default_rng(2))
+        model = PowerModel(V100, silicon)
+        p = model.leakage_power(np.full(64, 25.0))
+        np.testing.assert_allclose(
+            p, V100.leakage_nominal_w * silicon.leakage_scale
+        )
+
+
+class TestTotals:
+    def test_total_is_sum_of_parts(self, model):
+        f = np.full(model.n, 1300.0)
+        t = np.full(model.n, 60.0)
+        total = model.total_power(f, t, activity=0.8, dram_utilization=0.4)
+        parts = (
+            model.dynamic_power(f, 0.8)
+            + model.memory_power(0.4)
+            + model.leakage_power(t)
+            + V100.idle_power_w
+        )
+        np.testing.assert_allclose(total, parts)
+
+    def test_memory_power_clipped(self, model):
+        assert float(model.memory_power(2.0)) == V100.mem_power_max_w
+        assert float(model.memory_power(-1.0)) == 0.0
+
+    def test_idle_power(self, model):
+        idle = model.idle_power(np.full(model.n, 40.0))
+        assert np.all(idle > V100.idle_power_w)
+        assert np.all(idle < 100.0)
+
+    def test_grid_broadcasting(self, model):
+        f = np.tile(np.array([1000.0, 1500.0]), (model.n, 1))
+        t = np.full((model.n, 2), 50.0)
+        total = model.total_power(f, t, 1.0, 0.3)
+        assert total.shape == (model.n, 2)
+        assert np.all(total[:, 1] > total[:, 0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        f=st.floats(min_value=135.0, max_value=1530.0),
+        act=st.floats(min_value=0.0, max_value=1.0),
+        temp=st.floats(min_value=20.0, max_value=95.0),
+    )
+    def test_property_power_positive_and_finite(self, f, act, temp):
+        silicon = sample_population(
+            8, SiliconConfig(), np.random.default_rng(0)
+        )
+        model = PowerModel(V100, silicon)
+        p = model.total_power(
+            np.full(8, f), np.full(8, temp), act, 0.3
+        )
+        assert np.all(np.isfinite(p))
+        assert np.all(p >= V100.idle_power_w)

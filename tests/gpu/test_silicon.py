@@ -1,0 +1,109 @@
+"""Tests for the manufacturing-variability model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.gpu.silicon import SiliconConfig, SiliconPopulation, sample_population
+
+
+def _sample(n=256, seed=0, **over):
+    cfg = SiliconConfig(**over)
+    return sample_population(n, cfg, np.random.default_rng(seed))
+
+
+class TestSampling:
+    def test_shapes(self):
+        pop = _sample(100)
+        assert pop.n == 100
+        for arr in (pop.voltage_offset, pop.leakage_scale,
+                    pop.thermal_resistance_scale, pop.bandwidth_efficiency,
+                    pop.compute_efficiency, pop.power_sensor_gain):
+            assert arr.shape == (100,)
+
+    def test_deterministic(self):
+        a = _sample(seed=5)
+        b = _sample(seed=5)
+        np.testing.assert_array_equal(a.voltage_offset, b.voltage_offset)
+        np.testing.assert_array_equal(a.leakage_scale, b.leakage_scale)
+
+    def test_seed_changes_sample(self):
+        assert not np.array_equal(
+            _sample(seed=1).voltage_offset, _sample(seed=2).voltage_offset
+        )
+
+    def test_voltage_offsets_clipped(self):
+        pop = _sample(5000, voltage_offset_sigma=0.02,
+                      voltage_offset_clip_sigmas=2.0)
+        assert np.all(np.abs(pop.voltage_offset) <= 0.04 + 1e-12)
+
+    def test_leakage_median_near_one(self):
+        pop = _sample(4000)
+        assert np.median(pop.leakage_scale) == pytest.approx(1.0, rel=0.05)
+
+    def test_bandwidth_efficiency_bounded(self):
+        pop = _sample(2000)
+        assert np.all(pop.bandwidth_efficiency <= 1.0)
+        assert np.all(pop.bandwidth_efficiency >= 0.5)
+
+    def test_zero_sigma_degenerates(self):
+        pop = _sample(
+            50,
+            voltage_offset_sigma=0.0,
+            leakage_log_sigma=0.0,
+            thermal_resistance_log_sigma=0.0,
+        )
+        np.testing.assert_allclose(pop.voltage_offset, 0.0)
+        np.testing.assert_allclose(pop.leakage_scale, 1.0)
+        np.testing.assert_allclose(pop.thermal_resistance_scale, 1.0)
+
+    def test_nonpositive_n_rejected(self):
+        with pytest.raises(ValueError):
+            _sample(0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sigma=st.floats(min_value=0.0, max_value=0.05),
+        n=st.integers(min_value=1, max_value=200),
+    )
+    def test_property_offsets_within_clip(self, sigma, n):
+        cfg = SiliconConfig(voltage_offset_sigma=sigma)
+        pop = sample_population(n, cfg, np.random.default_rng(0))
+        clip = sigma * cfg.voltage_offset_clip_sigmas
+        assert np.all(np.abs(pop.voltage_offset) <= clip + 1e-12)
+
+
+class TestTake:
+    def test_take_subsets(self):
+        pop = _sample(20)
+        sub = pop.take(np.array([3, 7, 11]))
+        assert sub.n == 3
+        assert sub.voltage_offset[1] == pop.voltage_offset[7]
+
+    def test_take_copies(self):
+        pop = _sample(10)
+        sub = pop.take(np.arange(5))
+        sub.voltage_offset[0] = 99.0
+        assert pop.voltage_offset[0] != 99.0
+
+
+class TestValidation:
+    def test_mismatched_array_lengths_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            SiliconPopulation(
+                voltage_offset=np.zeros(4),
+                leakage_scale=np.ones(5),
+                thermal_resistance_scale=np.ones(4),
+                bandwidth_efficiency=np.ones(4),
+                compute_efficiency=np.ones(4),
+                power_sensor_gain=np.ones(4),
+            )
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigError):
+            SiliconConfig(voltage_offset_sigma=-0.1)
+
+    def test_bad_bandwidth_mean_rejected(self):
+        with pytest.raises(ConfigError):
+            SiliconConfig(bandwidth_efficiency_mean=1.5)

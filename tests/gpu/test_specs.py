@@ -1,0 +1,140 @@
+"""Tests for GPU SKU specifications."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.specs import (
+    MI60,
+    RTX5000,
+    V100,
+    GPUSpec,
+    get_spec,
+    list_specs,
+    register_spec,
+)
+
+
+class TestRegistry:
+    def test_paper_skus_registered(self):
+        assert {"V100", "RTX5000", "MI60"} <= set(list_specs())
+
+    def test_get_spec(self):
+        assert get_spec("V100") is V100
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(ConfigError, match="unknown GPU spec"):
+            get_spec("H100")
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ConfigError, match="already registered"):
+            register_spec(V100)
+
+
+class TestPaperValues:
+    """Hardware constants from Sections II-III and Table I."""
+
+    def test_tdp(self):
+        assert V100.tdp_w == 300.0
+        assert MI60.tdp_w == 300.0
+        assert RTX5000.tdp_w == 230.0
+
+    def test_boost_clocks(self):
+        assert V100.f_max_mhz == 1530.0
+        assert MI60.f_max_mhz == 1800.0
+        assert RTX5000.f_max_mhz > V100.f_max_mhz  # Section IV-F
+
+    def test_thermal_thresholds(self):
+        assert (V100.t_shutdown_c, V100.t_slowdown_c) == (90.0, 87.0)
+        assert (MI60.t_shutdown_c, MI60.t_slowdown_c) == (105.0, 100.0)
+        assert (RTX5000.t_shutdown_c, RTX5000.t_slowdown_c) == (96.0, 93.0)
+
+    def test_amd_ladder_is_coarse(self):
+        """Section IV-D: MI60 exposes far fewer DVFS levels."""
+        assert MI60.n_pstates < 12 < V100.n_pstates
+
+    def test_nvidia_step_granularity(self):
+        steps = np.diff(V100.pstate_array())
+        assert np.allclose(steps, 7.5)
+
+    def test_compute_kernel_exceeds_tdp_at_boost(self):
+        """Design property: full-activity compute must force throttling.
+
+        Board power of a nominal die at boost clock and its max operating
+        junction temperature (dynamic + idle + leakage + a modest memory
+        stream) must exceed the TDP, otherwise SGEMM would never enter the
+        power-capped regime the paper measures.
+        """
+        for spec in (V100, RTX5000, MI60):
+            leakage = spec.leakage_nominal_w * np.exp(
+                spec.leakage_temp_coeff * (spec.t_max_operating_c - 25.0)
+            )
+            board = (
+                spec.peak_dynamic_power_w()
+                + spec.idle_power_w
+                + leakage
+                + 0.35 * spec.mem_power_max_w
+            )
+            assert board > spec.tdp_w
+
+
+class TestGeometry:
+    def test_voltage_monotone_in_frequency(self):
+        f = np.linspace(V100.f_min_mhz, V100.f_max_mhz, 50)
+        v = V100.voltage_at(f)
+        assert np.all(np.diff(v) > 0)
+
+    def test_voltage_endpoints(self):
+        assert V100.voltage_at(V100.f_min_mhz) == pytest.approx(V100.v_min)
+        assert V100.voltage_at(V100.f_max_mhz) == pytest.approx(V100.v_max)
+
+    def test_voltage_clamped_outside_range(self):
+        assert V100.voltage_at(50.0) == pytest.approx(V100.v_min)
+        assert V100.voltage_at(5000.0) == pytest.approx(V100.v_max)
+
+    def test_nearest_pstate_index(self):
+        assert V100.nearest_pstate_index(V100.f_max_mhz) == V100.n_pstates - 1
+        assert V100.nearest_pstate_index(0.0) == 0
+        idx = V100.nearest_pstate_index(1339.0)
+        assert V100.pstates_mhz[idx] <= 1339.0
+
+    def test_nearest_pstate_vectorized(self):
+        idx = V100.nearest_pstate_index(np.array([135.0, 1530.0]))
+        np.testing.assert_array_equal(idx, [0, V100.n_pstates - 1])
+
+
+class TestValidation:
+    def _kwargs(self, **over):
+        base = dict(
+            name="X", vendor="NVIDIA", sm_count=10, tdp_w=100.0,
+            pstates_mhz=(100.0, 200.0), v_min=0.7, v_max=1.0, vf_gamma=1.5,
+            c_eff_w_per_v2mhz=0.1, idle_power_w=10.0, mem_bandwidth_gbs=500.0,
+            mem_power_max_w=30.0, leakage_nominal_w=10.0,
+            leakage_temp_coeff=0.02, compute_throughput=1e6,
+            t_shutdown_c=90.0, t_slowdown_c=85.0, t_max_operating_c=80.0,
+        )
+        base.update(over)
+        return base
+
+    def test_valid_spec_constructs(self):
+        GPUSpec(**self._kwargs())
+
+    def test_descending_pstates_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUSpec(**self._kwargs(pstates_mhz=(200.0, 100.0)))
+
+    def test_single_pstate_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUSpec(**self._kwargs(pstates_mhz=(100.0,)))
+
+    def test_inverted_voltages_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUSpec(**self._kwargs(v_min=1.2, v_max=1.0))
+
+    def test_inverted_thermal_thresholds_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUSpec(**self._kwargs(t_shutdown_c=80.0, t_slowdown_c=85.0))
+
+    def test_nonpositive_tdp_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUSpec(**self._kwargs(tdp_w=0.0))

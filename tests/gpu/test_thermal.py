@@ -1,0 +1,98 @@
+"""Tests for the RC thermal model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.specs import V100
+from repro.gpu.thermal import ThermalModel
+
+
+def _model(n=8, r=0.1, coolant=25.0):
+    return ThermalModel(
+        V100, np.full(n, r), np.full(n, coolant)
+    )
+
+
+class TestSteadyState:
+    def test_steady_temperature(self):
+        model = _model(r=0.1, coolant=25.0)
+        t = model.steady_temperature(np.full(8, 300.0))
+        np.testing.assert_allclose(t, 55.0)
+
+    def test_inverse_relationship(self):
+        model = _model()
+        p = np.linspace(50, 300, 8)
+        t = model.steady_temperature(p)
+        np.testing.assert_allclose(model.power_at_temperature(t), p)
+
+    def test_grid_broadcast(self):
+        model = _model(n=4)
+        p = np.tile(np.array([100.0, 200.0]), (4, 1))
+        t = model.steady_temperature(p)
+        assert t.shape == (4, 2)
+        assert np.all(t[:, 1] > t[:, 0])
+
+
+class TestTransient:
+    def test_step_approaches_equilibrium(self):
+        model = _model(n=2, r=0.1, coolant=25.0)
+        t = np.full(2, 25.0)
+        power = np.full(2, 300.0)
+        for _ in range(2000):
+            t = model.step(t, power, dt_s=1.0)
+        np.testing.assert_allclose(t, 55.0, atol=0.01)
+
+    def test_exact_exponential_step(self):
+        model = _model(n=1, r=0.1, coolant=20.0)
+        t0 = np.array([20.0])
+        power = np.array([100.0])
+        tau = float(model.time_constant_s[0])
+        t1 = model.step(t0, power, dt_s=tau)
+        # After one time constant: 1 - 1/e of the way to equilibrium (30 C).
+        expected = 20.0 + 10.0 * (1.0 - np.exp(-1.0))
+        np.testing.assert_allclose(t1, expected)
+
+    def test_unconditionally_stable_for_huge_dt(self):
+        model = _model(n=2)
+        t = model.step(np.full(2, 25.0), np.full(2, 250.0), dt_s=1e6)
+        np.testing.assert_allclose(t, model.steady_temperature(np.full(2, 250.0)))
+
+    def test_cooling_down(self):
+        model = _model(n=1, coolant=25.0)
+        t = model.step(np.array([80.0]), np.array([0.0]), dt_s=10_000.0)
+        np.testing.assert_allclose(t, 25.0, atol=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        dt=st.floats(min_value=1e-3, max_value=1e4),
+        power=st.floats(min_value=0.0, max_value=400.0),
+        t0=st.floats(min_value=20.0, max_value=110.0),
+    )
+    def test_property_step_moves_toward_equilibrium(self, dt, power, t0):
+        model = _model(n=1)
+        t_inf = float(model.steady_temperature(np.array([power]))[0])
+        t1 = float(model.step(np.array([t0]), np.array([power]), dt)[0])
+        # The new temperature lies between the start and the equilibrium.
+        lo, hi = sorted((t0, t_inf))
+        assert lo - 1e-9 <= t1 <= hi + 1e-9
+
+
+class TestValidation:
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalModel(V100, np.full(3, 0.1), np.full(4, 25.0))
+
+    def test_nonpositive_resistance_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalModel(V100, np.array([0.0]), np.array([25.0]))
+
+    def test_nonpositive_dt_rejected(self):
+        model = _model(n=1)
+        with pytest.raises(ValueError):
+            model.step(np.array([25.0]), np.array([100.0]), dt_s=0.0)
+
+    def test_time_constant(self):
+        model = _model(n=1, r=0.2)
+        expected = 0.2 * V100.thermal_capacitance_j_per_c
+        np.testing.assert_allclose(model.time_constant_s, expected)

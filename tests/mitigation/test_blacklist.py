@@ -1,0 +1,120 @@
+"""Tests for blacklisting policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.outliers import flag_outlier_gpus
+from repro.errors import AnalysisError
+from repro.mitigation.blacklist import (
+    BlacklistPolicy,
+    build_blacklist,
+    evaluate_blacklist,
+)
+from repro.telemetry.dataset import MeasurementDataset
+
+
+def make_dataset(slow_gpus=(5,), n_gpus=32, n_runs=3, seed=0, factor=1.4):
+    rng = np.random.default_rng(seed)
+    gpu = np.repeat(np.arange(n_gpus), n_runs)
+    base = np.repeat(1000.0 + rng.normal(0, 4, n_gpus), n_runs)
+    perf = base + rng.normal(0, 1, gpu.shape[0])
+    for slow in slow_gpus:
+        perf[gpu == slow] *= factor
+    return MeasurementDataset({
+        "gpu_index": gpu,
+        "gpu_label": np.asarray([f"g{i:02d}" for i in gpu], dtype=object),
+        "node_label": np.asarray([f"n{i // 4:02d}" for i in gpu], dtype=object),
+        "performance_ms": perf,
+    })
+
+
+class TestBuildBlacklist:
+    def test_confirmed_gpu_drained(self):
+        ds_a = make_dataset(seed=1)
+        ds_b = make_dataset(seed=2)
+        reports = [flag_outlier_gpus(ds_a), flag_outlier_gpus(ds_b)]
+        drained = build_blacklist(reports, ds_a)
+        assert "g05" in drained
+
+    def test_single_report_insufficient_by_default(self):
+        ds_a = make_dataset(slow_gpus=(5,), seed=1)
+        ds_b = make_dataset(slow_gpus=(), seed=2)
+        reports = [flag_outlier_gpus(ds_a), flag_outlier_gpus(ds_b)]
+        drained = build_blacklist(reports, ds_a)
+        assert "g05" not in drained
+
+    def test_min_confirmations_one(self):
+        ds = make_dataset(seed=1)
+        drained = build_blacklist(
+            [flag_outlier_gpus(ds)], ds,
+            BlacklistPolicy(min_confirmations=1),
+        )
+        assert "g05" in drained
+
+    def test_slowdown_threshold_filters(self):
+        ds = make_dataset(factor=1.03, seed=1)  # mild outlier
+        drained = build_blacklist(
+            [flag_outlier_gpus(ds)], ds,
+            BlacklistPolicy(min_confirmations=1, min_slowdown=0.10),
+        )
+        assert drained == ()
+
+    def test_empty_reports_rejected(self):
+        with pytest.raises(AnalysisError):
+            build_blacklist([], make_dataset())
+
+    def test_policy_validation(self):
+        with pytest.raises(Exception):
+            BlacklistPolicy(min_confirmations=0)
+
+
+class TestEvaluateBlacklist:
+    def test_draining_improves_tail(self):
+        ds = make_dataset(slow_gpus=(5, 13))
+        outcome = evaluate_blacklist(ds, ("g05", "g13"))
+        assert outcome.worst_after < outcome.worst_before
+        assert outcome.slow_assignment_after <= outcome.slow_assignment_before
+
+    def test_whole_node_drain_costs_more_capacity(self):
+        ds = make_dataset(slow_gpus=(5,))
+        whole = evaluate_blacklist(
+            ds, ("g05",), BlacklistPolicy(drain_whole_node=True)
+        )
+        gpu_only = evaluate_blacklist(
+            ds, ("g05",), BlacklistPolicy(drain_whole_node=False)
+        )
+        assert whole.capacity_lost > gpu_only.capacity_lost
+        assert whole.drained_nodes == ("n01",)
+        assert gpu_only.drained_nodes == ()
+
+    def test_capacity_accounting(self):
+        ds = make_dataset(slow_gpus=(5,), n_gpus=32)
+        outcome = evaluate_blacklist(
+            ds, ("g05",), BlacklistPolicy(drain_whole_node=False)
+        )
+        assert outcome.capacity_lost == pytest.approx(1 / 32)
+
+    def test_draining_everything_rejected(self):
+        ds = make_dataset(slow_gpus=(), n_gpus=4)
+        with pytest.raises(AnalysisError):
+            evaluate_blacklist(
+                ds, ("g00", "g01", "g02", "g03"),
+                BlacklistPolicy(drain_whole_node=True),
+            )
+
+    def test_job_width_probe(self):
+        ds = make_dataset(slow_gpus=(5,))
+        outcome = evaluate_blacklist(ds, ("g05",), job_width=4)
+        assert outcome.slow_assignment_after <= outcome.slow_assignment_before
+
+
+class TestEndToEnd:
+    def test_campaign_blacklist_workflow(self, sgemm_dataset):
+        report = flag_outlier_gpus(sgemm_dataset)
+        drained = build_blacklist(
+            [report], sgemm_dataset, BlacklistPolicy(min_confirmations=1)
+        )
+        if drained:
+            outcome = evaluate_blacklist(sgemm_dataset, drained)
+            assert 0.0 < outcome.capacity_lost < 0.5
+            assert outcome.worst_after <= outcome.worst_before

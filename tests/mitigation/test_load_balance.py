@@ -1,0 +1,88 @@
+"""Tests for variability-aware load balancing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisError
+from repro.mitigation.load_balance import (
+    ShardingPlan,
+    bulk_synchronous_time_ms,
+    evaluate_sharding,
+    weighted_shards,
+)
+
+
+class TestWeightedShards:
+    def test_uniform_speeds_uniform_shards(self):
+        plan = weighted_shards(np.ones(4), 64)
+        np.testing.assert_array_equal(plan.shards, [16, 16, 16, 16])
+
+    def test_shards_sum_to_batch(self):
+        plan = weighted_shards(np.array([1.0, 0.7, 1.3, 0.9]), 63)
+        assert plan.batch_size == 63
+
+    def test_slow_gpu_gets_less(self):
+        plan = weighted_shards(np.array([1.0, 1.0, 1.0, 0.5]), 64)
+        assert plan.shards[3] < plan.shards[0]
+
+    def test_min_per_gpu_respected(self):
+        plan = weighted_shards(np.array([100.0, 1.0]), 10, min_per_gpu=2)
+        assert plan.shards.min() >= 2
+        assert plan.batch_size == 10
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(AnalysisError):
+            weighted_shards(np.array([1.0, 0.0]), 8)
+
+    def test_batch_too_small_rejected(self):
+        with pytest.raises(Exception):
+            weighted_shards(np.ones(8), 4)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        speeds=st.lists(
+            st.floats(min_value=0.1, max_value=10.0), min_size=2, max_size=8
+        ),
+        batch=st.integers(min_value=16, max_value=512),
+    )
+    def test_property_exact_sum_and_floor(self, speeds, batch):
+        plan = weighted_shards(np.asarray(speeds), batch)
+        assert plan.batch_size == batch
+        assert plan.shards.min() >= 1
+
+
+class TestBulkSynchronousTime:
+    def test_max_semantics(self):
+        plan = ShardingPlan(
+            shards=np.array([10, 10]), speeds=np.array([1.0, 0.5])
+        )
+        assert bulk_synchronous_time_ms(plan) == 20.0
+
+
+class TestEvaluation:
+    def test_straggler_speedup(self):
+        """One 35%-slow member: weighted sharding recovers most of the loss."""
+        result = evaluate_sharding(np.array([1.0, 1.0, 1.0, 0.65]), 64)
+        assert result["speedup"] > 1.2
+        assert result["weighted_efficiency"] > result["uniform_efficiency"]
+        assert result["weighted_efficiency"] > 0.9
+
+    def test_healthy_node_is_neutral(self):
+        result = evaluate_sharding(np.full(4, 2.0), 64)
+        assert result["speedup"] == pytest.approx(1.0)
+        assert result["uniform_efficiency"] == pytest.approx(1.0)
+
+    def test_indivisible_batch_rejected(self):
+        with pytest.raises(AnalysisError):
+            evaluate_sharding(np.ones(3), 64)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        slow=st.floats(min_value=0.2, max_value=1.0),
+    )
+    def test_property_weighted_never_loses(self, slow):
+        speeds = np.array([1.0, 1.0, 1.0, slow])
+        result = evaluate_sharding(speeds, 64)
+        # Weighted sharding is never worse than uniform (up to rounding).
+        assert result["speedup"] >= 0.99

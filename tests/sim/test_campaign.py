@@ -1,0 +1,73 @@
+"""Tests for measurement campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.campaign import CampaignConfig, run_campaign
+from repro.workloads import sgemm
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = CampaignConfig()
+        assert cfg.days == 7
+        assert cfg.coverage == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(days=0)
+        with pytest.raises(ConfigError):
+            CampaignConfig(coverage=0.0)
+        with pytest.raises(ConfigError):
+            CampaignConfig(runs_per_day=0)
+
+
+class TestCampaign:
+    def test_schema(self, sgemm_dataset):
+        for column in ("cluster", "workload", "day", "weekday", "run",
+                       "gpu_index", "gpu_label", "node_label", "cabinet",
+                       "performance_ms", "frequency_mhz", "power_w",
+                       "temperature_c", "true_power_w", "defect_kind"):
+            assert column in sgemm_dataset
+
+    def test_row_count(self, small_longhorn, sgemm_dataset):
+        expected = small_longhorn.n_gpus * 3 * 2  # days x runs_per_day
+        assert sgemm_dataset.n_rows == expected
+
+    def test_weekday_labels(self, sgemm_dataset):
+        days = dict(zip(sgemm_dataset["day"], sgemm_dataset["weekday"]))
+        assert days[0] == "Monday"
+        assert days[2] == "Wednesday"
+
+    def test_deterministic(self, small_longhorn):
+        a = run_campaign(small_longhorn, sgemm(), CampaignConfig(days=1))
+        b = run_campaign(small_longhorn, sgemm(), CampaignConfig(days=1))
+        np.testing.assert_array_equal(a["performance_ms"], b["performance_ms"])
+
+    def test_partial_coverage(self, small_longhorn):
+        ds = run_campaign(
+            small_longhorn, sgemm(), CampaignConfig(days=1, coverage=0.5)
+        )
+        covered_nodes = np.unique(ds["node_label"]).shape[0]
+        assert covered_nodes == small_longhorn.n_nodes // 2
+
+    def test_coverage_varies_by_day(self, small_longhorn):
+        ds = run_campaign(
+            small_longhorn, sgemm(), CampaignConfig(days=2, coverage=0.5)
+        )
+        day0 = set(ds.where(day=0)["node_label"])
+        day1 = set(ds.where(day=1)["node_label"])
+        assert day0 != day1
+
+    def test_grid_cluster_gets_row_column(self, small_summit):
+        ds = run_campaign(small_summit, sgemm(), CampaignConfig(days=1))
+        assert "row" in ds
+        assert "column" in ds
+        assert set(np.unique(ds["row"])) <= set("abcdefgh")
+
+    def test_day_conditions_shift_temperatures(self, small_longhorn):
+        ds = run_campaign(small_longhorn, sgemm(), CampaignConfig(days=7))
+        temps = ds.group_reduce("day", "temperature_c")
+        values = np.array(list(temps.values()))
+        assert np.ptp(values) > 0.5  # facility drift is visible

@@ -1,0 +1,86 @@
+"""Tests for the pathological-run mechanism (extreme ML stragglers)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import simulate_run
+from repro.workloads import resnet50
+from repro.workloads.base import KernelPhase, Workload
+
+
+def _workload(rate, n_gpus=1, slowdown=(2.0, 3.0)):
+    return Workload(
+        name="probe",
+        phases=(KernelPhase("k", 1e12, 1e6, 0.5, 0.3),),
+        n_gpus=n_gpus,
+        units_per_run=100,
+        performance_metric="kernel_ms" if n_gpus == 1 else "iteration_ms",
+        pathological_run_rate=rate,
+        pathological_slowdown=slowdown,
+    )
+
+
+class TestValidation:
+    def test_rate_bounds(self):
+        with pytest.raises(ConfigError):
+            _workload(rate=0.9)
+        with pytest.raises(ConfigError):
+            _workload(rate=-0.1)
+
+    def test_slowdown_bounds(self):
+        with pytest.raises(ConfigError):
+            _workload(rate=0.1, slowdown=(0.5, 2.0))
+        with pytest.raises(ConfigError):
+            _workload(rate=0.1, slowdown=(3.0, 2.0))
+
+
+class TestSingleGpu:
+    def test_zero_rate_has_no_tail(self, small_longhorn):
+        clean = simulate_run(small_longhorn, _workload(0.0))
+        med = np.median(clean.performance_ms)
+        assert clean.performance_ms.max() < med * 1.6
+
+    def test_pathological_runs_create_tail(self, small_longhorn):
+        hit = simulate_run(small_longhorn, _workload(0.15))
+        med = np.median(hit.performance_ms)
+        assert hit.performance_ms.max() > med * 1.8
+
+    def test_pathological_gpus_draw_less_power(self, small_longhorn):
+        result = simulate_run(small_longhorn, _workload(0.25))
+        med = np.median(result.performance_ms)
+        slow = result.performance_ms > med * 1.7
+        assert slow.any()
+        # A stalled job barely exercises the GPU: low power at normal clocks.
+        assert (np.median(result.true_power_w[slow])
+                < np.median(result.true_power_w[~slow]) - 30.0)
+
+
+class TestMultiGpu:
+    def test_event_shared_across_the_job(self, small_longhorn):
+        wl = _workload(0.25, n_gpus=4)
+        result = simulate_run(small_longhorn, wl)
+        perf = result.performance_ms.reshape(-1, 4)
+        assert np.all(perf == perf[:, :1])
+
+    def test_resnet_default_rates(self):
+        assert resnet50().pathological_run_rate > \
+            resnet50(batch_size=16, n_gpus=1).pathological_run_rate
+
+    def test_rate_scales_tail_mass(self, small_longhorn):
+        def tail_fraction(rate, seed_offset):
+            counts = []
+            for i in range(4):
+                result = simulate_run(
+                    small_longhorn, _workload(rate, n_gpus=4),
+                    day=0, run_index=seed_offset + i,
+                )
+                med = np.median(result.performance_ms)
+                counts.append((result.performance_ms > 1.7 * med).mean())
+            return float(np.mean(counts))
+
+        rare = tail_fraction(0.02, 0)
+        common = tail_fraction(0.30, 100)
+        assert common > rare

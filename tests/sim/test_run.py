@@ -1,0 +1,117 @@
+"""Tests for the single-run simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.defects import DefectType
+from repro.sim.run import EXPECTED_MAX_OF_NORMALS, simulate_run
+from repro.workloads import lammps_reaxc, resnet50, sgemm
+
+
+class TestBasics:
+    def test_shapes(self, small_longhorn):
+        result = simulate_run(small_longhorn, sgemm())
+        n = small_longhorn.n_gpus
+        assert result.n == n
+        for field in ("performance_ms", "frequency_mhz", "power_w",
+                      "temperature_c"):
+            assert getattr(result, field).shape == (n,)
+
+    def test_deterministic(self, small_longhorn):
+        a = simulate_run(small_longhorn, sgemm(), day=2, run_index=1)
+        b = simulate_run(small_longhorn, sgemm(), day=2, run_index=1)
+        np.testing.assert_array_equal(a.performance_ms, b.performance_ms)
+        np.testing.assert_array_equal(a.power_w, b.power_w)
+
+    def test_runs_differ(self, small_longhorn):
+        a = simulate_run(small_longhorn, sgemm(), day=2, run_index=1)
+        b = simulate_run(small_longhorn, sgemm(), day=2, run_index=2)
+        assert not np.array_equal(a.performance_ms, b.performance_ms)
+
+    def test_gpu_subset(self, small_longhorn):
+        subset = np.arange(8)
+        result = simulate_run(small_longhorn, sgemm(), gpu_indices=subset)
+        assert result.n == 8
+        np.testing.assert_array_equal(result.gpu_indices, subset)
+
+    def test_sensor_quantization(self, small_longhorn):
+        result = simulate_run(small_longhorn, sgemm())
+        spec = small_longhorn.spec
+        assert np.all(np.isin(result.frequency_mhz, spec.pstate_array()))
+        np.testing.assert_array_equal(
+            result.temperature_c, np.round(result.temperature_c)
+        )
+
+    def test_sgemm_throttles_below_boost(self, small_longhorn):
+        result = simulate_run(small_longhorn, sgemm())
+        assert np.median(result.true_frequency_mhz) < small_longhorn.spec.f_max_mhz
+        assert result.power_capped.mean() > 0.5
+
+    def test_memory_bound_runs_at_boost(self, small_longhorn):
+        result = simulate_run(small_longhorn, lammps_reaxc())
+        at_max = result.true_frequency_mhz == small_longhorn.spec.f_max_mhz
+        assert at_max.mean() > 0.9
+
+
+class TestPowerLimit:
+    def test_requires_admin(self, small_longhorn):
+        with pytest.raises(SimulationError, match="administrative"):
+            simulate_run(small_longhorn, sgemm(), power_limit_w=150.0)
+
+    def test_lower_limit_slower(self, tiny_cloudlab):
+        full = simulate_run(tiny_cloudlab, sgemm(), power_limit_w=300.0)
+        capped = simulate_run(tiny_cloudlab, sgemm(), power_limit_w=150.0)
+        assert np.median(capped.performance_ms) > np.median(full.performance_ms)
+        assert np.all(capped.true_power_w <= 150.0 + 1e-9)
+
+
+class TestMultiGpu:
+    def test_node_iteration_shared(self, small_longhorn):
+        result = simulate_run(small_longhorn, resnet50())
+        perf = result.performance_ms.reshape(-1, 4)
+        assert np.all(perf == perf[:, :1])  # bulk-synchronous: shared time
+
+    def test_misaligned_allocation_rejected(self, small_longhorn):
+        with pytest.raises(SimulationError, match="single nodes"):
+            simulate_run(
+                small_longhorn, resnet50(),
+                gpu_indices=np.arange(2, 10),  # straddles two nodes
+            )
+
+    def test_wrong_multiple_rejected(self, small_longhorn):
+        with pytest.raises(SimulationError, match="divide"):
+            simulate_run(small_longhorn, resnet50(), gpu_indices=np.arange(6))
+
+    def test_oversized_job_rejected(self, small_longhorn):
+        with pytest.raises(SimulationError, match="per job"):
+            simulate_run(small_longhorn, resnet50(batch_size=64, n_gpus=8))
+
+    def test_straggler_neighbours_wait_at_low_power(self, small_longhorn):
+        """Fig. 15: healthy GPUs on a sick node report max clocks but low power."""
+        cl = small_longhorn
+        sick = np.flatnonzero(cl.defects.kind == int(DefectType.SICK_SLOW))
+        assert sick.shape[0] > 0
+        result = simulate_run(cl, resnet50())
+        node_of = cl.topology.node_of_gpu
+        sick_nodes = set(node_of[sick])
+        healthy_mask = cl.defects.kind == int(DefectType.NONE)
+        neighbour = healthy_mask & np.isin(node_of, list(sick_nodes))
+        clean = healthy_mask & ~np.isin(node_of, list(sick_nodes))
+        # Neighbours run at (or near) boost clock...
+        assert np.median(result.true_frequency_mhz[neighbour]) \
+            >= np.median(result.true_frequency_mhz[clean]) - 10.0
+        # ...but burn much less power while waiting.
+        assert (np.median(result.true_power_w[neighbour])
+                < np.median(result.true_power_w[clean]) - 20.0)
+        # And their node's iteration time is much worse.
+        assert (np.median(result.performance_ms[neighbour])
+                > 1.2 * np.median(result.performance_ms[clean]))
+
+
+class TestJitterAmplification:
+    def test_expected_max_table_monotone(self):
+        ks = sorted(EXPECTED_MAX_OF_NORMALS)
+        values = [EXPECTED_MAX_OF_NORMALS[k] for k in ks]
+        assert values == sorted(values)
+        assert EXPECTED_MAX_OF_NORMALS[1] == 0.0

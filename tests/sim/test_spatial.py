@@ -1,0 +1,96 @@
+"""Tests for spatial/temporal interference effects (Section VII extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.spatial import (
+    NEIGHBOR_COUPLING_C_PER_W,
+    simulate_with_neighbors,
+    spatial_penalty,
+    temporal_soak_slowdown,
+)
+from repro.workloads import lammps_reaxc, resnet50, sgemm
+
+
+class TestSpatial:
+    def test_result_shapes(self, small_longhorn):
+        result = simulate_with_neighbors(small_longhorn, sgemm())
+        assert result.probe_gpu_indices.shape[0] == small_longhorn.n_nodes
+        assert result.performance_idle_ms.shape == result.slowdown.shape
+
+    def test_neighbors_preheat_air_cooled_probes(self, small_longhorn):
+        result = simulate_with_neighbors(small_longhorn, sgemm())
+        preheat = result.temperature_shared_c - result.temperature_idle_c
+        assert np.median(preheat) > 3.0
+        assert np.median(result.slowdown) >= 1.0
+
+    def test_air_couples_more_than_water(self, small_longhorn, small_vortex):
+        air = spatial_penalty(small_longhorn, sgemm())
+        water = spatial_penalty(small_vortex, sgemm())
+        assert air["median_preheat_c"] > water["median_preheat_c"]
+        assert air["median_slowdown"] >= water["median_slowdown"]
+
+    def test_idle_neighbors_are_the_exclusive_protocol(self, small_longhorn):
+        """With activity 0 the 'shared' case collapses to the idle one."""
+        result = simulate_with_neighbors(
+            small_longhorn, sgemm(), neighbor_activity=0.02,
+            neighbor_dram=0.02,
+        )
+        np.testing.assert_allclose(
+            result.performance_shared_ms, result.performance_idle_ms,
+            rtol=0.02,
+        )
+
+    def test_hotter_neighbors_hurt_more(self, small_longhorn):
+        light = spatial_penalty(small_longhorn, sgemm(), neighbor_activity=0.3)
+        heavy = spatial_penalty(small_longhorn, sgemm(), neighbor_activity=0.9)
+        assert heavy["median_preheat_c"] > light["median_preheat_c"]
+
+    def test_multi_gpu_workload_rejected(self, small_longhorn):
+        with pytest.raises(SimulationError):
+            simulate_with_neighbors(small_longhorn, resnet50())
+
+    def test_coupling_table_ordering(self):
+        assert (NEIGHBOR_COUPLING_C_PER_W["air"]
+                > NEIGHBOR_COUPLING_C_PER_W["oil"]
+                > NEIGHBOR_COUPLING_C_PER_W["water"])
+
+    def test_deterministic(self, small_longhorn):
+        a = simulate_with_neighbors(small_longhorn, sgemm(), run_index=3)
+        b = simulate_with_neighbors(small_longhorn, sgemm(), run_index=3)
+        np.testing.assert_array_equal(
+            a.performance_shared_ms, b.performance_shared_ms
+        )
+
+
+class TestTemporal:
+    def test_short_job_after_hot_job_is_slower(self, small_longhorn):
+        slowdown = temporal_soak_slowdown(
+            small_longhorn, sgemm(), idle_gap_s=5.0, job_duration_s=60.0
+        )
+        assert slowdown > 1.01
+
+    def test_penalty_decays_with_gap(self, small_longhorn):
+        short_gap = temporal_soak_slowdown(small_longhorn, sgemm(), 5.0, 60.0)
+        long_gap = temporal_soak_slowdown(small_longhorn, sgemm(), 600.0, 60.0)
+        assert short_gap > long_gap
+        assert long_gap == pytest.approx(1.0, abs=0.01)
+
+    def test_penalty_decays_with_duration(self, small_longhorn):
+        short_job = temporal_soak_slowdown(small_longhorn, sgemm(), 5.0, 60.0)
+        long_job = temporal_soak_slowdown(small_longhorn, sgemm(), 5.0, 3600.0)
+        assert short_job > long_job
+        assert long_job == pytest.approx(1.0, abs=0.01)
+
+    def test_memory_bound_immune(self, small_longhorn):
+        slowdown = temporal_soak_slowdown(
+            small_longhorn, lammps_reaxc(), 5.0, 60.0
+        )
+        assert slowdown == pytest.approx(1.0, abs=0.01)
+
+    def test_validation(self, small_longhorn):
+        with pytest.raises(Exception):
+            temporal_soak_slowdown(small_longhorn, sgemm(), -1.0, 60.0)
+        with pytest.raises(Exception):
+            temporal_soak_slowdown(small_longhorn, sgemm(), 5.0, 0.0)

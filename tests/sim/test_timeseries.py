@@ -1,0 +1,61 @@
+"""Tests for continuous telemetry traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.timeseries import simulate_timeseries
+from repro.workloads import sgemm
+
+
+class TestTimeseries:
+    def test_one_trace_per_gpu(self, tiny_cloudlab):
+        traces = simulate_timeseries(
+            tiny_cloudlab, sgemm(), np.array([0, 5]), duration_s=8.0
+        )
+        assert len(traces) == 2
+        assert traces[0].label == tiny_cloudlab.topology.gpu_labels[0]
+
+    def test_sampling_interval(self, tiny_cloudlab):
+        traces = simulate_timeseries(
+            tiny_cloudlab, sgemm(), np.array([0]), duration_s=5.0,
+            sample_interval_s=0.2,
+        )
+        assert traces[0].interval_s == pytest.approx(0.2, rel=0.1)
+
+    def test_kernel_markers_recorded(self, tiny_cloudlab):
+        traces = simulate_timeseries(
+            tiny_cloudlab, sgemm(), np.array([0]), duration_s=8.0
+        )
+        assert traces[0].kernel_starts_s.shape[0] >= 2
+
+    def test_dvfs_transient_visible(self, tiny_cloudlab):
+        """Fig. 11's shape: frequency rises at launch, then settles lower."""
+        traces = simulate_timeseries(
+            tiny_cloudlab, sgemm(), np.array([0]), duration_s=10.0,
+            sample_interval_s=0.05,
+        )
+        f = traces[0].frequency_mhz
+        assert f.max() > f[-1]           # initial boost above the settle point
+        spec = tiny_cloudlab.spec
+        assert f[-1] < spec.f_max_mhz    # settled below boost
+
+    def test_power_approaches_tdp(self, tiny_cloudlab):
+        traces = simulate_timeseries(
+            tiny_cloudlab, sgemm(), np.array([0]), duration_s=10.0
+        )
+        p = traces[0].power_w
+        assert p[-1] > 0.85 * tiny_cloudlab.spec.tdp_w
+
+    def test_empty_selection_rejected(self, tiny_cloudlab):
+        with pytest.raises(SimulationError):
+            simulate_timeseries(
+                tiny_cloudlab, sgemm(), np.array([]), duration_s=1.0
+            )
+
+    def test_power_limit_needs_admin(self, small_longhorn):
+        with pytest.raises(SimulationError, match="administrative"):
+            simulate_timeseries(
+                small_longhorn, sgemm(), np.array([0]), duration_s=1.0,
+                power_limit_w=100.0,
+            )

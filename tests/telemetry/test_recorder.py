@@ -1,0 +1,101 @@
+"""Tests for the trace recorder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.gpu.specs import V100
+from repro.telemetry.recorder import TraceRecorder
+from repro.telemetry.sample import SensorModel
+
+
+def make_recorder(n=2, interval=0.1, rng=None):
+    return TraceRecorder(
+        labels=[f"g{i}" for i in range(n)],
+        pstates_mhz=V100.pstate_array(),
+        power_gain=np.ones(n),
+        rng=rng if rng is not None else np.random.default_rng(0),
+        interval_s=interval,
+    )
+
+
+def push_n(recorder, count, dt=0.1):
+    for k in range(count):
+        recorder.push(
+            (k + 1) * dt,
+            np.full(recorder.n_tracks, 1402.0),
+            np.full(recorder.n_tracks, 295.0),
+            np.full(recorder.n_tracks, 55.3),
+        )
+
+
+class TestRecording:
+    def test_one_trace_per_track(self):
+        rec = make_recorder(3)
+        push_n(rec, 5)
+        traces = rec.traces()
+        assert len(traces) == 3
+        assert traces[0].label == "g0"
+        assert traces[0].n_samples == 5
+
+    def test_fast_samples_dropped(self):
+        rec = make_recorder(1, interval=0.1)
+        assert rec.push(0.1, np.array([1400.0]), np.array([290.0]),
+                        np.array([50.0]))
+        assert not rec.push(0.15, np.array([1400.0]), np.array([290.0]),
+                            np.array([50.0]))
+        assert rec.push(0.2, np.array([1400.0]), np.array([290.0]),
+                        np.array([50.0]))
+
+    def test_time_order_enforced(self):
+        rec = make_recorder(1)
+        push_n(rec, 3)
+        with pytest.raises(TelemetryError):
+            rec.push(0.1, np.array([1400.0]), np.array([290.0]),
+                     np.array([50.0]))
+
+    def test_sensor_quantization_applied(self):
+        rec = make_recorder(1)
+        push_n(rec, 4)
+        trace = rec.traces()[0]
+        assert np.all(np.isin(trace.frequency_mhz, V100.pstate_array()))
+        np.testing.assert_array_equal(
+            trace.temperature_c, np.round(trace.temperature_c)
+        )
+
+    def test_kernel_markers(self):
+        rec = make_recorder(1)
+        rec.mark_kernel_start(0.05)
+        push_n(rec, 3)
+        np.testing.assert_array_equal(rec.traces()[0].kernel_starts_s, [0.05])
+
+    def test_empty_recorder_rejected(self):
+        with pytest.raises(TelemetryError):
+            make_recorder(1).traces()
+
+
+class TestValidation:
+    def test_interval_below_profiler_floor_rejected(self):
+        with pytest.raises(TelemetryError, match="floor"):
+            make_recorder(1, interval=0.0005)
+
+    def test_label_gain_mismatch_rejected(self):
+        with pytest.raises(TelemetryError):
+            TraceRecorder(
+                labels=["a", "b"],
+                pstates_mhz=V100.pstate_array(),
+                power_gain=np.ones(3),
+                rng=np.random.default_rng(0),
+            )
+
+    def test_custom_sensor_respected(self):
+        sensor = SensorModel(min_interval_ms=50.0)
+        with pytest.raises(TelemetryError):
+            TraceRecorder(
+                labels=["a"],
+                pstates_mhz=V100.pstate_array(),
+                power_gain=np.ones(1),
+                rng=np.random.default_rng(0),
+                sensor=sensor,
+                interval_s=0.01,
+            )

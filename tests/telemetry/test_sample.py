@@ -1,0 +1,86 @@
+"""Tests for the sensor model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.gpu.specs import MI60, V100
+from repro.telemetry.sample import PAPER_METRICS, SensorModel
+
+
+@pytest.fixture()
+def sensor():
+    return SensorModel()
+
+
+class TestPowerSensor:
+    def test_gain_applied(self, sensor, rng):
+        p = sensor.read_power(np.full(1000, 300.0), gain=1.02, rng=rng)
+        assert abs(p.mean() - 306.0) < 0.5
+
+    def test_resolution_rounding(self, rng):
+        sensor = SensorModel(power_noise_w=0.0, power_resolution_w=5.0)
+        p = sensor.read_power(np.array([297.4]), gain=1.0, rng=rng)
+        assert p[0] in (295.0, 300.0)
+
+    def test_noise_magnitude(self, rng):
+        sensor = SensorModel(power_noise_w=2.0, power_resolution_w=0.001)
+        p = sensor.read_power(np.full(5000, 200.0), gain=1.0, rng=rng)
+        assert 1.5 < p.std() < 2.5
+
+
+class TestTemperatureSensor:
+    def test_integer_degrees(self, sensor, rng):
+        t = sensor.read_temperature(np.array([55.3, 61.7, 44.1]), rng)
+        np.testing.assert_array_equal(t, np.round(t))
+
+    def test_noise_bounded(self, rng):
+        sensor = SensorModel(temperature_noise_c=0.0)
+        t = sensor.read_temperature(np.array([55.4]), rng)
+        assert t[0] == 55.0
+
+
+class TestFrequencySensor:
+    def test_snaps_to_ladder(self, sensor):
+        f = sensor.read_frequency(
+            np.array([1400.3, 135.0, 1530.0]), V100.pstate_array()
+        )
+        assert np.all(np.isin(f, V100.pstate_array()))
+
+    def test_nearest_not_floor(self, sensor):
+        f = sensor.read_frequency(np.array([1406.0]), V100.pstate_array())
+        assert f[0] == 1402.5  # nearest step, 3.5 below vs 4 above
+
+    def test_amd_coarse_snap(self, sensor):
+        f = sensor.read_frequency(np.array([1700.0]), MI60.pstate_array())
+        assert f[0] == 1725.0
+
+    def test_out_of_range_clamped(self, sensor):
+        f = sensor.read_frequency(np.array([50.0, 9999.0]), V100.pstate_array())
+        assert f[0] == V100.f_min_mhz
+        assert f[1] == V100.f_max_mhz
+
+    @settings(max_examples=40, deadline=None)
+    @given(freq=st.floats(min_value=100.0, max_value=2000.0))
+    def test_property_snap_error_within_half_step(self, freq):
+        sensor = SensorModel()
+        ladder = V100.pstate_array()
+        f = float(sensor.read_frequency(np.array([freq]), ladder)[0])
+        if ladder[0] <= freq <= ladder[-1]:
+            assert abs(f - freq) <= 7.5 / 2 + 1e-9
+
+
+class TestValidation:
+    def test_metric_names(self):
+        assert PAPER_METRICS == (
+            "performance_ms", "frequency_mhz", "power_w", "temperature_c"
+        )
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            SensorModel(min_interval_ms=0.0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ConfigError):
+            SensorModel(power_noise_w=-1.0)

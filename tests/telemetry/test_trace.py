@@ -1,0 +1,105 @@
+"""Tests for telemetry traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.trace import TelemetryTrace
+
+
+def make_trace(n=100, interval=0.1, label="gpu-0"):
+    t = np.arange(n) * interval
+    return TelemetryTrace(
+        time_s=t,
+        frequency_mhz=1400.0 + 50.0 * np.sin(t),
+        power_w=290.0 + 5.0 * np.cos(t),
+        temperature_c=np.full(n, 55.0),
+        kernel_starts_s=np.array([0.5, 3.0, 7.5]),
+        label=label,
+    )
+
+
+class TestBasics:
+    def test_properties(self):
+        trace = make_trace(100, 0.1)
+        assert trace.n_samples == 100
+        assert trace.duration_s == pytest.approx(9.9)
+        assert trace.interval_s == pytest.approx(0.1)
+
+    def test_channel_length_mismatch_rejected(self):
+        with pytest.raises(TelemetryError):
+            TelemetryTrace(
+                time_s=np.arange(3, dtype=float),
+                frequency_mhz=np.zeros(2),
+                power_w=np.zeros(3),
+                temperature_c=np.zeros(3),
+            )
+
+    def test_non_monotone_time_rejected(self):
+        with pytest.raises(TelemetryError):
+            TelemetryTrace(
+                time_s=np.array([0.0, 2.0, 1.0]),
+                frequency_mhz=np.zeros(3),
+                power_w=np.zeros(3),
+                temperature_c=np.zeros(3),
+            )
+
+    def test_interval_needs_two_samples(self):
+        trace = make_trace(1)
+        with pytest.raises(TelemetryError):
+            _ = trace.interval_s
+
+
+class TestWindow:
+    def test_window_slices_samples_and_markers(self):
+        trace = make_trace(100, 0.1)
+        win = trace.window(2.0, 5.0)
+        assert win.time_s[0] >= 2.0
+        assert win.time_s[-1] <= 5.0
+        np.testing.assert_array_equal(win.kernel_starts_s, [3.0])
+
+    def test_empty_window_rejected(self):
+        trace = make_trace()
+        with pytest.raises(TelemetryError):
+            trace.window(50.0, 60.0)
+        with pytest.raises(TelemetryError):
+            trace.window(5.0, 5.0)
+
+    def test_label_preserved(self):
+        assert make_trace(label="x").window(0.0, 1.0).label == "x"
+
+
+class TestDownsample:
+    def test_downsample(self):
+        trace = make_trace(100)
+        down = trace.downsample(10)
+        assert down.n_samples == 10
+        assert down.frequency_mhz[1] == trace.frequency_mhz[10]
+
+    def test_invalid_factor(self):
+        with pytest.raises(TelemetryError):
+            make_trace().downsample(0)
+
+
+class TestSummaryAndPlot:
+    def test_summary_fields(self):
+        summary = make_trace().summary()
+        assert summary["temperature_c_median"] == 55.0
+        assert summary["power_w_max"] <= 295.0
+        assert set(k.rsplit("_", 1)[1] for k in summary) == {
+            "median", "min", "max"
+        }
+
+    def test_ascii_plot_dimensions(self):
+        art = make_trace().ascii_plot("power_w", width=40, height=8)
+        lines = art.splitlines()
+        assert len(lines) == 9  # header + rows
+        assert all(len(line) <= 40 for line in lines[1:])
+
+    def test_ascii_plot_unknown_channel(self):
+        with pytest.raises(TelemetryError):
+            make_trace().ascii_plot("voltage")
+
+    def test_ascii_plot_needs_samples(self):
+        with pytest.raises(TelemetryError):
+            make_trace(1).ascii_plot("power_w")

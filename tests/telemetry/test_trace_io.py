@@ -1,0 +1,75 @@
+"""Tests for telemetry-trace JSON persistence."""
+
+import gzip
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.io import read_trace_json, write_trace_json
+from repro.telemetry.trace import TelemetryTrace
+
+
+@pytest.fixture()
+def trace():
+    t = np.arange(50) * 0.1
+    return TelemetryTrace(
+        time_s=t,
+        frequency_mhz=1400.0 + 30.0 * np.sin(t),
+        power_w=295.0 + np.cos(t),
+        temperature_c=np.full(50, 55.0),
+        kernel_starts_s=np.array([0.4, 2.2]),
+        label="rowh-col36-n10-2",
+    )
+
+
+class TestRoundtrip:
+    def test_plain_json(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        write_trace_json(trace, path)
+        back = read_trace_json(path)
+        np.testing.assert_allclose(back.time_s, trace.time_s)
+        np.testing.assert_allclose(back.power_w, trace.power_w)
+        np.testing.assert_allclose(back.kernel_starts_s, trace.kernel_starts_s)
+        assert back.label == trace.label
+
+    def test_gzipped_json(self, trace, tmp_path):
+        path = tmp_path / "trace.json.gz"
+        write_trace_json(trace, path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        back = read_trace_json(path)
+        np.testing.assert_allclose(back.frequency_mhz, trace.frequency_mhz)
+
+    def test_simulated_trace_roundtrip(self, tiny_cloudlab, tmp_path):
+        from repro.sim import simulate_timeseries
+        from repro.workloads import sgemm
+
+        original = simulate_timeseries(
+            tiny_cloudlab, sgemm(), np.array([0]), duration_s=3.0
+        )[0]
+        path = tmp_path / "sim.json"
+        write_trace_json(original, path)
+        back = read_trace_json(path)
+        assert back.n_samples == original.n_samples
+        assert back.summary() == original.summary()
+
+
+class TestErrors:
+    def test_unknown_version_rejected(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        write_trace_json(trace, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(TelemetryError, match="format version"):
+            read_trace_json(path)
+
+    def test_missing_field_rejected(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        write_trace_json(trace, path)
+        payload = json.loads(path.read_text())
+        del payload["power_w"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(TelemetryError, match="missing trace field"):
+            read_trace_json(path)

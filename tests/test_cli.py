@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["characterize", "--cluster", "vortex", "--days", "2"],
+            ["screen", "--workloads", "sgemm"],
+            ["sweep", "--limits", "300,200"],
+            ["project", "--target-n", "1000"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Longhorn" in out
+        assert "pagerank" in out
+
+    def test_characterize_small(self, capsys, tmp_path):
+        csv = tmp_path / "data.csv.gz"
+        code = main([
+            "characterize", "--cluster", "vortex", "--scale", "0.34",
+            "--days", "2", "--csv", str(csv),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Variability report: Vortex" in out
+        assert csv.exists()
+
+    def test_screen_small(self, capsys):
+        code = main([
+            "screen", "--cluster", "longhorn", "--scale", "0.25",
+            "--days", "2", "--workloads", "sgemm,lammps",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "confirmed outliers" in out
+
+    def test_sweep(self, capsys):
+        code = main([
+            "sweep", "--limits", "300,150", "--runs", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "300 W" in out
+        assert "150 W" in out
+
+    def test_sweep_without_admin_fails_cleanly(self, capsys):
+        code = main([
+            "sweep", "--cluster", "longhorn", "--scale", "0.25",
+            "--limits", "200", "--runs", "1",
+        ])
+        assert code == 2
+        assert "administrative" in capsys.readouterr().err
+
+    def test_project(self, capsys):
+        code = main([
+            "project", "--cluster", "vortex", "--scale", "0.34",
+            "--days", "2", "--target-n", "27648",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "projected at 27648" in out
+
+    def test_unknown_cluster_fails_cleanly(self, capsys):
+        code = main(["characterize", "--cluster", "nonexistent", "--days", "1"])
+        assert code == 2
+        assert "unknown cluster" in capsys.readouterr().err

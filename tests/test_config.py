@@ -1,0 +1,96 @@
+"""Tests for dataclass-config helpers."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    asdict_shallow,
+    config_from_dict,
+    config_to_dict,
+    dump_json,
+    load_json,
+    require,
+    require_in_range,
+    require_positive,
+)
+from repro.errors import ConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class Inner:
+    gain: float = 1.5
+
+
+@dataclasses.dataclass(frozen=True)
+class Outer:
+    name: str = "x"
+    count: int = 3
+    inner: Inner = dataclasses.field(default_factory=Inner)
+    weights: tuple[float, ...] = (1.0, 2.0)
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "never")
+
+    def test_raises_config_error(self):
+        with pytest.raises(ConfigError, match="broken"):
+            require(False, "broken")
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan"), float("inf")])
+    def test_require_positive_rejects(self, value):
+        with pytest.raises(ConfigError):
+            require_positive(value, "v")
+
+    def test_require_positive_accepts(self):
+        require_positive(0.001, "v")
+
+    def test_require_in_range(self):
+        require_in_range(0.5, 0.0, 1.0, "v")
+        with pytest.raises(ConfigError):
+            require_in_range(1.5, 0.0, 1.0, "v")
+
+
+class TestDictConversion:
+    def test_roundtrip(self):
+        obj = Outer(name="y", count=5, inner=Inner(gain=2.0), weights=(3.0,))
+        data = config_to_dict(obj)
+        back = config_from_dict(Outer, data)
+        assert back == obj
+
+    def test_nested_becomes_dict(self):
+        data = config_to_dict(Outer())
+        assert data["inner"] == {"gain": 1.5}
+
+    def test_tuple_becomes_list_and_back(self):
+        data = config_to_dict(Outer())
+        assert data["weights"] == [1.0, 2.0]
+        assert config_from_dict(Outer, data).weights == (1.0, 2.0)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown keys"):
+            config_from_dict(Outer, {"name": "x", "bogus": 1})
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            config_to_dict({"not": "a dataclass"})
+        with pytest.raises(TypeError):
+            config_from_dict(dict, {})
+
+    def test_asdict_shallow_keeps_nested_objects(self):
+        obj = Outer()
+        shallow = asdict_shallow(obj)
+        assert shallow["inner"] is obj.inner
+
+    def test_asdict_shallow_rejects_non_dataclass(self):
+        with pytest.raises(TypeError):
+            asdict_shallow(42)
+
+
+class TestJsonRoundtrip:
+    def test_dump_and_load(self, tmp_path):
+        obj = Outer(name="z", count=9)
+        path = tmp_path / "cfg.json"
+        dump_json(obj, path)
+        assert load_json(Outer, path) == obj

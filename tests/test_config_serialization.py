@@ -1,0 +1,60 @@
+"""JSON round-trips of the library's real configuration dataclasses.
+
+Campaign definitions are meant to be archived next to their datasets; this
+locks the serialization contract for every user-facing config.
+"""
+
+import pytest
+
+from repro.config import config_from_dict, config_to_dict, dump_json, load_json
+from repro.gpu.defects import DefectConfig
+from repro.gpu.dvfs import DvfsPolicy
+from repro.gpu.silicon import SiliconConfig
+from repro.hostbench import HostBenchConfig
+from repro.mitigation import BlacklistPolicy
+from repro.sim import CampaignConfig
+from repro.sim.engine import EngineConfig
+from repro.telemetry.sample import SensorModel
+
+CONFIGS = [
+    SiliconConfig(voltage_offset_sigma=0.012, leakage_log_sigma=0.2),
+    DefectConfig(power_delivery_rate=0.01,
+                 sick_slow_frequency_cap=(0.6, 0.8)),
+    DvfsPolicy(dither=True, dither_max_duty=0.4),
+    CampaignConfig(days=14, runs_per_day=3, coverage=0.5),
+    EngineConfig(dt_s=0.002, thermal_time_scale=5.0),
+    SensorModel(power_noise_w=2.0),
+    HostBenchConfig(blocks=3, reps_per_block=4),
+    BlacklistPolicy(min_confirmations=3, drain_whole_node=False),
+]
+
+
+@pytest.mark.parametrize(
+    "config", CONFIGS, ids=[type(c).__name__ for c in CONFIGS]
+)
+class TestRoundtrips:
+    def test_dict_roundtrip(self, config):
+        data = config_to_dict(config)
+        assert config_from_dict(type(config), data) == config
+
+    def test_json_file_roundtrip(self, config, tmp_path):
+        path = tmp_path / "config.json"
+        dump_json(config, path)
+        assert load_json(type(config), path) == config
+
+    def test_dict_is_json_safe(self, config):
+        import json
+
+        json.dumps(config_to_dict(config))  # must not raise
+
+
+class TestValidationSurvivesDeserialization:
+    def test_invalid_values_rejected_on_load(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.json"
+        data = config_to_dict(CampaignConfig())
+        data["days"] = 0
+        path.write_text(json.dumps(data))
+        with pytest.raises(Exception):
+            load_json(CampaignConfig, path)

@@ -1,0 +1,100 @@
+"""Cross-validation between independent paths through the model.
+
+Different components compute the same physical quantities by different
+routes (time-stepped work accounting vs roofline algebra; campaign medians
+vs direct solves; projection formula vs Monte Carlo).  These tests pin
+them against each other — the strongest internal-consistency checks the
+simulator has.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import metric_boxstats, pearson
+from repro.sim import CampaignConfig, run_campaign, simulate_run
+from repro.sim.engine import Engine, EngineConfig
+from repro.telemetry.sample import METRIC_PERFORMANCE
+from repro.workloads import sgemm
+
+
+class TestEngineVsRoofline:
+    def test_emergent_kernel_duration_matches_roofline(self, tiny_cloudlab):
+        """The engine never *prescribes* kernel durations — they emerge from
+        work retired at the instantaneous clock.  At settle, they must match
+        the roofline evaluated at the settled frequency."""
+        fleet = tiny_cloudlab.fleet.take(np.arange(2))
+        wl = sgemm()
+        engine = Engine(fleet, wl, EngineConfig(thermal_time_scale=25.0))
+
+        # Let DVFS and thermals settle first.
+        engine.run_for(30.0)
+        settled_f = engine.frequency_mhz().copy()
+        start_counts = engine.state.kernels_completed.copy()
+        start_time = engine.state.time_s
+
+        engine.run_for(30.0)
+        kernels_done = engine.state.kernels_completed - start_counts
+        assert np.all(kernels_done >= 2)
+        # Average wall-clock per kernel (including the launch gap).
+        per_kernel_s = (engine.state.time_s - start_time) / kernels_done
+
+        predicted_ms = wl.unit_time_ms(
+            settled_f,
+            fleet.spec.compute_throughput,
+            fleet.memory_bandwidth_gbs(),
+            fleet.throughput_efficiency(),
+        )
+        gap_s = engine.config.launch_gap_s
+        np.testing.assert_allclose(
+            per_kernel_s, predicted_ms / 1000.0 + gap_s, rtol=0.06
+        )
+
+
+class TestCampaignVsDirectSolve:
+    def test_campaign_medians_match_single_run(self, small_longhorn):
+        """A campaign is runs + noise; its per-GPU medians must agree with a
+        direct noiseless-ish run to within the noise scale."""
+        campaign = run_campaign(
+            small_longhorn, sgemm(), CampaignConfig(days=3, runs_per_day=2)
+        )
+        medians = campaign.per_gpu_median(METRIC_PERFORMANCE)
+        direct = simulate_run(small_longhorn, sgemm(), day=0, run_index=0)
+
+        order = np.argsort(medians["gpu_index"])
+        ratio = (medians[METRIC_PERFORMANCE][order]
+                 / direct.performance_ms)
+        assert np.median(np.abs(ratio - 1.0)) < 0.01
+        # And the fleet statistics agree.
+        v_campaign = metric_boxstats(campaign, METRIC_PERFORMANCE).variation
+        from repro.core.boxstats import BoxStats
+        v_direct = BoxStats.from_values(direct.performance_ms).variation
+        assert v_campaign == pytest.approx(v_direct, rel=0.35)
+
+
+class TestReportedVsTrueSensors:
+    def test_sensor_path_is_unbiased(self, small_longhorn):
+        run = simulate_run(small_longhorn, sgemm())
+        # Reported power differs from truth by gain/noise but not by bias.
+        rel = run.power_w / run.true_power_w
+        assert abs(np.median(rel) - 1.0) < 0.01
+        assert rel.std() < 0.03
+        # Reported temperature within rounding + noise of truth.
+        assert np.abs(run.temperature_c - run.true_temperature_c).max() < 4.0
+
+    def test_reported_frequency_tracks_truth(self, small_longhorn):
+        run = simulate_run(small_longhorn, sgemm())
+        assert pearson(run.frequency_mhz, run.true_frequency_mhz) > 0.98
+
+
+class TestProjectionInternalConsistency:
+    def test_projection_at_own_size_recovers_measurement(self, sgemm_dataset):
+        """Projecting a fleet to its *own* size should approximately return
+        the measured variation (the formula's fixed point)."""
+        from repro.core import project_variation
+
+        med = sgemm_dataset.per_gpu_median(METRIC_PERFORMANCE)
+        values = med[METRIC_PERFORMANCE]
+        measured = metric_boxstats(sgemm_dataset, METRIC_PERFORMANCE).variation
+        projected = project_variation(values, values.shape[0])
+        # The robust-normal fit ignores the defect tail, so allow slack.
+        assert projected == pytest.approx(measured, rel=0.35)

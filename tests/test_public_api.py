@@ -1,0 +1,84 @@
+"""Public-API integrity: exports resolve, are documented, and round-trip.
+
+A release-quality gate: everything advertised in ``__all__`` must exist,
+carry a docstring, and the subpackage inits must agree with their modules.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = (
+    "repro.gpu",
+    "repro.cluster",
+    "repro.workloads",
+    "repro.sim",
+    "repro.telemetry",
+    "repro.core",
+    "repro.mitigation",
+    "repro.hostbench",
+)
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name}"
+
+    def test_no_private_exports(self):
+        assert all(not name.startswith("_") for name in repro.__all__
+                   if name != "__version__")
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+class TestSubpackages:
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_module_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 40
+
+    def test_public_callables_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{module_name}.{name}")
+        assert not undocumented, f"missing docstrings: {undocumented}"
+
+    def test_public_classes_expose_documented_methods(self, module_name):
+        module = importlib.import_module(module_name)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if not inspect.isclass(obj):
+                continue
+            for attr_name, attr in vars(obj).items():
+                if attr_name.startswith("_"):
+                    continue
+                if inspect.isfunction(attr) and not (attr.__doc__ or "").strip():
+                    undocumented.append(f"{module_name}.{name}.{attr_name}")
+        assert not undocumented, f"missing docstrings: {undocumented}"
+
+
+class TestErrorsHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (inspect.isclass(obj) and issubclass(obj, Exception)
+                    and obj is not errors.ReproError
+                    and obj.__module__ == "repro.errors"):
+                assert issubclass(obj, errors.ReproError), name

@@ -1,0 +1,77 @@
+"""Tests for deterministic RNG management."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rng import RngFactory, label_to_words, spawn_generators
+
+
+class TestLabelToWords:
+    def test_stable_mapping(self):
+        assert label_to_words("silicon") == label_to_words("silicon")
+
+    def test_distinct_labels_differ(self):
+        assert label_to_words("a") != label_to_words("b")
+
+    def test_word_count_and_width(self):
+        words = label_to_words("anything")
+        assert len(words) == 4
+        assert all(0 <= w < 2**32 for w in words)
+
+    @given(st.text(max_size=64))
+    def test_any_label_hashes(self, label):
+        words = label_to_words(label)
+        assert len(words) == 4
+
+
+class TestRngFactory:
+    def test_same_seed_same_stream(self):
+        a = RngFactory(7).generator("x").integers(0, 1000, 8)
+        b = RngFactory(7).generator("x").integers(0, 1000, 8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_labels_independent(self):
+        a = RngFactory(7).generator("x").integers(0, 1000, 8)
+        b = RngFactory(7).generator("y").integers(0, 1000, 8)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(7).generator("x").integers(0, 1000, 8)
+        b = RngFactory(8).generator("x").integers(0, 1000, 8)
+        assert not np.array_equal(a, b)
+
+    def test_child_is_deterministic(self):
+        a = RngFactory(7).child("day-3").generator("g").random(4)
+        b = RngFactory(7).child("day-3").generator("g").random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_child_differs_from_parent(self):
+        parent = RngFactory(7).generator("g").random(4)
+        child = RngFactory(7).child("day-3").generator("g").random(4)
+        assert not np.array_equal(parent, child)
+
+    def test_children_with_distinct_labels_differ(self):
+        a = RngFactory(7).child("day-1").generator("g").random(4)
+        b = RngFactory(7).child("day-2").generator("g").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_seed_property(self):
+        assert RngFactory(42).seed == 42
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngFactory("nope")
+
+    def test_numpy_integer_seed_accepted(self):
+        assert RngFactory(np.int64(5)).seed == 5
+
+
+class TestSpawnGenerators:
+    def test_spawns_all_labels(self):
+        gens = spawn_generators(3, ["a", "b", "c"])
+        assert set(gens) == {"a", "b", "c"}
+
+    def test_streams_are_independent(self):
+        gens = spawn_generators(3, ["a", "b"])
+        assert not np.array_equal(gens["a"].random(16), gens["b"].random(16))

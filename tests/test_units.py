@@ -1,0 +1,33 @@
+"""Tests for unit helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_ms_roundtrip():
+    assert units.ms_to_s(1500.0) == 1.5
+    assert units.s_to_ms(1.5) == 1500.0
+
+
+@given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+def test_ms_s_inverse(x):
+    assert abs(units.s_to_ms(units.ms_to_s(x)) - x) < 1e-6
+
+
+def test_mhz_to_hz():
+    assert units.mhz_to_hz(1530.0) == 1.53e9
+
+
+def test_hours_to_s():
+    assert units.hours_to_s(2.0) == 7200.0
+
+
+@given(st.floats(min_value=-200, max_value=2000, allow_nan=False))
+def test_celsius_kelvin_inverse(c):
+    assert abs(units.kelvin_to_celsius(units.celsius_to_kelvin(c)) - c) < 1e-9
+
+
+def test_reference_temperatures_ordering():
+    assert units.CHILLED_WATER_C < units.ROOM_AIR_SUPPLY_C
+    assert units.LEAKAGE_REFERENCE_C > 0

@@ -1,0 +1,193 @@
+"""Tests for the five application models (Table II fidelity)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.specs import MI60, V100
+from repro.workloads import (
+    bert_pretraining,
+    get_workload,
+    lammps_reaxc,
+    list_workloads,
+    pagerank,
+    resnet50,
+    sgemm,
+)
+from repro.workloads.sgemm import SGEMM_N_AMD, SGEMM_N_NVIDIA
+
+
+def _unit_ms(wl, spec=V100, f=None):
+    f = f if f is not None else spec.f_max_mhz
+    return float(wl.unit_time_ms(
+        f, spec.compute_throughput, spec.mem_bandwidth_gbs * 0.93
+    ))
+
+
+class TestSGEMM:
+    def test_single_compute_phase(self):
+        wl = sgemm()
+        assert len(wl.phases) == 1
+        assert wl.phases[0].activity == 1.0
+        assert wl.fu_utilization == 10.0  # Section V-A
+
+    def test_nvidia_kernel_duration_in_paper_band(self):
+        """~2.1-2.5 s per kernel on a V100 (Figs. 2, 5)."""
+        t = _unit_ms(sgemm(), V100, f=1385.0)
+        assert 2000.0 < t < 2600.0
+
+    def test_amd_kernel_duration_in_paper_band(self):
+        """~2.2 s on an MI60 at its settled clocks (Fig. 6b)."""
+        t = _unit_ms(sgemm(n=SGEMM_N_AMD), MI60, f=1725.0)
+        assert 1800.0 < t < 2400.0
+
+    def test_compute_bound(self):
+        wl = sgemm()
+        assert wl.compute_fraction(
+            V100.f_max_mhz, V100.compute_throughput, V100.mem_bandwidth_gbs
+        ) == 1.0
+
+    def test_default_repetitions(self):
+        assert sgemm().units_per_run == 100  # Section IV-A
+
+    def test_tiny_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            sgemm(n=16)
+
+    def test_flop_count(self):
+        wl = sgemm(n=1000)
+        assert wl.total_flop_per_unit() == pytest.approx(2e9)
+
+
+class TestResNet:
+    def test_multi_gpu_default(self):
+        wl = resnet50()
+        assert wl.n_gpus == 4
+        assert wl.performance_metric == "iteration_ms"
+        assert wl.units_per_run == 500
+
+    def test_iteration_duration_near_paper(self):
+        """Iterations land near the 100-150 ms band of Fig. 15a."""
+        t = _unit_ms(resnet50(), V100)
+        assert 80.0 < t < 160.0
+
+    def test_single_gpu_variant(self):
+        wl = resnet50(batch_size=16, n_gpus=1)
+        assert wl.n_gpus == 1
+        assert wl.sync_overhead_ms == 0.0
+        # Same per-GPU work, no allreduce: faster iterations (Section V-A).
+        assert _unit_ms(wl, V100) <= _unit_ms(resnet50(), V100)
+
+    def test_fu_utilization_from_paper(self):
+        assert resnet50().fu_utilization == pytest.approx(5.4)
+
+    def test_batch_must_divide(self):
+        with pytest.raises(ValueError):
+            resnet50(batch_size=10, n_gpus=4)
+
+    def test_below_tdp_at_boost(self):
+        """ResNet must not exceed TDP at boost (it runs at 1530 MHz)."""
+        wl = resnet50()
+        act, dram = wl.steady_load(
+            V100.f_max_mhz, V100.compute_throughput, V100.mem_bandwidth_gbs
+        )
+        p = (
+            act * V100.c_eff_w_per_v2mhz * V100.v_max**2 * V100.f_max_mhz
+            + dram * V100.mem_power_max_w
+            + V100.idle_power_w
+            + V100.leakage_nominal_w * np.exp(V100.leakage_temp_coeff * 35.0)
+        )
+        assert p < V100.tdp_w
+
+
+class TestBERT:
+    def test_characterization(self):
+        wl = bert_pretraining()
+        assert wl.n_gpus == 4
+        assert wl.units_per_run == 250  # Section V-B
+        assert wl.fu_utilization < resnet50().fu_utilization
+
+    def test_lower_activity_than_resnet(self):
+        """BERT's GEMMs are less intense => ~40 W lower power (Takeaway 6)."""
+        act_bert, _ = bert_pretraining().steady_load(
+            V100.f_max_mhz, V100.compute_throughput, V100.mem_bandwidth_gbs
+        )
+        act_resnet, _ = resnet50().steady_load(
+            V100.f_max_mhz, V100.compute_throughput, V100.mem_bandwidth_gbs
+        )
+        assert act_bert < act_resnet
+
+    def test_batch_must_divide(self):
+        with pytest.raises(ValueError):
+            bert_pretraining(batch_size=10, n_gpus=4)
+
+
+class TestLAMMPS:
+    def test_memory_bound(self):
+        wl = lammps_reaxc()
+        frac = wl.compute_fraction(
+            V100.f_max_mhz, V100.compute_throughput, V100.mem_bandwidth_gbs
+        )
+        assert frac < 0.1
+
+    def test_long_kernels_in_paper_band(self):
+        """Four long kernels spanning 20-200 ms (Section V-C)."""
+        wl = lammps_reaxc()
+        long_phases = [p for p in wl.phases if p.name != "short_kernels"]
+        assert len(long_phases) == 4
+        times = [
+            float(p.time_ms(V100.f_max_mhz, V100.compute_throughput,
+                            V100.mem_bandwidth_gbs * 0.93))
+            for p in long_phases
+        ]
+        assert min(times) > 15.0
+        assert max(times) < 250.0
+
+    def test_long_kernels_dominate(self):
+        """Long kernels are ~98% of the runtime (Section V-C)."""
+        wl = lammps_reaxc()
+        total = float(wl.unit_time_ms(
+            V100.f_max_mhz, V100.compute_throughput, V100.mem_bandwidth_gbs
+        ))
+        short = [p for p in wl.phases if p.name == "short_kernels"][0]
+        t_short = float(short.time_ms(
+            V100.f_max_mhz, V100.compute_throughput, V100.mem_bandwidth_gbs
+        ))
+        assert t_short / total < 0.05
+
+    def test_work_scales_with_grid(self):
+        small = lammps_reaxc(grid=(4, 16, 16))
+        big = lammps_reaxc(grid=(8, 16, 16))
+        assert big.total_bytes_per_unit() == pytest.approx(
+            2.0 * small.total_bytes_per_unit()
+        )
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            lammps_reaxc(grid=(0, 16, 16))
+
+    def test_aggregate_metric(self):
+        assert lammps_reaxc().performance_metric == "aggregate_ms"
+
+
+class TestRegistry:
+    def test_all_paper_workloads_listed(self):
+        names = list_workloads()
+        for expected in ("sgemm", "sgemm-amd", "resnet50", "resnet50-1gpu",
+                         "bert", "lammps", "pagerank"):
+            assert expected in names
+
+    def test_get_workload(self):
+        assert get_workload("SGEMM").name == "SGEMM"
+        assert get_workload("sgemm-amd").total_flop_per_unit() == pytest.approx(
+            2.0 * SGEMM_N_AMD**3
+        )
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigError):
+            get_workload("hpl")
+
+    def test_nvidia_default_size(self):
+        assert get_workload("sgemm").total_flop_per_unit() == pytest.approx(
+            2.0 * SGEMM_N_NVIDIA**3
+        )

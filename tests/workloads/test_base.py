@@ -1,0 +1,146 @@
+"""Tests for the workload/roofline abstraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.workloads.base import (
+    SERIALIZATION_FRACTION,
+    KernelPhase,
+    Workload,
+    roofline_time_ms,
+)
+
+
+class TestRoofline:
+    def test_compute_bound_scales_inverse_frequency(self):
+        t1 = roofline_time_ms(1e12, 1e3, 1000.0, 1e7, 900.0)
+        t2 = roofline_time_ms(1e12, 1e3, 2000.0, 1e7, 900.0)
+        assert t1 / t2 == pytest.approx(2.0, rel=1e-3)
+
+    def test_memory_bound_flat_in_frequency(self):
+        t1 = roofline_time_ms(1e3, 1e11, 1000.0, 1e7, 900.0)
+        t2 = roofline_time_ms(1e3, 1e11, 2000.0, 1e7, 900.0)
+        assert t1 == pytest.approx(t2, rel=0.01)
+
+    def test_memory_bound_scales_inverse_bandwidth(self):
+        t1 = roofline_time_ms(0.0, 1e11, 1500.0, 1e7, 900.0)
+        t2 = roofline_time_ms(0.0, 1e11, 1500.0, 1e7, 450.0)
+        assert t2 / t1 == pytest.approx(2.0)
+
+    def test_serialization_term(self):
+        # Pure legs with equal lengths: t = long + frac * short.
+        t = roofline_time_ms(1.5e10, 1e9, 1500.0, 1e7, 1000.0)
+        t_c = 1.5e10 / (1500.0 * 1e7)
+        t_m = 1e9 / (1000.0 * 1e6)
+        assert t == pytest.approx(
+            max(t_c, t_m) + SERIALIZATION_FRACTION * min(t_c, t_m)
+        )
+
+    def test_efficiency_slows_compute_leg(self):
+        fast = roofline_time_ms(1e12, 0.0, 1500.0, 1e7, 900.0, efficiency=1.0)
+        slow = roofline_time_ms(1e12, 0.0, 1500.0, 1e7, 900.0, efficiency=0.5)
+        assert slow == pytest.approx(2.0 * fast)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        flop=st.floats(min_value=1e6, max_value=1e15),
+        mem=st.floats(min_value=1e3, max_value=1e12),
+        f=st.floats(min_value=100.0, max_value=2000.0),
+    )
+    def test_property_positive_and_monotone(self, flop, mem, f):
+        t = roofline_time_ms(flop, mem, f, 1e7, 900.0)
+        assert t > 0
+        t_hi = roofline_time_ms(flop, mem, f * 1.1, 1e7, 900.0)
+        assert t_hi <= t + 1e-12  # never slower at higher clocks
+
+
+class TestKernelPhase:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            KernelPhase("x", -1.0, 1.0, 0.5, 0.5)
+        with pytest.raises(ConfigError):
+            KernelPhase("x", 0.0, 0.0, 0.5, 0.5)
+        with pytest.raises(ConfigError):
+            KernelPhase("x", 1.0, 1.0, 1.5, 0.5)
+        with pytest.raises(ConfigError):
+            KernelPhase("x", 1.0, 1.0, 0.5, 0.5, launches=0)
+
+    def test_time_vectorized(self):
+        phase = KernelPhase("x", 1e12, 1e6, 0.5, 0.3)
+        f = np.array([1000.0, 1500.0])
+        t = phase.time_ms(f, 1e7, 900.0)
+        assert t.shape == (2,)
+        assert t[0] > t[1]
+
+
+def _workload(**over):
+    base = dict(
+        name="W",
+        phases=(
+            KernelPhase("a", 1e12, 1e6, 0.8, 0.3),
+            KernelPhase("b", 1e9, 1e10, 0.3, 0.8),
+        ),
+    )
+    base.update(over)
+    return Workload(**base)
+
+
+class TestWorkload:
+    def test_unit_time_sums_phases(self):
+        wl = _workload()
+        total = float(wl.unit_time_ms(1500.0, 1e7, 900.0))
+        parts = sum(
+            float(p.time_ms(1500.0, 1e7, 900.0)) * p.launches
+            for p in wl.phases
+        )
+        assert total == pytest.approx(parts)
+
+    def test_launch_multiplicity(self):
+        one = _workload(phases=(KernelPhase("a", 1e12, 1e6, 0.8, 0.3),))
+        two = _workload(
+            phases=(KernelPhase("a", 1e12, 1e6, 0.8, 0.3, launches=2),)
+        )
+        assert float(two.unit_time_ms(1500.0, 1e7, 900.0)) == pytest.approx(
+            2.0 * float(one.unit_time_ms(1500.0, 1e7, 900.0))
+        )
+
+    def test_steady_load_is_time_weighted(self):
+        wl = _workload()
+        act, dram = wl.steady_load(1500.0, 1e7, 900.0)
+        assert 0.3 < act < 0.8
+        assert 0.3 < dram < 0.8
+        # Phase a dominates the time, so the weights lean toward it.
+        assert act > 0.55
+
+    def test_single_phase_steady_load_is_exact(self):
+        wl = _workload(phases=(KernelPhase("a", 1e12, 1e6, 0.77, 0.41),))
+        act, dram = wl.steady_load(1500.0, 1e7, 900.0)
+        assert act == pytest.approx(0.77)
+        assert dram == pytest.approx(0.41)
+
+    def test_compute_fraction(self):
+        compute = _workload(phases=(KernelPhase("a", 1e13, 1e3, 1.0, 0.3),))
+        memory = _workload(phases=(KernelPhase("a", 1e3, 1e11, 0.3, 0.8),))
+        assert compute.compute_fraction(1500.0, 1e7, 900.0) == 1.0
+        assert memory.compute_fraction(1500.0, 1e7, 900.0) == 0.0
+
+    def test_totals(self):
+        wl = _workload()
+        assert wl.total_flop_per_unit() == pytest.approx(1e12 + 1e9)
+        assert wl.total_bytes_per_unit() == pytest.approx(1e6 + 1e10)
+
+    def test_is_multi_gpu(self):
+        assert not _workload().is_multi_gpu
+        assert _workload(n_gpus=4).is_multi_gpu
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            _workload(phases=())
+        with pytest.raises(ConfigError):
+            _workload(performance_metric="fps")
+        with pytest.raises(ConfigError):
+            _workload(fu_utilization=11.0)
+        with pytest.raises(ConfigError):
+            _workload(activity_speed_correlation=1.5)

@@ -1,0 +1,123 @@
+"""Tests for the PageRank workload and its real SpMV substrate."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ConfigError
+from repro.workloads.pagerank import (
+    RAJAT30_NNZ,
+    RAJAT30_NODES,
+    derive_spmv_phase,
+    pagerank,
+    pagerank_pull,
+    synthesize_circuit_graph,
+)
+
+
+class TestSynthesizedGraph:
+    def test_shape_and_symmetry(self):
+        adj = synthesize_circuit_graph(n_nodes=2000)
+        assert adj.shape == (2000, 2000)
+        diff = (adj - adj.T).tocoo()
+        assert diff.nnz == 0  # undirected
+
+    def test_mean_degree_near_target(self):
+        adj = synthesize_circuit_graph(n_nodes=20_000, avg_degree=9.6)
+        mean_degree = adj.nnz / adj.shape[0]
+        assert 6.0 < mean_degree < 13.0
+
+    def test_heavy_tailed_hubs(self):
+        adj = synthesize_circuit_graph(n_nodes=20_000)
+        degrees = np.asarray(adj.sum(axis=1)).ravel()
+        assert degrees.max() > 8.0 * degrees.mean()
+
+    def test_deterministic_default(self):
+        a = synthesize_circuit_graph(n_nodes=500)
+        b = synthesize_circuit_graph(n_nodes=500)
+        assert (a != b).nnz == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            synthesize_circuit_graph(n_nodes=2)
+        with pytest.raises(ConfigError):
+            synthesize_circuit_graph(avg_degree=1.0)
+
+
+class TestPagerankPull:
+    def test_sums_to_one(self):
+        adj = synthesize_circuit_graph(n_nodes=500)
+        rank, _ = pagerank_pull(adj)
+        assert rank.sum() == pytest.approx(1.0)
+        assert np.all(rank > 0)
+
+    def test_matches_networkx(self):
+        """Cross-validate against the reference implementation."""
+        graph = nx.erdos_renyi_graph(200, 0.05, seed=3)
+        adj = nx.to_scipy_sparse_array(graph, format="csr")
+        ours, _ = pagerank_pull(sp.csr_matrix(adj), damping=0.85, tol=1e-12)
+        reference = nx.pagerank(graph, alpha=0.85, tol=1e-12)
+        ref = np.array([reference[i] for i in range(200)])
+        np.testing.assert_allclose(ours, ref, atol=1e-8)
+
+    def test_converges(self):
+        adj = synthesize_circuit_graph(n_nodes=300)
+        _, iterations = pagerank_pull(adj, tol=1e-10)
+        assert iterations < 200
+
+    def test_handles_dangling_nodes(self):
+        adj = sp.csr_matrix(np.array([
+            [0, 1, 0],
+            [0, 0, 0],   # dangling
+            [1, 1, 0],
+        ], dtype=float))
+        rank, _ = pagerank_pull(adj)
+        assert rank.sum() == pytest.approx(1.0)
+
+    def test_star_graph_hub_ranks_highest(self):
+        graph = nx.star_graph(20)
+        adj = sp.csr_matrix(nx.to_scipy_sparse_array(graph))
+        rank, _ = pagerank_pull(adj)
+        assert np.argmax(rank) == 0
+
+    def test_invalid_damping(self):
+        adj = synthesize_circuit_graph(n_nodes=100)
+        with pytest.raises(ConfigError):
+            pagerank_pull(adj, damping=1.5)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ConfigError):
+            pagerank_pull(sp.csr_matrix(np.ones((2, 3))))
+
+
+class TestDerivedWorkload:
+    def test_phase_from_matrix(self):
+        adj = synthesize_circuit_graph(n_nodes=1000)
+        phase = derive_spmv_phase(adj)
+        assert phase.compute_flop == pytest.approx(2.0 * adj.nnz)
+        assert phase.memory_bytes > adj.nnz * 12  # irregularity inflation
+
+    def test_default_is_rajat30_sized(self):
+        wl = pagerank()
+        assert wl.total_flop_per_unit() == pytest.approx(2.0 * RAJAT30_NNZ)
+        assert f"{RAJAT30_NODES}" in wl.input_description
+
+    def test_paper_characterization(self):
+        """61% memory stalls, not compute-bound (Section V-D)."""
+        wl = pagerank()
+        assert wl.mem_stall_frac == pytest.approx(0.61)
+        assert wl.fu_utilization < 2.0
+
+    def test_kernel_exceeds_profiler_floor(self):
+        """Input sized so kernels run >1 ms (Section III)."""
+        from repro.gpu.specs import V100
+        t = float(pagerank().unit_time_ms(
+            V100.f_max_mhz, V100.compute_throughput,
+            V100.mem_bandwidth_gbs * 0.93
+        ))
+        assert t > 1.0
+
+    def test_implausible_graph_rejected(self):
+        with pytest.raises(ConfigError):
+            pagerank(n_nodes=100, nnz=10)

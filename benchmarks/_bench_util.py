@@ -2,14 +2,31 @@
 
 from __future__ import annotations
 
+import os
 from typing import Any
 
 import numpy as np
 
 from repro.core import BoxStats, metric_boxstats
 from repro.core.report import ascii_box_row, format_boxstats_table
+from repro.sim import run_campaign as _run_campaign
+from repro.sim.parallel import default_worker_count
 from repro.telemetry.dataset import MeasurementDataset
 from repro.telemetry.sample import PAPER_METRICS
+
+#: Campaign fan-out for the whole benchmark session.  Parallel execution is
+#: bit-identical to serial (tests/sim/test_parallel_equivalence.py), so the
+#: reproduced figures do not depend on this — only the wall clock does.
+#: Override with REPRO_BENCH_WORKERS=1 to force the serial path.
+BENCH_WORKERS = int(
+    os.environ.get("REPRO_BENCH_WORKERS", default_worker_count())
+)
+
+
+def run_campaign(cluster, workload, config):
+    """The session's campaign runner: run_campaign with the bench fan-out."""
+    return _run_campaign(cluster, workload, config, workers=BENCH_WORKERS)
+
 
 #: Column labels for a paper-vs-measured comparison table.
 _HEADER = f"{'quantity':<44} {'paper':>12} {'measured':>12}"

@@ -7,9 +7,9 @@ specific days.  The phenomenon persists regardless of when you measure.
 
 import numpy as np
 
-from _bench_util import emit, pct
+from _bench_util import emit, pct, run_campaign
 from repro.core.daily import day_of_week_stats, weekday_consistency
-from repro.sim import CampaignConfig, run_campaign
+from repro.sim import CampaignConfig
 from repro.workloads import sgemm
 
 

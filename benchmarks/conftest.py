@@ -16,8 +16,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from _bench_util import run_campaign
 from repro.cluster import cloudlab, corona, frontera, longhorn, summit, vortex
-from repro.sim import CampaignConfig, run_campaign
+from repro.sim import CampaignConfig
 from repro.workloads import (
     bert_pretraining,
     lammps_reaxc,

@@ -58,6 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("characterize",
                        help="campaign + full variability report")
     _add_cluster_args(p)
+    _add_workers_arg(p)
     p.add_argument("--workload", default="sgemm",
                    help="workload name (see `repro list`)")
     p.add_argument("--days", type=int, default=7)
@@ -68,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("screen", help="outlier triage across applications")
     _add_cluster_args(p)
+    _add_workers_arg(p)
     p.add_argument("--workloads", default="sgemm,resnet50",
                    help="comma-separated workload names")
     p.add_argument("--days", type=int, default=3)
@@ -82,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("project",
                        help="project variability to a larger cluster")
     _add_cluster_args(p)
+    _add_workers_arg(p)
     p.add_argument("--target-n", type=int, required=True,
                    help="hypothetical cluster size (GPUs)")
     p.add_argument("--days", type=int, default=5)
@@ -96,6 +99,12 @@ def _add_cluster_args(p: argparse.ArgumentParser,
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scale", type=float, default=1.0,
                    help="shrink the cluster for quick looks (0-1]")
+
+
+def _add_workers_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="campaign worker processes (results are "
+                        "bit-identical to serial; default serial)")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -129,7 +138,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     suite = VariabilitySuite(cluster, CampaignConfig(
         days=args.days, runs_per_day=args.runs_per_day,
         coverage=args.coverage,
-    ))
+    ), workers=args.workers)
     dataset = suite.measure(workload)
     report = suite.analyze(dataset)
     print(report.render())
@@ -146,7 +155,8 @@ def _cmd_screen(args: argparse.Namespace) -> int:
     reports = []
     for name in args.workloads.split(","):
         workload = get_workload(name.strip())
-        dataset = run_campaign(cluster, workload, config)
+        dataset = run_campaign(cluster, workload, config,
+                               workers=args.workers)
         report = flag_outlier_gpus(dataset, METRIC_PERFORMANCE)
         reports.append(report)
         print(f"{workload.name:<18} {report.n_outlier_gpus:>3} outlier GPUs "
@@ -178,7 +188,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_project(args: argparse.Namespace) -> int:
     cluster = get_preset(args.cluster, seed=args.seed, scale=args.scale)
     dataset = run_campaign(
-        cluster, get_workload("sgemm"), CampaignConfig(days=args.days)
+        cluster, get_workload("sgemm"), CampaignConfig(days=args.days),
+        workers=args.workers,
     )
     measured = metric_boxstats(dataset, METRIC_PERFORMANCE)
     med = dataset.per_gpu_median(METRIC_PERFORMANCE)

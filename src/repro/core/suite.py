@@ -72,19 +72,27 @@ class VariabilitySuite:
         The machine to characterize.
     campaign:
         Measurement-campaign shape (days, coverage, runs per day).
+    workers:
+        Campaign worker processes (``None`` = serial).  Measurement
+        results are bit-identical either way; see
+        :mod:`repro.sim.parallel`.
     """
 
     def __init__(
         self,
         cluster: Cluster,
         campaign: CampaignConfig | None = None,
+        workers: int | None = None,
     ) -> None:
         self.cluster = cluster
         self.campaign = campaign if campaign is not None else CampaignConfig()
+        self.workers = workers
 
     def measure(self, workload: Workload) -> MeasurementDataset:
         """Run the measurement campaign for one workload."""
-        return run_campaign(self.cluster, workload, self.campaign)
+        return run_campaign(
+            self.cluster, workload, self.campaign, workers=self.workers
+        )
 
     def analyze(
         self,

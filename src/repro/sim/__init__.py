@@ -11,13 +11,16 @@ Two complementary simulators over the same physics:
 
 :mod:`repro.sim.campaign` sweeps runs across days/weeks and nodes, emitting
 the long-form :class:`~repro.telemetry.dataset.MeasurementDataset` the
-analysis suite consumes.
+analysis suite consumes.  :mod:`repro.sim.parallel` shards that sweep
+across worker processes with bit-identical results
+(``run_campaign(..., workers=N)``).
 """
 
-from .run import RunMeasurements, simulate_run
+from .run import RunMeasurements, run_rng_label, simulate_run
 from .engine import Engine, EngineConfig
 from .timeseries import simulate_timeseries
 from .campaign import CampaignConfig, run_campaign
+from .parallel import ParallelConfig, ShardTask, execute_campaign, plan_shards
 from .spatial import (
     SharedNodeResult,
     simulate_with_neighbors,
@@ -28,11 +31,16 @@ from .spatial import (
 __all__ = [
     "RunMeasurements",
     "simulate_run",
+    "run_rng_label",
     "Engine",
     "EngineConfig",
     "simulate_timeseries",
     "CampaignConfig",
     "run_campaign",
+    "ParallelConfig",
+    "ShardTask",
+    "execute_campaign",
+    "plan_shards",
     "SharedNodeResult",
     "simulate_with_neighbors",
     "spatial_penalty",

@@ -6,19 +6,27 @@ allocations, and record everything.  :func:`run_campaign` reproduces that
 protocol and emits a long-form :class:`~repro.telemetry.dataset.MeasurementDataset`
 with one row per (GPU, run), carrying the identity columns every analysis
 in :mod:`repro.core` groups by.
+
+Execution is delegated to :mod:`repro.sim.parallel`, which partitions the
+(day, run) grid — and, on very large fleets, GPU-index shards within a run
+— into a deterministic shard plan.  Pass ``workers=N`` (or a full
+:class:`~repro.sim.parallel.ParallelConfig`) to fan the plan out across
+processes; the result is bit-identical to the serial execution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..cluster.allocator import ExclusiveNodeAllocator
 from ..cluster.cluster import Cluster
 from ..cluster.facility import FacilityModel
 from ..config import require
+from ..errors import ConfigError
 from ..telemetry.dataset import MeasurementDataset
+from ..telemetry.progress import CampaignProgress
 from ..telemetry.sample import (
     METRIC_FREQUENCY,
     METRIC_PERFORMANCE,
@@ -26,7 +34,9 @@ from ..telemetry.sample import (
     METRIC_TEMPERATURE,
 )
 from ..workloads.base import Workload
-from .run import simulate_run
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .parallel import ParallelConfig
 
 __all__ = ["CampaignConfig", "run_campaign"]
 
@@ -57,12 +67,20 @@ class CampaignConfig:
         require(self.days >= 1, "days must be >= 1")
         require(self.runs_per_day >= 1, "runs_per_day must be >= 1")
         require(0 < self.coverage <= 1, "coverage must be in (0, 1]")
+        require(
+            self.power_limit_w is None or self.power_limit_w > 0,
+            f"power_limit_w must be positive, got {self.power_limit_w}",
+        )
 
 
 def run_campaign(
     cluster: Cluster,
     workload: Workload,
     config: CampaignConfig | None = None,
+    *,
+    workers: int | None = None,
+    parallel: "ParallelConfig | None" = None,
+    progress: CampaignProgress | None = None,
 ) -> MeasurementDataset:
     """Execute a campaign and return the long-form measurement table.
 
@@ -71,29 +89,36 @@ def run_campaign(
     / ``column`` on grid topologies), the four reported metrics, the
     ``true_*`` ground-truth columns, cap flags, and ``defect_kind`` (ground
     truth for validation — a real operator would not have it).
-    """
-    config = config if config is not None else CampaignConfig()
-    topo = cluster.topology
-    allocator = ExclusiveNodeAllocator(topo)
 
-    parts: list[MeasurementDataset] = []
-    for day in range(config.days):
-        day_rng = cluster.rng_factory.child(f"campaign-day-{day}").generator(
-            "coverage"
-        )
-        allocations = allocator.sweep(coverage=config.coverage, rng=day_rng)
-        gpu_indices = np.concatenate([a.gpu_indices for a in allocations])
-        for run_index in range(config.runs_per_day):
-            result = simulate_run(
-                cluster,
-                workload,
-                day=day,
-                run_index=run_index,
-                gpu_indices=gpu_indices,
-                power_limit_w=config.power_limit_w,
+    Parameters
+    ----------
+    cluster, workload, config:
+        What to measure, with what, for how long.
+    workers:
+        Shorthand for ``parallel=ParallelConfig(workers=...)``: fan the
+        campaign's shard plan out over this many worker processes.
+        ``None`` or ``1`` executes serially in-process.  The returned
+        dataset is exactly equal — every column, bit for bit — regardless
+        of the worker count (see :mod:`repro.sim.parallel`).
+    parallel:
+        Full sharding/execution configuration; mutually exclusive with
+        ``workers``.
+    progress:
+        Optional :class:`~repro.telemetry.progress.CampaignProgress` sink
+        receiving one per-shard timing record as shards complete.
+    """
+    from .parallel import ParallelConfig, execute_campaign
+
+    config = config if config is not None else CampaignConfig()
+    if workers is not None:
+        if parallel is not None:
+            raise ConfigError(
+                "pass either workers= or parallel=, not both"
             )
-            parts.append(_to_dataset(cluster, workload, day, run_index, result))
-    return MeasurementDataset.concat(parts)
+        parallel = ParallelConfig(workers=workers)
+    return execute_campaign(
+        cluster, workload, config, parallel=parallel, progress=progress
+    )
 
 
 def _to_dataset(

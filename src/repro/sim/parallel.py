@@ -1,0 +1,478 @@
+"""Sharded, parallel campaign execution — bit-identical to the serial path.
+
+The paper's methodology multiplies out to thousands of (GPU, day, run)
+measurements per cluster; executed one run at a time, the Summit preset
+(27,648 GPUs) dominates the wall clock of every figure script.  This module
+partitions a campaign into independent **shards** and executes them across
+``concurrent.futures`` workers.
+
+Equivalence, not approximation
+------------------------------
+A parallel simulator is only trustworthy if it is provably the same
+simulator.  Three properties make the parallel result *exactly* equal —
+every column, every bit — to the serial one:
+
+1. **Keyed RNG streams.**  Every random draw of a run derives from
+   ``cluster.rng_factory.child(run_rng_label(workload, day, run))`` — a
+   pure function of the campaign coordinates.  A worker process
+   reconstructs the exact stream from the coordinates alone; no RNG state
+   crosses the executor boundary.  When a run is split into GPU shards,
+   each shard draws from its own child stream
+   (``generator("shard-{i}-of-{m}")``) and the facility-wide coolant
+   fluctuation — physically shared by every GPU in the run — comes from a
+   dedicated run-level stream that every shard reconstructs identically.
+2. **Worker-independent planning.**  :func:`plan_shards` depends only on
+   the cluster, the workload, and the campaign/parallel configuration —
+   never on the worker count or the backend.  Serial and parallel
+   executors run literally the same plan, so "serial vs parallel" can
+   only differ in *who* executes a shard, which the physics cannot see.
+3. **Canonical merge order.**  Results are placed by plan position and
+   concatenated in (day, run, shard) order, i.e. ascending
+   (day, run, gpu_index).  No cross-shard floating-point reduction
+   happens during the merge — only concatenation — so there is no
+   reduction-order sensitivity.
+
+The equivalence is enforced by ``tests/sim/test_parallel_equivalence.py``
+(exact equality across workers x shard shapes x every cluster preset) and
+pinned across refactors by the golden fixtures under ``tests/golden/``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..cluster.allocator import ExclusiveNodeAllocator
+from ..cluster.cluster import Cluster
+from ..config import require
+from ..errors import SimulationError
+from ..telemetry.dataset import MeasurementDataset
+from ..telemetry.progress import CampaignProgress, ShardTiming
+from ..workloads.base import Workload
+from .run import RUN_COOLANT_SIGMA_SHARED, run_rng_label, simulate_run
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .campaign import CampaignConfig
+
+__all__ = [
+    "DEFAULT_MAX_GPUS_PER_SHARD",
+    "ParallelConfig",
+    "ShardTask",
+    "plan_shards",
+    "execute_campaign",
+]
+
+#: Runs on fleets larger than this are split into GPU-index shards.  Sized
+#: so every preset except full-scale Summit stays a single shard per run
+#: (preserving the seed's exact serial streams) while Summit splits into
+#: four pieces that parallelize and fit comfortably in worker memory.
+DEFAULT_MAX_GPUS_PER_SHARD = 8192
+
+_BACKENDS = ("auto", "serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How a campaign is sharded and executed.
+
+    Parameters
+    ----------
+    workers:
+        Worker count.  ``None`` or ``1`` executes the plan serially in
+        the calling process (no pool is created).  The pool never exceeds
+        the number of shards in the plan.
+    backend:
+        ``"process"`` (default for ``workers > 1``) isolates workers in
+        subprocesses — true parallelism for the NumPy-heavy physics.
+        ``"thread"`` shares the cluster object and suits tests or
+        GIL-releasing BLAS-bound workloads.  ``"serial"`` forces in-process
+        execution regardless of ``workers``; ``"auto"`` picks for you.
+    max_gpus_per_shard:
+        Within-run sharding threshold.  Runs covering more GPUs than this
+        are split into node-aligned GPU shards; ``None`` disables
+        within-run sharding entirely.  This changes *which* keyed RNG
+        streams a run consumes, so it must be identical between any two
+        executions you expect to compare bit-for-bit (it is part of the
+        plan, not of the execution).
+    """
+
+    workers: int | None = None
+    backend: str = "auto"
+    max_gpus_per_shard: int | None = DEFAULT_MAX_GPUS_PER_SHARD
+
+    def __post_init__(self) -> None:
+        require(
+            self.workers is None or self.workers >= 1,
+            f"workers must be None or >= 1, got {self.workers}",
+        )
+        require(
+            self.backend in _BACKENDS,
+            f"backend must be one of {_BACKENDS}, got {self.backend!r}",
+        )
+        require(
+            self.max_gpus_per_shard is None or self.max_gpus_per_shard >= 1,
+            "max_gpus_per_shard must be None or >= 1, "
+            f"got {self.max_gpus_per_shard}",
+        )
+
+    @property
+    def effective_workers(self) -> int:
+        """The worker count as an integer (serial == 1)."""
+        return 1 if self.workers is None else int(self.workers)
+
+    def resolved_backend(self) -> str:
+        """The backend actually used: ``serial``, ``thread`` or ``process``."""
+        if self.backend != "auto":
+            return self.backend
+        return "serial" if self.effective_workers <= 1 else "process"
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One schedulable unit: a (day, run) pair restricted to a GPU shard.
+
+    ``gpu_indices`` is the shard's slice of the day's covered GPUs, in
+    ascending order and node-aligned (whole nodes only), so multi-GPU
+    bulk-synchronous jobs never straddle a shard boundary.
+    """
+
+    day: int
+    run_index: int
+    shard_index: int
+    n_shards: int
+    gpu_indices: np.ndarray = field(repr=False)
+
+    @property
+    def n_gpus(self) -> int:
+        """GPUs simulated by this shard."""
+        return int(self.gpu_indices.shape[0])
+
+
+def plan_shards(
+    cluster: Cluster,
+    workload: Workload,
+    config: "CampaignConfig",
+    parallel: ParallelConfig | None = None,
+) -> list[ShardTask]:
+    """The campaign's full shard plan, in canonical (day, run, shard) order.
+
+    Deterministic in (cluster, workload, config, parallel) and — crucially
+    — independent of worker count and backend: the plan defines *what* the
+    campaign computes, the executor only decides *where*.
+
+    The per-day coverage draw consumes the same keyed stream
+    (``child("campaign-day-{d}").generator("coverage")``) the serial
+    campaign runner always used, so plans replay exactly.
+    """
+    parallel = parallel if parallel is not None else ParallelConfig()
+    allocator = ExclusiveNodeAllocator(cluster.topology)
+    tasks: list[ShardTask] = []
+    for day in range(config.days):
+        day_rng = cluster.rng_factory.child(f"campaign-day-{day}").generator(
+            "coverage"
+        )
+        allocations = allocator.sweep(coverage=config.coverage, rng=day_rng)
+        shards = _partition_nodes(
+            [a.gpu_indices for a in allocations], parallel.max_gpus_per_shard
+        )
+        for run_index in range(config.runs_per_day):
+            for shard_index, gpus in enumerate(shards):
+                tasks.append(
+                    ShardTask(
+                        day=day,
+                        run_index=run_index,
+                        shard_index=shard_index,
+                        n_shards=len(shards),
+                        gpu_indices=gpus,
+                    )
+                )
+    return tasks
+
+
+def _partition_nodes(
+    node_gpu_arrays: list[np.ndarray], max_gpus_per_shard: int | None
+) -> list[np.ndarray]:
+    """Greedily pack whole nodes into contiguous shards of bounded size.
+
+    A shard always contains at least one node, so a node wider than the
+    bound becomes a singleton shard rather than an error.
+    """
+    if max_gpus_per_shard is None:
+        return [np.concatenate(node_gpu_arrays)]
+    shards: list[np.ndarray] = []
+    current: list[np.ndarray] = []
+    current_n = 0
+    for gpus in node_gpu_arrays:
+        if current and current_n + gpus.shape[0] > max_gpus_per_shard:
+            shards.append(np.concatenate(current))
+            current, current_n = [], 0
+        current.append(gpus)
+        current_n += gpus.shape[0]
+    if current:
+        shards.append(np.concatenate(current))
+    return shards
+
+
+# ---------------------------------------------------------------------------
+# shard execution (shared by every backend; runs in workers for pools)
+# ---------------------------------------------------------------------------
+
+
+def _execute_shard(
+    cluster: Cluster,
+    workload: Workload,
+    power_limit_w: float | None,
+    task: ShardTask,
+) -> tuple[MeasurementDataset, float]:
+    """Simulate one shard and convert it to its dataset slice.
+
+    Single-shard runs take the exact legacy path (the ``"run"`` stream of
+    the run's keyed child factory), so campaigns on ordinarily-sized
+    fleets are byte-identical to the pre-sharding executor.  Multi-shard
+    runs reconstruct, from the same child factory, (a) the run-level
+    shared coolant fluctuation and (b) the shard's private stream.
+    """
+    started = time.perf_counter()
+    if task.n_shards == 1:
+        result = simulate_run(
+            cluster,
+            workload,
+            day=task.day,
+            run_index=task.run_index,
+            gpu_indices=task.gpu_indices,
+            power_limit_w=power_limit_w,
+        )
+    else:
+        run_factory = cluster.rng_factory.child(
+            run_rng_label(workload, task.day, task.run_index)
+        )
+        shared_offset = float(
+            run_factory.generator("coolant-shared").normal(
+                0.0, RUN_COOLANT_SIGMA_SHARED
+            )
+        )
+        shard_rng = run_factory.generator(
+            f"shard-{task.shard_index}-of-{task.n_shards}"
+        )
+        result = simulate_run(
+            cluster,
+            workload,
+            day=task.day,
+            run_index=task.run_index,
+            gpu_indices=task.gpu_indices,
+            power_limit_w=power_limit_w,
+            rng=shard_rng,
+            coolant_shared_offset_c=shared_offset,
+        )
+    from .campaign import _to_dataset  # deferred: campaign imports us too
+
+    dataset = _to_dataset(cluster, workload, task.day, task.run_index, result)
+    return dataset, time.perf_counter() - started
+
+
+def _shard_error(task: ShardTask, exc: BaseException) -> SimulationError:
+    shard = (
+        f", shard {task.shard_index + 1}/{task.n_shards}"
+        if task.n_shards > 1
+        else ""
+    )
+    return SimulationError(
+        f"campaign shard failed (day={task.day}, run={task.run_index}"
+        f"{shard}, {task.n_gpus} GPUs): {exc}"
+    )
+
+
+# -- process-pool plumbing ---------------------------------------------------
+#
+# The cluster and workload are shipped once per worker through the pool
+# initializer (cheap: a Longhorn cluster pickles to ~70 kB); tasks then
+# carry only their shard coordinates and GPU indices.
+
+_WORKER_CONTEXT: dict[str, tuple] = {}
+
+
+def _init_worker(
+    cluster: Cluster, workload: Workload, power_limit_w: float | None
+) -> None:
+    _WORKER_CONTEXT["campaign"] = (cluster, workload, power_limit_w)
+
+
+def _run_task_in_worker(
+    index: int, task: ShardTask
+) -> tuple[int, MeasurementDataset, float]:
+    cluster, workload, power_limit_w = _WORKER_CONTEXT["campaign"]
+    dataset, duration = _execute_shard(cluster, workload, power_limit_w, task)
+    return index, dataset, duration
+
+
+def _make_executor(
+    backend: str,
+    n_workers: int,
+    cluster: Cluster,
+    workload: Workload,
+    power_limit_w: float | None,
+) -> Executor:
+    if backend == "thread":
+        return ThreadPoolExecutor(max_workers=n_workers)
+    # Fork keeps worker start-up cheap where available (the initializer
+    # payload still travels by pickle, so spawn-only platforms work too).
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+    return ProcessPoolExecutor(
+        max_workers=n_workers,
+        mp_context=ctx,
+        initializer=_init_worker,
+        initargs=(cluster, workload, power_limit_w),
+    )
+
+
+# ---------------------------------------------------------------------------
+# campaign executor
+# ---------------------------------------------------------------------------
+
+
+def execute_campaign(
+    cluster: Cluster,
+    workload: Workload,
+    config: "CampaignConfig",
+    parallel: ParallelConfig | None = None,
+    progress: CampaignProgress | None = None,
+) -> MeasurementDataset:
+    """Plan, execute (serially or in parallel), and merge a campaign.
+
+    This is the engine behind :func:`repro.sim.campaign.run_campaign`;
+    call that instead unless you are composing executors.
+    """
+    parallel = parallel if parallel is not None else ParallelConfig()
+    tasks = plan_shards(cluster, workload, config, parallel)
+    if progress is not None:
+        progress.begin(len(tasks))
+    backend = parallel.resolved_backend()
+    n_workers = min(parallel.effective_workers, len(tasks))
+    if backend == "serial" or n_workers <= 1:
+        parts = _execute_serial(cluster, workload, config, tasks, progress)
+    else:
+        parts = _execute_pool(
+            cluster, workload, config, tasks, backend, n_workers, progress
+        )
+    return MeasurementDataset.concat(parts)
+
+
+def _record(
+    progress: CampaignProgress | None,
+    task: ShardTask,
+    dataset: MeasurementDataset,
+    duration: float,
+) -> None:
+    if progress is None:
+        return
+    progress.record(
+        ShardTiming(
+            day=task.day,
+            run_index=task.run_index,
+            shard_index=task.shard_index,
+            n_shards=task.n_shards,
+            n_rows=dataset.n_rows,
+            duration_s=duration,
+        )
+    )
+
+
+def _execute_serial(
+    cluster: Cluster,
+    workload: Workload,
+    config: "CampaignConfig",
+    tasks: list[ShardTask],
+    progress: CampaignProgress | None,
+) -> list[MeasurementDataset]:
+    parts: list[MeasurementDataset] = []
+    for task in tasks:
+        try:
+            dataset, duration = _execute_shard(
+                cluster, workload, config.power_limit_w, task
+            )
+        except SimulationError as exc:
+            raise _shard_error(task, exc) from exc
+        _record(progress, task, dataset, duration)
+        parts.append(dataset)
+    return parts
+
+
+def _execute_pool(
+    cluster: Cluster,
+    workload: Workload,
+    config: "CampaignConfig",
+    tasks: list[ShardTask],
+    backend: str,
+    n_workers: int,
+    progress: CampaignProgress | None,
+) -> list[MeasurementDataset]:
+    parts: list[MeasurementDataset | None] = [None] * len(tasks)
+    executor = _make_executor(
+        backend, n_workers, cluster, workload, config.power_limit_w
+    )
+    submit: Callable
+    if backend == "thread":
+        # Threads share the cluster object directly; no initializer needed.
+        def submit(i: int, t: ShardTask):
+            return executor.submit(
+                _run_thread_task, cluster, workload, config.power_limit_w, i, t
+            )
+    else:
+        def submit(i: int, t: ShardTask):
+            return executor.submit(_run_task_in_worker, i, t)
+
+    try:
+        futures = {submit(i, t): t for i, t in enumerate(tasks)}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_EXCEPTION)
+            for future in done:
+                task = futures[future]
+                try:
+                    index, dataset, duration = future.result()
+                except Exception as exc:
+                    # Fail fast with shard context rather than letting the
+                    # remaining futures drain (or the caller hang on a
+                    # half-merged campaign).
+                    raise _shard_error(task, exc) from exc
+                parts[index] = dataset
+                _record(progress, task, dataset, duration)
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+    assert all(p is not None for p in parts)
+    return parts  # type: ignore[return-value]
+
+
+def _run_thread_task(
+    cluster: Cluster,
+    workload: Workload,
+    power_limit_w: float | None,
+    index: int,
+    task: ShardTask,
+) -> tuple[int, MeasurementDataset, float]:
+    dataset, duration = _execute_shard(cluster, workload, power_limit_w, task)
+    return index, dataset, duration
+
+
+def default_worker_count(cap: int = 4) -> int:
+    """A sensible worker count for this machine: ``min(cap, cpu_count)``.
+
+    Used by the benchmark suite so figure scripts parallelize on capable
+    machines and degrade to the serial path on single-core CI runners.
+    """
+    return max(1, min(cap, os.cpu_count() or 1))

@@ -31,16 +31,34 @@ from ..errors import SimulationError
 from ..telemetry.sample import SensorModel
 from ..workloads.base import WAIT_ACTIVITY, Workload
 
-__all__ = ["RunMeasurements", "simulate_run", "EXPECTED_MAX_OF_NORMALS"]
+__all__ = [
+    "RunMeasurements",
+    "simulate_run",
+    "run_rng_label",
+    "EXPECTED_MAX_OF_NORMALS",
+    "RUN_COOLANT_SIGMA_SHARED",
+    "RUN_COOLANT_SIGMA_LOCAL",
+]
 
 #: E[max of k standard normals] — the bulk-synchronous amplification of
 #: per-iteration jitter for k GPUs (k=1 means no amplification).
 EXPECTED_MAX_OF_NORMALS = {1: 0.0, 2: 0.564, 3: 0.846, 4: 1.029, 6: 1.267, 8: 1.423}
 
 #: Std-dev (degC) of the facility-wide coolant fluctuation within one run.
-_RUN_COOLANT_SIGMA_SHARED = 0.35
+RUN_COOLANT_SIGMA_SHARED = 0.35
 #: Std-dev (degC) of per-GPU coolant fluctuation within one run.
-_RUN_COOLANT_SIGMA_LOCAL = 0.20
+RUN_COOLANT_SIGMA_LOCAL = 0.20
+
+
+def run_rng_label(workload: Workload, day: int, run_index: int) -> str:
+    """The :meth:`~repro.rng.RngFactory.child` label that names one run.
+
+    Every random draw of a run derives from
+    ``cluster.rng_factory.child(run_rng_label(...))``, so any executor —
+    serial, threaded, or a separate process — can reconstruct the exact
+    stream from the campaign coordinates alone.
+    """
+    return f"run-{workload.name}-day-{day}-idx-{run_index}"
 
 
 @dataclass(frozen=True)
@@ -77,6 +95,9 @@ def simulate_run(
     gpu_indices: np.ndarray | None = None,
     power_limit_w: float | None = None,
     sensor: SensorModel | None = None,
+    *,
+    rng: np.random.Generator | None = None,
+    coolant_shared_offset_c: float | None = None,
 ) -> RunMeasurements:
     """Simulate one run and return its reported measurements.
 
@@ -97,6 +118,16 @@ def simulate_run(
         ``cluster.admin_access``.
     sensor:
         Sensor model override.
+    rng:
+        Random stream override.  The default is the keyed stream
+        ``cluster.rng_factory.child(run_rng_label(...)).generator("run")``;
+        the sharded campaign executor passes per-shard streams instead
+        (see :mod:`repro.sim.parallel`).
+    coolant_shared_offset_c:
+        Pre-drawn facility-wide coolant fluctuation for this run.  By
+        default it is the first draw of ``rng``; shard executors pass the
+        run-level value so every GPU shard of one run shares the same
+        facility environment.
     """
     if power_limit_w is not None and not cluster.admin_access:
         raise SimulationError(
@@ -115,15 +146,18 @@ def simulate_run(
     fleet = fleet_full.take(gpu_indices)
     n = fleet.n
 
-    rng = cluster.rng_factory.child(
-        f"run-{workload.name}-day-{day}-idx-{run_index}"
-    ).generator("run")
+    if rng is None:
+        rng = cluster.rng_factory.child(
+            run_rng_label(workload, day, run_index)
+        ).generator("run")
 
     # Run-level thermal environment fluctuation.
+    if coolant_shared_offset_c is None:
+        coolant_shared_offset_c = rng.normal(0.0, RUN_COOLANT_SIGMA_SHARED)
     coolant = (
         fleet.coolant_c
-        + rng.normal(0.0, _RUN_COOLANT_SIGMA_SHARED)
-        + rng.normal(0.0, _RUN_COOLANT_SIGMA_LOCAL, size=n)
+        + coolant_shared_offset_c
+        + rng.normal(0.0, RUN_COOLANT_SIGMA_LOCAL, size=n)
     )
     fleet = fleet.with_coolant(coolant)
 

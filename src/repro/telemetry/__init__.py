@@ -17,7 +17,14 @@ from .sample import (
 from .trace import TelemetryTrace
 from .recorder import TraceRecorder
 from .dataset import MeasurementDataset
-from .io import read_csv, read_trace_json, write_csv, write_trace_json
+from .progress import CampaignProgress, ShardTiming
+from .io import (
+    dataset_to_csv_text,
+    read_csv,
+    read_trace_json,
+    write_csv,
+    write_trace_json,
+)
 
 __all__ = [
     "METRIC_PERFORMANCE",
@@ -29,8 +36,11 @@ __all__ = [
     "TelemetryTrace",
     "TraceRecorder",
     "MeasurementDataset",
+    "CampaignProgress",
+    "ShardTiming",
     "read_csv",
     "write_csv",
+    "dataset_to_csv_text",
     "read_trace_json",
     "write_trace_json",
 ]

@@ -20,7 +20,13 @@ from ..errors import DatasetError, TelemetryError
 from .dataset import MeasurementDataset
 from .trace import TelemetryTrace
 
-__all__ = ["write_csv", "read_csv", "write_trace_json", "read_trace_json"]
+__all__ = [
+    "write_csv",
+    "read_csv",
+    "dataset_to_csv_text",
+    "write_trace_json",
+    "read_trace_json",
+]
 
 _KIND_FLOAT = "f"
 _KIND_INT = "i"
@@ -47,17 +53,31 @@ def _open(path: Path, mode: str) -> IO:
     return open(path, mode, encoding="utf-8", newline="")
 
 
-def write_csv(dataset: MeasurementDataset, path: str | Path) -> None:
-    """Write a dataset to (optionally gzipped) CSV with typed headers."""
-    path = Path(path)
+def _write_csv_to(dataset: MeasurementDataset, fh: IO) -> None:
     names = dataset.column_names
     kinds = {name: _kind_of(dataset.column(name)) for name in names}
-    with _open(path, "w") as fh:
-        writer = csv.writer(fh)
-        writer.writerow([f"{name}:{kinds[name]}" for name in names])
-        columns = [dataset.column(name) for name in names]
-        for i in range(dataset.n_rows):
-            writer.writerow([col[i] for col in columns])
+    writer = csv.writer(fh)
+    writer.writerow([f"{name}:{kinds[name]}" for name in names])
+    columns = [dataset.column(name) for name in names]
+    for i in range(dataset.n_rows):
+        writer.writerow([col[i] for col in columns])
+
+
+def write_csv(dataset: MeasurementDataset, path: str | Path) -> None:
+    """Write a dataset to (optionally gzipped) CSV with typed headers."""
+    with _open(Path(path), "w") as fh:
+        _write_csv_to(dataset, fh)
+
+
+def dataset_to_csv_text(dataset: MeasurementDataset) -> str:
+    """The exact CSV serialization of a dataset, as a string.
+
+    Byte-identical to what :func:`write_csv` puts on disk (before any gzip
+    layer) — the representation the golden-regression fixtures pin.
+    """
+    buffer = io.StringIO(newline="")
+    _write_csv_to(dataset, buffer)
+    return buffer.getvalue()
 
 
 def read_csv(path: str | Path) -> MeasurementDataset:

@@ -1,0 +1,147 @@
+"""Campaign progress counters and per-shard timing records.
+
+The sharded campaign executor (:mod:`repro.sim.parallel`) splits a campaign
+into (day, run, GPU-shard) units of work.  Operators running multi-week
+Summit-scale campaigns want to watch those units complete — and, when a
+campaign is slow, to see *which* shards were slow.  :class:`CampaignProgress`
+is the thread-safe sink both the serial and the parallel executors feed:
+one :class:`ShardTiming` per finished shard, in completion order (which for
+parallel execution is generally *not* canonical (day, run, shard) order).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["ShardTiming", "CampaignProgress"]
+
+
+@dataclass(frozen=True)
+class ShardTiming:
+    """Timing record for one executed campaign shard.
+
+    Attributes
+    ----------
+    day, run_index:
+        Campaign coordinates of the run the shard belongs to.
+    shard_index, n_shards:
+        Position of this shard within the run's GPU partition
+        (``n_shards == 1`` means the run was not sharded).
+    n_rows:
+        Measurement rows (GPUs) the shard produced.
+    duration_s:
+        Wall-clock seconds spent simulating the shard, measured inside
+        the worker that executed it.
+    """
+
+    day: int
+    run_index: int
+    shard_index: int
+    n_shards: int
+    n_rows: int
+    duration_s: float
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        shard = (
+            f" shard {self.shard_index + 1}/{self.n_shards}"
+            if self.n_shards > 1
+            else ""
+        )
+        return (
+            f"day {self.day} run {self.run_index}{shard}: "
+            f"{self.n_rows} GPUs in {self.duration_s * 1e3:.1f} ms"
+        )
+
+
+class CampaignProgress:
+    """Thread-safe progress sink for a campaign execution.
+
+    Pass an instance to :func:`repro.sim.campaign.run_campaign` to observe
+    shard completions.  ``on_shard`` (if given) is invoked with each
+    :class:`ShardTiming` as it is recorded — from whatever thread recorded
+    it, so keep the callback cheap and thread-safe.
+    """
+
+    def __init__(
+        self, on_shard: Callable[[ShardTiming], None] | None = None
+    ) -> None:
+        self._lock = threading.Lock()
+        self._timings: list[ShardTiming] = []
+        self._total = 0
+        self._began_at: float | None = None
+        self.on_shard = on_shard
+
+    # -- executor-facing API -------------------------------------------------
+
+    def begin(self, total_shards: int) -> None:
+        """Declare the plan size and start the wall clock."""
+        with self._lock:
+            self._total = int(total_shards)
+            self._timings = []
+            self._began_at = time.perf_counter()
+
+    def record(self, timing: ShardTiming) -> None:
+        """Record one finished shard (called by the executor)."""
+        with self._lock:
+            self._timings.append(timing)
+        if self.on_shard is not None:
+            self.on_shard(timing)
+
+    # -- observer-facing API -------------------------------------------------
+
+    @property
+    def total_shards(self) -> int:
+        """Shards in the campaign plan (0 before :meth:`begin`)."""
+        return self._total
+
+    @property
+    def n_done(self) -> int:
+        """Shards completed so far."""
+        with self._lock:
+            return len(self._timings)
+
+    @property
+    def rows_done(self) -> int:
+        """Measurement rows produced so far."""
+        with self._lock:
+            return sum(t.n_rows for t in self._timings)
+
+    @property
+    def timings(self) -> tuple[ShardTiming, ...]:
+        """All recorded timings, in completion order."""
+        with self._lock:
+            return tuple(self._timings)
+
+    @property
+    def shard_seconds(self) -> float:
+        """Total worker-side compute time across finished shards.
+
+        With N workers this can exceed :attr:`wall_seconds` by up to a
+        factor of N — the ratio is the realized parallel efficiency.
+        """
+        with self._lock:
+            return sum(t.duration_s for t in self._timings)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock seconds since :meth:`begin` (0.0 before it)."""
+        if self._began_at is None:
+            return 0.0
+        return time.perf_counter() - self._began_at
+
+    def summary(self) -> str:
+        """One-line progress summary for logs and the CLI."""
+        done = self.n_done
+        total = self._total
+        return (
+            f"{done}/{total} shards, {self.rows_done} rows, "
+            f"{self.shard_seconds:.2f} s compute / "
+            f"{self.wall_seconds:.2f} s wall"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CampaignProgress({self.n_done}/{self._total} shards)"

@@ -1,0 +1,216 @@
+"""Seeded property-style tests for the order-insensitive statistics.
+
+The parallel campaign executor merges shard datasets by concatenation, so
+every analysis downstream of :mod:`repro.core` must be insensitive to row
+order (and, more generally, behave like the textbook statistic it claims
+to be).  These tests pin exactly that, on randomized long-form datasets:
+
+* permutation invariance (box statistics, correlations, per-GPU medians,
+  outlier reports);
+* scale equivariance / invariance where the definition promises it;
+* agreement with the NumPy / SciPy reference implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.core.boxstats import BoxStats
+from repro.core.correlation import correlation_matrix, pearson, spearman
+from repro.core.outliers import flag_outlier_gpus, worst_performers
+from repro.telemetry.dataset import MeasurementDataset
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def _rng(seed):
+    return np.random.default_rng(9000 + seed)
+
+
+def _random_values(rng, n=400):
+    """A lognormal bulk plus a few gross outliers — campaign-like data."""
+    values = rng.lognormal(mean=3.0, sigma=0.05, size=n)
+    k = int(rng.integers(0, 6))
+    if k:
+        idx = rng.choice(n, size=k, replace=False)
+        values[idx] *= rng.uniform(1.5, 4.0, size=k)
+    return values
+
+
+def _random_dataset(rng, n_gpus=36, runs=5):
+    """A random long-form measurement table (one row per GPU per run)."""
+    gpu = np.tile(np.arange(n_gpus), runs)
+    base = rng.lognormal(mean=3.0, sigma=0.04, size=n_gpus)
+    perf = base[gpu] * rng.normal(1.0, 0.01, size=gpu.shape[0])
+    power = 300.0 - 40.0 * (perf - perf.mean()) + rng.normal(
+        0.0, 3.0, size=gpu.shape[0]
+    )
+    return MeasurementDataset({
+        "gpu_index": gpu.astype(np.int64),
+        "gpu_label": np.asarray([f"n{g // 4:03d}-gpu{g % 4}" for g in gpu],
+                                dtype=object),
+        "node_label": np.asarray([f"n{g // 4:03d}" for g in gpu],
+                                 dtype=object),
+        "run": np.repeat(np.arange(runs), n_gpus).astype(np.int64),
+        "performance_ms": perf,
+        "power_w": power,
+    })
+
+
+def _permuted(dataset, rng):
+    order = rng.permutation(dataset.n_rows)
+    return MeasurementDataset({
+        name: dataset[name][order] for name in dataset.column_names
+    })
+
+
+# ---------------------------------------------------------------------------
+# BoxStats
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestBoxStatsProperties:
+    def test_permutation_invariance_is_exact(self, seed):
+        rng = _rng(seed)
+        values = _random_values(rng)
+        assert BoxStats.from_values(values) == BoxStats.from_values(
+            rng.permutation(values)
+        )
+
+    def test_matches_numpy_quartiles(self, seed):
+        values = _random_values(_rng(seed))
+        stats = BoxStats.from_values(values)
+        q1, med, q3 = np.percentile(values, [25, 50, 75])
+        assert stats.q1 == q1
+        assert stats.median == med == np.median(values)
+        assert stats.q3 == q3
+
+    def test_scale_equivariance(self, seed):
+        values = _random_values(_rng(seed))
+        c = 7.25
+        a = BoxStats.from_values(values)
+        b = BoxStats.from_values(c * values)
+        for field in ("q1", "median", "q3", "iqr", "range",
+                      "whisker_lo", "whisker_hi"):
+            assert getattr(b, field) == pytest.approx(
+                c * getattr(a, field), rel=1e-12
+            )
+        # variation = range / median is scale-free, and the fences flag
+        # the same observations.
+        assert b.variation == pytest.approx(a.variation, rel=1e-12)
+        assert b.n_outliers == a.n_outliers
+
+    def test_shift_moves_box_but_not_range(self, seed):
+        values = _random_values(_rng(seed))
+        a = BoxStats.from_values(values)
+        b = BoxStats.from_values(values + 1000.0)
+        assert b.median == pytest.approx(a.median + 1000.0, rel=1e-12)
+        assert b.iqr == pytest.approx(a.iqr, abs=1e-9)
+        assert b.range == pytest.approx(a.range, abs=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# correlations
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestCorrelationProperties:
+    def _xy(self, seed):
+        rng = _rng(seed)
+        x = rng.normal(size=500)
+        y = -0.8 * x + rng.normal(scale=0.5, size=500)
+        return rng, x, y
+
+    def test_pearson_matches_references(self, seed):
+        _, x, y = self._xy(seed)
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1],
+                                              rel=1e-10)
+        assert pearson(x, y) == pytest.approx(
+            scipy.stats.pearsonr(x, y).statistic, rel=1e-10
+        )
+
+    def test_spearman_matches_scipy_with_ties(self, seed):
+        rng, x, y = self._xy(seed)
+        # Integer-quantized data forces ties — the average-rank path.
+        xq = np.round(x * 4.0)
+        yq = np.round(y * 4.0)
+        assert spearman(xq, yq) == pytest.approx(
+            scipy.stats.spearmanr(xq, yq).statistic, rel=1e-10
+        )
+
+    def test_joint_permutation_invariance(self, seed):
+        rng, x, y = self._xy(seed)
+        order = rng.permutation(x.shape[0])
+        assert pearson(x[order], y[order]) == pytest.approx(
+            pearson(x, y), rel=1e-12
+        )
+        assert spearman(x[order], y[order]) == pytest.approx(
+            spearman(x, y), rel=1e-12
+        )
+
+    def test_affine_invariance_and_sign_flip(self, seed):
+        _, x, y = self._xy(seed)
+        rho = pearson(x, y)
+        assert pearson(3.0 * x + 11.0, 0.5 * y - 4.0) == pytest.approx(
+            rho, rel=1e-10
+        )
+        assert pearson(-2.0 * x, y) == pytest.approx(-rho, rel=1e-10)
+
+    def test_correlation_matrix_row_order_insensitive(self, seed):
+        rng = _rng(seed)
+        dataset = _random_dataset(rng)
+        shuffled = _permuted(dataset, rng)
+        a = correlation_matrix(dataset, ("performance_ms", "power_w"))
+        b = correlation_matrix(shuffled, ("performance_ms", "power_w"))
+        pair = ("performance_ms", "power_w")
+        assert a[pair].rho == pytest.approx(b[pair].rho, rel=1e-12)
+        assert a[pair].rho_spearman == pytest.approx(
+            b[pair].rho_spearman, rel=1e-12
+        )
+        assert a[pair].n == b[pair].n
+
+
+# ---------------------------------------------------------------------------
+# outlier flagging and per-GPU reduction
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestOutlierProperties:
+    def test_per_gpu_median_row_order_insensitive(self, seed):
+        rng = _rng(seed)
+        dataset = _random_dataset(rng)
+        shuffled = _permuted(dataset, rng)
+        a = dataset.per_gpu_median("performance_ms")
+        b = shuffled.per_gpu_median("performance_ms")
+        assert a.column_names == b.column_names
+        for name in a.column_names:
+            assert np.array_equal(a[name], b[name]), name
+
+    def test_flag_outlier_gpus_row_order_insensitive(self, seed):
+        rng = _rng(seed)
+        dataset = _random_dataset(rng)
+        report_a = flag_outlier_gpus(dataset, "performance_ms")
+        report_b = flag_outlier_gpus(_permuted(dataset, rng),
+                                     "performance_ms")
+        # Frozen dataclasses compare field-by-field: identical fences,
+        # identical flagged GPUs, identical sides.
+        assert report_a == report_b
+
+    def test_worst_performers_row_order_insensitive(self, seed):
+        rng = _rng(seed)
+        dataset = _random_dataset(rng)
+        assert worst_performers(dataset, "performance_ms", k=5) == (
+            worst_performers(_permuted(dataset, rng), "performance_ms", k=5)
+        )
+
+    def test_group_reduce_row_order_insensitive(self, seed):
+        rng = _rng(seed)
+        dataset = _random_dataset(rng)
+        assert dataset.group_reduce("node_label", "power_w") == (
+            _permuted(dataset, rng).group_reduce("node_label", "power_w")
+        )

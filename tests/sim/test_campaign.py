@@ -22,6 +22,15 @@ class TestConfig:
         with pytest.raises(ConfigError):
             CampaignConfig(runs_per_day=0)
 
+    def test_power_limit_must_be_positive(self):
+        with pytest.raises(ConfigError, match="power_limit_w"):
+            CampaignConfig(power_limit_w=0.0)
+        with pytest.raises(ConfigError, match="power_limit_w"):
+            CampaignConfig(power_limit_w=-150.0)
+        # None (unlimited) and a positive cap both construct fine.
+        assert CampaignConfig(power_limit_w=None).power_limit_w is None
+        assert CampaignConfig(power_limit_w=225.0).power_limit_w == 225.0
+
 
 class TestCampaign:
     def test_schema(self, sgemm_dataset):

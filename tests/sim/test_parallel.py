@@ -1,0 +1,196 @@
+"""Edge cases of the sharded campaign executor (beyond equivalence).
+
+The serial/parallel equivalence matrix lives in
+``test_parallel_equivalence.py``; here we pin the executor's contract:
+backend resolution, shard planning, degenerate worker counts, coverage
+re-sampling, progress accounting, and error propagation with shard
+context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.sim import CampaignConfig, ParallelConfig, plan_shards, run_campaign
+from repro.sim import parallel as parallel_mod
+from repro.telemetry import CampaignProgress
+from repro.workloads import sgemm
+
+
+def assert_datasets_identical(a, b):
+    assert a.column_names == b.column_names
+    for name in a.column_names:
+        assert np.array_equal(a[name], b[name]), f"column {name!r} differs"
+
+
+class TestParallelConfig:
+    def test_defaults(self):
+        cfg = ParallelConfig()
+        assert cfg.effective_workers == 1
+        assert cfg.resolved_backend() == "serial"
+        assert cfg.max_gpus_per_shard == parallel_mod.DEFAULT_MAX_GPUS_PER_SHARD
+
+    def test_auto_backend_picks_process_for_fanout(self):
+        assert ParallelConfig(workers=4).resolved_backend() == "process"
+
+    def test_workers_1_resolves_to_serial(self):
+        assert ParallelConfig(workers=1).resolved_backend() == "serial"
+
+    def test_explicit_backend_wins(self):
+        cfg = ParallelConfig(workers=4, backend="serial")
+        assert cfg.resolved_backend() == "serial"
+        cfg = ParallelConfig(workers=2, backend="thread")
+        assert cfg.resolved_backend() == "thread"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ParallelConfig(workers=0)
+        with pytest.raises(ConfigError):
+            ParallelConfig(backend="gpu")
+        with pytest.raises(ConfigError):
+            ParallelConfig(max_gpus_per_shard=0)
+
+    def test_workers_and_parallel_are_exclusive(self, small_longhorn):
+        with pytest.raises(ConfigError):
+            run_campaign(
+                small_longhorn, sgemm(), CampaignConfig(days=1),
+                workers=2, parallel=ParallelConfig(workers=2),
+            )
+
+
+class TestShardPlan:
+    def test_single_shard_by_default(self, small_longhorn):
+        tasks = plan_shards(
+            small_longhorn, sgemm(), CampaignConfig(days=2, runs_per_day=3)
+        )
+        assert len(tasks) == 6  # days x runs, one shard each
+        assert all(t.n_shards == 1 for t in tasks)
+        assert all(t.n_gpus == small_longhorn.n_gpus for t in tasks)
+
+    def test_sharding_is_node_aligned_and_complete(self, small_longhorn):
+        width = small_longhorn.topology.gpus_per_node
+        parallel = ParallelConfig(max_gpus_per_shard=3 * width - 1)
+        tasks = plan_shards(
+            small_longhorn, sgemm(), CampaignConfig(days=1), parallel
+        )
+        assert len(tasks) > 1
+        for task in tasks:
+            assert task.n_gpus % width == 0
+            assert task.n_gpus <= 2 * width
+        merged = np.concatenate([t.gpu_indices for t in tasks])
+        np.testing.assert_array_equal(
+            merged, np.arange(small_longhorn.n_gpus)
+        )
+
+    def test_plan_is_independent_of_workers(self, small_longhorn):
+        config = CampaignConfig(days=2, coverage=0.5)
+        plans = [
+            plan_shards(
+                small_longhorn, sgemm(), config,
+                ParallelConfig(workers=w, max_gpus_per_shard=16),
+            )
+            for w in (None, 2, 8)
+        ]
+        for other in plans[1:]:
+            assert len(other) == len(plans[0])
+            for a, b in zip(plans[0], other):
+                assert (a.day, a.run_index, a.shard_index, a.n_shards) == (
+                    b.day, b.run_index, b.shard_index, b.n_shards
+                )
+                np.testing.assert_array_equal(a.gpu_indices, b.gpu_indices)
+
+    def test_node_wider_than_bound_becomes_singleton_shard(self, small_longhorn):
+        parallel = ParallelConfig(max_gpus_per_shard=1)
+        tasks = plan_shards(
+            small_longhorn, sgemm(), CampaignConfig(days=1), parallel
+        )
+        width = small_longhorn.topology.gpus_per_node
+        assert all(t.n_gpus == width for t in tasks)
+
+
+class TestExecutorEdgeCases:
+    def test_workers_1_never_builds_a_pool(self, small_longhorn, monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("workers=1 must stay on the serial path")
+
+        monkeypatch.setattr(parallel_mod, "_make_executor", boom)
+        ds = run_campaign(
+            small_longhorn, sgemm(), CampaignConfig(days=1), workers=1
+        )
+        assert ds.n_rows == small_longhorn.n_gpus
+
+    def test_worker_count_exceeding_shard_count(self, small_longhorn):
+        config = CampaignConfig(days=1, runs_per_day=1)
+        serial = run_campaign(small_longhorn, sgemm(), config)
+        wide = run_campaign(small_longhorn, sgemm(), config, workers=16)
+        assert_datasets_identical(serial, wide)
+
+    def test_partial_coverage_resamples_per_day(self, small_longhorn):
+        config = CampaignConfig(days=2, runs_per_day=1, coverage=0.5)
+        parallel = run_campaign(
+            small_longhorn, sgemm(), config, workers=2
+        )
+        serial = run_campaign(small_longhorn, sgemm(), config)
+        assert_datasets_identical(serial, parallel)
+        day0 = set(parallel.where(day=0)["node_label"])
+        day1 = set(parallel.where(day=1)["node_label"])
+        assert day0 != day1  # the coverage draw is per-day, not per-campaign
+
+    def test_worker_error_propagates_with_shard_context(self, small_longhorn):
+        # Longhorn grants no admin access, so the power limit makes every
+        # shard's simulate_run raise inside the worker process.
+        config = CampaignConfig(days=2, power_limit_w=200.0)
+        with pytest.raises(SimulationError) as excinfo:
+            run_campaign(small_longhorn, sgemm(), config, workers=2)
+        message = str(excinfo.value)
+        assert "campaign shard failed" in message
+        assert "day=" in message and "run=" in message
+        assert "administrative access" in message  # original cause retained
+
+    def test_serial_error_carries_the_same_context(self, small_longhorn):
+        config = CampaignConfig(days=1, power_limit_w=200.0)
+        with pytest.raises(SimulationError, match="campaign shard failed"):
+            run_campaign(small_longhorn, sgemm(), config)
+
+
+class TestProgress:
+    def test_counters_and_timings(self, small_longhorn):
+        progress = CampaignProgress()
+        config = CampaignConfig(days=2, runs_per_day=2)
+        ds = run_campaign(
+            small_longhorn, sgemm(), config, workers=2, progress=progress
+        )
+        assert progress.total_shards == 4
+        assert progress.n_done == 4
+        assert progress.rows_done == ds.n_rows
+        assert progress.shard_seconds > 0.0
+        assert progress.wall_seconds > 0.0
+        assert all(t.duration_s > 0.0 for t in progress.timings)
+        assert "4/4 shards" in progress.summary()
+
+    def test_on_shard_callback_fires_per_shard(self, small_longhorn):
+        seen = []
+        progress = CampaignProgress(on_shard=seen.append)
+        run_campaign(
+            small_longhorn, sgemm(), CampaignConfig(days=3),
+            progress=progress,
+        )
+        assert len(seen) == 3
+        assert {t.day for t in seen} == {0, 1, 2}
+        assert all("GPUs in" in t.describe() for t in seen)
+
+    def test_sharded_timings_identify_shards(self, small_longhorn):
+        progress = CampaignProgress()
+        run_campaign(
+            small_longhorn, sgemm(), CampaignConfig(days=1),
+            parallel=ParallelConfig(workers=2, max_gpus_per_shard=16),
+            progress=progress,
+        )
+        timings = progress.timings
+        assert len(timings) > 1
+        assert all(t.n_shards == len(timings) for t in timings)
+        assert sorted(t.shard_index for t in timings) == list(
+            range(len(timings))
+        )

@@ -1,0 +1,156 @@
+"""Serial ≡ parallel equivalence harness for the sharded campaign executor.
+
+The parallel executor is only trustworthy because these tests hold: for
+every cluster preset, for workers ∈ {1, 2, 4}, for both shard shapes
+(whole-run shards and forced within-run GPU shards), the campaign dataset
+is **exactly** equal to the serial execution — every column, including the
+``true_*`` ground truth, compared with ``np.array_equal`` / object
+equality, not tolerances.
+
+Serial references are computed once per (preset, shard shape) and cached
+for the session; each parametrized case re-executes only the parallel
+side.  The cross-preset matrix is marked ``slow`` so the quick loop
+(``pytest -m "not slow"``) keeps a single-preset smoke test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import CampaignConfig, ParallelConfig, run_campaign
+from repro.workloads import resnet50, sgemm
+from repro.workloads.sgemm import SGEMM_N_AMD
+
+#: Small but multi-day, multi-run, partial-coverage: exercises the per-day
+#: coverage draw, the run loop, and the merge order all at once.
+EQUIV_CONFIG = CampaignConfig(days=2, runs_per_day=2, coverage=0.9)
+
+#: Forces several GPU shards per run even on the small test clusters.
+FORCED_SHARD_GPUS = 24
+
+PRESET_FIXTURES = (
+    "small_longhorn",
+    "small_summit",
+    "small_vortex",
+    "small_frontera",
+    "small_corona",
+    "tiny_cloudlab",
+)
+
+WORKER_COUNTS = (1, 2, 4)
+SHARD_SHAPES = ("whole-run", "gpu-sharded")
+
+
+def _shape_config(shape: str, workers: int | None) -> ParallelConfig:
+    if shape == "gpu-sharded":
+        return ParallelConfig(
+            workers=workers, max_gpus_per_shard=FORCED_SHARD_GPUS
+        )
+    return ParallelConfig(workers=workers)
+
+
+def _workload_for(cluster):
+    # Corona is the AMD machine; run its Table-II matrix size so the
+    # dither path (the only RNG consumer inside solve_steady) is covered.
+    if cluster.name == "Corona":
+        return sgemm(n=SGEMM_N_AMD)
+    return sgemm()
+
+
+@pytest.fixture(scope="session")
+def serial_reference_cache():
+    return {}
+
+
+@pytest.fixture(params=PRESET_FIXTURES)
+def preset_cluster(request):
+    return request.getfixturevalue(request.param)
+
+
+def serial_reference(cache, cluster, shape):
+    key = (cluster.name, shape)
+    if key not in cache:
+        cache[key] = run_campaign(
+            cluster,
+            _workload_for(cluster),
+            EQUIV_CONFIG,
+            parallel=_shape_config(shape, workers=None),
+        )
+    return cache[key]
+
+
+def assert_datasets_identical(serial, parallel):
+    assert serial.column_names == parallel.column_names
+    assert serial.n_rows == parallel.n_rows
+    for name in serial.column_names:
+        a, b = serial[name], parallel[name]
+        assert a.dtype == b.dtype, f"column {name!r} dtype differs"
+        assert np.array_equal(a, b), f"column {name!r} differs"
+
+
+def test_smoke_longhorn_workers_4(small_longhorn, serial_reference_cache):
+    """Quick-loop guard: the acceptance-criterion call shape, one preset."""
+    serial = serial_reference(serial_reference_cache, small_longhorn,
+                              "whole-run")
+    parallel = run_campaign(
+        small_longhorn, sgemm(), EQUIV_CONFIG, workers=4
+    )
+    assert_datasets_identical(serial, parallel)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shape", SHARD_SHAPES)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_equals_serial_on_every_preset(
+    preset_cluster, workers, shape, serial_reference_cache
+):
+    serial = serial_reference(serial_reference_cache, preset_cluster, shape)
+    parallel = run_campaign(
+        preset_cluster,
+        _workload_for(preset_cluster),
+        EQUIV_CONFIG,
+        parallel=_shape_config(shape, workers=workers),
+    )
+    assert_datasets_identical(serial, parallel)
+
+
+@pytest.mark.slow
+def test_thread_backend_equals_serial(small_longhorn, serial_reference_cache):
+    serial = serial_reference(serial_reference_cache, small_longhorn,
+                              "gpu-sharded")
+    threaded = run_campaign(
+        small_longhorn,
+        sgemm(),
+        EQUIV_CONFIG,
+        parallel=ParallelConfig(
+            workers=4, backend="thread", max_gpus_per_shard=FORCED_SHARD_GPUS
+        ),
+    )
+    assert_datasets_identical(serial, threaded)
+
+
+@pytest.mark.slow
+def test_multi_gpu_workload_sharded_equivalence(small_longhorn):
+    """Bulk-synchronous jobs must never straddle shard boundaries."""
+    config = CampaignConfig(days=1, runs_per_day=2)
+    serial = run_campaign(
+        small_longhorn, resnet50(), config,
+        parallel=ParallelConfig(max_gpus_per_shard=FORCED_SHARD_GPUS),
+    )
+    parallel = run_campaign(
+        small_longhorn, resnet50(), config,
+        parallel=ParallelConfig(
+            workers=4, max_gpus_per_shard=FORCED_SHARD_GPUS
+        ),
+    )
+    assert_datasets_identical(serial, parallel)
+
+
+@pytest.mark.slow
+def test_power_limit_campaign_equivalence(tiny_cloudlab):
+    """The admin-access path (Section VI-B) parallelizes exactly too."""
+    config = CampaignConfig(days=2, runs_per_day=3, power_limit_w=200.0)
+    serial = run_campaign(tiny_cloudlab, sgemm(), config)
+    parallel = run_campaign(tiny_cloudlab, sgemm(), config, workers=2)
+    assert_datasets_identical(serial, parallel)

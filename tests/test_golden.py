@@ -1,0 +1,64 @@
+"""Golden-regression tests: committed campaign output, byte-for-byte.
+
+Each fixture under ``tests/golden/`` is a small seeded SGEMM campaign on
+one cluster preset, serialized to the canonical typed-header CSV and
+gzipped with a zeroed mtime.  The tests rebuild each campaign from
+scratch and compare against the stored text *exactly* — any change to an
+RNG stream, draw order, float expression, or the CSV writer fails here.
+
+Intentional stream changes must regenerate the fixtures::
+
+    PYTHONPATH=src python tools/regen_golden.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.golden import (
+    GOLDEN_CAMPAIGNS,
+    golden_csv_text,
+    golden_path,
+    read_golden_text,
+)
+
+ALL_NAMES = sorted(GOLDEN_CAMPAIGNS)
+
+
+def test_every_fixture_is_committed():
+    missing = [name for name in ALL_NAMES if not golden_path(name).exists()]
+    assert not missing, (
+        f"missing golden fixtures {missing}; run "
+        "`PYTHONPATH=src python tools/regen_golden.py`"
+    )
+
+
+def test_fixture_text_is_wellformed():
+    # Cheap structural check that runs in the quick (`-m 'not slow'`) loop:
+    # typed header plus at least one data row per fixture.
+    for name in ALL_NAMES:
+        text = read_golden_text(name)
+        lines = text.splitlines()
+        assert len(lines) >= 2, name
+        header = lines[0].split(",")
+        assert all(":" in entry for entry in header), name
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_campaign_output_matches_golden(name):
+    expected = read_golden_text(name)
+    actual = golden_csv_text(name)
+    if actual != expected:  # pinpoint the first divergence before failing
+        exp_lines = expected.splitlines()
+        act_lines = actual.splitlines()
+        for i, (e, a) in enumerate(zip(exp_lines, act_lines)):
+            assert a == e, (
+                f"{name}: first diff at line {i + 1}\n"
+                f"  golden : {e}\n  current: {a}"
+            )
+        assert len(act_lines) == len(exp_lines), (
+            f"{name}: row count changed "
+            f"({len(exp_lines)} golden vs {len(act_lines)} current)"
+        )
+        pytest.fail(f"{name}: output text differs from committed golden")

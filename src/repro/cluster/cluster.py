@@ -10,6 +10,8 @@ ResNet-50's outlier nodes are the same", Takeaway 6) reproduce here.
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,6 +30,11 @@ from .topology import Topology
 __all__ = ["ForcedDefect", "Cluster", "ClusterConfig"]
 
 CoolingModel = AirCooling | WaterCooling | MineralOilCooling
+
+#: Upper bound on cached fleets (per-day and per-(day, shard) entries each).
+#: Campaign executors touch (days x shards-per-day) distinct keys — dozens —
+#: so the bound only matters for pathological callers; eviction is FIFO.
+_FLEET_CACHE_MAX = 128
 
 
 @dataclass(frozen=True)
@@ -164,6 +171,25 @@ class Cluster:
             r_theta_base_c_per_w=self.environment.r_theta_base_c_per_w,
             coolant_c=self.environment.coolant_c,
         )
+        self._init_fleet_caches()
+
+    def _init_fleet_caches(self) -> None:
+        self._fleet_day_cache: dict[int, GPUFleet] = {}
+        self._fleet_slice_cache: dict[tuple, GPUFleet] = {}
+        self._fleet_cache_lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # Locks cannot pickle and caches should not travel to workers (each
+        # worker repopulates deterministically on first use).
+        state = self.__dict__.copy()
+        del state["_fleet_day_cache"]
+        del state["_fleet_slice_cache"]
+        del state["_fleet_cache_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._init_fleet_caches()
 
     # ------------------------------------------------------------------
 
@@ -183,11 +209,53 @@ class Cluster:
         return self._base_fleet
 
     def fleet_for_day(self, day_index: int) -> GPUFleet:
-        """The fleet under the facility conditions of campaign day ``day_index``."""
+        """The fleet under the facility conditions of campaign day ``day_index``.
+
+        Memoized per day: the facility offset is a pure function of
+        (day, master seed), so the day fleet is computed once and shared by
+        every run and shard of that day instead of being rebuilt per run.
+        Returned fleets are immutable views — never mutate their arrays.
+        """
+        with self._fleet_cache_lock:
+            fleet = self._fleet_day_cache.get(day_index)
+        if fleet is not None:
+            return fleet
         offset = self.facility.coolant_offset_c(day_index, self.rng_factory)
         if offset == 0.0:
-            return self._base_fleet
-        return self._base_fleet.with_coolant(self.environment.coolant_c + offset)
+            fleet = self._base_fleet
+        else:
+            fleet = self._base_fleet.with_coolant(
+                self.environment.coolant_c + offset
+            )
+        with self._fleet_cache_lock:
+            if len(self._fleet_day_cache) >= _FLEET_CACHE_MAX:
+                self._fleet_day_cache.pop(next(iter(self._fleet_day_cache)))
+            self._fleet_day_cache[day_index] = fleet
+        return fleet
+
+    def fleet_slice(self, day_index: int, gpu_indices: np.ndarray) -> GPUFleet:
+        """The day fleet restricted to ``gpu_indices``, memoized per (day, shard).
+
+        Campaign executors call this once per run; the silicon/defect/
+        thermal re-slicing is identical for every run of the same (day,
+        shard) pair, so it is cached under a digest of the index array.
+        Returned fleets are immutable views — never mutate their arrays.
+        """
+        gpu_indices = np.asarray(gpu_indices)
+        digest = hashlib.blake2b(
+            gpu_indices.tobytes(), digest_size=16
+        ).digest()
+        key = (day_index, gpu_indices.dtype.str, gpu_indices.shape[0], digest)
+        with self._fleet_cache_lock:
+            fleet = self._fleet_slice_cache.get(key)
+        if fleet is not None:
+            return fleet
+        fleet = self.fleet_for_day(day_index).take(gpu_indices)
+        with self._fleet_cache_lock:
+            if len(self._fleet_slice_cache) >= _FLEET_CACHE_MAX:
+                self._fleet_slice_cache.pop(next(iter(self._fleet_slice_cache)))
+            self._fleet_slice_cache[key] = fleet
+        return fleet
 
     def config(self) -> ClusterConfig:
         """Scalar summary of this cluster (a Table I row)."""

@@ -21,7 +21,14 @@ from .silicon import SiliconConfig, SiliconPopulation, sample_population
 from .defects import DefectType, DefectConfig, assign_defects
 from .power import PowerModel
 from .thermal import ThermalModel
-from .dvfs import DvfsController, DvfsPolicy
+from .dvfs import (
+    SOLVER_GRID,
+    SOLVER_LADDER,
+    DvfsController,
+    DvfsPolicy,
+    SolverStats,
+    default_solver,
+)
 from .device import GPUFleet
 
 __all__ = [
@@ -43,5 +50,9 @@ __all__ = [
     "ThermalModel",
     "DvfsController",
     "DvfsPolicy",
+    "SolverStats",
+    "SOLVER_LADDER",
+    "SOLVER_GRID",
+    "default_solver",
     "GPUFleet",
 ]

@@ -42,6 +42,11 @@ class GPUFleet:
         Per-GPU coolant temperature (shape ``(n,)``).
     policy:
         DVFS policy; defaults to the vendor-appropriate one.
+    power_model:
+        Pre-built power model to reuse.  The power model depends only on
+        (spec, silicon), so :meth:`with_coolant` passes the existing one
+        instead of rebuilding per-die electrical state for every per-run
+        thermal environment; must have been built from the same ``silicon``.
     """
 
     def __init__(
@@ -52,6 +57,7 @@ class GPUFleet:
         r_theta_base_c_per_w: np.ndarray,
         coolant_c: np.ndarray,
         policy: DvfsPolicy | None = None,
+        power_model: PowerModel | None = None,
     ) -> None:
         n = silicon.n
         if defects.n != n:
@@ -63,6 +69,10 @@ class GPUFleet:
                 f"r_theta_base and coolant_c must have shape ({n},), got "
                 f"{r_base.shape} and {coolant.shape}"
             )
+        if power_model is not None and power_model.silicon is not silicon:
+            raise ValueError(
+                "power_model was built from a different silicon population"
+            )
         self.spec = spec
         self.silicon = silicon
         self.defects = defects
@@ -70,7 +80,9 @@ class GPUFleet:
         self.coolant_c = coolant
         self.policy = policy if policy is not None else DvfsPolicy.for_spec(spec)
 
-        self.power_model = PowerModel(spec, silicon)
+        self.power_model = (
+            power_model if power_model is not None else PowerModel(spec, silicon)
+        )
         self.thermal_model = ThermalModel(
             spec, self.effective_r_theta(), coolant
         )
@@ -124,7 +136,12 @@ class GPUFleet:
     # ------------------------------------------------------------------
 
     def with_coolant(self, coolant_c: np.ndarray) -> "GPUFleet":
-        """A fleet identical to this one but in a new thermal environment."""
+        """A fleet identical to this one but in a new thermal environment.
+
+        The electrical side (spec, silicon) is unchanged, so the power
+        model — including its cached per-die solver parameters — is shared
+        with the new fleet rather than rebuilt.
+        """
         return GPUFleet(
             spec=self.spec,
             silicon=self.silicon,
@@ -132,6 +149,7 @@ class GPUFleet:
             r_theta_base_c_per_w=self.r_theta_base,
             coolant_c=coolant_c,
             policy=self.policy,
+            power_model=self.power_model,
         )
 
     def take(self, indices: np.ndarray) -> "GPUFleet":

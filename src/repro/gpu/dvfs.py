@@ -19,10 +19,29 @@ a duty-cycle blend while the reported (sampled) frequency snaps to a level.
 This is what makes Corona's per-run repeatability much worse (Fig. 8, median
 6.06% vs 0.12–0.44% on NVIDIA clusters) and weakens its perf/frequency
 correlation (-0.76 vs -0.97/-0.99) despite identical physics.
+
+Steady-state solvers
+--------------------
+Two interchangeable, **bit-identical** solvers find the settled ladder level
+(see ``docs/PERFORMANCE.md`` for the full argument and measurements):
+
+* ``"ladder"`` (default) — a monotone binary search along the p-state
+  ladder.  Power and temperature never decrease up the ladder, so
+  feasibility is a prefix and the settled index is its boundary; only
+  O(log k) ladder columns per GPU are evaluated.  Each column runs the
+  *same elementwise fixed point* the dense grid runs — a (GPU, p-state)
+  cell's fixed point depends on nothing but that cell's inputs — so the
+  result is bit-for-bit identical to the dense scan.
+* ``"grid"`` — the dense (n, k) feasibility scan, kept as an escape hatch
+  and cross-check (``REPRO_DVFS_SOLVER=grid`` selects it globally).
+
+Both paths share :meth:`DvfsController.power_grid_columns`, and the work
+each solve performs is counted in :class:`SolverStats`.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,12 +51,30 @@ from .power import PowerModel
 from .specs import GPUSpec, VENDOR_AMD
 from .thermal import ThermalModel
 
-__all__ = ["DvfsPolicy", "SteadyOperatingPoint", "DvfsController"]
+__all__ = [
+    "DvfsPolicy",
+    "SteadyOperatingPoint",
+    "SolverStats",
+    "DvfsController",
+    "SOLVER_LADDER",
+    "SOLVER_GRID",
+]
 
 #: Fixed-point iterations for the leakage/temperature coupling.  The
 #: contraction factor is R * dP_leak/dT ~ 0.05-0.1, so 7 iterations push the
 #: error far below sensor resolution.
 _FIXED_POINT_ITERS = 7
+
+#: Monotone binary search along the ladder (the default).
+SOLVER_LADDER = "ladder"
+#: Dense (n, k) feasibility scan — escape hatch and cross-check baseline.
+SOLVER_GRID = "grid"
+
+_SOLVERS = (SOLVER_LADDER, SOLVER_GRID)
+
+#: Environment variable overriding the default solver for newly-created
+#: controllers (``ladder`` or ``grid``).
+SOLVER_ENV_VAR = "REPRO_DVFS_SOLVER"
 
 
 @dataclass(frozen=True)
@@ -96,8 +133,91 @@ class SteadyOperatingPoint:
         return int(self.pstate_index.shape[0])
 
 
+@dataclass
+class SolverStats:
+    """Work counters for the steady-state solver (mutable, additive).
+
+    One instance lives on each :class:`DvfsController` and accumulates over
+    its :meth:`~DvfsController.solve_steady` calls; the campaign executor
+    carries per-shard copies through
+    :class:`repro.telemetry.progress.ShardTiming` so operators can see how
+    much of the dense grid the ladder search skipped.
+    """
+
+    #: ``solve_steady`` invocations counted.
+    solves: int = 0
+    #: (GPU, p-state) cells whose fixed point was actually evaluated.
+    columns_evaluated: int = 0
+    #: Cells the dense (n, k) grid would have evaluated for the same solves.
+    dense_cells: int = 0
+    #: Elementwise fixed-point iterations executed (iterations x cells).
+    fixed_point_iterations: int = 0
+
+    @property
+    def cells_avoided(self) -> int:
+        """Dense-equivalent fixed-point cells the solver never touched."""
+        return max(0, self.dense_cells - self.columns_evaluated)
+
+    @property
+    def dense_fraction_avoided(self) -> float:
+        """Fraction of the dense grid's work avoided (0.0 for the grid solver)."""
+        if self.dense_cells <= 0:
+            return 0.0
+        return self.cells_avoided / self.dense_cells
+
+    def merge(self, other: "SolverStats") -> "SolverStats":
+        """Accumulate another counter set into this one (returns ``self``)."""
+        self.solves += other.solves
+        self.columns_evaluated += other.columns_evaluated
+        self.dense_cells += other.dense_cells
+        self.fixed_point_iterations += other.fixed_point_iterations
+        return self
+
+    def copy(self) -> "SolverStats":
+        """An independent snapshot of the current counters."""
+        return SolverStats(
+            solves=self.solves,
+            columns_evaluated=self.columns_evaluated,
+            dense_cells=self.dense_cells,
+            fixed_point_iterations=self.fixed_point_iterations,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"{self.solves} solves: {self.columns_evaluated} cells evaluated, "
+            f"{self.cells_avoided} of {self.dense_cells} dense cells avoided "
+            f"({self.dense_fraction_avoided:.1%})"
+        )
+
+
+def default_solver() -> str:
+    """The solver newly-created controllers use.
+
+    ``ladder`` unless overridden by the ``REPRO_DVFS_SOLVER`` environment
+    variable — the escape hatch for cross-checking the dense scan on a full
+    campaign without touching code.
+    """
+    solver = os.environ.get(SOLVER_ENV_VAR, SOLVER_LADDER)
+    require(solver in _SOLVERS,
+            f"{SOLVER_ENV_VAR} must be one of {_SOLVERS}, got {solver!r}")
+    return solver
+
+
 class DvfsController:
-    """Power-management firmware for a homogeneous-SKU population."""
+    """Power-management firmware for a homogeneous-SKU population.
+
+    Parameters
+    ----------
+    spec, power_model, thermal_model, policy:
+        The SKU, its electrical and thermal models, and the firmware policy
+        (vendor default when ``None``).
+    solver:
+        Steady-state solver: ``"ladder"`` (monotone binary search, default)
+        or ``"grid"`` (dense scan).  ``None`` defers to
+        :func:`default_solver`.  Both produce bit-identical results; see
+        the module docstring.
+    """
 
     def __init__(
         self,
@@ -105,16 +225,28 @@ class DvfsController:
         power_model: PowerModel,
         thermal_model: ThermalModel,
         policy: DvfsPolicy | None = None,
+        solver: str | None = None,
     ) -> None:
         if power_model.n != thermal_model.n:
             raise ValueError(
                 f"power model covers {power_model.n} GPUs but thermal model "
                 f"covers {thermal_model.n}"
             )
+        solver = solver if solver is not None else default_solver()
+        require(solver in _SOLVERS,
+                f"solver must be one of {_SOLVERS}, got {solver!r}")
         self.spec = spec
         self.power = power_model
         self.thermal = thermal_model
         self.policy = policy if policy is not None else DvfsPolicy.for_spec(spec)
+        self.solver = solver
+        self.stats = SolverStats()
+        self._pstates: np.ndarray | None = None
+        # Reusable float32 buffers keyed by evaluation shape; the ladder
+        # search re-enters the fixed point O(log k) times per solve and
+        # simulate_run re-solves up to three times per run, so the (t, p,
+        # scratch) triple is recycled instead of reallocated.
+        self._workspaces: dict[tuple[int, ...], tuple[np.ndarray, ...]] = {}
 
     @property
     def n(self) -> int:
@@ -124,6 +256,110 @@ class DvfsController:
     # ------------------------------------------------------------------
     # steady state
     # ------------------------------------------------------------------
+
+    def pstates(self) -> np.ndarray:
+        """The SKU ladder as a cached, read-only float array (ascending MHz)."""
+        if self._pstates is None:
+            steps = self.spec.pstate_array()
+            steps.setflags(write=False)
+            self._pstates = steps
+        return self._pstates
+
+    def _workspace(self, shape: tuple[int, ...]) -> tuple[np.ndarray, ...]:
+        ws = self._workspaces.get(shape)
+        if ws is None:
+            ws = tuple(np.empty(shape, dtype=np.float32) for _ in range(3))
+            self._workspaces[shape] = ws
+        return ws
+
+    def _settle(
+        self,
+        f_mhz: np.ndarray,
+        activity: np.ndarray,
+        dram_utilization: np.ndarray,
+        efficiency: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Elementwise fixed-point settle at per-cell frequencies ``f_mhz``.
+
+        The cell (i, j)'s result depends only on GPU ``i``'s parameters and
+        ``f_mhz[i, j]`` — never on neighbouring cells — which is what makes
+        any subset of ladder columns bit-identical to the dense grid.
+        ``activity``/``dram_utilization``/``efficiency`` must broadcast
+        against ``f_mhz`` along axis 0.
+        """
+        p_base = (
+            self.power.dynamic_power(f_mhz, activity, efficiency)
+            + self.power.memory_power(dram_utilization)
+            + self.spec.idle_power_w
+        ).astype(np.float32)
+        # The fixed point runs in float32: the dense grid is n x k (up to
+        # ~5M cells on Summit) and the exp-heavy leakage term dominates the
+        # whole simulation; 0.01 W precision is far below sensor noise.
+        leak_scale = self.power.leakage_scale_w_f32()
+        r, tc = self.thermal.fixed_point_params_f32()
+        if p_base.ndim == 2:
+            leak_scale = leak_scale[:, None]
+            r = r[:, None]
+            tc = tc[:, None]
+        k_t = np.float32(self.spec.leakage_temp_coeff)
+        # Clamp the iterate well above the shutdown threshold: operating
+        # points that hot are rejected by the feasibility check regardless,
+        # and the clamp keeps the exponential leakage term from blowing up
+        # on (GPU, p-state) cells that would physically thermally run away.
+        t_clamp = np.float32(self.spec.t_shutdown_c + 40.0)
+
+        t, p, scratch = self._workspace(p_base.shape)
+
+        def leakage_step() -> None:
+            # p = p_base + leak_scale * exp(k_t * (t - 25)), decomposed into
+            # the same correctly-rounded elementwise ops, no temporaries.
+            np.subtract(t, np.float32(25.0), out=scratch)
+            np.multiply(scratch, k_t, out=scratch)
+            np.exp(scratch, out=scratch)
+            np.multiply(leak_scale, scratch, out=scratch)
+            np.add(p_base, scratch, out=p)
+
+        np.copyto(t, np.broadcast_to(tc, p_base.shape))
+        leakage_step()
+        for _ in range(_FIXED_POINT_ITERS):
+            np.multiply(r, p, out=scratch)
+            np.add(tc, scratch, out=scratch)
+            np.minimum(scratch, t_clamp, out=t)
+            leakage_step()
+        self.stats.columns_evaluated += int(p_base.size)
+        self.stats.fixed_point_iterations += _FIXED_POINT_ITERS * int(p_base.size)
+        return p.astype(np.float64), t.astype(np.float64)
+
+    def power_grid_columns(
+        self,
+        pstate_idx: np.ndarray,
+        activity: np.ndarray | float,
+        dram_utilization: np.ndarray | float,
+        efficiency: np.ndarray | float = 1.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fixed-point settled (power, temperature) at chosen ladder columns.
+
+        ``pstate_idx`` holds per-GPU ladder indices, shape ``(n,)`` or
+        ``(n, m)``; returns two float arrays of the same shape whose cells
+        are bit-identical to the corresponding :meth:`power_grid` entries.
+        This is the column evaluator both steady-state solvers share.
+        """
+        idx = np.asarray(pstate_idx, dtype=np.int64)
+        if idx.ndim not in (1, 2) or idx.shape[0] != self.n:
+            raise ValueError(
+                f"pstate_idx must be (n,) or (n, m) with n={self.n}, "
+                f"got shape {idx.shape}"
+            )
+        f = self.pstates()[idx]
+        if idx.ndim == 1:
+            act = _as_vec(activity, self.n)
+            util = _as_vec(dram_utilization, self.n)
+            eff = _as_vec(efficiency, self.n)
+        else:
+            act = _as_col(activity, self.n)
+            util = _as_col(dram_utilization, self.n)
+            eff = _as_col(efficiency, self.n)
+        return self._settle(f, act, util, eff)
 
     def power_grid(
         self,
@@ -136,39 +372,14 @@ class DvfsController:
         Returns two ``(n, k)`` arrays.  Solves the leakage/temperature
         coupling ``P = P0(f) + P_leak(T)``, ``T = Tc + R * P`` by iteration.
         """
-        steps = self.spec.pstate_array()          # (k,)
-        act = _as_col(activity, self.n)
-        util = _as_col(dram_utilization, self.n)
-        eff = _as_col(efficiency, self.n)
-
+        steps = self.pstates()
         f_grid = np.broadcast_to(steps, (self.n, steps.shape[0]))
-        p_base = (
-            self.power.dynamic_power(f_grid, act, eff)
-            + self.power.memory_power(util)
-            + self.spec.idle_power_w
-        ).astype(np.float32)
-        # The fixed point runs in float32: the grid is n x k (up to ~5M
-        # entries on Summit) and the exp-heavy leakage term dominates the
-        # whole simulation; 0.01 W precision is far below sensor noise.
-        leak_scale = (
-            self.power.silicon.leakage_scale[:, None]
-            * self.spec.leakage_nominal_w
-        ).astype(np.float32)
-        k_t = np.float32(self.spec.leakage_temp_coeff)
-        r = self.thermal.r_theta[:, None].astype(np.float32)
-        tc = self.thermal.coolant_c[:, None].astype(np.float32)
-
-        # Clamp the iterate well above the shutdown threshold: operating
-        # points that hot are rejected by the feasibility check regardless,
-        # and the clamp keeps the exponential leakage term from blowing up
-        # on (GPU, p-state) pairs that would physically thermally run away.
-        t_clamp = np.float32(self.spec.t_shutdown_c + 40.0)
-        t = np.broadcast_to(tc, p_base.shape).copy()
-        p = p_base + leak_scale * np.exp(k_t * (t - np.float32(25.0)))
-        for _ in range(_FIXED_POINT_ITERS):
-            np.minimum(tc + r * p, t_clamp, out=t)
-            p = p_base + leak_scale * np.exp(k_t * (t - np.float32(25.0)))
-        return p.astype(np.float64), t.astype(np.float64)
+        return self._settle(
+            f_grid,
+            _as_col(activity, self.n),
+            _as_col(dram_utilization, self.n),
+            _as_col(efficiency, self.n),
+        )
 
     def solve_steady(
         self,
@@ -178,6 +389,7 @@ class DvfsController:
         power_cap_w: np.ndarray | float | None = None,
         f_cap_mhz: np.ndarray | float | None = None,
         rng: np.random.Generator | None = None,
+        solver: str | None = None,
     ) -> SteadyOperatingPoint:
         """Settled operating point of every GPU under a stationary load.
 
@@ -196,49 +408,47 @@ class DvfsController:
         rng:
             Required when the policy dithers (AMD); supplies the per-call
             duty cycles.
+        solver:
+            Per-call solver override (``"ladder"`` or ``"grid"``); ``None``
+            uses the controller's solver.  Both are bit-identical.
         """
+        solver = solver if solver is not None else self.solver
+        require(solver in _SOLVERS,
+                f"solver must be one of {_SOLVERS}, got {solver!r}")
         if power_cap_w is None:
             cap = np.full(self.n, self.spec.tdp_w)
         else:
             cap = np.broadcast_to(
                 np.asarray(power_cap_w, dtype=float), (self.n,)
             ).copy()
-
-        p_grid, t_grid = self.power_grid(activity, dram_utilization, efficiency)
-        t_limit = self.spec.t_slowdown_c - self.policy.thermal_headroom_c
-
-        power_ok = p_grid <= cap[:, None]
-        thermal_ok = t_grid <= t_limit
-        feasible = power_ok & thermal_ok
+        f_cap = None
         if f_cap_mhz is not None:
             f_cap = np.broadcast_to(
                 np.asarray(f_cap_mhz, dtype=float), (self.n,)
             )
-            feasible &= self.spec.pstate_array()[None, :] <= f_cap[:, None]
 
-        # Highest feasible ladder index per GPU; the ladder is monotone in
-        # power and temperature so feasibility is a prefix — but defects and
-        # degenerate configs could break that, so scan explicitly.
-        k = p_grid.shape[1]
-        rev = feasible[:, ::-1]
-        first_true = np.argmax(rev, axis=1)
-        any_true = rev.any(axis=1)
-        idx = np.where(any_true, k - 1 - first_true, 0)
+        steps = self.pstates()
+        k = steps.shape[0]
+        t_limit = self.spec.t_slowdown_c - self.policy.thermal_headroom_c
+        self.stats.solves += 1
+        self.stats.dense_cells += self.n * k
 
-        rows = np.arange(self.n)
-        steps = self.spec.pstate_array()
+        if solver == SOLVER_GRID:
+            idx, p_level, t_level, p_above, t_above = self._scan_dense(
+                activity, dram_utilization, efficiency, cap, f_cap, t_limit
+            )
+        else:
+            idx, p_level, t_level, p_above, t_above = self._search_ladder(
+                activity, dram_utilization, efficiency, cap, f_cap, t_limit
+            )
+
+        above = np.minimum(idx + 1, k - 1)
         f_level = steps[idx]
-        p_level = p_grid[rows, idx]
-        t_level = t_grid[rows, idx]
-
         at_top = idx == k - 1
         # Why is the GPU not at the top of the ladder?
-        above = np.minimum(idx + 1, k - 1)
-        p_above = p_grid[rows, above]
-        t_above = t_grid[rows, above]
         power_capped = (~at_top) & (p_above > cap)
         thermally_capped = (~at_top) & (t_above > t_limit) & ~power_capped
-        if f_cap_mhz is not None:
+        if f_cap is not None:
             # A GPU pinned by its boost ceiling is not (necessarily) at a
             # power or thermal limit; exclude it from both categories so it
             # does not dither past the ceiling.
@@ -298,6 +508,93 @@ class DvfsController:
             thermally_capped=thermally_capped,
         )
 
+    def _scan_dense(
+        self,
+        activity: np.ndarray | float,
+        dram_utilization: np.ndarray | float,
+        efficiency: np.ndarray | float,
+        cap: np.ndarray,
+        f_cap: np.ndarray | None,
+        t_limit: float,
+    ) -> tuple[np.ndarray, ...]:
+        """Dense solver core: materialize the grid, scan for the top level."""
+        steps = self.pstates()
+        k = steps.shape[0]
+        p_grid, t_grid = self.power_grid(activity, dram_utilization, efficiency)
+
+        feasible = (p_grid <= cap[:, None]) & (t_grid <= t_limit)
+        if f_cap is not None:
+            feasible &= steps[None, :] <= f_cap[:, None]
+
+        # Highest feasible ladder index per GPU; the ladder is monotone in
+        # power and temperature so feasibility is a prefix — but scan
+        # explicitly, which is what makes this path the cross-check baseline.
+        rev = feasible[:, ::-1]
+        first_true = np.argmax(rev, axis=1)
+        any_true = rev.any(axis=1)
+        idx = np.where(any_true, k - 1 - first_true, 0)
+
+        rows = np.arange(self.n)
+        above = np.minimum(idx + 1, k - 1)
+        return (
+            idx,
+            p_grid[rows, idx],
+            t_grid[rows, idx],
+            p_grid[rows, above],
+            t_grid[rows, above],
+        )
+
+    def _search_ladder(
+        self,
+        activity: np.ndarray | float,
+        dram_utilization: np.ndarray | float,
+        efficiency: np.ndarray | float,
+        cap: np.ndarray,
+        f_cap: np.ndarray | None,
+        t_limit: float,
+    ) -> tuple[np.ndarray, ...]:
+        """Ladder solver core: binary search for the feasibility boundary.
+
+        Settled power and temperature are nondecreasing along the ladder
+        (dynamic power rises with f and V(f); leakage follows temperature,
+        which follows power), so per-GPU feasibility — power cap AND
+        thermal limit AND boost ceiling, each individually a prefix — is a
+        prefix of the ladder.  A vectorized binary search with sentinels
+        ``lo = -1`` (feasible) and ``hi = k`` (infeasible) finds the
+        boundary evaluating ceil(log2(k + 1)) columns instead of k.
+        """
+        steps = self.pstates()
+        k = steps.shape[0]
+        n = self.n
+        lo = np.full(n, -1, dtype=np.int64)
+        hi = np.full(n, k, dtype=np.int64)
+        while True:
+            gap = hi - lo
+            active = gap > 1
+            if not active.any():
+                break
+            # Converged rows get a clamped, ignored evaluation; k is shared
+            # by every GPU so nearly all rows converge on the same round and
+            # the waste is at most one column on coarse (AMD) ladders.
+            mid = np.clip((lo + hi) >> 1, 0, k - 1)
+            p_mid, t_mid = self.power_grid_columns(
+                mid, activity, dram_utilization, efficiency
+            )
+            feas = (p_mid <= cap) & (t_mid <= t_limit)
+            if f_cap is not None:
+                feas &= steps[mid] <= f_cap
+            lo = np.where(active & feas, mid, lo)
+            hi = np.where(active & ~feas, mid, hi)
+        idx = np.where(lo >= 0, lo, 0)
+        above = np.minimum(idx + 1, k - 1)
+        p_level, t_level = self.power_grid_columns(
+            idx, activity, dram_utilization, efficiency
+        )
+        p_above, t_above = self.power_grid_columns(
+            above, activity, dram_utilization, efficiency
+        )
+        return idx, p_level, t_level, p_above, t_above
+
     # ------------------------------------------------------------------
     # reactive control (time-stepped engine)
     # ------------------------------------------------------------------
@@ -324,6 +621,16 @@ class DvfsController:
         idx[over] -= self.policy.down_step
         idx[under & ~over] += self.policy.up_step
         return np.clip(idx, 0, self.spec.n_pstates - 1)
+
+
+def _as_vec(value: np.ndarray | float, n: int) -> np.ndarray:
+    """Broadcast a scalar or (n,) array to an (n,) vector."""
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim == 0:
+        return np.full(n, float(arr))
+    if arr.shape != (n,):
+        raise ValueError(f"expected scalar or shape ({n},), got {arr.shape}")
+    return arr
 
 
 def _as_col(value: np.ndarray | float, n: int) -> np.ndarray:

@@ -44,11 +44,27 @@ class PowerModel:
         self.silicon = silicon
         # Pre-square the per-die voltage multiplier once.
         self._v_mult_sq = (1.0 + silicon.voltage_offset) ** 2
+        self._leak_f32: np.ndarray | None = None
 
     @property
     def n(self) -> int:
         """Population size."""
         return self.silicon.n
+
+    def leakage_scale_w_f32(self) -> np.ndarray:
+        """Per-die leakage at the reference temperature, cached float32.
+
+        ``leakage_scale * leakage_nominal_w`` is loop-invariant across every
+        fixed-point solve the DVFS controller runs, so it is computed once
+        per model and shared (read-only) by all solver workspaces.
+        """
+        if self._leak_f32 is None:
+            leak = (
+                self.silicon.leakage_scale * self.spec.leakage_nominal_w
+            ).astype(np.float32)
+            leak.setflags(write=False)
+            self._leak_f32 = leak
+        return self._leak_f32
 
     # -- components ---------------------------------------------------------
 
@@ -57,17 +73,21 @@ class PowerModel:
         f_mhz: np.ndarray,
         activity: np.ndarray | float,
         efficiency: np.ndarray | float = 1.0,
+        indices: np.ndarray | None = None,
     ) -> np.ndarray:
         """Core switching power at frequency ``f_mhz``.
 
         ``activity`` is the workload's switching-activity factor in [0, 1];
         ``efficiency`` is the defect throughput multiplier (sick GPUs stall,
         switching less and burning less power — the 76 W stragglers of
-        Fig. 15b fall out of this coupling).
+        Fig. 15b fall out of this coupling).  ``indices`` restricts the
+        per-die parameters to a population subset, for callers evaluating
+        only the GPUs whose state changed (the engine's fast-cap clamp).
         """
         f = np.asarray(f_mhz, dtype=float)
         v_nom = self.spec.voltage_at(f)
-        v_sq = v_nom**2 * _col(self._v_mult_sq, f.ndim)
+        v_mult_sq = self._v_mult_sq if indices is None else self._v_mult_sq[indices]
+        v_sq = v_nom**2 * _col(v_mult_sq, f.ndim)
         act = np.asarray(activity, dtype=float) * np.asarray(efficiency, dtype=float)
         return act * self.spec.c_eff_w_per_v2mhz * v_sq * f
 
@@ -76,13 +96,22 @@ class PowerModel:
         util = np.clip(np.asarray(dram_utilization, dtype=float), 0.0, 1.0)
         return util * self.spec.mem_power_max_w
 
-    def leakage_power(self, temperature_c: np.ndarray | float) -> np.ndarray:
+    def leakage_power(
+        self,
+        temperature_c: np.ndarray | float,
+        indices: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Static power of each die at junction temperature ``temperature_c``."""
         t = np.asarray(temperature_c, dtype=float)
         base = self.spec.leakage_nominal_w * np.exp(
             self.spec.leakage_temp_coeff * (t - 25.0)
         )
-        return _col(self.silicon.leakage_scale, t.ndim) * base
+        scale = (
+            self.silicon.leakage_scale
+            if indices is None
+            else self.silicon.leakage_scale[indices]
+        )
+        return _col(scale, t.ndim) * base
 
     # -- totals ---------------------------------------------------------------
 
@@ -93,12 +122,17 @@ class PowerModel:
         activity: np.ndarray | float,
         dram_utilization: np.ndarray | float,
         efficiency: np.ndarray | float = 1.0,
+        indices: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Board power at an operating point (vectorized, broadcasting)."""
+        """Board power at an operating point (vectorized, broadcasting).
+
+        With ``indices``, the inputs cover only that population subset and
+        the per-die parameters are sliced to match.
+        """
         return (
-            self.dynamic_power(f_mhz, activity, efficiency)
+            self.dynamic_power(f_mhz, activity, efficiency, indices=indices)
             + self.memory_power(dram_utilization)
-            + self.leakage_power(temperature_c)
+            + self.leakage_power(temperature_c, indices=indices)
             + self.spec.idle_power_w
         )
 

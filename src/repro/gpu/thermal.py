@@ -55,11 +55,27 @@ class ThermalModel:
         self.spec = spec
         self.r_theta = r
         self.coolant_c = tc
+        self._fp32: tuple[np.ndarray, np.ndarray] | None = None
 
     @property
     def n(self) -> int:
         """Population size."""
         return int(self.r_theta.shape[0])
+
+    def fixed_point_params_f32(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(r_theta, coolant_c)`` as cached, read-only float32 arrays.
+
+        The DVFS steady-state solver runs its leakage/temperature fixed
+        point in float32; these casts are loop-invariant per model, so they
+        are made once and shared by every solve.
+        """
+        if self._fp32 is None:
+            r32 = self.r_theta.astype(np.float32)
+            tc32 = self.coolant_c.astype(np.float32)
+            r32.setflags(write=False)
+            tc32.setflags(write=False)
+            self._fp32 = (r32, tc32)
+        return self._fp32
 
     @property
     def time_constant_s(self) -> np.ndarray:

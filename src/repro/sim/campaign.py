@@ -12,6 +12,12 @@ Execution is delegated to :mod:`repro.sim.parallel`, which partitions the
 — into a deterministic shard plan.  Pass ``workers=N`` (or a full
 :class:`~repro.sim.parallel.ParallelConfig`) to fan the plan out across
 processes; the result is bit-identical to the serial execution.
+
+Attach a :class:`~repro.telemetry.progress.CampaignProgress` to watch shards
+complete; besides per-shard timings, its ``solver_stats`` property
+aggregates the DVFS ladder-search counters
+(:class:`~repro.gpu.dvfs.SolverStats`) across the campaign — how much of
+the dense p-state grid the steady-state solver avoided evaluating.
 """
 
 from __future__ import annotations

@@ -110,6 +110,12 @@ class Engine:
         self._steps_per_control = max(
             1, int(round(fleet.spec.dvfs_interval_ms / 1000.0 / self.config.dt_s))
         )
+        # Loop invariants of the integration: per-GPU efficiency/bandwidth
+        # and the p-state ladder never change mid-run, so compute them once
+        # instead of per step (and per fast-cap clamp iteration).
+        self._steps = fleet.spec.pstate_array()
+        self._efficiency = fleet.throughput_efficiency()
+        self._bandwidth = fleet.memory_bandwidth_gbs()
         n = fleet.n
         self.state = EngineState(
             time_s=0.0,
@@ -136,7 +142,7 @@ class Engine:
 
     def frequency_mhz(self) -> np.ndarray:
         """Instantaneous core clocks."""
-        return self.fleet.spec.pstate_array()[self.state.pstate_index]
+        return self._steps[self.state.pstate_index]
 
     def instantaneous_power(self) -> np.ndarray:
         """Board power at the current state."""
@@ -150,7 +156,28 @@ class Engine:
             s.temperature_c,
             act,
             dram,
-            self.fleet.throughput_efficiency(),
+            self._efficiency,
+        )
+
+    def _instantaneous_power_at(self, indices: np.ndarray) -> np.ndarray:
+        """Board power for the GPUs at ``indices`` only.
+
+        Elementwise-identical to ``instantaneous_power()[indices]`` — the
+        power model is a per-GPU expression with no cross-GPU terms — but
+        costs O(len(indices)) instead of O(n).  Used by the fast-cap clamp,
+        which only ever changes the state of over-cap GPUs.
+        """
+        s = self.state
+        active = s.kernel_active[indices]
+        act = np.where(active, self.phase.activity, self.config.idle_activity)
+        dram = np.where(active, self.phase.dram_utilization, 0.02)
+        return self.fleet.power_model.total_power(
+            self._steps[s.pstate_index[indices]],
+            s.temperature_c[indices],
+            act,
+            dram,
+            self._efficiency[indices],
+            indices=indices,
         )
 
     def step(self) -> None:
@@ -176,7 +203,7 @@ class Engine:
         # Retire work at the instantaneous clock (dt in ms for the roofline
         # throughput constants).
         f = self.frequency_mhz()
-        eff = self.fleet.throughput_efficiency()
+        eff = self._efficiency
         active = s.kernel_active
         if active.any():
             dt_ms = dt * 1000.0
@@ -184,7 +211,7 @@ class Engine:
                 f[active] * self.fleet.spec.compute_throughput * eff[active] * dt_ms
             )
             s.memory_remaining[active] -= (
-                self.fleet.memory_bandwidth_gbs()[active] * 1.0e6 * dt_ms
+                self._bandwidth[active] * 1.0e6 * dt_ms
             )
             done = active & (s.compute_remaining <= 0) & (s.memory_remaining <= 0)
             if done.any():
@@ -196,14 +223,17 @@ class Engine:
         # (voltage droop detection), far faster than the firmware control
         # interval — without this, every kernel launch would briefly report
         # hundreds of watts over a POWER_DELIVERY cap, which real boards
-        # (and Fig. 25) never show.
-        over = power > self.cap * 1.02
+        # (and Fig. 25) never show.  Only the over-cap GPUs change state, so
+        # only their power is re-evaluated; GPUs under the cap keep the
+        # board power already computed above, bit for bit.
+        cap_fast = self.cap * 1.02
+        over_idx = np.flatnonzero(power > cap_fast)
         for _ in range(4):
-            if not over.any():
+            if over_idx.size == 0:
                 break
-            s.pstate_index[over] = np.maximum(s.pstate_index[over] - 4, 0)
-            power = self.instantaneous_power()
-            over = power > self.cap * 1.02
+            s.pstate_index[over_idx] = np.maximum(s.pstate_index[over_idx] - 4, 0)
+            power[over_idx] = self._instantaneous_power_at(over_idx)
+            over_idx = over_idx[power[over_idx] > cap_fast[over_idx]]
 
         # Firmware control tick.
         self._tick += 1

@@ -58,6 +58,7 @@ from ..cluster.allocator import ExclusiveNodeAllocator
 from ..cluster.cluster import Cluster
 from ..config import require
 from ..errors import SimulationError
+from ..gpu.dvfs import SolverStats
 from ..telemetry.dataset import MeasurementDataset
 from ..telemetry.progress import CampaignProgress, ShardTiming
 from ..workloads.base import Workload
@@ -235,7 +236,7 @@ def _execute_shard(
     workload: Workload,
     power_limit_w: float | None,
     task: ShardTask,
-) -> tuple[MeasurementDataset, float]:
+) -> tuple[MeasurementDataset, float, "SolverStats | None"]:
     """Simulate one shard and convert it to its dataset slice.
 
     Single-shard runs take the exact legacy path (the ``"run"`` stream of
@@ -279,7 +280,7 @@ def _execute_shard(
     from .campaign import _to_dataset  # deferred: campaign imports us too
 
     dataset = _to_dataset(cluster, workload, task.day, task.run_index, result)
-    return dataset, time.perf_counter() - started
+    return dataset, time.perf_counter() - started, result.solver_stats
 
 
 def _shard_error(task: ShardTask, exc: BaseException) -> SimulationError:
@@ -311,10 +312,12 @@ def _init_worker(
 
 def _run_task_in_worker(
     index: int, task: ShardTask
-) -> tuple[int, MeasurementDataset, float]:
+) -> tuple[int, MeasurementDataset, float, "SolverStats | None"]:
     cluster, workload, power_limit_w = _WORKER_CONTEXT["campaign"]
-    dataset, duration = _execute_shard(cluster, workload, power_limit_w, task)
-    return index, dataset, duration
+    dataset, duration, solver = _execute_shard(
+        cluster, workload, power_limit_w, task
+    )
+    return index, dataset, duration, solver
 
 
 def _make_executor(
@@ -377,6 +380,7 @@ def _record(
     task: ShardTask,
     dataset: MeasurementDataset,
     duration: float,
+    solver: "SolverStats | None",
 ) -> None:
     if progress is None:
         return
@@ -388,6 +392,7 @@ def _record(
             n_shards=task.n_shards,
             n_rows=dataset.n_rows,
             duration_s=duration,
+            solver=solver,
         )
     )
 
@@ -402,12 +407,12 @@ def _execute_serial(
     parts: list[MeasurementDataset] = []
     for task in tasks:
         try:
-            dataset, duration = _execute_shard(
+            dataset, duration, solver = _execute_shard(
                 cluster, workload, config.power_limit_w, task
             )
         except SimulationError as exc:
             raise _shard_error(task, exc) from exc
-        _record(progress, task, dataset, duration)
+        _record(progress, task, dataset, duration, solver)
         parts.append(dataset)
     return parts
 
@@ -444,14 +449,14 @@ def _execute_pool(
             for future in done:
                 task = futures[future]
                 try:
-                    index, dataset, duration = future.result()
+                    index, dataset, duration, solver = future.result()
                 except Exception as exc:
                     # Fail fast with shard context rather than letting the
                     # remaining futures drain (or the caller hang on a
                     # half-merged campaign).
                     raise _shard_error(task, exc) from exc
                 parts[index] = dataset
-                _record(progress, task, dataset, duration)
+                _record(progress, task, dataset, duration, solver)
     finally:
         executor.shutdown(wait=True, cancel_futures=True)
     assert all(p is not None for p in parts)
@@ -464,9 +469,11 @@ def _run_thread_task(
     power_limit_w: float | None,
     index: int,
     task: ShardTask,
-) -> tuple[int, MeasurementDataset, float]:
-    dataset, duration = _execute_shard(cluster, workload, power_limit_w, task)
-    return index, dataset, duration
+) -> tuple[int, MeasurementDataset, float, "SolverStats | None"]:
+    dataset, duration, solver = _execute_shard(
+        cluster, workload, power_limit_w, task
+    )
+    return index, dataset, duration, solver
 
 
 def default_worker_count(cap: int = 4) -> int:

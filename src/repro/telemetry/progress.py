@@ -7,6 +7,11 @@ campaign is slow, to see *which* shards were slow.  :class:`CampaignProgress`
 is the thread-safe sink both the serial and the parallel executors feed:
 one :class:`ShardTiming` per finished shard, in completion order (which for
 parallel execution is generally *not* canonical (day, run, shard) order).
+
+Each timing also carries the shard's DVFS steady-state
+:class:`~repro.gpu.dvfs.SolverStats` — how many fixed-point cells the ladder
+search evaluated vs the dense grid it replaced — aggregated campaign-wide by
+:attr:`CampaignProgress.solver_stats`.
 """
 
 from __future__ import annotations
@@ -15,6 +20,8 @@ import threading
 import time
 from dataclasses import dataclass
 from typing import Callable
+
+from ..gpu.dvfs import SolverStats
 
 __all__ = ["ShardTiming", "CampaignProgress"]
 
@@ -35,6 +42,9 @@ class ShardTiming:
     duration_s:
         Wall-clock seconds spent simulating the shard, measured inside
         the worker that executed it.
+    solver:
+        DVFS steady-state solver work counters for the shard's run
+        (``None`` for records produced by pre-solver-telemetry executors).
     """
 
     day: int
@@ -43,6 +53,7 @@ class ShardTiming:
     n_shards: int
     n_rows: int
     duration_s: float
+    solver: SolverStats | None = None
 
     def describe(self) -> str:
         """One-line human-readable rendering."""
@@ -133,15 +144,32 @@ class CampaignProgress:
             return 0.0
         return time.perf_counter() - self._began_at
 
+    @property
+    def solver_stats(self) -> SolverStats:
+        """Campaign-wide DVFS solver counters, merged across finished shards."""
+        merged = SolverStats()
+        with self._lock:
+            for timing in self._timings:
+                if timing.solver is not None:
+                    merged.merge(timing.solver)
+        return merged
+
     def summary(self) -> str:
         """One-line progress summary for logs and the CLI."""
         done = self.n_done
         total = self._total
-        return (
+        line = (
             f"{done}/{total} shards, {self.rows_done} rows, "
             f"{self.shard_seconds:.2f} s compute / "
             f"{self.wall_seconds:.2f} s wall"
         )
+        solver = self.solver_stats
+        if solver.solves:
+            line += (
+                f", solver skipped {solver.dense_fraction_avoided:.1%} "
+                "of dense fixed-point cells"
+            )
+        return line
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CampaignProgress({self.n_done}/{self._total} shards)"

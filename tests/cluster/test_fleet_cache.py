@@ -1,0 +1,149 @@
+"""Per-day and per-(day, shard) fleet memoization on :class:`Cluster`.
+
+The campaign hot path calls ``cluster.fleet_slice(day, indices)`` once per
+run; the cache must hand back the *same* fleet object for repeated (day,
+shard) coordinates, distinct objects across days and differing index sets,
+and must never leak across pickling (workers rebuild their own caches).
+"""
+
+import pickle
+
+import numpy as np
+
+from repro.cluster.cluster import _FLEET_CACHE_MAX, Cluster
+from repro.cluster.cooling import WaterCooling
+from repro.cluster.facility import FacilityModel
+from repro.cluster.topology import cabinet_topology
+from repro.gpu.defects import DefectConfig
+from repro.gpu.silicon import SiliconConfig
+from repro.gpu.specs import V100
+
+
+def make_cluster(seed=0, facility=None):
+    topo = cabinet_topology("T", 12, 4, 3)
+    return Cluster(
+        name="T",
+        spec=V100,
+        topology=topo,
+        cooling=WaterCooling(),
+        silicon_config=SiliconConfig(),
+        defect_config=DefectConfig.none(),
+        facility=facility,
+        seed=seed,
+    )
+
+
+def drifting_facility():
+    """A facility whose coolant offset differs day to day."""
+    return FacilityModel(
+        weekday_offsets_c=(0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5),
+        daily_sigma_c=0.0,
+    )
+
+
+class TestFleetForDay:
+    def test_memoized_per_day(self):
+        cluster = make_cluster(facility=drifting_facility())
+        assert cluster.fleet_for_day(2) is cluster.fleet_for_day(2)
+
+    def test_distinct_days_distinct_fleets(self):
+        cluster = make_cluster(facility=drifting_facility())
+        f0, f1 = cluster.fleet_for_day(0), cluster.fleet_for_day(1)
+        assert f0 is not f1
+        assert not np.array_equal(f0.coolant_c, f1.coolant_c)
+
+    def test_cached_fleet_reflects_day_offset(self):
+        cluster = make_cluster(facility=drifting_facility())
+        for day in (0, 3, 0, 3):  # second pass comes from the cache
+            fleet = cluster.fleet_for_day(day)
+            offset = cluster.facility.coolant_offset_c(
+                day, cluster.rng_factory
+            )
+            np.testing.assert_allclose(
+                fleet.coolant_c, cluster.environment.coolant_c + offset
+            )
+
+    def test_day_fleets_share_power_model(self):
+        # with_coolant reuses the electrical state — only the thermal
+        # environment differs day to day.
+        cluster = make_cluster(facility=drifting_facility())
+        assert (
+            cluster.fleet_for_day(1).power_model
+            is cluster.fleet.power_model
+        )
+
+    def test_eviction_keeps_cache_bounded(self):
+        cluster = make_cluster(facility=drifting_facility())
+        for day in range(_FLEET_CACHE_MAX + 10):
+            cluster.fleet_for_day(day)
+        assert len(cluster._fleet_day_cache) <= _FLEET_CACHE_MAX
+        # Evicted entries are simply recomputed, not errors.
+        assert cluster.fleet_for_day(0).n == cluster.n_gpus
+
+
+class TestFleetSlice:
+    def test_memoized_per_day_and_indices(self):
+        cluster = make_cluster(facility=drifting_facility())
+        idx = np.arange(0, 24, dtype=np.int64)
+        assert cluster.fleet_slice(1, idx) is cluster.fleet_slice(1, idx)
+
+    def test_matches_uncached_take(self):
+        cluster = make_cluster(facility=drifting_facility())
+        idx = np.array([3, 7, 11, 40], dtype=np.int64)
+        cached = cluster.fleet_slice(2, idx)
+        direct = cluster.fleet_for_day(2).take(idx)
+        np.testing.assert_array_equal(cached.coolant_c, direct.coolant_c)
+        np.testing.assert_array_equal(
+            cached.silicon.voltage_offset, direct.silicon.voltage_offset
+        )
+        np.testing.assert_array_equal(
+            cached.defects.kind, direct.defects.kind
+        )
+
+    def test_day_key_separates_entries(self):
+        cluster = make_cluster(facility=drifting_facility())
+        idx = np.arange(8, dtype=np.int64)
+        a, b = cluster.fleet_slice(0, idx), cluster.fleet_slice(1, idx)
+        assert a is not b
+        assert not np.array_equal(a.coolant_c, b.coolant_c)
+
+    def test_different_indices_different_entries(self):
+        cluster = make_cluster()
+        a = cluster.fleet_slice(0, np.arange(8, dtype=np.int64))
+        b = cluster.fleet_slice(0, np.arange(8, 16, dtype=np.int64))
+        assert a is not b
+
+    def test_dtype_does_not_alias_digests(self):
+        # int32 [0, 1] and int64 [big] could share raw bytes; the cache key
+        # carries the dtype so they must resolve to different slices.
+        cluster = make_cluster()
+        a32 = cluster.fleet_slice(0, np.array([1, 0], dtype=np.int32))
+        a64 = cluster.fleet_slice(0, np.array([1], dtype=np.int64))
+        assert a32.n == 2 and a64.n == 1
+
+    def test_eviction_keeps_cache_bounded(self):
+        cluster = make_cluster()
+        for start in range(_FLEET_CACHE_MAX + 10):
+            cluster.fleet_slice(
+                0, np.arange(start, start + 4, dtype=np.int64) % cluster.n_gpus
+            )
+        assert len(cluster._fleet_slice_cache) <= _FLEET_CACHE_MAX
+
+
+class TestPickling:
+    def test_caches_do_not_travel(self):
+        cluster = make_cluster(facility=drifting_facility())
+        cluster.fleet_for_day(0)
+        cluster.fleet_slice(0, np.arange(4, dtype=np.int64))
+        clone = pickle.loads(pickle.dumps(cluster))
+        assert clone._fleet_day_cache == {}
+        assert clone._fleet_slice_cache == {}
+
+    def test_clone_repopulates_identically(self):
+        cluster = make_cluster(facility=drifting_facility())
+        clone = pickle.loads(pickle.dumps(cluster))
+        idx = np.array([1, 5, 9], dtype=np.int64)
+        np.testing.assert_array_equal(
+            cluster.fleet_slice(3, idx).coolant_c,
+            clone.fleet_slice(3, idx).coolant_c,
+        )

@@ -1,0 +1,227 @@
+"""Ladder-search vs dense-grid steady-state solver equivalence.
+
+The ladder solver's entire value proposition is that it is *bit-identical*
+to the dense scan it replaces — every assertion here is exact equality, not
+allclose.  Cases concentrate on the boundaries where a binary search could
+plausibly diverge from an explicit scan: caps below the ladder bottom, caps
+above the ladder top, per-GPU boost ceilings at the extremes, severe defect
+combinations, and AMD dithering (which must consume identical RNG draws
+under both solvers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu.dvfs import (
+    SOLVER_GRID,
+    SOLVER_LADDER,
+    DvfsController,
+    DvfsPolicy,
+    SolverStats,
+    default_solver,
+)
+from repro.gpu.power import PowerModel
+from repro.gpu.silicon import SiliconConfig, sample_population
+from repro.gpu.specs import MI60, RTX5000, V100
+from repro.gpu.thermal import ThermalModel
+
+
+def make_controller(n=48, spec=V100, r=0.1, coolant=25.0, seed=0,
+                    policy=None, solver=None):
+    silicon = sample_population(
+        n, SiliconConfig(), np.random.default_rng(seed)
+    )
+    power = PowerModel(spec, silicon)
+    thermal = ThermalModel(spec, np.full(n, r), np.full(n, coolant))
+    return DvfsController(spec, power, thermal, policy, solver=solver)
+
+
+def assert_ops_identical(a, b):
+    """Every SteadyOperatingPoint array must match bit for bit."""
+    for field in ("pstate_index", "f_effective_mhz", "f_reported_mhz",
+                  "power_w", "temperature_c", "power_capped",
+                  "thermally_capped"):
+        lhs, rhs = getattr(a, field), getattr(b, field)
+        assert lhs.dtype == rhs.dtype, field
+        assert np.array_equal(lhs, rhs), field
+
+
+class TestLadderMatchesDense:
+    @pytest.mark.parametrize("spec", [V100, RTX5000, MI60],
+                             ids=lambda s: s.name)
+    def test_randomized_operating_points(self, spec):
+        ctl = make_controller(spec=spec, n=64, seed=3)
+        rng = np.random.default_rng(7)
+        for trial in range(4):
+            act = rng.uniform(0.1, 1.0, ctl.n)
+            dram = rng.uniform(0.0, 0.9, ctl.n)
+            eff = rng.uniform(0.6, 1.05, ctl.n)
+            cap = rng.uniform(0.5, 1.2, ctl.n) * spec.tdp_w
+            f_cap = rng.uniform(0.5, 1.0, ctl.n) * spec.f_max_mhz
+            kwargs = dict(power_cap_w=cap, f_cap_mhz=f_cap)
+            if ctl.policy.dither:
+                grid = ctl.solve_steady(
+                    act, dram, eff, rng=np.random.default_rng(trial),
+                    solver=SOLVER_GRID, **kwargs)
+                ladder = ctl.solve_steady(
+                    act, dram, eff, rng=np.random.default_rng(trial),
+                    solver=SOLVER_LADDER, **kwargs)
+            else:
+                grid = ctl.solve_steady(act, dram, eff,
+                                        solver=SOLVER_GRID, **kwargs)
+                ladder = ctl.solve_steady(act, dram, eff,
+                                          solver=SOLVER_LADDER, **kwargs)
+            assert_ops_identical(grid, ladder)
+
+    def test_scalar_inputs(self):
+        ctl = make_controller()
+        grid = ctl.solve_steady(1.0, 0.35, solver=SOLVER_GRID)
+        ladder = ctl.solve_steady(1.0, 0.35, solver=SOLVER_LADDER)
+        assert_ops_identical(grid, ladder)
+
+    def test_power_cap_below_ladder_bottom(self):
+        # Nothing is feasible: both solvers must settle on index 0.
+        ctl = make_controller(n=16)
+        grid = ctl.solve_steady(1.0, 0.35, power_cap_w=1.0,
+                                solver=SOLVER_GRID)
+        ladder = ctl.solve_steady(1.0, 0.35, power_cap_w=1.0,
+                                  solver=SOLVER_LADDER)
+        assert np.all(ladder.pstate_index == 0)
+        assert_ops_identical(grid, ladder)
+
+    def test_power_cap_above_everything(self):
+        ctl = make_controller(n=16)
+        grid = ctl.solve_steady(0.05, 0.05, power_cap_w=1e6,
+                                solver=SOLVER_GRID)
+        ladder = ctl.solve_steady(0.05, 0.05, power_cap_w=1e6,
+                                  solver=SOLVER_LADDER)
+        assert np.all(ladder.pstate_index == V100.n_pstates - 1)
+        assert_ops_identical(grid, ladder)
+
+    def test_extreme_boost_ceilings(self):
+        # f_cap below the ladder bottom, between rungs, and above the top —
+        # all in one population.
+        ctl = make_controller(n=6)
+        steps = ctl.pstates()
+        f_cap = np.array([
+            steps[0] * 0.5,            # below the bottom rung
+            steps[0],                  # exactly the bottom rung
+            (steps[3] + steps[4]) / 2,  # between rungs
+            steps[-1] * 0.5,
+            steps[-1],                 # exactly the top
+            steps[-1] * 2.0,           # above the top
+        ])
+        grid = ctl.solve_steady(0.4, 0.2, f_cap_mhz=f_cap,
+                                solver=SOLVER_GRID)
+        ladder = ctl.solve_steady(0.4, 0.2, f_cap_mhz=f_cap,
+                                  solver=SOLVER_LADDER)
+        assert_ops_identical(grid, ladder)
+
+    def test_severe_defect_combination(self):
+        # Mimic a POWER_DELIVERY + SICK_SLOW pileup: tiny per-GPU caps,
+        # tiny ceilings, degraded efficiency, hot coolant.
+        ctl = make_controller(n=32, r=0.22, coolant=45.0, seed=9)
+        rng = np.random.default_rng(11)
+        cap = np.where(rng.random(ctl.n) < 0.3,
+                       rng.uniform(0.3, 0.6, ctl.n) * V100.tdp_w,
+                       V100.tdp_w)
+        f_cap = np.where(rng.random(ctl.n) < 0.3,
+                         rng.uniform(0.4, 0.8, ctl.n) * V100.f_max_mhz,
+                         V100.f_max_mhz)
+        eff = rng.uniform(0.5, 1.0, ctl.n)
+        grid = ctl.solve_steady(1.0, 0.5, eff, power_cap_w=cap,
+                                f_cap_mhz=f_cap, solver=SOLVER_GRID)
+        ladder = ctl.solve_steady(1.0, 0.5, eff, power_cap_w=cap,
+                                  f_cap_mhz=f_cap, solver=SOLVER_LADDER)
+        assert_ops_identical(grid, ladder)
+
+    def test_dither_consumes_identical_rng(self):
+        # AMD dithering draws from the caller's rng; the search itself must
+        # consume none, so both solvers leave the stream in the same state.
+        ctl = make_controller(spec=MI60, n=40, r=0.16, coolant=30.0)
+        assert ctl.policy.dither
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        grid = ctl.solve_steady(1.0, 0.45, rng=rng_a, solver=SOLVER_GRID)
+        ladder = ctl.solve_steady(1.0, 0.45, rng=rng_b, solver=SOLVER_LADDER)
+        assert_ops_identical(grid, ladder)
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+
+class TestColumnEvaluator:
+    def test_columns_match_grid_bitwise(self):
+        ctl = make_controller(n=24)
+        rng = np.random.default_rng(2)
+        act = rng.uniform(0.2, 1.0, ctl.n)
+        dram = rng.uniform(0.0, 0.8, ctl.n)
+        p_grid, t_grid = ctl.power_grid(act, dram)
+        idx = rng.integers(0, V100.n_pstates, size=ctl.n)
+        p_col, t_col = ctl.power_grid_columns(idx, act, dram)
+        rows = np.arange(ctl.n)
+        assert np.array_equal(p_col, p_grid[rows, idx])
+        assert np.array_equal(t_col, t_grid[rows, idx])
+
+    def test_two_dimensional_indices(self):
+        ctl = make_controller(n=8)
+        p_grid, t_grid = ctl.power_grid(0.7, 0.3)
+        idx = np.tile(np.array([0, 50, 186]), (ctl.n, 1))
+        p_col, t_col = ctl.power_grid_columns(idx, 0.7, 0.3)
+        assert p_col.shape == (ctl.n, 3)
+        rows = np.arange(ctl.n)[:, None]
+        assert np.array_equal(p_col, p_grid[rows, idx])
+        assert np.array_equal(t_col, t_grid[rows, idx])
+
+    def test_rejects_wrong_shape(self):
+        ctl = make_controller(n=8)
+        with pytest.raises(ValueError):
+            ctl.power_grid_columns(np.zeros((4,), dtype=int), 0.5, 0.2)
+
+
+class TestSolverStats:
+    def test_ladder_avoids_most_of_the_grid(self):
+        ctl = make_controller(n=128, solver=SOLVER_LADDER)
+        ctl.solve_steady(1.0, 0.35)
+        stats = ctl.stats
+        assert stats.solves == 1
+        assert stats.dense_cells == 128 * V100.n_pstates
+        assert stats.columns_evaluated < stats.dense_cells / 5
+        assert stats.dense_fraction_avoided > 0.8
+        assert stats.fixed_point_iterations == 7 * stats.columns_evaluated
+
+    def test_grid_avoids_nothing(self):
+        ctl = make_controller(n=16, solver=SOLVER_GRID)
+        ctl.solve_steady(1.0, 0.35)
+        assert ctl.stats.columns_evaluated >= ctl.stats.dense_cells
+        assert ctl.stats.dense_fraction_avoided == 0.0
+
+    def test_merge_and_copy(self):
+        a = SolverStats(solves=1, columns_evaluated=10, dense_cells=100,
+                        fixed_point_iterations=70)
+        b = a.copy()
+        b.merge(a)
+        assert b.solves == 2 and b.columns_evaluated == 20
+        assert a.solves == 1  # copy is independent
+        assert "avoided" in a.describe()
+
+
+class TestSolverSelection:
+    def test_env_var_changes_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DVFS_SOLVER", "grid")
+        assert default_solver() == SOLVER_GRID
+        assert make_controller(n=4).solver == SOLVER_GRID
+        monkeypatch.delenv("REPRO_DVFS_SOLVER")
+        assert default_solver() == SOLVER_LADDER
+
+    def test_bad_env_var_rejected(self, monkeypatch):
+        from repro.errors import ConfigError
+        monkeypatch.setenv("REPRO_DVFS_SOLVER", "quantum")
+        with pytest.raises(ConfigError):
+            default_solver()
+
+    def test_bad_solver_argument_rejected(self):
+        from repro.errors import ConfigError
+        ctl = make_controller(n=4)
+        with pytest.raises(ConfigError):
+            ctl.solve_steady(1.0, 0.35, solver="nope")
+        with pytest.raises(ConfigError):
+            make_controller(n=4, solver="nope")

@@ -1,0 +1,67 @@
+"""Campaign-level solver cross-checks and solver telemetry.
+
+``REPRO_DVFS_SOLVER=grid`` must reproduce the default (ladder) campaign
+dataset bit for bit — including on Corona, where AMD DPM dithering draws
+per-run RNG inside ``solve_steady`` and would drift on the first
+miscounted draw.  Fresh clusters are built per solver so the per-(day,
+shard) fleet cache cannot leak a controller constructed under the other
+solver default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import corona, longhorn
+from repro.gpu.dvfs import SOLVER_GRID, SOLVER_LADDER
+from repro.sim import CampaignConfig, run_campaign
+from repro.telemetry.progress import CampaignProgress
+from repro.workloads import sgemm
+from repro.workloads.sgemm import SGEMM_N_AMD
+
+CONFIG = CampaignConfig(days=2, runs_per_day=2, coverage=0.9)
+
+
+def assert_datasets_identical(a, b):
+    assert a.column_names == b.column_names
+    assert a.n_rows == b.n_rows
+    for name in a.column_names:
+        x, y = a[name], b[name]
+        assert x.dtype == y.dtype, f"column {name!r} dtype differs"
+        assert np.array_equal(x, y), f"column {name!r} differs"
+
+
+def run_with_solver(monkeypatch, make_cluster, workload, solver):
+    monkeypatch.setenv("REPRO_DVFS_SOLVER", solver)
+    try:
+        return run_campaign(make_cluster(), workload, CONFIG)
+    finally:
+        monkeypatch.delenv("REPRO_DVFS_SOLVER")
+
+
+def test_grid_solver_reproduces_longhorn_campaign(monkeypatch):
+    make = lambda: longhorn(seed=13, scale=0.25)
+    ladder = run_with_solver(monkeypatch, make, sgemm(), SOLVER_LADDER)
+    grid = run_with_solver(monkeypatch, make, sgemm(), SOLVER_GRID)
+    assert_datasets_identical(ladder, grid)
+
+
+def test_grid_solver_reproduces_corona_dither_campaign(monkeypatch):
+    # The AMD cluster: every solve dithers, so this fails on the first
+    # RNG draw the ladder search would add or skip relative to the scan.
+    make = lambda: corona(seed=13, scale=0.3)
+    workload = sgemm(n=SGEMM_N_AMD)
+    ladder = run_with_solver(monkeypatch, make, workload, SOLVER_LADDER)
+    grid = run_with_solver(monkeypatch, make, workload, SOLVER_GRID)
+    assert_datasets_identical(ladder, grid)
+
+
+def test_progress_surfaces_solver_stats(small_longhorn):
+    progress = CampaignProgress()
+    run_campaign(small_longhorn, sgemm(), CONFIG, progress=progress)
+    stats = progress.solver_stats
+    assert stats.solves > 0
+    assert stats.dense_cells > stats.columns_evaluated
+    assert stats.dense_fraction_avoided > 0.5
+    assert "solver skipped" in progress.summary()
+    assert all(t.solver is not None for t in progress.timings)

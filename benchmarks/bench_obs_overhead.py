@@ -1,0 +1,166 @@
+"""Observability overhead: the cost of the hooks, on and off.
+
+The observability layer (docs/OBSERVABILITY.md) promises:
+
+1. **Zero perturbation** — the traced campaign's CSV text is
+   byte-identical to the untraced one.  Asserted unconditionally.
+2. **Unmeasurable overhead when disabled** — with no tracer active, each
+   hook site is one ``active_tracer()`` call (a thread-local attribute
+   read) plus a ``None`` branch.  A wall-clock A/B cannot resolve that
+   against scheduler noise, so this benchmark measures it directly:
+   count the hook executions in a real untraced campaign (by wrapping
+   each instrumented module's ``active_tracer`` reference), microbench
+   the per-call cost, and assert the product stays under
+   ``MAX_DISABLED_OVERHEAD`` of the campaign wall clock.
+3. **Bounded cost when enabled** — tracing is explicit opt-in, so the
+   ceiling is looser (``MAX_TRACED_OVERHEAD``); this guards against a
+   hot-loop ``add``/``record_span`` regression, not against the price of
+   the spans themselves.
+
+Timing assertions are skipped under ``REPRO_BENCH_CHECK_ONLY=1`` (CI
+smoke on noisy shared runners); the equality assertion always runs.
+Results land in ``BENCH_obs.json`` for cross-commit tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from _bench_util import emit
+from repro.cluster import cluster as cluster_mod
+from repro.cluster import longhorn
+from repro.gpu import dvfs as dvfs_mod
+from repro.obs import Manifest, Tracer
+from repro.obs.tracer import active_tracer
+from repro.sim import CampaignConfig, run_campaign
+from repro.sim import engine as engine_mod
+from repro.sim import run as run_mod
+from repro.telemetry.io import dataset_to_csv_text
+from repro.workloads import sgemm
+
+#: Skip timing assertions (equality always asserts) — for CI smoke runs.
+CHECK_ONLY = os.environ.get("REPRO_BENCH_CHECK_ONLY") == "1"
+
+#: Ceiling for the disabled path: hook executions x per-call cost.
+MAX_DISABLED_OVERHEAD = 0.02
+
+#: Lenient regression guard for the opt-in enabled path.
+MAX_TRACED_OVERHEAD = 0.15
+
+#: Best-of count; the minimum of several runs strips scheduler noise.
+REPEATS = 5
+
+OUTPUT_PATH = pathlib.Path("BENCH_obs.json")
+
+CONFIG = CampaignConfig(days=10, runs_per_day=2)
+
+#: Every module that calls ``active_tracer()`` at a hook site.
+HOOK_MODULES = (run_mod, engine_mod, dvfs_mod, cluster_mod)
+
+
+def _timed_campaign(tracer=None, manifest=None):
+    """One serial Longhorn campaign on a fresh cluster (cold fleet cache)."""
+    cluster = longhorn(seed=2022)
+    started = time.perf_counter()
+    dataset = run_campaign(
+        cluster, sgemm(), CONFIG, workers=1,
+        tracer=tracer, manifest=manifest,
+    )
+    return dataset, time.perf_counter() - started
+
+
+def _count_hook_executions():
+    """Run one untraced campaign counting every active_tracer() call."""
+    calls = 0
+
+    def counting_active_tracer():
+        nonlocal calls
+        calls += 1
+        return active_tracer()
+
+    for module in HOOK_MODULES:
+        assert module.active_tracer is active_tracer, module.__name__
+        module.active_tracer = counting_active_tracer
+    try:
+        _timed_campaign()
+    finally:
+        for module in HOOK_MODULES:
+            module.active_tracer = active_tracer
+    return calls
+
+
+def _per_call_cost(n=200_000):
+    started = time.perf_counter()
+    for _ in range(n):
+        active_tracer()
+    return (time.perf_counter() - started) / n
+
+
+def test_observability_overhead():
+    baseline_ds, baseline_s = None, float("inf")
+    traced_s = float("inf")
+    tracer = Tracer()
+    for _ in range(REPEATS):
+        dataset, elapsed = _timed_campaign()
+        baseline_ds, baseline_s = dataset, min(baseline_s, elapsed)
+        tracer.spans.clear()
+        tracer.counters.clear()
+        traced_ds, elapsed = _timed_campaign(tracer=tracer)
+        traced_s = min(traced_s, elapsed)
+    manifest_ds, _ = _timed_campaign(tracer=Tracer(), manifest=Manifest())
+
+    # Guarantee 1: byte-identical output, observed or not.
+    baseline_csv = dataset_to_csv_text(baseline_ds)
+    assert dataset_to_csv_text(traced_ds) == baseline_csv
+    assert dataset_to_csv_text(manifest_ds) == baseline_csv
+    # ... and the tracer did actually observe the campaign.
+    counters = tracer.deterministic_counters()
+    assert counters["run.count"] == CONFIG.days * CONFIG.runs_per_day
+    assert counters["campaign.rows"] == traced_ds.n_rows
+
+    # Guarantee 2: the disabled path, measured directly.
+    hook_calls = _count_hook_executions()
+    assert hook_calls > 0, "no hook sites executed — instrumentation gone?"
+    hook_cost_s = hook_calls * _per_call_cost()
+    disabled_overhead = hook_cost_s / baseline_s
+
+    traced_overhead = traced_s / baseline_s - 1.0
+    emit(None, "Observability hooks: serial Longhorn campaign (10d x 2)", [
+        ("untraced best-of-5", "-", f"{baseline_s * 1e3:.1f} ms"),
+        ("disabled hook executions", "-", f"{hook_calls}"),
+        ("disabled-path cost", f"< {MAX_DISABLED_OVERHEAD:.0%}",
+         f"{disabled_overhead:.3%}"),
+        ("traced best-of-5", "-", f"{traced_s * 1e3:.1f} ms"),
+        ("traced overhead (opt-in)", f"< {MAX_TRACED_OVERHEAD:.0%}",
+         f"{traced_overhead:+.2%}"),
+        ("spans recorded", "-", f"{len(tracer.spans)}"),
+    ])
+
+    existing = {}
+    if OUTPUT_PATH.exists():
+        existing = json.loads(OUTPUT_PATH.read_text())
+    existing["campaign_serial_longhorn"] = {
+        "days": CONFIG.days,
+        "runs_per_day": CONFIG.runs_per_day,
+        "untraced_s": baseline_s,
+        "traced_s": traced_s,
+        "hook_calls": hook_calls,
+        "disabled_overhead": disabled_overhead,
+        "traced_overhead": traced_overhead,
+        "n_spans": len(tracer.spans),
+        "check_only": CHECK_ONLY,
+    }
+    OUTPUT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+    if not CHECK_ONLY:
+        assert disabled_overhead < MAX_DISABLED_OVERHEAD, (
+            f"disabled hooks cost {disabled_overhead:.3%} of the campaign "
+            f"(ceiling {MAX_DISABLED_OVERHEAD:.0%})"
+        )
+        assert traced_overhead < MAX_TRACED_OVERHEAD, (
+            f"tracing overhead {traced_overhead:.2%} exceeds the "
+            f"{MAX_TRACED_OVERHEAD:.0%} regression guard"
+        )

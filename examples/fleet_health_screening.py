@@ -15,27 +15,31 @@ Run:  python examples/fleet_health_screening.py
 
 from pathlib import Path
 
-from repro import (
-    CampaignConfig,
+from repro import api
+from repro.core import (
     flag_outlier_gpus,
-    longhorn,
+    node_outlier_counts,
     persistent_outliers,
-    resnet50,
-    run_campaign,
-    sgemm,
-    write_csv,
+    worst_performers,
 )
-from repro.core import node_outlier_counts, worst_performers
+from repro.telemetry import write_csv
 from repro.telemetry.sample import METRIC_PERFORMANCE, METRIC_POWER
 
 
 def main() -> None:
-    cluster = longhorn(seed=7)
-    config = CampaignConfig(days=3, runs_per_day=2)
+    cluster = api.load_preset("longhorn", seed=7)
+    config = api.CampaignConfig(days=3, runs_per_day=2)
+    manifest = api.Manifest()
 
     print(f"Screening {cluster.name} ({cluster.n_gpus} GPUs)...")
-    sgemm_data = run_campaign(cluster, sgemm(), config)
-    resnet_data = run_campaign(cluster, resnet50(), config)
+    sgemm_data = api.run_campaign(
+        cluster=cluster, workload=api.load_workload("sgemm"),
+        config=config, manifest=manifest,
+    )
+    resnet_data = api.run_campaign(
+        cluster=cluster, workload=api.load_workload("resnet50"),
+        config=config, manifest=manifest,
+    )
 
     sgemm_report = flag_outlier_gpus(sgemm_data, METRIC_PERFORMANCE)
     resnet_report = flag_outlier_gpus(resnet_data, METRIC_PERFORMANCE)
@@ -64,8 +68,11 @@ def main() -> None:
 
     out = Path("screening_longhorn.csv.gz")
     write_csv(sgemm_data, out)
+    audit = Path("screening_longhorn.manifest.json")
+    manifest.write(audit)
     print(f"\nRaw measurements archived to {out} "
-          f"({sgemm_data.n_rows} rows)")
+          f"({sgemm_data.n_rows} rows); campaign audit manifest "
+          f"(config digest, RNG roots, result digest) in {audit}")
 
 
 if __name__ == "__main__":

@@ -11,7 +11,7 @@ Run:  python examples/global_power_management.py
 
 import numpy as np
 
-from repro import longhorn, sgemm
+from repro import api
 from repro.mitigation import (
     allocate_equal_frequency,
     allocate_uniform,
@@ -20,9 +20,9 @@ from repro.mitigation import (
 
 
 def main() -> None:
-    cluster = longhorn(seed=7)
+    cluster = api.load_preset("longhorn", seed=7)
     fleet = cluster.fleet
-    workload = sgemm()
+    workload = api.load_workload("sgemm")
     print(f"Fleet: {cluster.name}, {fleet.n} x {fleet.spec.name} "
           f"(TDP {fleet.spec.tdp_w:.0f} W)\n")
 

@@ -10,12 +10,12 @@ Run:  python examples/power_limit_study.py
 
 import numpy as np
 
-from repro import BoxStats, cloudlab, sgemm
+from repro import api
 from repro.sim import simulate_run
 
 
 def main() -> None:
-    cluster = cloudlab(seed=7)
+    cluster = api.load_preset("cloudlab", seed=7)
     assert cluster.admin_access, "power limits need root (Section VI-B)"
     print(f"Sweeping power limits on {cluster.name} "
           f"({cluster.n_gpus} x {cluster.spec.name})\n")
@@ -31,13 +31,13 @@ def main() -> None:
         freq = []
         for run_index in range(8):
             result = simulate_run(
-                cluster, sgemm(), day=0, run_index=run_index,
-                power_limit_w=limit,
+                cluster, api.load_workload("sgemm"), day=0,
+                run_index=run_index, power_limit_w=limit,
             )
             perf.append(result.performance_ms)
             freq.append(result.true_frequency_mhz)
         perf = np.concatenate(perf)
-        stats = BoxStats.from_values(perf)
+        stats = api.BoxStats.from_values(perf)
         if reference is None:
             reference = stats.median
         print(f"{limit:>5.0f} W {stats.median:>8.0f} ms "

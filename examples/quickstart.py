@@ -8,16 +8,20 @@ the statistical-coverage check.
 Run:  python examples/quickstart.py
 """
 
-from repro import CampaignConfig, VariabilitySuite, longhorn, sgemm
+from repro import api
 
 
 def main() -> None:
-    cluster = longhorn(seed=7)
+    cluster = api.load_preset("longhorn", seed=7)
     print(f"Built {cluster.name}: {cluster.n_gpus} x {cluster.spec.name}, "
           f"{cluster.cooling.kind}-cooled\n")
 
-    suite = VariabilitySuite(cluster, CampaignConfig(days=7, runs_per_day=2))
-    report = suite.characterize(sgemm())
+    result = api.characterize(
+        cluster=cluster,
+        workload=api.load_workload("sgemm"),
+        config=api.CampaignConfig(days=7, runs_per_day=2),
+    )
+    report = result.report
 
     print(report.render())
     print()

@@ -8,24 +8,19 @@ often a naive scheduler hands you a slow GPU) and then builds the plan.
 Run:  python examples/variability_aware_scheduling.py
 """
 
-from repro import (
-    CampaignConfig,
-    longhorn,
-    plan_placements,
-    run_campaign,
-    sgemm,
-    slow_assignment_probability,
-)
+from repro import api
+from repro.core import plan_placements, slow_assignment_probability
 from repro.core.classify import classify_workload
 from repro.core.scheduler import node_variability_scores
-from repro.workloads import bert_pretraining, lammps_reaxc, pagerank, resnet50
 
 
 def main() -> None:
-    cluster = longhorn(seed=7)
+    cluster = api.load_preset("longhorn", seed=7)
     print(f"Profiling {cluster.name} with SGEMM...")
-    dataset = run_campaign(
-        cluster, sgemm(), CampaignConfig(days=3, runs_per_day=2)
+    dataset = api.run_campaign(
+        cluster=cluster,
+        workload=api.load_workload("sgemm"),
+        config=api.CampaignConfig(days=3, runs_per_day=2),
     )
 
     print("\n-- User impact of naive scheduling (Section VII) --")
@@ -35,8 +30,8 @@ def main() -> None:
               f">6% slower than the fastest")
 
     print("\n-- Application classification (from profiler counters) --")
-    workloads = [sgemm(), resnet50(), bert_pretraining(), lammps_reaxc(),
-                 pagerank()]
+    workloads = [api.load_workload(name) for name in
+                 ("sgemm", "resnet50", "bert", "lammps", "pagerank")]
     for wl in workloads:
         print(f"  {wl.name:<18} FU={wl.fu_utilization:>4.1f}/10  "
               f"stalls={wl.mem_stall_frac:.0%}  "

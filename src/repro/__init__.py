@@ -2,18 +2,21 @@
 
 A GPU-fleet variability simulator plus the paper's characterization suite.
 
-Quickstart::
+The supported import surface is :mod:`repro.api`::
 
-    from repro import longhorn, sgemm, VariabilitySuite, CampaignConfig
+    from repro import api
 
-    cluster = longhorn(seed=7)
-    suite = VariabilitySuite(cluster, CampaignConfig(days=7))
-    report = suite.characterize(sgemm())
-    print(report.render())
-    print(f"performance variation: {report.performance_variation:.1%}")
+    cluster = api.load_preset("longhorn", seed=7)
+    result = api.characterize(cluster=cluster,
+                              workload=api.load_workload("sgemm"),
+                              config=api.CampaignConfig(days=7))
+    print(result.report.render())
+    print(f"performance variation: {result.report.performance_variation:.1%}")
 
 Layers (see DESIGN.md):
 
+* :mod:`repro.api` — the stable facade (start here);
+* :mod:`repro.obs` — opt-in observability: spans, counters, manifests;
 * :mod:`repro.gpu` — SKU specs, silicon lottery, power/thermal/DVFS models;
 * :mod:`repro.cluster` — topologies, cooling plants, facility drift, the
   six paper cluster presets;
@@ -23,124 +26,127 @@ Layers (see DESIGN.md):
 * :mod:`repro.core` — the analysis/characterization suite (works on real
   cluster telemetry too);
 * :mod:`repro.hostbench` — real CPU microkernels through the same pipeline.
+
+The historical top-level re-exports (``from repro import longhorn``) still
+resolve, but emit :class:`DeprecationWarning` naming their supported
+replacement — see the deprecation table in the README.
 """
 
-from .cluster import (
-    Cluster,
-    cloudlab,
-    corona,
-    frontera,
-    get_preset,
-    list_presets,
-    longhorn,
-    summit,
-    vortex,
-)
-from .core import (
-    BoxStats,
-    ClusterReport,
-    VariabilitySuite,
-    correlation_matrix,
-    flag_outlier_gpus,
-    metric_boxstats,
-    normalized_performance,
-    pearson,
-    per_gpu_repeatability,
-    persistent_outliers,
-    plan_placements,
-    project_variation,
-    required_sample_size,
-    slow_assignment_probability,
-)
-from .gpu import MI60, RTX5000, V100, GPUFleet, get_spec
-from .mitigation import (
-    BlacklistPolicy,
-    allocate_equal_frequency,
-    allocate_uniform,
-    build_blacklist,
-    evaluate_allocation,
-    evaluate_blacklist,
-    evaluate_sharding,
-    weighted_shards,
-)
-from .sim import (
-    CampaignConfig,
-    run_campaign,
-    simulate_run,
-    simulate_timeseries,
-)
-from .telemetry import MeasurementDataset, read_csv, write_csv
-from .workloads import (
-    Workload,
-    bert_pretraining,
-    get_workload,
-    lammps_reaxc,
-    list_workloads,
-    pagerank,
-    resnet50,
-    sgemm,
-)
+import importlib
+import warnings
 
-__version__ = "1.0.0"
+from . import api
 
-__all__ = [
-    "__version__",
+__version__ = "1.1.0"
+
+__all__ = ["__version__", "api"]
+
+# Legacy top-level name -> (defining module, replacement to mention in the
+# DeprecationWarning).  The objects themselves are unchanged — only the
+# import path is deprecated.
+_DEPRECATED_EXPORTS: dict[str, tuple[str, str]] = {
     # clusters
-    "Cluster",
-    "longhorn",
-    "summit",
-    "frontera",
-    "vortex",
-    "corona",
-    "cloudlab",
-    "get_preset",
-    "list_presets",
+    "Cluster": ("repro.cluster", "repro.api.load_preset(...)"),
+    "longhorn": ("repro.cluster", 'repro.api.load_preset("longhorn")'),
+    "summit": ("repro.cluster", 'repro.api.load_preset("summit")'),
+    "frontera": ("repro.cluster", 'repro.api.load_preset("frontera")'),
+    "vortex": ("repro.cluster", 'repro.api.load_preset("vortex")'),
+    "corona": ("repro.cluster", 'repro.api.load_preset("corona")'),
+    "cloudlab": ("repro.cluster", 'repro.api.load_preset("cloudlab")'),
+    "get_preset": ("repro.cluster", "repro.api.load_preset"),
+    "list_presets": ("repro.cluster", "repro.api.list_presets"),
     # gpu
-    "V100",
-    "RTX5000",
-    "MI60",
-    "GPUFleet",
-    "get_spec",
+    "V100": ("repro.gpu", "repro.gpu.V100"),
+    "RTX5000": ("repro.gpu", "repro.gpu.RTX5000"),
+    "MI60": ("repro.gpu", "repro.gpu.MI60"),
+    "GPUFleet": ("repro.gpu", "repro.gpu.GPUFleet"),
+    "get_spec": ("repro.gpu", "repro.gpu.get_spec"),
     # workloads
-    "Workload",
-    "sgemm",
-    "resnet50",
-    "bert_pretraining",
-    "lammps_reaxc",
-    "pagerank",
-    "get_workload",
-    "list_workloads",
+    "Workload": ("repro.workloads", "repro.api.load_workload(...)"),
+    "sgemm": ("repro.workloads", 'repro.api.load_workload("sgemm")'),
+    "resnet50": ("repro.workloads", 'repro.api.load_workload("resnet50")'),
+    "bert_pretraining": (
+        "repro.workloads", 'repro.api.load_workload("bert_pretraining")'
+    ),
+    "lammps_reaxc": (
+        "repro.workloads", 'repro.api.load_workload("lammps_reaxc")'
+    ),
+    "pagerank": ("repro.workloads", 'repro.api.load_workload("pagerank")'),
+    "get_workload": ("repro.workloads", "repro.api.load_workload"),
+    "list_workloads": ("repro.workloads", "repro.api.list_workloads"),
     # sim
-    "CampaignConfig",
-    "run_campaign",
-    "simulate_run",
-    "simulate_timeseries",
+    "CampaignConfig": ("repro.sim", "repro.api.CampaignConfig"),
+    "run_campaign": ("repro.sim", "repro.api.run_campaign"),
+    "simulate_run": ("repro.sim", "repro.sim.simulate_run"),
+    "simulate_timeseries": ("repro.sim", "repro.sim.simulate_timeseries"),
     # telemetry
-    "MeasurementDataset",
-    "read_csv",
-    "write_csv",
+    "MeasurementDataset": ("repro.telemetry", "repro.api.MeasurementDataset"),
+    "read_csv": ("repro.telemetry", "repro.telemetry.read_csv"),
+    "write_csv": ("repro.telemetry", "repro.telemetry.write_csv"),
     # core
-    "BoxStats",
-    "VariabilitySuite",
-    "ClusterReport",
-    "metric_boxstats",
-    "normalized_performance",
-    "correlation_matrix",
-    "pearson",
-    "flag_outlier_gpus",
-    "persistent_outliers",
-    "per_gpu_repeatability",
-    "required_sample_size",
-    "project_variation",
-    "slow_assignment_probability",
-    "plan_placements",
-    # mitigation (Section VII, implemented)
-    "BlacklistPolicy",
-    "build_blacklist",
-    "evaluate_blacklist",
-    "weighted_shards",
-    "evaluate_sharding",
-    "allocate_uniform",
-    "allocate_equal_frequency",
-    "evaluate_allocation",
-]
+    "BoxStats": ("repro.core", "repro.api.BoxStats"),
+    "VariabilitySuite": ("repro.core", "repro.api.characterize"),
+    "ClusterReport": ("repro.core", "repro.api.ClusterReport"),
+    "metric_boxstats": ("repro.core", "repro.core.metric_boxstats"),
+    "normalized_performance": (
+        "repro.core", "repro.core.normalized_performance"
+    ),
+    "correlation_matrix": ("repro.core", "repro.core.correlation_matrix"),
+    "pearson": ("repro.core", "repro.core.pearson"),
+    "flag_outlier_gpus": ("repro.core", "repro.api.screen"),
+    "persistent_outliers": ("repro.core", "repro.api.screen"),
+    "per_gpu_repeatability": (
+        "repro.core", "repro.core.per_gpu_repeatability"
+    ),
+    "required_sample_size": ("repro.core", "repro.core.required_sample_size"),
+    "project_variation": ("repro.core", "repro.api.project"),
+    "slow_assignment_probability": (
+        "repro.core", "repro.core.slow_assignment_probability"
+    ),
+    "plan_placements": ("repro.core", "repro.core.plan_placements"),
+    # mitigation (Section VII)
+    "BlacklistPolicy": ("repro.mitigation", "repro.mitigation.BlacklistPolicy"),
+    "build_blacklist": ("repro.mitigation", "repro.mitigation.build_blacklist"),
+    "evaluate_blacklist": (
+        "repro.mitigation", "repro.mitigation.evaluate_blacklist"
+    ),
+    "weighted_shards": ("repro.mitigation", "repro.mitigation.weighted_shards"),
+    "evaluate_sharding": (
+        "repro.mitigation", "repro.mitigation.evaluate_sharding"
+    ),
+    "allocate_uniform": (
+        "repro.mitigation", "repro.mitigation.allocate_uniform"
+    ),
+    "allocate_equal_frequency": (
+        "repro.mitigation", "repro.mitigation.allocate_equal_frequency"
+    ),
+    "evaluate_allocation": (
+        "repro.mitigation", "repro.mitigation.evaluate_allocation"
+    ),
+}
+
+
+def __getattr__(name: str):
+    """Resolve legacy top-level names with a :class:`DeprecationWarning`.
+
+    The objects are the originals from their home subpackages — only the
+    ``repro.<name>`` spelling is deprecated, so old code keeps working
+    while the warning names the supported replacement.
+    """
+    try:
+        module_name, replacement = _DEPRECATED_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    warnings.warn(
+        f"importing {name!r} from the top-level 'repro' package is "
+        f"deprecated; use {replacement} (see repro.api)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(__all__) | set(_DEPRECATED_EXPORTS))

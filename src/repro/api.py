@@ -1,0 +1,365 @@
+"""The stable public facade — ``import repro.api`` and stop there.
+
+Everything a user of this package is supported in calling lives here, with
+keyword-only signatures that can grow without breaking callers:
+
+* :func:`load_preset` / :func:`load_workload` (+ the ``list_*`` helpers) —
+  construct the paper's clusters and applications by name;
+* :func:`run_campaign` — the measurement campaign, optionally parallel,
+  traced, and manifest-audited (see :mod:`repro.obs`);
+* :func:`characterize` — campaign + the paper's full analysis;
+* :func:`screen` — maintenance triage across applications (Section VII);
+* :func:`sweep` — the power-limit sweep on admin-access clusters (Fig. 22);
+* :func:`project` — scaled-normal projection to larger fleets (Sec. IV-D).
+
+Result types (:class:`CharacterizationResult`, :class:`ScreenReport`,
+:class:`SweepReport`, :class:`ProjectionReport`, plus the re-exported
+:class:`ClusterReport` et al.) are frozen dataclasses — inspect fields, do
+not mutate.
+
+Anything importable from deeper modules (``repro.sim``, ``repro.core``, …)
+remains reachable but is *not* covered by the facade's stability promise;
+the legacy top-level re-exports (``from repro import longhorn``) still work
+but emit :class:`DeprecationWarning` pointing here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cluster import get_preset, list_presets
+from .cluster.cluster import Cluster
+from .core import (
+    VariabilitySuite,
+    flag_outlier_gpus,
+    metric_boxstats,
+    persistent_outliers,
+    project_variation,
+)
+from .core.boxstats import BoxStats
+from .core.outliers import OutlierReport
+from .core.suite import ClusterReport
+from .obs import (
+    Manifest,
+    Tracer,
+    read_manifest,
+    validate_manifest,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from .sim.campaign import CampaignConfig
+from .sim.campaign import run_campaign as _run_campaign
+from .sim.parallel import ParallelConfig
+from .telemetry.dataset import MeasurementDataset
+from .telemetry.progress import CampaignProgress
+from .telemetry.sample import METRIC_PERFORMANCE
+from .workloads import get_workload, list_workloads
+from .workloads.base import Workload
+
+__all__ = [
+    # constructors / registries
+    "load_preset",
+    "load_workload",
+    "list_presets",
+    "list_workloads",
+    # verbs
+    "run_campaign",
+    "characterize",
+    "screen",
+    "sweep",
+    "project",
+    # domain types
+    "Cluster",
+    "Workload",
+    # result types
+    "CharacterizationResult",
+    "ScreenReport",
+    "WorkloadScreen",
+    "SweepPoint",
+    "SweepReport",
+    "ProjectionReport",
+    "ClusterReport",
+    "OutlierReport",
+    "BoxStats",
+    "MeasurementDataset",
+    # configuration
+    "CampaignConfig",
+    "ParallelConfig",
+    "CampaignProgress",
+    # observability
+    "Tracer",
+    "Manifest",
+    "read_manifest",
+    "validate_manifest",
+    "write_chrome_trace",
+    "write_events_jsonl",
+]
+
+
+# ---------------------------------------------------------------------------
+# constructors
+# ---------------------------------------------------------------------------
+
+
+def load_preset(name: str, *, seed: int = 0, scale: float = 1.0) -> Cluster:
+    """Build one of the paper's cluster presets by (case-insensitive) name.
+
+    See :func:`list_presets` for the available names.  ``scale`` shrinks
+    the machine proportionally for quick looks; ``seed`` selects the
+    silicon lottery / defect draw (the same seed is the same machine,
+    always).
+    """
+    return get_preset(name, seed=seed, scale=scale)
+
+
+def load_workload(name: str) -> Workload:
+    """Look up one of the paper's workloads by name (see :func:`list_workloads`)."""
+    return get_workload(name)
+
+
+# ---------------------------------------------------------------------------
+# campaign
+# ---------------------------------------------------------------------------
+
+
+def run_campaign(
+    *,
+    cluster: Cluster,
+    workload: Workload,
+    config: CampaignConfig | None = None,
+    workers: int | None = None,
+    parallel: ParallelConfig | None = None,
+    progress: CampaignProgress | None = None,
+    tracer: Tracer | None = None,
+    manifest: Manifest | None = None,
+) -> MeasurementDataset:
+    """Execute a measurement campaign; returns the long-form table.
+
+    Identical to :func:`repro.sim.campaign.run_campaign` but fully
+    keyword-only.  The result is bit-identical for any ``workers`` value
+    and with or without ``tracer``/``manifest`` attached.
+    """
+    return _run_campaign(
+        cluster,
+        workload,
+        config,
+        workers=workers,
+        parallel=parallel,
+        progress=progress,
+        tracer=tracer,
+        manifest=manifest,
+    )
+
+
+# ---------------------------------------------------------------------------
+# characterize
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CharacterizationResult:
+    """A campaign and the paper's full analysis of it."""
+
+    report: ClusterReport
+    dataset: MeasurementDataset
+
+
+def characterize(
+    *,
+    cluster: Cluster,
+    workload: Workload,
+    config: CampaignConfig | None = None,
+    workers: int | None = None,
+    tracer: Tracer | None = None,
+    manifest: Manifest | None = None,
+) -> CharacterizationResult:
+    """Measure a cluster and compute every analysis the paper performs.
+
+    The report side is exactly :meth:`VariabilitySuite.characterize
+    <repro.core.suite.VariabilitySuite.characterize>`; the raw dataset is
+    returned alongside so callers can archive or re-analyze it.
+    """
+    config = config if config is not None else CampaignConfig()
+    dataset = run_campaign(
+        cluster=cluster,
+        workload=workload,
+        config=config,
+        workers=workers,
+        tracer=tracer,
+        manifest=manifest,
+    )
+    suite = VariabilitySuite(cluster, config, workers=workers)
+    return CharacterizationResult(report=suite.analyze(dataset), dataset=dataset)
+
+
+# ---------------------------------------------------------------------------
+# screen
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadScreen:
+    """Outlier flags for one application."""
+
+    workload: str
+    outliers: OutlierReport
+
+
+@dataclass(frozen=True)
+class ScreenReport:
+    """Cross-application maintenance triage (the paper's Takeaway 6).
+
+    ``confirmed`` holds the node labels flagged by at least
+    ``min_confirmations`` applications — the actionable maintenance list.
+    """
+
+    screens: tuple[WorkloadScreen, ...]
+    confirmed: tuple[str, ...]
+    min_confirmations: int
+
+
+def screen(
+    *,
+    cluster: Cluster,
+    workloads: tuple[Workload, ...] | list[Workload],
+    config: CampaignConfig | None = None,
+    min_confirmations: int = 2,
+    workers: int | None = None,
+    tracer: Tracer | None = None,
+    manifest: Manifest | None = None,
+) -> ScreenReport:
+    """Flag outlier GPUs per application, confirm across applications."""
+    config = config if config is not None else CampaignConfig(days=3)
+    screens: list[WorkloadScreen] = []
+    reports: list[OutlierReport] = []
+    for workload in workloads:
+        dataset = run_campaign(
+            cluster=cluster,
+            workload=workload,
+            config=config,
+            workers=workers,
+            tracer=tracer,
+            manifest=manifest,
+        )
+        report = flag_outlier_gpus(dataset, METRIC_PERFORMANCE)
+        screens.append(WorkloadScreen(workload=workload.name, outliers=report))
+        reports.append(report)
+    confirmed = persistent_outliers(
+        reports, min_occurrences=min(min_confirmations, len(reports))
+    )
+    return ScreenReport(
+        screens=tuple(screens),
+        confirmed=tuple(sorted(confirmed)),
+        min_confirmations=min_confirmations,
+    )
+
+
+# ---------------------------------------------------------------------------
+# sweep
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One power limit's distribution over (GPU, run) measurements."""
+
+    power_limit_w: float
+    stats: BoxStats
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """The Fig.-22 power-limit sweep: one :class:`SweepPoint` per limit."""
+
+    cluster: str
+    workload: str
+    runs_per_limit: int
+    points: tuple[SweepPoint, ...]
+
+
+def sweep(
+    *,
+    cluster: Cluster,
+    power_limits_w: tuple[float, ...] | list[float],
+    workload: Workload | None = None,
+    runs: int = 6,
+    workers: int | None = None,
+    tracer: Tracer | None = None,
+    manifest: Manifest | None = None,
+) -> SweepReport:
+    """Sweep administrative power limits and report the spread at each.
+
+    Requires an admin-access cluster (only CloudLab in the paper).  Each
+    limit runs a one-day, ``runs``-per-day campaign — one manifest entry
+    per limit when ``manifest`` is attached.
+    """
+    workload = workload if workload is not None else get_workload("sgemm")
+    points: list[SweepPoint] = []
+    for limit in power_limits_w:
+        dataset = run_campaign(
+            cluster=cluster,
+            workload=workload,
+            config=CampaignConfig(
+                days=1, runs_per_day=runs, power_limit_w=float(limit)
+            ),
+            workers=workers,
+            tracer=tracer,
+            manifest=manifest,
+        )
+        stats = BoxStats.from_values(dataset.column(METRIC_PERFORMANCE))
+        points.append(SweepPoint(power_limit_w=float(limit), stats=stats))
+    return SweepReport(
+        cluster=cluster.name,
+        workload=workload.name,
+        runs_per_limit=runs,
+        points=tuple(points),
+    )
+
+
+# ---------------------------------------------------------------------------
+# project
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProjectionReport:
+    """Measured variation plus its scaled-normal projection (Section IV-D)."""
+
+    cluster: str
+    n_gpus_measured: int
+    target_n_gpus: int
+    measured_variation: float
+    projected_variation: float
+
+
+def project(
+    *,
+    cluster: Cluster,
+    target_n_gpus: int,
+    workload: Workload | None = None,
+    config: CampaignConfig | None = None,
+    workers: int | None = None,
+    tracer: Tracer | None = None,
+    manifest: Manifest | None = None,
+) -> ProjectionReport:
+    """Measure a cluster, then project its variation to a larger fleet."""
+    workload = workload if workload is not None else get_workload("sgemm")
+    config = config if config is not None else CampaignConfig(days=5)
+    dataset = run_campaign(
+        cluster=cluster,
+        workload=workload,
+        config=config,
+        workers=workers,
+        tracer=tracer,
+        manifest=manifest,
+    )
+    measured = metric_boxstats(dataset, METRIC_PERFORMANCE)
+    med = dataset.per_gpu_median(METRIC_PERFORMANCE)
+    projected = project_variation(med[METRIC_PERFORMANCE], target_n_gpus)
+    return ProjectionReport(
+        cluster=cluster.name,
+        n_gpus_measured=cluster.n_gpus,
+        target_n_gpus=target_n_gpus,
+        measured_variation=measured.variation,
+        projected_variation=projected,
+    )

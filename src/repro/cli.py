@@ -16,6 +16,17 @@ driven from the shell:
 ``project``
     Scaled-normal projection of a campaign's variability to a larger
     cluster (Section IV-D).
+
+Every subcommand accepts the same execution options — ``--seed``,
+``--workers``, ``--trace PATH`` and ``--manifest PATH`` — through one
+shared builder, so observability is uniformly available: ``--trace``
+writes a Chrome-trace JSON (Perfetto-loadable; ``.jsonl`` suffix switches
+to JSON Lines events) and ``--manifest`` writes the reproducibility-audit
+document (see :mod:`repro.obs` and docs/OBSERVABILITY.md).  Neither flag
+changes any computed output: results are bit-identical with or without
+them.
+
+All commands delegate to the stable :mod:`repro.api` facade.
 """
 
 from __future__ import annotations
@@ -24,22 +35,9 @@ import argparse
 import sys
 from typing import Sequence
 
-import numpy as np
-
-from .cluster import get_preset, list_presets
-from .core import (
-    VariabilitySuite,
-    flag_outlier_gpus,
-    metric_boxstats,
-    persistent_outliers,
-    project_variation,
-)
-from .core.boxstats import BoxStats
+from . import api
 from .errors import ReproError
-from .sim import CampaignConfig, run_campaign, simulate_run
 from .telemetry.io import write_csv
-from .telemetry.sample import METRIC_PERFORMANCE
-from .workloads import get_workload, list_workloads
 
 __all__ = ["main", "build_parser"]
 
@@ -53,12 +51,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list cluster presets and workloads")
+    p = sub.add_parser("list", help="list cluster presets and workloads")
+    _add_execution_args(p)
 
     p = sub.add_parser("characterize",
                        help="campaign + full variability report")
     _add_cluster_args(p)
-    _add_workers_arg(p)
+    _add_execution_args(p)
     p.add_argument("--workload", default="sgemm",
                    help="workload name (see `repro list`)")
     p.add_argument("--days", type=int, default=7)
@@ -69,7 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("screen", help="outlier triage across applications")
     _add_cluster_args(p)
-    _add_workers_arg(p)
+    _add_execution_args(p)
     p.add_argument("--workloads", default="sgemm,resnet50",
                    help="comma-separated workload names")
     p.add_argument("--days", type=int, default=3)
@@ -77,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="power-limit sweep (admin clusters)")
     _add_cluster_args(p, default_cluster="cloudlab")
+    _add_execution_args(p)
     p.add_argument("--limits", default="300,250,200,150,100",
                    help="comma-separated watt limits")
     p.add_argument("--runs", type=int, default=6)
@@ -84,7 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("project",
                        help="project variability to a larger cluster")
     _add_cluster_args(p)
-    _add_workers_arg(p)
+    _add_execution_args(p)
     p.add_argument("--target-n", type=int, required=True,
                    help="hypothetical cluster size (GPUs)")
     p.add_argument("--days", type=int, default=5)
@@ -96,15 +96,56 @@ def _add_cluster_args(p: argparse.ArgumentParser,
                       default_cluster: str = "longhorn") -> None:
     p.add_argument("--cluster", default=default_cluster,
                    help="cluster preset name")
-    p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scale", type=float, default=1.0,
                    help="shrink the cluster for quick looks (0-1]")
 
 
-def _add_workers_arg(p: argparse.ArgumentParser) -> None:
+def _add_execution_args(p: argparse.ArgumentParser) -> None:
+    """The shared execution/observability options every subcommand accepts."""
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed (same seed = same machine)")
     p.add_argument("--workers", type=int, default=None, metavar="N",
                    help="campaign worker processes (results are "
                         "bit-identical to serial; default serial)")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write a Chrome-trace JSON of the execution "
+                        "(open in ui.perfetto.dev; a .jsonl suffix writes "
+                        "JSON Lines events instead)")
+    p.add_argument("--manifest", metavar="PATH", default=None,
+                   help="write the reproducibility-audit manifest JSON")
+
+
+class _ObsSession:
+    """Per-invocation observability sinks built from the shared CLI flags.
+
+    Collects into in-memory :class:`~repro.obs.Tracer` /
+    :class:`~repro.obs.Manifest` objects during the command and writes the
+    requested files in :meth:`finish` — after the command's own output, so
+    traces of failed commands are never half-written.
+    """
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.trace_path: str | None = getattr(args, "trace", None)
+        self.manifest_path: str | None = getattr(args, "manifest", None)
+        self.tracer = api.Tracer() if self.trace_path else None
+        self.manifest = api.Manifest() if self.manifest_path else None
+
+    def finish(self) -> None:
+        if self.tracer is not None and self.trace_path is not None:
+            if self.trace_path.endswith(".jsonl"):
+                api.write_events_jsonl(self.tracer, self.trace_path)
+            else:
+                api.write_chrome_trace(self.tracer, self.trace_path)
+            print(f"trace written to {self.trace_path} "
+                  f"({len(self.tracer.spans)} spans)")
+        if self.manifest is not None and self.manifest_path is not None:
+            self.manifest.write(self.manifest_path)
+            print(f"manifest written to {self.manifest_path} "
+                  f"({len(self.manifest.campaigns)} campaign(s))")
+
+
+def _build_cluster(args: argparse.Namespace) -> "api.Cluster":
+    return api.load_preset(args.cluster, seed=args.seed, scale=args.scale)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -119,86 +160,97 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     print("cluster presets:")
-    for name in list_presets():
-        cluster = get_preset(name, scale=0.05 if name == "Summit" else 1.0)
+    for name in api.list_presets():
+        cluster = api.load_preset(
+            name, seed=args.seed, scale=0.05 if name == "Summit" else 1.0
+        )
         cfg = cluster.config()
         print(f"  {name:<10} {cfg.gpu_name:<8} {cfg.cooling:<6} "
               f"{'(scaled preview)' if name == 'Summit' else f'{cfg.n_gpus} GPUs'}")
     print("\nworkloads:")
-    for name in list_workloads():
-        wl = get_workload(name)
+    for name in api.list_workloads():
+        wl = api.load_workload(name)
         print(f"  {name:<14} {wl.n_gpus} GPU(s), metric "
               f"{wl.performance_metric}")
     return 0
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    cluster = get_preset(args.cluster, seed=args.seed, scale=args.scale)
-    workload = get_workload(args.workload)
-    suite = VariabilitySuite(cluster, CampaignConfig(
-        days=args.days, runs_per_day=args.runs_per_day,
-        coverage=args.coverage,
-    ), workers=args.workers)
-    dataset = suite.measure(workload)
-    report = suite.analyze(dataset)
-    print(report.render())
+    obs = _ObsSession(args)
+    result = api.characterize(
+        cluster=_build_cluster(args),
+        workload=api.load_workload(args.workload),
+        config=api.CampaignConfig(
+            days=args.days, runs_per_day=args.runs_per_day,
+            coverage=args.coverage,
+        ),
+        workers=args.workers,
+        tracer=obs.tracer,
+        manifest=obs.manifest,
+    )
+    print(result.report.render())
     if args.csv:
-        write_csv(dataset, args.csv)
+        write_csv(result.dataset, args.csv)
         print(f"\nraw measurements written to {args.csv} "
-              f"({dataset.n_rows} rows)")
+              f"({result.dataset.n_rows} rows)")
+    obs.finish()
     return 0
 
 
 def _cmd_screen(args: argparse.Namespace) -> int:
-    cluster = get_preset(args.cluster, seed=args.seed, scale=args.scale)
-    config = CampaignConfig(days=args.days)
-    reports = []
-    for name in args.workloads.split(","):
-        workload = get_workload(name.strip())
-        dataset = run_campaign(cluster, workload, config,
-                               workers=args.workers)
-        report = flag_outlier_gpus(dataset, METRIC_PERFORMANCE)
-        reports.append(report)
-        print(f"{workload.name:<18} {report.n_outlier_gpus:>3} outlier GPUs "
-              f"on nodes {list(report.node_labels)[:6]}")
-    confirmed = persistent_outliers(
-        reports, min_occurrences=min(args.min_confirmations, len(reports))
+    obs = _ObsSession(args)
+    report = api.screen(
+        cluster=_build_cluster(args),
+        workloads=[api.load_workload(name.strip())
+                   for name in args.workloads.split(",")],
+        config=api.CampaignConfig(days=args.days),
+        min_confirmations=args.min_confirmations,
+        workers=args.workers,
+        tracer=obs.tracer,
+        manifest=obs.manifest,
     )
+    for item in report.screens:
+        print(f"{item.workload:<18} {item.outliers.n_outlier_gpus:>3} "
+              f"outlier GPUs on nodes {list(item.outliers.node_labels)[:6]}")
     print(f"\nconfirmed outliers ({args.min_confirmations}+ apps): "
-          f"{sorted(confirmed) or 'none'}")
+          f"{sorted(report.confirmed) or 'none'}")
+    obs.finish()
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    cluster = get_preset(args.cluster, seed=args.seed, scale=args.scale)
-    workload = get_workload("sgemm")
+    obs = _ObsSession(args)
+    report = api.sweep(
+        cluster=_build_cluster(args),
+        power_limits_w=[float(x) for x in args.limits.split(",")],
+        runs=args.runs,
+        workers=args.workers,
+        tracer=obs.tracer,
+        manifest=obs.manifest,
+    )
     print(f"{'limit':>8} {'median':>10} {'variation':>10}")
-    for limit in (float(x) for x in args.limits.split(",")):
-        perf = np.concatenate([
-            simulate_run(cluster, workload, day=0, run_index=i,
-                         power_limit_w=limit).performance_ms
-            for i in range(args.runs)
-        ])
-        stats = BoxStats.from_values(perf)
-        print(f"{limit:>6.0f} W {stats.median:>8.0f} ms "
-              f"{stats.variation:>9.1%}")
+    for point in report.points:
+        print(f"{point.power_limit_w:>6.0f} W {point.stats.median:>8.0f} ms "
+              f"{point.stats.variation:>9.1%}")
+    obs.finish()
     return 0
 
 
 def _cmd_project(args: argparse.Namespace) -> int:
-    cluster = get_preset(args.cluster, seed=args.seed, scale=args.scale)
-    dataset = run_campaign(
-        cluster, get_workload("sgemm"), CampaignConfig(days=args.days),
+    obs = _ObsSession(args)
+    report = api.project(
+        cluster=_build_cluster(args),
+        target_n_gpus=args.target_n,
+        config=api.CampaignConfig(days=args.days),
         workers=args.workers,
+        tracer=obs.tracer,
+        manifest=obs.manifest,
     )
-    measured = metric_boxstats(dataset, METRIC_PERFORMANCE)
-    med = dataset.per_gpu_median(METRIC_PERFORMANCE)
-    projected = project_variation(
-        med[METRIC_PERFORMANCE], args.target_n
-    )
-    print(f"measured on {cluster.name} ({cluster.n_gpus} GPUs): "
-          f"{measured.variation:.1%}")
-    print(f"projected at {args.target_n} GPUs: {projected:.1%}")
+    print(f"measured on {report.cluster} ({report.n_gpus_measured} GPUs): "
+          f"{report.measured_variation:.1%}")
+    print(f"projected at {report.target_n_gpus} GPUs: "
+          f"{report.projected_variation:.1%}")
+    obs.finish()
     return 0
 
 

@@ -22,6 +22,7 @@ from ..gpu.defects import DefectAssignment, DefectConfig, DefectType, assign_def
 from ..gpu.device import GPUFleet
 from ..gpu.silicon import SiliconConfig, sample_population
 from ..gpu.specs import GPUSpec
+from ..obs.tracer import active_tracer
 from ..rng import RngFactory
 from .cooling import AirCooling, MineralOilCooling, WaterCooling
 from .facility import FacilityModel
@@ -218,8 +219,13 @@ class Cluster:
         """
         with self._fleet_cache_lock:
             fleet = self._fleet_day_cache.get(day_index)
+        tracer = active_tracer()
         if fleet is not None:
+            if tracer is not None:
+                tracer.add("cache.fleet_day.hit")
             return fleet
+        if tracer is not None:
+            tracer.add("cache.fleet_day.miss")
         offset = self.facility.coolant_offset_c(day_index, self.rng_factory)
         if offset == 0.0:
             fleet = self._base_fleet
@@ -248,8 +254,13 @@ class Cluster:
         key = (day_index, gpu_indices.dtype.str, gpu_indices.shape[0], digest)
         with self._fleet_cache_lock:
             fleet = self._fleet_slice_cache.get(key)
+        tracer = active_tracer()
         if fleet is not None:
+            if tracer is not None:
+                tracer.add("cache.fleet_slice.hit")
             return fleet
+        if tracer is not None:
+            tracer.add("cache.fleet_slice.miss")
         fleet = self.fleet_for_day(day_index).take(gpu_indices)
         with self._fleet_cache_lock:
             if len(self._fleet_slice_cache) >= _FLEET_CACHE_MAX:

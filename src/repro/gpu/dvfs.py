@@ -42,11 +42,13 @@ each solve performs is counted in :class:`SolverStats`.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..config import require
+from ..obs.tracer import active_tracer
 from .power import PowerModel
 from .specs import GPUSpec, VENDOR_AMD
 from .thermal import ThermalModel
@@ -432,6 +434,14 @@ class DvfsController:
         t_limit = self.spec.t_slowdown_c - self.policy.thermal_headroom_c
         self.stats.solves += 1
         self.stats.dense_cells += self.n * k
+        tracer = active_tracer()
+        if tracer is not None:
+            # Counter deltas come from SolverStats at the end of the solve:
+            # one batch of adds per solve keeps the hot _settle loop clean.
+            columns_before = self.stats.columns_evaluated
+            fixed_point_before = self.stats.fixed_point_iterations
+            span_start = time.time()
+            span_t0 = time.perf_counter()
 
         if solver == SOLVER_GRID:
             idx, p_level, t_level, p_above, t_above = self._scan_dense(
@@ -498,6 +508,22 @@ class DvfsController:
                     + duty * (t_above[dither_mask] - t_level[dither_mask])
                 )
 
+        if tracer is not None:
+            tracer.add("solver.solves", 1)
+            tracer.add("solver.dense_cells", self.n * k)
+            tracer.add("solver.columns_evaluated",
+                       self.stats.columns_evaluated - columns_before)
+            tracer.add("solver.fixed_point_iterations",
+                       self.stats.fixed_point_iterations - fixed_point_before)
+            tracer.record_span(
+                "solve",
+                category="solver",
+                track=tracer.track,
+                start_s=span_start,
+                duration_s=time.perf_counter() - span_t0,
+                n=self.n,
+                solver=solver,
+            )
         return SteadyOperatingPoint(
             pstate_index=idx.astype(np.int32),
             f_effective_mhz=f_eff,

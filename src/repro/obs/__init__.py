@@ -1,0 +1,58 @@
+"""Opt-in, zero-perturbation observability for the simulator itself.
+
+The paper's contribution is 18,800+ hours of telemetry *about* telemetry;
+this subpackage gives the simulator the same treatment: where does a
+campaign's wall clock go, how does solver work distribute across shards,
+and can a finished run be audited for reproducibility without re-running
+it?  Three pieces:
+
+* :mod:`repro.obs.tracer` — a hierarchical span tracer
+  (campaign → day → shard → run → solve) plus low-overhead counters,
+  activated per-thread so the sharded executors can collect per-shard
+  observations and merge them deterministically;
+* :mod:`repro.obs.export` — JSONL event sink and Chrome-trace/Perfetto
+  export, so campaign timelines are viewable in a browser;
+* :mod:`repro.obs.manifest` — machine-readable campaign manifests (config
+  digest, RNG label roots, solver mode, result digest) with a JSON schema,
+  enabling reproducibility audits without re-execution.
+
+Hard guarantees (pinned by ``tests/obs/``): with tracing enabled, campaign
+outputs are **bit-identical** to untraced runs — the tracer never draws
+randomness and never touches a float that feeds a measurement; with
+tracing disabled, the hooks reduce to a thread-local ``None`` check.
+"""
+
+from .tracer import (
+    NONDETERMINISTIC_COUNTER_PREFIXES,
+    SpanRecord,
+    Tracer,
+    activate,
+    active_tracer,
+)
+from .export import write_chrome_trace, write_events_jsonl
+from .manifest import (
+    MANIFEST_SCHEMA,
+    CampaignManifest,
+    Manifest,
+    build_campaign_manifest,
+    campaign_config_from_manifest,
+    read_manifest,
+    validate_manifest,
+)
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "activate",
+    "active_tracer",
+    "NONDETERMINISTIC_COUNTER_PREFIXES",
+    "write_chrome_trace",
+    "write_events_jsonl",
+    "CampaignManifest",
+    "Manifest",
+    "MANIFEST_SCHEMA",
+    "build_campaign_manifest",
+    "campaign_config_from_manifest",
+    "read_manifest",
+    "validate_manifest",
+]

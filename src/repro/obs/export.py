@@ -1,0 +1,105 @@
+"""Trace sinks: JSONL events and Chrome-trace/Perfetto export.
+
+Two serializations of the same :class:`~repro.obs.tracer.Tracer` contents:
+
+* :func:`write_events_jsonl` — one JSON object per line (``span`` events
+  followed by ``counter`` events), greppable and streamable;
+* :func:`write_chrome_trace` — the Chrome trace-event format (an object
+  with a ``traceEvents`` array of complete ``"X"`` events), loadable
+  directly in https://ui.perfetto.dev or ``chrome://tracing`` so a
+  campaign's timeline is viewable in a browser.  Tracks map to thread
+  rows; nesting within a track is inferred from time containment, which
+  is how the tracer expresses span hierarchy.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .tracer import Tracer
+
+__all__ = ["write_chrome_trace", "write_events_jsonl"]
+
+
+def write_events_jsonl(tracer: Tracer, path: str | Path) -> Path:
+    """Write the tracer's spans and counters as JSON Lines.
+
+    Span lines carry ``{"event": "span", name, category, track, start_s,
+    duration_s, args}``; after all spans, one ``{"event": "counter",
+    name, value}`` line per counter, sorted by name.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for record in tracer.spans:
+            fh.write(json.dumps({
+                "event": "span",
+                "name": record.name,
+                "category": record.category,
+                "track": record.track,
+                "start_s": record.start_s,
+                "duration_s": record.duration_s,
+                "args": dict(record.args),
+            }, sort_keys=True) + "\n")
+        for name, value in sorted(tracer.counters.items()):
+            fh.write(json.dumps(
+                {"event": "counter", "name": name, "value": value},
+                sort_keys=True,
+            ) + "\n")
+    return path
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path) -> Path:
+    """Write the tracer as a Chrome trace-event JSON file.
+
+    Every span becomes a complete (``"ph": "X"``) event with microsecond
+    timestamps relative to the earliest span, ``pid`` 1, and one ``tid``
+    per distinct track (tracks sorted lexically, so day/run/shard rows
+    appear in campaign order).  Counter totals are attached as a single
+    metadata-style instant event at the end of the timeline.
+    """
+    path = Path(path)
+    spans = tracer.spans
+    origin = min((s.start_s for s in spans), default=0.0)
+    tracks = sorted({s.track for s in spans})
+    tids = {track: i for i, track in enumerate(tracks)}
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": tids[track],
+            "name": "thread_name",
+            "args": {"name": track},
+        }
+        for track in tracks
+    ]
+    end_us = 0.0
+    for s in spans:
+        ts_us = (s.start_s - origin) * 1e6
+        dur_us = s.duration_s * 1e6
+        end_us = max(end_us, ts_us + dur_us)
+        events.append({
+            "ph": "X",
+            "pid": 1,
+            "tid": tids[s.track],
+            "name": s.name,
+            "cat": s.category,
+            "ts": ts_us,
+            "dur": dur_us,
+            "args": dict(s.args),
+        })
+    if tracer.counters:
+        events.append({
+            "ph": "i",
+            "pid": 1,
+            "tid": 0,
+            "name": "counters",
+            "s": "g",
+            "ts": end_us,
+            "args": {k: v for k, v in sorted(tracer.counters.items())},
+        })
+    path.write_text(
+        json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}),
+        encoding="utf-8",
+    )
+    return path

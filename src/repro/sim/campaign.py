@@ -42,6 +42,8 @@ from ..telemetry.sample import (
 from ..workloads.base import Workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..obs.manifest import Manifest
+    from ..obs.tracer import Tracer
     from .parallel import ParallelConfig
 
 __all__ = ["CampaignConfig", "run_campaign"]
@@ -70,8 +72,18 @@ class CampaignConfig:
     power_limit_w: float | None = None
 
     def __post_init__(self) -> None:
-        require(self.days >= 1, "days must be >= 1")
-        require(self.runs_per_day >= 1, "runs_per_day must be >= 1")
+        # Counts must be genuine integers: a float like 2.5 would silently
+        # truncate in range() loops and shard plans, so reject it outright
+        # (bool is an int subclass but is surely a caller mistake here).
+        for name in ("days", "runs_per_day"):
+            value = getattr(self, name)
+            require(
+                isinstance(value, int) and not isinstance(value, bool),
+                f"{name} must be an integer, got {value!r}",
+            )
+        require(self.days >= 1, f"days must be >= 1, got {self.days}")
+        require(self.runs_per_day >= 1,
+                f"runs_per_day must be >= 1, got {self.runs_per_day}")
         require(0 < self.coverage <= 1, "coverage must be in (0, 1]")
         require(
             self.power_limit_w is None or self.power_limit_w > 0,
@@ -87,6 +99,8 @@ def run_campaign(
     workers: int | None = None,
     parallel: "ParallelConfig | None" = None,
     progress: CampaignProgress | None = None,
+    tracer: "Tracer | None" = None,
+    manifest: "Manifest | None" = None,
 ) -> MeasurementDataset:
     """Execute a campaign and return the long-form measurement table.
 
@@ -112,6 +126,15 @@ def run_campaign(
     progress:
         Optional :class:`~repro.telemetry.progress.CampaignProgress` sink
         receiving one per-shard timing record as shards complete.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer` collecting spans and
+        counters for the campaign (see :mod:`repro.obs`).  Tracing never
+        perturbs the measurement: the dataset is byte-identical with or
+        without it.
+    manifest:
+        Optional :class:`~repro.obs.manifest.Manifest`; one audit entry
+        (config digest, RNG roots, solver totals, result digest) is
+        appended per executed campaign.
     """
     from .parallel import ParallelConfig, execute_campaign
 
@@ -123,7 +146,8 @@ def run_campaign(
             )
         parallel = ParallelConfig(workers=workers)
     return execute_campaign(
-        cluster, workload, config, parallel=parallel, progress=progress
+        cluster, workload, config, parallel=parallel, progress=progress,
+        tracer=tracer, manifest=manifest,
     )
 
 

@@ -22,6 +22,7 @@ import numpy as np
 from ..config import require
 from ..errors import SimulationError
 from ..gpu.device import GPUFleet
+from ..obs.tracer import active_tracer
 from ..workloads.base import Workload
 
 __all__ = ["EngineConfig", "EngineState", "Engine"]
@@ -228,20 +229,31 @@ class Engine:
         # board power already computed above, bit for bit.
         cap_fast = self.cap * 1.02
         over_idx = np.flatnonzero(power > cap_fast)
+        clamp_reevals = 0
         for _ in range(4):
             if over_idx.size == 0:
                 break
+            clamp_reevals += int(over_idx.size)
             s.pstate_index[over_idx] = np.maximum(s.pstate_index[over_idx] - 4, 0)
             power[over_idx] = self._instantaneous_power_at(over_idx)
             over_idx = over_idx[power[over_idx] > cap_fast[over_idx]]
 
         # Firmware control tick.
         self._tick += 1
-        if self._tick % self._steps_per_control == 0:
+        control_tick = self._tick % self._steps_per_control == 0
+        if control_tick:
             new_idx = self.fleet.controller.control_step(
                 s.pstate_index, power, s.temperature_c, self.cap
             )
             s.pstate_index = np.minimum(new_idx, self.f_ceiling_index)
+
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.add("engine.steps", 1)
+            if control_tick:
+                tracer.add("engine.control_ticks", 1)
+            if clamp_reevals:
+                tracer.add("engine.clamp_reevaluations", clamp_reevals)
 
         s.time_s += dt
 

@@ -59,6 +59,8 @@ from ..cluster.cluster import Cluster
 from ..config import require
 from ..errors import SimulationError
 from ..gpu.dvfs import SolverStats
+from ..obs.manifest import Manifest, build_campaign_manifest
+from ..obs.tracer import Tracer, activate
 from ..telemetry.dataset import MeasurementDataset
 from ..telemetry.progress import CampaignProgress, ShardTiming
 from ..workloads.base import Workload
@@ -283,6 +285,50 @@ def _execute_shard(
     return dataset, time.perf_counter() - started, result.solver_stats
 
 
+#: Track name for shard-local spans: lexical sort == canonical plan order.
+_SHARD_TRACK = "day-{day:03d}/run-{run:03d}/shard-{shard:02d}"
+
+def _execute_shard_observed(
+    cluster: Cluster,
+    workload: Workload,
+    power_limit_w: float | None,
+    task: ShardTask,
+    trace_enabled: bool,
+) -> tuple[MeasurementDataset, float, "SolverStats | None", "tuple | None"]:
+    """Execute one shard, optionally under a fresh shard-local tracer.
+
+    Every observed shard gets its *own* tracer — even on the serial path —
+    activated thread-locally for the duration of the shard, so counter
+    totals and span structure are identical for any worker count or
+    backend: the executors merge the returned payloads in canonical plan
+    order afterwards.
+    """
+    if not trace_enabled:
+        dataset, duration, solver = _execute_shard(
+            cluster, workload, power_limit_w, task
+        )
+        return dataset, duration, solver, None
+    shard_tracer = Tracer(
+        track=_SHARD_TRACK.format(
+            day=task.day, run=task.run_index, shard=task.shard_index
+        )
+    )
+    with activate(shard_tracer):
+        with shard_tracer.span(
+            "shard",
+            category="shard",
+            day=task.day,
+            run_index=task.run_index,
+            shard_index=task.shard_index,
+            n_shards=task.n_shards,
+            n_gpus=task.n_gpus,
+        ):
+            dataset, duration, solver = _execute_shard(
+                cluster, workload, power_limit_w, task
+            )
+    return dataset, duration, solver, shard_tracer.to_payload()
+
+
 def _shard_error(task: ShardTask, exc: BaseException) -> SimulationError:
     shard = (
         f", shard {task.shard_index + 1}/{task.n_shards}"
@@ -305,19 +351,24 @@ _WORKER_CONTEXT: dict[str, tuple] = {}
 
 
 def _init_worker(
-    cluster: Cluster, workload: Workload, power_limit_w: float | None
+    cluster: Cluster,
+    workload: Workload,
+    power_limit_w: float | None,
+    trace_enabled: bool,
 ) -> None:
-    _WORKER_CONTEXT["campaign"] = (cluster, workload, power_limit_w)
+    _WORKER_CONTEXT["campaign"] = (
+        cluster, workload, power_limit_w, trace_enabled
+    )
 
 
 def _run_task_in_worker(
     index: int, task: ShardTask
-) -> tuple[int, MeasurementDataset, float, "SolverStats | None"]:
-    cluster, workload, power_limit_w = _WORKER_CONTEXT["campaign"]
-    dataset, duration, solver = _execute_shard(
-        cluster, workload, power_limit_w, task
+) -> tuple[int, MeasurementDataset, float, "SolverStats | None", "tuple | None"]:
+    cluster, workload, power_limit_w, trace_enabled = _WORKER_CONTEXT["campaign"]
+    dataset, duration, solver, payload = _execute_shard_observed(
+        cluster, workload, power_limit_w, task, trace_enabled
     )
-    return index, dataset, duration, solver
+    return index, dataset, duration, solver, payload
 
 
 def _make_executor(
@@ -326,6 +377,7 @@ def _make_executor(
     cluster: Cluster,
     workload: Workload,
     power_limit_w: float | None,
+    trace_enabled: bool,
 ) -> Executor:
     if backend == "thread":
         return ThreadPoolExecutor(max_workers=n_workers)
@@ -339,7 +391,7 @@ def _make_executor(
         max_workers=n_workers,
         mp_context=ctx,
         initializer=_init_worker,
-        initargs=(cluster, workload, power_limit_w),
+        initargs=(cluster, workload, power_limit_w, trace_enabled),
     )
 
 
@@ -354,25 +406,134 @@ def execute_campaign(
     config: "CampaignConfig",
     parallel: ParallelConfig | None = None,
     progress: CampaignProgress | None = None,
+    *,
+    tracer: Tracer | None = None,
+    manifest: Manifest | None = None,
 ) -> MeasurementDataset:
     """Plan, execute (serially or in parallel), and merge a campaign.
 
     This is the engine behind :func:`repro.sim.campaign.run_campaign`;
     call that instead unless you are composing executors.
+
+    When ``tracer`` is given, every shard runs under its own shard-local
+    tracer (in whatever worker executes it) and the per-shard payloads are
+    merged into ``tracer`` in canonical plan order after the result merge
+    — so counter totals and span structure are independent of worker
+    count and backend.  When ``manifest`` is given, one
+    :class:`~repro.obs.manifest.CampaignManifest` entry is appended after
+    execution.  Neither sink perturbs the campaign: outputs are
+    bit-identical with or without them.
     """
     parallel = parallel if parallel is not None else ParallelConfig()
+    trace = tracer is not None
+    if trace:
+        campaign_start, campaign_t0 = time.time(), time.perf_counter()
+        plan_start, plan_t0 = time.time(), time.perf_counter()
     tasks = plan_shards(cluster, workload, config, parallel)
+    if trace:
+        tracer.record_span(
+            "plan",
+            category="campaign",
+            track=tracer.track,
+            start_s=plan_start,
+            duration_s=time.perf_counter() - plan_t0,
+            n_shards=len(tasks),
+        )
     if progress is not None:
         progress.begin(len(tasks))
     backend = parallel.resolved_backend()
     n_workers = min(parallel.effective_workers, len(tasks))
     if backend == "serial" or n_workers <= 1:
-        parts = _execute_serial(cluster, workload, config, tasks, progress)
-    else:
-        parts = _execute_pool(
-            cluster, workload, config, tasks, backend, n_workers, progress
+        parts, payloads, solvers = _execute_serial(
+            cluster, workload, config, tasks, progress, trace
         )
-    return MeasurementDataset.concat(parts)
+    else:
+        parts, payloads, solvers = _execute_pool(
+            cluster, workload, config, tasks, backend, n_workers, progress,
+            trace,
+        )
+    if trace:
+        merge_start, merge_t0 = time.time(), time.perf_counter()
+    dataset = MeasurementDataset.concat(parts)
+    if trace:
+        # Canonical-order merge: payloads are indexed by plan position, so
+        # the fold below is identical for any worker layout.
+        for payload in payloads:
+            if payload is not None:
+                tracer.merge_payload(payload)
+        _synthesize_day_spans(tracer, tasks, payloads)
+        tracer.record_span(
+            "merge",
+            category="campaign",
+            track=tracer.track,
+            start_s=merge_start,
+            duration_s=time.perf_counter() - merge_t0,
+            n_parts=len(parts),
+        )
+        tracer.add("campaign.shards", len(tasks))
+        tracer.add("campaign.rows", dataset.n_rows)
+        tracer.record_span(
+            "campaign",
+            category="campaign",
+            track=tracer.track,
+            start_s=campaign_start,
+            duration_s=time.perf_counter() - campaign_t0,
+            cluster=cluster.name,
+            workload=workload.name,
+            days=config.days,
+            runs_per_day=config.runs_per_day,
+            backend=backend,
+            workers=n_workers,
+        )
+    if manifest is not None:
+        totals = SolverStats()
+        for solver in solvers:
+            if solver is not None:
+                totals.merge(solver)
+        manifest.add(
+            build_campaign_manifest(
+                cluster, workload, config, parallel, len(tasks), dataset,
+                totals,
+            )
+        )
+    return dataset
+
+
+def _synthesize_day_spans(
+    tracer: Tracer, tasks: list[ShardTask], payloads: list["tuple | None"]
+) -> None:
+    """Record one span per campaign day covering its shard spans.
+
+    Day spans live on their own ``day-{d:03d}`` tracks (not inside shard
+    tracks) because in parallel execution a day's shards overlap in wall
+    time; a dedicated per-day row shows the day envelope without breaking
+    the time-containment nesting inside shard tracks.
+    """
+    bounds: dict[int, list] = {}
+    for task, payload in zip(tasks, payloads):
+        if payload is None:
+            continue
+        spans, _ = payload
+        for record in spans:
+            if record.name != "shard":
+                continue
+            entry = bounds.setdefault(
+                task.day, [record.start_s, record.end_s, 0]
+            )
+            entry[0] = min(entry[0], record.start_s)
+            entry[1] = max(entry[1], record.end_s)
+            entry[2] += 1
+    for day in sorted(bounds):
+        start, end, n_shards = bounds[day]
+        tracer.record_span(
+            "day",
+            category="campaign",
+            track=f"day-{day:03d}",
+            start_s=start,
+            duration_s=max(0.0, end - start),
+            day=day,
+            n_shards=n_shards,
+        )
 
 
 def _record(
@@ -403,18 +564,24 @@ def _execute_serial(
     config: "CampaignConfig",
     tasks: list[ShardTask],
     progress: CampaignProgress | None,
-) -> list[MeasurementDataset]:
+    trace_enabled: bool,
+) -> tuple[list[MeasurementDataset], list["tuple | None"],
+           list["SolverStats | None"]]:
     parts: list[MeasurementDataset] = []
+    payloads: list["tuple | None"] = []
+    solvers: list["SolverStats | None"] = []
     for task in tasks:
         try:
-            dataset, duration, solver = _execute_shard(
-                cluster, workload, config.power_limit_w, task
+            dataset, duration, solver, payload = _execute_shard_observed(
+                cluster, workload, config.power_limit_w, task, trace_enabled
             )
         except SimulationError as exc:
             raise _shard_error(task, exc) from exc
         _record(progress, task, dataset, duration, solver)
         parts.append(dataset)
-    return parts
+        payloads.append(payload)
+        solvers.append(solver)
+    return parts, payloads, solvers
 
 
 def _execute_pool(
@@ -425,17 +592,23 @@ def _execute_pool(
     backend: str,
     n_workers: int,
     progress: CampaignProgress | None,
-) -> list[MeasurementDataset]:
+    trace_enabled: bool,
+) -> tuple[list[MeasurementDataset], list["tuple | None"],
+           list["SolverStats | None"]]:
     parts: list[MeasurementDataset | None] = [None] * len(tasks)
+    payloads: list["tuple | None"] = [None] * len(tasks)
+    solvers: list["SolverStats | None"] = [None] * len(tasks)
     executor = _make_executor(
-        backend, n_workers, cluster, workload, config.power_limit_w
+        backend, n_workers, cluster, workload, config.power_limit_w,
+        trace_enabled,
     )
     submit: Callable
     if backend == "thread":
         # Threads share the cluster object directly; no initializer needed.
         def submit(i: int, t: ShardTask):
             return executor.submit(
-                _run_thread_task, cluster, workload, config.power_limit_w, i, t
+                _run_thread_task, cluster, workload, config.power_limit_w,
+                i, t, trace_enabled,
             )
     else:
         def submit(i: int, t: ShardTask):
@@ -449,18 +622,20 @@ def _execute_pool(
             for future in done:
                 task = futures[future]
                 try:
-                    index, dataset, duration, solver = future.result()
+                    index, dataset, duration, solver, payload = future.result()
                 except Exception as exc:
                     # Fail fast with shard context rather than letting the
                     # remaining futures drain (or the caller hang on a
                     # half-merged campaign).
                     raise _shard_error(task, exc) from exc
                 parts[index] = dataset
+                payloads[index] = payload
+                solvers[index] = solver
                 _record(progress, task, dataset, duration, solver)
     finally:
         executor.shutdown(wait=True, cancel_futures=True)
     assert all(p is not None for p in parts)
-    return parts  # type: ignore[return-value]
+    return parts, payloads, solvers  # type: ignore[return-value]
 
 
 def _run_thread_task(
@@ -469,11 +644,12 @@ def _run_thread_task(
     power_limit_w: float | None,
     index: int,
     task: ShardTask,
-) -> tuple[int, MeasurementDataset, float, "SolverStats | None"]:
-    dataset, duration, solver = _execute_shard(
-        cluster, workload, power_limit_w, task
+    trace_enabled: bool,
+) -> tuple[int, MeasurementDataset, float, "SolverStats | None", "tuple | None"]:
+    dataset, duration, solver, payload = _execute_shard_observed(
+        cluster, workload, power_limit_w, task, trace_enabled
     )
-    return index, dataset, duration, solver
+    return index, dataset, duration, solver, payload
 
 
 def default_worker_count(cap: int = 4) -> int:

@@ -21,6 +21,7 @@ The simulation is fully vectorized over the participating GPUs:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,6 +30,7 @@ from ..cluster.cluster import Cluster
 from ..config import require
 from ..errors import SimulationError
 from ..gpu.dvfs import SolverStats
+from ..obs.tracer import active_tracer
 from ..telemetry.sample import SensorModel
 from ..workloads.base import WAIT_ACTIVITY, Workload
 
@@ -186,6 +188,11 @@ def simulate_run(
     if workload.is_multi_gpu:
         _check_node_alignment(cluster, workload, gpu_indices)
 
+    tracer = active_tracer()
+    if tracer is not None:
+        span_start = time.time()
+        span_t0 = time.perf_counter()
+
     sensor = sensor if sensor is not None else SensorModel()
     # Memoized per (day, shard): the day's facility conditions and the
     # silicon/thermal re-slicing are shared by every run of the same shard.
@@ -289,6 +296,20 @@ def simulate_run(
         op.f_reported_mhz, spec.pstate_array()
     )
 
+    if tracer is not None:
+        tracer.add("run.count", 1)
+        tracer.add("run.gpus", n)
+        tracer.record_span(
+            "run",
+            category="run",
+            track=tracer.track,
+            start_s=span_start,
+            duration_s=time.perf_counter() - span_t0,
+            workload=workload.name,
+            day=day,
+            run_index=run_index,
+            n_gpus=n,
+        )
     return RunMeasurements(
         gpu_indices=gpu_indices.copy(),
         performance_ms=performance,

@@ -50,13 +50,24 @@ class TraceRecorder:
                 f"interval {interval_s * 1000:.3f} ms is below the profiler "
                 f"floor of {self.sensor.min_interval_ms} ms"
             )
+        power_gain = np.asarray(power_gain, dtype=float)
+        if power_gain.ndim != 1:
+            raise TelemetryError(
+                f"power_gain must be 1-D (one gain per tracked GPU), "
+                f"got shape {power_gain.shape}"
+            )
         if len(labels) != power_gain.shape[0]:
             raise TelemetryError(
                 f"{len(labels)} labels but {power_gain.shape[0]} gain entries"
             )
+        if not np.all(np.isfinite(power_gain)) or np.any(power_gain <= 0):
+            raise TelemetryError(
+                "power_gain entries must be finite and positive "
+                "(a multiplicative sensor gain)"
+            )
         self.labels = list(labels)
         self.pstates = np.asarray(pstates_mhz, dtype=float)
-        self.power_gain = np.asarray(power_gain, dtype=float)
+        self.power_gain = power_gain
         self.interval_s = interval_s
         self.rng = rng
         self._times: list[float] = []

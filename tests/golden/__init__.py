@@ -85,16 +85,24 @@ GOLDEN_CAMPAIGNS: dict[str, GoldenSpec] = {
 }
 
 
-def build_golden_dataset(name: str) -> MeasurementDataset:
-    """Run the (small) campaign a golden fixture pins."""
+def build_golden_dataset(name: str, *, tracer=None,
+                         manifest=None) -> MeasurementDataset:
+    """Run the (small) campaign a golden fixture pins.
+
+    ``tracer``/``manifest`` pass through to :func:`run_campaign` so the
+    observability layer's zero-perturbation guarantee is pinned against
+    the same fixtures (the output must be byte-identical either way).
+    """
     spec = GOLDEN_CAMPAIGNS[name]
     return run_campaign(spec.build_cluster(), spec.build_workload(),
-                        GOLDEN_CONFIG)
+                        GOLDEN_CONFIG, tracer=tracer, manifest=manifest)
 
 
-def golden_csv_text(name: str) -> str:
+def golden_csv_text(name: str, *, tracer=None, manifest=None) -> str:
     """The canonical CSV text of a freshly computed golden campaign."""
-    return dataset_to_csv_text(build_golden_dataset(name))
+    return dataset_to_csv_text(
+        build_golden_dataset(name, tracer=tracer, manifest=manifest)
+    )
 
 
 def golden_path(name: str) -> Path:

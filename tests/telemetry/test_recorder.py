@@ -99,3 +99,101 @@ class TestValidation:
                 sensor=sensor,
                 interval_s=0.01,
             )
+
+    def test_power_gain_must_be_1d(self):
+        with pytest.raises(TelemetryError, match="1-D"):
+            TraceRecorder(
+                labels=["a", "b"],
+                pstates_mhz=V100.pstate_array(),
+                power_gain=np.ones((2, 1)),
+                rng=np.random.default_rng(0),
+            )
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, np.nan, np.inf])
+    def test_power_gain_must_be_finite_positive(self, bad):
+        with pytest.raises(TelemetryError, match="finite and positive"):
+            TraceRecorder(
+                labels=["a", "b"],
+                pstates_mhz=V100.pstate_array(),
+                power_gain=np.array([1.0, bad]),
+                rng=np.random.default_rng(0),
+            )
+
+    def test_power_gain_list_accepted(self):
+        rec = TraceRecorder(
+            labels=["a", "b"],
+            pstates_mhz=V100.pstate_array(),
+            power_gain=[1.01, 0.99],
+            rng=np.random.default_rng(0),
+        )
+        assert rec.power_gain.dtype == float
+
+
+class TestIntervalEnforcement:
+    def test_first_sample_always_recorded(self):
+        # No previous sample exists, so the interval gate cannot apply —
+        # even at t well below the interval.
+        rec = make_recorder(1, interval=0.1)
+        assert rec.push(0.001, np.array([1400.0]), np.array([290.0]),
+                        np.array([50.0]))
+
+    def test_sample_exactly_on_interval_boundary_recorded(self):
+        rec = make_recorder(1, interval=0.1)
+        rec.push(0.1, np.array([1400.0]), np.array([290.0]), np.array([50.0]))
+        # 0.2 - 0.1 == 0.1 exactly (binary-representable): on the boundary,
+        # not below it, so the sample must be kept.
+        assert rec.push(0.2, np.array([1400.0]), np.array([290.0]),
+                        np.array([50.0]))
+
+    def test_boundary_tolerates_float_accumulation(self):
+        # 0.1-steps accumulate binary error (0.30000000000000004...); the
+        # recorder's epsilon must not drop legitimate fixed-rate samples.
+        rec = make_recorder(1, interval=0.1)
+        t, recorded = 0.0, 0
+        for _ in range(10):
+            t += 0.1
+            recorded += rec.push(t, np.array([1400.0]), np.array([290.0]),
+                                 np.array([50.0]))
+        assert recorded == 10
+
+    def test_below_interval_dropped_then_interval_restarts(self):
+        rec = make_recorder(1, interval=0.1)
+        assert rec.push(0.1, np.array([1400.0]), np.array([290.0]),
+                        np.array([50.0]))
+        # dropped samples do NOT reset the clock: the next accept is
+        # relative to the last *recorded* sample
+        assert not rec.push(0.19, np.array([1400.0]), np.array([290.0]),
+                            np.array([50.0]))
+        assert rec.push(0.2, np.array([1400.0]), np.array([290.0]),
+                        np.array([50.0]))
+        assert rec.traces()[0].n_samples == 2
+
+
+class TestPstateSnapping:
+    def _record_one(self, pstates, frequency):
+        rec = TraceRecorder(
+            labels=["a"],
+            pstates_mhz=np.asarray(pstates, dtype=float),
+            power_gain=np.ones(1),
+            rng=np.random.default_rng(0),
+        )
+        rec.push(0.1, np.array([frequency]), np.array([290.0]),
+                 np.array([50.0]))
+        return float(rec.traces()[0].frequency_mhz[0])
+
+    def test_single_pstate_ladder_always_snaps_to_it(self):
+        for frequency in (100.0, 1300.0, 9999.0):
+            assert self._record_one([1312.0], frequency) == 1312.0
+
+    def test_below_ladder_clamps_to_lowest(self):
+        assert self._record_one([1000.0, 1100.0, 1200.0], 850.0) == 1000.0
+
+    def test_above_ladder_clamps_to_highest(self):
+        assert self._record_one([1000.0, 1100.0, 1200.0], 2000.0) == 1200.0
+
+    def test_midpoint_ties_snap_down(self):
+        assert self._record_one([1000.0, 1100.0], 1050.0) == 1000.0
+
+    def test_off_ladder_snaps_to_nearest(self):
+        assert self._record_one([1000.0, 1100.0, 1200.0], 1140.0) == 1100.0
+        assert self._record_one([1000.0, 1100.0, 1200.0], 1160.0) == 1200.0

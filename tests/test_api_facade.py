@@ -1,0 +1,139 @@
+"""Behavioral tests for the repro.api facade and the deprecation shims."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+from repro.telemetry.io import dataset_to_csv_text
+
+
+@pytest.fixture(scope="module")
+def cloudlab_half():
+    return api.load_preset("cloudlab", seed=3, scale=0.5)
+
+
+class TestConstructors:
+    def test_load_preset_matches_legacy_factory(self):
+        from repro.cluster import longhorn
+
+        a = api.load_preset("longhorn", seed=9, scale=0.25)
+        b = longhorn(seed=9, scale=0.25)
+        assert a.name == b.name
+        assert a.n_gpus == b.n_gpus
+        assert a.seed == b.seed
+
+    def test_load_workload(self):
+        assert api.load_workload("sgemm").name == "SGEMM"
+
+    def test_registries(self):
+        assert "Longhorn" in api.list_presets()
+        assert "sgemm" in api.list_workloads()
+
+
+class TestRunCampaign:
+    def test_matches_legacy_entry_point(self, cloudlab_half):
+        from repro.sim import CampaignConfig, run_campaign
+
+        config = api.CampaignConfig(days=1, runs_per_day=2)
+        facade = api.run_campaign(
+            cluster=cloudlab_half,
+            workload=api.load_workload("sgemm"),
+            config=config,
+        )
+        legacy = run_campaign(
+            cloudlab_half, api.load_workload("sgemm"),
+            CampaignConfig(days=1, runs_per_day=2),
+        )
+        assert dataset_to_csv_text(facade) == dataset_to_csv_text(legacy)
+
+    def test_rejects_positional_arguments(self, cloudlab_half):
+        with pytest.raises(TypeError):
+            api.run_campaign(cloudlab_half, api.load_workload("sgemm"))
+
+
+class TestVerbs:
+    CONFIG_KW = {"config": None}
+
+    def test_characterize(self, cloudlab_half):
+        result = api.characterize(
+            cluster=cloudlab_half,
+            workload=api.load_workload("sgemm"),
+            config=api.CampaignConfig(days=1),
+        )
+        assert result.report.cluster_name == cloudlab_half.name
+        assert result.dataset.n_rows > 0
+        assert 0 <= result.report.performance_variation < 1
+
+    def test_screen(self, cloudlab_half):
+        report = api.screen(
+            cluster=cloudlab_half,
+            workloads=[api.load_workload("sgemm")],
+            config=api.CampaignConfig(days=1),
+            min_confirmations=1,
+        )
+        assert len(report.screens) == 1
+        assert report.screens[0].workload == "SGEMM"
+        assert isinstance(report.confirmed, tuple)
+
+    def test_sweep_matches_limits(self, cloudlab_half):
+        report = api.sweep(
+            cluster=cloudlab_half,
+            power_limits_w=[250.0, 150.0],
+            runs=2,
+        )
+        assert [p.power_limit_w for p in report.points] == [250.0, 150.0]
+        # a tighter power limit slows the fleet down
+        assert report.points[1].stats.median > report.points[0].stats.median
+
+    def test_sweep_emits_one_manifest_entry_per_limit(self, cloudlab_half):
+        manifest = api.Manifest()
+        api.sweep(
+            cluster=cloudlab_half,
+            power_limits_w=[250.0, 150.0],
+            runs=1,
+            manifest=manifest,
+        )
+        assert len(manifest.campaigns) == 2
+        limits = [entry.config["power_limit_w"]
+                  for entry in manifest.campaigns]
+        assert limits == [250.0, 150.0]
+
+    def test_project(self, cloudlab_half):
+        report = api.project(
+            cluster=cloudlab_half,
+            target_n_gpus=10_000,
+            config=api.CampaignConfig(days=1),
+        )
+        assert report.target_n_gpus == 10_000
+        assert report.projected_variation >= 0
+
+
+class TestDeprecationShims:
+    def test_legacy_object_identity(self):
+        import repro.core
+        import repro.sim
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert repro.VariabilitySuite is repro.core.VariabilitySuite
+            assert repro.CampaignConfig is repro.sim.CampaignConfig
+            assert repro.run_campaign is repro.sim.run_campaign
+
+    def test_warning_names_the_replacement(self):
+        with pytest.warns(DeprecationWarning,
+                          match=r"repro\.api\.load_workload"):
+            repro.sgemm
+
+    def test_legacy_workflow_still_works(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            cluster = repro.cloudlab(seed=3, scale=0.5)
+            suite = repro.VariabilitySuite(
+                cluster, repro.CampaignConfig(days=1)
+            )
+            report = suite.characterize(repro.sgemm())
+        assert report.cluster_name == "CloudLab"

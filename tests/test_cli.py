@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import read_manifest
 
 
 class TestParser:
@@ -21,6 +24,20 @@ class TestParser:
         ):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
+
+    @pytest.mark.parametrize(
+        "command", ["list", "characterize", "screen", "sweep", "project"]
+    )
+    def test_execution_args_accepted_uniformly(self, command):
+        argv = [command, "--seed", "7", "--workers", "2",
+                "--trace", "t.json", "--manifest", "m.json"]
+        if command == "project":
+            argv += ["--target-n", "1000"]
+        args = build_parser().parse_args(argv)
+        assert args.seed == 7
+        assert args.workers == 2
+        assert args.trace == "t.json"
+        assert args.manifest == "m.json"
 
 
 class TestCommands:
@@ -80,3 +97,55 @@ class TestCommands:
         code = main(["characterize", "--cluster", "nonexistent", "--days", "1"])
         assert code == 2
         assert "unknown cluster" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_characterize_writes_trace_and_manifest(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        manifest = tmp_path / "manifest.json"
+        code = main([
+            "characterize", "--cluster", "cloudlab", "--scale", "0.5",
+            "--days", "1", "--trace", str(trace),
+            "--manifest", str(manifest),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace}" in out
+        assert f"manifest written to {manifest}" in out
+        doc = json.loads(trace.read_text())
+        assert any(e.get("name") == "campaign" and e.get("ph") == "X"
+                   for e in doc["traceEvents"])
+        audited = read_manifest(manifest)
+        assert len(audited["campaigns"]) == 1
+        assert audited["campaigns"][0]["cluster"]["name"] == "CloudLab"
+
+    def test_jsonl_suffix_selects_events_format(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "characterize", "--cluster", "cloudlab", "--scale", "0.5",
+            "--days", "1", "--trace", str(trace),
+        ]) == 0
+        lines = [json.loads(line)
+                 for line in trace.read_text().splitlines()]
+        assert any(x["event"] == "span" for x in lines)
+        assert any(x["event"] == "counter" for x in lines)
+
+    def test_sweep_manifest_has_one_entry_per_limit(self, tmp_path):
+        manifest = tmp_path / "m.json"
+        assert main([
+            "sweep", "--limits", "250,150", "--runs", "1",
+            "--manifest", str(manifest),
+        ]) == 0
+        doc = read_manifest(manifest)
+        assert [c["config"]["power_limit_w"] for c in doc["campaigns"]] \
+            == [250.0, 150.0]
+
+    def test_traced_output_identical_to_untraced(self, capsys, tmp_path):
+        argv = ["sweep", "--limits", "250", "--runs", "2",
+                "--scale", "0.5", "--seed", "4"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--trace", str(tmp_path / "t.json")]) == 0
+        traced = capsys.readouterr().out
+        assert traced.startswith(plain)
+        assert "trace written" in traced

@@ -1,7 +1,9 @@
-"""Public-API integrity: exports resolve, are documented, and round-trip.
+"""Public-API integrity: the facade surface is pinned, exports resolve.
 
-A release-quality gate: everything advertised in ``__all__`` must exist,
-carry a docstring, and the subpackage inits must agree with their modules.
+A release-quality gate: ``repro.api`` exposes exactly the supported
+surface (additions and removals must edit the pin here, consciously),
+everything advertised in an ``__all__`` exists and carries a docstring,
+and the facade's signatures are keyword-only as promised.
 """
 
 import importlib
@@ -10,8 +12,11 @@ import inspect
 import pytest
 
 import repro
+from repro import api
 
 SUBPACKAGES = (
+    "repro.api",
+    "repro.obs",
     "repro.gpu",
     "repro.cluster",
     "repro.workloads",
@@ -22,18 +27,96 @@ SUBPACKAGES = (
     "repro.hostbench",
 )
 
+#: The supported facade surface, pinned exactly.  A failure here means the
+#: public API changed — update the pin only as a deliberate decision.
+API_SURFACE = frozenset({
+    # constructors / registries
+    "load_preset", "load_workload", "list_presets", "list_workloads",
+    # verbs
+    "run_campaign", "characterize", "screen", "sweep", "project",
+    # domain types
+    "Cluster", "Workload",
+    # result types
+    "CharacterizationResult", "ScreenReport", "WorkloadScreen",
+    "SweepPoint", "SweepReport", "ProjectionReport",
+    "ClusterReport", "OutlierReport", "BoxStats", "MeasurementDataset",
+    # configuration
+    "CampaignConfig", "ParallelConfig", "CampaignProgress",
+    # observability
+    "Tracer", "Manifest", "read_manifest", "validate_manifest",
+    "write_chrome_trace", "write_events_jsonl",
+})
+
+#: Facade functions whose every optional parameter must be keyword-only.
+KEYWORD_ONLY_FUNCTIONS = (
+    "load_preset", "load_workload", "run_campaign", "characterize",
+    "screen", "sweep", "project",
+)
+
+
+class TestFacade:
+    def test_surface_is_pinned_exactly(self):
+        assert frozenset(api.__all__) == API_SURFACE
+
+    def test_all_exports_resolve_and_are_documented(self):
+        for name in api.__all__:
+            obj = getattr(api, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                assert (obj.__doc__ or "").strip(), f"repro.api.{name} undocumented"
+
+    @pytest.mark.parametrize("name", KEYWORD_ONLY_FUNCTIONS)
+    def test_signatures_are_keyword_only(self, name):
+        signature = inspect.signature(getattr(api, name))
+        positional = [
+            p for p in signature.parameters.values()
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+        # at most one leading positional (the registry name); every other
+        # parameter must be keyword-only so signatures can grow safely
+        assert len(positional) <= 1, f"{name}: {positional}"
+        if positional:
+            assert positional[0].name == "name"
+
+    def test_import_emits_no_warnings(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-W", "error::DeprecationWarning",
+             "-c", "import repro.api"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
-    def test_all_exports_resolve(self):
-        for name in repro.__all__:
-            assert hasattr(repro, name), f"repro.__all__ lists missing {name}"
+    def test_top_level_exports_only_the_facade(self):
+        assert set(repro.__all__) == {"__version__", "api"}
 
-    def test_no_private_exports(self):
-        assert all(not name.startswith("_") for name in repro.__all__
-                   if name != "__version__")
+    def test_legacy_names_warn_but_resolve(self):
+        from repro.cluster import longhorn as real_longhorn
+
+        with pytest.warns(DeprecationWarning, match="load_preset"):
+            assert repro.longhorn is real_longhorn
+
+    @pytest.mark.parametrize("name", sorted(repro._DEPRECATED_EXPORTS))
+    def test_every_legacy_export_resolves(self, name):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            assert getattr(repro, name) is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_dir_lists_legacy_and_facade_names(self):
+        listed = dir(repro)
+        assert "api" in listed
+        assert "longhorn" in listed
+        assert "VariabilitySuite" in listed
 
 
 @pytest.mark.parametrize("module_name", SUBPACKAGES)

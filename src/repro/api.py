@@ -6,8 +6,10 @@ keyword-only signatures that can grow without breaking callers:
 * :func:`load_preset` / :func:`load_workload` (+ the ``list_*`` helpers) —
   construct the paper's clusters and applications by name;
 * :func:`run_campaign` — the measurement campaign, optionally parallel,
-  traced, and manifest-audited (see :mod:`repro.obs`);
+  traced, monitored, and manifest-audited (see :mod:`repro.obs`);
 * :func:`characterize` — campaign + the paper's full analysis;
+* :func:`monitor_fleet` — campaign with the streaming metrics pipeline and
+  online health detection attached (grades, typed health events);
 * :func:`screen` — maintenance triage across applications (Section VII);
 * :func:`sweep` — the power-limit sweep on admin-access clusters (Fig. 22);
 * :func:`project` — scaled-normal projection to larger fleets (Sec. IV-D).
@@ -40,12 +42,26 @@ from .core.boxstats import BoxStats
 from .core.outliers import OutlierReport
 from .core.suite import ClusterReport
 from .obs import (
+    FleetMonitor,
     Manifest,
+    MonitorConfig,
     Tracer,
+    active_monitor,
     read_manifest,
+    render_prometheus,
     validate_manifest,
     write_chrome_trace,
     write_events_jsonl,
+)
+from .obs.health import (
+    FleetHealthReport,
+    HealthEvent,
+    HealthEventKind,
+    HealthPolicy,
+    HealthTracker,
+    analyze_fleet_health,
+    validate_health_report,
+    write_health_events,
 )
 from .sim.campaign import CampaignConfig
 from .sim.campaign import run_campaign as _run_campaign
@@ -65,6 +81,7 @@ __all__ = [
     # verbs
     "run_campaign",
     "characterize",
+    "monitor_fleet",
     "screen",
     "sweep",
     "project",
@@ -73,6 +90,7 @@ __all__ = [
     "Workload",
     # result types
     "CharacterizationResult",
+    "MonitoringResult",
     "ScreenReport",
     "WorkloadScreen",
     "SweepPoint",
@@ -93,6 +111,19 @@ __all__ = [
     "validate_manifest",
     "write_chrome_trace",
     "write_events_jsonl",
+    # monitoring / fleet health
+    "FleetMonitor",
+    "MonitorConfig",
+    "active_monitor",
+    "render_prometheus",
+    "FleetHealthReport",
+    "HealthEvent",
+    "HealthEventKind",
+    "HealthPolicy",
+    "HealthTracker",
+    "analyze_fleet_health",
+    "validate_health_report",
+    "write_health_events",
 ]
 
 
@@ -132,12 +163,13 @@ def run_campaign(
     progress: CampaignProgress | None = None,
     tracer: Tracer | None = None,
     manifest: Manifest | None = None,
+    monitor: FleetMonitor | None = None,
 ) -> MeasurementDataset:
     """Execute a measurement campaign; returns the long-form table.
 
     Identical to :func:`repro.sim.campaign.run_campaign` but fully
     keyword-only.  The result is bit-identical for any ``workers`` value
-    and with or without ``tracer``/``manifest`` attached.
+    and with or without ``tracer``/``manifest``/``monitor`` attached.
     """
     return _run_campaign(
         cluster,
@@ -148,6 +180,7 @@ def run_campaign(
         progress=progress,
         tracer=tracer,
         manifest=manifest,
+        monitor=monitor,
     )
 
 
@@ -190,6 +223,76 @@ def characterize(
     )
     suite = VariabilitySuite(cluster, config, workers=workers)
     return CharacterizationResult(report=suite.analyze(dataset), dataset=dataset)
+
+
+# ---------------------------------------------------------------------------
+# monitor
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MonitoringResult:
+    """A monitored campaign: the measurement plus its health analysis.
+
+    ``dataset`` is byte-identical to the same campaign run unmonitored.
+    ``monitor`` holds the merged metrics stream (gauges, histograms,
+    counters — render with :func:`render_prometheus`); ``tracker`` carries
+    the per-GPU detector state and the full ordered ``events`` stream;
+    ``report`` is the fleet-health rollup (per-GPU grades, node/row
+    aggregation, schema-validated ``to_dict()``).
+    """
+
+    dataset: MeasurementDataset
+    monitor: FleetMonitor
+    tracker: HealthTracker
+    report: FleetHealthReport
+
+    @property
+    def events(self) -> tuple[HealthEvent, ...]:
+        """The ordered health-event stream (invariant to ``workers=``)."""
+        return tuple(self.tracker.events)
+
+
+def monitor_fleet(
+    *,
+    cluster: Cluster,
+    workload: Workload,
+    config: CampaignConfig | None = None,
+    workers: int | None = None,
+    parallel: ParallelConfig | None = None,
+    policy: HealthPolicy | None = None,
+    monitor_config: MonitorConfig | None = None,
+    progress: CampaignProgress | None = None,
+    tracer: Tracer | None = None,
+    manifest: Manifest | None = None,
+) -> MonitoringResult:
+    """Run a campaign with the streaming metrics + health pipeline attached.
+
+    The campaign executes exactly as :func:`run_campaign` — the monitor
+    hooks only read values already computed, so the returned dataset is
+    byte-identical to an unmonitored run.  Shard metric payloads are merged
+    in canonical plan order, then the online health detector replays the
+    merged run stream: the event sequence and registry totals are therefore
+    identical for any ``workers`` value.
+    """
+    monitor = FleetMonitor(monitor_config)
+    dataset = run_campaign(
+        cluster=cluster,
+        workload=workload,
+        config=config,
+        workers=workers,
+        parallel=parallel,
+        progress=progress,
+        tracer=tracer,
+        manifest=manifest,
+        monitor=monitor,
+    )
+    tracker, report = analyze_fleet_health(
+        monitor, cluster.topology, policy=policy
+    )
+    return MonitoringResult(
+        dataset=dataset, monitor=monitor, tracker=tracker, report=report
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -8,6 +8,11 @@ driven from the shell:
 ``characterize``
     Run a measurement campaign and print the full variability report
     (optionally archiving the raw measurements to CSV).
+``monitor``
+    Run a campaign with the streaming metrics pipeline and online health
+    detection attached; print the fleet-health report and optionally write
+    the Prometheus-style metrics dump, the health-event stream (JSONL), and
+    the machine-readable health report (JSON).
 ``screen``
     Maintenance triage: flag outliers across one or more applications and
     print confirmed offenders.
@@ -63,6 +68,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--days", type=int, default=7)
     p.add_argument("--runs-per-day", type=int, default=1)
     p.add_argument("--coverage", type=float, default=1.0)
+    p.add_argument("--csv", metavar="PATH",
+                   help="archive raw measurements to (gzipped) CSV")
+
+    p = sub.add_parser("monitor",
+                       help="campaign with streaming metrics + health "
+                            "detection")
+    _add_cluster_args(p)
+    _add_execution_args(p)
+    p.add_argument("--workload", default="sgemm",
+                   help="workload name (see `repro list`)")
+    p.add_argument("--days", type=int, default=7)
+    p.add_argument("--runs-per-day", type=int, default=1)
+    p.add_argument("--coverage", type=float, default=1.0)
+    p.add_argument("--window", type=int, default=4, metavar="RUNS",
+                   help="sliding-window length (runs) for the health "
+                        "detector")
+    p.add_argument("--metrics", metavar="PATH", default=None,
+                   help="write the Prometheus-style text exposition")
+    p.add_argument("--events", metavar="PATH", default=None,
+                   help="write the health-event stream as JSON Lines")
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="write the machine-readable health report JSON")
     p.add_argument("--csv", metavar="PATH",
                    help="archive raw measurements to (gzipped) CSV")
 
@@ -197,6 +224,42 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    obs = _ObsSession(args)
+    result = api.monitor_fleet(
+        cluster=_build_cluster(args),
+        workload=api.load_workload(args.workload),
+        config=api.CampaignConfig(
+            days=args.days, runs_per_day=args.runs_per_day,
+            coverage=args.coverage,
+        ),
+        workers=args.workers,
+        policy=api.HealthPolicy(window_runs=args.window),
+        monitor_config=api.MonitorConfig(window_runs=args.window),
+        tracer=obs.tracer,
+        manifest=obs.manifest,
+    )
+    print(result.report.render())
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as sink:
+            sink.write(api.render_prometheus(result.monitor))
+        print(f"\nmetrics written to {args.metrics} "
+              f"({len(result.monitor.registry.metric_names())} metrics)")
+    if args.events:
+        api.write_health_events(result.events, args.events)
+        print(f"health events written to {args.events} "
+              f"({len(result.events)} events)")
+    if args.report:
+        result.report.write_json(args.report)
+        print(f"health report written to {args.report}")
+    if args.csv:
+        write_csv(result.dataset, args.csv)
+        print(f"raw measurements written to {args.csv} "
+              f"({result.dataset.n_rows} rows)")
+    obs.finish()
+    return 0
+
+
 def _cmd_screen(args: argparse.Namespace) -> int:
     obs = _ObsSession(args)
     report = api.screen(
@@ -257,6 +320,7 @@ def _cmd_project(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "list": _cmd_list,
     "characterize": _cmd_characterize,
+    "monitor": _cmd_monitor,
     "screen": _cmd_screen,
     "sweep": _cmd_sweep,
     "project": _cmd_project,

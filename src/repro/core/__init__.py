@@ -9,7 +9,7 @@ sizing, cluster-size projection, application classification, scheduling
 recommendations, day-of-week analysis, and plain-text reporting.
 """
 
-from .boxstats import BoxStats
+from .boxstats import BoxStats, tukey_fences
 from .variability import (
     grouped_boxstats,
     metric_boxstats,
@@ -18,8 +18,10 @@ from .variability import (
 )
 from .correlation import CorrelationPair, correlation_matrix, pearson, spearman
 from .outliers import (
+    OutlierAccumulator,
     OutlierReport,
     flag_outlier_gpus,
+    flag_outlier_values,
     node_outlier_counts,
     persistent_outliers,
     worst_performers,
@@ -48,6 +50,7 @@ from .suite import ClusterReport, VariabilitySuite
 
 __all__ = [
     "BoxStats",
+    "tukey_fences",
     "metric_boxstats",
     "grouped_boxstats",
     "variability_table",
@@ -57,7 +60,9 @@ __all__ = [
     "CorrelationPair",
     "correlation_matrix",
     "OutlierReport",
+    "OutlierAccumulator",
     "flag_outlier_gpus",
+    "flag_outlier_values",
     "persistent_outliers",
     "node_outlier_counts",
     "worst_performers",

@@ -15,10 +15,27 @@ import numpy as np
 
 from ..errors import AnalysisError
 
-__all__ = ["BoxStats", "WHISKER_FACTOR"]
+__all__ = ["BoxStats", "WHISKER_FACTOR", "tukey_fences"]
 
 #: Tukey whisker multiplier used throughout the paper.
 WHISKER_FACTOR = 1.5
+
+
+def tukey_fences(values: np.ndarray) -> tuple[float, float, float, float, float]:
+    """Quartiles and whisker fences of a finite 1-D sample.
+
+    Returns ``(q1, median, q3, fence_lo, fence_hi)`` with the fences at
+    ``q1 - 1.5 IQR`` / ``q3 + 1.5 IQR``.  This is the single home of the
+    paper's fence arithmetic; :class:`BoxStats`, the outlier flaggers, the
+    Monte Carlo projection, and the streaming health monitor all call it
+    rather than re-deriving the expression.
+    """
+    x = np.asarray(values, dtype=float).ravel()
+    if x.shape[0] == 0:
+        raise AnalysisError("cannot compute fences of an empty sample")
+    q1, median, q3 = (float(v) for v in np.percentile(x, [25, 50, 75]))
+    iqr = q3 - q1
+    return q1, median, q3, q1 - WHISKER_FACTOR * iqr, q3 + WHISKER_FACTOR * iqr
 
 
 @dataclass(frozen=True)
@@ -64,10 +81,8 @@ class BoxStats:
         x = x[np.isfinite(x)]
         if x.shape[0] == 0:
             raise AnalysisError("cannot compute box statistics of an empty sample")
-        q1, median, q3 = (float(v) for v in np.percentile(x, [25, 50, 75]))
+        q1, median, q3, fence_lo, fence_hi = tukey_fences(x)
         iqr = q3 - q1
-        fence_lo = q1 - WHISKER_FACTOR * iqr
-        fence_hi = q3 + WHISKER_FACTOR * iqr
         inside = x[(x >= fence_lo) & (x <= fence_hi)]
         # At least the quartiles are always inside the fences.
         whisker_lo = float(inside.min())

@@ -21,7 +21,9 @@ from .boxstats import BoxStats
 
 __all__ = [
     "OutlierReport",
+    "OutlierAccumulator",
     "flag_outlier_gpus",
+    "flag_outlier_values",
     "persistent_outliers",
     "node_outlier_counts",
     "worst_performers",
@@ -45,23 +47,36 @@ class OutlierReport:
         return len(self.gpu_labels)
 
 
-def flag_outlier_gpus(
-    dataset: MeasurementDataset,
+def flag_outlier_values(
+    values: np.ndarray,
+    gpu_labels: np.ndarray,
+    node_labels: np.ndarray | None = None,
     metric: str = METRIC_PERFORMANCE,
 ) -> OutlierReport:
-    """Flag GPUs whose per-GPU median falls outside the fleet's fences."""
-    med = dataset.per_gpu_median(metric)
-    if "gpu_label" not in med:
-        raise AnalysisError("dataset needs a gpu_label column for flagging")
-    values = med.column(metric)
+    """Flag outliers over plain per-GPU arrays — the streaming entry point.
+
+    Unlike :func:`flag_outlier_gpus` this needs no measurement table: any
+    producer holding one value per GPU (a sliding-window median, a single
+    day's summary, live telemetry) can call it directly.  The fence math is
+    :class:`~repro.core.boxstats.BoxStats` (one fence definition repo-wide).
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    labels = np.asarray(gpu_labels, dtype=object).ravel()
+    if values.shape[0] != labels.shape[0]:
+        raise AnalysisError(
+            f"values ({values.shape[0]}) and gpu_labels ({labels.shape[0]}) "
+            "must have one entry per GPU"
+        )
     stats = BoxStats.from_values(values)
     mask = stats.outlier_mask(values)
-    labels = med.column("gpu_label")
-    nodes = (
-        med.column("node_label")
-        if "node_label" in med
-        else np.asarray([lbl.rsplit("-", 1)[0] for lbl in labels], dtype=object)
-    )
+    if node_labels is not None:
+        nodes = np.asarray(node_labels, dtype=object).ravel()
+        if nodes.shape[0] != labels.shape[0]:
+            raise AnalysisError("node_labels must match gpu_labels in length")
+    else:
+        nodes = np.asarray(
+            [lbl.rsplit("-", 1)[0] for lbl in labels], dtype=object
+        )
     high = labels[mask & (values > stats.fence_hi)]
     low = labels[mask & (values < stats.fence_lo)]
     return OutlierReport(
@@ -72,6 +87,64 @@ def flag_outlier_gpus(
         high_side=tuple(sorted(high)),
         low_side=tuple(sorted(low)),
     )
+
+
+def flag_outlier_gpus(
+    dataset: MeasurementDataset,
+    metric: str = METRIC_PERFORMANCE,
+) -> OutlierReport:
+    """Flag GPUs whose per-GPU median falls outside the fleet's fences."""
+    med = dataset.per_gpu_median(metric)
+    if "gpu_label" not in med:
+        raise AnalysisError("dataset needs a gpu_label column for flagging")
+    return flag_outlier_values(
+        med.column(metric),
+        med.column("gpu_label"),
+        med.column("node_label") if "node_label" in med else None,
+        metric=metric,
+    )
+
+
+class OutlierAccumulator:
+    """Incremental cross-report outlier persistence counter.
+
+    The batch API (:func:`persistent_outliers`) needs every report in hand
+    at once; this accumulator is its streaming twin — feed it one report
+    (or a bare label iterable) at a time as windows complete, and ask for
+    the persistent set whenever an operator looks.
+    """
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+        self._n_reports = 0
+
+    @property
+    def n_reports(self) -> int:
+        """How many reports have been folded in."""
+        return self._n_reports
+
+    def add(self, report) -> None:
+        """Fold in one :class:`OutlierReport` or iterable of GPU labels."""
+        labels = (
+            report.gpu_labels if isinstance(report, OutlierReport) else report
+        )
+        for label in labels:
+            self._counts[str(label)] = self._counts.get(str(label), 0) + 1
+        self._n_reports += 1
+
+    def counts(self) -> dict[str, int]:
+        """Occurrence count per flagged GPU label (sorted by label)."""
+        return dict(sorted(self._counts.items()))
+
+    def persistent(self, min_occurrences: int = 2) -> dict[str, int]:
+        """GPUs flagged at least ``min_occurrences`` times so far."""
+        if min_occurrences < 1:
+            raise AnalysisError("min_occurrences must be >= 1")
+        return {
+            label: count
+            for label, count in sorted(self._counts.items())
+            if count >= min_occurrences
+        }
 
 
 def persistent_outliers(
@@ -86,15 +159,10 @@ def persistent_outliers(
     """
     if min_occurrences < 1:
         raise AnalysisError("min_occurrences must be >= 1")
-    counts: dict[str, int] = {}
+    acc = OutlierAccumulator()
     for report in reports:
-        for label in report.gpu_labels:
-            counts[label] = counts.get(label, 0) + 1
-    return {
-        label: count
-        for label, count in sorted(counts.items())
-        if count >= min_occurrences
-    }
+        acc.add(report)
+    return acc.persistent(min_occurrences)
 
 
 def node_outlier_counts(

@@ -21,7 +21,7 @@ import math
 import numpy as np
 
 from ..errors import AnalysisError
-from .boxstats import WHISKER_FACTOR
+from .boxstats import WHISKER_FACTOR, tukey_fences
 
 __all__ = ["NormalFit", "fit_normal", "expected_whisker_span", "project_variation"]
 
@@ -120,10 +120,8 @@ def project_variation(
         spans = np.empty(mc_trials)
         for trial in range(mc_trials):
             x = rng.normal(fit.mean, fit.std, size=target_n)
-            q1, med, q3 = np.percentile(x, [25, 50, 75])
-            iqr = q3 - q1
-            inside = x[(x >= q1 - WHISKER_FACTOR * iqr)
-                       & (x <= q3 + WHISKER_FACTOR * iqr)]
+            _, med, _, fence_lo, fence_hi = tukey_fences(x)
+            inside = x[(x >= fence_lo) & (x <= fence_hi)]
             spans[trial] = (inside.max() - inside.min()) / med
         return float(spans.mean())
     raise AnalysisError(f"unknown projection method {method!r}")

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import require
+from ..obs.metrics import active_monitor
 from ..obs.tracer import active_tracer
 from .power import PowerModel
 from .specs import GPUSpec, VENDOR_AMD
@@ -524,6 +525,12 @@ class DvfsController:
                 n=self.n,
                 solver=solver,
             )
+        monitor = active_monitor()
+        if monitor is not None:
+            # Throttle outcome of the settled operating point: which GPUs
+            # ended the solve capped.  Counts of already-computed booleans
+            # only, so the hook is execution-invariant and perturbation-free.
+            monitor.observe_solve(power_capped, thermally_capped)
         return SteadyOperatingPoint(
             pstate_index=idx.astype(np.int32),
             f_effective_mhz=f_eff,

@@ -4,7 +4,7 @@ The paper's contribution is 18,800+ hours of telemetry *about* telemetry;
 this subpackage gives the simulator the same treatment: where does a
 campaign's wall clock go, how does solver work distribute across shards,
 and can a finished run be audited for reproducibility without re-running
-it?  Three pieces:
+it?  Five pieces:
 
 * :mod:`repro.obs.tracer` — a hierarchical span tracer
   (campaign → day → shard → run → solve) plus low-overhead counters,
@@ -14,7 +14,15 @@ it?  Three pieces:
   export, so campaign timelines are viewable in a browser;
 * :mod:`repro.obs.manifest` — machine-readable campaign manifests (config
   digest, RNG label roots, solver mode, result digest) with a JSON schema,
-  enabling reproducibility audits without re-execution.
+  enabling reproducibility audits without re-execution;
+* :mod:`repro.obs.metrics` — the DCGM-shaped fleet half: a typed metric
+  registry (per-GPU gauges, fleet histograms, counters), ring-buffer
+  sliding windows, Prometheus-style text exposition, and the thread-local
+  :class:`~repro.obs.metrics.FleetMonitor` the campaign executors merge
+  in canonical plan order;
+* :mod:`repro.obs.health` — online anomaly detection over the monitor's
+  run stream: typed health events with hysteresis, per-GPU grades, and
+  fleet health reports with topology rollups.
 
 Hard guarantees (pinned by ``tests/obs/``): with tracing enabled, campaign
 outputs are **bit-identical** to untraced runs — the tracer never draws
@@ -39,8 +47,64 @@ from .manifest import (
     read_manifest,
     validate_manifest,
 )
+from .metrics import (
+    DEFAULT_HISTOGRAM_EDGES,
+    FleetMonitor,
+    FleetRun,
+    MetricsRegistry,
+    MonitorConfig,
+    RunSample,
+    SlidingWindow,
+    activate_monitor,
+    active_monitor,
+    render_prometheus,
+)
+
+#: Names served lazily from :mod:`repro.obs.health` (PEP 562).  Health
+#: pulls in :mod:`repro.core` — whose package init reaches back through
+#: sim/telemetry into :mod:`repro.gpu.dvfs`, which imports *this* package
+#: for its hook primitives — so importing it eagerly here would deadlock
+#: the import graph whenever ``repro.gpu`` loads first.  The hook-side
+#: modules (tracer, metrics) stay eager and dependency-light.
+_HEALTH_EXPORTS = (
+    "GRADES",
+    "HEALTH_REPORT_SCHEMA",
+    "FleetHealthReport",
+    "HealthEvent",
+    "HealthEventKind",
+    "HealthPolicy",
+    "HealthTracker",
+    "analyze_fleet_health",
+    "build_health_report",
+    "validate_health_report",
+    "write_health_events",
+)
+
+
+def __getattr__(name: str):
+    if name in _HEALTH_EXPORTS:
+        from . import health
+
+        return getattr(health, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_HEALTH_EXPORTS))
+
 
 __all__ = [
+    *_HEALTH_EXPORTS,
+    "DEFAULT_HISTOGRAM_EDGES",
+    "FleetMonitor",
+    "FleetRun",
+    "MetricsRegistry",
+    "MonitorConfig",
+    "RunSample",
+    "SlidingWindow",
+    "activate_monitor",
+    "active_monitor",
+    "render_prometheus",
     "SpanRecord",
     "Tracer",
     "activate",

@@ -43,6 +43,7 @@ from ..workloads.base import Workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..obs.manifest import Manifest
+    from ..obs.metrics import FleetMonitor
     from ..obs.tracer import Tracer
     from .parallel import ParallelConfig
 
@@ -101,6 +102,7 @@ def run_campaign(
     progress: CampaignProgress | None = None,
     tracer: "Tracer | None" = None,
     manifest: "Manifest | None" = None,
+    monitor: "FleetMonitor | None" = None,
 ) -> MeasurementDataset:
     """Execute a campaign and return the long-form measurement table.
 
@@ -135,6 +137,11 @@ def run_campaign(
         Optional :class:`~repro.obs.manifest.Manifest`; one audit entry
         (config digest, RNG roots, solver totals, result digest) is
         appended per executed campaign.
+    monitor:
+        Optional :class:`~repro.obs.metrics.FleetMonitor` collecting the
+        fleet metrics stream (per-GPU gauges, histograms, run samples for
+        health analysis).  Like the tracer it is merged in canonical plan
+        order and never perturbs the measurement.
     """
     from .parallel import ParallelConfig, execute_campaign
 
@@ -147,7 +154,7 @@ def run_campaign(
         parallel = ParallelConfig(workers=workers)
     return execute_campaign(
         cluster, workload, config, parallel=parallel, progress=progress,
-        tracer=tracer, manifest=manifest,
+        tracer=tracer, manifest=manifest, monitor=monitor,
     )
 
 

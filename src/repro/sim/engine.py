@@ -22,6 +22,7 @@ import numpy as np
 from ..config import require
 from ..errors import SimulationError
 from ..gpu.device import GPUFleet
+from ..obs.metrics import active_monitor
 from ..obs.tracer import active_tracer
 from ..workloads.base import Workload
 
@@ -254,6 +255,13 @@ class Engine:
                 tracer.add("engine.control_ticks", 1)
             if clamp_reevals:
                 tracer.add("engine.clamp_reevaluations", clamp_reevals)
+        monitor = active_monitor()
+        if monitor is not None:
+            # Instantaneous post-clamp state: what a per-step sensor scrape
+            # would see.  Read-only — nothing here feeds the integration.
+            monitor.observe_engine_step(
+                self.frequency_mhz(), power, s.temperature_c
+            )
 
         s.time_s += dt
 

@@ -42,6 +42,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+from contextlib import ExitStack
 from concurrent.futures import (
     FIRST_EXCEPTION,
     Executor,
@@ -60,6 +61,7 @@ from ..config import require
 from ..errors import SimulationError
 from ..gpu.dvfs import SolverStats
 from ..obs.manifest import Manifest, build_campaign_manifest
+from ..obs.metrics import FleetMonitor, activate_monitor
 from ..obs.tracer import Tracer, activate
 from ..telemetry.dataset import MeasurementDataset
 from ..telemetry.progress import CampaignProgress, ShardTiming
@@ -294,39 +296,58 @@ def _execute_shard_observed(
     power_limit_w: float | None,
     task: ShardTask,
     trace_enabled: bool,
-) -> tuple[MeasurementDataset, float, "SolverStats | None", "tuple | None"]:
-    """Execute one shard, optionally under a fresh shard-local tracer.
+    monitor_enabled: bool = False,
+) -> tuple[MeasurementDataset, float, "SolverStats | None", "tuple | None",
+           "tuple | None"]:
+    """Execute one shard, optionally under a fresh shard-local tracer/monitor.
 
-    Every observed shard gets its *own* tracer — even on the serial path —
-    activated thread-locally for the duration of the shard, so counter
-    totals and span structure are identical for any worker count or
-    backend: the executors merge the returned payloads in canonical plan
-    order afterwards.
+    Every observed shard gets its *own* tracer and monitor — even on the
+    serial path — activated thread-locally for the duration of the shard,
+    so counter totals, span structure, and the metric sample stream are
+    identical for any worker count or backend: the executors merge the
+    returned payloads in canonical plan order afterwards.
     """
-    if not trace_enabled:
+    if not trace_enabled and not monitor_enabled:
         dataset, duration, solver = _execute_shard(
             cluster, workload, power_limit_w, task
         )
-        return dataset, duration, solver, None
-    shard_tracer = Tracer(
-        track=_SHARD_TRACK.format(
-            day=task.day, run=task.run_index, shard=task.shard_index
-        )
-    )
-    with activate(shard_tracer):
-        with shard_tracer.span(
-            "shard",
-            category="shard",
-            day=task.day,
-            run_index=task.run_index,
-            shard_index=task.shard_index,
-            n_shards=task.n_shards,
-            n_gpus=task.n_gpus,
-        ):
-            dataset, duration, solver = _execute_shard(
-                cluster, workload, power_limit_w, task
+        return dataset, duration, solver, None, None
+    with ExitStack() as stack:
+        shard_tracer: Tracer | None = None
+        shard_monitor: FleetMonitor | None = None
+        if monitor_enabled:
+            # Shard monitors only collect; fleet-level aggregation happens
+            # once, after the canonical-order merge (FleetMonitor.finalize).
+            shard_monitor = FleetMonitor()
+            stack.enter_context(activate_monitor(shard_monitor))
+        if trace_enabled:
+            shard_tracer = Tracer(
+                track=_SHARD_TRACK.format(
+                    day=task.day, run=task.run_index, shard=task.shard_index
+                )
             )
-    return dataset, duration, solver, shard_tracer.to_payload()
+            stack.enter_context(activate(shard_tracer))
+            stack.enter_context(
+                shard_tracer.span(
+                    "shard",
+                    category="shard",
+                    day=task.day,
+                    run_index=task.run_index,
+                    shard_index=task.shard_index,
+                    n_shards=task.n_shards,
+                    n_gpus=task.n_gpus,
+                )
+            )
+        dataset, duration, solver = _execute_shard(
+            cluster, workload, power_limit_w, task
+        )
+    return (
+        dataset,
+        duration,
+        solver,
+        shard_tracer.to_payload() if shard_tracer is not None else None,
+        shard_monitor.to_payload() if shard_monitor is not None else None,
+    )
 
 
 def _shard_error(task: ShardTask, exc: BaseException) -> SimulationError:
@@ -355,20 +376,23 @@ def _init_worker(
     workload: Workload,
     power_limit_w: float | None,
     trace_enabled: bool,
+    monitor_enabled: bool,
 ) -> None:
     _WORKER_CONTEXT["campaign"] = (
-        cluster, workload, power_limit_w, trace_enabled
+        cluster, workload, power_limit_w, trace_enabled, monitor_enabled
     )
 
 
 def _run_task_in_worker(
     index: int, task: ShardTask
-) -> tuple[int, MeasurementDataset, float, "SolverStats | None", "tuple | None"]:
-    cluster, workload, power_limit_w, trace_enabled = _WORKER_CONTEXT["campaign"]
-    dataset, duration, solver, payload = _execute_shard_observed(
-        cluster, workload, power_limit_w, task, trace_enabled
+) -> tuple[int, MeasurementDataset, float, "SolverStats | None",
+           "tuple | None", "tuple | None"]:
+    (cluster, workload, power_limit_w, trace_enabled,
+     monitor_enabled) = _WORKER_CONTEXT["campaign"]
+    dataset, duration, solver, payload, mpayload = _execute_shard_observed(
+        cluster, workload, power_limit_w, task, trace_enabled, monitor_enabled
     )
-    return index, dataset, duration, solver, payload
+    return index, dataset, duration, solver, payload, mpayload
 
 
 def _make_executor(
@@ -378,6 +402,7 @@ def _make_executor(
     workload: Workload,
     power_limit_w: float | None,
     trace_enabled: bool,
+    monitor_enabled: bool,
 ) -> Executor:
     if backend == "thread":
         return ThreadPoolExecutor(max_workers=n_workers)
@@ -391,7 +416,8 @@ def _make_executor(
         max_workers=n_workers,
         mp_context=ctx,
         initializer=_init_worker,
-        initargs=(cluster, workload, power_limit_w, trace_enabled),
+        initargs=(cluster, workload, power_limit_w, trace_enabled,
+                  monitor_enabled),
     )
 
 
@@ -409,6 +435,7 @@ def execute_campaign(
     *,
     tracer: Tracer | None = None,
     manifest: Manifest | None = None,
+    monitor: FleetMonitor | None = None,
 ) -> MeasurementDataset:
     """Plan, execute (serially or in parallel), and merge a campaign.
 
@@ -419,13 +446,20 @@ def execute_campaign(
     tracer (in whatever worker executes it) and the per-shard payloads are
     merged into ``tracer`` in canonical plan order after the result merge
     — so counter totals and span structure are independent of worker
-    count and backend.  When ``manifest`` is given, one
+    count and backend.  ``monitor`` works the same way for the fleet
+    metrics pipeline: shard-local :class:`~repro.obs.metrics.FleetMonitor`
+    instances collect run samples and hook counters, the payloads merge in
+    plan order, and :meth:`~repro.obs.metrics.FleetMonitor.finalize` then
+    derives the fleet-level registry — making the sample stream, health
+    events, and registry totals invariant to ``workers=``.  When
+    ``manifest`` is given, one
     :class:`~repro.obs.manifest.CampaignManifest` entry is appended after
-    execution.  Neither sink perturbs the campaign: outputs are
-    bit-identical with or without them.
+    execution.  No sink perturbs the campaign: outputs are bit-identical
+    with or without them.
     """
     parallel = parallel if parallel is not None else ParallelConfig()
     trace = tracer is not None
+    monitoring = monitor is not None
     if trace:
         campaign_start, campaign_t0 = time.time(), time.perf_counter()
         plan_start, plan_t0 = time.time(), time.perf_counter()
@@ -444,17 +478,25 @@ def execute_campaign(
     backend = parallel.resolved_backend()
     n_workers = min(parallel.effective_workers, len(tasks))
     if backend == "serial" or n_workers <= 1:
-        parts, payloads, solvers = _execute_serial(
-            cluster, workload, config, tasks, progress, trace
+        parts, payloads, solvers, mpayloads = _execute_serial(
+            cluster, workload, config, tasks, progress, trace, monitoring
         )
     else:
-        parts, payloads, solvers = _execute_pool(
+        parts, payloads, solvers, mpayloads = _execute_pool(
             cluster, workload, config, tasks, backend, n_workers, progress,
-            trace,
+            trace, monitoring,
         )
     if trace:
         merge_start, merge_t0 = time.time(), time.perf_counter()
     dataset = MeasurementDataset.concat(parts)
+    if monitoring:
+        # Same canonical-order fold as the tracer: plan position decides
+        # merge order, so the monitor's run stream and counter totals are
+        # identical for any worker layout.
+        for mpayload in mpayloads:
+            if mpayload is not None:
+                monitor.merge_payload(mpayload)
+        monitor.finalize(cluster.topology.gpu_labels)
     if trace:
         # Canonical-order merge: payloads are indexed by plan position, so
         # the fold below is identical for any worker layout.
@@ -565,15 +607,20 @@ def _execute_serial(
     tasks: list[ShardTask],
     progress: CampaignProgress | None,
     trace_enabled: bool,
+    monitor_enabled: bool,
 ) -> tuple[list[MeasurementDataset], list["tuple | None"],
-           list["SolverStats | None"]]:
+           list["SolverStats | None"], list["tuple | None"]]:
     parts: list[MeasurementDataset] = []
     payloads: list["tuple | None"] = []
     solvers: list["SolverStats | None"] = []
+    mpayloads: list["tuple | None"] = []
     for task in tasks:
         try:
-            dataset, duration, solver, payload = _execute_shard_observed(
-                cluster, workload, config.power_limit_w, task, trace_enabled
+            dataset, duration, solver, payload, mpayload = (
+                _execute_shard_observed(
+                    cluster, workload, config.power_limit_w, task,
+                    trace_enabled, monitor_enabled,
+                )
             )
         except SimulationError as exc:
             raise _shard_error(task, exc) from exc
@@ -581,7 +628,8 @@ def _execute_serial(
         parts.append(dataset)
         payloads.append(payload)
         solvers.append(solver)
-    return parts, payloads, solvers
+        mpayloads.append(mpayload)
+    return parts, payloads, solvers, mpayloads
 
 
 def _execute_pool(
@@ -593,14 +641,16 @@ def _execute_pool(
     n_workers: int,
     progress: CampaignProgress | None,
     trace_enabled: bool,
+    monitor_enabled: bool,
 ) -> tuple[list[MeasurementDataset], list["tuple | None"],
-           list["SolverStats | None"]]:
+           list["SolverStats | None"], list["tuple | None"]]:
     parts: list[MeasurementDataset | None] = [None] * len(tasks)
     payloads: list["tuple | None"] = [None] * len(tasks)
     solvers: list["SolverStats | None"] = [None] * len(tasks)
+    mpayloads: list["tuple | None"] = [None] * len(tasks)
     executor = _make_executor(
         backend, n_workers, cluster, workload, config.power_limit_w,
-        trace_enabled,
+        trace_enabled, monitor_enabled,
     )
     submit: Callable
     if backend == "thread":
@@ -608,7 +658,7 @@ def _execute_pool(
         def submit(i: int, t: ShardTask):
             return executor.submit(
                 _run_thread_task, cluster, workload, config.power_limit_w,
-                i, t, trace_enabled,
+                i, t, trace_enabled, monitor_enabled,
             )
     else:
         def submit(i: int, t: ShardTask):
@@ -622,7 +672,8 @@ def _execute_pool(
             for future in done:
                 task = futures[future]
                 try:
-                    index, dataset, duration, solver, payload = future.result()
+                    (index, dataset, duration, solver, payload,
+                     mpayload) = future.result()
                 except Exception as exc:
                     # Fail fast with shard context rather than letting the
                     # remaining futures drain (or the caller hang on a
@@ -631,11 +682,12 @@ def _execute_pool(
                 parts[index] = dataset
                 payloads[index] = payload
                 solvers[index] = solver
+                mpayloads[index] = mpayload
                 _record(progress, task, dataset, duration, solver)
     finally:
         executor.shutdown(wait=True, cancel_futures=True)
     assert all(p is not None for p in parts)
-    return parts, payloads, solvers  # type: ignore[return-value]
+    return parts, payloads, solvers, mpayloads  # type: ignore[return-value]
 
 
 def _run_thread_task(
@@ -645,11 +697,13 @@ def _run_thread_task(
     index: int,
     task: ShardTask,
     trace_enabled: bool,
-) -> tuple[int, MeasurementDataset, float, "SolverStats | None", "tuple | None"]:
-    dataset, duration, solver, payload = _execute_shard_observed(
-        cluster, workload, power_limit_w, task, trace_enabled
+    monitor_enabled: bool,
+) -> tuple[int, MeasurementDataset, float, "SolverStats | None",
+           "tuple | None", "tuple | None"]:
+    dataset, duration, solver, payload, mpayload = _execute_shard_observed(
+        cluster, workload, power_limit_w, task, trace_enabled, monitor_enabled
     )
-    return index, dataset, duration, solver, payload
+    return index, dataset, duration, solver, payload, mpayload
 
 
 def default_worker_count(cap: int = 4) -> int:

@@ -30,6 +30,7 @@ from ..cluster.cluster import Cluster
 from ..config import require
 from ..errors import SimulationError
 from ..gpu.dvfs import SolverStats
+from ..obs.metrics import active_monitor
 from ..obs.tracer import active_tracer
 from ..telemetry.sample import SensorModel
 from ..workloads.base import WAIT_ACTIVITY, Workload
@@ -296,6 +297,21 @@ def simulate_run(
         op.f_reported_mhz, spec.pstate_array()
     )
 
+    monitor = active_monitor()
+    if monitor is not None:
+        # Reported values only, after everything that feeds the result is
+        # computed — the monitor observes, it cannot perturb.
+        monitor.observe_run(
+            day=day,
+            run_index=run_index,
+            gpu_indices=gpu_indices,
+            performance_ms=performance,
+            frequency_mhz=reported_freq,
+            power_w=reported_power,
+            temperature_c=reported_temp,
+            power_capped=op.power_capped,
+            thermally_capped=op.thermally_capped,
+        )
     if tracer is not None:
         tracer.add("run.count", 1)
         tracer.add("run.gpus", n)

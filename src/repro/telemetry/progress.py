@@ -145,6 +145,56 @@ class CampaignProgress:
         return time.perf_counter() - self._began_at
 
     @property
+    def shards_per_second(self) -> float:
+        """Completed shards per wall-clock second (0.0 with no elapsed time).
+
+        Guarded against the zero-elapsed case: querying immediately after
+        :meth:`begin` (or before it) returns 0.0 rather than dividing by
+        zero.
+        """
+        elapsed = self.wall_seconds
+        if elapsed <= 0.0:
+            return 0.0
+        return self.n_done / elapsed
+
+    @property
+    def runs_per_second(self) -> float:
+        """Completed *runs* per wall-clock second (0.0 with no elapsed time).
+
+        A run spanning several shards counts as done once all its shards
+        have reported; fractional progress inside a run is ignored.
+        """
+        elapsed = self.wall_seconds
+        if elapsed <= 0.0:
+            return 0.0
+        with self._lock:
+            seen: dict[tuple[int, int], int] = {}
+            for t in self._timings:
+                key = (t.day, t.run_index)
+                seen[key] = seen.get(key, 0) + 1
+            runs_done = sum(
+                1 for t in self._timings
+                if t.shard_index == 0 and seen[(t.day, t.run_index)] >= t.n_shards
+            )
+        return runs_done / elapsed
+
+    @property
+    def eta_seconds(self) -> float | None:
+        """Estimated wall-clock seconds to completion.
+
+        ``None`` until at least one shard has finished (no rate yet) or if
+        no wall time has elapsed; 0.0 once everything is done.  The
+        estimate assumes the remaining shards complete at the observed
+        mean per-shard rate.
+        """
+        done = self.n_done
+        rate = self.shards_per_second
+        if done == 0 or rate <= 0.0:
+            return None
+        remaining = max(self._total - done, 0)
+        return remaining / rate
+
+    @property
     def solver_stats(self) -> SolverStats:
         """Campaign-wide DVFS solver counters, merged across finished shards."""
         merged = SolverStats()
@@ -163,6 +213,12 @@ class CampaignProgress:
             f"{self.shard_seconds:.2f} s compute / "
             f"{self.wall_seconds:.2f} s wall"
         )
+        rate = self.shards_per_second
+        if rate > 0.0:
+            line += f", {rate:.1f} shards/s"
+        eta = self.eta_seconds
+        if eta is not None and done < total:
+            line += f", ETA {eta:.1f} s"
         solver = self.solver_stats
         if solver.solves:
             line += (

@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core.outliers import (
+    OutlierAccumulator,
     flag_outlier_gpus,
+    flag_outlier_values,
     node_outlier_counts,
     persistent_outliers,
     worst_performers,
@@ -78,6 +80,56 @@ class TestPersistence:
     def test_invalid_min_occurrences(self):
         with pytest.raises(AnalysisError):
             persistent_outliers([], min_occurrences=0)
+
+
+class TestStreamingEntryPoint:
+    """flag_outlier_values: the incremental form the health tracker uses."""
+
+    def test_matches_dataset_flagging(self):
+        ds = make_dataset(slow_gpus=(5,))
+        med = ds.per_gpu_median("performance_ms")
+        streaming = flag_outlier_values(
+            med.column("performance_ms"),
+            med.column("gpu_label"),
+            med.column("node_label"),
+        )
+        batch = flag_outlier_gpus(ds)
+        assert streaming.gpu_labels == batch.gpu_labels
+        assert streaming.node_labels == batch.node_labels
+        assert streaming.stats.fence_hi == batch.stats.fence_hi
+
+    def test_node_labels_derived_from_gpu_labels(self):
+        values = np.array([100.0] * 9 + [200.0])
+        labels = [f"node{i // 2:02d}-{i % 2}" for i in range(10)]
+        report = flag_outlier_values(values, labels)
+        assert report.gpu_labels == ("node04-1",)
+        assert report.node_labels == ("node04",)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(AnalysisError):
+            flag_outlier_values(np.arange(3.0), ["a", "b"])
+
+
+class TestAccumulator:
+    def test_streaming_matches_batch_persistence(self):
+        a = flag_outlier_gpus(make_dataset(slow_gpus=(5, 9), seed=1))
+        b = flag_outlier_gpus(make_dataset(slow_gpus=(5, 12), seed=2))
+        acc = OutlierAccumulator()
+        acc.add(a)
+        acc.add(b)
+        assert acc.persistent() == persistent_outliers([a, b])
+        assert acc.n_reports == 2
+
+    def test_accepts_plain_label_iterables(self):
+        acc = OutlierAccumulator()
+        acc.add(["g05", "g09"])
+        acc.add(["g05"])
+        assert acc.counts() == {"g05": 2, "g09": 1}
+        assert acc.persistent(min_occurrences=2) == {"g05": 2}
+
+    def test_invalid_min_occurrences(self):
+        with pytest.raises(AnalysisError):
+            OutlierAccumulator().persistent(min_occurrences=0)
 
 
 class TestNodeCounts:

@@ -85,23 +85,27 @@ GOLDEN_CAMPAIGNS: dict[str, GoldenSpec] = {
 }
 
 
-def build_golden_dataset(name: str, *, tracer=None,
-                         manifest=None) -> MeasurementDataset:
+def build_golden_dataset(name: str, *, tracer=None, manifest=None,
+                         monitor=None) -> MeasurementDataset:
     """Run the (small) campaign a golden fixture pins.
 
-    ``tracer``/``manifest`` pass through to :func:`run_campaign` so the
-    observability layer's zero-perturbation guarantee is pinned against
-    the same fixtures (the output must be byte-identical either way).
+    ``tracer``/``manifest``/``monitor`` pass through to
+    :func:`run_campaign` so the observability layer's zero-perturbation
+    guarantee is pinned against the same fixtures (the output must be
+    byte-identical either way).
     """
     spec = GOLDEN_CAMPAIGNS[name]
     return run_campaign(spec.build_cluster(), spec.build_workload(),
-                        GOLDEN_CONFIG, tracer=tracer, manifest=manifest)
+                        GOLDEN_CONFIG, tracer=tracer, manifest=manifest,
+                        monitor=monitor)
 
 
-def golden_csv_text(name: str, *, tracer=None, manifest=None) -> str:
+def golden_csv_text(name: str, *, tracer=None, manifest=None,
+                    monitor=None) -> str:
     """The canonical CSV text of a freshly computed golden campaign."""
     return dataset_to_csv_text(
-        build_golden_dataset(name, tracer=tracer, manifest=manifest)
+        build_golden_dataset(name, tracer=tracer, manifest=manifest,
+                             monitor=monitor)
     )
 
 

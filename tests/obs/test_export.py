@@ -1,0 +1,43 @@
+"""Edge-case coverage for the trace sinks (repro.obs.export)."""
+
+import json
+
+from repro.obs import Tracer, write_chrome_trace, write_events_jsonl
+
+
+class TestEmptyTracer:
+    def test_chrome_trace_of_empty_tracer(self, tmp_path):
+        path = write_chrome_trace(Tracer(), tmp_path / "empty.json")
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"] == []
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_events_jsonl_of_empty_tracer(self, tmp_path):
+        path = write_events_jsonl(Tracer(), tmp_path / "empty.jsonl")
+        assert path.read_text() == ""
+
+
+class TestCountersOnlyTracer:
+    def _tracer(self):
+        tracer = Tracer()
+        tracer.add("runs", 3)
+        tracer.add("solves", 7)
+        return tracer
+
+    def test_chrome_trace_counters_without_spans(self, tmp_path):
+        path = write_chrome_trace(self._tracer(), tmp_path / "c.json")
+        events = json.loads(path.read_text())["traceEvents"]
+        # no spans -> no thread metadata, just the counter instant at t=0
+        assert len(events) == 1
+        (event,) = events
+        assert event["ph"] == "i"
+        assert event["name"] == "counters"
+        assert event["ts"] == 0.0
+        assert event["args"] == {"runs": 3, "solves": 7}
+
+    def test_events_jsonl_counters_sorted(self, tmp_path):
+        path = write_events_jsonl(self._tracer(), tmp_path / "c.jsonl")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [x["event"] for x in lines] == ["counter", "counter"]
+        assert [x["name"] for x in lines] == ["runs", "solves"]
+        assert lines[0]["value"] == 3

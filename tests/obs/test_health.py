@@ -1,0 +1,373 @@
+"""Tests for online fleet health detection (repro.obs.health)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster, ForcedDefect
+from repro.cluster.cooling import AirCooling
+from repro.cluster.topology import cabinet_topology, row_column_topology
+from repro.errors import AnalysisError, ConfigError
+from repro.gpu.defects import DefectConfig, DefectType
+from repro.gpu.silicon import SiliconConfig
+from repro.gpu.specs import V100
+from repro.obs.health import (
+    GRADES,
+    HealthEventKind,
+    HealthPolicy,
+    HealthTracker,
+    analyze_fleet_health,
+    build_health_report,
+    validate_health_report,
+    write_health_events,
+)
+from repro.obs.metrics import FleetMonitor
+from repro.sim import CampaignConfig, run_campaign
+from repro.workloads import sgemm
+
+N = 12
+LABELS = tuple(f"g{i:02d}" for i in range(N))
+
+#: Tight hysteresis for synthetic feeds: evaluate from the second run on.
+POLICY = HealthPolicy(window_runs=3, min_window_runs=2, min_fleet=8,
+                      open_after=2, close_after=2)
+
+
+def _run(tracker, *, day=0, run_index=0, perf=None, freq=None, temp=None,
+         capped=None):
+    """Feed one full-coverage synthetic run; spread avoids degenerate fences."""
+    base = 100.0 + 0.3 * np.arange(N)
+    perf = base if perf is None else np.asarray(perf, dtype=float)
+    return tracker.observe_run(
+        day=day, run_index=run_index,
+        gpu_indices=np.arange(N),
+        performance_ms=perf,
+        frequency_mhz=np.full(N, 1300.0) if freq is None else np.asarray(freq),
+        temperature_c=np.full(N, 60.0) if temp is None else np.asarray(temp),
+        power_capped=np.zeros(N, bool) if capped is None else np.asarray(capped),
+        thermally_capped=np.zeros(N, bool),
+    )
+
+
+def _slow(factor, gpu=0):
+    perf = 100.0 + 0.3 * np.arange(N)
+    perf[gpu] *= factor
+    return perf
+
+
+class TestPolicy:
+    def test_defaults_valid(self):
+        HealthPolicy()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"window_runs": 0},
+        {"min_window_runs": 9, "window_runs": 4},
+        {"min_fleet": 2},
+        {"open_after": 0},
+        {"stuck_residency": 1.5},
+        {"drift_ratio": 1.0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            HealthPolicy(**kwargs)
+
+
+class TestTrackerBasics:
+    def test_no_events_below_min_window(self):
+        tracker = HealthTracker(LABELS, POLICY)
+        events = _run(tracker, perf=_slow(2.0))
+        assert events == []  # one run < min_window_runs
+
+    def test_rejects_out_of_range_gpu(self):
+        tracker = HealthTracker(LABELS, POLICY)
+        with pytest.raises(AnalysisError, match="labels"):
+            tracker.observe_run(
+                day=0, run_index=0, gpu_indices=np.array([N + 3]),
+                performance_ms=np.array([100.0]),
+                frequency_mhz=np.array([1300.0]),
+                temperature_c=np.array([60.0]),
+                power_capped=np.array([False]),
+                thermally_capped=np.array([False]),
+            )
+
+    def test_small_fleet_never_evaluates(self):
+        tracker = HealthTracker(LABELS[:4], HealthPolicy(min_fleet=4))
+        # only 3 of 4 GPUs ever observed -> below min_fleet, no fences
+        for i in range(5):
+            tracker.observe_run(
+                day=0, run_index=i, gpu_indices=np.arange(3),
+                performance_ms=np.array([100.0, 101.0, 300.0]),
+                frequency_mhz=np.full(3, 1300.0),
+                temperature_c=np.full(3, 60.0),
+                power_capped=np.zeros(3, bool),
+                thermally_capped=np.zeros(3, bool),
+            )
+        assert tracker.events == []
+
+
+class TestChronicSlow:
+    def test_persistent_slow_gpu_opens(self):
+        tracker = HealthTracker(LABELS, POLICY)
+        for i in range(4):
+            _run(tracker, run_index=i, perf=_slow(1.5))
+        kinds = [e.kind for e in tracker.events]
+        assert HealthEventKind.CHRONIC_SLOW_OUTLIER in kinds
+        event = next(e for e in tracker.events
+                     if e.kind == HealthEventKind.CHRONIC_SLOW_OUTLIER)
+        assert event.gpu_label == "g00"
+        assert event.value > event.threshold
+
+    def test_single_noisy_run_does_not_flap(self):
+        tracker = HealthTracker(LABELS, POLICY)
+        _run(tracker, run_index=0)
+        _run(tracker, run_index=1, perf=_slow(1.5))  # one bad run
+        for i in range(2, 6):
+            _run(tracker, run_index=i)
+        assert tracker.events == []  # hysteresis absorbed the transient
+        assert tracker.grades() == ("ok",) * N
+
+    def test_accumulator_mirrors_persistent_outliers(self):
+        tracker = HealthTracker(LABELS, POLICY)
+        for i in range(4):
+            _run(tracker, run_index=i, perf=_slow(1.5))
+        persistent = tracker.outlier_accumulator.persistent(min_occurrences=2)
+        assert "g00" in persistent
+
+
+class TestThermalRunaway:
+    def test_hot_gpu_opens_with_critical_grade(self):
+        tracker = HealthTracker(LABELS, POLICY)
+        temp = np.full(N, 60.0) + 0.2 * np.arange(N)
+        temp[4] = 85.0  # way past fence + 5 degC floor
+        for i in range(4):
+            _run(tracker, run_index=i, temp=temp)
+        event = next(e for e in tracker.events
+                     if e.kind == HealthEventKind.THERMAL_RUNAWAY)
+        assert event.gpu_label == "g04"
+        assert tracker.grades()[4] == "critical"
+
+    def test_residual_within_floor_is_noise(self):
+        tracker = HealthTracker(LABELS, POLICY)
+        temp = np.full(N, 60.0)
+        temp[4] = 63.0  # fence outlier but < thermal_min_residual_c above
+        for i in range(4):
+            _run(tracker, run_index=i, temp=temp)
+        assert all(e.kind != HealthEventKind.THERMAL_RUNAWAY
+                   for e in tracker.events)
+
+
+class TestStuckThrottle:
+    def _stuck_run(self, tracker, run_index, stuck=True):
+        freq = np.full(N, 1300.0)
+        capped = np.zeros(N, bool)
+        if stuck:
+            freq[7] = 1000.0
+            capped[7] = True
+        _run(tracker, run_index=run_index, freq=freq, capped=capped)
+
+    def test_capped_and_slow_clocks_open(self):
+        tracker = HealthTracker(LABELS, POLICY)
+        for i in range(4):
+            self._stuck_run(tracker, i)
+        event = next(e for e in tracker.events
+                     if e.kind == HealthEventKind.STUCK_THROTTLE)
+        assert event.gpu_label == "g07"
+        assert event.value >= POLICY.stuck_residency
+
+    def test_residency_alone_is_not_a_defect(self):
+        tracker = HealthTracker(LABELS, POLICY)
+        # the whole fleet is power-capped at healthy clocks (routine)
+        for i in range(4):
+            _run(tracker, run_index=i, capped=np.ones(N, bool))
+        assert all(e.kind != HealthEventKind.STUCK_THROTTLE
+                   for e in tracker.events)
+
+    def test_recovery_emits_and_downgrades_to_watch(self):
+        tracker = HealthTracker(LABELS, POLICY)
+        for i in range(4):
+            self._stuck_run(tracker, i)
+        assert tracker.grades()[7] == "degraded"
+        for i in range(4, 10):
+            self._stuck_run(tracker, i, stuck=False)
+        recovered = [e for e in tracker.events
+                     if e.kind == HealthEventKind.RECOVERED]
+        assert len(recovered) == 1
+        assert recovered[0].gpu_label == "g07"
+        assert dict(recovered[0].details)["cleared"] == "STUCK_THROTTLE"
+        assert tracker.grades()[7] == "watch"  # recovered: keep an eye on it
+        assert tracker.open_conditions(7) == ()
+
+
+class TestDefectDrift:
+    def test_drift_above_own_baseline_opens_watch(self):
+        policy = HealthPolicy(window_runs=3, min_window_runs=2, min_fleet=8,
+                              open_after=2, close_after=2)
+        tracker = HealthTracker(LABELS, policy)
+        perf = 100.0 + 1.0 * np.arange(N)
+        for i in range(3):  # establish every baseline at the first full window
+            _run(tracker, run_index=i, perf=perf)
+        drifted = perf.copy()
+        drifted[0] = 110.0  # ~10% above its own baseline, inside fleet fence
+        for i in range(3, 6):
+            _run(tracker, run_index=i, perf=drifted)
+        event = next(e for e in tracker.events
+                     if e.kind == HealthEventKind.DEFECT_DRIFT)
+        assert event.gpu_label == "g00"
+        assert tracker.grades()[0] == "watch"
+        # drift is explicitly NOT the fence condition
+        assert all(e.kind != HealthEventKind.CHRONIC_SLOW_OUTLIER
+                   for e in tracker.events)
+
+
+class TestReport:
+    def _tracked_topology(self):
+        topo = cabinet_topology("TestFleet", n_nodes=3, gpus_per_node=4)
+        tracker = HealthTracker(topo.gpu_labels, POLICY)
+        for i in range(4):
+            _run(tracker, run_index=i, perf=_slow(1.5))
+        return tracker, topo
+
+    def test_report_lists_only_unhealthy(self):
+        tracker, topo = self._tracked_topology()
+        report = build_health_report(tracker, topo)
+        assert report.n_gpus == N
+        assert all(entry["grade"] != "ok" for entry in report.gpu_entries)
+        flagged = {entry["gpu_label"] for entry in report.gpu_entries}
+        assert topo.gpu_labels[0] in flagged
+
+    def test_node_rollup_worst_grade(self):
+        tracker, topo = self._tracked_topology()
+        report = build_health_report(tracker, topo)
+        assert report.node_entries  # GPU 0's node is unhealthy
+        entry = next(e for e in report.node_entries
+                     if e["node_label"] == topo.node_labels[0])
+        assert entry["worst"] == "degraded"
+        assert sum(entry["grade_counts"].values()) == topo.gpus_per_node
+
+    def test_row_rollup_on_grid_topology(self):
+        topo = row_column_topology("Grid", n_rows=2, n_columns=2,
+                                   nodes_per_column=1, gpus_per_node=3)
+        tracker = HealthTracker(
+            topo.gpu_labels, HealthPolicy(window_runs=3, min_window_runs=2,
+                                          min_fleet=8, open_after=2)
+        )
+        n = topo.n_gpus
+        perf = 100.0 + 0.3 * np.arange(n)
+        perf[0] *= 1.5
+        for i in range(4):
+            tracker.observe_run(
+                day=0, run_index=i, gpu_indices=np.arange(n),
+                performance_ms=perf, frequency_mhz=np.full(n, 1300.0),
+                temperature_c=np.full(n, 60.0),
+                power_capped=np.zeros(n, bool),
+                thermally_capped=np.zeros(n, bool),
+            )
+        report = build_health_report(tracker, topo)
+        assert report.row_entries
+        assert report.row_entries[0]["worst"] == "degraded"
+
+    def test_to_dict_validates_against_schema(self):
+        tracker, topo = self._tracked_topology()
+        report = build_health_report(tracker, topo)
+        validate_health_report(report.to_dict())  # must not raise
+
+    def test_write_json_roundtrip(self, tmp_path):
+        tracker, topo = self._tracked_topology()
+        report = build_health_report(tracker, topo)
+        path = tmp_path / "health.json"
+        report.write_json(path)
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == 1
+        assert doc["grade_counts"]["degraded"] >= 1
+        assert sum(doc["grade_counts"].values()) == N
+
+    def test_render_mentions_unhealthy_gpus(self):
+        tracker, topo = self._tracked_topology()
+        text = build_health_report(tracker, topo).render()
+        assert "fleet health: TestFleet" in text
+        assert topo.gpu_labels[0] in text
+        assert "CHRONIC_SLOW_OUTLIER" in text
+
+    def test_healthy_fleet_renders_clean(self):
+        topo = cabinet_topology("TestFleet", n_nodes=3, gpus_per_node=4)
+        tracker = HealthTracker(topo.gpu_labels, POLICY)
+        for i in range(4):
+            _run(tracker, run_index=i)
+        report = build_health_report(tracker, topo)
+        assert report.gpu_entries == ()
+        assert "all GPUs healthy" in report.render()
+
+    def test_gpu_count_mismatch_raises(self):
+        topo = cabinet_topology("TestFleet", n_nodes=3, gpus_per_node=4)
+        with pytest.raises(AnalysisError, match="topology"):
+            build_health_report(HealthTracker(("a", "b"), POLICY), topo)
+
+    def test_grades_order_matches_constant(self):
+        assert GRADES == ("ok", "watch", "degraded", "critical")
+
+
+class TestEventLog:
+    def test_write_health_events_jsonl(self, tmp_path):
+        tracker = HealthTracker(LABELS, POLICY)
+        for i in range(4):
+            _run(tracker, run_index=i, perf=_slow(1.5))
+        path = tmp_path / "events.jsonl"
+        write_health_events(tracker.events, path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == len(tracker.events)
+        assert lines[0]["kind"] in {k.value for k in HealthEventKind}
+        assert {"gpu_label", "day", "run_index", "value",
+                "threshold"} <= set(lines[0])
+
+
+class TestDefectInjectedFleet:
+    """The acceptance scenario: known defects surface as the right events."""
+
+    SICK_GPU = "c001-002-1"
+    HOT_GPU = "c003-001-2"
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        topology = cabinet_topology("Sickbay", n_nodes=12, gpus_per_node=4)
+        cluster = Cluster(
+            name="Sickbay",
+            spec=V100,
+            topology=topology,
+            cooling=AirCooling(),
+            silicon_config=SiliconConfig(),
+            defect_config=DefectConfig.none(),
+            forced_defects=(
+                ForcedDefect("gpu", self.SICK_GPU, DefectType.SICK_SLOW,
+                             severity=0.70),
+                ForcedDefect("gpu", self.HOT_GPU, DefectType.HOT_RUNNER,
+                             severity=2.5),
+            ),
+            seed=7,
+        )
+        monitor = FleetMonitor()
+        run_campaign(cluster, sgemm(),
+                     CampaignConfig(days=3, runs_per_day=2), monitor=monitor)
+        tracker, report = analyze_fleet_health(monitor, topology)
+        return tracker, report
+
+    def test_sick_slow_gpu_flagged_chronic(self, result):
+        tracker, _ = result
+        chronic = {e.gpu_label for e in tracker.events
+                   if e.kind == HealthEventKind.CHRONIC_SLOW_OUTLIER}
+        assert self.SICK_GPU in chronic
+
+    def test_hot_runner_flagged_thermal(self, result):
+        tracker, _ = result
+        thermal = {e.gpu_label for e in tracker.events
+                   if e.kind == HealthEventKind.THERMAL_RUNAWAY}
+        assert self.HOT_GPU in thermal
+
+    def test_healthy_majority_stays_ok(self, result):
+        tracker, report = result
+        counts = report.grade_counts()
+        assert counts["ok"] >= tracker.n_gpus - 6
+
+    def test_report_schema_valid(self, result):
+        _, report = result
+        validate_health_report(report.to_dict())

@@ -1,0 +1,290 @@
+"""Tests for the streaming metrics pipeline (repro.obs.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, ConfigError
+from repro.obs.metrics import (
+    DEFAULT_HISTOGRAM_EDGES,
+    FleetMonitor,
+    MetricsRegistry,
+    MonitorConfig,
+    SlidingWindow,
+    activate_monitor,
+    active_monitor,
+    render_prometheus,
+)
+
+from ..golden import golden_csv_text, read_golden_text
+
+GOLDEN_NAME = "cloudlab-sgemm"
+
+
+class TestSlidingWindow:
+    def test_push_and_median(self):
+        w = SlidingWindow(n_series=3, capacity=2)
+        w.push(np.array([1.0, 10.0, 100.0]))
+        w.push(np.array([3.0, 30.0, 300.0]))
+        assert np.allclose(w.median(), [2.0, 20.0, 200.0])
+
+    def test_ring_evicts_oldest(self):
+        w = SlidingWindow(n_series=1, capacity=2)
+        for value in (1.0, 2.0, 9.0):
+            w.push(np.array([value]))
+        # 1.0 fell out of the window; median over {2, 9}
+        assert np.allclose(w.median(), [5.5])
+        assert w.counts.tolist() == [2]
+
+    def test_partial_coverage_advances_only_observed_series(self):
+        w = SlidingWindow(n_series=4, capacity=3)
+        w.push(np.array([5.0, 7.0]), indices=np.array([0, 2]))
+        assert w.counts.tolist() == [1, 0, 1, 0]
+        med = w.median()
+        assert med[0] == 5.0 and med[2] == 7.0
+        assert np.isnan(med[1]) and np.isnan(med[3])
+
+    def test_series_stats_keys_and_nan_for_empty(self):
+        w = SlidingWindow(n_series=2, capacity=4)
+        w.push(np.array([1.0]), indices=np.array([0]))
+        stats = w.series_stats()
+        assert set(stats) == {"mean", "p5", "p50", "p95", "iqr"}
+        assert stats["p50"][0] == 1.0
+        assert all(np.isnan(stats[k][1]) for k in stats)
+
+    def test_pooled_stats_over_all_series(self):
+        w = SlidingWindow(n_series=2, capacity=2)
+        w.push(np.array([1.0, 3.0]))
+        pooled = w.pooled_stats()
+        assert pooled["mean"] == 2.0
+        assert pooled["n"] == 2.0
+
+    def test_pooled_stats_empty_is_nan(self):
+        pooled = SlidingWindow(1, 1).pooled_stats()
+        assert pooled["n"] == 0.0
+        assert np.isnan(pooled["p50"])
+
+    def test_length_mismatch_raises(self):
+        w = SlidingWindow(n_series=2, capacity=2)
+        with pytest.raises(AnalysisError, match="values"):
+            w.push(np.array([1.0, 2.0, 3.0]), indices=np.array([0, 1]))
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.inc("runs", 1)
+        reg.inc("runs", 2)
+        assert reg.counter("runs") == 3
+        assert reg.counter("never") == 0
+
+    def test_gauge_label_mismatch_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(AnalysisError, match="labels"):
+            reg.set_gauge("g", np.array([1.0, 2.0]), labels=("a",))
+
+    def test_histogram_bucket_semantics(self):
+        reg = MetricsRegistry()
+        reg.observe("x", np.array([0.5, 1.0, 1.5]), edges=(1.0, 2.0))
+        hist = reg.histogram("x")
+        # value <= bound lands in that bucket; 1.5 in the (1, 2] bucket
+        assert hist["bucket_counts"] == (2, 1, 0)
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(3.0)
+
+    def test_histogram_overflow_bucket(self):
+        reg = MetricsRegistry()
+        reg.observe("x", np.array([99.0]), edges=(1.0,))
+        assert reg.histogram("x")["bucket_counts"] == (0, 1)
+
+    def test_default_edges_resolved_by_family(self):
+        reg = MetricsRegistry()
+        reg.observe("fleet_frequency_mhz", np.array([1300.0]))
+        bounds = reg.histogram("fleet_frequency_mhz")["bounds"]
+        assert bounds == DEFAULT_HISTOGRAM_EDGES["frequency_mhz"]
+
+    def test_unknown_family_requires_explicit_edges(self):
+        with pytest.raises(AnalysisError, match="edges"):
+            MetricsRegistry().observe("mystery_metric", np.array([1.0]))
+
+    def test_payload_merge_sums_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg, n in ((a, 1), (b, 2)):
+            reg.inc("runs", n)
+            reg.observe("x", np.full(n, 0.5), edges=(1.0, 2.0))
+        merged = MetricsRegistry()
+        merged.merge_payload(a.to_payload())
+        merged.merge_payload(b.to_payload())
+        assert merged.counter("runs") == 3
+        assert merged.histogram("x")["bucket_counts"] == (3, 0, 0)
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("x", np.array([0.5]), edges=(1.0,))
+        b.observe("x", np.array([0.5]), edges=(2.0,))
+        merged = MetricsRegistry()
+        merged.merge_payload(a.to_payload())
+        with pytest.raises(AnalysisError, match="bounds"):
+            merged.merge_payload(b.to_payload())
+
+    def test_payload_excludes_gauges(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 1.0)
+        counters, histograms, _ = reg.to_payload()
+        assert counters == {} and histograms == {}
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert active_monitor() is None
+
+    def test_activation_scoped_and_nestable(self):
+        outer, inner = FleetMonitor(), FleetMonitor()
+        with activate_monitor(outer):
+            assert active_monitor() is outer
+            with activate_monitor(inner):
+                assert active_monitor() is inner
+            assert active_monitor() is outer
+        assert active_monitor() is None
+
+    def test_monitor_config_validation(self):
+        with pytest.raises(ConfigError):
+            MonitorConfig(window_runs=0)
+
+
+def _feed(monitor, *, day=0, run_index=0, perf, idx=None, freq=None,
+          power=None, temp=None, pcap=None, tcap=None):
+    perf = np.asarray(perf, dtype=float)
+    n = perf.shape[0]
+    monitor.observe_run(
+        day=day, run_index=run_index,
+        gpu_indices=np.arange(n) if idx is None else np.asarray(idx),
+        performance_ms=perf,
+        frequency_mhz=np.full(n, 1300.0) if freq is None else np.asarray(freq),
+        power_w=np.full(n, 250.0) if power is None else np.asarray(power),
+        temperature_c=np.full(n, 60.0) if temp is None else np.asarray(temp),
+        power_capped=np.zeros(n, bool) if pcap is None else np.asarray(pcap),
+        thermally_capped=np.zeros(n, bool) if tcap is None else np.asarray(tcap),
+    )
+
+
+class TestFleetMonitor:
+    def test_iter_runs_reassembles_shards(self):
+        monitor = FleetMonitor()
+        _feed(monitor, day=0, run_index=0, perf=[100.0, 101.0], idx=[0, 1])
+        _feed(monitor, day=0, run_index=0, perf=[102.0, 103.0], idx=[2, 3])
+        _feed(monitor, day=0, run_index=1, perf=[100.0] * 4)
+        runs = list(monitor.iter_runs())
+        assert [r.n for r in runs] == [4, 4]
+        assert runs[0].gpu_indices.tolist() == [0, 1, 2, 3]
+        assert monitor.n_runs == 2
+
+    def test_finalize_gauges_and_deviation(self):
+        monitor = FleetMonitor()
+        # GPU 3 is 20% slow; deviation gauge should show it
+        _feed(monitor, perf=[100.0, 100.0, 100.0, 120.0])
+        monitor.finalize(("g0", "g1", "g2", "g3"))
+        dev = monitor.registry.gauge("gpu_perf_deviation")
+        assert dev[3] == pytest.approx(1.2)
+        assert monitor.registry.gauge_labels("gpu_perf_deviation") == (
+            "g0", "g1", "g2", "g3"
+        )
+
+    def test_finalize_throttle_residency(self):
+        monitor = FleetMonitor()
+        _feed(monitor, run_index=0, perf=[100.0, 100.0],
+              pcap=[True, False])
+        _feed(monitor, run_index=1, perf=[100.0, 100.0],
+              tcap=[True, False])
+        monitor.finalize(("g0", "g1", "g2"))
+        residency = monitor.registry.gauge("gpu_throttle_residency")
+        assert residency[0] == 1.0
+        assert residency[1] == 0.0
+        assert np.isnan(residency[2])  # never observed
+
+    def test_finalize_window_series_one_entry_per_run(self):
+        monitor = FleetMonitor(MonitorConfig(window_runs=2))
+        for run_index in range(3):
+            _feed(monitor, run_index=run_index, perf=[100.0, 110.0])
+        monitor.finalize(("g0", "g1"))
+        series = monitor.window_series["perf_deviation"]
+        assert len(series) == 3
+        assert series[-1]["run_index"] == 2.0
+        # window depth 2: each pooled window holds at most 2 runs x 2 GPUs
+        assert series[-1]["n"] == 4.0
+
+    def test_finalize_is_idempotent(self):
+        monitor = FleetMonitor()
+        _feed(monitor, perf=[100.0])
+        monitor.finalize(("g0",))
+        runs_total = monitor.registry.counter("monitor_runs_total")
+        monitor.finalize(("g0",))
+        assert monitor.registry.counter("monitor_runs_total") == runs_total
+
+    def test_finalize_rejects_out_of_range_gpu(self):
+        monitor = FleetMonitor()
+        _feed(monitor, perf=[100.0, 100.0], idx=[0, 5])
+        with pytest.raises(AnalysisError, match="labels"):
+            monitor.finalize(("g0", "g1"))
+
+    def test_payload_roundtrip_preserves_stream(self):
+        shard = FleetMonitor()
+        _feed(shard, perf=[100.0, 105.0])
+        merged = FleetMonitor()
+        merged.merge_payload(shard.to_payload())
+        assert merged.n_runs == 1
+        assert merged.registry.counter("monitor_gpu_samples_total") == 2
+
+
+class TestPrometheusRendering:
+    def test_counter_gauge_histogram_sections(self):
+        reg = MetricsRegistry()
+        reg.inc("runs_total", 3, help="runs observed")
+        reg.set_gauge("gpu_power_w", np.array([250.0, np.nan]),
+                      labels=("g0", "g1"))
+        reg.observe("x_power_w", np.array([45.0]))
+        text = render_prometheus(reg)
+        assert "# HELP repro_runs_total runs observed" in text
+        assert "# TYPE repro_runs_total counter" in text
+        assert "repro_runs_total 3" in text
+        assert 'repro_gpu_power_w{gpu="g0"} 250' in text
+        assert "g1" not in text  # NaN gauge entries skipped
+        assert 'repro_x_power_w_bucket{le="+Inf"} 1' in text
+        assert "repro_x_power_w_count 1" in text
+
+    def test_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        reg.observe("x", np.array([0.5, 1.5, 2.5]), edges=(1.0, 2.0))
+        text = render_prometheus(reg)
+        assert 'repro_x_bucket{le="1"} 1' in text
+        assert 'repro_x_bucket{le="2"} 2' in text
+        assert 'repro_x_bucket{le="+Inf"} 3' in text
+
+    def test_monitor_accepted_directly(self):
+        monitor = FleetMonitor()
+        _feed(monitor, perf=[100.0])
+        monitor.finalize(("g0",))
+        assert "repro_monitor_runs_total 1" in render_prometheus(monitor)
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_equal_registries_render_identically(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.inc("b", 2)
+            reg.inc("a", 1)
+            reg.observe("x", np.array([0.5]), edges=(1.0,))
+            return reg
+
+        assert render_prometheus(build()) == render_prometheus(build())
+
+
+class TestZeroPerturbation:
+    def test_monitored_campaign_matches_golden_fixture_bytes(self):
+        monitor = FleetMonitor()
+        text = golden_csv_text(GOLDEN_NAME, monitor=monitor)
+        assert text == read_golden_text(GOLDEN_NAME)
+        # and the monitor actually observed the campaign
+        assert monitor.n_runs > 0
+        assert monitor.registry.counter("solver_solves_total") > 0
+        assert monitor.gpu_labels is not None  # executor finalized it

@@ -1,0 +1,84 @@
+"""Worker-layout invariance of the monitoring pipeline.
+
+The monitor's guarantees mirror the tracer's (tests/obs/test_equivalence.py)
+but cover the derived statistics too: the merged run stream, every registry
+metric (compared via the sorted Prometheus rendering, which is exact), and
+the health tracker's full ordered event stream must be identical whether
+the campaign ran serially or sharded across workers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.health import analyze_fleet_health
+from repro.obs.metrics import FleetMonitor, render_prometheus
+from repro.sim import CampaignConfig, run_campaign
+from repro.sim.parallel import ParallelConfig
+from repro.workloads import sgemm
+
+CONFIG = CampaignConfig(days=2, runs_per_day=2)
+
+
+def _monitored(cluster, parallel=None):
+    monitor = FleetMonitor()
+    run_campaign(cluster, sgemm(), CONFIG, parallel=parallel, monitor=monitor)
+    return monitor
+
+
+@pytest.fixture(scope="module")
+def serial_monitor(request):
+    cluster = request.getfixturevalue("small_longhorn")
+    return _monitored(cluster)
+
+
+@pytest.mark.parametrize("backend", ["process", "thread"])
+class TestWorkerInvariance:
+    def test_registry_totals_identical(self, small_longhorn, serial_monitor,
+                                       backend):
+        parallel = _monitored(
+            small_longhorn, ParallelConfig(workers=2, backend=backend)
+        )
+        assert (render_prometheus(parallel)
+                == render_prometheus(serial_monitor))
+
+    def test_run_stream_identical(self, small_longhorn, serial_monitor,
+                                  backend):
+        parallel = _monitored(
+            small_longhorn, ParallelConfig(workers=2, backend=backend)
+        )
+        serial_runs = list(serial_monitor.iter_runs())
+        parallel_runs = list(parallel.iter_runs())
+        assert len(parallel_runs) == len(serial_runs)
+        for a, b in zip(serial_runs, parallel_runs):
+            assert (a.day, a.run_index) == (b.day, b.run_index)
+            assert a.gpu_indices.tolist() == b.gpu_indices.tolist()
+            assert a.performance_ms.tolist() == b.performance_ms.tolist()
+
+    def test_health_event_stream_identical(self, small_longhorn,
+                                           serial_monitor, backend):
+        parallel = _monitored(
+            small_longhorn, ParallelConfig(workers=2, backend=backend)
+        )
+        topology = small_longhorn.topology
+        serial_tracker, serial_report = analyze_fleet_health(
+            serial_monitor, topology
+        )
+        par_tracker, par_report = analyze_fleet_health(parallel, topology)
+        assert par_tracker.events == serial_tracker.events
+        assert par_tracker.grades() == serial_tracker.grades()
+        assert par_report.to_dict() == serial_report.to_dict()
+
+
+class TestMonitorAndTracerCompose:
+    def test_both_attached_still_bit_identical(self, small_longhorn):
+        from repro.obs import Tracer
+        from repro.telemetry.io import dataset_to_csv_text
+
+        plain = run_campaign(small_longhorn, sgemm(), CONFIG)
+        monitor, tracer = FleetMonitor(), Tracer()
+        both = run_campaign(small_longhorn, sgemm(), CONFIG,
+                            tracer=tracer, monitor=monitor)
+        assert dataset_to_csv_text(both) == dataset_to_csv_text(plain)
+        assert monitor.n_runs == CONFIG.days * CONFIG.runs_per_day
+        assert tracer.counters["run.count"] == monitor.n_runs

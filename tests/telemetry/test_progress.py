@@ -1,0 +1,89 @@
+"""Tests for campaign progress rates and ETA (repro.telemetry.progress)."""
+
+import pytest
+
+from repro.telemetry.progress import CampaignProgress, ShardTiming
+
+
+def _timing(day=0, run_index=0, shard_index=0, n_shards=1, n_rows=8,
+            duration_s=0.01):
+    return ShardTiming(day=day, run_index=run_index, shard_index=shard_index,
+                       n_shards=n_shards, n_rows=n_rows,
+                       duration_s=duration_s)
+
+
+class TestZeroElapsed:
+    """The zero-elapsed-time division edge case, in every rate property."""
+
+    def test_rates_before_begin_are_zero(self):
+        progress = CampaignProgress()
+        assert progress.shards_per_second == 0.0
+        assert progress.runs_per_second == 0.0
+        assert progress.eta_seconds is None
+
+    def test_rates_with_clock_pinned_at_begin(self, monkeypatch):
+        import repro.telemetry.progress as mod
+
+        progress = CampaignProgress()
+        frozen = 1000.0
+        monkeypatch.setattr(mod.time, "perf_counter", lambda: frozen)
+        progress.begin(total_shards=4)
+        progress.record(_timing())
+        # perf_counter has not advanced: elapsed is exactly 0.0
+        assert progress.wall_seconds == 0.0
+        assert progress.shards_per_second == 0.0
+        assert progress.runs_per_second == 0.0
+        assert progress.eta_seconds is None  # no rate -> no estimate
+        assert "ETA" not in progress.summary()
+
+
+class TestRates:
+    def _advanced(self, monkeypatch, elapsed=2.0):
+        import repro.telemetry.progress as mod
+
+        clock = {"now": 1000.0}
+        monkeypatch.setattr(mod.time, "perf_counter", lambda: clock["now"])
+        progress = CampaignProgress()
+        progress.begin(total_shards=4)
+        clock["now"] += elapsed
+        return progress
+
+    def test_shards_per_second(self, monkeypatch):
+        progress = self._advanced(monkeypatch, elapsed=2.0)
+        progress.record(_timing(run_index=0))
+        progress.record(_timing(run_index=1))
+        assert progress.shards_per_second == pytest.approx(1.0)
+
+    def test_runs_per_second_counts_complete_runs_only(self, monkeypatch):
+        progress = self._advanced(monkeypatch, elapsed=2.0)
+        # run 0 complete (both shards), run 1 half done
+        progress.record(_timing(run_index=0, shard_index=0, n_shards=2))
+        progress.record(_timing(run_index=0, shard_index=1, n_shards=2))
+        progress.record(_timing(run_index=1, shard_index=1, n_shards=2))
+        assert progress.runs_per_second == pytest.approx(0.5)
+
+    def test_eta_from_observed_rate(self, monkeypatch):
+        progress = self._advanced(monkeypatch, elapsed=2.0)
+        progress.record(_timing(run_index=0))
+        progress.record(_timing(run_index=1))
+        # 2 done in 2 s -> 1 shard/s -> 2 remaining -> 2 s
+        assert progress.eta_seconds == pytest.approx(2.0)
+
+    def test_eta_zero_when_done(self, monkeypatch):
+        progress = self._advanced(monkeypatch, elapsed=2.0)
+        for i in range(4):
+            progress.record(_timing(run_index=i))
+        assert progress.eta_seconds == 0.0
+
+    def test_summary_includes_rate_and_eta(self, monkeypatch):
+        progress = self._advanced(monkeypatch, elapsed=2.0)
+        progress.record(_timing(run_index=0))
+        line = progress.summary()
+        assert "shards/s" in line
+        assert "ETA" in line
+
+    def test_summary_omits_eta_when_complete(self, monkeypatch):
+        progress = self._advanced(monkeypatch, elapsed=2.0)
+        for i in range(4):
+            progress.record(_timing(run_index=i))
+        assert "ETA" not in progress.summary()

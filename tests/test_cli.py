@@ -18,6 +18,7 @@ class TestParser:
         for argv in (
             ["list"],
             ["characterize", "--cluster", "vortex", "--days", "2"],
+            ["monitor", "--cluster", "longhorn", "--window", "3"],
             ["screen", "--workloads", "sgemm"],
             ["sweep", "--limits", "300,200"],
             ["project", "--target-n", "1000"],
@@ -26,7 +27,8 @@ class TestParser:
             assert args.command == argv[0]
 
     @pytest.mark.parametrize(
-        "command", ["list", "characterize", "screen", "sweep", "project"]
+        "command",
+        ["list", "characterize", "monitor", "screen", "sweep", "project"],
     )
     def test_execution_args_accepted_uniformly(self, command):
         argv = [command, "--seed", "7", "--workers", "2",
@@ -57,6 +59,37 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Variability report: Vortex" in out
         assert csv.exists()
+
+    def test_monitor_small(self, capsys, tmp_path):
+        report = tmp_path / "health.json"
+        events = tmp_path / "events.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        code = main([
+            "monitor", "--cluster", "longhorn", "--scale", "0.25",
+            "--seed", "2022", "--days", "2", "--runs-per-day", "2",
+            "--report", str(report), "--events", str(events),
+            "--metrics", str(metrics),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet health: Longhorn" in out
+        assert "ok=" in out
+        from repro.obs.health import validate_health_report
+
+        validate_health_report(json.loads(report.read_text()))
+        assert "# TYPE repro_gpu_perf_deviation gauge" in metrics.read_text()
+        for line in events.read_text().splitlines():
+            assert "gpu_label" in json.loads(line)
+
+    def test_monitor_csv_identical_to_characterize(self, capsys, tmp_path):
+        shared = ["--cluster", "cloudlab", "--seed", "4", "--days", "2",
+                  "--runs-per-day", "2"]
+        monitored = tmp_path / "monitored.csv"
+        plain = tmp_path / "plain.csv"
+        assert main(["monitor", *shared, "--csv", str(monitored)]) == 0
+        assert main(["characterize", *shared, "--csv", str(plain)]) == 0
+        capsys.readouterr()
+        assert monitored.read_bytes() == plain.read_bytes()
 
     def test_screen_small(self, capsys):
         code = main([

@@ -33,24 +33,30 @@ API_SURFACE = frozenset({
     # constructors / registries
     "load_preset", "load_workload", "list_presets", "list_workloads",
     # verbs
-    "run_campaign", "characterize", "screen", "sweep", "project",
+    "run_campaign", "characterize", "monitor_fleet", "screen", "sweep",
+    "project",
     # domain types
     "Cluster", "Workload",
     # result types
-    "CharacterizationResult", "ScreenReport", "WorkloadScreen",
-    "SweepPoint", "SweepReport", "ProjectionReport",
+    "CharacterizationResult", "MonitoringResult", "ScreenReport",
+    "WorkloadScreen", "SweepPoint", "SweepReport", "ProjectionReport",
     "ClusterReport", "OutlierReport", "BoxStats", "MeasurementDataset",
     # configuration
     "CampaignConfig", "ParallelConfig", "CampaignProgress",
     # observability
     "Tracer", "Manifest", "read_manifest", "validate_manifest",
     "write_chrome_trace", "write_events_jsonl",
+    # monitoring / fleet health
+    "FleetMonitor", "MonitorConfig", "active_monitor", "render_prometheus",
+    "FleetHealthReport", "HealthEvent", "HealthEventKind", "HealthPolicy",
+    "HealthTracker", "analyze_fleet_health", "validate_health_report",
+    "write_health_events",
 })
 
 #: Facade functions whose every optional parameter must be keyword-only.
 KEYWORD_ONLY_FUNCTIONS = (
     "load_preset", "load_workload", "run_campaign", "characterize",
-    "screen", "sweep", "project",
+    "monitor_fleet", "screen", "sweep", "project",
 )
 
 

@@ -1,0 +1,50 @@
+"""Batch-queue scheduling on a variable fleet: policy shoot-out.
+
+Section VII end to end: the same seeded job trace (Poisson arrivals,
+1/2/4/8-GPU gangs over the five paper applications) runs through the
+discrete-event queue engine under the naive random policy and under
+variability-aware placement.  Because every job's intrinsic draws are keyed
+by job id, the two runs differ *only* in where jobs land — the comparison
+isolates the placement decision.
+
+Run:  python examples/batch_scheduling.py
+"""
+
+from repro import api
+
+
+def main() -> None:
+    cluster = api.load_preset("longhorn", seed=2022, scale=0.5)
+    trace = api.TraceConfig(n_jobs=80, arrival_rate_per_hour=600.0, seed=11)
+    print(f"Scheduling {trace.n_jobs} jobs on {cluster.name} "
+          f"({cluster.topology.n_gpus} GPUs)...\n")
+
+    results = {}
+    for policy in ("fifo", "backfill", "variability-aware"):
+        results[policy] = api.schedule(
+            cluster=cluster,
+            policy=policy,
+            trace=trace,
+            profile_config=api.CampaignConfig(days=2),
+        )
+        print(results[policy].report.render())
+        print()
+
+    naive = results["fifo"].report.metrics
+    aware = results["variability-aware"].report.metrics
+    print("-- naive vs variability-aware --")
+    print(f"  p95 JCT          : {naive['jct_p95_s']:8.1f}s -> "
+          f"{aware['jct_p95_s']:8.1f}s")
+    print(f"  slow assignments : {naive['slow_assignment_rate']:8.3f} -> "
+          f"{aware['slow_assignment_rate']:8.3f}")
+    print(f"  utilization      : {naive['utilization']:8.3f} -> "
+          f"{aware['utilization']:8.3f}")
+
+    # Same seed + same policy = byte-identical outputs; prove it.
+    again = api.schedule(cluster=cluster, policy="fifo", trace=trace)
+    assert again.report.to_json() == results["fifo"].report.to_json()
+    print("\nDeterminism check: repeated fifo run is byte-identical.")
+
+
+if __name__ == "__main__":
+    main()

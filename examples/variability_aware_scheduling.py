@@ -9,9 +9,6 @@ Run:  python examples/variability_aware_scheduling.py
 """
 
 from repro import api
-from repro.core import plan_placements, slow_assignment_probability
-from repro.core.classify import classify_workload
-from repro.core.scheduler import node_variability_scores
 
 
 def main() -> None:
@@ -25,7 +22,7 @@ def main() -> None:
 
     print("\n-- User impact of naive scheduling (Section VII) --")
     for n_gpus in (1, 2, 4):
-        prob = slow_assignment_probability(dataset, n_gpus=n_gpus)
+        prob = api.slow_assignment_probability(dataset=dataset, n_gpus=n_gpus)
         print(f"  {n_gpus}-GPU job: {prob:.0%} chance of drawing a GPU "
               f">6% slower than the fastest")
 
@@ -35,10 +32,10 @@ def main() -> None:
     for wl in workloads:
         print(f"  {wl.name:<18} FU={wl.fu_utilization:>4.1f}/10  "
               f"stalls={wl.mem_stall_frac:.0%}  "
-              f"-> {classify_workload(wl).value}")
+              f"-> {api.classify_workload(wl).value}")
 
     print("\n-- Node variability scores (worst member / fleet median) --")
-    scores = node_variability_scores(dataset)
+    scores = api.node_variability_scores(dataset=dataset)
     ranked = sorted(scores.items(), key=lambda kv: kv[1])
     for node, score in ranked[:3]:
         print(f"  best : {node:<14} {score:.3f}")
@@ -46,7 +43,7 @@ def main() -> None:
         print(f"  worst: {node:<14} {score:.3f}")
 
     print("\n-- Placement plan --")
-    plan = plan_placements(dataset, workloads)
+    plan = api.plan_placements(dataset=dataset, workloads=workloads)
     for name, node in plan.assignments.items():
         print(f"  {name:<18} -> {node:<14} "
               f"expected {plan.expected_slowdowns[name]:.3f}x "

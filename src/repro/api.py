@@ -12,7 +12,11 @@ keyword-only signatures that can grow without breaking callers:
   online health detection attached (grades, typed health events);
 * :func:`screen` — maintenance triage across applications (Section VII);
 * :func:`sweep` — the power-limit sweep on admin-access clusters (Fig. 22);
-* :func:`project` — scaled-normal projection to larger fleets (Sec. IV-D).
+* :func:`project` — scaled-normal projection to larger fleets (Sec. IV-D);
+* :func:`schedule` — the batch-queue simulator under a placement policy
+  (Section VII end to end), plus the placement analyses
+  :func:`slow_assignment_probability` / :func:`node_variability_scores` /
+  :func:`plan_placements`.
 
 Result types (:class:`CharacterizationResult`, :class:`ScreenReport`,
 :class:`SweepReport`, :class:`ProjectionReport`, plus the re-exported
@@ -40,12 +44,21 @@ from .core import (
 )
 from .core.boxstats import BoxStats
 from .core.outliers import OutlierReport
+from .errors import ConfigError
 from .core.suite import ClusterReport
+from .core.classify import ApplicationClass, classify_workload
+from .core.scheduler import PlacementPlan
+from .core.scheduler import node_variability_scores as _node_variability_scores
+from .core.scheduler import plan_placements as _plan_placements
+from .core.scheduler import (
+    slow_assignment_probability as _slow_assignment_probability,
+)
 from .obs import (
     FleetMonitor,
     Manifest,
     MonitorConfig,
     Tracer,
+    activate,
     active_monitor,
     read_manifest,
     render_prometheus,
@@ -62,6 +75,25 @@ from .obs.health import (
     analyze_fleet_health,
     validate_health_report,
     write_health_events,
+)
+from .sched import (
+    POLICY_NAMES,
+    BackfillPolicy,
+    FifoPolicy,
+    HealthAwarePolicy,
+    Job,
+    JobRecord,
+    PlacementPolicy,
+    ScheduleOutcome,
+    SchedulingReport,
+    TraceConfig,
+    VariabilityAwarePolicy,
+    build_scheduling_report,
+    generate_trace,
+    node_grades_from_gpu_grades,
+    run_schedule,
+    validate_scheduling_report,
+    write_event_log,
 )
 from .sim.campaign import CampaignConfig
 from .sim.campaign import run_campaign as _run_campaign
@@ -85,6 +117,30 @@ __all__ = [
     "screen",
     "sweep",
     "project",
+    "schedule",
+    # scheduling analysis (Section VII)
+    "slow_assignment_probability",
+    "node_variability_scores",
+    "plan_placements",
+    "PlacementPlan",
+    "classify_workload",
+    "ApplicationClass",
+    # batch-queue scheduling
+    "SchedulingResult",
+    "SchedulingReport",
+    "ScheduleOutcome",
+    "JobRecord",
+    "Job",
+    "TraceConfig",
+    "generate_trace",
+    "PlacementPolicy",
+    "FifoPolicy",
+    "BackfillPolicy",
+    "VariabilityAwarePolicy",
+    "HealthAwarePolicy",
+    "POLICY_NAMES",
+    "validate_scheduling_report",
+    "write_event_log",
     # domain types
     "Cluster",
     "Workload",
@@ -466,3 +522,223 @@ def project(
         measured_variation=measured.variation,
         projected_variation=projected,
     )
+
+
+# ---------------------------------------------------------------------------
+# scheduling analysis (Section VII)
+# ---------------------------------------------------------------------------
+
+
+def slow_assignment_probability(
+    *,
+    dataset: MeasurementDataset,
+    n_gpus: int = 1,
+    slow_threshold: float = 0.06,
+    metric: str = METRIC_PERFORMANCE,
+    fast_percentile: float = 2.0,
+) -> float:
+    """Probability a random batch job draws at least one slow GPU.
+
+    Keyword-only facade over
+    :func:`repro.core.scheduler.slow_assignment_probability` — the paper's
+    18% (single-GPU, Longhorn) / 40-50% (4-GPU) user-impact numbers.
+    """
+    return _slow_assignment_probability(
+        dataset,
+        n_gpus=n_gpus,
+        slow_threshold=slow_threshold,
+        metric=metric,
+        fast_percentile=fast_percentile,
+    )
+
+
+def node_variability_scores(
+    *,
+    dataset: MeasurementDataset,
+    metric: str = METRIC_PERFORMANCE,
+) -> dict[str, float]:
+    """Per-node variability score (worst member median over fleet median).
+
+    Keyword-only facade over
+    :func:`repro.core.scheduler.node_variability_scores`.
+    """
+    return _node_variability_scores(dataset, metric=metric)
+
+
+def plan_placements(
+    *,
+    dataset: MeasurementDataset,
+    workloads: tuple[Workload, ...] | list[Workload],
+    metric: str = METRIC_PERFORMANCE,
+) -> PlacementPlan:
+    """Variability-aware workload-to-node assignment (Section VII).
+
+    Keyword-only facade over
+    :func:`repro.core.scheduler.plan_placements`.
+    """
+    return _plan_placements(dataset, list(workloads), metric=metric)
+
+
+# ---------------------------------------------------------------------------
+# schedule
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SchedulingResult:
+    """A batch-queue scheduling run: report, records, and event log.
+
+    ``report`` is the schema-validated summary
+    (:class:`~repro.sched.SchedulingReport`); ``outcome`` carries the
+    per-job :class:`~repro.sched.JobRecord` tuple and the canonical event
+    stream; ``profile`` is the characterization dataset behind a
+    variability- or health-aware policy (``None`` for the naive ones).
+    """
+
+    report: SchedulingReport
+    outcome: ScheduleOutcome
+    profile: MeasurementDataset | None
+
+    @property
+    def records(self) -> tuple[JobRecord, ...]:
+        """Per-job records in job-id order."""
+        return self.outcome.records
+
+    @property
+    def events(self) -> tuple[dict[str, object], ...]:
+        """The run's event stream, in processing order."""
+        return self.outcome.events
+
+
+def _build_policy(
+    policy: str | PlacementPolicy,
+    cluster: Cluster,
+    *,
+    profile_workload: Workload | None,
+    profile_config: CampaignConfig | None,
+    workers: int | None,
+    tracer: Tracer | None,
+    manifest: Manifest | None,
+) -> tuple[PlacementPolicy, MeasurementDataset | None]:
+    """Construct a named policy, profiling the fleet when the policy needs it."""
+    if isinstance(policy, PlacementPolicy):
+        return policy, None
+    name = str(policy).lower()
+    if name == "fifo":
+        return FifoPolicy(), None
+    if name == "backfill":
+        return BackfillPolicy(), None
+    workload = (
+        profile_workload
+        if profile_workload is not None
+        else get_workload("sgemm")
+    )
+    config = (
+        profile_config if profile_config is not None else CampaignConfig(days=3)
+    )
+    if name == "variability-aware":
+        dataset = run_campaign(
+            cluster=cluster,
+            workload=workload,
+            config=config,
+            workers=workers,
+            tracer=tracer,
+            manifest=manifest,
+        )
+        scores = _node_variability_scores(dataset)
+        # Nodes the campaign never reached (coverage < 1) carry no
+        # information; rank them with the worst profiled node.
+        fallback = max(scores.values())
+        ordered = [
+            scores.get(label, fallback)
+            for label in cluster.topology.node_labels
+        ]
+        return VariabilityAwarePolicy(ordered), dataset
+    if name == "health-aware":
+        monitored = monitor_fleet(
+            cluster=cluster,
+            workload=workload,
+            config=config,
+            workers=workers,
+            tracer=tracer,
+            manifest=manifest,
+        )
+        grades = node_grades_from_gpu_grades(
+            monitored.tracker.grades(),
+            cluster.topology.node_of_gpu,
+            cluster.topology.n_nodes,
+        )
+        return HealthAwarePolicy(grades), monitored.dataset
+    raise ConfigError(
+        f"unknown policy {policy!r}; known: {list(POLICY_NAMES)}"
+    )
+
+
+def schedule(
+    *,
+    cluster: Cluster,
+    policy: str | PlacementPolicy = "fifo",
+    trace: TraceConfig | tuple[Job, ...] | list[Job] | None = None,
+    profile_workload: Workload | None = None,
+    profile_config: CampaignConfig | None = None,
+    workers: int | None = None,
+    tracer: Tracer | None = None,
+    manifest: Manifest | None = None,
+) -> SchedulingResult:
+    """Run a job trace through the batch-queue simulator under one policy.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated machine.
+    policy:
+        A name from :data:`~repro.sched.POLICY_NAMES` or a constructed
+        :class:`~repro.sched.PlacementPolicy`.  The variability- and
+        health-aware policies first profile the fleet with a
+        characterization campaign (``profile_workload`` /
+        ``profile_config``, defaulting to a 3-day sgemm campaign).
+    trace:
+        A :class:`~repro.sched.TraceConfig` (generated deterministically),
+        an explicit job tuple, or ``None`` for the default trace.
+    workers:
+        Worker processes for the profiling campaign only — the queue
+        engine itself is serial.  The event log and report are
+        byte-identical for every value.
+    tracer, manifest:
+        Optional observability sinks: ``sched.*`` counters and a run span
+        land on the tracer; the profiling campaign (when any) appends its
+        usual manifest entry.
+
+    Same ``cluster`` seed + same ``trace`` + same ``policy`` ⇒
+    byte-identical event log and report.
+    """
+    if trace is None:
+        trace = TraceConfig()
+    if isinstance(trace, TraceConfig):
+        trace_seed: int | None = trace.seed
+        jobs = generate_trace(trace)
+    else:
+        trace_seed = None
+        jobs = tuple(trace)
+    built, profile = _build_policy(
+        policy,
+        cluster,
+        profile_workload=profile_workload,
+        profile_config=profile_config,
+        workers=workers,
+        tracer=tracer,
+        manifest=manifest,
+    )
+    if tracer is not None:
+        with activate(tracer):
+            outcome = run_schedule(cluster, jobs, built)
+    else:
+        outcome = run_schedule(cluster, jobs, built)
+    report = build_scheduling_report(
+        cluster.name,
+        outcome,
+        built.describe(),
+        cluster.topology.n_gpus,
+        trace_seed=trace_seed,
+    )
+    return SchedulingResult(report=report, outcome=outcome, profile=profile)

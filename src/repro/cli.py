@@ -21,6 +21,11 @@ driven from the shell:
 ``project``
     Scaled-normal projection of a campaign's variability to a larger
     cluster (Section IV-D).
+``sched``
+    Batch-queue simulation: run a seeded job trace through the
+    discrete-event queue engine under a placement policy and print the
+    scheduling report (Section VII); ``--report`` / ``--events`` write the
+    schema-validated JSON report and the byte-stable JSONL event log.
 
 Every subcommand accepts the same execution options — ``--seed``,
 ``--workers``, ``--trace PATH`` and ``--manifest PATH`` — through one
@@ -115,6 +120,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--target-n", type=int, required=True,
                    help="hypothetical cluster size (GPUs)")
     p.add_argument("--days", type=int, default=5)
+
+    p = sub.add_parser("sched",
+                       help="batch-queue simulation under a placement "
+                            "policy (Section VII)")
+    _add_cluster_args(p)
+    _add_execution_args(p)
+    p.add_argument("--policy", default="fifo",
+                   choices=list(api.POLICY_NAMES),
+                   help="placement policy (aware policies profile the "
+                        "fleet first)")
+    p.add_argument("--jobs", type=int, default=100,
+                   help="jobs in the generated trace")
+    p.add_argument("--trace-seed", type=int, default=0,
+                   help="job-trace seed (same seed = same offered load)")
+    p.add_argument("--arrival-per-hour", type=float, default=120.0,
+                   help="Poisson arrival rate (jobs/hour)")
+    p.add_argument("--profile-days", type=int, default=3,
+                   help="characterization days behind the aware policies")
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="write the machine-readable scheduling report JSON")
+    p.add_argument("--events", metavar="PATH", default=None,
+                   help="write the canonical event log as JSON Lines")
 
     return parser
 
@@ -317,6 +344,33 @@ def _cmd_project(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sched(args: argparse.Namespace) -> int:
+    obs = _ObsSession(args)
+    result = api.schedule(
+        cluster=_build_cluster(args),
+        policy=args.policy,
+        trace=api.TraceConfig(
+            n_jobs=args.jobs,
+            arrival_rate_per_hour=args.arrival_per_hour,
+            seed=args.trace_seed,
+        ),
+        profile_config=api.CampaignConfig(days=args.profile_days),
+        workers=args.workers,
+        tracer=obs.tracer,
+        manifest=obs.manifest,
+    )
+    print(result.report.render())
+    if args.report:
+        result.report.write_json(args.report)
+        print(f"scheduling report written to {args.report}")
+    if args.events:
+        api.write_event_log(result.outcome, args.events)
+        print(f"event log written to {args.events} "
+              f"({len(result.events)} events)")
+    obs.finish()
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "characterize": _cmd_characterize,
@@ -324,4 +378,5 @@ _COMMANDS = {
     "screen": _cmd_screen,
     "sweep": _cmd_sweep,
     "project": _cmd_project,
+    "sched": _cmd_sched,
 }

@@ -27,7 +27,12 @@ from .presets import (
     summit,
     vortex,
 )
-from .allocator import Allocation, ExclusiveNodeAllocator
+from .allocator import (
+    Allocation,
+    ExclusiveNodeAllocator,
+    FreeListAllocator,
+    GangAllocation,
+)
 
 __all__ = [
     "Topology",
@@ -51,4 +56,6 @@ __all__ = [
     "list_presets",
     "Allocation",
     "ExclusiveNodeAllocator",
+    "FreeListAllocator",
+    "GangAllocation",
 ]

@@ -9,18 +9,37 @@ supports the two access patterns the study needs:
 * **random**: draw nodes the way a batch scheduler would assign an
   unsuspecting user, for the user-impact analysis of Section VII
   ("40%-50% of the time they will be assigned a slower GPU").
+
+:class:`FreeListAllocator` extends the model for the dynamic batch-queue
+simulator (:mod:`repro.sched`): it keeps a per-node free list so jobs can
+*share* nodes (partial-node allocations), span several nodes (gang
+allocations wider than one chassis), and return capacity with
+:meth:`~FreeListAllocator.free` when they complete.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..errors import AllocationError
 from .topology import Topology
 
-__all__ = ["Allocation", "ExclusiveNodeAllocator"]
+__all__ = [
+    "Allocation",
+    "ExclusiveNodeAllocator",
+    "GangAllocation",
+    "FreeListAllocator",
+]
+
+
+def _require_int(value, what: str) -> int:
+    """Validate a GPU count: a genuine integer (no bools, no floats)."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise AllocationError(f"{what} must be an integer, got {value!r}")
+    return int(value)
 
 
 @dataclass(frozen=True)
@@ -47,9 +66,15 @@ class ExclusiveNodeAllocator:
         self.topology = topology
 
     def allocate_node(self, node_index: int, n_gpus: int | None = None) -> Allocation:
-        """All (or the first ``n_gpus``) GPUs of a specific node."""
+        """All (or the first ``n_gpus``) GPUs of a specific node.
+
+        ``n_gpus`` is validated against the node's actual GPU count —
+        over-asking raises :class:`~repro.errors.AllocationError` rather
+        than truncating or indexing past the chassis.
+        """
         gpus = self.topology.gpus_of_node(node_index)
         if n_gpus is not None:
+            n_gpus = _require_int(n_gpus, "n_gpus")
             if not 1 <= n_gpus <= gpus.shape[0]:
                 raise AllocationError(
                     f"requested {n_gpus} GPUs but node has {gpus.shape[0]}"
@@ -83,6 +108,7 @@ class ExclusiveNodeAllocator:
         self, n_gpus: int, rng: np.random.Generator
     ) -> Allocation:
         """What a batch scheduler would hand an arbitrary user job."""
+        n_gpus = _require_int(n_gpus, "n_gpus")
         if not 1 <= n_gpus <= self.topology.gpus_per_node:
             raise AllocationError(
                 f"jobs span one node; requested {n_gpus} GPUs but nodes have "
@@ -94,3 +120,116 @@ class ExclusiveNodeAllocator:
             picked = rng.choice(gpus, size=n_gpus, replace=False)
             gpus = np.sort(picked)
         return Allocation(node_index=node, gpu_indices=gpus)
+
+
+@dataclass(frozen=True)
+class GangAllocation:
+    """GPUs granted to one (possibly multi-node) gang job.
+
+    ``node_indices`` lists every node the gang touches, ascending;
+    ``gpu_indices`` are global GPU indices, ascending.  Single-node jobs
+    are the one-element special case.
+    """
+
+    node_indices: np.ndarray
+    gpu_indices: np.ndarray
+
+    @property
+    def n_gpus(self) -> int:
+        """Number of GPUs in the allocation."""
+        return int(self.gpu_indices.shape[0])
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of distinct nodes the gang spans."""
+        return int(self.node_indices.shape[0])
+
+
+class FreeListAllocator:
+    """Stateful allocator with per-node free lists and a ``free()`` path.
+
+    The queue engine's bookkeeping: jobs may take a *part* of a node
+    (several small jobs share a chassis), or *several* nodes (gangs wider
+    than one chassis), and every grant is returned via :meth:`free` when
+    the job completes.  All grants take the lowest free GPU indices of
+    each node, so allocation state — and everything derived from it — is a
+    pure function of the grant/free call sequence.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._free = [
+            set(topology.gpus_of_node(n).tolist())
+            for n in range(topology.n_nodes)
+        ]
+
+    @property
+    def n_free(self) -> int:
+        """Free GPUs across the whole machine."""
+        return sum(len(s) for s in self._free)
+
+    @property
+    def n_busy(self) -> int:
+        """Allocated GPUs across the whole machine."""
+        return self.topology.n_gpus - self.n_free
+
+    def free_counts(self) -> np.ndarray:
+        """Free-GPU count per node (ascending node index)."""
+        return np.asarray([len(s) for s in self._free], dtype=np.int64)
+
+    def free_gpus_of_node(self, node_index: int) -> np.ndarray:
+        """Free GPU indices of one node, ascending."""
+        if not 0 <= node_index < self.topology.n_nodes:
+            raise AllocationError(f"node index {node_index} out of range")
+        return np.asarray(sorted(self._free[node_index]), dtype=np.int64)
+
+    def allocate(
+        self, requests: Sequence[tuple[int, int]]
+    ) -> GangAllocation:
+        """Grant ``count`` GPUs from each ``(node_index, count)`` request.
+
+        Requests are validated in full before anything is taken, so a
+        failing call never leaks capacity.  Each node contributes its
+        lowest free GPU indices.
+        """
+        if not requests:
+            raise AllocationError("allocation needs at least one request")
+        seen: set[int] = set()
+        for node_index, count in requests:
+            node_index = _require_int(node_index, "node_index")
+            count = _require_int(count, "count")
+            if not 0 <= node_index < self.topology.n_nodes:
+                raise AllocationError(f"node index {node_index} out of range")
+            if node_index in seen:
+                raise AllocationError(
+                    f"node {node_index} appears twice in one allocation"
+                )
+            seen.add(node_index)
+            if count < 1:
+                raise AllocationError(f"count must be >= 1, got {count}")
+            if count > len(self._free[node_index]):
+                raise AllocationError(
+                    f"node {node_index} has {len(self._free[node_index])} "
+                    f"free GPUs, requested {count}"
+                )
+        nodes: list[int] = []
+        gpus: list[int] = []
+        for node_index, count in requests:
+            taken = sorted(self._free[int(node_index)])[: int(count)]
+            self._free[int(node_index)].difference_update(taken)
+            nodes.append(int(node_index))
+            gpus.extend(taken)
+        return GangAllocation(
+            node_indices=np.asarray(sorted(nodes), dtype=np.int64),
+            gpu_indices=np.asarray(sorted(gpus), dtype=np.int64),
+        )
+
+    def free(self, allocation: GangAllocation) -> None:
+        """Return an allocation's GPUs; double-freeing raises."""
+        node_of_gpu = self.topology.node_of_gpu
+        for gpu in allocation.gpu_indices.tolist():
+            node = int(node_of_gpu[gpu])
+            if gpu in self._free[node]:
+                raise AllocationError(f"GPU {gpu} is already free")
+        for gpu in allocation.gpu_indices.tolist():
+            self._free[int(node_of_gpu[gpu])].add(int(gpu))

@@ -1,0 +1,240 @@
+"""Pluggable placement policies: from the paper's naive baseline up.
+
+A policy answers one question: *given the queue and the current free
+state, in what order should nodes be offered to this job?*  The engine
+(:mod:`repro.sched.engine`) walks the returned preference order and takes
+free GPUs until the gang is satisfied, so a policy never has to reason
+about free lists — only about ranking.
+
+Four built-ins:
+
+* :class:`FifoPolicy` — the naive batch scheduler of Section VII: strict
+  submission order, uniformly random node choice.  This is the scheduler
+  that hands users a slow GPU 18% of the time (40-50% for 4-GPU jobs).
+* :class:`BackfillPolicy` — the same random placement, but jobs behind a
+  blocked queue head may start when they fit (EASY-style backfill).
+* :class:`VariabilityAwarePolicy` — the mitigation the paper calls for:
+  steer variability-*sensitive* (compute-bound) jobs onto low-variation
+  nodes and let memory-bound jobs absorb the high-variation ones, using
+  :func:`~repro.core.scheduler.node_variability_scores` from a
+  characterization campaign and
+  :func:`~repro.core.classify.classify_workload` for the sensitivity.
+* :class:`HealthAwarePolicy` — consult online fleet-health grades
+  (:mod:`repro.obs.health`) and keep jobs off nodes carrying degraded or
+  critical GPUs whenever capacity allows.
+
+Every ranking is deterministic given the policy's seeded stream and
+inputs; ties break by ascending node index.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..config import require
+from ..core.classify import classify_workload, expected_performance_sensitivity
+from ..errors import ConfigError
+from ..obs.health import GRADES
+from ..workloads.base import Workload
+
+__all__ = [
+    "PlacementPolicy",
+    "FifoPolicy",
+    "BackfillPolicy",
+    "VariabilityAwarePolicy",
+    "HealthAwarePolicy",
+    "node_grades_from_gpu_grades",
+    "POLICY_NAMES",
+    "SENSITIVITY_THRESHOLD",
+]
+
+#: Sensitivity at or above which a job is steered to low-variation nodes.
+SENSITIVITY_THRESHOLD = 0.5
+
+
+class PlacementPolicy(ABC):
+    """Ranking interface the queue engine consumes.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier (lands in reports and event logs).
+    backfill:
+        Whether jobs behind a blocked queue head may be placed when they
+        fit (the queue *discipline* half of a scheduling policy).
+    """
+
+    name: str = "abstract"
+    backfill: bool = False
+
+    @abstractmethod
+    def rank_nodes(
+        self,
+        workload: Workload,
+        n_gpus: int,
+        free_counts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Node indices in descending preference for this job.
+
+        Parameters
+        ----------
+        workload:
+            The job's application profile.
+        n_gpus:
+            The job's gang width.
+        free_counts:
+            Free GPUs per node (ascending node index).
+        rng:
+            The scheduler's seeded policy stream — the only randomness a
+            policy may use.
+        """
+
+    def describe(self) -> dict[str, object]:
+        """Report-facing summary of the policy configuration."""
+        return {"name": self.name, "backfill": self.backfill}
+
+
+class FifoPolicy(PlacementPolicy):
+    """Strict FIFO with uniformly random node choice (the naive baseline)."""
+
+    name = "fifo"
+    backfill = False
+
+    def rank_nodes(self, workload, n_gpus, free_counts, rng):
+        """Uniformly random permutation of every node."""
+        return rng.permutation(free_counts.shape[0])
+
+
+class BackfillPolicy(FifoPolicy):
+    """Random placement plus EASY-style backfill behind a blocked head."""
+
+    name = "backfill"
+    backfill = True
+
+
+class VariabilityAwarePolicy(PlacementPolicy):
+    """Section VII's mitigation: match job sensitivity to node variation.
+
+    Parameters
+    ----------
+    node_scores:
+        Per-node variability score, ascending node index — the output of
+        :func:`~repro.core.scheduler.node_variability_scores` mapped onto
+        the topology (1.0 = the node's worst GPU matches the fleet
+        median; larger = a gang on this node pays the difference).
+    backfill:
+        Optional queue discipline; off by default so comparisons against
+        :class:`FifoPolicy` isolate the placement effect.
+    """
+
+    name = "variability-aware"
+
+    def __init__(self, node_scores: np.ndarray, backfill: bool = False) -> None:
+        scores = np.asarray(node_scores, dtype=float)
+        if scores.ndim != 1 or scores.shape[0] < 1:
+            raise ConfigError("node_scores must be a 1-D per-node array")
+        require(bool(np.all(np.isfinite(scores))),
+                "node_scores must be finite")
+        self.node_scores = scores
+        self.backfill = bool(backfill)
+
+    def rank_nodes(self, workload, n_gpus, free_counts, rng):
+        """Low-variation nodes first for sensitive jobs, last otherwise."""
+        if free_counts.shape[0] != self.node_scores.shape[0]:
+            raise ConfigError(
+                f"policy scored {self.node_scores.shape[0]} nodes but the "
+                f"machine has {free_counts.shape[0]}"
+            )
+        sensitivity = expected_performance_sensitivity(
+            classify_workload(workload)
+        )
+        key = (
+            self.node_scores
+            if sensitivity >= SENSITIVITY_THRESHOLD
+            else -self.node_scores
+        )
+        return np.argsort(key, kind="stable")
+
+    def describe(self):
+        """Report-facing summary of the policy configuration."""
+        return {
+            "name": self.name,
+            "backfill": self.backfill,
+            "score_min": float(self.node_scores.min()),
+            "score_max": float(self.node_scores.max()),
+        }
+
+
+class HealthAwarePolicy(PlacementPolicy):
+    """Avoid nodes whose members grade degraded or critical.
+
+    Parameters
+    ----------
+    node_grades:
+        Worst member grade per node (ascending node index), drawn from
+        :data:`~repro.obs.health.GRADES`.  Build it from a
+        :class:`~repro.obs.health.HealthTracker` via
+        :func:`node_grades_from_gpu_grades`.
+    backfill:
+        Optional queue discipline (off by default, as above).
+
+    Unhealthy nodes are ranked strictly last rather than excluded, so a
+    mostly-sick fleet degrades to the naive baseline instead of starving
+    the queue.
+    """
+
+    name = "health-aware"
+
+    def __init__(self, node_grades: tuple[str, ...] | list[str],
+                 backfill: bool = False) -> None:
+        unknown = sorted(set(node_grades) - set(GRADES))
+        if unknown:
+            raise ConfigError(f"unknown health grades: {unknown}")
+        if len(node_grades) < 1:
+            raise ConfigError("node_grades must cover at least one node")
+        self.node_grades = tuple(node_grades)
+        self._rank = np.asarray(
+            [GRADES.index(g) for g in node_grades], dtype=np.int64
+        )
+        self.backfill = bool(backfill)
+
+    def rank_nodes(self, workload, n_gpus, free_counts, rng):
+        """Healthy nodes first (shuffled within a grade), sick ones last."""
+        if free_counts.shape[0] != self._rank.shape[0]:
+            raise ConfigError(
+                f"policy graded {self._rank.shape[0]} nodes but the "
+                f"machine has {free_counts.shape[0]}"
+            )
+        shuffle = rng.permutation(self._rank.shape[0])
+        return shuffle[np.argsort(self._rank[shuffle], kind="stable")]
+
+    def describe(self):
+        """Report-facing summary of the policy configuration."""
+        counts = {grade: 0 for grade in GRADES}
+        for grade in self.node_grades:
+            counts[grade] += 1
+        return {
+            "name": self.name,
+            "backfill": self.backfill,
+            "node_grade_counts": counts,
+        }
+
+
+def node_grades_from_gpu_grades(
+    gpu_grades: tuple[str, ...],
+    node_of_gpu: np.ndarray,
+    n_nodes: int,
+) -> tuple[str, ...]:
+    """Worst member grade per node, for :class:`HealthAwarePolicy`."""
+    worst = np.zeros(n_nodes, dtype=np.int64)
+    for gpu, grade in enumerate(gpu_grades):
+        node = int(node_of_gpu[gpu])
+        worst[node] = max(worst[node], GRADES.index(grade))
+    return tuple(GRADES[r] for r in worst)
+
+
+#: The built-in policy names `repro sched --policy` accepts.
+POLICY_NAMES = ("fifo", "backfill", "variability-aware", "health-aware")

@@ -1,0 +1,244 @@
+"""Scheduling metrics, the schema-validated report, and the event log.
+
+The metrics are the user-facing half of Section VII: what queue waits,
+completion times, and slow-assignment odds a policy actually delivers on a
+variable fleet.  Reports serialize with sorted keys and canonically rounded
+floats so the same run always produces the same bytes — the CI diffs them
+directly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..obs.manifest import validate_manifest
+from .engine import JobRecord, ScheduleOutcome, event_log_lines
+
+__all__ = [
+    "SCHEDULING_REPORT_SCHEMA",
+    "SchedulingReport",
+    "build_scheduling_report",
+    "validate_scheduling_report",
+    "write_event_log",
+]
+
+#: Schema version stamped into every report.
+SCHEMA_VERSION = 1
+
+_METRIC_KEYS = (
+    "n_jobs",
+    "makespan_s",
+    "utilization",
+    "jct_p50_s",
+    "jct_p95_s",
+    "wait_p50_s",
+    "wait_p95_s",
+    "runtime_total_s",
+    "energy_total_j",
+    "slow_assignment_rate",
+    "straggler_slowdown_p50",
+    "straggler_slowdown_p95",
+    "backfill_starts",
+)
+
+#: Structure of a serialized scheduling report (validated by
+#: :func:`validate_scheduling_report` via the dependency-free validator in
+#: :mod:`repro.obs.manifest`).
+SCHEDULING_REPORT_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "schema_version", "cluster", "policy", "trace_seed",
+        "metrics", "jobs",
+    ],
+    "properties": {
+        "schema_version": {"type": "integer"},
+        "cluster": {"type": "string"},
+        "policy": {
+            "type": "object",
+            "required": ["name", "backfill"],
+            "properties": {
+                "name": {"type": "string"},
+                "backfill": {"type": "boolean"},
+            },
+        },
+        "trace_seed": {"type": ["integer", "null"]},
+        "metrics": {
+            "type": "object",
+            "required": list(_METRIC_KEYS),
+            "properties": {
+                **{key: {"type": "number"} for key in _METRIC_KEYS},
+                "n_jobs": {"type": "integer"},
+                "backfill_starts": {"type": "integer"},
+            },
+        },
+        "jobs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": [
+                    "job_id", "workload", "n_gpus", "submit_s", "start_s",
+                    "finish_s", "wait_s", "jct_s", "nodes", "gpus",
+                    "energy_j", "gang_imbalance", "slow_assigned",
+                ],
+                "properties": {
+                    "job_id": {"type": "integer"},
+                    "workload": {"type": "string"},
+                    "n_gpus": {"type": "integer"},
+                    "submit_s": {"type": "number"},
+                    "start_s": {"type": "number"},
+                    "finish_s": {"type": "number"},
+                    "wait_s": {"type": "number"},
+                    "jct_s": {"type": "number"},
+                    "nodes": {"type": "array", "items": {"type": "integer"}},
+                    "gpus": {"type": "array", "items": {"type": "integer"}},
+                    "energy_j": {"type": "number"},
+                    "gang_imbalance": {"type": "number"},
+                    "slow_assigned": {"type": "boolean"},
+                },
+            },
+        },
+    },
+}
+
+
+def _round(value: float) -> float:
+    """Canonical float rounding for byte-stable reports."""
+    return round(float(value), 6)
+
+
+def _job_entry(record: JobRecord) -> dict[str, Any]:
+    return {
+        "job_id": record.job_id,
+        "workload": record.workload_name,
+        "n_gpus": record.n_gpus,
+        "submit_s": _round(record.submit_time_s),
+        "start_s": _round(record.start_time_s),
+        "finish_s": _round(record.finish_time_s),
+        "wait_s": _round(record.wait_time_s),
+        "jct_s": _round(record.jct_s),
+        "nodes": list(record.node_indices),
+        "gpus": list(record.gpu_indices),
+        "energy_j": _round(record.energy_j),
+        "gang_imbalance": _round(record.gang_imbalance),
+        "slow_assigned": record.slow_assigned,
+    }
+
+
+@dataclass(frozen=True)
+class SchedulingReport:
+    """Metrics and per-job outcomes of one scheduling run.
+
+    ``metrics`` carries the summary statistics (:data:`_METRIC_KEYS`);
+    ``jobs`` the per-job entries in job-id order.  ``to_dict`` output
+    validates against :data:`SCHEDULING_REPORT_SCHEMA`.
+    """
+
+    cluster: str
+    policy: dict[str, Any]
+    trace_seed: int | None
+    metrics: dict[str, float | int]
+    jobs: tuple[dict[str, Any], ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Schema-shaped plain-dict form (JSON-ready)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "cluster": self.cluster,
+            "policy": dict(self.policy),
+            "trace_seed": self.trace_seed,
+            "metrics": dict(self.metrics),
+            "jobs": [dict(job) for job in self.jobs],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON serialization (sorted keys, no spaces)."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def write_json(self, path: str | Path) -> None:
+        """Write the canonical JSON document to ``path``."""
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    def render(self) -> str:
+        """Human-readable summary for the CLI."""
+        m = self.metrics
+        lines = [
+            f"scheduling report: {self.cluster}  "
+            f"policy={self.policy.get('name')}",
+            f"  jobs={m['n_jobs']}  makespan={m['makespan_s']:.0f}s  "
+            f"utilization={m['utilization']:.3f}",
+            f"  JCT p50={m['jct_p50_s']:.1f}s p95={m['jct_p95_s']:.1f}s  "
+            f"wait p50={m['wait_p50_s']:.1f}s p95={m['wait_p95_s']:.1f}s",
+            f"  slow-assignment rate={m['slow_assignment_rate']:.3f}  "
+            f"straggler slowdown p95={m['straggler_slowdown_p95']:.4f}",
+            f"  energy={m['energy_total_j'] / 1e6:.2f} MJ  "
+            f"backfill starts={m['backfill_starts']}",
+        ]
+        return "\n".join(lines)
+
+
+def build_scheduling_report(
+    cluster_name: str,
+    outcome: ScheduleOutcome,
+    policy_describe: dict[str, Any],
+    n_fleet_gpus: int,
+    trace_seed: int | None = None,
+) -> SchedulingReport:
+    """Assemble the schema-validated report from a finished run."""
+    records = outcome.records
+    jct = np.asarray([r.jct_s for r in records])
+    wait = np.asarray([r.wait_time_s for r in records])
+    imbalance = np.asarray([r.gang_imbalance for r in records])
+    makespan = outcome.makespan_s
+    busy_gpu_s = float(sum(r.n_gpus * r.runtime_s for r in records))
+    backfills = sum(
+        1
+        for event in outcome.events
+        if event.get("event") == "start" and event.get("backfilled")
+    )
+    metrics: dict[str, float | int] = {
+        "n_jobs": len(records),
+        "makespan_s": _round(makespan),
+        "utilization": _round(
+            busy_gpu_s / (n_fleet_gpus * makespan) if makespan > 0 else 0.0
+        ),
+        "jct_p50_s": _round(np.percentile(jct, 50)),
+        "jct_p95_s": _round(np.percentile(jct, 95)),
+        "wait_p50_s": _round(np.percentile(wait, 50)),
+        "wait_p95_s": _round(np.percentile(wait, 95)),
+        "runtime_total_s": _round(sum(r.runtime_s for r in records)),
+        "energy_total_j": _round(sum(r.energy_j for r in records)),
+        "slow_assignment_rate": _round(
+            sum(1 for r in records if r.slow_assigned) / len(records)
+        ),
+        "straggler_slowdown_p50": _round(np.percentile(imbalance, 50)),
+        "straggler_slowdown_p95": _round(np.percentile(imbalance, 95)),
+        "backfill_starts": backfills,
+    }
+    report = SchedulingReport(
+        cluster=cluster_name,
+        policy=dict(policy_describe),
+        trace_seed=trace_seed,
+        metrics=metrics,
+        jobs=tuple(_job_entry(r) for r in records),
+    )
+    validate_scheduling_report(report.to_dict())
+    return report
+
+
+def validate_scheduling_report(doc: dict[str, Any]) -> None:
+    """Validate a report document against the schema (raises on violation)."""
+    validate_manifest(doc, SCHEDULING_REPORT_SCHEMA)
+
+
+def write_event_log(outcome: ScheduleOutcome, path: str | Path) -> None:
+    """Write the run's canonical JSON Lines event log to ``path``."""
+    Path(path).write_text(
+        "\n".join(event_log_lines(outcome.events)) + "\n", encoding="utf-8"
+    )

@@ -13,10 +13,13 @@ Two complementary simulators over the same physics:
 the long-form :class:`~repro.telemetry.dataset.MeasurementDataset` the
 analysis suite consumes.  :mod:`repro.sim.parallel` shards that sweep
 across worker processes with bit-identical results
-(``run_campaign(..., workers=N)``).
+(``run_campaign(..., workers=N)``).  :mod:`repro.sim.job` prices one
+scheduled gang job on its allocated GPUs — the runtime model behind the
+batch-queue simulator (:mod:`repro.sched`).
 """
 
 from .run import RunMeasurements, run_rng_label, simulate_run
+from .job import JobPerformance, reference_unit_times, sample_job_runtime
 from .engine import Engine, EngineConfig
 from .timeseries import simulate_timeseries
 from .campaign import CampaignConfig, run_campaign
@@ -32,6 +35,9 @@ __all__ = [
     "RunMeasurements",
     "simulate_run",
     "run_rng_label",
+    "JobPerformance",
+    "reference_unit_times",
+    "sample_job_runtime",
     "Engine",
     "EngineConfig",
     "simulate_timeseries",

@@ -1,0 +1,234 @@
+"""Per-job runtime sampling for the batch-queue simulator.
+
+Where :func:`repro.sim.run.simulate_run` measures the *fleet* (every GPU
+runs the workload side by side, the paper's characterization protocol),
+this module prices one *job*: a gang of GPUs granted by the scheduler
+(:mod:`repro.sched`) runs the workload bulk-synchronously and the slowest
+member gates every iteration.  The physics is the same steady-state DVFS
+solve and roofline evaluation the campaigns use, so a job lands exactly
+where the characterization says its GPUs sit.
+
+Two entry points:
+
+* :func:`reference_unit_times` — the noise-free per-GPU unit time of a
+  workload across the whole fleet (intrinsic GPU speed).  The scheduler's
+  slow-assignment accounting compares a job's GPUs against this table,
+  mirroring the paper's "6-7% slower than the fastest GPUs" definition.
+* :func:`sample_job_runtime` — one job's realized runtime, energy, and
+  gang imbalance on its allocated GPUs, with the run-level software and
+  environment draws of :mod:`repro.sim.run` keyed per job so the same job
+  draws the same factors under every placement policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..errors import SimulationError
+from ..workloads.base import WAIT_ACTIVITY, Workload
+from .run import (
+    RUN_COOLANT_SIGMA_LOCAL,
+    RUN_COOLANT_SIGMA_SHARED,
+    expected_max_of_normals,
+)
+
+__all__ = [
+    "JobPerformance",
+    "reference_unit_times",
+    "sample_job_runtime",
+    "DEFAULT_SYNC_OVERHEAD_MS",
+    "INTER_NODE_SYNC_FACTOR",
+]
+
+#: Per-unit synchronization cost (ms) for gangs whose workload model does
+#: not carry one (single-GPU workload profiles scheduled as gangs).
+DEFAULT_SYNC_OVERHEAD_MS = 6.0
+
+#: Multiplier applied to the sync overhead per *additional* node the gang
+#: spans: inter-node allreduce rides the injection network, not NVLink.
+INTER_NODE_SYNC_FACTOR = 0.5
+
+
+@dataclass(frozen=True)
+class JobPerformance:
+    """What one scheduled job experienced on its allocated GPUs.
+
+    ``unit_time_ms`` is per-GPU (what each member *could* sustain);
+    ``job_unit_ms`` is the gang-synchronous unit time that actually
+    elapsed — the slowest member plus synchronization.
+    """
+
+    gpu_indices: np.ndarray
+    unit_time_ms: np.ndarray
+    job_unit_ms: float
+    runtime_s: float
+    power_w: np.ndarray
+    energy_j: float
+    gang_imbalance: float
+
+    @property
+    def n_gpus(self) -> int:
+        """GPUs in the job."""
+        return int(self.gpu_indices.shape[0])
+
+
+def reference_unit_times(
+    cluster: Cluster,
+    workload: Workload,
+    day: int = 0,
+) -> np.ndarray:
+    """Noise-free per-GPU unit time (ms) of ``workload`` across the fleet.
+
+    The deterministic component of GPU speed — silicon lottery, defects,
+    thermal seat, day-``day`` facility conditions — with every run-level
+    software and environment draw suppressed.  The scheduler uses this as
+    the ground truth for "is this GPU slow for this workload".
+    """
+    fleet = cluster.fleet_for_day(day)
+    spec = fleet.spec
+    act0, dram0 = workload.steady_load(
+        spec.f_max_mhz, spec.compute_throughput, spec.mem_bandwidth_gbs
+    )
+    rng = cluster.rng_factory.child(
+        f"sched-reference-{workload.name}-day-{day}"
+    ).generator("reference")
+    efficiency = fleet.throughput_efficiency()
+    op = fleet.controller.solve_steady(
+        act0,
+        dram0,
+        efficiency,
+        power_cap_w=fleet.power_cap_w(None),
+        f_cap_mhz=fleet.frequency_cap_mhz(),
+        rng=rng,
+    )
+    return workload.unit_time_ms(
+        op.f_effective_mhz,
+        spec.compute_throughput,
+        fleet.memory_bandwidth_gbs(),
+        efficiency,
+    )
+
+
+def sample_job_runtime(
+    cluster: Cluster,
+    workload: Workload,
+    gpu_indices: np.ndarray,
+    *,
+    day: int = 0,
+    work_units: int = 100,
+    rng: np.random.Generator,
+) -> JobPerformance:
+    """Price one gang job on its allocated GPUs.
+
+    Parameters
+    ----------
+    cluster, workload:
+        The machine and the application profile.  The gang width is the
+        length of ``gpu_indices`` (the workload's own ``n_gpus`` is a
+        campaign-protocol detail, not a constraint here).
+    gpu_indices:
+        The job's GPUs (global indices; may span several nodes).
+    day:
+        Facility day the job starts on (selects coolant conditions).
+    work_units:
+        Workload units the job executes; runtime scales linearly.
+    rng:
+        The job's random stream.  Key it per job id
+        (``cluster.rng_factory.child(f"sched-job-{job_id}")``) so a job's
+        intrinsic draws are identical under every placement policy.
+    """
+    gpu_indices = np.sort(np.asarray(gpu_indices, dtype=np.int64))
+    n = int(gpu_indices.shape[0])
+    if n < 1:
+        raise SimulationError("a job needs at least one GPU")
+    if int(work_units) < 1:
+        raise SimulationError(f"work_units must be >= 1, got {work_units}")
+
+    fleet = cluster.fleet_slice(day, gpu_indices)
+    spec = fleet.spec
+
+    # Run-level thermal environment, exactly as simulate_run draws it.
+    coolant = (
+        fleet.coolant_c
+        + rng.normal(0.0, RUN_COOLANT_SIGMA_SHARED)
+        + rng.normal(0.0, RUN_COOLANT_SIGMA_LOCAL, size=n)
+    )
+    fleet = fleet.with_coolant(coolant)
+
+    act0, dram0 = workload.steady_load(
+        spec.f_max_mhz, spec.compute_throughput, spec.mem_bandwidth_gbs
+    )
+    corr = np.sqrt(workload.activity_speed_correlation)
+    z_shared = rng.normal(size=n)
+    z_speed = corr * z_shared + np.sqrt(1 - corr**2) * rng.normal(size=n)
+    z_act = corr * z_shared + np.sqrt(1 - corr**2) * rng.normal(size=n)
+    time_multiplier = np.exp(workload.run_speed_sigma * z_speed)
+    act_run = np.clip(
+        act0 * np.exp(-workload.activity_mix_sigma * z_act), 0.02, 1.0
+    )
+
+    efficiency = fleet.throughput_efficiency()
+    cap = fleet.power_cap_w(None)
+    f_cap = fleet.frequency_cap_mhz()
+    op = fleet.controller.solve_steady(
+        act_run, dram0, efficiency, power_cap_w=cap, f_cap_mhz=f_cap, rng=rng
+    )
+
+    drift = 1.0 + rng.normal(0.0, cluster.run_noise_sigma, size=n)
+    unit_ms = (
+        workload.unit_time_ms(
+            op.f_effective_mhz,
+            spec.compute_throughput,
+            fleet.memory_bandwidth_gbs(),
+            efficiency,
+        )
+        * time_multiplier
+        * np.clip(drift, 0.5, 1.5)
+    )
+
+    spanned = int(
+        np.unique(cluster.topology.node_of_gpu[gpu_indices]).shape[0]
+    )
+    if n == 1:
+        job_unit_ms = float(unit_ms[0])
+        power = op.power_w
+    else:
+        sync_ms = (
+            workload.sync_overhead_ms
+            if workload.sync_overhead_ms > 0.0
+            else DEFAULT_SYNC_OVERHEAD_MS
+        )
+        sync_ms *= 1.0 + INTER_NODE_SYNC_FACTOR * (spanned - 1)
+        jitter_amp = expected_max_of_normals(n)
+        job_unit_ms = float(
+            unit_ms.max()
+            * (1.0 + workload.iteration_jitter_sigma * jitter_amp)
+            + sync_ms
+        )
+        # Early finishers busy-wait at low activity; their sustained power
+        # drops with their idle share (Fig. 15 semantics).
+        duty = np.clip(unit_ms / job_unit_ms, 0.0, 1.0)
+        act_eff = act_run * duty + WAIT_ACTIVITY * (1.0 - duty)
+        op = fleet.controller.solve_steady(
+            act_eff,
+            dram0 * duty,
+            efficiency,
+            power_cap_w=cap,
+            f_cap_mhz=f_cap,
+            rng=rng,
+        )
+        power = op.power_w
+
+    runtime_s = job_unit_ms * int(work_units) / 1000.0
+    return JobPerformance(
+        gpu_indices=gpu_indices,
+        unit_time_ms=unit_ms,
+        job_unit_ms=job_unit_ms,
+        runtime_s=runtime_s,
+        power_w=power,
+        energy_j=float(power.sum()) * runtime_s,
+        gang_imbalance=float(unit_ms.max() / np.median(unit_ms)),
+    )

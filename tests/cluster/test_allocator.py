@@ -75,3 +75,163 @@ class TestRandomAssignment:
     def test_oversized_job_rejected(self, allocator, rng):
         with pytest.raises(AllocationError):
             allocator.random_assignment(5, rng)
+
+
+class TestInputValidation:
+    @pytest.mark.parametrize("bad", [2.5, True, "4", 4.0])
+    def test_allocate_node_rejects_non_integer_counts(self, allocator, bad):
+        with pytest.raises(AllocationError, match="integer"):
+            allocator.allocate_node(0, n_gpus=bad)
+
+    @pytest.mark.parametrize("bad", [2.5, True, "4", 4.0])
+    def test_random_assignment_rejects_non_integer_counts(
+        self, allocator, rng, bad
+    ):
+        with pytest.raises(AllocationError, match="integer"):
+            allocator.random_assignment(bad, rng)
+
+    def test_numpy_integers_accepted(self, allocator, rng):
+        alloc = allocator.allocate_node(0, n_gpus=np.int64(2))
+        assert alloc.n_gpus == 2
+        assert allocator.random_assignment(np.int64(1), rng).n_gpus == 1
+
+
+class TestDeterminism:
+    def test_seeded_random_assignment_reproducible(self, allocator):
+        draws_a = [
+            allocator.random_assignment(2, np.random.default_rng(42))
+            for _ in range(5)
+        ]
+        draws_b = [
+            allocator.random_assignment(2, np.random.default_rng(42))
+            for _ in range(5)
+        ]
+        for a, b in zip(draws_a, draws_b):
+            assert a.node_index == b.node_index
+            np.testing.assert_array_equal(a.gpu_indices, b.gpu_indices)
+
+    def test_seeded_sweep_reproducible(self, allocator):
+        a = allocator.sweep(coverage=0.7, rng=np.random.default_rng(9))
+        b = allocator.sweep(coverage=0.7, rng=np.random.default_rng(9))
+        assert [x.node_index for x in a] == [x.node_index for x in b]
+
+    def test_sweep_never_double_books(self, allocator):
+        for coverage in (0.5, 0.9, 1.0):
+            allocations = allocator.sweep(
+                coverage=coverage, rng=np.random.default_rng(3)
+            )
+            gpus = np.concatenate([a.gpu_indices for a in allocations])
+            assert np.unique(gpus).shape[0] == gpus.shape[0]
+
+
+class TestSweepCoverageOnPresets:
+    """The paper's protocol needs >90% of nodes on every studied system."""
+
+    @pytest.mark.parametrize(
+        "preset", ["longhorn", "vortex", "corona", "frontera", "cloudlab"]
+    )
+    def test_sweep_covers_at_least_90pct_of_nodes(self, preset):
+        from repro.cluster import get_preset
+
+        cluster = get_preset(preset, seed=0, scale=0.5)
+        sweeper = ExclusiveNodeAllocator(cluster.topology)
+        allocations = sweeper.sweep(
+            coverage=0.92, rng=np.random.default_rng(17)
+        )
+        covered = {a.node_index for a in allocations}
+        assert len(covered) >= 0.9 * cluster.topology.n_nodes
+        gpus = np.concatenate([a.gpu_indices for a in allocations])
+        assert np.unique(gpus).shape[0] == gpus.shape[0]
+
+    def test_summit_scaled_preview_covers_nodes(self):
+        from repro.cluster import get_preset
+
+        cluster = get_preset("summit", seed=0, scale=0.05)
+        sweeper = ExclusiveNodeAllocator(cluster.topology)
+        allocations = sweeper.sweep(
+            coverage=0.92, rng=np.random.default_rng(17)
+        )
+        assert len({a.node_index for a in allocations}) >= (
+            0.9 * cluster.topology.n_nodes
+        )
+
+
+class TestFreeListAllocator:
+    @pytest.fixture()
+    def freelist(self):
+        from repro.cluster.allocator import FreeListAllocator
+
+        return FreeListAllocator(cabinet_topology("T", 12, 4, 3))
+
+    def test_starts_fully_free(self, freelist):
+        assert freelist.n_free == 48
+        assert freelist.n_busy == 0
+        np.testing.assert_array_equal(freelist.free_counts(), [4] * 12)
+
+    def test_partial_node_sharing(self, freelist):
+        a = freelist.allocate([(0, 2)])
+        b = freelist.allocate([(0, 2)])
+        np.testing.assert_array_equal(a.gpu_indices, [0, 1])
+        np.testing.assert_array_equal(b.gpu_indices, [2, 3])
+        assert freelist.free_counts()[0] == 0
+
+    def test_multi_node_gang(self, freelist):
+        gang = freelist.allocate([(1, 4), (2, 4)])
+        assert gang.n_nodes == 2
+        assert gang.n_gpus == 8
+        np.testing.assert_array_equal(gang.node_indices, [1, 2])
+
+    def test_free_then_reuse_grants_same_gpus(self, freelist):
+        first = freelist.allocate([(3, 3)])
+        freelist.free(first)
+        second = freelist.allocate([(3, 3)])
+        np.testing.assert_array_equal(first.gpu_indices, second.gpu_indices)
+
+    def test_never_double_books(self, freelist):
+        grants = [freelist.allocate([(n, 4)]) for n in range(12)]
+        gpus = np.concatenate([g.gpu_indices for g in grants])
+        assert np.unique(gpus).shape[0] == 48
+        with pytest.raises(AllocationError, match="free"):
+            freelist.allocate([(0, 1)])
+
+    def test_double_free_rejected(self, freelist):
+        gang = freelist.allocate([(0, 2)])
+        freelist.free(gang)
+        with pytest.raises(AllocationError, match="already free"):
+            freelist.free(gang)
+
+    def test_overask_rejected_without_leaking(self, freelist):
+        freelist.allocate([(0, 3)])
+        with pytest.raises(AllocationError):
+            freelist.allocate([(1, 2), (0, 2)])
+        # the failed call must not have taken node 1's GPUs
+        assert freelist.free_counts()[1] == 4
+
+    def test_duplicate_node_in_request_rejected(self, freelist):
+        with pytest.raises(AllocationError, match="twice"):
+            freelist.allocate([(0, 2), (0, 2)])
+
+    def test_non_integer_request_rejected(self, freelist):
+        with pytest.raises(AllocationError, match="integer"):
+            freelist.allocate([(0, 2.5)])
+
+    def test_empty_request_rejected(self, freelist):
+        with pytest.raises(AllocationError, match="at least one"):
+            freelist.allocate([])
+
+    def test_grant_sequence_is_deterministic(self):
+        from repro.cluster.allocator import FreeListAllocator
+
+        def run():
+            fl = FreeListAllocator(cabinet_topology("T", 12, 4, 3))
+            taken = []
+            a = fl.allocate([(0, 4)])
+            b = fl.allocate([(1, 2)])
+            fl.free(a)
+            c = fl.allocate([(0, 1), (1, 1), (2, 1)])
+            taken.extend(a.gpu_indices.tolist())
+            taken.extend(b.gpu_indices.tolist())
+            taken.extend(c.gpu_indices.tolist())
+            return taken
+
+        assert run() == run()

@@ -1,0 +1,119 @@
+"""Tests for the placement policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sched.policies import (
+    SENSITIVITY_THRESHOLD,
+    BackfillPolicy,
+    FifoPolicy,
+    HealthAwarePolicy,
+    VariabilityAwarePolicy,
+    node_grades_from_gpu_grades,
+)
+from repro.workloads import get_workload
+
+N_NODES = 6
+FREE = np.full(N_NODES, 4, dtype=np.int64)
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestFifo:
+    def test_permutation_of_all_nodes(self):
+        ranked = FifoPolicy().rank_nodes(get_workload("sgemm"), 2, FREE, _rng())
+        assert sorted(ranked.tolist()) == list(range(N_NODES))
+
+    def test_no_backfill(self):
+        assert FifoPolicy().backfill is False
+        assert BackfillPolicy().backfill is True
+
+    def test_rng_drives_order(self):
+        a = FifoPolicy().rank_nodes(get_workload("sgemm"), 2, FREE, _rng(1))
+        b = FifoPolicy().rank_nodes(get_workload("sgemm"), 2, FREE, _rng(2))
+        assert a.tolist() != b.tolist()
+
+
+class TestVariabilityAware:
+    SCORES = np.asarray([1.30, 1.01, 1.10, 1.05, 1.20, 1.02])
+
+    def test_sensitive_workload_prefers_low_variation(self):
+        policy = VariabilityAwarePolicy(self.SCORES)
+        ranked = policy.rank_nodes(get_workload("sgemm"), 2, FREE, _rng())
+        assert ranked[0] == 1  # lowest score first
+        assert ranked[-1] == 0  # highest score last
+
+    def test_memory_bound_workload_absorbs_high_variation(self):
+        policy = VariabilityAwarePolicy(self.SCORES)
+        ranked = policy.rank_nodes(get_workload("pagerank"), 2, FREE, _rng())
+        assert ranked[0] == 0  # highest-variation node first
+        assert ranked[-1] == 1
+
+    def test_threshold_is_between_classes(self):
+        from repro.core.classify import (
+            classify_workload,
+            expected_performance_sensitivity,
+        )
+
+        sgemm = expected_performance_sensitivity(
+            classify_workload(get_workload("sgemm"))
+        )
+        pagerank = expected_performance_sensitivity(
+            classify_workload(get_workload("pagerank"))
+        )
+        assert pagerank < SENSITIVITY_THRESHOLD <= sgemm
+
+    def test_deterministic_ranking(self):
+        policy = VariabilityAwarePolicy(self.SCORES)
+        a = policy.rank_nodes(get_workload("sgemm"), 2, FREE, _rng())
+        b = policy.rank_nodes(get_workload("sgemm"), 2, FREE, _rng(99))
+        np.testing.assert_array_equal(a, b)  # rng not consumed at all
+
+    def test_wrong_size_rejected(self):
+        policy = VariabilityAwarePolicy(self.SCORES[:3])
+        with pytest.raises(ConfigError, match="nodes"):
+            policy.rank_nodes(get_workload("sgemm"), 2, FREE, _rng())
+
+    def test_non_finite_scores_rejected(self):
+        with pytest.raises(ConfigError):
+            VariabilityAwarePolicy(np.asarray([1.0, np.nan]))
+
+
+class TestHealthAware:
+    GRADES = ("ok", "degraded", "ok", "critical", "watch", "ok")
+
+    def test_unhealthy_nodes_rank_last(self):
+        policy = HealthAwarePolicy(self.GRADES)
+        ranked = policy.rank_nodes(
+            get_workload("sgemm"), 2, FREE, _rng()
+        ).tolist()
+        assert set(ranked[-2:]) == {1, 3}  # degraded + critical at the back
+        assert ranked[-1] == 3  # critical strictly last
+
+    def test_healthy_nodes_shuffled_by_rng(self):
+        policy = HealthAwarePolicy(self.GRADES)
+        a = policy.rank_nodes(get_workload("sgemm"), 2, FREE, _rng(1)).tolist()
+        b = policy.rank_nodes(get_workload("sgemm"), 2, FREE, _rng(2)).tolist()
+        assert a != b
+        assert a[-1] == b[-1] == 3
+
+    def test_unknown_grade_rejected(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            HealthAwarePolicy(("ok", "sick"))
+
+    def test_describe_counts_grades(self):
+        described = HealthAwarePolicy(self.GRADES).describe()
+        assert described["node_grade_counts"]["ok"] == 3
+        assert described["node_grade_counts"]["critical"] == 1
+
+
+class TestNodeGradesRollup:
+    def test_worst_member_wins(self):
+        node_of_gpu = np.asarray([0, 0, 1, 1])
+        grades = node_grades_from_gpu_grades(
+            ("ok", "degraded", "ok", "ok"), node_of_gpu, 2
+        )
+        assert grades == ("degraded", "ok")

@@ -1,0 +1,76 @@
+"""Tests for the seeded job-trace generator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sched import TraceConfig, generate_trace
+from repro.sched.trace import PAPER_WORKLOAD_NAMES
+
+
+class TestTraceConfig:
+    def test_defaults_valid(self):
+        config = TraceConfig()
+        assert config.n_jobs == 100
+        assert config.workload_names == PAPER_WORKLOAD_NAMES
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, True])
+    def test_bad_n_jobs_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            TraceConfig(n_jobs=bad)
+
+    def test_mismatched_gang_weights_rejected(self):
+        with pytest.raises(ConfigError, match="gang"):
+            TraceConfig(gang_sizes=(1, 2), gang_weights=(1.0,))
+
+    def test_mismatched_workload_weights_rejected(self):
+        with pytest.raises(ConfigError, match="workload"):
+            TraceConfig(workload_names=("sgemm",),
+                        workload_weights=(0.5, 0.5))
+
+    def test_bad_work_units_range_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceConfig(work_units_range=(10, 5))
+
+    def test_negative_arrival_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceConfig(arrival_rate_per_hour=0.0)
+
+
+class TestGenerateTrace:
+    def test_same_seed_same_trace(self):
+        a = generate_trace(TraceConfig(n_jobs=40, seed=5))
+        b = generate_trace(TraceConfig(n_jobs=40, seed=5))
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        a = generate_trace(TraceConfig(n_jobs=40, seed=5))
+        b = generate_trace(TraceConfig(n_jobs=40, seed=6))
+        assert a != b
+
+    def test_submit_times_monotonic(self):
+        trace = generate_trace(TraceConfig(n_jobs=60, seed=1))
+        times = [job.submit_time_s for job in trace]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_draws_respect_configured_support(self):
+        config = TraceConfig(n_jobs=200, seed=2)
+        trace = generate_trace(config)
+        assert {job.n_gpus for job in trace} <= set(config.gang_sizes)
+        assert {job.workload_name for job in trace} <= set(
+            config.workload_names
+        )
+        lo, hi = config.work_units_range
+        assert all(lo <= job.work_units <= hi for job in trace)
+
+    def test_job_ids_sequential(self):
+        trace = generate_trace(TraceConfig(n_jobs=10, seed=0))
+        assert [job.job_id for job in trace] == list(range(10))
+
+    def test_mean_interarrival_tracks_rate(self):
+        config = TraceConfig(
+            n_jobs=500, arrival_rate_per_hour=360.0, seed=3
+        )
+        trace = generate_trace(config)
+        mean_gap = trace[-1].submit_time_s / len(trace)
+        assert mean_gap == pytest.approx(10.0, rel=0.2)

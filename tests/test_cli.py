@@ -6,6 +6,7 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.obs import read_manifest
+from repro.sched import validate_scheduling_report
 
 
 class TestParser:
@@ -22,13 +23,19 @@ class TestParser:
             ["screen", "--workloads", "sgemm"],
             ["sweep", "--limits", "300,200"],
             ["project", "--target-n", "1000"],
+            ["sched", "--policy", "variability-aware", "--jobs", "50"],
         ):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
 
+    def test_sched_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sched", "--policy", "nonexistent"])
+
     @pytest.mark.parametrize(
         "command",
-        ["list", "characterize", "monitor", "screen", "sweep", "project"],
+        ["list", "characterize", "monitor", "screen", "sweep", "project",
+         "sched"],
     )
     def test_execution_args_accepted_uniformly(self, command):
         argv = [command, "--seed", "7", "--workers", "2",
@@ -125,6 +132,24 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "projected at 27648" in out
+
+    def test_sched_small(self, capsys, tmp_path):
+        report = tmp_path / "sched.json"
+        events = tmp_path / "events.jsonl"
+        code = main([
+            "sched", "--cluster", "longhorn", "--scale", "0.2", "--seed", "3",
+            "--jobs", "10", "--policy", "fifo", "--trace-seed", "5",
+            "--report", str(report), "--events", str(events),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheduling report" in out
+        assert "slow-assignment rate" in out
+        validate_scheduling_report(json.loads(report.read_text()))
+        # every job submits, starts, and finishes exactly once
+        lines = [json.loads(line)
+                 for line in events.read_text().splitlines()]
+        assert len(lines) == 3 * 10
 
     def test_unknown_cluster_fails_cleanly(self, capsys):
         code = main(["characterize", "--cluster", "nonexistent", "--days", "1"])

@@ -21,6 +21,7 @@ SUBPACKAGES = (
     "repro.cluster",
     "repro.workloads",
     "repro.sim",
+    "repro.sched",
     "repro.telemetry",
     "repro.core",
     "repro.mitigation",
@@ -51,12 +52,22 @@ API_SURFACE = frozenset({
     "FleetHealthReport", "HealthEvent", "HealthEventKind", "HealthPolicy",
     "HealthTracker", "analyze_fleet_health", "validate_health_report",
     "write_health_events",
+    # scheduling analysis (Section VII)
+    "schedule", "slow_assignment_probability", "node_variability_scores",
+    "plan_placements", "PlacementPlan", "classify_workload", "ApplicationClass",
+    # batch-queue scheduling
+    "SchedulingResult", "SchedulingReport", "ScheduleOutcome", "JobRecord",
+    "Job", "TraceConfig", "generate_trace", "PlacementPolicy", "FifoPolicy",
+    "BackfillPolicy", "VariabilityAwarePolicy", "HealthAwarePolicy",
+    "POLICY_NAMES", "validate_scheduling_report", "write_event_log",
 })
 
 #: Facade functions whose every optional parameter must be keyword-only.
 KEYWORD_ONLY_FUNCTIONS = (
     "load_preset", "load_workload", "run_campaign", "characterize",
-    "monitor_fleet", "screen", "sweep", "project",
+    "monitor_fleet", "screen", "sweep", "project", "schedule",
+    "slow_assignment_probability", "node_variability_scores",
+    "plan_placements",
 )
 
 

@@ -1,10 +1,12 @@
-"""DVFS steady-state solver: ladder search vs dense grid.
+"""DVFS steady-state solver: ladder search vs dense grid vs fleet batch.
 
 The campaign hot path is ``DvfsController.solve_steady``; the ladder
 search must beat the dense (n, k) scan by at least ``MIN_SOLVER_SPEEDUP``x
-on a Summit-scale fleet (27,648 GPUs x 187 p-states) *while producing the
-bit-identical* :class:`SteadyOperatingPoint` — the equality assertion runs
-unconditionally, the timing assertion is skipped under
+on a Summit-scale fleet (27,648 GPUs x 187 p-states), and the fleet-wide
+vectorized solve must beat the ladder by ``MIN_FLEET_SPEEDUP``x on a
+full-Summit campaign day — all *while producing the bit-identical*
+:class:`SteadyOperatingPoint`.  The equality assertions run
+unconditionally; the timing assertions are skipped under
 ``REPRO_BENCH_CHECK_ONLY=1`` (the CI perf-smoke job, which runs on noisy
 shared runners).
 
@@ -24,7 +26,7 @@ import pytest
 
 from _bench_util import emit
 from repro.cluster import longhorn
-from repro.gpu.dvfs import SOLVER_GRID, SOLVER_LADDER
+from repro.gpu.dvfs import SOLVER_FLEET, SOLVER_GRID, SOLVER_LADDER
 from repro.sim import CampaignConfig, run_campaign
 from repro.workloads import sgemm
 
@@ -36,6 +38,10 @@ MIN_SOLVER_SPEEDUP = 5.0
 
 #: Acceptance floor for the end-to-end serial campaign comparison.
 MIN_CAMPAIGN_SPEEDUP = 1.5
+
+#: Acceptance floor for the fleet-wide vectorized solve over the ladder
+#: search on a full-Summit campaign day.
+MIN_FLEET_SPEEDUP = 3.0
 
 OUTPUT_PATH = pathlib.Path("BENCH_solver.json")
 
@@ -108,6 +114,68 @@ def test_solve_steady_ladder_vs_dense_summit(summit_cluster):
         assert speedup >= MIN_SOLVER_SPEEDUP, (
             f"ladder solver only {speedup:.1f}x faster than the dense scan "
             f"(floor {MIN_SOLVER_SPEEDUP:.0f}x)"
+        )
+
+
+def test_solve_steady_fleet_vs_ladder_campaign_day(summit_cluster):
+    # One campaign day at full Summit scale: every run is a fleet-wide
+    # solve at a slightly different operating point (facility drift,
+    # per-run activity jitter), which is exactly the workload the
+    # fleet-vectorized solver batches.
+    fleet = summit_cluster.fleet
+    ctl = fleet.controller
+    eff = fleet.throughput_efficiency()
+    cap = fleet.power_cap_w()
+    f_cap = fleet.frequency_cap_mhz()
+    rng = np.random.default_rng(7)
+    runs = [
+        dict(activity=float(a), dram=float(d))
+        for a, d in zip(rng.uniform(0.92, 1.0, 4), rng.uniform(0.3, 0.4, 4))
+    ]
+
+    def solve_day(solver):
+        return [
+            ctl.solve_steady(run["activity"], run["dram"], eff,
+                             power_cap_w=cap, f_cap_mhz=f_cap,
+                             solver=solver)
+            for run in runs
+        ]
+
+    # Equality asserts unconditionally (and warms both paths' caches).
+    for op_l, op_f in zip(solve_day(SOLVER_LADDER), solve_day(SOLVER_FLEET)):
+        for field in ("pstate_index", "f_effective_mhz", "f_reported_mhz",
+                      "power_w", "temperature_c", "power_capped",
+                      "thermally_capped"):
+            assert np.array_equal(
+                getattr(op_l, field), getattr(op_f, field)
+            ), f"fleet solver disagrees with ladder on {field}"
+
+    ctl.stats = type(ctl.stats)()  # count the timed solves only
+    ladder_s = _best_of(lambda: solve_day(SOLVER_LADDER), repeats=3)
+    fleet_s = _best_of(lambda: solve_day(SOLVER_FLEET), repeats=3)
+    stats = ctl.stats.copy()
+    speedup = ladder_s / fleet_s
+
+    emit(None, "solve_steady: fleet vs ladder (Summit campaign day)", [
+        ("runs in the day", "-", f"{len(runs)}"),
+        ("ladder best-of-3", "-", f"{ladder_s * 1e3:.1f} ms"),
+        ("fleet best-of-3", "-", f"{fleet_s * 1e3:.1f} ms"),
+        ("speedup", f">= {MIN_FLEET_SPEEDUP:.0f}x", f"{speedup:.2f}x"),
+    ])
+    _write_json({"fleet_campaign_day_summit": {
+        "n_gpus": fleet.n,
+        "n_pstates": int(fleet.spec.n_pstates),
+        "runs_per_day": len(runs),
+        "ladder_s": ladder_s,
+        "fleet_s": fleet_s,
+        "speedup": speedup,
+        "check_only": CHECK_ONLY,
+    }})
+
+    if not CHECK_ONLY:
+        assert speedup >= MIN_FLEET_SPEEDUP, (
+            f"fleet solver only {speedup:.2f}x faster than the ladder "
+            f"search (floor {MIN_FLEET_SPEEDUP:.0f}x)"
         )
 
 

@@ -45,6 +45,13 @@ from .core import (
 from .core.boxstats import BoxStats
 from .core.outliers import OutlierReport
 from .errors import ConfigError
+from .gpu.dvfs import (
+    SOLVER_ENV_VAR,
+    SOLVER_FLEET,
+    SOLVER_GRID,
+    SOLVER_LADDER,
+    default_solver,
+)
 from .core.suite import ClusterReport
 from .core.classify import ApplicationClass, classify_workload
 from .core.scheduler import PlacementPlan
@@ -180,6 +187,12 @@ __all__ = [
     "analyze_fleet_health",
     "validate_health_report",
     "write_health_events",
+    # steady-state solver selection
+    "SOLVER_LADDER",
+    "SOLVER_FLEET",
+    "SOLVER_GRID",
+    "SOLVER_ENV_VAR",
+    "default_solver",
 ]
 
 

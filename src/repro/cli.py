@@ -28,8 +28,12 @@ driven from the shell:
     schema-validated JSON report and the byte-stable JSONL event log.
 
 Every subcommand accepts the same execution options — ``--seed``,
-``--workers``, ``--trace PATH`` and ``--manifest PATH`` — through one
-shared builder, so observability is uniformly available: ``--trace``
+``--workers``, ``--solver``, ``--trace PATH`` and ``--manifest PATH`` —
+through one shared builder, so observability is uniformly available:
+``--solver`` selects the steady-state DVFS solver (``ladder``, ``fleet``
+or ``grid`` — bit-identical outputs, different speed; see
+docs/PERFORMANCE.md) by exporting ``REPRO_DVFS_SOLVER`` for the duration
+of the command. ``--trace``
 writes a Chrome-trace JSON (Perfetto-loadable; ``.jsonl`` suffix switches
 to JSON Lines events) and ``--manifest`` writes the reproducibility-audit
 document (see :mod:`repro.obs` and docs/OBSERVABILITY.md).  Neither flag
@@ -42,6 +46,8 @@ All commands delegate to the stable :mod:`repro.api` facade.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 from typing import Sequence
 
@@ -167,6 +173,14 @@ def _add_execution_args(p: argparse.ArgumentParser) -> None:
                         "JSON Lines events instead)")
     p.add_argument("--manifest", metavar="PATH", default=None,
                    help="write the reproducibility-audit manifest JSON")
+    p.add_argument("--solver", default=None,
+                   choices=(api.SOLVER_LADDER, api.SOLVER_FLEET,
+                            api.SOLVER_GRID),
+                   help="steady-state DVFS solver (all three are "
+                        "bit-identical; 'fleet' batches the whole fleet "
+                        "per solve and is the fastest — see "
+                        "docs/PERFORMANCE.md; default honours "
+                        f"${api.SOLVER_ENV_VAR})")
 
 
 class _ObsSession:
@@ -206,10 +220,36 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        with _solver_override(getattr(args, "solver", None)):
+            return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+@contextlib.contextmanager
+def _solver_override(solver: str | None):
+    """Expose ``--solver`` to controllers via the selection env var.
+
+    Controllers consult :data:`SOLVER_ENV_VAR` at construction time (also
+    inside campaign worker processes, which inherit the environment), so
+    the flag routes through the environment rather than through every
+    intermediate API signature.  The prior value is restored on exit so
+    ``main()`` stays re-entrant for in-process callers and tests.
+    """
+    if solver is None:
+        yield
+        return
+    sentinel = object()
+    prior = os.environ.get(api.SOLVER_ENV_VAR, sentinel)
+    os.environ[api.SOLVER_ENV_VAR] = solver
+    try:
+        yield
+    finally:
+        if prior is sentinel:
+            os.environ.pop(api.SOLVER_ENV_VAR, None)
+        else:
+            os.environ[api.SOLVER_ENV_VAR] = prior  # type: ignore[arg-type]
 
 
 def _cmd_list(args: argparse.Namespace) -> int:

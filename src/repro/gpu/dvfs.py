@@ -22,8 +22,8 @@ correlation (-0.76 vs -0.97/-0.99) despite identical physics.
 
 Steady-state solvers
 --------------------
-Two interchangeable, **bit-identical** solvers find the settled ladder level
-(see ``docs/PERFORMANCE.md`` for the full argument and measurements):
+Three interchangeable, **bit-identical** solvers find the settled ladder
+level (see ``docs/PERFORMANCE.md`` for the full argument and measurements):
 
 * ``"ladder"`` (default) — a monotone binary search along the p-state
   ladder.  Power and temperature never decrease up the ladder, so
@@ -32,11 +32,30 @@ Two interchangeable, **bit-identical** solvers find the settled ladder level
   *same elementwise fixed point* the dense grid runs — a (GPU, p-state)
   cell's fixed point depends on nothing but that cell's inputs — so the
   result is bit-for-bit identical to the dense scan.
+* ``"fleet"`` — the batched fleet search: one vectorized solve over the
+  whole (n_gpus, n_pstates) feasibility matrix with a masked-convergence
+  loop.  An analytic per-row boundary estimate (a ``searchsorted`` against
+  the dynamic-power ladder basis, refined by a few O(n) leakage passes)
+  seeds one batched pair evaluation of each GPU's estimated level and the
+  level above; where the pair brackets the boundary — almost the whole
+  fleet — that GPU is done and the pair *is* the epilogue's (level, above)
+  output.  Stragglers gallop outward from their estimates, and converged
+  GPUs drop out of every subsequent array operation — both out of the
+  ladder search and out of the leakage/temperature fixed point (a cell
+  whose float32 iterate repeats bit-for-bit is frozen, because every
+  further iteration would reproduce it exactly).  Boost ceilings are
+  pre-clamped analytically.  Select with ``REPRO_DVFS_SOLVER=fleet``.
 * ``"grid"`` — the dense (n, k) feasibility scan, kept as an escape hatch
   and cross-check (``REPRO_DVFS_SOLVER=grid`` selects it globally).
 
-Both paths share :meth:`DvfsController.power_grid_columns`, and the work
-each solve performs is counted in :class:`SolverStats`.
+All paths evaluate the same elementwise fixed point — the ladder and grid
+solvers through :meth:`DvfsController.power_grid_columns`, the fleet
+solver through its masked row-subset twin — and the work each solve
+performs is counted in :class:`SolverStats`.  Because every (GPU, p-state)
+cell depends on nothing but its own inputs, *any* evaluation order,
+subset, or masking produces bit-identical cells, which is what the
+differential equivalence suite (``tests/gpu/test_dvfs_fleet_equivalence``)
+pins across presets, defects, and cap edge cases.
 """
 
 from __future__ import annotations
@@ -60,6 +79,7 @@ __all__ = [
     "SolverStats",
     "DvfsController",
     "SOLVER_LADDER",
+    "SOLVER_FLEET",
     "SOLVER_GRID",
 ]
 
@@ -70,14 +90,20 @@ _FIXED_POINT_ITERS = 7
 
 #: Monotone binary search along the ladder (the default).
 SOLVER_LADDER = "ladder"
+#: Batched fleet search: estimate-guided pair probe with masked convergence.
+SOLVER_FLEET = "fleet"
 #: Dense (n, k) feasibility scan — escape hatch and cross-check baseline.
 SOLVER_GRID = "grid"
 
-_SOLVERS = (SOLVER_LADDER, SOLVER_GRID)
+_SOLVERS = (SOLVER_LADDER, SOLVER_FLEET, SOLVER_GRID)
 
 #: Environment variable overriding the default solver for newly-created
-#: controllers (``ladder`` or ``grid``).
+#: controllers (``ladder``, ``fleet``, or ``grid``).
 SOLVER_ENV_VAR = "REPRO_DVFS_SOLVER"
+
+#: Bins in the fleet solver's inverse-basis lookup table (the analytic
+#: boundary estimate's replacement for a per-row binary search).
+_BASIS_LUT_SIZE = 4096
 
 
 @dataclass(frozen=True)
@@ -147,8 +173,14 @@ class SolverStats:
     much of the dense grid the ladder search skipped.
     """
 
-    #: ``solve_steady`` invocations counted.
+    #: Per-GPU steady states solved: every ``solve_steady`` call counts its
+    #: whole population, so one batched fleet solve over n GPUs adds n — the
+    #: same n the GPUs would add if solved alone.  This is what keeps the
+    #: total invariant across solver modes *and* shard plans (a worker's
+    #: shard solves its GPU subset).
     solves: int = 0
+    #: ``solve_steady`` invocations (batches), regardless of population size.
+    batches: int = 0
     #: (GPU, p-state) cells whose fixed point was actually evaluated.
     columns_evaluated: int = 0
     #: Cells the dense (n, k) grid would have evaluated for the same solves.
@@ -171,6 +203,7 @@ class SolverStats:
     def merge(self, other: "SolverStats") -> "SolverStats":
         """Accumulate another counter set into this one (returns ``self``)."""
         self.solves += other.solves
+        self.batches += other.batches
         self.columns_evaluated += other.columns_evaluated
         self.dense_cells += other.dense_cells
         self.fixed_point_iterations += other.fixed_point_iterations
@@ -180,6 +213,7 @@ class SolverStats:
         """An independent snapshot of the current counters."""
         return SolverStats(
             solves=self.solves,
+            batches=self.batches,
             columns_evaluated=self.columns_evaluated,
             dense_cells=self.dense_cells,
             fixed_point_iterations=self.fixed_point_iterations,
@@ -188,7 +222,8 @@ class SolverStats:
     def describe(self) -> str:
         """One-line human-readable rendering."""
         return (
-            f"{self.solves} solves: {self.columns_evaluated} cells evaluated, "
+            f"{self.solves} GPU solves in {self.batches} batches: "
+            f"{self.columns_evaluated} cells evaluated, "
             f"{self.cells_avoided} of {self.dense_cells} dense cells avoided "
             f"({self.dense_fraction_avoided:.1%})"
         )
@@ -198,8 +233,9 @@ def default_solver() -> str:
     """The solver newly-created controllers use.
 
     ``ladder`` unless overridden by the ``REPRO_DVFS_SOLVER`` environment
-    variable — the escape hatch for cross-checking the dense scan on a full
-    campaign without touching code.
+    variable — the escape hatch for running the batched ``fleet`` search or
+    cross-checking the dense ``grid`` scan on a full campaign without
+    touching code.
     """
     solver = os.environ.get(SOLVER_ENV_VAR, SOLVER_LADDER)
     require(solver in _SOLVERS,
@@ -216,9 +252,10 @@ class DvfsController:
         The SKU, its electrical and thermal models, and the firmware policy
         (vendor default when ``None``).
     solver:
-        Steady-state solver: ``"ladder"`` (monotone binary search, default)
+        Steady-state solver: ``"ladder"`` (monotone binary search, default),
+        ``"fleet"`` (batched pilot-guided search with masked convergence),
         or ``"grid"`` (dense scan).  ``None`` defers to
-        :func:`default_solver`.  Both produce bit-identical results; see
+        :func:`default_solver`.  All produce bit-identical results; see
         the module docstring.
     """
 
@@ -245,11 +282,24 @@ class DvfsController:
         self.solver = solver
         self.stats = SolverStats()
         self._pstates: np.ndarray | None = None
+        self._ladder_basis: np.ndarray | None = None
+        self._basis_lut: tuple[np.ndarray | None, float, float] | None = None
+        self._vsq_steps: np.ndarray | None = None
         # Reusable float32 buffers keyed by evaluation shape; the ladder
         # search re-enters the fixed point O(log k) times per solve and
         # simulate_run re-solves up to three times per run, so the (t, p,
         # scratch) triple is recycled instead of reallocated.
         self._workspaces: dict[tuple[int, ...], tuple[np.ndarray, ...]] = {}
+        # Grow-only (float32, bool) scratch pair for the masked fixed
+        # point — same recycling rationale as _workspaces.
+        self._masked_scratch: tuple[np.ndarray, np.ndarray] | None = None
+        # Solve-invariant duplicated per-GPU parameters for the fleet
+        # solver's flat (2n,) pair round, built once per controller.
+        self._pair_params: tuple[np.ndarray, ...] | None = None
+        self._vmult_sq32: np.ndarray | None = None
+        # Thermal power ceiling per GPU, keyed by the t_limit it was
+        # derived from (constant per policy, so one entry suffices).
+        self._thermal_cap32: tuple[float, np.ndarray] | None = None
 
     @property
     def n(self) -> int:
@@ -267,6 +317,118 @@ class DvfsController:
             steps.setflags(write=False)
             self._pstates = steps
         return self._pstates
+
+    def ladder_basis(self) -> np.ndarray:
+        """Per-column dynamic-power basis ``C_eff * V(f)^2 * f`` (cached).
+
+        Dynamic power factors into ``(activity * eff * (1 + v_off)^2)``
+        per GPU times this strictly rising per-column basis, which is what
+        lets the fleet solver invert the power cap into a ladder index
+        with one ``searchsorted`` per row.
+        """
+        if self._ladder_basis is None:
+            steps = self.pstates()
+            v_nom = self.spec.voltage_at(steps)
+            basis = self.spec.c_eff_w_per_v2mhz * v_nom**2 * steps
+            basis.setflags(write=False)
+            self._ladder_basis = basis
+        return self._ladder_basis
+
+    def _vsq_ladder(self) -> np.ndarray:
+        """Squared nominal voltage per ladder column (cached, read-only).
+
+        ``voltage_at`` is elementwise, so gathering ``V(steps)**2`` by
+        column index is bit-identical to evaluating it at the gathered
+        frequencies — the fleet solver trades the per-cell V/F polynomial
+        for one small-table gather (see :meth:`PowerModel.dynamic_power`'s
+        ``v_sq`` contract).
+        """
+        if self._vsq_steps is None:
+            vsq = self.spec.voltage_at(self.pstates()) ** 2
+            vsq.setflags(write=False)
+            self._vsq_steps = vsq
+        return self._vsq_steps
+
+    def _basis_lookup(self, q: np.ndarray) -> np.ndarray:
+        """Approximate ``searchsorted(ladder_basis, q)`` via a uniform LUT.
+
+        A 4096-bin table over the basis range replaces the per-row binary
+        search with one subtract/multiply/gather.  The table quantizes bin
+        edges downward, so dense low-frequency basis regions can return an
+        index a few rungs low — harmless, because the result is only the
+        fleet solver's starting hint and the gallop rounds correct any
+        offset with exact evaluations.  Non-finite queries (idle rows
+        divide by zero activity) clamp to the table ends.
+        """
+        if self._basis_lut is None:
+            basis = self.ladder_basis()
+            b0 = float(basis[0])
+            span = float(basis[-1]) - b0
+            if basis.shape[0] < 8 or span <= 0.0:
+                self._basis_lut = (None, 0.0, 0.0)
+            else:
+                edges = np.linspace(b0, float(basis[-1]), _BASIS_LUT_SIZE)
+                lut = np.searchsorted(basis, edges)
+                lut.setflags(write=False)
+                self._basis_lut = (lut, b0, (_BASIS_LUT_SIZE - 1) / span)
+        lut, b0, inv_step = self._basis_lut
+        if lut is None:
+            return np.searchsorted(self.ladder_basis(), q)
+        j = np.clip(
+            np.minimum((q - b0) * inv_step, _BASIS_LUT_SIZE - 1.0).astype(
+                np.int64
+            ),
+            0,
+            _BASIS_LUT_SIZE - 1,
+        )
+        return lut[j]
+
+    def _estimate_boundary(
+        self,
+        act_eff: np.ndarray,
+        mem_w: np.ndarray,
+        cap: np.ndarray,
+        t_limit: float,
+    ) -> np.ndarray:
+        """Analytic per-row estimate of the first infeasible ladder column.
+
+        One exp and one ``searchsorted`` per GPU, no settles: the thermal
+        limit becomes a power bound through the RC model, and — the key
+        closed form — a GPU *at* its feasibility boundary dissipates the
+        effective cap (to within one rung), so its steady temperature and
+        hence its leakage term are known without iterating.  Subtracting
+        the temperature-independent terms leaves the dynamic budget, which
+        the rising ladder basis inverts into a column index.  Purely a
+        search hint — every returned index is verified by exact cell
+        evaluations — so the float32 shortcuts here cannot affect the
+        solved operating points.  ``act_eff`` is the folded per-GPU
+        ``activity * efficiency`` factor and ``mem_w`` the memory power,
+        both shared with the pair round's base-power prep.
+        """
+        f32 = np.float32
+        if self._vmult_sq32 is None:
+            vm32 = self.power.v_mult_sq.astype(f32)
+            vm32.setflags(write=False)
+            self._vmult_sq32 = vm32
+        a = act_eff.astype(f32) * self._vmult_sq32
+        mem_idle = mem_w.astype(f32) + f32(self.spec.idle_power_w)
+        leak = self.power.leakage_scale_w_f32()
+        # The thermal limit is equivalent to a power cap through T = Tc+R*P;
+        # that per-GPU ceiling is policy-constant, so it is cached.
+        cached = self._thermal_cap32
+        if cached is None or cached[0] != t_limit:
+            p_t = self.thermal.power_at_temperature(t_limit).astype(f32)
+            p_t.setflags(write=False)
+            cached = (t_limit, p_t)
+            self._thermal_cap32 = cached
+        cap_eff = np.minimum(cap, cached[1]).astype(f32)
+        r32, tc32 = self.thermal.fixed_point_params_f32()
+        t_bound = tc32 + r32 * cap_eff
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            c0 = mem_idle + leak * np.exp(
+                f32(self.spec.leakage_temp_coeff) * (t_bound - f32(25.0))
+            )
+            return self._basis_lookup((cap_eff - c0) / a)
 
     def _workspace(self, shape: tuple[int, ...]) -> tuple[np.ndarray, ...]:
         ws = self._workspaces.get(shape)
@@ -290,10 +452,8 @@ class DvfsController:
         ``activity``/``dram_utilization``/``efficiency`` must broadcast
         against ``f_mhz`` along axis 0.
         """
-        p_base = (
-            self.power.dynamic_power(f_mhz, activity, efficiency)
-            + self.power.memory_power(dram_utilization)
-            + self.spec.idle_power_w
+        p_base = self.power.settle_base_power_w(
+            f_mhz, activity, dram_utilization, efficiency
         ).astype(np.float32)
         # The fixed point runs in float32: the dense grid is n x k (up to
         # ~5M cells on Summit) and the exp-heavy leakage term dominates the
@@ -332,6 +492,175 @@ class DvfsController:
         self.stats.columns_evaluated += int(p_base.size)
         self.stats.fixed_point_iterations += _FIXED_POINT_ITERS * int(p_base.size)
         return p.astype(np.float64), t.astype(np.float64)
+
+    def _settle_rows(
+        self,
+        rows: np.ndarray,
+        f_mhz: np.ndarray,
+        activity: np.ndarray,
+        dram_utilization: np.ndarray,
+        efficiency: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Masked-convergence settle of one ladder cell per selected row.
+
+        The fleet solver's twin of :meth:`_settle`: evaluates the cell at
+        frequency ``f_mhz[i]`` for each population row ``rows[i]``, and
+        drops a cell out of the iteration as soon as its float32
+        temperature iterate repeats bit-for-bit — every further pass of the
+        deterministic elementwise update would reproduce the same bits, so
+        freezing early returns exactly what :meth:`_settle`'s fixed seven
+        iterations return.  ``activity``/``dram_utilization``/``efficiency``
+        are full ``(n,)`` vectors (sliced here).  Returns float32 ``(p, t)``
+        of ``rows``'s shape; float32→float64 widening is exact, so callers
+        may compare against float64 caps without changing any outcome.
+        """
+        p_base = self.power.settle_base_power_w(
+            f_mhz, activity[rows], dram_utilization[rows],
+            efficiency[rows], indices=rows,
+        ).astype(np.float32)
+        leak_scale = self.power.leakage_scale_w_f32()[rows]
+        r, tc = self.thermal.fixed_point_params_f32(indices=rows)
+        return self._settle_masked(p_base, leak_scale, r, tc)
+
+    def _settle_cols(
+        self,
+        rows: np.ndarray | None,
+        cols: np.ndarray,
+        activity: np.ndarray,
+        dram_utilization: np.ndarray,
+        efficiency: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Masked-convergence settle of a ``(m, c)`` ladder-column block.
+
+        ``cols[i, j]`` selects a ladder index for population row
+        ``rows[i]`` (``rows=None`` means the whole population, in order);
+        each GPU's parameters broadcast across its row of the block, so
+        the full-population case runs without any per-row gathers.
+        Returns float32 ``(p, t)`` of ``cols``'s shape, every cell
+        bit-identical to the corresponding dense-grid entry.
+        """
+        f = self.pstates()[cols]
+        if rows is None:
+            act, util, eff = activity, dram_utilization, efficiency
+            leak = self.power.leakage_scale_w_f32()
+            r, tc = self.thermal.fixed_point_params_f32()
+        else:
+            act = activity[rows]
+            util = dram_utilization[rows]
+            eff = efficiency[rows]
+            leak = self.power.leakage_scale_w_f32()[rows]
+            r, tc = self.thermal.fixed_point_params_f32(indices=rows)
+        p_base = self.power.settle_base_power_w(
+            f, act[:, None], util[:, None], eff[:, None], indices=rows
+        ).astype(np.float32)
+        c = int(cols.shape[1])
+        p, t = self._settle_masked(
+            p_base.ravel(),
+            np.repeat(leak, c),
+            np.repeat(r, c),
+            np.repeat(tc, c),
+        )
+        return p.reshape(p_base.shape), t.reshape(p_base.shape)
+
+    def _settle_masked(
+        self,
+        p_base: np.ndarray,
+        leak: np.ndarray,
+        r: np.ndarray,
+        tc: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flat masked-convergence fixed point over pre-gathered cells.
+
+        The shared core under :meth:`_settle_rows` and
+        :meth:`_settle_cols`: all four inputs are float32 ``(m,)`` arrays
+        giving each cell's temperature-independent power, leakage scale,
+        and thermal parameters.  Iterations write into preallocated
+        scratch (the hot loop allocates nothing); cells whose float32
+        temperature iterate repeats bit-for-bit stop changing, and once a
+        majority have frozen the working set compacts so the stragglers
+        iterate alone.  The loop exits outright when every cell is stable.
+        """
+        m = int(p_base.shape[0])
+        k_t = np.float32(self.spec.leakage_temp_coeff)
+        t_clamp = np.float32(self.spec.t_shutdown_c + 40.0)
+        c25 = np.float32(25.0)
+        pool = self._masked_scratch
+        if pool is None or pool[0].shape[0] < m:
+            pool = (np.empty(m, dtype=np.float32), np.empty(m, dtype=bool))
+            self._masked_scratch = pool
+        scratch = pool[0][:m]
+        moved_buf = pool[1][:m]
+
+        def leakage(t_cur: np.ndarray, base: np.ndarray,
+                    leak_w: np.ndarray, out: np.ndarray,
+                    s: np.ndarray) -> None:
+            # Same decomposed op sequence as _settle's leakage_step:
+            # p = base + leak * exp(k_t * (t - 25)).
+            np.subtract(t_cur, c25, out=s)
+            np.multiply(s, k_t, out=s)
+            np.exp(s, out=s)
+            np.multiply(leak_w, s, out=s)
+            np.add(base, s, out=out)
+
+        out_t = tc.astype(np.float32, copy=True)
+        out_p = np.empty(m, dtype=np.float32)
+        leakage(out_t, p_base, leak, out_p, scratch)
+        self.stats.columns_evaluated += m
+        # Work on contiguous arrays, compacting only when cells actually
+        # freeze: the common all-cells-still-moving iteration costs one
+        # extra elementwise compare, nothing more.
+        sel = None  # positions of the working set in the output; None = all
+        tc_w, r_w, base_w, leak_w = tc, r, p_base, leak
+        t_w, p_w = out_t, out_p
+        for it in range(_FIXED_POINT_ITERS):
+            m_a = int(t_w.shape[0])
+            if m_a == 0:
+                break
+            self.stats.fixed_point_iterations += m_a
+            s = scratch[:m_a]
+            np.multiply(r_w, p_w, out=s)
+            np.add(tc_w, s, out=s)
+            np.minimum(s, t_clamp, out=s)  # s is now t_new
+            if it & 1 or it == _FIXED_POINT_ITERS - 1:
+                # Odd rounds skip the freeze check: re-iterating a
+                # bit-stable cell reproduces the same bits, so checking
+                # every other round halves the bookkeeping while at most
+                # deferring a compaction by one iteration.  The final
+                # round skips it too — a compaction there has no
+                # iterations left to save, only gather/scatter cost.
+                np.copyto(t_w, s)
+                leakage(t_w, base_w, leak_w, p_w, scratch[: t_w.shape[0]])
+                continue
+            mv = moved_buf[:m_a]
+            np.not_equal(s, t_w, out=mv)
+            n_moved = int(np.count_nonzero(mv))
+            if n_moved == 0:
+                break
+            if n_moved * 2 <= m_a:
+                # A majority of cells froze: park their (t, p) — iterating
+                # a bit-stable cell would reproduce identical bits — and
+                # compact the working set.  Below that threshold the
+                # compaction gathers cost more than the iterations they
+                # save, so frozen cells simply ride along unchanged.
+                frozen = np.flatnonzero(~mv) if sel is None else sel[~mv]
+                out_t[frozen] = t_w[~mv]
+                out_p[frozen] = p_w[~mv]
+                sel = np.flatnonzero(mv) if sel is None else sel[mv]
+                t_w = s[mv]
+                tc_w = tc_w[mv]
+                r_w = r_w[mv]
+                base_w = base_w[mv]
+                leak_w = leak_w[mv]
+                p_w = np.empty(n_moved, dtype=np.float32)
+            else:
+                np.copyto(t_w, s)
+            leakage(t_w, base_w, leak_w, p_w, scratch[: t_w.shape[0]])
+        if sel is None:
+            # Nothing froze: the working arrays cover every cell.
+            return p_w, t_w
+        out_t[sel] = t_w
+        out_p[sel] = p_w
+        return out_p, out_t
 
     def power_grid_columns(
         self,
@@ -412,8 +741,9 @@ class DvfsController:
             Required when the policy dithers (AMD); supplies the per-call
             duty cycles.
         solver:
-            Per-call solver override (``"ladder"`` or ``"grid"``); ``None``
-            uses the controller's solver.  Both are bit-identical.
+            Per-call solver override (``"ladder"``, ``"fleet"``, or
+            ``"grid"``); ``None`` uses the controller's solver.  All are
+            bit-identical.
         """
         solver = solver if solver is not None else self.solver
         require(solver in _SOLVERS,
@@ -433,7 +763,11 @@ class DvfsController:
         steps = self.pstates()
         k = steps.shape[0]
         t_limit = self.spec.t_slowdown_c - self.policy.thermal_headroom_c
-        self.stats.solves += 1
+        # A batched call solves every GPU in the population: count n per-GPU
+        # solves (and one batch) so totals are invariant across solver modes
+        # and shard plans.
+        self.stats.solves += self.n
+        self.stats.batches += 1
         self.stats.dense_cells += self.n * k
         tracer = active_tracer()
         if tracer is not None:
@@ -446,6 +780,10 @@ class DvfsController:
 
         if solver == SOLVER_GRID:
             idx, p_level, t_level, p_above, t_above = self._scan_dense(
+                activity, dram_utilization, efficiency, cap, f_cap, t_limit
+            )
+        elif solver == SOLVER_FLEET:
+            idx, p_level, t_level, p_above, t_above = self._search_fleet(
                 activity, dram_utilization, efficiency, cap, f_cap, t_limit
             )
         else:
@@ -510,7 +848,8 @@ class DvfsController:
                 )
 
         if tracer is not None:
-            tracer.add("solver.solves", 1)
+            tracer.add("solver.solves", self.n)
+            tracer.add("solver.batches", 1)
             tracer.add("solver.dense_cells", self.n * k)
             tracer.add("solver.columns_evaluated",
                        self.stats.columns_evaluated - columns_before)
@@ -627,6 +966,304 @@ class DvfsController:
             above, activity, dram_utilization, efficiency
         )
         return idx, p_level, t_level, p_above, t_above
+
+    def _pair_invariants(self) -> tuple[np.ndarray, ...]:
+        """Duplicated per-GPU parameters for the flat (2n,) pair round.
+
+        The pair round lays its two probe columns out as ``[all c_lo |
+        all c_hi]``, so every per-GPU parameter enters twice in sequence.
+        These duplicates are solve-invariant (they depend only on the
+        silicon and thermal models), so they are concatenated once per
+        controller and shared read-only by every fleet solve.
+        """
+        if self._pair_params is None:
+            leak32 = self.power.leakage_scale_w_f32()
+            r32, tc32 = self.thermal.fixed_point_params_f32()
+            params = tuple(
+                np.concatenate([a, a])
+                for a in (leak32, r32, tc32, self.power.v_mult_sq)
+            )
+            for a in params:
+                a.setflags(write=False)
+            self._pair_params = params
+        return self._pair_params
+
+    def _search_fleet(
+        self,
+        activity: np.ndarray | float,
+        dram_utilization: np.ndarray | float,
+        efficiency: np.ndarray | float,
+        cap: np.ndarray,
+        f_cap: np.ndarray | None,
+        t_limit: float,
+    ) -> tuple[np.ndarray, ...]:
+        """Fleet solver core: estimate-guided batched search, endpoint caching.
+
+        Finds the same feasibility boundary as :meth:`_search_ladder` with
+        ~2 cell evaluations per GPU instead of ~10:
+
+        * Boost ceilings are cut analytically before any settle runs —
+          ``steps[j] <= f_cap`` is a pure comparison, so ``searchsorted``
+          pre-clamps the infeasible bracket top for free.
+        * An analytic per-row boundary estimate seeds the search: dynamic
+          power separates into a per-GPU factor times a rising
+          ladder-column basis, a GPU at its boundary dissipates its
+          effective cap (fixing the leakage term in closed form), and
+          inverting ``power <= cap`` is then one ``searchsorted`` per row
+          — no settles, one exp per GPU (:meth:`_estimate_boundary`).
+        * One batched pair evaluation settles each GPU's estimated level
+          and the level above it.  Where the pair brackets the boundary —
+          the common case — that GPU is done, and the pair *is* the
+          (level, above) output the epilogue needs.  The rest gallop
+          outward from their estimate, converged GPUs dropping out of
+          every subsequent round.
+        * Inside each evaluation, converged fixed-point cells freeze early
+          (:meth:`_settle_rows`); only cells never probed (pre-clamped
+          ceilings, empty feasible sets) run in one final masked batch.
+
+        Every cell is settled by the same elementwise float32 fixed point
+        the other solvers use, so the outputs are bit-identical to theirs.
+        """
+        steps = self.pstates()
+        k = steps.shape[0]
+        n = self.n
+        act = _as_vec(activity, n)
+        util = _as_vec(dram_utilization, n)
+        eff = _as_vec(efficiency, n)
+
+        # Per-GPU factors shared between the boundary estimate and the
+        # pair round's base-power prep.  Both are elementwise, so folding
+        # them once per GPU and duplicating is bit-identical to the
+        # per-cell products the other solvers compute.
+        ae = act * eff
+        mem_w = self.power.memory_power(util)
+
+        if f_cap is not None:
+            # Columns at steps[j] > f_cap are infeasible by the ceiling
+            # alone; feasibility is a prefix, so clamp the bracket top to
+            # the first such column without settling anything.
+            hi_top: np.ndarray | int = np.minimum(
+                k, np.searchsorted(steps, f_cap, side="right")
+            )
+            pair_ok = bool((hi_top >= 2).all())
+        else:
+            hi_top = k
+            pair_ok = k >= 2
+
+        # Estimated first-infeasible column, clamped so the probe pair
+        # (c_hi - 1, c_hi) sits inside the pre-clamped bracket.
+        est = self._estimate_boundary(ae, mem_w, cap, t_limit)
+        c_hi = np.clip(est, 1, np.maximum(hi_top - 1, 1))
+        c_lo = c_hi - 1
+
+        # Pair round: one batched settle of (estimated level, level above)
+        # for every row whose bracket can hold the pair.  The common case
+        # (no bracket pre-clamped below two rungs) evaluates the whole
+        # population as one flat block and updates every bracket with
+        # full-width selects; the rare mixed case falls back to gathered
+        # rows and scatter updates.
+        if pair_ok:
+            # Flat [all c_lo | all c_hi] layout: per-GPU parameters enter
+            # by contiguous duplication (concatenate, not fancy gathers),
+            # per-column quantities by small-table gathers, and every
+            # elementwise op runs one full-length inner loop — the same
+            # per-cell float64/float32 op sequence as the other solvers.
+            cols_flat = np.concatenate([c_lo, c_hi])
+            leak2, r2, tc2, vmult2 = self._pair_invariants()
+            p_base = self.power.settle_base_power_w(
+                steps[cols_flat],
+                np.concatenate([ae, ae]),
+                util,  # unused: mem_w below already carries the memory term
+                v_sq=self._vsq_ladder()[cols_flat] * vmult2,
+                mem_w=np.concatenate([mem_w, mem_w]),
+            ).astype(np.float32)
+            p_flat, t_flat = self._settle_masked(p_base, leak2, r2, tc2)
+            pv_lo, pv_hi = p_flat[:n], p_flat[n:]
+            tv_lo, tv_hi = t_flat[:n], t_flat[n:]
+            f_lo2 = (pv_lo <= cap) & (tv_lo <= t_limit)
+            f_hi2 = (pv_hi <= cap) & (tv_hi <= t_limit)
+            if int(np.count_nonzero(f_lo2)) == n and not f_hi2.any():
+                # Every row bracketed the boundary at its estimate — the
+                # common case when the analytic estimate is exact.  The
+                # probed pair already is the (level, above) answer, so the
+                # gallop rounds and the endpoint epilogue have nothing to
+                # do; return the pair directly (float32 widens exactly).
+                return (
+                    c_lo,
+                    pv_lo.astype(np.float64),
+                    tv_lo.astype(np.float64),
+                    pv_hi.astype(np.float64),
+                    tv_hi.astype(np.float64),
+                )
+            # Feasibility is a prefix of the ladder and the settle is
+            # monotone along it, so f_hi2 implies f_lo2 and each bracket
+            # collapses to one select: feasible rows land at c_lo + f_hi2
+            # (c_hi when both cells passed), rows with an infeasible pair
+            # cell pull hi onto it while the rest keep the untouched top.
+            lo = np.where(f_lo2, c_lo + f_hi2, -1)
+            hi = np.where(f_hi2, hi_top, c_lo + f_lo2)
+            # Endpoint caches: wherever the selects above moved a bracket
+            # end onto a probed cell, the matching cache entry holds that
+            # cell's settled values (unset slots are never read — lo
+            # stayed -1 or hi_eval stays False there).
+            p_lo = np.where(f_hi2, pv_hi, pv_lo)
+            t_lo = np.where(f_hi2, tv_hi, tv_lo)
+            p_hi = np.where(f_lo2, pv_hi, pv_lo)
+            t_hi = np.where(f_lo2, tv_hi, tv_lo)
+            hi_eval = ~f_hi2
+        else:
+            lo = np.full(n, -1, dtype=np.int64)
+            hi = (
+                np.minimum(np.full(n, k, dtype=np.int64), hi_top)
+                if f_cap is not None
+                else np.full(n, k, dtype=np.int64)
+            )
+            p_lo = np.empty(n, dtype=np.float32)
+            t_lo = np.empty(n, dtype=np.float32)
+            p_hi = np.empty(n, dtype=np.float32)
+            t_hi = np.empty(n, dtype=np.float32)
+            hi_eval = np.zeros(n, dtype=bool)
+            rows2 = np.flatnonzero(hi >= 2)
+            if rows2.size:
+                p2, t2 = self._settle_cols(
+                    rows2,
+                    np.stack([c_lo[rows2], c_hi[rows2]], axis=1),
+                    act, util, eff,
+                )
+                feas2 = (p2 <= cap[rows2, None]) & (t2 <= t_limit)
+                f_lo2, f_hi2 = feas2[:, 0], feas2[:, 1]
+                sel = rows2[~f_lo2]
+                hi[sel] = c_lo[sel]
+                p_hi[sel] = p2[~f_lo2, 0]
+                t_hi[sel] = t2[~f_lo2, 0]
+                hi_eval[sel] = True
+                found = f_lo2 & ~f_hi2
+                sel = rows2[found]
+                lo[sel] = c_lo[sel]
+                p_lo[sel] = p2[found, 0]
+                t_lo[sel] = t2[found, 0]
+                hi[sel] = c_hi[sel]
+                p_hi[sel] = p2[found, 1]
+                t_hi[sel] = t2[found, 1]
+                hi_eval[sel] = True
+                sel = rows2[f_hi2]
+                lo[sel] = c_hi[sel]
+                p_lo[sel] = p2[f_hi2, 1]
+                t_lo[sel] = t2[f_hi2, 1]
+        state = (lo, hi, p_lo, t_lo, p_hi, t_hi, hi_eval)
+        self._fleet_bisect(np.arange(n, dtype=np.int64), state, steps, act,
+                           util, eff, cap, t_limit, c_hi)
+
+        idx = np.where(lo >= 0, lo, 0)
+        above = np.minimum(idx + 1, k - 1)
+        at_top = idx == k - 1
+        has_lo = lo >= 0
+
+        # Level values: any lo >= 0 came from a feasible evaluation, which
+        # cached (p, t).  A row stuck at lo == -1 ended with hi == 0; if the
+        # bottom rung was ever probed its values sit on the hi endpoint.
+        p_level = np.where(has_lo, p_lo, p_hi)
+        t_level = np.where(has_lo, t_lo, t_hi)
+        need_level = ~has_lo & ~hi_eval
+
+        # Above values: at the ladder top, above == idx; for found rows the
+        # bracket ends at gap 1, so above == hi and the cached infeasible
+        # endpoint is exactly the above cell.
+        hi_is_above = hi_eval & (hi == above) & ~at_top
+        need_above = ~at_top & ~hi_is_above
+
+        rows_l = np.flatnonzero(need_level)
+        rows_a = np.flatnonzero(need_above)
+        p_m = t_m = None
+        if rows_l.size or rows_a.size:
+            rows = np.concatenate([rows_l, rows_a])
+            cols = np.concatenate([idx[rows_l], above[rows_a]])
+            p_m, t_m = self._settle_rows(rows, steps[cols], act, util, eff)
+            p_level[rows_l] = p_m[: rows_l.size]
+            t_level[rows_l] = t_m[: rows_l.size]
+
+        p_above = np.where(hi_is_above, p_hi, p_level)
+        t_above = np.where(hi_is_above, t_hi, t_level)
+        if rows_a.size:
+            p_above[rows_a] = p_m[rows_l.size :]
+            t_above[rows_a] = t_m[rows_l.size :]
+        return (
+            idx,
+            p_level.astype(np.float64),
+            t_level.astype(np.float64),
+            p_above.astype(np.float64),
+            t_above.astype(np.float64),
+        )
+
+    def _fleet_bisect(
+        self,
+        rows: np.ndarray,
+        state: tuple[np.ndarray, ...],
+        steps: np.ndarray,
+        act: np.ndarray,
+        util: np.ndarray,
+        eff: np.ndarray,
+        cap: np.ndarray,
+        t_limit: float,
+        center: np.ndarray | None,
+    ) -> None:
+        """Drive ``rows``'s brackets to ``hi - lo <= 1``, caching endpoints.
+
+        Plain masked bisection when ``center`` is ``None``.  With per-row
+        centers (the analytic boundary estimates, already probed by the
+        pair round) the rounds gallop outward — the offset doubles per
+        round and is capped by the bisection midpoint, so a GPU settling d
+        rungs from its estimate converges in O(log d) evaluations while
+        the worst case keeps the bisection bound.  Only active rows are
+        evaluated; the brackets and endpoint caches in ``state`` are
+        updated in place.
+        """
+        lo, hi, p_lo, t_lo, p_hi, t_hi, hi_eval = state
+        g = 1
+        # Brackets only shrink, so a row that converges never re-enters:
+        # the candidate set contracts monotonically round over round.
+        remaining = rows
+        while True:
+            if remaining.size == 0:
+                break
+            lo_a = lo[remaining]
+            hi_a = hi[remaining]
+            open_ = hi_a - lo_a > 1
+            if not open_.all():
+                remaining = remaining[open_]
+                if remaining.size == 0:
+                    break
+                lo_a = lo_a[open_]
+                hi_a = hi_a[open_]
+            active = remaining
+            mid_b = (lo_a + hi_a) >> 1
+            if center is not None:
+                # Gallop away from each row's center: rows whose bracket
+                # bottom reached their center search upward, the rest
+                # downward.  The clamp against the bisection midpoint keeps
+                # mid strictly inside (lo, hi) and degrades to bisection
+                # once g is large.
+                up = lo_a >= center[active]
+                mid = np.where(up, np.minimum(lo_a + g, mid_b),
+                               np.maximum(hi_a - g, mid_b))
+                g *= 2
+            else:
+                mid = mid_b
+            p_m, t_m = self._settle_rows(active, steps[mid], act, util, eff)
+            # mid < hi <= the pre-clamped ceiling bracket, so the boost
+            # ceiling needs no re-check here; float32 operands widen
+            # exactly against the float64 cap, matching the other solvers'
+            # comparisons bit for bit.
+            feas = (p_m <= cap[active]) & (t_m <= t_limit)
+            f_rows = active[feas]
+            i_rows = active[~feas]
+            lo[f_rows] = mid[feas]
+            p_lo[f_rows] = p_m[feas]
+            t_lo[f_rows] = t_m[feas]
+            hi[i_rows] = mid[~feas]
+            p_hi[i_rows] = p_m[~feas]
+            t_hi[i_rows] = t_m[~feas]
+            hi_eval[i_rows] = True
 
     # ------------------------------------------------------------------
     # reactive control (time-stepped engine)

@@ -51,6 +51,16 @@ class PowerModel:
         """Population size."""
         return self.silicon.n
 
+    @property
+    def v_mult_sq(self) -> np.ndarray:
+        """Per-die squared voltage multiplier ``(1 + v_offset)**2``.
+
+        The per-GPU factor the dynamic-power term scales with; exposed for
+        the fleet solver's analytic boundary estimate, which separates
+        dynamic power into this row factor times a ladder-column basis.
+        """
+        return self._v_mult_sq
+
     def leakage_scale_w_f32(self) -> np.ndarray:
         """Per-die leakage at the reference temperature, cached float32.
 
@@ -74,6 +84,7 @@ class PowerModel:
         activity: np.ndarray | float,
         efficiency: np.ndarray | float = 1.0,
         indices: np.ndarray | None = None,
+        v_sq: np.ndarray | None = None,
     ) -> np.ndarray:
         """Core switching power at frequency ``f_mhz``.
 
@@ -83,12 +94,30 @@ class PowerModel:
         Fig. 15b fall out of this coupling).  ``indices`` restricts the
         per-die parameters to a population subset, for callers evaluating
         only the GPUs whose state changed (the engine's fast-cap clamp).
+
+        ``v_sq`` optionally supplies the per-cell effective squared voltage
+        ``V(f)**2 * (1 + v_off)**2`` precomputed by the caller.  The fleet
+        solver uses this to gather squared ladder voltages from a cached
+        per-column table instead of re-evaluating the V/F curve per cell;
+        since every element must equal the expression above bit-for-bit,
+        only cached values produced by the same ops may be passed.
         """
         f = np.asarray(f_mhz, dtype=float)
-        v_nom = self.spec.voltage_at(f)
-        v_mult_sq = self._v_mult_sq if indices is None else self._v_mult_sq[indices]
-        v_sq = v_nom**2 * _col(v_mult_sq, f.ndim)
-        act = np.asarray(activity, dtype=float) * np.asarray(efficiency, dtype=float)
+        if v_sq is None:
+            v_nom = self.spec.voltage_at(f)
+            v_mult_sq = (
+                self._v_mult_sq if indices is None else self._v_mult_sq[indices]
+            )
+            v_sq = v_nom**2 * _col(v_mult_sq, f.ndim)
+        if isinstance(efficiency, float) and efficiency == 1.0:
+            # x * 1.0 is an exact float identity, so callers that fold the
+            # efficiency factor into ``activity`` beforehand skip the
+            # full-width multiply without changing a bit.
+            act = np.asarray(activity, dtype=float)
+        else:
+            act = np.asarray(activity, dtype=float) * np.asarray(
+                efficiency, dtype=float
+            )
         return act * self.spec.c_eff_w_per_v2mhz * v_sq * f
 
     def memory_power(self, dram_utilization: np.ndarray | float) -> np.ndarray:
@@ -112,6 +141,41 @@ class PowerModel:
             else self.silicon.leakage_scale[indices]
         )
         return _col(scale, t.ndim) * base
+
+    def settle_base_power_w(
+        self,
+        f_mhz: np.ndarray,
+        activity: np.ndarray | float,
+        dram_utilization: np.ndarray | float,
+        efficiency: np.ndarray | float = 1.0,
+        indices: np.ndarray | None = None,
+        v_sq: np.ndarray | None = None,
+        mem_w: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Temperature-independent board power: dynamic + memory + idle.
+
+        This is the loop-invariant part of the DVFS fixed point (leakage is
+        the only temperature-coupled term).  Both the full-population settle
+        and the fleet solver's masked row-subset settle call this one
+        expression, so their float64 base powers are bit-identical by
+        construction; ``indices`` restricts the per-die parameters to the
+        rows being evaluated, and ``v_sq`` is forwarded to
+        :meth:`dynamic_power` (same bit-exactness contract).  ``mem_w``
+        optionally supplies a precomputed :meth:`memory_power` result —
+        the memory term is per-GPU only, so callers evaluating several
+        ladder columns per GPU compute it once and duplicate it; the sum
+        keeps the exact ``(dynamic + memory) + idle`` association either
+        way.
+        """
+        if mem_w is None:
+            mem_w = self.memory_power(dram_utilization)
+        return (
+            self.dynamic_power(
+                f_mhz, activity, efficiency, indices=indices, v_sq=v_sq
+            )
+            + mem_w
+            + self.spec.idle_power_w
+        )
 
     # -- totals ---------------------------------------------------------------
 

@@ -114,7 +114,7 @@ class GPUSpec:
     dvfs_interval_ms: float = 25.0
 
     def __post_init__(self) -> None:
-        require(len(self.pstates_mhz) >= 2, "a GPUSpec needs at least two p-states")
+        require(len(self.pstates_mhz) >= 1, "a GPUSpec needs at least one p-state")
         steps = np.asarray(self.pstates_mhz, dtype=float)
         if not np.all(np.diff(steps) > 0):
             raise ConfigError("pstates_mhz must be strictly ascending")
@@ -160,7 +160,12 @@ class GPUSpec:
     def voltage_at(self, f_mhz: float | np.ndarray) -> np.ndarray:
         """Nominal core voltage on the V-f curve at frequency ``f_mhz``."""
         f = np.asarray(f_mhz, dtype=float)
-        x = np.clip((f - self.f_min_mhz) / (self.f_max_mhz - self.f_min_mhz), 0.0, 1.0)
+        span = self.f_max_mhz - self.f_min_mhz
+        if span <= 0.0:
+            # Degenerate single-p-state ladder: the V-f curve collapses to
+            # a point, pinned at the minimum voltage.
+            return np.full_like(f, self.v_min)
+        x = np.clip((f - self.f_min_mhz) / span, 0.0, 1.0)
         return self.v_min + (self.v_max - self.v_min) * np.power(x, self.vf_gamma)
 
     def peak_dynamic_power_w(self) -> float:

@@ -62,12 +62,17 @@ class ThermalModel:
         """Population size."""
         return int(self.r_theta.shape[0])
 
-    def fixed_point_params_f32(self) -> tuple[np.ndarray, np.ndarray]:
+    def fixed_point_params_f32(
+        self, indices: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """``(r_theta, coolant_c)`` as cached, read-only float32 arrays.
 
         The DVFS steady-state solver runs its leakage/temperature fixed
         point in float32; these casts are loop-invariant per model, so they
-        are made once and shared by every solve.
+        are made once and shared by every solve.  ``indices`` returns the
+        parameters for a population subset (the fleet solver evaluates only
+        the rows still searching), sliced from the same cached casts so the
+        values are bit-identical to the full arrays'.
         """
         if self._fp32 is None:
             r32 = self.r_theta.astype(np.float32)
@@ -75,7 +80,10 @@ class ThermalModel:
             r32.setflags(write=False)
             tc32.setflags(write=False)
             self._fp32 = (r32, tc32)
-        return self._fp32
+        if indices is None:
+            return self._fp32
+        r32, tc32 = self._fp32
+        return r32[indices], tc32[indices]
 
     @property
     def time_constant_s(self) -> np.ndarray:

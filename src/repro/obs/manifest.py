@@ -201,6 +201,7 @@ def build_campaign_manifest(
         solver={
             "mode": cluster.fleet.controller.solver,
             "solves": solver_stats.solves,
+            "batches": solver_stats.batches,
             "columns_evaluated": solver_stats.columns_evaluated,
             "dense_cells": solver_stats.dense_cells,
             "fixed_point_iterations": solver_stats.fixed_point_iterations,
@@ -253,7 +254,8 @@ _SOLVER_BLOCK = {
     "required": ["mode", "solves", "columns_evaluated", "dense_cells",
                  "fixed_point_iterations"],
     "properties": {
-        "mode": {"type": "string", "enum": ["ladder", "grid"]},
+        "mode": {"type": "string", "enum": ["ladder", "fleet", "grid"]},
+        "batches": {"type": "integer"},
         "solves": {"type": "integer"},
         "columns_evaluated": {"type": "integer"},
         "dense_cells": {"type": "integer"},

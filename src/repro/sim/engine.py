@@ -22,11 +22,18 @@ import numpy as np
 from ..config import require
 from ..errors import SimulationError
 from ..gpu.device import GPUFleet
+from ..gpu.dvfs import SOLVER_FLEET
 from ..obs.metrics import active_monitor
 from ..obs.tracer import active_tracer
 from ..workloads.base import Workload
 
 __all__ = ["EngineConfig", "EngineState", "Engine"]
+
+#: Fast-cap clamp schedule: at most this many rounds, each dropping the
+#: over-cap GPUs this many ladder rungs (floored at the bottom).  Shared by
+#: the sequential and batched clamp paths so they visit identical levels.
+_CLAMP_MAX_ROUNDS = 4
+_CLAMP_DOWN_STEP = 4
 
 
 @dataclass(frozen=True)
@@ -118,6 +125,12 @@ class Engine:
         self._steps = fleet.spec.pstate_array()
         self._efficiency = fleet.throughput_efficiency()
         self._bandwidth = fleet.memory_bandwidth_gbs()
+        # Under the fleet solver the fast-cap clamp also runs batched: all
+        # candidate drop levels are settled in one flat power evaluation
+        # instead of round-by-round.  Both paths are bit-identical (the
+        # candidate levels depend only on the entry state), so this is
+        # purely an execution-shape switch.
+        self._batched_clamp = fleet.controller.solver == SOLVER_FLEET
         n = fleet.n
         self.state = EngineState(
             time_s=0.0,
@@ -182,6 +195,58 @@ class Engine:
             indices=indices,
         )
 
+    def _clamp_fast_cap_batched(
+        self,
+        power: np.ndarray,
+        over_idx: np.ndarray,
+        cap_fast: np.ndarray,
+    ) -> int:
+        """Batched fast-cap clamp: all drop rounds in one power evaluation.
+
+        The sequential clamp lowers over-cap GPUs ``_CLAMP_DOWN_STEP``
+        rungs per round and re-evaluates, up to ``_CLAMP_MAX_ROUNDS``
+        times.  Each round's level depends only on the entry p-state (not
+        on the intervening power readings) and temperature is frozen for
+        the whole clamp, so every candidate level can be evaluated in one
+        flat batch and the first feasible one selected per GPU — the
+        resulting p-states, power readings, and re-evaluation counts are
+        bit-identical to the sequential path's.  Returns the re-evaluation
+        count (each GPU counts once per round it would have participated
+        in: ``j + 1`` when candidate ``j`` is its first feasible level,
+        all rounds when none is).
+        """
+        s = self.state
+        m = int(over_idx.size)
+        idx0 = s.pstate_index[over_idx]
+        cand = np.maximum(
+            idx0[:, None]
+            - _CLAMP_DOWN_STEP * np.arange(1, _CLAMP_MAX_ROUNDS + 1),
+            0,
+        )
+        # Flat (m * rounds,) layout: per-GPU state enters by repetition,
+        # keeping every elementwise op on full-length inner loops.
+        rep = np.repeat(over_idx, _CLAMP_MAX_ROUNDS)
+        active = s.kernel_active[rep]
+        act = np.where(active, self.phase.activity, self.config.idle_activity)
+        dram = np.where(active, self.phase.dram_utilization, 0.02)
+        p_cand = self.fleet.power_model.total_power(
+            self._steps[cand.ravel()],
+            s.temperature_c[rep],
+            act,
+            dram,
+            self._efficiency[rep],
+            indices=rep,
+        ).reshape(m, _CLAMP_MAX_ROUNDS)
+        feas = p_cand <= cap_fast[over_idx, None]
+        any_f = feas.any(axis=1)
+        j_pick = np.where(
+            any_f, np.argmax(feas, axis=1), _CLAMP_MAX_ROUNDS - 1
+        )
+        rows = np.arange(m)
+        s.pstate_index[over_idx] = cand[rows, j_pick]
+        power[over_idx] = p_cand[rows, j_pick]
+        return int(np.where(any_f, j_pick + 1, _CLAMP_MAX_ROUNDS).sum())
+
     def step(self) -> None:
         """Advance the integration by one dt."""
         s = self.state
@@ -231,13 +296,20 @@ class Engine:
         cap_fast = self.cap * 1.02
         over_idx = np.flatnonzero(power > cap_fast)
         clamp_reevals = 0
-        for _ in range(4):
-            if over_idx.size == 0:
-                break
-            clamp_reevals += int(over_idx.size)
-            s.pstate_index[over_idx] = np.maximum(s.pstate_index[over_idx] - 4, 0)
-            power[over_idx] = self._instantaneous_power_at(over_idx)
-            over_idx = over_idx[power[over_idx] > cap_fast[over_idx]]
+        if over_idx.size and self._batched_clamp:
+            clamp_reevals = self._clamp_fast_cap_batched(
+                power, over_idx, cap_fast
+            )
+        else:
+            for _ in range(_CLAMP_MAX_ROUNDS):
+                if over_idx.size == 0:
+                    break
+                clamp_reevals += int(over_idx.size)
+                s.pstate_index[over_idx] = np.maximum(
+                    s.pstate_index[over_idx] - _CLAMP_DOWN_STEP, 0
+                )
+                power[over_idx] = self._instantaneous_power_at(over_idx)
+                over_idx = over_idx[power[over_idx] > cap_fast[over_idx]]
 
         # Firmware control tick.
         self._tick += 1

@@ -86,26 +86,27 @@ GOLDEN_CAMPAIGNS: dict[str, GoldenSpec] = {
 
 
 def build_golden_dataset(name: str, *, tracer=None, manifest=None,
-                         monitor=None) -> MeasurementDataset:
+                         monitor=None, workers=None) -> MeasurementDataset:
     """Run the (small) campaign a golden fixture pins.
 
     ``tracer``/``manifest``/``monitor`` pass through to
     :func:`run_campaign` so the observability layer's zero-perturbation
     guarantee is pinned against the same fixtures (the output must be
-    byte-identical either way).
+    byte-identical either way).  ``workers`` likewise: the shard plan is
+    execution shape only, so the fixtures also pin the parallel path.
     """
     spec = GOLDEN_CAMPAIGNS[name]
     return run_campaign(spec.build_cluster(), spec.build_workload(),
                         GOLDEN_CONFIG, tracer=tracer, manifest=manifest,
-                        monitor=monitor)
+                        monitor=monitor, workers=workers)
 
 
 def golden_csv_text(name: str, *, tracer=None, manifest=None,
-                    monitor=None) -> str:
+                    monitor=None, workers=None) -> str:
     """The canonical CSV text of a freshly computed golden campaign."""
     return dataset_to_csv_text(
         build_golden_dataset(name, tracer=tracer, manifest=manifest,
-                             monitor=monitor)
+                             monitor=monitor, workers=workers)
     )
 
 

@@ -182,7 +182,10 @@ class TestSolverStats:
         ctl = make_controller(n=128, solver=SOLVER_LADDER)
         ctl.solve_steady(1.0, 0.35)
         stats = ctl.stats
-        assert stats.solves == 1
+        # One batched call = n per-GPU solves (invariant across solver
+        # modes and shard plans) grouped into a single batch.
+        assert stats.solves == 128
+        assert stats.batches == 1
         assert stats.dense_cells == 128 * V100.n_pstates
         assert stats.columns_evaluated < stats.dense_cells / 5
         assert stats.dense_fraction_avoided > 0.8

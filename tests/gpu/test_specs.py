@@ -123,9 +123,17 @@ class TestValidation:
         with pytest.raises(ConfigError):
             GPUSpec(**self._kwargs(pstates_mhz=(200.0, 100.0)))
 
-    def test_single_pstate_rejected(self):
+    def test_single_pstate_accepted(self):
+        # Degenerate one-rung ladders are legal (the fleet solver's
+        # equivalence suite exercises them); the V-f curve collapses to
+        # the minimum voltage.
+        spec = GPUSpec(**self._kwargs(pstates_mhz=(100.0,)))
+        assert spec.n_pstates == 1
+        assert float(spec.voltage_at(100.0)) == spec.v_min
+
+    def test_empty_pstates_rejected(self):
         with pytest.raises(ConfigError):
-            GPUSpec(**self._kwargs(pstates_mhz=(100.0,)))
+            GPUSpec(**self._kwargs(pstates_mhz=()))
 
     def test_inverted_voltages_rejected(self):
         with pytest.raises(ConfigError):

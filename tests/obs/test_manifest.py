@@ -44,8 +44,9 @@ class TestEmission:
         assert entry.cluster["seed"] == 5
         assert entry.workload["name"] == sgemm().name
         assert entry.config["days"] == 2
-        assert entry.solver["mode"] in ("ladder", "grid")
+        assert entry.solver["mode"] in ("ladder", "fleet", "grid")
         assert entry.solver["solves"] > 0
+        assert entry.solver["batches"] > 0
         assert entry.result["n_rows"] == dataset.n_rows
         assert entry.result["columns"] == dataset.column_names
 

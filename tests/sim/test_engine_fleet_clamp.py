@@ -1,0 +1,127 @@
+"""Batched vs sequential fast-cap clamp in the reactive engine.
+
+Under ``solver="fleet"`` the engine's hardware fast-cap clamp evaluates
+all candidate drop levels in one flat power-model call instead of
+round-by-round.  The candidate levels depend only on the entry p-state
+and temperature is frozen during the clamp, so the batched path must be
+*bit-identical* to the sequential one — states, power readings, and the
+``engine.clamp_reevaluations`` counter all match exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import cloudlab
+from repro.gpu.dvfs import SOLVER_FLEET, SOLVER_LADDER
+from repro.obs import Tracer, activate
+from repro.sim.engine import Engine, EngineConfig
+from repro.workloads import sgemm
+
+STATE_ARRAYS = ("pstate_index", "temperature_c", "kernel_active",
+                "compute_remaining", "memory_remaining",
+                "gap_remaining_s", "kernels_completed")
+
+
+def make_engine(solver, power_limit=None, batched=None, n=8, seed=11):
+    """Fresh engine over its own fleet (no state shared between engines)."""
+    fleet = cloudlab(seed=seed).fleet.take(np.arange(n))
+    fleet.controller.solver = solver
+    engine = Engine(fleet, sgemm(), EngineConfig(thermal_time_scale=10.0),
+                    power_limit_w=power_limit)
+    if batched is not None:
+        # Force the clamp execution shape independently of the solver so
+        # the test isolates the clamp path from the control-tick solver.
+        engine._batched_clamp = batched
+    return engine
+
+
+def run_traced(engine, seconds=10.0):
+    tracer = Tracer()
+    with activate(tracer):
+        engine.run_for(seconds)
+    return tracer.counters
+
+
+def assert_states_identical(a, b):
+    for field in STATE_ARRAYS:
+        lhs, rhs = getattr(a.state, field), getattr(b.state, field)
+        assert lhs.dtype == rhs.dtype, field
+        assert np.array_equal(lhs, rhs), field
+    assert a.state.kernel_start_times == b.state.kernel_start_times
+    assert a.state.time_s == b.state.time_s
+
+
+class TestBatchedClampEquivalence:
+    @pytest.mark.parametrize("limit", [None, 200.0, 160.0])
+    def test_states_and_counters_identical(self, limit):
+        # Same solver on both engines; only the clamp execution shape
+        # differs, so any divergence is the batched clamp's fault.
+        batched = make_engine(SOLVER_FLEET, limit, batched=True)
+        sequential = make_engine(SOLVER_FLEET, limit, batched=False)
+        c_batched = run_traced(batched)
+        c_sequential = run_traced(sequential)
+        assert_states_identical(batched, sequential)
+        assert c_batched == c_sequential
+        if limit is not None:
+            # Tight caps must actually exercise the clamp.
+            assert c_batched.get("engine.clamp_reevaluations", 0) > 0
+
+    @pytest.mark.parametrize("limit", [None, 160.0])
+    def test_fleet_engine_matches_ladder_engine(self, limit):
+        # Full-stack differential: fleet solver + batched clamp vs ladder
+        # solver + sequential clamp, end to end.
+        fleet_eng = make_engine(SOLVER_FLEET, limit)
+        ladder_eng = make_engine(SOLVER_LADDER, limit)
+        assert fleet_eng._batched_clamp
+        assert not ladder_eng._batched_clamp
+        c_fleet = run_traced(fleet_eng)
+        c_ladder = run_traced(ladder_eng)
+        assert_states_identical(fleet_eng, ladder_eng)
+        assert c_fleet == c_ladder
+
+
+class TestClampMonotonicity:
+    """The clamp only ever steps p-states *down* (regression guard)."""
+
+    def _warmed_engine(self):
+        engine = make_engine(SOLVER_FLEET, None)
+        engine.run_for(3.0)
+        return engine
+
+    def test_batched_clamp_never_raises_pstates(self):
+        engine = self._warmed_engine()
+        power = engine.instantaneous_power()
+        # A cap below every board power forces all GPUs through all
+        # clamp rounds.
+        cap_fast = np.full(engine.n, power.min() * 0.25)
+        over_idx = np.flatnonzero(power > cap_fast)
+        assert over_idx.size == engine.n
+        idx_before = engine.state.pstate_index.copy()
+        reevals = engine._clamp_fast_cap_batched(power, over_idx, cap_fast)
+        idx_after = engine.state.pstate_index
+        assert np.all(idx_after <= idx_before)
+        assert np.all(idx_after >= 0)
+        # Nothing feasible: every GPU pays the full round budget.
+        assert reevals == engine.n * 4
+
+    def test_batched_clamp_partial_feasibility(self):
+        engine = self._warmed_engine()
+        power = engine.instantaneous_power()
+        # One-rung-down feasible for everyone: single round charged.
+        cap_fast = power * 0.999
+        over_idx = np.flatnonzero(power > cap_fast)
+        idx_before = engine.state.pstate_index.copy()
+        reevals = engine._clamp_fast_cap_batched(power, over_idx, cap_fast)
+        assert np.all(engine.state.pstate_index <= idx_before)
+        assert reevals >= over_idx.size
+
+    def test_clamped_power_matches_reported_power(self):
+        # The power array the clamp writes back must equal a fresh
+        # evaluation at the post-clamp state, bit for bit.
+        engine = self._warmed_engine()
+        power = engine.instantaneous_power()
+        cap_fast = power * 0.8
+        over_idx = np.flatnonzero(power > cap_fast)
+        engine._clamp_fast_cap_batched(power, over_idx, cap_fast)
+        fresh = engine.instantaneous_power()
+        assert np.array_equal(power, fresh)

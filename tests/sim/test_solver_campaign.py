@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster import corona, longhorn
-from repro.gpu.dvfs import SOLVER_GRID, SOLVER_LADDER
+from repro.gpu.dvfs import SOLVER_FLEET, SOLVER_GRID, SOLVER_LADDER
 from repro.sim import CampaignConfig, run_campaign
 from repro.telemetry.progress import CampaignProgress
 from repro.workloads import sgemm
@@ -31,10 +31,12 @@ def assert_datasets_identical(a, b):
         assert np.array_equal(x, y), f"column {name!r} differs"
 
 
-def run_with_solver(monkeypatch, make_cluster, workload, solver):
+def run_with_solver(monkeypatch, make_cluster, workload, solver,
+                    workers=None, progress=None):
     monkeypatch.setenv("REPRO_DVFS_SOLVER", solver)
     try:
-        return run_campaign(make_cluster(), workload, CONFIG)
+        return run_campaign(make_cluster(), workload, CONFIG,
+                            workers=workers, progress=progress)
     finally:
         monkeypatch.delenv("REPRO_DVFS_SOLVER")
 
@@ -54,6 +56,47 @@ def test_grid_solver_reproduces_corona_dither_campaign(monkeypatch):
     ladder = run_with_solver(monkeypatch, make, workload, SOLVER_LADDER)
     grid = run_with_solver(monkeypatch, make, workload, SOLVER_GRID)
     assert_datasets_identical(ladder, grid)
+
+
+def test_fleet_solver_reproduces_longhorn_campaign(monkeypatch):
+    make = lambda: longhorn(seed=13, scale=0.25)
+    ladder = run_with_solver(monkeypatch, make, sgemm(), SOLVER_LADDER)
+    fleet = run_with_solver(monkeypatch, make, sgemm(), SOLVER_FLEET)
+    assert_datasets_identical(ladder, fleet)
+
+
+def test_fleet_solver_reproduces_corona_dither_campaign(monkeypatch):
+    make = lambda: corona(seed=13, scale=0.3)
+    workload = sgemm(n=SGEMM_N_AMD)
+    ladder = run_with_solver(monkeypatch, make, workload, SOLVER_LADDER)
+    fleet = run_with_solver(monkeypatch, make, workload, SOLVER_FLEET)
+    assert_datasets_identical(ladder, fleet)
+
+
+def test_fleet_solver_parallel_matches_serial(monkeypatch):
+    make = lambda: longhorn(seed=13, scale=0.25)
+    serial = run_with_solver(monkeypatch, make, sgemm(), SOLVER_FLEET)
+    sharded = run_with_solver(monkeypatch, make, sgemm(), SOLVER_FLEET,
+                              workers=2)
+    assert_datasets_identical(serial, sharded)
+
+
+def test_solve_counters_invariant_across_solvers_and_workers(monkeypatch):
+    # A batched solve counts as n per-GPU solves in one batch, so the
+    # campaign-total solve/batch counters depend only on the campaign
+    # shape — never on the solver mode or the shard plan.
+    make = lambda: longhorn(seed=13, scale=0.25)
+    totals = {}
+    for solver in (SOLVER_LADDER, SOLVER_FLEET, SOLVER_GRID):
+        for workers in (None, 2):
+            progress = CampaignProgress()
+            run_with_solver(monkeypatch, make, sgemm(), solver,
+                            workers=workers, progress=progress)
+            stats = progress.solver_stats
+            totals[(solver, workers)] = (stats.solves, stats.batches)
+    reference = totals[(SOLVER_LADDER, None)]
+    assert reference[0] > 0 and reference[1] > 0
+    assert all(t == reference for t in totals.values()), totals
 
 
 def test_progress_surfaces_solver_stats(small_longhorn):

@@ -39,7 +39,8 @@ class TestParser:
     )
     def test_execution_args_accepted_uniformly(self, command):
         argv = [command, "--seed", "7", "--workers", "2",
-                "--trace", "t.json", "--manifest", "m.json"]
+                "--trace", "t.json", "--manifest", "m.json",
+                "--solver", "fleet"]
         if command == "project":
             argv += ["--target-n", "1000"]
         args = build_parser().parse_args(argv)
@@ -47,6 +48,12 @@ class TestParser:
         assert args.workers == 2
         assert args.trace == "t.json"
         assert args.manifest == "m.json"
+        assert args.solver == "fleet"
+
+    def test_bad_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["characterize", "--solver", "quantum"])
 
 
 class TestCommands:
@@ -207,3 +214,27 @@ class TestObservabilityFlags:
         traced = capsys.readouterr().out
         assert traced.startswith(plain)
         assert "trace written" in traced
+
+    @pytest.mark.parametrize("solver", ["fleet", "grid"])
+    def test_solver_flag_output_identical(self, capsys, solver):
+        # All solvers are bit-identical, so the printed report must not
+        # change with --solver.
+        argv = ["characterize", "--cluster", "cloudlab", "--scale", "0.5",
+                "--days", "2", "--runs", "2"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--solver", solver]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_solver_flag_restores_environment(self, monkeypatch):
+        import os
+        monkeypatch.delenv("REPRO_DVFS_SOLVER", raising=False)
+        assert main(["characterize", "--cluster", "cloudlab",
+                     "--scale", "0.5", "--days", "1", "--runs", "1",
+                     "--solver", "fleet"]) == 0
+        assert "REPRO_DVFS_SOLVER" not in os.environ
+        monkeypatch.setenv("REPRO_DVFS_SOLVER", "grid")
+        assert main(["characterize", "--cluster", "cloudlab",
+                     "--scale", "0.5", "--days", "1", "--runs", "1",
+                     "--solver", "fleet"]) == 0
+        assert os.environ["REPRO_DVFS_SOLVER"] == "grid"

@@ -60,6 +60,9 @@ API_SURFACE = frozenset({
     "Job", "TraceConfig", "generate_trace", "PlacementPolicy", "FifoPolicy",
     "BackfillPolicy", "VariabilityAwarePolicy", "HealthAwarePolicy",
     "POLICY_NAMES", "validate_scheduling_report", "write_event_log",
+    # steady-state solver selection
+    "SOLVER_LADDER", "SOLVER_FLEET", "SOLVER_GRID", "SOLVER_ENV_VAR",
+    "default_solver",
 })
 
 #: Facade functions whose every optional parameter must be keyword-only.

@@ -84,8 +84,10 @@ from .obs.health import (
     write_health_events,
 )
 from .sched import (
+    ENGINE_MODES,
     POLICY_NAMES,
     BackfillPolicy,
+    EnergyCappedPolicy,
     FifoPolicy,
     HealthAwarePolicy,
     Job,
@@ -98,6 +100,7 @@ from .sched import (
     build_scheduling_report,
     generate_trace,
     node_grades_from_gpu_grades,
+    node_power_watts,
     run_schedule,
     validate_scheduling_report,
     write_event_log,
@@ -145,7 +148,10 @@ __all__ = [
     "BackfillPolicy",
     "VariabilityAwarePolicy",
     "HealthAwarePolicy",
+    "EnergyCappedPolicy",
+    "node_power_watts",
     "POLICY_NAMES",
+    "ENGINE_MODES",
     "validate_scheduling_report",
     "write_event_log",
     # domain types
@@ -623,6 +629,12 @@ class SchedulingResult:
         return self.outcome.events
 
 
+#: Default fraction of the fleet's total power-cap budget granted to the
+#: energy-capped policy when no explicit ``power_budget_w`` is given —
+#: the middle of the paper's §VII power-limit sweep.
+DEFAULT_POWER_BUDGET_FRACTION = 0.6
+
+
 def _build_policy(
     policy: str | PlacementPolicy,
     cluster: Cluster,
@@ -632,6 +644,7 @@ def _build_policy(
     workers: int | None,
     tracer: Tracer | None,
     manifest: Manifest | None,
+    power_budget_w: float | None = None,
 ) -> tuple[PlacementPolicy, MeasurementDataset | None]:
     """Construct a named policy, profiling the fleet when the policy needs it."""
     if isinstance(policy, PlacementPolicy):
@@ -641,6 +654,26 @@ def _build_policy(
         return FifoPolicy(), None
     if name == "backfill":
         return BackfillPolicy(), None
+    if name == "energy-capped":
+        fleet = cluster.fleet_for_day(0)
+        node_power = node_power_watts(
+            fleet.power_cap_w(None),
+            cluster.topology.node_of_gpu,
+            cluster.topology.n_nodes,
+        )
+        budget = (
+            float(power_budget_w)
+            if power_budget_w is not None
+            else float(node_power.sum()) * DEFAULT_POWER_BUDGET_FRACTION
+        )
+        return (
+            EnergyCappedPolicy(
+                node_power,
+                power_budget_w=budget,
+                gpus_per_node=cluster.topology.gpus_per_node,
+            ),
+            None,
+        )
     workload = (
         profile_workload
         if profile_workload is not None
@@ -692,6 +725,8 @@ def schedule(
     cluster: Cluster,
     policy: str | PlacementPolicy = "fifo",
     trace: TraceConfig | tuple[Job, ...] | list[Job] | None = None,
+    engine: str = "auto",
+    power_budget_w: float | None = None,
     profile_workload: Workload | None = None,
     profile_config: CampaignConfig | None = None,
     workers: int | None = None,
@@ -709,10 +744,23 @@ def schedule(
         :class:`~repro.sched.PlacementPolicy`.  The variability- and
         health-aware policies first profile the fleet with a
         characterization campaign (``profile_workload`` /
-        ``profile_config``, defaulting to a 3-day sgemm campaign).
+        ``profile_config``, defaulting to a 3-day sgemm campaign).  The
+        ``"energy-capped"`` policy needs no profiling: it ranks nodes by
+        their day-0 power-cap draw and admits jobs against
+        ``power_budget_w``.
     trace:
         A :class:`~repro.sched.TraceConfig` (generated deterministically),
         an explicit job tuple, or ``None`` for the default trace.
+    engine:
+        One of :data:`~repro.sched.ENGINE_MODES` — ``"auto"`` (default)
+        uses the indexed near-linear dispatch path whenever the policy
+        supports it, ``"indexed"`` / ``"reference"`` force one path.
+        Both produce byte-identical event logs and reports.
+    power_budget_w:
+        Fleet-wide power budget for the ``"energy-capped"`` policy, in
+        watts.  ``None`` defaults to 60% of the fleet's summed power-cap
+        draw (the middle of the paper's power-limit sweep).  Ignored for
+        other policies.
     workers:
         Worker processes for the profiling campaign only — the queue
         engine itself is serial.  The event log and report are
@@ -723,7 +771,7 @@ def schedule(
         usual manifest entry.
 
     Same ``cluster`` seed + same ``trace`` + same ``policy`` ⇒
-    byte-identical event log and report.
+    byte-identical event log and report, under either engine.
     """
     if trace is None:
         trace = TraceConfig()
@@ -741,12 +789,13 @@ def schedule(
         workers=workers,
         tracer=tracer,
         manifest=manifest,
+        power_budget_w=power_budget_w,
     )
     if tracer is not None:
         with activate(tracer):
-            outcome = run_schedule(cluster, jobs, built)
+            outcome = run_schedule(cluster, jobs, built, engine=engine)
     else:
-        outcome = run_schedule(cluster, jobs, built)
+        outcome = run_schedule(cluster, jobs, built, engine=engine)
     report = build_scheduling_report(
         cluster.name,
         outcome,

@@ -142,6 +142,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="job-trace seed (same seed = same offered load)")
     p.add_argument("--arrival-per-hour", type=float, default=120.0,
                    help="Poisson arrival rate (jobs/hour)")
+    p.add_argument("--diurnal-amplitude", type=float, default=0.0,
+                   help="within-day arrival-rate swing in [0,1) "
+                        "(0 = time-homogeneous)")
+    p.add_argument("--peak-hour", type=float, default=14.0,
+                   help="hour of day at which the diurnal rate peaks")
+    p.add_argument("--day-weights", default=None, metavar="W0,...,W6",
+                   help="7 comma-separated Monday-first weekday rate "
+                        "multipliers (e.g. quieter weekends)")
+    p.add_argument("--engine", default="auto",
+                   choices=list(api.ENGINE_MODES),
+                   help="dispatch path: indexed near-linear, reference "
+                        "scan, or auto (byte-identical outputs)")
+    p.add_argument("--power-budget-w", type=float, default=None,
+                   help="fleet power budget for the energy-capped policy "
+                        "(default: 60%% of the summed power caps)")
     p.add_argument("--profile-days", type=int, default=3,
                    help="characterization days behind the aware policies")
     p.add_argument("--report", metavar="PATH", default=None,
@@ -386,6 +401,11 @@ def _cmd_project(args: argparse.Namespace) -> int:
 
 def _cmd_sched(args: argparse.Namespace) -> int:
     obs = _ObsSession(args)
+    day_weights = (
+        tuple(float(w) for w in args.day_weights.split(","))
+        if args.day_weights
+        else None
+    )
     result = api.schedule(
         cluster=_build_cluster(args),
         policy=args.policy,
@@ -393,7 +413,12 @@ def _cmd_sched(args: argparse.Namespace) -> int:
             n_jobs=args.jobs,
             arrival_rate_per_hour=args.arrival_per_hour,
             seed=args.trace_seed,
+            diurnal_amplitude=args.diurnal_amplitude,
+            peak_hour=args.peak_hour,
+            day_of_week_weights=day_weights,
         ),
+        engine=args.engine,
+        power_budget_w=args.power_budget_w,
         profile_config=api.CampaignConfig(days=args.profile_days),
         workers=args.workers,
         tracer=obs.tracer,

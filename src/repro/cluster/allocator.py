@@ -154,6 +154,14 @@ class FreeListAllocator:
     the job completes.  All grants take the lowest free GPU indices of
     each node, so allocation state — and everything derived from it — is a
     pure function of the grant/free call sequence.
+
+    Counts are maintained *incrementally*: the per-node free-count array,
+    the machine-wide total, and a free-count bucket index ("how many nodes
+    have at least ``k`` free GPUs") are updated in O(delta) on every
+    allocate/free instead of being rebuilt per query, so the scheduler's
+    fit checks are O(1) at any fleet size.  External order-keyed indexes
+    (:class:`repro.sched.index.OrderedFreeIndex`) can subscribe to count
+    changes via :meth:`add_listener`.
     """
 
     def __init__(self, topology: Topology) -> None:
@@ -162,20 +170,60 @@ class FreeListAllocator:
             set(topology.gpus_of_node(n).tolist())
             for n in range(topology.n_nodes)
         ]
+        per_node = topology.gpus_per_node
+        self._counts = np.full(topology.n_nodes, per_node, dtype=np.int64)
+        self._n_free = int(topology.n_gpus)
+        # _ge[k] = number of nodes with >= k free GPUs, k in 0..gpus_per_node
+        self._ge = np.zeros(per_node + 1, dtype=np.int64)
+        self._ge[0] = topology.n_nodes
+        self._ge[1:] = topology.n_nodes
+        self._listeners: list = []
+        # Node of each GPU, snapshotted once (topology caches it too; the
+        # local alias keeps free() from attribute-chasing per call).
+        self._node_of_gpu = topology.node_of_gpu
+
+    def add_listener(self, callback) -> None:
+        """Subscribe ``callback(node_index, new_count)`` to count changes."""
+        self._listeners.append(callback)
+
+    def _set_count(self, node: int, new: int) -> None:
+        old = int(self._counts[node])
+        if new == old:
+            return
+        self._counts[node] = new
+        self._n_free += new - old
+        if new > old:
+            self._ge[old + 1 : new + 1] += 1
+        else:
+            self._ge[new + 1 : old + 1] -= 1
+        for callback in self._listeners:
+            callback(node, new)
 
     @property
     def n_free(self) -> int:
         """Free GPUs across the whole machine."""
-        return sum(len(s) for s in self._free)
+        return self._n_free
 
     @property
     def n_busy(self) -> int:
         """Allocated GPUs across the whole machine."""
-        return self.topology.n_gpus - self.n_free
+        return self.topology.n_gpus - self._n_free
 
     def free_counts(self) -> np.ndarray:
         """Free-GPU count per node (ascending node index)."""
-        return np.asarray([len(s) for s in self._free], dtype=np.int64)
+        return self._counts.copy()
+
+    def free_counts_view(self) -> np.ndarray:
+        """Internal free-count array (live view — do not mutate)."""
+        return self._counts
+
+    def n_nodes_with_at_least(self, k: int) -> int:
+        """Number of nodes holding at least ``k`` free GPUs, O(1)."""
+        if k <= 0:
+            return self.topology.n_nodes
+        if k > self.topology.gpus_per_node:
+            return 0
+        return int(self._ge[k])
 
     def free_gpus_of_node(self, node_index: int) -> np.ndarray:
         """Free GPU indices of one node, ascending."""
@@ -215,9 +263,11 @@ class FreeListAllocator:
         nodes: list[int] = []
         gpus: list[int] = []
         for node_index, count in requests:
-            taken = sorted(self._free[int(node_index)])[: int(count)]
-            self._free[int(node_index)].difference_update(taken)
-            nodes.append(int(node_index))
+            node_index = int(node_index)
+            taken = sorted(self._free[node_index])[: int(count)]
+            self._free[node_index].difference_update(taken)
+            self._set_count(node_index, len(self._free[node_index]))
+            nodes.append(node_index)
             gpus.extend(taken)
         return GangAllocation(
             node_indices=np.asarray(sorted(nodes), dtype=np.int64),
@@ -226,10 +276,15 @@ class FreeListAllocator:
 
     def free(self, allocation: GangAllocation) -> None:
         """Return an allocation's GPUs; double-freeing raises."""
-        node_of_gpu = self.topology.node_of_gpu
+        node_of_gpu = self._node_of_gpu
         for gpu in allocation.gpu_indices.tolist():
             node = int(node_of_gpu[gpu])
             if gpu in self._free[node]:
                 raise AllocationError(f"GPU {gpu} is already free")
+        touched: set[int] = set()
         for gpu in allocation.gpu_indices.tolist():
-            self._free[int(node_of_gpu[gpu])].add(int(gpu))
+            node = int(node_of_gpu[gpu])
+            self._free[node].add(int(gpu))
+            touched.add(node)
+        for node in sorted(touched):
+            self._set_count(node, len(self._free[node]))

@@ -12,7 +12,11 @@ end on the simulated machine:
   naive random baseline to variability- and health-aware ranking;
 * :mod:`repro.sched.engine` — the serial discrete-event queue engine
   (submit → queue → place → run → complete) with bulk-synchronous gang
-  pricing from :mod:`repro.sim.job`;
+  pricing from :mod:`repro.sim.job`, in two byte-identical flavors: the
+  reference scan loop and the indexed near-linear path;
+* :mod:`repro.sched.index` — the incremental structures behind the
+  indexed path (order-keyed segment trees, per-gang-size blocked
+  queues);
 * :mod:`repro.sched.report` — schema-validated metrics reports and
   byte-stable JSON Lines event logs.
 
@@ -22,6 +26,7 @@ of worker counts anywhere in the stack.  Reach it through
 """
 
 from .engine import (
+    ENGINE_MODES,
     FAST_PERCENTILE,
     SLOW_THRESHOLD,
     JobRecord,
@@ -29,15 +34,21 @@ from .engine import (
     event_log_lines,
     run_schedule,
 )
+from .index import OrderedFreeIndex, SizeBucketQueue
 from .policies import (
     POLICY_NAMES,
     SENSITIVITY_THRESHOLD,
     BackfillPolicy,
+    EnergyCappedPolicy,
     FifoPolicy,
     HealthAwarePolicy,
     PlacementPolicy,
+    PowerBudgetAdmission,
+    RandomRankingSpec,
+    StaticRankingSpec,
     VariabilityAwarePolicy,
     node_grades_from_gpu_grades,
+    node_power_watts,
 )
 from .report import (
     SCHEDULING_REPORT_SCHEMA,
@@ -46,26 +57,35 @@ from .report import (
     validate_scheduling_report,
     write_event_log,
 )
-from .trace import Job, TraceConfig, generate_trace
+from .trace import Job, TraceConfig, arrival_rate_multiplier, generate_trace
 
 __all__ = [
     "Job",
     "TraceConfig",
     "generate_trace",
+    "arrival_rate_multiplier",
     "PlacementPolicy",
     "FifoPolicy",
     "BackfillPolicy",
     "VariabilityAwarePolicy",
     "HealthAwarePolicy",
+    "EnergyCappedPolicy",
+    "PowerBudgetAdmission",
+    "StaticRankingSpec",
+    "RandomRankingSpec",
     "node_grades_from_gpu_grades",
+    "node_power_watts",
     "POLICY_NAMES",
     "SENSITIVITY_THRESHOLD",
     "JobRecord",
     "ScheduleOutcome",
     "run_schedule",
     "event_log_lines",
+    "ENGINE_MODES",
     "SLOW_THRESHOLD",
     "FAST_PERCENTILE",
+    "OrderedFreeIndex",
+    "SizeBucketQueue",
     "SchedulingReport",
     "SCHEDULING_REPORT_SCHEMA",
     "build_scheduling_report",

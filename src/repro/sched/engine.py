@@ -19,6 +19,23 @@ Determinism is structural, not incidental:
   profiling campaign feeding variability-aware placement) is already
   bit-identical across worker counts, so the same seed and policy yield a
   byte-identical event log no matter how the run was configured.
+
+Two dispatch paths produce that same log:
+
+* the **reference** path — the PR 5 loop, kept verbatim: rank every node
+  per attempt, rebuild free counts, scan the wait queue head-first.  It
+  is the semantic definition, and the fallback for custom policies whose
+  ranking the engine cannot see into.
+* the **indexed** path — the same decisions through incremental
+  structures: O(1) fit checks from the allocator's free-count buckets,
+  static policy orders resolved through
+  :class:`~repro.sched.index.OrderedFreeIndex` segment trees, random
+  policy draws resolved with one vectorized scan, a per-gang-size
+  blocked-queue index instead of head rescans, and per-round batched job
+  pricing through :func:`~repro.sim.job.sample_job_runtimes`.  Policies
+  describe their ranking via
+  :meth:`~repro.sched.policies.PlacementPolicy.indexed_ranking`;
+  ``docs/SCHEDULING.md`` carries the byte-stability argument.
 """
 
 from __future__ import annotations
@@ -26,7 +43,9 @@ from __future__ import annotations
 import contextlib
 import heapq
 import json
+from collections import deque
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -34,9 +53,15 @@ from ..cluster.allocator import FreeListAllocator, GangAllocation
 from ..cluster.cluster import Cluster
 from ..errors import SimulationError
 from ..obs.tracer import active_tracer
-from ..sim.job import reference_unit_times, sample_job_runtime
+from ..sim.job import (
+    JobPricingRequest,
+    reference_unit_times,
+    sample_job_runtime,
+    sample_job_runtimes,
+)
 from ..workloads import get_workload
-from .policies import PlacementPolicy
+from .index import OrderedFreeIndex, SizeBucketQueue, resolve_with_ranking
+from .policies import PlacementPolicy, StaticRankingSpec
 from .trace import Job
 
 __all__ = [
@@ -44,6 +69,7 @@ __all__ = [
     "ScheduleOutcome",
     "run_schedule",
     "event_log_lines",
+    "ENGINE_MODES",
     "SLOW_THRESHOLD",
     "FAST_PERCENTILE",
 ]
@@ -54,6 +80,11 @@ SLOW_THRESHOLD = 0.06
 
 #: Percentile of the fleet's reference times taken as the fast baseline.
 FAST_PERCENTILE = 2.0
+
+#: Dispatch paths ``run_schedule(engine=...)`` accepts.  ``auto`` uses the
+#: indexed path whenever the policy's ranking is indexable and falls back
+#: to the reference loop otherwise; both produce byte-identical logs.
+ENGINE_MODES = ("auto", "indexed", "reference")
 
 _EVT_FINISH = 0  # completions release capacity before equal-time arrivals
 _EVT_SUBMIT = 1
@@ -99,9 +130,9 @@ class ScheduleOutcome:
     records: tuple[JobRecord, ...]
     events: tuple[dict[str, object], ...]
 
-    @property
+    @cached_property
     def makespan_s(self) -> float:
-        """First submission to last completion."""
+        """First submission to last completion (computed once, cached)."""
         if not self.records:
             return 0.0
         return max(r.finish_time_s for r in self.records) - min(
@@ -154,10 +185,43 @@ def _plan_requests(
     return None
 
 
+def _validate_jobs(cluster: Cluster, jobs: tuple[Job, ...],
+                   policy: PlacementPolicy) -> None:
+    """Shared entry checks: widths fit the machine and the power budget."""
+    if not jobs:
+        raise SimulationError("a scheduling run needs at least one job")
+    n_fleet = cluster.topology.n_gpus
+    for job in jobs:
+        if job.n_gpus > n_fleet:
+            raise SimulationError(
+                f"job {job.job_id} wants {job.n_gpus} GPUs but the "
+                f"machine has {n_fleet}"
+            )
+    admission = policy.admission
+    if admission is not None:
+        admission.reset()
+        widest = max(job.n_gpus for job in jobs)
+        if not admission.can_admit(widest):
+            raise SimulationError(
+                f"a {widest}-GPU job can never start under a "
+                f"{admission.budget_w:.0f} W budget at "
+                f"{admission.gpu_reserve_w:.0f} W per GPU"
+            )
+
+
+def _workload_table(jobs: tuple[Job, ...]) -> dict[str, object]:
+    return {
+        name: get_workload(name)
+        for name in sorted({job.workload_name for job in jobs})
+    }
+
+
 def run_schedule(
     cluster: Cluster,
     jobs: tuple[Job, ...],
     policy: PlacementPolicy,
+    *,
+    engine: str = "auto",
 ) -> ScheduleOutcome:
     """Run the full trace through the queue under one placement policy.
 
@@ -170,28 +234,41 @@ def run_schedule(
     policy:
         A constructed :class:`~repro.sched.PlacementPolicy`; its
         ``backfill`` flag selects the queue discipline.
+    engine:
+        Dispatch path: ``"auto"`` (default) takes the indexed near-linear
+        path whenever the policy's ranking is indexable, ``"indexed"``
+        asks for it explicitly, ``"reference"`` forces the PR 5 scan
+        loop.  All paths emit byte-identical event logs; policies with an
+        opaque (overridden) ranking always run on the reference path.
 
     Returns the per-job records and the canonical event log.  Emits
     ``sched.*`` counters and a run span on the active tracer, if any.
     """
-    if not jobs:
-        raise SimulationError("a scheduling run needs at least one job")
-    n_fleet = cluster.topology.n_gpus
-    for job in jobs:
-        if job.n_gpus > n_fleet:
-            raise SimulationError(
-                f"job {job.job_id} wants {job.n_gpus} GPUs but the "
-                f"machine has {n_fleet}"
-            )
+    if engine not in ENGINE_MODES:
+        raise SimulationError(
+            f"unknown engine {engine!r}; expected one of {ENGINE_MODES}"
+        )
+    _validate_jobs(cluster, jobs, policy)
+    spec = None
+    if engine != "reference":
+        spec = policy.indexed_ranking(cluster.topology.n_nodes)
+    if spec is None:
+        return _run_reference(cluster, jobs, policy)
+    return _run_indexed(cluster, jobs, policy, spec)
 
+
+def _run_reference(
+    cluster: Cluster,
+    jobs: tuple[Job, ...],
+    policy: PlacementPolicy,
+) -> ScheduleOutcome:
+    """The PR 5 dispatch loop: rank-every-node, head-rescan wait queue."""
     allocator = FreeListAllocator(cluster.topology)
     policy_rng = cluster.rng_factory.child("sched-policy").generator(
         policy.name
     )
-    workloads = {
-        name: get_workload(name)
-        for name in sorted({job.workload_name for job in jobs})
-    }
+    workloads = _workload_table(jobs)
+    admission = policy.admission
     reference_cache: dict[tuple[str, int], tuple[np.ndarray, float]] = {}
 
     def slow_reference(name: str, day: int) -> tuple[np.ndarray, float]:
@@ -223,6 +300,13 @@ def run_schedule(
         index = 0
         while index < len(queue):
             job = by_id[queue[index]]
+            if tracer is not None:
+                tracer.add("sched.dispatch_attempts")
+            if admission is not None and not admission.can_admit(job.n_gpus):
+                if not policy.backfill:
+                    return
+                index += 1
+                continue
             workload = workloads[job.workload_name]
             ranked = policy.rank_nodes(
                 workload, job.n_gpus, allocator.free_counts(), policy_rng
@@ -235,6 +319,8 @@ def run_schedule(
                 continue
             allocation = allocator.allocate(requests)
             running[job.job_id] = allocation
+            if admission is not None:
+                admission.commit(job.job_id, job.n_gpus)
             backfilled = index > 0
             queue.pop(index)
             day = int(now // _SECONDS_PER_DAY)
@@ -320,6 +406,8 @@ def run_schedule(
             else:
                 allocation = running.pop(job_id)
                 allocator.free(allocation)
+                if admission is not None:
+                    admission.release(job_id)
                 emit({"event": "finish", "t": _round(now), "job": job_id})
                 if tracer is not None:
                     tracer.add("sched.completed")
@@ -328,6 +416,307 @@ def run_schedule(
     if queue or running:
         raise SimulationError(
             f"scheduling run ended with {len(queue)} queued and "
+            f"{len(running)} running jobs"
+        )
+    records.sort(key=lambda r: r.job_id)
+    return ScheduleOutcome(
+        policy_name=policy.name,
+        records=tuple(records),
+        events=tuple(events),
+    )
+
+
+def _run_indexed(
+    cluster: Cluster,
+    jobs: tuple[Job, ...],
+    policy: PlacementPolicy,
+    spec,
+) -> ScheduleOutcome:
+    """The near-linear dispatch path.
+
+    Decision-for-decision equal to :func:`_run_reference`:
+
+    * fit checks come from the allocator's O(1) free-count buckets — the
+      fit predicate ("any node with ≥k free" / "≥k free in total") never
+      depends on the preference order, only the chosen nodes do;
+    * static rankings resolve through one segment tree per distinct
+      order, and futile attempts are skipped outright (static policies
+      consume no randomness, so skipping leaves no stream trace);
+    * random rankings are still drawn at every reference attempt point —
+      stream parity — but each drawn order resolves in one vectorized
+      scan;
+    * placements of one dispatch round are priced in a single
+      :func:`~repro.sim.job.sample_job_runtimes` batch.  Finish-event
+      heap entries use sequence numbers reserved at placement time, and
+      the heap orders by ``(time, kind, seq)``, so deferring the push to
+      the end of the round cannot reorder anything.
+    """
+    allocator = FreeListAllocator(cluster.topology)
+    policy_rng = cluster.rng_factory.child("sched-policy").generator(
+        policy.name
+    )
+    workloads = _workload_table(jobs)
+    admission = policy.admission
+    per_node = allocator.topology.gpus_per_node
+    counts_view = allocator.free_counts_view()
+    reference_cache: dict[tuple[str, int], tuple[np.ndarray, float]] = {}
+
+    def slow_reference(name: str, day: int) -> tuple[np.ndarray, float]:
+        # Same table as the reference path; all solver modes are
+        # bit-identical and "fleet" settles the machine in one call.
+        key = (name, day)
+        if key not in reference_cache:
+            ref = reference_unit_times(
+                cluster, workloads[name], day=day, solver="fleet"
+            )
+            fast = float(np.percentile(ref, FAST_PERCENTILE))
+            reference_cache[key] = (ref, fast * (1.0 + SLOW_THRESHOLD))
+        return reference_cache[key]
+
+    heap: list[tuple[float, int, int, int]] = []
+    seq = 0
+    for job in jobs:
+        heapq.heappush(heap, (job.submit_time_s, _EVT_SUBMIT, seq, job.job_id))
+        seq += 1
+
+    by_id = {job.job_id: job for job in jobs}
+    running: dict[int, GangAllocation] = {}
+    records: list[JobRecord] = []
+    events: list[dict[str, object]] = []
+    tracer = active_tracer()
+
+    static = isinstance(spec, StaticRankingSpec)
+    if static:
+        trees = [
+            OrderedFreeIndex(order, allocator.free_counts())
+            for order in spec.orders
+        ]
+        for tree in trees:
+            allocator.add_listener(tree.update)
+        order_cache: dict[tuple[str, int], int] = {}
+
+        def tree_of(job: Job) -> OrderedFreeIndex:
+            key = (job.workload_name, job.n_gpus)
+            which = order_cache.get(key)
+            if which is None:
+                which = spec.order_index_of(
+                    workloads[job.workload_name], job.n_gpus
+                )
+                order_cache[key] = which
+            return trees[which]
+
+    # Wait-queue representation: random rankings must walk every queued
+    # job at reference draw points, so they keep the flat list; static
+    # non-backfill only ever consults the head; static backfill uses the
+    # per-gang-size index so a free event wakes only widths that now fit.
+    use_buckets = static and policy.backfill
+    bucket_queue = SizeBucketQueue() if use_buckets else None
+    flat_queue: deque[int] | list[int] = deque() if static else []
+    arrival = 0
+
+    def capacity_fits(k: int) -> bool:
+        if k <= per_node:
+            return allocator.n_nodes_with_at_least(k) > 0
+        return allocator.n_free >= k
+
+    def fits(k: int) -> bool:
+        if admission is not None and not admission.can_admit(k):
+            return False
+        return capacity_fits(k)
+
+    def plan_static(job: Job) -> list[tuple[int, int]] | None:
+        tree = tree_of(job)
+        if job.n_gpus <= per_node:
+            node = tree.first_at_least(job.n_gpus)
+            if node < 0:
+                return None
+            return [(node, job.n_gpus)]
+        return tree.take_prefix(job.n_gpus)
+
+    # Placements of the current dispatch round, priced as one batch:
+    # (job, allocation, backfilled, finish_seq, slow_assigned).
+    round_placements: list[tuple[Job, GangAllocation, bool, int, bool]] = []
+
+    def place(job: Job, requests: list[tuple[int, int]],
+              backfilled: bool, now: float) -> None:
+        nonlocal seq
+        allocation = allocator.allocate(requests)
+        running[job.job_id] = allocation
+        if admission is not None:
+            admission.commit(job.job_id, job.n_gpus)
+        day = int(now // _SECONDS_PER_DAY)
+        ref, threshold = slow_reference(job.workload_name, day)
+        slow = bool(ref[allocation.gpu_indices].max() > threshold)
+        round_placements.append((job, allocation, backfilled, seq, slow))
+        seq += 1
+
+    def dispatch_static(now: float) -> None:
+        if not policy.backfill:
+            while flat_queue:
+                job = by_id[flat_queue[0]]
+                if tracer is not None:
+                    tracer.add("sched.dispatch_attempts")
+                if admission is not None and not admission.can_admit(
+                    job.n_gpus
+                ):
+                    return
+                requests = plan_static(job)
+                if requests is None:
+                    return
+                flat_queue.popleft()
+                place(job, requests, False, now)
+            return
+        while True:
+            if tracer is not None:
+                tracer.add("sched.dispatch_attempts")
+            entry = bucket_queue.earliest_fitting(fits)
+            if entry is None:
+                return
+            entry_seq, job_id, size = entry
+            backfilled = entry_seq != bucket_queue.head_seq()
+            bucket_queue.pop(size)
+            job = by_id[job_id]
+            # fits() held, and the fit predicate is ranking-independent,
+            # so the tree plan cannot miss.
+            place(job, plan_static(job), backfilled, now)
+
+    def dispatch_random(now: float) -> None:
+        index = 0
+        while index < len(flat_queue):
+            job = by_id[flat_queue[index]]
+            if tracer is not None:
+                tracer.add("sched.dispatch_attempts")
+            if admission is not None and not admission.can_admit(job.n_gpus):
+                if not policy.backfill:
+                    return
+                index += 1
+                continue
+            # Reference draw point: the ranking is drawn before the fit
+            # check, so the policy stream stays byte-compatible even for
+            # attempts that cannot place.
+            ranking = spec.draw(policy_rng)
+            if not capacity_fits(job.n_gpus):
+                if not policy.backfill:
+                    return
+                index += 1
+                continue
+            requests = resolve_with_ranking(
+                ranking, counts_view, job.n_gpus, per_node
+            )
+            backfilled = index > 0
+            flat_queue.pop(index)
+            place(job, requests, backfilled, now)
+            if not policy.backfill:
+                index = 0
+
+    dispatch = dispatch_static if static else dispatch_random
+
+    def price_round(now: float) -> None:
+        if not round_placements:
+            return
+        day = int(now // _SECONDS_PER_DAY)
+        pricing = [
+            JobPricingRequest(
+                workload=workloads[job.workload_name],
+                gpu_indices=allocation.gpu_indices,
+                work_units=job.work_units,
+                rng=cluster.rng_factory.child(
+                    f"sched-job-{job.job_id}"
+                ).generator("run"),
+            )
+            for job, allocation, _, _, _ in round_placements
+        ]
+        perfs = sample_job_runtimes(cluster, pricing, day=day)
+        if tracer is not None:
+            tracer.add("sched.price_batches")
+        for (job, allocation, backfilled, finish_seq, slow), perf in zip(
+            round_placements, perfs
+        ):
+            finish_t = now + perf.runtime_s
+            record = JobRecord(
+                job_id=job.job_id,
+                workload_name=job.workload_name,
+                n_gpus=job.n_gpus,
+                work_units=job.work_units,
+                submit_time_s=job.submit_time_s,
+                start_time_s=now,
+                finish_time_s=finish_t,
+                node_indices=tuple(allocation.node_indices.tolist()),
+                gpu_indices=tuple(allocation.gpu_indices.tolist()),
+                runtime_s=perf.runtime_s,
+                energy_j=perf.energy_j,
+                gang_imbalance=perf.gang_imbalance,
+                slow_assigned=slow,
+            )
+            records.append(record)
+            events.append(
+                {
+                    "event": "start",
+                    "t": _round(now),
+                    "job": job.job_id,
+                    "nodes": record.node_indices,
+                    "gpus": record.gpu_indices,
+                    "backfilled": backfilled,
+                }
+            )
+            if tracer is not None:
+                tracer.add("sched.placements")
+                if backfilled:
+                    tracer.add("sched.backfills")
+                if slow:
+                    tracer.add("sched.slow_assignments")
+            heapq.heappush(
+                heap, (finish_t, _EVT_FINISH, finish_seq, job.job_id)
+            )
+        round_placements.clear()
+
+    span = (
+        tracer.span(
+            "schedule", category="sched", policy=policy.name,
+            n_jobs=len(jobs),
+        )
+        if tracer is not None
+        else contextlib.nullcontext()
+    )
+    with span:
+        while heap:
+            now, kind, _, job_id = heapq.heappop(heap)
+            if kind == _EVT_SUBMIT:
+                job = by_id[job_id]
+                if use_buckets:
+                    bucket_queue.push(job.n_gpus, arrival, job_id)
+                    arrival += 1
+                else:
+                    flat_queue.append(job_id)
+                events.append(
+                    {
+                        "event": "submit",
+                        "t": _round(now),
+                        "job": job_id,
+                        "workload": job.workload_name,
+                        "n_gpus": job.n_gpus,
+                        "work_units": job.work_units,
+                    }
+                )
+                if tracer is not None:
+                    tracer.add("sched.submitted")
+            else:
+                allocation = running.pop(job_id)
+                allocator.free(allocation)
+                if admission is not None:
+                    admission.release(job_id)
+                events.append(
+                    {"event": "finish", "t": _round(now), "job": job_id}
+                )
+                if tracer is not None:
+                    tracer.add("sched.completed")
+            dispatch(now)
+            price_round(now)
+
+    queued = len(bucket_queue) if use_buckets else len(flat_queue)
+    if queued or running:
+        raise SimulationError(
+            f"scheduling run ended with {queued} queued and "
             f"{len(running)} running jobs"
         )
     records.sort(key=lambda r: r.job_id)

@@ -7,6 +7,22 @@ from the trace seed through :class:`~repro.rng.RngFactory` labels, so a
 trace is a pure function of its configuration — the property that lets
 two policies be compared on *exactly* the same offered load, and lets the
 CI assert byte-identical event logs across invocations.
+
+Week-long traces are not flat: production machines see diurnal swells
+(submissions peak in working hours) and quieter weekends — the same
+day-of-week structure the facility model's coolant offsets follow
+(:data:`~repro.cluster.facility.WEEKDAY_NAMES`, Monday-first).
+:class:`TraceConfig` models both with an inhomogeneous Poisson arrival
+rate
+
+``rate(t) = base · (1 + A·cos(2π·(hour(t) − peak_hour)/24)) · w[weekday(t)]``
+
+sampled exactly by time rescaling: unit-rate exponential gaps are pushed
+through the inverse cumulative hazard, whose per-day masses are closed
+form (the cosine integrates to zero over any full day) and whose
+within-day inversion is a deterministic vectorized bisection.  The flat
+configuration (zero amplitude, no weekday weights) takes the original
+cumulative-gap path untouched, so existing traces stay byte-identical.
 """
 
 from __future__ import annotations
@@ -19,7 +35,15 @@ from ..config import require
 from ..errors import ConfigError
 from ..rng import RngFactory
 
-__all__ = ["Job", "TraceConfig", "generate_trace"]
+__all__ = [
+    "Job",
+    "TraceConfig",
+    "generate_trace",
+    "arrival_rate_multiplier",
+]
+
+_SECONDS_PER_DAY = 86_400.0
+_SECONDS_PER_HOUR = 3_600.0
 
 #: The five paper applications, as scheduler-facing names.
 PAPER_WORKLOAD_NAMES = ("sgemm", "resnet50", "bert", "lammps", "pagerank")
@@ -69,6 +93,16 @@ class TraceConfig:
         Inclusive ``(lo, hi)`` bounds of the per-job work draw.
     seed:
         Trace master seed.
+    diurnal_amplitude:
+        Relative swing of the within-day arrival rate, in ``[0, 1)``.
+        ``0`` (default) keeps arrivals time-homogeneous; ``0.5`` makes
+        the peak hour 3× the trough.
+    peak_hour:
+        Hour of day (0–24) at which the diurnal rate peaks.
+    day_of_week_weights:
+        Optional per-weekday rate multipliers, Monday-first, 7 positive
+        entries (e.g. quieter weekends).  ``None`` (default) keeps every
+        day equal.
     """
 
     n_jobs: int = 100
@@ -79,6 +113,9 @@ class TraceConfig:
     workload_weights: tuple[float, ...] = (0.30, 0.25, 0.15, 0.15, 0.15)
     work_units_range: tuple[int, int] = (40, 160)
     seed: int = 0
+    diurnal_amplitude: float = 0.0
+    peak_hour: float = 14.0
+    day_of_week_weights: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         require(
@@ -104,12 +141,105 @@ class TraceConfig:
                 "workload_weights must be non-negative and sum > 0")
         lo, hi = self.work_units_range
         require(1 <= lo <= hi, "work_units_range must satisfy 1 <= lo <= hi")
+        require(0.0 <= self.diurnal_amplitude < 1.0,
+                "diurnal_amplitude must be in [0, 1)")
+        require(0.0 <= self.peak_hour < 24.0,
+                "peak_hour must be in [0, 24)")
+        if self.day_of_week_weights is not None:
+            if len(self.day_of_week_weights) != 7:
+                raise ConfigError(
+                    "day_of_week_weights needs exactly 7 entries "
+                    "(Monday-first)"
+                )
+            require(
+                all(np.isfinite(w) and w > 0
+                    for w in self.day_of_week_weights),
+                "day_of_week_weights must be positive and finite",
+            )
+
+    @property
+    def is_flat(self) -> bool:
+        """Whether the arrival rate is time-homogeneous."""
+        return (
+            self.diurnal_amplitude == 0.0
+            and self.day_of_week_weights is None
+        )
+
+
+def arrival_rate_multiplier(
+    times_s: np.ndarray,
+    *,
+    diurnal_amplitude: float = 0.0,
+    peak_hour: float = 14.0,
+    day_of_week_weights: tuple[float, ...] | None = None,
+) -> np.ndarray:
+    """Relative arrival rate at each simulated time (1.0 = base rate)."""
+    times_s = np.asarray(times_s, dtype=float)
+    phase = (
+        2.0 * np.pi
+        * (times_s - peak_hour * _SECONDS_PER_HOUR)
+        / _SECONDS_PER_DAY
+    )
+    multiplier = 1.0 + diurnal_amplitude * np.cos(phase)
+    if day_of_week_weights is not None:
+        weights = np.asarray(day_of_week_weights, dtype=float)
+        weekday = (times_s // _SECONDS_PER_DAY).astype(np.int64) % 7
+        multiplier = multiplier * weights[weekday]
+    return multiplier
+
+
+def _invert_cumulative_hazard(
+    targets: np.ndarray,
+    amplitude: float,
+    peak_hour: float,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Map cumulative-hazard values (seconds of base-rate time) to times.
+
+    The cosine term integrates to zero over any whole day, so day ``d``
+    carries exactly ``weights[d % 7] * 86400`` of hazard — day selection
+    is a ``searchsorted`` over closed-form cumulative masses.  Within the
+    day the local equation ``tau + A·C·(sin θ(tau) − sin θ(0)) = target``
+    is strictly increasing (``A < 1``), solved by vectorized bisection to
+    float64 convergence.  No randomness: times are a pure function of the
+    drawn hazards.
+    """
+    top = float(targets[-1])
+    week_mass = float(weights.sum()) * _SECONDS_PER_DAY
+    n_weeks = int(np.ceil(top / week_mass)) + 1
+    day_masses = np.tile(weights, n_weeks) * _SECONDS_PER_DAY
+    day_starts = np.concatenate(([0.0], np.cumsum(day_masses)))
+    day = np.searchsorted(day_starts, targets, side="right") - 1
+    local = (targets - day_starts[day]) / weights[day % 7]
+    if amplitude == 0.0:
+        return day * _SECONDS_PER_DAY + local
+
+    circle = 2.0 * np.pi / _SECONDS_PER_DAY
+    sin_scale = amplitude / circle
+
+    def local_hazard(tau: np.ndarray) -> np.ndarray:
+        # theta(tau) measured from the day's own midnight: day boundaries
+        # are whole days, so the peak sits at the same phase every day.
+        theta0 = -peak_hour * _SECONDS_PER_HOUR * circle
+        return tau + sin_scale * (
+            np.sin(tau * circle + theta0) - np.sin(theta0)
+        )
+
+    lo = np.zeros_like(local)
+    hi = np.full_like(local, _SECONDS_PER_DAY)
+    for _ in range(64):
+        mid = 0.5 * (lo + hi)
+        below = local_hazard(mid) < local
+        lo = np.where(below, mid, lo)
+        hi = np.where(below, hi, mid)
+    return day * _SECONDS_PER_DAY + 0.5 * (lo + hi)
 
 
 def generate_trace(config: TraceConfig | None = None) -> tuple[Job, ...]:
     """Generate the deterministic job trace described by ``config``.
 
-    Arrival times are cumulative exponential interarrivals; widths,
+    Arrival times are cumulative exponential interarrivals (time-rescaled
+    through the diurnal/weekday profile when one is configured); widths,
     applications, and work amounts are independent weighted draws.  The
     same configuration always yields the identical trace, independent of
     anything else the process has done.
@@ -122,6 +252,21 @@ def generate_trace(config: TraceConfig | None = None) -> tuple[Job, ...]:
     mean_gap_s = 3600.0 / config.arrival_rate_per_hour
     gaps = arrivals_rng.exponential(mean_gap_s, size=config.n_jobs)
     submit_times = np.cumsum(gaps)
+    if not config.is_flat:
+        # The cumulative gaps are the arrivals of a base-rate process;
+        # pushing them through the inverse cumulative hazard yields the
+        # inhomogeneous process without touching any other draw.
+        weights = (
+            np.asarray(config.day_of_week_weights, dtype=float)
+            if config.day_of_week_weights is not None
+            else np.ones(7)
+        )
+        submit_times = _invert_cumulative_hazard(
+            submit_times,
+            config.diurnal_amplitude,
+            config.peak_hour,
+            weights,
+        )
 
     gang_p = np.asarray(config.gang_weights, dtype=float)
     gang_p = gang_p / gang_p.sum()

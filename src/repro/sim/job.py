@@ -8,7 +8,7 @@ member gates every iteration.  The physics is the same steady-state DVFS
 solve and roofline evaluation the campaigns use, so a job lands exactly
 where the characterization says its GPUs sit.
 
-Two entry points:
+Three entry points:
 
 * :func:`reference_unit_times` — the noise-free per-GPU unit time of a
   workload across the whole fleet (intrinsic GPU speed).  The scheduler's
@@ -18,6 +18,12 @@ Two entry points:
   gang imbalance on its allocated GPUs, with the run-level software and
   environment draws of :mod:`repro.sim.run` keyed per job so the same job
   draws the same factors under every placement policy.
+* :func:`sample_job_runtimes` — several jobs priced together: each job's
+  normal draws come from its own job-id-keyed stream in one
+  ``standard_normal`` batch, the gangs are concatenated into a single
+  fleet slice, and the whole batch settles in at most two vectorized
+  DVFS solves (the PR 6 fleet solver), bitwise equal to pricing each job
+  alone.  This is the indexed scheduler's hot path.
 """
 
 from __future__ import annotations
@@ -37,8 +43,10 @@ from .run import (
 
 __all__ = [
     "JobPerformance",
+    "JobPricingRequest",
     "reference_unit_times",
     "sample_job_runtime",
+    "sample_job_runtimes",
     "DEFAULT_SYNC_OVERHEAD_MS",
     "INTER_NODE_SYNC_FACTOR",
 ]
@@ -79,13 +87,17 @@ def reference_unit_times(
     cluster: Cluster,
     workload: Workload,
     day: int = 0,
+    *,
+    solver: str | None = None,
 ) -> np.ndarray:
     """Noise-free per-GPU unit time (ms) of ``workload`` across the fleet.
 
     The deterministic component of GPU speed — silicon lottery, defects,
     thermal seat, day-``day`` facility conditions — with every run-level
     software and environment draw suppressed.  The scheduler uses this as
-    the ground truth for "is this GPU slow for this workload".
+    the ground truth for "is this GPU slow for this workload".  All
+    solver modes are bit-identical; ``solver="fleet"`` settles the whole
+    machine in one vectorized call (the indexed engine passes it).
     """
     fleet = cluster.fleet_for_day(day)
     spec = fleet.spec
@@ -103,6 +115,7 @@ def reference_unit_times(
         power_cap_w=fleet.power_cap_w(None),
         f_cap_mhz=fleet.frequency_cap_mhz(),
         rng=rng,
+        solver=solver,
     )
     return workload.unit_time_ms(
         op.f_effective_mhz,
@@ -232,3 +245,227 @@ def sample_job_runtime(
         energy_j=float(power.sum()) * runtime_s,
         gang_imbalance=float(unit_ms.max() / np.median(unit_ms)),
     )
+
+
+@dataclass(frozen=True)
+class JobPricingRequest:
+    """One job to price in a :func:`sample_job_runtimes` batch.
+
+    ``rng`` is the job's own stream (key it per job id exactly as for
+    :func:`sample_job_runtime`) — batching never mixes streams, so each
+    job draws the same factors it would draw priced alone.
+    """
+
+    workload: Workload
+    gpu_indices: np.ndarray
+    work_units: int
+    rng: np.random.Generator
+
+
+def sample_job_runtimes(
+    cluster: Cluster,
+    requests: list[JobPricingRequest],
+    *,
+    day: int = 0,
+) -> list[JobPerformance]:
+    """Price several gang jobs together, bitwise equal to pricing alone.
+
+    The batched twin of :func:`sample_job_runtime`: per-job normal draws
+    collapse into one ``standard_normal(1 + 5n)`` call on the job's own
+    stream (numpy's ``normal(loc, scale)`` is ``loc + scale * z``, and a
+    sliced batch equals the sequential draws), the gangs concatenate into
+    a single fleet slice, and the whole batch settles in at most two
+    vectorized DVFS solves — one for every gang's free-running unit
+    times, one for the multi-GPU gangs' duty-adjusted power.  The PR 6
+    fleet solver's evaluation-shape freedom makes the concatenated solve
+    bit-identical to per-gang solves.
+
+    Pre-drawing is only sound when the DVFS policy does not dither (the
+    reference path draws run noise *after* the first solve, which on
+    dithering ladders consumes the stream); dithering fleets fall back to
+    the sequential path, preserving stream-exact equality everywhere.
+    """
+    if not requests:
+        return []
+    day_fleet = cluster.fleet_for_day(day)
+    if day_fleet.controller.policy.dither:
+        return [
+            sample_job_runtime(
+                cluster,
+                request.workload,
+                request.gpu_indices,
+                day=day,
+                work_units=request.work_units,
+                rng=request.rng,
+            )
+            for request in requests
+        ]
+
+    gangs: list[np.ndarray] = []
+    widths: list[int] = []
+    for request in requests:
+        gang = np.sort(np.asarray(request.gpu_indices, dtype=np.int64))
+        n = int(gang.shape[0])
+        if n < 1:
+            raise SimulationError("a job needs at least one GPU")
+        if int(request.work_units) < 1:
+            raise SimulationError(
+                f"work_units must be >= 1, got {request.work_units}"
+            )
+        gangs.append(gang)
+        widths.append(n)
+
+    offsets = np.zeros(len(requests) + 1, dtype=np.int64)
+    np.cumsum(widths, out=offsets[1:])
+    total = int(offsets[-1])
+    concat = np.concatenate(gangs)
+    fleet = day_fleet.take(concat)
+    spec = fleet.spec
+    base_coolant = fleet.coolant_c
+
+    coolant = np.empty(total, dtype=float)
+    act_run = np.empty(total, dtype=float)
+    dram0_row = np.empty(total, dtype=float)
+    time_multiplier = np.empty(total, dtype=float)
+    drift = np.empty(total, dtype=float)
+    dram0_of: list[float] = []
+    run_noise_sigma = cluster.run_noise_sigma
+    for j, request in enumerate(requests):
+        n = widths[j]
+        rows = slice(int(offsets[j]), int(offsets[j + 1]))
+        workload = request.workload
+        act0, dram0 = workload.steady_load(
+            spec.f_max_mhz, spec.compute_throughput, spec.mem_bandwidth_gbs
+        )
+        dram0_of.append(dram0)
+        z = request.rng.standard_normal(1 + 5 * n)
+        z_local = z[1 : 1 + n]
+        z_shared = z[1 + n : 1 + 2 * n]
+        z_speed_ortho = z[1 + 2 * n : 1 + 3 * n]
+        z_act_ortho = z[1 + 3 * n : 1 + 4 * n]
+        z_drift = z[1 + 4 * n : 1 + 5 * n]
+        coolant[rows] = (
+            base_coolant[rows]
+            + (0.0 + RUN_COOLANT_SIGMA_SHARED * z[0])
+            + (0.0 + RUN_COOLANT_SIGMA_LOCAL * z_local)
+        )
+        corr = np.sqrt(workload.activity_speed_correlation)
+        ortho = np.sqrt(1 - corr**2)
+        z_speed = corr * z_shared + ortho * z_speed_ortho
+        z_act = corr * z_shared + ortho * z_act_ortho
+        time_multiplier[rows] = np.exp(workload.run_speed_sigma * z_speed)
+        act_run[rows] = np.clip(
+            act0 * np.exp(-workload.activity_mix_sigma * z_act), 0.02, 1.0
+        )
+        dram0_row[rows] = dram0
+        drift[rows] = np.clip(
+            1.0 + (0.0 + run_noise_sigma * z_drift), 0.5, 1.5
+        )
+
+    fleet = fleet.with_coolant(coolant)
+    efficiency = fleet.throughput_efficiency()
+    cap = fleet.power_cap_w(None)
+    f_cap = fleet.frequency_cap_mhz()
+    op = fleet.controller.solve_steady(
+        act_run,
+        dram0_row,
+        efficiency,
+        power_cap_w=cap,
+        f_cap_mhz=f_cap,
+        solver="fleet",
+    )
+    mem_bw = fleet.memory_bandwidth_gbs()
+    f_effective = op.f_effective_mhz
+    power_free = op.power_w
+
+    node_of_gpu = cluster.topology.node_of_gpu
+    unit_ms_of: list[np.ndarray] = []
+    job_unit_ms_of: list[float] = []
+    multi: list[int] = []
+    act_eff_parts: list[np.ndarray] = []
+    dram_eff_parts: list[np.ndarray] = []
+    for j, request in enumerate(requests):
+        n = widths[j]
+        rows = slice(int(offsets[j]), int(offsets[j + 1]))
+        workload = request.workload
+        unit_ms = (
+            workload.unit_time_ms(
+                f_effective[rows],
+                spec.compute_throughput,
+                mem_bw[rows],
+                efficiency[rows],
+            )
+            * time_multiplier[rows]
+            * drift[rows]
+        )
+        unit_ms_of.append(unit_ms)
+        if n == 1:
+            job_unit_ms_of.append(float(unit_ms[0]))
+            continue
+        spanned = int(np.unique(node_of_gpu[gangs[j]]).shape[0])
+        sync_ms = (
+            workload.sync_overhead_ms
+            if workload.sync_overhead_ms > 0.0
+            else DEFAULT_SYNC_OVERHEAD_MS
+        )
+        sync_ms *= 1.0 + INTER_NODE_SYNC_FACTOR * (spanned - 1)
+        jitter_amp = expected_max_of_normals(n)
+        job_unit_ms = float(
+            unit_ms.max()
+            * (1.0 + workload.iteration_jitter_sigma * jitter_amp)
+            + sync_ms
+        )
+        job_unit_ms_of.append(job_unit_ms)
+        duty = np.clip(unit_ms / job_unit_ms, 0.0, 1.0)
+        multi.append(j)
+        act_eff_parts.append(
+            act_run[rows] * duty + WAIT_ACTIVITY * (1.0 - duty)
+        )
+        dram_eff_parts.append(dram0_of[j] * duty)
+
+    power_of: dict[int, np.ndarray] = {}
+    if multi:
+        rows_of: dict[int, slice] = {}
+        at = 0
+        for j in multi:
+            rows_of[j] = slice(at, at + widths[j])
+            at += widths[j]
+        sub_fleet = day_fleet.take(
+            np.concatenate([gangs[j] for j in multi])
+        ).with_coolant(
+            np.concatenate(
+                [coolant[offsets[j] : offsets[j + 1]] for j in multi]
+            )
+        )
+        op_eff = sub_fleet.controller.solve_steady(
+            np.concatenate(act_eff_parts),
+            np.concatenate(dram_eff_parts),
+            sub_fleet.throughput_efficiency(),
+            power_cap_w=sub_fleet.power_cap_w(None),
+            f_cap_mhz=sub_fleet.frequency_cap_mhz(),
+            solver="fleet",
+        )
+        for j in multi:
+            power_of[j] = op_eff.power_w[rows_of[j]]
+
+    out: list[JobPerformance] = []
+    for j, request in enumerate(requests):
+        rows = slice(int(offsets[j]), int(offsets[j + 1]))
+        unit_ms = unit_ms_of[j]
+        job_unit_ms = job_unit_ms_of[j]
+        power = power_of.get(j)
+        if power is None:
+            power = power_free[rows]
+        runtime_s = job_unit_ms * int(request.work_units) / 1000.0
+        out.append(
+            JobPerformance(
+                gpu_indices=gangs[j],
+                unit_time_ms=unit_ms,
+                job_unit_ms=job_unit_ms,
+                runtime_s=runtime_s,
+                power_w=power,
+                energy_j=float(power.sum()) * runtime_s,
+                gang_imbalance=float(unit_ms.max() / np.median(unit_ms)),
+            )
+        )
+    return out

@@ -1,0 +1,164 @@
+"""Property/stress tests for the indexed free-list allocator.
+
+The batch-queue engine trusts three incrementally-maintained facts —
+per-node free counts, the machine-wide total, and the free-count bucket
+index — instead of recomputing them per query.  These tests hammer the
+allocator with randomized allocate/free churn at full-Summit scale
+(4608 nodes, 27648 GPUs) and check every incremental fact against a
+brute-force shadow after each step batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.allocator import FreeListAllocator
+from repro.cluster.topology import cabinet_topology
+
+#: Full Summit: 4608 six-GPU nodes across 256 cabinets.
+SUMMIT_NODES = 4608
+SUMMIT_GPUS_PER_NODE = 6
+
+
+def _summit_topology():
+    return cabinet_topology(
+        "Summit-stress", SUMMIT_NODES, SUMMIT_GPUS_PER_NODE, 256
+    )
+
+
+def _check_invariants(allocator):
+    """Every incremental count equals its brute-force recomputation."""
+    brute_counts = np.asarray(
+        [len(allocator._free[n]) for n in range(allocator.topology.n_nodes)],
+        dtype=np.int64,
+    )
+    np.testing.assert_array_equal(allocator.free_counts(), brute_counts)
+    assert allocator.n_free == int(brute_counts.sum())
+    assert allocator.n_busy == allocator.topology.n_gpus - allocator.n_free
+    for k in range(SUMMIT_GPUS_PER_NODE + 2):
+        assert allocator.n_nodes_with_at_least(k) == int(
+            np.count_nonzero(brute_counts >= k)
+        ), f"bucket index wrong at k={k}"
+
+
+class TestFullSummitStress:
+    def test_randomized_churn_preserves_all_invariants(self):
+        topology = _summit_topology()
+        allocator = FreeListAllocator(topology)
+        rng = np.random.default_rng(2022)
+        live = []
+        for step in range(60):
+            # allocate a random burst of gangs of width 1..12
+            for _ in range(rng.integers(50, 200)):
+                width = int(rng.choice([1, 2, 4, 6, 8, 12]))
+                counts = allocator.free_counts()
+                if width <= SUMMIT_GPUS_PER_NODE:
+                    candidates = np.flatnonzero(counts >= width)
+                    if candidates.shape[0] == 0:
+                        continue
+                    node = int(rng.choice(candidates))
+                    live.append(allocator.allocate([(node, width)]))
+                else:
+                    if allocator.n_free < width:
+                        continue
+                    order = rng.permutation(topology.n_nodes)
+                    requests, remaining = [], width
+                    for node in order.tolist():
+                        take = min(int(counts[node]), remaining)
+                        if take > 0:
+                            requests.append((int(node), take))
+                            remaining -= take
+                        if remaining == 0:
+                            break
+                    live.append(allocator.allocate(requests))
+            # free a random half of what's running
+            rng.shuffle(live)
+            for _ in range(len(live) // 2):
+                allocator.free(live.pop())
+            if step % 10 == 0:
+                _check_invariants(allocator)
+        # drain completely and verify we are back to a pristine machine
+        for gang in live:
+            allocator.free(gang)
+        _check_invariants(allocator)
+        assert allocator.n_free == topology.n_gpus
+        assert allocator.n_nodes_with_at_least(SUMMIT_GPUS_PER_NODE) == (
+            SUMMIT_NODES
+        )
+
+    def test_no_gpu_ever_double_booked_under_churn(self):
+        topology = _summit_topology()
+        allocator = FreeListAllocator(topology)
+        rng = np.random.default_rng(7)
+        live = []
+        for _ in range(2000):
+            if live and rng.random() < 0.45:
+                allocator.free(live.pop(int(rng.integers(0, len(live)))))
+            else:
+                counts = allocator.free_counts_view()
+                candidates = np.flatnonzero(counts >= 3)
+                if candidates.shape[0] == 0:
+                    continue
+                node = int(rng.choice(candidates))
+                live.append(allocator.allocate([(node, 3)]))
+        taken = np.concatenate(
+            [g.gpu_indices for g in live]
+        ) if live else np.empty(0, dtype=np.int64)
+        assert np.unique(taken).shape[0] == taken.shape[0]
+        assert allocator.n_busy == taken.shape[0]
+
+    def test_listener_sees_every_count_change(self):
+        topology = _summit_topology()
+        allocator = FreeListAllocator(topology)
+        shadow = allocator.free_counts()
+        events = []
+
+        def listener(node, new):
+            events.append((node, new))
+            shadow[node] = new
+
+        allocator.add_listener(listener)
+        rng = np.random.default_rng(3)
+        live = []
+        for _ in range(500):
+            if live and rng.random() < 0.5:
+                allocator.free(live.pop())
+            else:
+                counts = allocator.free_counts_view()
+                candidates = np.flatnonzero(counts >= 2)
+                node = int(rng.choice(candidates))
+                live.append(allocator.allocate([(node, 2)]))
+        assert events, "listener never fired"
+        np.testing.assert_array_equal(shadow, allocator.free_counts())
+
+    def test_fit_checks_are_constant_time_at_scale(self):
+        """The O(1) fit probes never touch the per-node array."""
+        import timeit
+
+        small = FreeListAllocator(cabinet_topology("S", 16, 6, 2))
+        big = FreeListAllocator(_summit_topology())
+        t_small = timeit.timeit(
+            lambda: small.n_nodes_with_at_least(4), number=20_000
+        )
+        t_big = timeit.timeit(
+            lambda: big.n_nodes_with_at_least(4), number=20_000
+        )
+        # same work at 288x the node count; allow generous jitter
+        assert t_big < 10 * t_small
+
+
+class TestBucketIndexEdges:
+    def test_k_zero_and_oversized_k(self):
+        allocator = FreeListAllocator(cabinet_topology("T", 4, 4, 2))
+        assert allocator.n_nodes_with_at_least(0) == 4
+        assert allocator.n_nodes_with_at_least(-1) == 4
+        assert allocator.n_nodes_with_at_least(5) == 0
+
+    def test_failed_allocate_mutates_nothing(self):
+        allocator = FreeListAllocator(cabinet_topology("T", 4, 4, 2))
+        allocator.allocate([(0, 3)])
+        before = allocator.free_counts()
+        with pytest.raises(Exception):
+            allocator.allocate([(1, 2), (0, 2)])
+        np.testing.assert_array_equal(allocator.free_counts(), before)
+        assert allocator.n_nodes_with_at_least(4) == 3
+        assert allocator.n_nodes_with_at_least(1) == 4

@@ -7,10 +7,15 @@ from repro.errors import ConfigError
 from repro.sched.policies import (
     SENSITIVITY_THRESHOLD,
     BackfillPolicy,
+    EnergyCappedPolicy,
     FifoPolicy,
     HealthAwarePolicy,
+    PowerBudgetAdmission,
+    RandomRankingSpec,
+    StaticRankingSpec,
     VariabilityAwarePolicy,
     node_grades_from_gpu_grades,
+    node_power_watts,
 )
 from repro.workloads import get_workload
 
@@ -117,3 +122,148 @@ class TestNodeGradesRollup:
             ("ok", "degraded", "ok", "ok"), node_of_gpu, 2
         )
         assert grades == ("degraded", "ok")
+
+
+class TestNodePowerWatts:
+    def test_sums_per_node(self):
+        node_of_gpu = np.asarray([0, 0, 1, 1])
+        out = node_power_watts(
+            np.asarray([100.0, 110.0, 90.0, 95.0]), node_of_gpu, 2
+        )
+        np.testing.assert_allclose(out, [210.0, 185.0])
+
+    def test_nonpositive_power_rejected(self):
+        with pytest.raises(ConfigError):
+            node_power_watts(np.asarray([100.0, 0.0]), np.asarray([0, 1]), 2)
+
+
+class TestPowerBudgetAdmission:
+    def test_commit_release_accounting(self):
+        admission = PowerBudgetAdmission(budget_w=1000.0, gpu_reserve_w=100.0)
+        assert admission.can_admit(10)
+        assert not admission.can_admit(11)
+        admission.commit(0, 6)
+        assert admission.committed_w == 600.0
+        assert admission.max_admissible_gpus() == 4
+        assert admission.can_admit(4)
+        assert not admission.can_admit(5)
+        admission.commit(1, 4)
+        assert not admission.can_admit(1)
+        admission.release(0)
+        assert admission.can_admit(6)
+        admission.release(1)
+        assert admission.committed_w == 0.0
+
+    def test_reset_clears_reservations(self):
+        admission = PowerBudgetAdmission(budget_w=500.0, gpu_reserve_w=100.0)
+        admission.commit(0, 3)
+        admission.reset()
+        assert admission.committed_w == 0.0
+        assert admission.can_admit(5)
+
+    def test_release_unknown_job_raises(self):
+        admission = PowerBudgetAdmission(budget_w=500.0, gpu_reserve_w=100.0)
+        with pytest.raises(KeyError):
+            admission.release(42)
+
+    @pytest.mark.parametrize("budget,reserve", [(0.0, 100.0), (500.0, -1.0)])
+    def test_bad_configuration_rejected(self, budget, reserve):
+        with pytest.raises(ConfigError):
+            PowerBudgetAdmission(budget_w=budget, gpu_reserve_w=reserve)
+
+
+class TestEnergyCapped:
+    POWER = np.asarray([400.0, 280.0, 340.0, 280.0, 500.0, 310.0])
+
+    def _policy(self, **kwargs):
+        kwargs.setdefault("power_budget_w", 1200.0)
+        kwargs.setdefault("gpus_per_node", 4)
+        return EnergyCappedPolicy(self.POWER, **kwargs)
+
+    def test_cheapest_nodes_first_ties_by_index(self):
+        ranked = self._policy().rank_nodes(
+            get_workload("sgemm"), 2, FREE, _rng()
+        )
+        assert ranked.tolist() == [1, 3, 5, 2, 0, 4]
+
+    def test_rng_not_consumed(self):
+        policy = self._policy()
+        a = policy.rank_nodes(get_workload("sgemm"), 2, FREE, _rng(1))
+        b = policy.rank_nodes(get_workload("sgemm"), 2, FREE, _rng(2))
+        np.testing.assert_array_equal(a, b)
+
+    def test_default_reserve_is_worst_gpu_share(self):
+        policy = self._policy()
+        assert policy.admission.gpu_reserve_w == pytest.approx(500.0 / 4)
+
+    def test_backfills_by_default(self):
+        assert self._policy().backfill is True
+        assert self._policy(backfill=False).backfill is False
+
+    def test_describe_includes_budget(self):
+        described = self._policy().describe()
+        assert described["power_budget_w"] == 1200.0
+        assert described["node_power_min_w"] == 280.0
+        assert described["node_power_max_w"] == 500.0
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ConfigError, match="nodes"):
+            self._policy().rank_nodes(
+                get_workload("sgemm"), 2, FREE[:3], _rng()
+            )
+
+
+class TestIndexedRankingSpecs:
+    def test_fifo_is_random_spec_with_legacy_draw(self):
+        spec = FifoPolicy().indexed_ranking(N_NODES)
+        assert isinstance(spec, RandomRankingSpec)
+        np.testing.assert_array_equal(
+            spec.draw(_rng(7)), _rng(7).permutation(N_NODES)
+        )
+
+    def test_backfill_inherits_fifo_spec(self):
+        assert isinstance(
+            BackfillPolicy().indexed_ranking(N_NODES), RandomRankingSpec
+        )
+
+    def test_variability_aware_static_orders_match_rank_nodes(self):
+        policy = VariabilityAwarePolicy(TestVariabilityAware.SCORES)
+        spec = policy.indexed_ranking(N_NODES)
+        assert isinstance(spec, StaticRankingSpec)
+        for name in ("sgemm", "pagerank"):
+            workload = get_workload(name)
+            order = spec.orders[spec.order_index_of(workload, 2)]
+            np.testing.assert_array_equal(
+                order, policy.rank_nodes(workload, 2, FREE, _rng())
+            )
+
+    def test_health_aware_draw_matches_rank_nodes(self):
+        policy = HealthAwarePolicy(TestHealthAware.GRADES)
+        spec = policy.indexed_ranking(N_NODES)
+        assert isinstance(spec, RandomRankingSpec)
+        np.testing.assert_array_equal(
+            spec.draw(_rng(3)),
+            policy.rank_nodes(get_workload("sgemm"), 2, FREE, _rng(3)),
+        )
+
+    def test_energy_capped_single_static_order(self):
+        policy = EnergyCappedPolicy(
+            TestEnergyCapped.POWER, power_budget_w=1200.0, gpus_per_node=4
+        )
+        spec = policy.indexed_ranking(N_NODES)
+        assert isinstance(spec, StaticRankingSpec)
+        assert len(spec.orders) == 1
+        assert spec.order_index_of(get_workload("bert"), 8) == 0
+
+    def test_overriding_rank_nodes_disables_indexing(self):
+        class Custom(VariabilityAwarePolicy):
+            def rank_nodes(self, workload, n_gpus, free_counts, rng):
+                return np.arange(free_counts.shape[0])
+
+        policy = Custom(TestVariabilityAware.SCORES)
+        assert policy.indexed_ranking(N_NODES) is None
+
+    def test_wrong_node_count_rejected(self):
+        policy = VariabilityAwarePolicy(TestVariabilityAware.SCORES)
+        with pytest.raises(ConfigError, match="nodes"):
+            policy.indexed_ranking(N_NODES + 1)

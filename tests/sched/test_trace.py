@@ -1,9 +1,10 @@
 """Tests for the seeded job-trace generator."""
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigError
-from repro.sched import TraceConfig, generate_trace
+from repro.sched import TraceConfig, arrival_rate_multiplier, generate_trace
 from repro.sched.trace import PAPER_WORKLOAD_NAMES
 
 
@@ -74,3 +75,148 @@ class TestGenerateTrace:
         trace = generate_trace(config)
         mean_gap = trace[-1].submit_time_s / len(trace)
         assert mean_gap == pytest.approx(10.0, rel=0.2)
+
+
+class TestDiurnalConfig:
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5])
+    def test_bad_amplitude_rejected(self, bad):
+        with pytest.raises(ConfigError, match="diurnal_amplitude"):
+            TraceConfig(diurnal_amplitude=bad)
+
+    @pytest.mark.parametrize("bad", [-1.0, 24.0, 30.0])
+    def test_bad_peak_hour_rejected(self, bad):
+        with pytest.raises(ConfigError, match="peak_hour"):
+            TraceConfig(peak_hour=bad)
+
+    def test_wrong_weight_count_rejected(self):
+        with pytest.raises(ConfigError, match="7 entries"):
+            TraceConfig(day_of_week_weights=(1.0, 1.0))
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ConfigError, match="positive"):
+            TraceConfig(day_of_week_weights=(1,) * 6 + (0.0,))
+
+    def test_is_flat(self):
+        assert TraceConfig().is_flat
+        assert not TraceConfig(diurnal_amplitude=0.3).is_flat
+        assert not TraceConfig(day_of_week_weights=(1.0,) * 7).is_flat
+
+
+class TestArrivalRateMultiplier:
+    def test_flat_is_unity(self):
+        times = np.linspace(0.0, 7 * 86_400.0, 50)
+        np.testing.assert_array_equal(
+            arrival_rate_multiplier(times), np.ones(50)
+        )
+
+    def test_peak_and_trough(self):
+        peak = arrival_rate_multiplier(
+            np.array([14.0 * 3600.0]), diurnal_amplitude=0.5
+        )
+        trough = arrival_rate_multiplier(
+            np.array([2.0 * 3600.0]), diurnal_amplitude=0.5
+        )
+        assert peak[0] == pytest.approx(1.5)
+        assert trough[0] == pytest.approx(0.5)
+
+    def test_weekday_weights_monday_first(self):
+        weights = (1.0, 1.0, 1.0, 1.0, 1.0, 0.5, 0.25)
+        saturday_noon = np.array([5 * 86_400.0 + 14.0 * 3600.0])
+        out = arrival_rate_multiplier(
+            saturday_noon, day_of_week_weights=weights
+        )
+        assert out[0] == pytest.approx(0.5)
+
+
+class TestDiurnalTraces:
+    def test_flat_config_unchanged_bytes(self):
+        """The legacy path is untouched when no profile is configured."""
+        flat = generate_trace(TraceConfig(n_jobs=200, seed=4))
+        explicit = generate_trace(
+            TraceConfig(n_jobs=200, seed=4, diurnal_amplitude=0.0,
+                        day_of_week_weights=None)
+        )
+        assert flat == explicit
+
+    def test_unit_weights_reproduce_flat_times(self):
+        """All-ones weekday weights are the identity time rescaling."""
+        flat = generate_trace(TraceConfig(n_jobs=300, seed=4))
+        unit = generate_trace(
+            TraceConfig(n_jobs=300, seed=4,
+                        day_of_week_weights=(1.0,) * 7)
+        )
+        for a, b in zip(flat, unit):
+            assert a.submit_time_s == pytest.approx(b.submit_time_s,
+                                                    abs=1e-6)
+            assert (a.workload_name, a.n_gpus, a.work_units) == (
+                b.workload_name, b.n_gpus, b.work_units
+            )
+
+    def test_rescaling_keeps_times_monotone(self):
+        trace = generate_trace(
+            TraceConfig(
+                n_jobs=400, arrival_rate_per_hour=30.0, seed=7,
+                diurnal_amplitude=0.8,
+                day_of_week_weights=(1, 1, 1, 1, 1, 0.5, 0.4),
+            )
+        )
+        times = [job.submit_time_s for job in trace]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    def test_rescaling_changes_only_times(self):
+        """Shape draws (width, workload, work) come from a separate stream."""
+        flat = generate_trace(TraceConfig(n_jobs=120, seed=9))
+        wavy = generate_trace(
+            TraceConfig(n_jobs=120, seed=9, diurnal_amplitude=0.6)
+        )
+        for a, b in zip(flat, wavy):
+            assert (a.workload_name, a.n_gpus, a.work_units) == (
+                b.workload_name, b.n_gpus, b.work_units
+            )
+        assert any(
+            a.submit_time_s != b.submit_time_s for a, b in zip(flat, wavy)
+        )
+
+    def test_arrivals_concentrate_around_peak_hour(self):
+        trace = generate_trace(
+            TraceConfig(
+                n_jobs=4000, arrival_rate_per_hour=30.0, seed=1,
+                diurnal_amplitude=0.9, peak_hour=14.0,
+            )
+        )
+        hours = np.asarray(
+            [job.submit_time_s % 86_400.0 for job in trace]
+        ) / 3600.0
+        near_peak = np.count_nonzero(np.abs(hours - 14.0) < 3.0)
+        near_trough = np.count_nonzero(
+            np.minimum(hours, 24.0 - hours) < 3.0
+        )
+        # rate ratio at amplitude 0.9 is 19:1; demand at least 4:1 observed
+        assert near_peak > 4 * max(near_trough, 1)
+
+    def test_weekends_quieter_with_low_weights(self):
+        trace = generate_trace(
+            TraceConfig(
+                n_jobs=6000, arrival_rate_per_hour=30.0, seed=2,
+                day_of_week_weights=(1, 1, 1, 1, 1, 0.25, 0.25),
+            )
+        )
+        days = np.asarray(
+            [int(job.submit_time_s // 86_400.0) for job in trace]
+        )
+        # drop the partial final day so per-day averages are comparable
+        full_days = days[days < days.max()]
+        weekday_mask = (full_days % 7) < 5
+        n_weekdays = len(set(full_days[weekday_mask]))
+        n_weekend = len(set(full_days[~weekday_mask]))
+        weekday_rate = np.count_nonzero(weekday_mask) / max(n_weekdays, 1)
+        weekend_rate = np.count_nonzero(~weekday_mask) / max(n_weekend, 1)
+        assert weekend_rate < 0.45 * weekday_rate
+
+    def test_diurnal_trace_deterministic(self):
+        config = TraceConfig(
+            n_jobs=100, seed=13, diurnal_amplitude=0.5,
+            day_of_week_weights=(1, 1, 1, 1, 1, 0.6, 0.5),
+        )
+        assert generate_trace(config) == generate_trace(config)

@@ -59,7 +59,8 @@ API_SURFACE = frozenset({
     "SchedulingResult", "SchedulingReport", "ScheduleOutcome", "JobRecord",
     "Job", "TraceConfig", "generate_trace", "PlacementPolicy", "FifoPolicy",
     "BackfillPolicy", "VariabilityAwarePolicy", "HealthAwarePolicy",
-    "POLICY_NAMES", "validate_scheduling_report", "write_event_log",
+    "EnergyCappedPolicy", "node_power_watts", "POLICY_NAMES", "ENGINE_MODES",
+    "validate_scheduling_report", "write_event_log",
     # steady-state solver selection
     "SOLVER_LADDER", "SOLVER_FLEET", "SOLVER_GRID", "SOLVER_ENV_VAR",
     "default_solver",

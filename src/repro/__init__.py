@@ -15,7 +15,11 @@ The supported import surface is :mod:`repro.api`::
 
 Layers (see DESIGN.md):
 
-* :mod:`repro.api` — the stable facade (start here);
+* :mod:`repro.api` — the stable facade (start here), including the typed
+  request objects in :mod:`repro.api.requests`;
+* :mod:`repro.service` — the long-lived asyncio HTTP service over the
+  facade (coalescing, response cache, backpressure);
+* :mod:`repro.loadgen` — the seeded closed/open-loop load generator;
 * :mod:`repro.obs` — opt-in observability: spans, counters, manifests;
 * :mod:`repro.gpu` — SKU specs, silicon lottery, power/thermal/DVFS models;
 * :mod:`repro.cluster` — topologies, cooling plants, facility drift, the
@@ -27,24 +31,21 @@ Layers (see DESIGN.md):
   cluster telemetry too);
 * :mod:`repro.hostbench` — real CPU microkernels through the same pipeline.
 
-The historical top-level re-exports (``from repro import longhorn``) still
-resolve, but emit :class:`DeprecationWarning` naming their supported
-replacement — see the deprecation table in the README.
+The historical top-level re-exports (``from repro import longhorn``) were
+deprecated in 1.x and removed in 2.0: they now raise :class:`ImportError`
+naming the supported replacement — see the migration table in the README.
 """
-
-import importlib
-import warnings
 
 from . import api
 
-__version__ = "1.1.0"
+__version__ = "2.0.0"
 
 __all__ = ["__version__", "api"]
 
-# Legacy top-level name -> (defining module, replacement to mention in the
-# DeprecationWarning).  The objects themselves are unchanged — only the
-# import path is deprecated.
-_DEPRECATED_EXPORTS: dict[str, tuple[str, str]] = {
+# Legacy top-level name -> (module that still defines it, replacement to
+# name in the ImportError).  The objects themselves are unchanged — only
+# the top-level ``repro.<name>`` spelling is gone.
+_REMOVED_EXPORTS: dict[str, tuple[str, str]] = {
     # clusters
     "Cluster": ("repro.cluster", "repro.api.load_preset(...)"),
     "longhorn": ("repro.cluster", 'repro.api.load_preset("longhorn")'),
@@ -127,26 +128,24 @@ _DEPRECATED_EXPORTS: dict[str, tuple[str, str]] = {
 
 
 def __getattr__(name: str):
-    """Resolve legacy top-level names with a :class:`DeprecationWarning`.
+    """Raise :class:`ImportError` for removed legacy names, with a hint.
 
-    The objects are the originals from their home subpackages — only the
-    ``repro.<name>`` spelling is deprecated, so old code keeps working
-    while the warning names the supported replacement.
+    The 1.x top-level re-exports were deprecated in PR 3 and removed in
+    2.0.  The objects still live in their home subpackages; the error
+    names the supported spelling so migration is a one-line edit.
     """
     try:
-        module_name, replacement = _DEPRECATED_EXPORTS[name]
+        module_name, replacement = _REMOVED_EXPORTS[name]
     except KeyError:
         raise AttributeError(
             f"module {__name__!r} has no attribute {name!r}"
         ) from None
-    warnings.warn(
-        f"importing {name!r} from the top-level 'repro' package is "
-        f"deprecated; use {replacement} (see repro.api)",
-        DeprecationWarning,
-        stacklevel=2,
+    raise ImportError(
+        f"'repro.{name}' was removed in repro 2.0; the object now lives in "
+        f"{module_name} — use {replacement} (see repro.api and the "
+        "migration table in README.md)"
     )
-    return getattr(importlib.import_module(module_name), name)
 
 
 def __dir__() -> list[str]:
-    return sorted(set(__all__) | set(_DEPRECATED_EXPORTS))
+    return sorted(__all__)

@@ -23,44 +23,67 @@ Result types (:class:`CharacterizationResult`, :class:`ScreenReport`,
 :class:`ClusterReport` et al.) are frozen dataclasses — inspect fields, do
 not mutate.
 
+Every verb also accepts a typed request object (:mod:`repro.api.requests`):
+build a frozen :class:`CharacterizeRequest` (or Screen/Sweep/Schedule/
+Monitor variant), round-trip it through JSON, and pass it as
+``characterize(request=...)`` or dispatch by kind via
+:func:`execute_request`.  The HTTP service (:mod:`repro.service`) and the
+CLI deserialize to these exact objects, so Python, CLI, and wire callers
+share one validated surface; :func:`request_digest` is the coalescing and
+cache key used throughout.
+
 Anything importable from deeper modules (``repro.sim``, ``repro.core``, …)
 remains reachable but is *not* covered by the facade's stability promise;
-the legacy top-level re-exports (``from repro import longhorn``) still work
-but emit :class:`DeprecationWarning` pointing here.
+the legacy top-level re-exports (``from repro import longhorn``) were
+removed in 2.0 and now raise :class:`ImportError` naming the replacement.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .cluster import get_preset, list_presets
-from .cluster.cluster import Cluster
-from .core import (
+from ..cluster import get_preset, list_presets
+from ..cluster.cluster import Cluster
+from ..core import (
     VariabilitySuite,
     flag_outlier_gpus,
     metric_boxstats,
     persistent_outliers,
     project_variation,
 )
-from .core.boxstats import BoxStats
-from .core.outliers import OutlierReport
-from .errors import ConfigError
-from .gpu.dvfs import (
+from ..core.boxstats import BoxStats
+from ..core.outliers import OutlierReport
+from ..errors import ConfigError
+from ..gpu.dvfs import (
     SOLVER_ENV_VAR,
     SOLVER_FLEET,
     SOLVER_GRID,
     SOLVER_LADDER,
     default_solver,
+    solver_scope,
 )
-from .core.suite import ClusterReport
-from .core.classify import ApplicationClass, classify_workload
-from .core.scheduler import PlacementPlan
-from .core.scheduler import node_variability_scores as _node_variability_scores
-from .core.scheduler import plan_placements as _plan_placements
-from .core.scheduler import (
+from .requests import (
+    EXECUTION_FIELDS,
+    REQUEST_KINDS,
+    REQUEST_SCHEMA_VERSION,
+    CharacterizeRequest,
+    MonitorRequest,
+    ScheduleRequest,
+    ScreenRequest,
+    SweepRequest,
+    request_digest,
+    request_from_dict,
+    request_from_json,
+)
+from ..core.suite import ClusterReport
+from ..core.classify import ApplicationClass, classify_workload
+from ..core.scheduler import PlacementPlan
+from ..core.scheduler import node_variability_scores as _node_variability_scores
+from ..core.scheduler import plan_placements as _plan_placements
+from ..core.scheduler import (
     slow_assignment_probability as _slow_assignment_probability,
 )
-from .obs import (
+from ..obs import (
     FleetMonitor,
     Manifest,
     MonitorConfig,
@@ -73,7 +96,7 @@ from .obs import (
     write_chrome_trace,
     write_events_jsonl,
 )
-from .obs.health import (
+from ..obs.health import (
     FleetHealthReport,
     HealthEvent,
     HealthEventKind,
@@ -83,7 +106,7 @@ from .obs.health import (
     validate_health_report,
     write_health_events,
 )
-from .sched import (
+from ..sched import (
     ENGINE_MODES,
     POLICY_NAMES,
     BackfillPolicy,
@@ -105,14 +128,14 @@ from .sched import (
     validate_scheduling_report,
     write_event_log,
 )
-from .sim.campaign import CampaignConfig
-from .sim.campaign import run_campaign as _run_campaign
-from .sim.parallel import ParallelConfig
-from .telemetry.dataset import MeasurementDataset
-from .telemetry.progress import CampaignProgress
-from .telemetry.sample import METRIC_PERFORMANCE
-from .workloads import get_workload, list_workloads
-from .workloads.base import Workload
+from ..sim.campaign import CampaignConfig
+from ..sim.campaign import run_campaign as _run_campaign
+from ..sim.parallel import ParallelConfig
+from ..telemetry.dataset import MeasurementDataset
+from ..telemetry.progress import CampaignProgress
+from ..telemetry.sample import METRIC_PERFORMANCE
+from ..workloads import get_workload, list_workloads
+from ..workloads.base import Workload
 
 __all__ = [
     # constructors / registries
@@ -199,6 +222,20 @@ __all__ = [
     "SOLVER_GRID",
     "SOLVER_ENV_VAR",
     "default_solver",
+    "solver_scope",
+    # typed request objects (one validated surface: CLI, Python, HTTP)
+    "REQUEST_SCHEMA_VERSION",
+    "REQUEST_KINDS",
+    "EXECUTION_FIELDS",
+    "CharacterizeRequest",
+    "ScreenRequest",
+    "SweepRequest",
+    "ScheduleRequest",
+    "MonitorRequest",
+    "request_from_dict",
+    "request_from_json",
+    "request_digest",
+    "execute_request",
 ]
 
 
@@ -221,6 +258,32 @@ def load_preset(name: str, *, seed: int = 0, scale: float = 1.0) -> Cluster:
 def load_workload(name: str) -> Workload:
     """Look up one of the paper's workloads by name (see :func:`list_workloads`)."""
     return get_workload(name)
+
+
+# ---------------------------------------------------------------------------
+# request plumbing (shared by the verbs below)
+# ---------------------------------------------------------------------------
+
+
+def _require_request_only(verb: str, **built) -> None:
+    """Reject mixing ``request=`` with already-constructed objects."""
+    clashes = [name for name, value in built.items() if value is not None]
+    if clashes:
+        raise ConfigError(
+            f"{verb}() takes either request= or the constructed "
+            f"{'/'.join(sorted(built))} arguments, not both "
+            f"(got request= plus {clashes})"
+        )
+
+
+def _require_built(verb: str, **built) -> None:
+    """Reject calls that provided neither a request nor the built objects."""
+    missing = [name for name, value in built.items() if value is None]
+    if missing:
+        raise ConfigError(
+            f"{verb}() needs either request= or {'/'.join(sorted(built))}; "
+            f"missing {missing}"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -274,8 +337,9 @@ class CharacterizationResult:
 
 def characterize(
     *,
-    cluster: Cluster,
-    workload: Workload,
+    request: CharacterizeRequest | None = None,
+    cluster: Cluster | None = None,
+    workload: Workload | None = None,
     config: CampaignConfig | None = None,
     workers: int | None = None,
     tracer: Tracer | None = None,
@@ -286,18 +350,44 @@ def characterize(
     The report side is exactly :meth:`VariabilitySuite.characterize
     <repro.core.suite.VariabilitySuite.characterize>`; the raw dataset is
     returned alongside so callers can archive or re-analyze it.
+
+    Pass either a :class:`~repro.api.requests.CharacterizeRequest` (the
+    wire surface shared with the CLI and :mod:`repro.service`) or the
+    constructed ``cluster``/``workload``/``config`` objects — not both.
     """
+    solver = None
+    if request is not None:
+        _require_request_only(
+            "characterize", cluster=cluster, workload=workload,
+            config=config, workers=workers,
+        )
+        cluster = load_preset(
+            request.cluster, seed=request.seed, scale=request.scale
+        )
+        workload = load_workload(request.workload)
+        config = CampaignConfig(
+            days=request.days,
+            runs_per_day=request.runs_per_day,
+            coverage=request.coverage,
+            power_limit_w=request.power_limit_w,
+        )
+        workers = request.workers
+        solver = request.solver
+    _require_built("characterize", cluster=cluster, workload=workload)
     config = config if config is not None else CampaignConfig()
-    dataset = run_campaign(
-        cluster=cluster,
-        workload=workload,
-        config=config,
-        workers=workers,
-        tracer=tracer,
-        manifest=manifest,
-    )
-    suite = VariabilitySuite(cluster, config, workers=workers)
-    return CharacterizationResult(report=suite.analyze(dataset), dataset=dataset)
+    with solver_scope(solver):
+        dataset = run_campaign(
+            cluster=cluster,
+            workload=workload,
+            config=config,
+            workers=workers,
+            tracer=tracer,
+            manifest=manifest,
+        )
+        suite = VariabilitySuite(cluster, config, workers=workers)
+        return CharacterizationResult(
+            report=suite.analyze(dataset), dataset=dataset
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -330,8 +420,9 @@ class MonitoringResult:
 
 def monitor_fleet(
     *,
-    cluster: Cluster,
-    workload: Workload,
+    request: MonitorRequest | None = None,
+    cluster: Cluster | None = None,
+    workload: Workload | None = None,
     config: CampaignConfig | None = None,
     workers: int | None = None,
     parallel: ParallelConfig | None = None,
@@ -349,19 +440,45 @@ def monitor_fleet(
     in canonical plan order, then the online health detector replays the
     merged run stream: the event sequence and registry totals are therefore
     identical for any ``workers`` value.
+
+    Pass either a :class:`~repro.api.requests.MonitorRequest` (its
+    ``window`` feeds both the metrics pipeline and the health detector) or
+    the constructed objects — not both.
     """
+    solver = None
+    if request is not None:
+        _require_request_only(
+            "monitor_fleet", cluster=cluster, workload=workload,
+            config=config, workers=workers, policy=policy,
+            monitor_config=monitor_config,
+        )
+        cluster = load_preset(
+            request.cluster, seed=request.seed, scale=request.scale
+        )
+        workload = load_workload(request.workload)
+        config = CampaignConfig(
+            days=request.days,
+            runs_per_day=request.runs_per_day,
+            coverage=request.coverage,
+        )
+        workers = request.workers
+        policy = HealthPolicy(window_runs=request.window)
+        monitor_config = MonitorConfig(window_runs=request.window)
+        solver = request.solver
+    _require_built("monitor_fleet", cluster=cluster, workload=workload)
     monitor = FleetMonitor(monitor_config)
-    dataset = run_campaign(
-        cluster=cluster,
-        workload=workload,
-        config=config,
-        workers=workers,
-        parallel=parallel,
-        progress=progress,
-        tracer=tracer,
-        manifest=manifest,
-        monitor=monitor,
-    )
+    with solver_scope(solver):
+        dataset = run_campaign(
+            cluster=cluster,
+            workload=workload,
+            config=config,
+            workers=workers,
+            parallel=parallel,
+            progress=progress,
+            tracer=tracer,
+            manifest=manifest,
+            monitor=monitor,
+        )
     tracker, report = analyze_fleet_health(
         monitor, cluster.topology, policy=policy
     )
@@ -398,30 +515,53 @@ class ScreenReport:
 
 def screen(
     *,
-    cluster: Cluster,
-    workloads: tuple[Workload, ...] | list[Workload],
+    request: ScreenRequest | None = None,
+    cluster: Cluster | None = None,
+    workloads: tuple[Workload, ...] | list[Workload] | None = None,
     config: CampaignConfig | None = None,
     min_confirmations: int = 2,
     workers: int | None = None,
     tracer: Tracer | None = None,
     manifest: Manifest | None = None,
 ) -> ScreenReport:
-    """Flag outlier GPUs per application, confirm across applications."""
+    """Flag outlier GPUs per application, confirm across applications.
+
+    Pass either a :class:`~repro.api.requests.ScreenRequest` (workloads by
+    name) or the constructed objects — not both.
+    """
+    solver = None
+    if request is not None:
+        _require_request_only(
+            "screen", cluster=cluster, workloads=workloads, config=config,
+            workers=workers,
+        )
+        cluster = load_preset(
+            request.cluster, seed=request.seed, scale=request.scale
+        )
+        workloads = [load_workload(name) for name in request.workloads]
+        config = CampaignConfig(days=request.days)
+        min_confirmations = request.min_confirmations
+        workers = request.workers
+        solver = request.solver
+    _require_built("screen", cluster=cluster, workloads=workloads)
     config = config if config is not None else CampaignConfig(days=3)
     screens: list[WorkloadScreen] = []
     reports: list[OutlierReport] = []
-    for workload in workloads:
-        dataset = run_campaign(
-            cluster=cluster,
-            workload=workload,
-            config=config,
-            workers=workers,
-            tracer=tracer,
-            manifest=manifest,
-        )
-        report = flag_outlier_gpus(dataset, METRIC_PERFORMANCE)
-        screens.append(WorkloadScreen(workload=workload.name, outliers=report))
-        reports.append(report)
+    with solver_scope(solver):
+        for workload in workloads:
+            dataset = run_campaign(
+                cluster=cluster,
+                workload=workload,
+                config=config,
+                workers=workers,
+                tracer=tracer,
+                manifest=manifest,
+            )
+            report = flag_outlier_gpus(dataset, METRIC_PERFORMANCE)
+            screens.append(
+                WorkloadScreen(workload=workload.name, outliers=report)
+            )
+            reports.append(report)
     confirmed = persistent_outliers(
         reports, min_occurrences=min(min_confirmations, len(reports))
     )
@@ -457,8 +597,9 @@ class SweepReport:
 
 def sweep(
     *,
-    cluster: Cluster,
-    power_limits_w: tuple[float, ...] | list[float],
+    request: SweepRequest | None = None,
+    cluster: Cluster | None = None,
+    power_limits_w: tuple[float, ...] | list[float] | None = None,
     workload: Workload | None = None,
     runs: int = 6,
     workers: int | None = None,
@@ -470,22 +611,41 @@ def sweep(
     Requires an admin-access cluster (only CloudLab in the paper).  Each
     limit runs a one-day, ``runs``-per-day campaign — one manifest entry
     per limit when ``manifest`` is attached.
+
+    Pass either a :class:`~repro.api.requests.SweepRequest` or the
+    constructed objects — not both.
     """
+    solver = None
+    if request is not None:
+        _require_request_only(
+            "sweep", cluster=cluster, power_limits_w=power_limits_w,
+            workload=workload, workers=workers,
+        )
+        cluster = load_preset(
+            request.cluster, seed=request.seed, scale=request.scale
+        )
+        power_limits_w = request.power_limits_w
+        workload = load_workload(request.workload)
+        runs = request.runs
+        workers = request.workers
+        solver = request.solver
+    _require_built("sweep", cluster=cluster, power_limits_w=power_limits_w)
     workload = workload if workload is not None else get_workload("sgemm")
     points: list[SweepPoint] = []
-    for limit in power_limits_w:
-        dataset = run_campaign(
-            cluster=cluster,
-            workload=workload,
-            config=CampaignConfig(
-                days=1, runs_per_day=runs, power_limit_w=float(limit)
-            ),
-            workers=workers,
-            tracer=tracer,
-            manifest=manifest,
-        )
-        stats = BoxStats.from_values(dataset.column(METRIC_PERFORMANCE))
-        points.append(SweepPoint(power_limit_w=float(limit), stats=stats))
+    with solver_scope(solver):
+        for limit in power_limits_w:
+            dataset = run_campaign(
+                cluster=cluster,
+                workload=workload,
+                config=CampaignConfig(
+                    days=1, runs_per_day=runs, power_limit_w=float(limit)
+                ),
+                workers=workers,
+                tracer=tracer,
+                manifest=manifest,
+            )
+            stats = BoxStats.from_values(dataset.column(METRIC_PERFORMANCE))
+            points.append(SweepPoint(power_limit_w=float(limit), stats=stats))
     return SweepReport(
         cluster=cluster.name,
         workload=workload.name,
@@ -722,7 +882,8 @@ def _build_policy(
 
 def schedule(
     *,
-    cluster: Cluster,
+    request: ScheduleRequest | None = None,
+    cluster: Cluster | None = None,
     policy: str | PlacementPolicy = "fifo",
     trace: TraceConfig | tuple[Job, ...] | list[Job] | None = None,
     engine: str = "auto",
@@ -737,6 +898,12 @@ def schedule(
 
     Parameters
     ----------
+    request:
+        A :class:`~repro.api.requests.ScheduleRequest` carrying every
+        field below in wire-primitive form (trace parameters instead of a
+        :class:`~repro.sched.TraceConfig`, preset name instead of a
+        :class:`Cluster`).  Mutually exclusive with the constructed
+        arguments.
     cluster:
         The simulated machine.
     policy:
@@ -773,6 +940,54 @@ def schedule(
     Same ``cluster`` seed + same ``trace`` + same ``policy`` ⇒
     byte-identical event log and report, under either engine.
     """
+    solver = None
+    if request is not None:
+        _require_request_only(
+            "schedule", cluster=cluster, trace=trace,
+            profile_workload=profile_workload, profile_config=profile_config,
+            workers=workers, power_budget_w=power_budget_w,
+        )
+        cluster = load_preset(
+            request.cluster, seed=request.seed, scale=request.scale
+        )
+        policy = request.policy
+        trace = TraceConfig(
+            n_jobs=request.n_jobs,
+            arrival_rate_per_hour=request.arrival_rate_per_hour,
+            seed=request.trace_seed,
+            diurnal_amplitude=request.diurnal_amplitude,
+            peak_hour=request.peak_hour,
+            day_of_week_weights=request.day_of_week_weights,
+        )
+        engine = request.engine
+        power_budget_w = request.power_budget_w
+        profile_config = CampaignConfig(days=request.profile_days)
+        workers = request.workers
+        solver = request.solver
+    _require_built("schedule", cluster=cluster)
+    with solver_scope(solver):
+        return _schedule_built(
+            cluster=cluster, policy=policy, trace=trace, engine=engine,
+            power_budget_w=power_budget_w, profile_workload=profile_workload,
+            profile_config=profile_config, workers=workers, tracer=tracer,
+            manifest=manifest,
+        )
+
+
+def _schedule_built(
+    *,
+    cluster: Cluster,
+    policy: str | PlacementPolicy,
+    trace: TraceConfig | tuple[Job, ...] | list[Job] | None,
+    engine: str,
+    power_budget_w: float | None,
+    profile_workload: Workload | None,
+    profile_config: CampaignConfig | None,
+    workers: int | None,
+    tracer: Tracer | None,
+    manifest: Manifest | None,
+) -> SchedulingResult:
+    """The constructed-objects body of :func:`schedule`."""
     if trace is None:
         trace = TraceConfig()
     if isinstance(trace, TraceConfig):
@@ -804,3 +1019,45 @@ def schedule(
         trace_seed=trace_seed,
     )
     return SchedulingResult(report=report, outcome=outcome, profile=profile)
+
+
+# ---------------------------------------------------------------------------
+# request execution (the service layer's single entry point)
+# ---------------------------------------------------------------------------
+
+
+def execute_request(
+    request,
+    *,
+    tracer: Tracer | None = None,
+    manifest: Manifest | None = None,
+):
+    """Execute any typed request and return its verb's result object.
+
+    The dispatch table behind the HTTP service and any batch driver: a
+    :class:`~repro.api.requests.CharacterizeRequest` yields a
+    :class:`CharacterizationResult`, a ``ScreenRequest`` a
+    :class:`ScreenReport`, a ``SweepRequest`` a :class:`SweepReport`, a
+    ``ScheduleRequest`` a :class:`SchedulingResult`, and a
+    ``MonitorRequest`` a :class:`MonitoringResult` — exactly what the
+    corresponding facade verb returns for the same parameters, bit for
+    bit.  Unknown request types raise :class:`~repro.errors.ConfigError`.
+    """
+    kind = getattr(request, "kind", None)
+    verb = _REQUEST_VERBS.get(kind)
+    if verb is None or not isinstance(request, REQUEST_KINDS.get(kind, ())):
+        raise ConfigError(
+            f"execute_request() needs one of the repro.api request types, "
+            f"got {type(request).__name__!r}"
+        )
+    return verb(request=request, tracer=tracer, manifest=manifest)
+
+
+#: kind -> facade verb, resolved after all verbs are defined.
+_REQUEST_VERBS = {
+    "characterize": characterize,
+    "screen": screen,
+    "sweep": sweep,
+    "schedule": schedule,
+    "monitor": monitor_fleet,
+}

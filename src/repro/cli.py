@@ -26,6 +26,14 @@ driven from the shell:
     discrete-event queue engine under a placement policy and print the
     scheduling report (Section VII); ``--report`` / ``--events`` write the
     schema-validated JSON report and the byte-stable JSONL event log.
+``serve``
+    Boot the long-lived fleet service (:mod:`repro.service`): asyncio
+    HTTP endpoints for the five verbs with request coalescing, a bounded
+    response cache, and worker-pool backpressure.
+``loadgen``
+    Drive a seeded closed- or open-loop request mix at a running service
+    (or ``--self-host`` one on an ephemeral port) and print/write the
+    schema-validated latency report (:mod:`repro.loadgen`).
 
 Every subcommand accepts the same execution options — ``--seed``,
 ``--workers``, ``--solver``, ``--trace PATH`` and ``--manifest PATH`` —
@@ -40,14 +48,18 @@ document (see :mod:`repro.obs` and docs/OBSERVABILITY.md).  Neither flag
 changes any computed output: results are bit-identical with or without
 them.
 
-All commands delegate to the stable :mod:`repro.api` facade.
+All commands delegate to the stable :mod:`repro.api` facade.  The five
+campaign verbs assemble a typed request object
+(:mod:`repro.api.requests`) and hand it to the facade — the exact same
+deserialized object the HTTP service executes, so the CLI, Python, and
+wire paths share one validated surface.
 """
 
 from __future__ import annotations
 
 import argparse
-import contextlib
-import os
+import asyncio
+import json
 import sys
 from typing import Sequence
 
@@ -164,6 +176,62 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events", metavar="PATH", default=None,
                    help="write the canonical event log as JSON Lines")
 
+    p = sub.add_parser("serve",
+                       help="run the long-lived fleet service (HTTP)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="listen port (0 binds an ephemeral port)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="concurrent campaign executions")
+    p.add_argument("--max-pending", type=int, default=8,
+                   help="admitted-but-unfinished request bound "
+                        "(beyond it: HTTP 429)")
+    p.add_argument("--cache-entries", type=int, default=64,
+                   help="response-cache FIFO bound")
+    p.add_argument("--backend", default="thread",
+                   choices=("thread", "process"),
+                   help="worker-pool backend (see docs/SERVICE.md)")
+
+    p = sub.add_parser("loadgen",
+                       help="seeded load generator against the service")
+    p.add_argument("--url", default=None, metavar="http://HOST:PORT",
+                   help="target service (mutually exclusive with "
+                        "--self-host)")
+    p.add_argument("--self-host", action="store_true",
+                   help="boot an in-process service on an ephemeral port "
+                        "for the duration of the run")
+    p.add_argument("--mode", default="closed", choices=("closed", "open"))
+    p.add_argument("--requests", type=int, default=32,
+                   help="total requests offered")
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="closed-loop worker count")
+    p.add_argument("--rate", type=float, default=20.0,
+                   help="open-loop arrival rate (requests/second)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="load-plan seed (same seed = same request stream)")
+    p.add_argument("--duplicate-fraction", type=float, default=0.75,
+                   help="fraction of requests sharing one digest "
+                        "(coalescing/cache exercise)")
+    p.add_argument("--distinct", type=int, default=4,
+                   help="distinct variant seeds for the rest of the mix")
+    p.add_argument("--mix", default="characterize",
+                   help="comma-separated endpoint kinds to mix")
+    p.add_argument("--cluster", default="cloudlab",
+                   help="cluster preset behind the generated requests")
+    p.add_argument("--scale", type=float, default=0.5,
+                   help="cluster scale of the generated requests")
+    p.add_argument("--days", type=int, default=1,
+                   help="campaign days of the generated requests")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="per-request service-side deadline (seconds)")
+    p.add_argument("--timeout", type=float, default=120.0, metavar="S",
+                   help="client-side transport timeout per request")
+    p.add_argument("--sweep", default=None, metavar="C1,C2,...",
+                   help="run a closed-loop saturation sweep at these "
+                        "concurrencies after the main run")
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="write the latency report JSON")
+
     return parser
 
 
@@ -232,39 +300,22 @@ def _build_cluster(args: argparse.Namespace) -> "api.Cluster":
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    ``--solver`` routes through :func:`repro.api.solver_scope` (the env
+    var :data:`repro.api.SOLVER_ENV_VAR`, restored on exit) so the
+    selection reaches controllers and campaign worker processes without
+    threading through every signature; for the request-carrying commands
+    the request's own ``solver`` field applies the identical scope inside
+    the facade — nesting the same value is a no-op.
+    """
     args = build_parser().parse_args(argv)
     try:
-        with _solver_override(getattr(args, "solver", None)):
+        with api.solver_scope(getattr(args, "solver", None)):
             return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-
-
-@contextlib.contextmanager
-def _solver_override(solver: str | None):
-    """Expose ``--solver`` to controllers via the selection env var.
-
-    Controllers consult :data:`SOLVER_ENV_VAR` at construction time (also
-    inside campaign worker processes, which inherit the environment), so
-    the flag routes through the environment rather than through every
-    intermediate API signature.  The prior value is restored on exit so
-    ``main()`` stays re-entrant for in-process callers and tests.
-    """
-    if solver is None:
-        yield
-        return
-    sentinel = object()
-    prior = os.environ.get(api.SOLVER_ENV_VAR, sentinel)
-    os.environ[api.SOLVER_ENV_VAR] = solver
-    try:
-        yield
-    finally:
-        if prior is sentinel:
-            os.environ.pop(api.SOLVER_ENV_VAR, None)
-        else:
-            os.environ[api.SOLVER_ENV_VAR] = prior  # type: ignore[arg-type]
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -287,13 +338,17 @@ def _cmd_list(args: argparse.Namespace) -> int:
 def _cmd_characterize(args: argparse.Namespace) -> int:
     obs = _ObsSession(args)
     result = api.characterize(
-        cluster=_build_cluster(args),
-        workload=api.load_workload(args.workload),
-        config=api.CampaignConfig(
-            days=args.days, runs_per_day=args.runs_per_day,
+        request=api.CharacterizeRequest(
+            cluster=args.cluster,
+            seed=args.seed,
+            scale=args.scale,
+            workload=args.workload,
+            days=args.days,
+            runs_per_day=args.runs_per_day,
             coverage=args.coverage,
+            workers=args.workers,
+            solver=args.solver,
         ),
-        workers=args.workers,
         tracer=obs.tracer,
         manifest=obs.manifest,
     )
@@ -309,15 +364,18 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 def _cmd_monitor(args: argparse.Namespace) -> int:
     obs = _ObsSession(args)
     result = api.monitor_fleet(
-        cluster=_build_cluster(args),
-        workload=api.load_workload(args.workload),
-        config=api.CampaignConfig(
-            days=args.days, runs_per_day=args.runs_per_day,
+        request=api.MonitorRequest(
+            cluster=args.cluster,
+            seed=args.seed,
+            scale=args.scale,
+            workload=args.workload,
+            days=args.days,
+            runs_per_day=args.runs_per_day,
             coverage=args.coverage,
+            window=args.window,
+            workers=args.workers,
+            solver=args.solver,
         ),
-        workers=args.workers,
-        policy=api.HealthPolicy(window_runs=args.window),
-        monitor_config=api.MonitorConfig(window_runs=args.window),
         tracer=obs.tracer,
         manifest=obs.manifest,
     )
@@ -345,12 +403,18 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 def _cmd_screen(args: argparse.Namespace) -> int:
     obs = _ObsSession(args)
     report = api.screen(
-        cluster=_build_cluster(args),
-        workloads=[api.load_workload(name.strip())
-                   for name in args.workloads.split(",")],
-        config=api.CampaignConfig(days=args.days),
-        min_confirmations=args.min_confirmations,
-        workers=args.workers,
+        request=api.ScreenRequest(
+            cluster=args.cluster,
+            seed=args.seed,
+            scale=args.scale,
+            workloads=tuple(
+                name.strip() for name in args.workloads.split(",")
+            ),
+            days=args.days,
+            min_confirmations=args.min_confirmations,
+            workers=args.workers,
+            solver=args.solver,
+        ),
         tracer=obs.tracer,
         manifest=obs.manifest,
     )
@@ -366,10 +430,17 @@ def _cmd_screen(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     obs = _ObsSession(args)
     report = api.sweep(
-        cluster=_build_cluster(args),
-        power_limits_w=[float(x) for x in args.limits.split(",")],
-        runs=args.runs,
-        workers=args.workers,
+        request=api.SweepRequest(
+            cluster=args.cluster,
+            seed=args.seed,
+            scale=args.scale,
+            power_limits_w=tuple(
+                float(x) for x in args.limits.split(",")
+            ),
+            runs=args.runs,
+            workers=args.workers,
+            solver=args.solver,
+        ),
         tracer=obs.tracer,
         manifest=obs.manifest,
     )
@@ -407,20 +478,23 @@ def _cmd_sched(args: argparse.Namespace) -> int:
         else None
     )
     result = api.schedule(
-        cluster=_build_cluster(args),
-        policy=args.policy,
-        trace=api.TraceConfig(
+        request=api.ScheduleRequest(
+            cluster=args.cluster,
+            seed=args.seed,
+            scale=args.scale,
+            policy=args.policy,
             n_jobs=args.jobs,
+            trace_seed=args.trace_seed,
             arrival_rate_per_hour=args.arrival_per_hour,
-            seed=args.trace_seed,
             diurnal_amplitude=args.diurnal_amplitude,
             peak_hour=args.peak_hour,
             day_of_week_weights=day_weights,
+            engine=args.engine,
+            power_budget_w=args.power_budget_w,
+            profile_days=args.profile_days,
+            workers=args.workers,
+            solver=args.solver,
         ),
-        engine=args.engine,
-        power_budget_w=args.power_budget_w,
-        profile_config=api.CampaignConfig(days=args.profile_days),
-        workers=args.workers,
         tracer=obs.tracer,
         manifest=obs.manifest,
     )
@@ -436,6 +510,107 @@ def _cmd_sched(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import FleetService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        backend=args.backend,
+        max_pending=args.max_pending,
+        cache_entries=args.cache_entries,
+    )
+    service = FleetService(config)
+
+    async def _serve() -> None:
+        await service.start()
+        # Flush immediately: CI and scripts wait for this line to know
+        # the (possibly ephemeral) port is bound.
+        print(f"repro service listening on "
+              f"http://{config.host}:{service.port}", flush=True)
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nservice stopped")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .loadgen import (
+        LoadGenConfig,
+        run_loadgen,
+        run_selfhosted,
+        validate_latency_report,
+    )
+
+    if bool(args.url) == bool(args.self_host):
+        print("error: pass exactly one of --url or --self-host",
+              file=sys.stderr)
+        return 2
+    config = LoadGenConfig(
+        mode=args.mode,
+        n_requests=args.requests,
+        concurrency=args.concurrency,
+        rate_rps=args.rate,
+        seed=args.seed,
+        duplicate_fraction=args.duplicate_fraction,
+        distinct=args.distinct,
+        mix=tuple(kind.strip() for kind in args.mix.split(",")),
+        cluster=args.cluster,
+        scale=args.scale,
+        days=args.days,
+        deadline_s=args.deadline,
+        timeout_s=args.timeout,
+    )
+    sweep = (
+        tuple(int(c) for c in args.sweep.split(",")) if args.sweep else ()
+    )
+    if args.self_host:
+        report = run_selfhosted(config, sweep_concurrencies=sweep)
+    else:
+        host, port = _parse_service_url(args.url)
+        report = run_loadgen(config, host, port, sweep_concurrencies=sweep)
+    validate_latency_report(report)
+    latency = report["latency_ms"]
+    coalescing = report["coalescing"]
+    print(f"{report['ok_requests']}/{report['n_requests']} ok in "
+          f"{report['duration_s']:.2f}s "
+          f"({report['throughput_rps']:.1f} req/s)")
+    print(f"latency ms: p50={latency['p50']:.1f} p95={latency['p95']:.1f} "
+          f"p99={latency['p99']:.1f}")
+    print(f"coalescing: {coalescing['campaigns']} campaign(s) served "
+          f"{report['ok_requests']} requests "
+          f"(hit rate {coalescing['hit_rate']:.0%})")
+    if report.get("saturation"):
+        print(f"saturation concurrency: "
+              f"{report['saturation']['saturation_concurrency']}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as sink:
+            json.dump(report, sink, indent=2, sort_keys=True)
+            sink.write("\n")
+        print(f"latency report written to {args.report}")
+    return 0
+
+
+def _parse_service_url(url: str) -> tuple[str, int]:
+    """Extract (host, port) from an ``http://host:port`` service URL."""
+    from .errors import ConfigError
+
+    stripped = url.strip()
+    if stripped.startswith("http://"):
+        stripped = stripped[len("http://"):]
+    stripped = stripped.rstrip("/")
+    host, colon, port_text = stripped.partition(":")
+    if not colon or not port_text.isdigit() or not host:
+        raise ConfigError(
+            f"--url must look like http://HOST:PORT, got {url!r}"
+        )
+    return host, int(port_text)
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "characterize": _cmd_characterize,
@@ -444,4 +619,6 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "project": _cmd_project,
     "sched": _cmd_sched,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }

@@ -34,3 +34,15 @@ class TelemetryError(ReproError):
 
 class DatasetError(ReproError):
     """A measurement dataset is malformed or an I/O round-trip failed."""
+
+
+class ServiceError(ReproError):
+    """The fleet service could not process a request."""
+
+
+class ServiceSaturated(ServiceError):
+    """The service's bounded work queue is full (HTTP 429/503 territory)."""
+
+
+class DeadlineExceeded(ServiceError):
+    """A request's deadline expired before its result was ready."""

@@ -60,6 +60,7 @@ pins across presets, defects, and cap edge cases.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 from dataclasses import dataclass
@@ -81,6 +82,7 @@ __all__ = [
     "SOLVER_LADDER",
     "SOLVER_FLEET",
     "SOLVER_GRID",
+    "solver_scope",
 ]
 
 #: Fixed-point iterations for the leakage/temperature coupling.  The
@@ -241,6 +243,35 @@ def default_solver() -> str:
     require(solver in _SOLVERS,
             f"{SOLVER_ENV_VAR} must be one of {_SOLVERS}, got {solver!r}")
     return solver
+
+
+@contextlib.contextmanager
+def solver_scope(solver: str | None):
+    """Select the steady-state solver for the duration of a ``with`` block.
+
+    Controllers consult :data:`SOLVER_ENV_VAR` at construction time (also
+    inside campaign worker processes, which inherit the environment), so
+    the selection routes through the environment rather than through every
+    intermediate API signature.  ``None`` is a no-op; the prior value is
+    restored on exit, so scopes nest and re-entrant callers (the CLI, the
+    service layer) never leak state.  All solvers produce bit-identical
+    outputs — the scope only selects speed.
+    """
+    if solver is None:
+        yield
+        return
+    require(solver in _SOLVERS,
+            f"solver must be one of {_SOLVERS}, got {solver!r}")
+    sentinel = object()
+    prior = os.environ.get(SOLVER_ENV_VAR, sentinel)
+    os.environ[SOLVER_ENV_VAR] = solver
+    try:
+        yield
+    finally:
+        if prior is sentinel:
+            os.environ.pop(SOLVER_ENV_VAR, None)
+        else:
+            os.environ[SOLVER_ENV_VAR] = prior  # type: ignore[arg-type]
 
 
 class DvfsController:

@@ -1,0 +1,39 @@
+"""repro.loadgen — seeded load generation for the fleet service.
+
+The measurement half of the serving story: :mod:`repro.service` answers
+requests, this package offers them — closed-loop (fixed concurrency) or
+open-loop (seeded exponential arrivals at a fixed rate), over a mixed,
+duplicate-heavy or distinct-heavy endpoint stream — and distills the run
+into a schema-validated latency report: p50/p95/p99 and mean/max latency,
+throughput, per-status and per-cache-state counts, the coalescing hit
+rate, and an optional closed-loop saturation sweep.
+
+Every random choice derives from :class:`repro.rng.RngFactory` streams
+keyed off the config seed, so runs replay exactly.  Use it from the
+shell (``python -m repro loadgen --self-host``), from Python
+(:func:`run_loadgen` against a URL, :func:`run_selfhosted` for an
+in-process service on an ephemeral port), or via
+``benchmarks/bench_service_latency.py`` which writes the
+``BENCH_service.json`` artifact.  The report schema is documented in
+docs/SERVICE.md and enforced by :func:`validate_latency_report`.
+"""
+
+from .core import (
+    LATENCY_REPORT_SCHEMA_VERSION,
+    LoadGenConfig,
+    plan_requests,
+    run_loadgen,
+    run_loadgen_async,
+    run_selfhosted,
+    validate_latency_report,
+)
+
+__all__ = [
+    "LATENCY_REPORT_SCHEMA_VERSION",
+    "LoadGenConfig",
+    "plan_requests",
+    "run_loadgen",
+    "run_loadgen_async",
+    "run_selfhosted",
+    "validate_latency_report",
+]

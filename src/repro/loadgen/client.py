@@ -1,0 +1,89 @@
+"""Minimal asyncio HTTP/1.1 client for the fleet service.
+
+One connection per request, ``Connection: close`` — deliberately the
+dumbest correct client: no pooling, no pipelining, no keep-alive state to
+leak between load-generator runs.  That makes every request independent,
+which is exactly what a latency-measuring harness wants (a slow response
+can never head-of-line-block an unrelated one).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..errors import ServiceError
+
+__all__ = ["HttpReply", "http_request"]
+
+
+class HttpReply:
+    """One parsed HTTP response: status, lower-cased headers, raw body."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(
+        self, status: int, headers: dict[str, str], body: bytes
+    ) -> None:
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes = b"",
+    timeout_s: float = 60.0,
+) -> HttpReply:
+    """Issue one HTTP/1.1 request and read the full response.
+
+    Raises :class:`~repro.errors.ServiceError` on connection failure,
+    timeout, or an unparseable response — the caller counts those as
+    transport errors rather than HTTP statuses.
+    """
+    try:
+        return await asyncio.wait_for(
+            _request_once(host, port, method, path, body), timeout_s
+        )
+    except asyncio.TimeoutError:
+        raise ServiceError(
+            f"{method} {path} timed out after {timeout_s}s"
+        ) from None
+    except (ConnectionError, OSError) as exc:
+        raise ServiceError(f"{method} {path} failed: {exc}") from exc
+
+
+async def _request_once(
+    host: str, port: int, method: str, path: str, body: bytes
+) -> HttpReply:
+    """The unguarded request/response exchange behind :func:`http_request`."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+    head_part, sep, payload = raw.partition(b"\r\n\r\n")
+    if not sep:
+        raise ServiceError(f"truncated response to {method} {path}")
+    lines = head_part.decode("latin-1").split("\r\n")
+    status_parts = lines[0].split(" ", 2)
+    if len(status_parts) < 2 or not status_parts[1].isdigit():
+        raise ServiceError(f"malformed status line: {lines[0]!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, colon, value = line.partition(":")
+        if colon:
+            headers[name.strip().lower()] = value.strip()
+    return HttpReply(int(status_parts[1]), headers, payload)

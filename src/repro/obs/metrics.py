@@ -61,6 +61,12 @@ DEFAULT_HISTOGRAM_EDGES: dict[str, tuple[float, ...]] = {
     "power_w": tuple(float(v) for v in range(40, 561, 20)),
     "temperature_c": tuple(float(v) for v in range(20, 111, 3)),
     "perf_deviation": tuple(round(0.80 + 0.025 * i, 3) for i in range(33)),
+    # Service request latency: roughly-geometric bounds from 1 ms to 60 s,
+    # wide enough to cover a cache hit and a cold full-fleet campaign.
+    "latency_s": (
+        0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+        0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+    ),
 }
 
 

@@ -1,0 +1,55 @@
+"""repro.service — the long-lived fleet characterization service.
+
+The ROADMAP's north star is a production-scale system, and this package
+is its serving artery: a stdlib-``asyncio`` HTTP server exposing the five
+facade verbs (``characterize``, ``screen``, ``sweep``, ``schedule``,
+``monitor``) over the typed request objects of
+:mod:`repro.api.requests`, with the three mechanisms a deterministic
+workload makes unusually effective:
+
+* **coalescing** — concurrent identical requests (same
+  :func:`~repro.api.requests.request_digest`) share one campaign
+  (:mod:`repro.service.coalesce`);
+* **response caching** — canonical bodies in a bounded FIFO keyed by
+  digest, byte-identical on every hit;
+* **backpressure** — a bounded worker pool reusing
+  :func:`repro.sim.parallel.make_executor`; saturation is HTTP 429, not
+  an unbounded queue (:mod:`repro.service.pool`).
+
+Start one in-process (tests, :mod:`repro.loadgen` self-host mode)::
+
+    from repro.service import FleetService, ServiceConfig
+
+    service = FleetService(ServiceConfig(port=0))
+    await service.start()        # service.port is the bound port
+
+or from the shell: ``python -m repro serve --port 8642``.  See
+docs/SERVICE.md for the wire schema and docs/OBSERVABILITY.md for the
+``service_*`` metrics.
+"""
+
+from .coalesce import BrokerReply, CoalescingBroker, ResponseCache
+from .pool import WorkerPool
+from .server import FleetService, ServiceConfig, default_runner
+from .wire import (
+    WIRE_SCHEMA_VERSION,
+    build_response,
+    decode_response,
+    encode_response,
+    validate_response,
+)
+
+__all__ = [
+    "WIRE_SCHEMA_VERSION",
+    "BrokerReply",
+    "CoalescingBroker",
+    "FleetService",
+    "ResponseCache",
+    "ServiceConfig",
+    "WorkerPool",
+    "build_response",
+    "decode_response",
+    "default_runner",
+    "encode_response",
+    "validate_response",
+]

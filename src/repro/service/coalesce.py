@@ -1,0 +1,194 @@
+"""Request coalescing and response caching for the fleet service.
+
+The paper's campaigns are deterministic: a request's outputs are a pure
+function of its :func:`~repro.api.requests.request_digest` (seed, preset,
+scale, campaign shape — with execution-only knobs excluded).  That turns
+the classic serving problem on its head: *N identical in-flight requests
+are one unit of work*, not N.  The broker here exploits it twice:
+
+1. **Coalescing** — concurrent requests with the same digest share one
+   future; only the first admission costs a campaign.
+2. **Response cache** — completed canonical bodies are kept in a bounded
+   FIFO keyed by digest, so repeats after completion cost a dict lookup.
+
+Deadlines never poison either layer: a waiter that times out abandons the
+*shared* future via :func:`asyncio.shield`, the campaign still completes,
+and its result still lands in the cache for the next caller.  Failures
+propagate to every waiter and are deliberately **not** cached, so a
+transient error doesn't become a sticky one.
+
+All counters land in a :class:`~repro.obs.metrics.MetricsRegistry` under
+``service_*`` names (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from typing import Any, Awaitable, Callable
+
+from ..config import require
+from ..errors import DeadlineExceeded, ServiceSaturated
+from ..obs.metrics import MetricsRegistry
+from .pool import WorkerPool
+
+__all__ = ["ResponseCache", "CoalescingBroker", "BrokerReply"]
+
+
+class ResponseCache:
+    """Bounded FIFO of canonical response bodies, keyed by request digest.
+
+    FIFO (not LRU) on purpose: eviction order is then a pure function of
+    *insertion* order, which keeps replayed load-generator runs
+    deterministic — a cache probe never reorders anything.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        require(max_entries >= 0, f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+
+    def __len__(self) -> int:
+        """Number of cached bodies."""
+        return len(self._entries)
+
+    def get(self, digest: str) -> bytes | None:
+        """The cached body for ``digest``, or ``None`` (no LRU reordering)."""
+        return self._entries.get(digest)
+
+    def put(self, digest: str, body: bytes) -> None:
+        """Insert a body, evicting the oldest entries past the bound."""
+        if self.max_entries == 0:
+            return
+        if digest not in self._entries:
+            self._entries[digest] = body
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every cached entry."""
+        self._entries.clear()
+
+
+class BrokerReply:
+    """What the broker hands back per request: body bytes + transport status.
+
+    ``status`` is one of ``"hit"`` (response cache), ``"coalesced"``
+    (joined an in-flight execution), or ``"miss"`` (this request paid for
+    the execution).  It describes transport only — ``body`` is
+    byte-identical across all three for the same digest.
+    """
+
+    __slots__ = ("body", "status", "digest")
+
+    def __init__(self, body: bytes, status: str, digest: str) -> None:
+        self.body = body
+        self.status = status
+        self.digest = digest
+
+
+class CoalescingBroker:
+    """Single-flight request execution over a bounded worker pool.
+
+    Parameters
+    ----------
+    runner:
+        Synchronous callable ``request -> bytes`` executed on a pool
+        worker; must return the *canonical* response body.  Injectable so
+        tests drive the broker with stub work.
+    pool:
+        The :class:`~repro.service.pool.WorkerPool` bounding admissions.
+    cache:
+        The :class:`ResponseCache` for completed bodies.
+    metrics:
+        Registry receiving the ``service_*`` counters.
+
+    Must be used from a single asyncio event loop: the in-flight map is
+    loop-confined state (no locks needed), while the runner itself runs on
+    pool workers.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[Any], bytes],
+        pool: WorkerPool,
+        cache: ResponseCache,
+        metrics: MetricsRegistry,
+    ) -> None:
+        self.runner = runner
+        self.pool = pool
+        self.cache = cache
+        self.metrics = metrics
+        self._inflight: dict[str, asyncio.Future] = {}
+
+    def submit(
+        self, request: Any, digest: str, deadline_s: float | None = None
+    ) -> Awaitable[BrokerReply]:
+        """Resolve a request to its canonical body (cache → join → execute).
+
+        Returns an awaitable producing a :class:`BrokerReply`.  Raises
+        :class:`~repro.errors.ServiceSaturated` synchronously if fresh
+        work is needed but the pool is full, and the awaitable raises
+        :class:`~repro.errors.DeadlineExceeded` if ``deadline_s`` (or the
+        request's own ``deadline_s`` field) expires first — without
+        cancelling the shared execution.
+        """
+        self.metrics.inc("service_requests_total")
+        if deadline_s is None:
+            deadline_s = getattr(request, "deadline_s", None)
+
+        cached = self.cache.get(digest)
+        if cached is not None:
+            self.metrics.inc("service_cache_hits")
+            return _immediate(BrokerReply(cached, "hit", digest))
+        self.metrics.inc("service_cache_misses")
+
+        shared = self._inflight.get(digest)
+        if shared is not None:
+            self.metrics.inc("service_coalesced_requests")
+            return self._await_shared(shared, "coalesced", digest, deadline_s)
+
+        # First requester for this digest: pay for the execution.  The
+        # pool may refuse (ServiceSaturated) — propagated synchronously,
+        # before any in-flight registration.
+        loop = asyncio.get_running_loop()
+        try:
+            pool_future = self.pool.try_submit(self.runner, request)
+        except ServiceSaturated:
+            self.metrics.inc("service_rejected_saturated")
+            raise
+        self.metrics.inc("service_campaigns_executed")
+        shared = asyncio.wrap_future(pool_future, loop=loop)
+        self._inflight[digest] = shared
+        shared.add_done_callback(lambda fut: self._settle(digest, fut))
+        return self._await_shared(shared, "miss", digest, deadline_s)
+
+    def _settle(self, digest: str, future: asyncio.Future) -> None:
+        """Completion hook: deregister, and cache successes only."""
+        self._inflight.pop(digest, None)
+        if future.cancelled() or future.exception() is not None:
+            return
+        self.cache.put(digest, future.result())
+
+    async def _await_shared(
+        self,
+        shared: asyncio.Future,
+        status: str,
+        digest: str,
+        deadline_s: float | None,
+    ) -> BrokerReply:
+        """Wait on the shared future, shielded so timeouts don't cancel it."""
+        try:
+            body = await asyncio.wait_for(asyncio.shield(shared), deadline_s)
+        except asyncio.TimeoutError:
+            self.metrics.inc("service_deadline_expired")
+            raise DeadlineExceeded(
+                f"request {digest} missed its {deadline_s}s deadline "
+                "(the shared execution continues and will populate the cache)"
+            ) from None
+        return BrokerReply(body, status, digest)
+
+
+async def _immediate(reply: BrokerReply) -> BrokerReply:
+    """Wrap an already-available reply in an awaitable."""
+    return reply

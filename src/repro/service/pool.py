@@ -1,0 +1,101 @@
+"""Bounded worker pool for the fleet service — backpressure at admission.
+
+Wraps the exact executor construction the campaign engine uses
+(:func:`repro.sim.parallel.make_executor`) with one addition a long-lived
+service needs: a hard bound on admitted-but-unfinished work.  Past the
+bound, :meth:`WorkerPool.try_submit` raises
+:class:`~repro.errors.ServiceSaturated` instead of queueing — the server
+turns that into HTTP 429 so load sheds at the edge rather than growing an
+unbounded backlog of multi-second campaigns.
+
+The default backend is ``"thread"``: campaign physics is NumPy-heavy and
+releases the GIL, service results must flow back to the asyncio loop
+cheaply, and each admitted campaign may still fan out its *own* process
+workers via ``ParallelConfig`` — the pool bounds admissions, not the
+per-campaign parallelism.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Executor, Future
+from typing import Any, Callable
+
+from ..config import require
+from ..errors import ServiceSaturated
+from ..sim.parallel import make_executor
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """A :mod:`concurrent.futures` pool with a bounded admission count.
+
+    Parameters
+    ----------
+    workers:
+        Executor worker count (concurrent campaigns actually running).
+    max_pending:
+        Hard bound on admitted-but-unfinished tasks, *including* the ones
+        currently running.  ``try_submit`` beyond this raises
+        :class:`~repro.errors.ServiceSaturated`.
+    backend:
+        ``"thread"`` (default, see module docstring) or ``"process"``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        max_pending: int = 8,
+        backend: str = "thread",
+    ) -> None:
+        require(workers >= 1, f"workers must be >= 1, got {workers}")
+        require(
+            max_pending >= workers,
+            f"max_pending ({max_pending}) must be >= workers ({workers})",
+        )
+        self.workers = workers
+        self.max_pending = max_pending
+        self.backend = backend
+        self._executor: Executor = make_executor(backend, workers)
+        self._lock = threading.Lock()
+        self._pending = 0
+
+    @property
+    def pending(self) -> int:
+        """Admitted-but-unfinished task count (running + queued)."""
+        with self._lock:
+            return self._pending
+
+    def try_submit(
+        self, fn: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> Future:
+        """Submit work if the pool has room, else raise ``ServiceSaturated``.
+
+        The pending count is decremented by a done-callback, so slots free
+        exactly when tasks finish regardless of which thread observes it.
+        """
+        with self._lock:
+            if self._pending >= self.max_pending:
+                raise ServiceSaturated(
+                    f"worker pool saturated: {self._pending} pending >= "
+                    f"max_pending {self.max_pending}"
+                )
+            self._pending += 1
+        try:
+            future = self._executor.submit(fn, *args, **kwargs)
+        except BaseException:
+            with self._lock:
+                self._pending -= 1
+            raise
+        future.add_done_callback(self._release)
+        return future
+
+    def _release(self, _future: Future) -> None:
+        """Done-callback: return the finished task's admission slot."""
+        with self._lock:
+            self._pending -= 1
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Shut the underlying executor down (idempotent)."""
+        self._executor.shutdown(wait=wait, cancel_futures=True)

@@ -1,0 +1,148 @@
+"""Wire format of the fleet service — canonical JSON responses per verb.
+
+One rule makes the whole caching/coalescing design sound: **a response is
+canonical bytes, a pure function of the request digest.**  Payload dicts
+are encoded with sorted keys and compact separators, so the same request
+produces byte-identical bodies whether it was computed fresh, joined onto
+an in-flight campaign, or served from the response cache — transport
+status (hit/miss/coalesced) travels in HTTP headers, never in the body.
+
+The ``characterize`` payload carries the campaign dataset as the exact
+CSV text the offline CLI writes (``repro.telemetry.dataset_to_csv_text``),
+which is what lets CI ``cmp`` the service path against the offline path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from ..api.requests import REQUEST_KINDS
+from ..errors import ServiceError
+from ..telemetry.io import dataset_to_csv_text
+
+__all__ = [
+    "WIRE_SCHEMA_VERSION",
+    "build_response",
+    "encode_response",
+    "decode_response",
+    "validate_response",
+]
+
+#: Version stamp of the response payload schema.  Bump on any change to the
+#: per-kind payload keys below; clients reject mismatches.
+WIRE_SCHEMA_VERSION = 1
+
+#: Keys every response payload must carry, before per-kind additions.
+_COMMON_KEYS = ("kind", "schema_version", "request")
+
+#: Per-kind payload keys beyond the common ones.
+_KIND_KEYS: dict[str, tuple[str, ...]] = {
+    "characterize": ("csv", "report_text", "performance_variation", "n_rows"),
+    "monitor": ("csv", "health", "report_text", "n_rows"),
+    "screen": ("screens", "confirmed", "min_confirmations"),
+    "sweep": ("cluster", "workload", "runs_per_limit", "points"),
+    "schedule": ("schedule",),
+}
+
+
+def build_response(request: Any, result: Any) -> dict:
+    """Assemble the JSON payload dict for a facade result.
+
+    ``request`` is one of the :mod:`repro.api.requests` objects and
+    ``result`` the value the matching facade verb returned for it.  The
+    payload embeds the request's own canonical dict so a response is
+    self-describing (auditable without the original call site).
+    """
+    kind = getattr(request, "kind", None)
+    if kind not in REQUEST_KINDS:
+        raise ServiceError(f"cannot build a response for kind {kind!r}")
+    payload: dict = {
+        "kind": kind,
+        "schema_version": WIRE_SCHEMA_VERSION,
+        "request": request.to_dict(),
+    }
+    if kind == "characterize":
+        payload["csv"] = dataset_to_csv_text(result.dataset)
+        payload["report_text"] = result.report.render()
+        payload["performance_variation"] = float(
+            result.report.performance_variation
+        )
+        payload["n_rows"] = int(result.dataset.n_rows)
+    elif kind == "monitor":
+        payload["csv"] = dataset_to_csv_text(result.dataset)
+        payload["health"] = result.report.to_dict()
+        payload["report_text"] = result.report.render()
+        payload["n_rows"] = int(result.dataset.n_rows)
+    elif kind == "screen":
+        payload["screens"] = [
+            dataclasses.asdict(screen) for screen in result.screens
+        ]
+        payload["confirmed"] = list(result.confirmed)
+        payload["min_confirmations"] = int(result.min_confirmations)
+    elif kind == "sweep":
+        payload["cluster"] = result.cluster
+        payload["workload"] = result.workload
+        payload["runs_per_limit"] = int(result.runs_per_limit)
+        payload["points"] = [
+            dataclasses.asdict(point) for point in result.points
+        ]
+    else:  # schedule
+        payload["schedule"] = result.report.to_dict()
+    return payload
+
+
+def encode_response(payload: dict) -> bytes:
+    """Canonical UTF-8 JSON bytes: sorted keys, compact separators.
+
+    This is the byte representation that the response cache stores and
+    the coalescing broker hands to every waiter — canonicalizing here is
+    what makes "cache hits are byte-identical" trivially true.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def decode_response(data: bytes) -> dict:
+    """Parse response bytes back into the payload dict (inverse of encode)."""
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceError(f"response body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServiceError(
+            f"response body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def validate_response(payload: dict) -> str:
+    """Check a payload against the wire schema; return its kind.
+
+    Raises :class:`~repro.errors.ServiceError` on a schema-version
+    mismatch, an unknown kind, or missing per-kind keys — the checks the
+    load generator and CI run on every body they receive.
+    """
+    version = payload.get("schema_version")
+    if version != WIRE_SCHEMA_VERSION:
+        raise ServiceError(
+            f"response schema_version {version!r} != "
+            f"supported {WIRE_SCHEMA_VERSION}"
+        )
+    kind = payload.get("kind")
+    if kind not in _KIND_KEYS:
+        raise ServiceError(f"response kind {kind!r} is not a service verb")
+    missing = [
+        key
+        for key in _COMMON_KEYS + _KIND_KEYS[kind]
+        if key not in payload
+    ]
+    if missing:
+        raise ServiceError(
+            f"{kind} response is missing keys: {', '.join(missing)}"
+        )
+    if not isinstance(payload["request"], dict):
+        raise ServiceError("response 'request' must be the request dict")
+    return kind

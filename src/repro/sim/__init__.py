@@ -23,7 +23,13 @@ from .job import JobPerformance, reference_unit_times, sample_job_runtime
 from .engine import Engine, EngineConfig
 from .timeseries import simulate_timeseries
 from .campaign import CampaignConfig, run_campaign
-from .parallel import ParallelConfig, ShardTask, execute_campaign, plan_shards
+from .parallel import (
+    ParallelConfig,
+    ShardTask,
+    execute_campaign,
+    make_executor,
+    plan_shards,
+)
 from .spatial import (
     SharedNodeResult,
     simulate_with_neighbors,
@@ -46,6 +52,7 @@ __all__ = [
     "ParallelConfig",
     "ShardTask",
     "execute_campaign",
+    "make_executor",
     "plan_shards",
     "SharedNodeResult",
     "simulate_with_neighbors",

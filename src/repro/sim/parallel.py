@@ -75,6 +75,7 @@ __all__ = [
     "DEFAULT_MAX_GPUS_PER_SHARD",
     "ParallelConfig",
     "ShardTask",
+    "make_executor",
     "plan_shards",
     "execute_campaign",
 ]
@@ -395,6 +396,43 @@ def _run_task_in_worker(
     return index, dataset, duration, solver, payload, mpayload
 
 
+def make_executor(
+    backend: str,
+    n_workers: int,
+    *,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+) -> Executor:
+    """Build the ``concurrent.futures`` executor the campaign engine uses.
+
+    ``backend`` is ``"thread"`` or ``"process"``; process pools prefer the
+    fork start method where available (the initializer payload still
+    travels by pickle, so spawn-only platforms work too).  Exposed so
+    other long-lived components — notably :mod:`repro.service`'s worker
+    pool — reuse the exact pool construction (and its start-method
+    choice) instead of growing a second one.
+    """
+    require(
+        backend in ("thread", "process"),
+        f"backend must be 'thread' or 'process', got {backend!r}",
+    )
+    require(n_workers >= 1, f"n_workers must be >= 1, got {n_workers}")
+    if backend == "thread":
+        return ThreadPoolExecutor(
+            max_workers=n_workers, initializer=initializer, initargs=initargs
+        )
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+    return ProcessPoolExecutor(
+        max_workers=n_workers,
+        mp_context=ctx,
+        initializer=initializer,
+        initargs=initargs,
+    )
+
+
 def _make_executor(
     backend: str,
     n_workers: int,
@@ -406,15 +444,9 @@ def _make_executor(
 ) -> Executor:
     if backend == "thread":
         return ThreadPoolExecutor(max_workers=n_workers)
-    # Fork keeps worker start-up cheap where available (the initializer
-    # payload still travels by pickle, so spawn-only platforms work too).
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context(
-        "fork" if "fork" in methods else methods[0]
-    )
-    return ProcessPoolExecutor(
-        max_workers=n_workers,
-        mp_context=ctx,
+    return make_executor(
+        "process",
+        n_workers,
         initializer=_init_worker,
         initargs=(cluster, workload, power_limit_w, trace_enabled,
                   monitor_enabled),

@@ -1,0 +1,201 @@
+"""Broker semantics: single-flight coalescing, cache keying, deadlines.
+
+All tests drive the :class:`~repro.service.coalesce.CoalescingBroker`
+directly with stub runners (no HTTP, no campaigns): the properties under
+test — one execution per digest, byte-identical cache hits, non-poisoning
+deadlines — are broker properties, not physics.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import DeadlineExceeded, ServiceSaturated, SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.service import CoalescingBroker, ResponseCache, WorkerPool
+
+
+class _Gate:
+    """A stub runner that blocks until released, counting executions."""
+
+    def __init__(self, body=b'{"v":1}'):
+        self.body = body
+        self.release = threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, request):
+        with self._lock:
+            self.calls += 1
+        assert self.release.wait(5.0), "gate never released"
+        return self.body
+
+
+def _broker(runner, workers=2, max_pending=4, cache_entries=8):
+    pool = WorkerPool(workers=workers, max_pending=max_pending)
+    cache = ResponseCache(max_entries=cache_entries)
+    return CoalescingBroker(runner, pool, cache, MetricsRegistry()), pool
+
+
+class TestResponseCache:
+    def test_fifo_eviction(self):
+        cache = ResponseCache(max_entries=2)
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.put("c", b"3")
+        assert cache.get("a") is None
+        assert cache.get("b") == b"2"
+        assert cache.get("c") == b"3"
+        assert len(cache) == 2
+
+    def test_zero_entries_disables_caching(self):
+        cache = ResponseCache(max_entries=0)
+        cache.put("a", b"1")
+        assert cache.get("a") is None
+
+    def test_get_does_not_reorder(self):
+        cache = ResponseCache(max_entries=2)
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.get("a")  # an LRU would now protect "a"
+        cache.put("c", b"3")
+        assert cache.get("a") is None  # FIFO: insertion order decides
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_share_one_execution(self):
+        gate = _Gate()
+        broker, pool = _broker(gate)
+
+        async def run():
+            waiters = [broker.submit("req", "digest-1") for _ in range(5)]
+            await asyncio.sleep(0.05)  # everyone queued behind one future
+            gate.release.set()
+            return await asyncio.gather(*waiters)
+
+        replies = asyncio.run(run())
+        pool.shutdown()
+        assert gate.calls == 1
+        assert [r.status for r in replies].count("miss") == 1
+        assert [r.status for r in replies].count("coalesced") == 4
+        assert len({r.body for r in replies}) == 1
+        assert broker.metrics.counter("service_campaigns_executed") == 1
+        assert broker.metrics.counter("service_coalesced_requests") == 4
+
+    def test_distinct_digests_never_coalesce(self):
+        gate = _Gate()
+        broker, pool = _broker(gate)
+
+        async def run():
+            waiters = [
+                broker.submit(f"req-{i}", f"digest-{i}") for i in range(3)
+            ]
+            await asyncio.sleep(0.05)
+            gate.release.set()
+            return await asyncio.gather(*waiters)
+
+        replies = asyncio.run(run())
+        pool.shutdown()
+        assert gate.calls == 3
+        assert all(r.status == "miss" for r in replies)
+        assert broker.metrics.counter("service_coalesced_requests") == 0
+
+    def test_cache_hits_are_byte_identical(self):
+        gate = _Gate(body=b'{"payload":"exact-bytes"}')
+        gate.release.set()
+        broker, pool = _broker(gate)
+
+        async def run():
+            first = await broker.submit("req", "digest-1")
+            second = await broker.submit("req", "digest-1")
+            return first, second
+
+        first, second = asyncio.run(run())
+        pool.shutdown()
+        assert gate.calls == 1
+        assert first.status == "miss" and second.status == "hit"
+        assert first.body == second.body == b'{"payload":"exact-bytes"}'
+        assert broker.metrics.counter("service_cache_hits") == 1
+
+
+class TestBackpressure:
+    def test_saturated_pool_raises_for_fresh_digests(self):
+        gate = _Gate()
+        broker, pool = _broker(gate, workers=1, max_pending=1)
+
+        async def run():
+            first = broker.submit("a", "digest-a")
+            with pytest.raises(ServiceSaturated):
+                broker.submit("b", "digest-b")
+            gate.release.set()
+            await first
+
+        asyncio.run(run())
+        pool.shutdown()
+        assert broker.metrics.counter("service_rejected_saturated") == 1
+
+    def test_saturation_does_not_block_coalesced_joins(self):
+        gate = _Gate()
+        broker, pool = _broker(gate, workers=1, max_pending=1)
+
+        async def run():
+            first = broker.submit("a", "digest-a")
+            joined = broker.submit("a", "digest-a")  # no pool slot needed
+            gate.release.set()
+            return await asyncio.gather(first, joined)
+
+        replies = asyncio.run(run())
+        pool.shutdown()
+        assert {r.status for r in replies} == {"miss", "coalesced"}
+
+
+class TestDeadlines:
+    def test_expiry_raises_without_poisoning_the_cache(self):
+        gate = _Gate(body=b'{"late":"but-correct"}')
+        broker, pool = _broker(gate)
+
+        async def run():
+            with pytest.raises(DeadlineExceeded):
+                await broker.submit("req", "digest-1", deadline_s=0.02)
+            gate.release.set()
+            # the shared execution was NOT cancelled: it completes and
+            # populates the cache for the next caller.
+            for _ in range(100):
+                if broker.cache.get("digest-1") is not None:
+                    break
+                await asyncio.sleep(0.01)
+            reply = await broker.submit("req", "digest-1")
+            return reply
+
+        reply = asyncio.run(run())
+        pool.shutdown()
+        assert gate.calls == 1
+        assert reply.status == "hit"
+        assert reply.body == b'{"late":"but-correct"}'
+        assert broker.metrics.counter("service_deadline_expired") == 1
+
+
+class TestFailures:
+    def test_failures_propagate_and_are_not_cached(self):
+        calls = {"n": 0}
+
+        def flaky(request):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise SimulationError("transient")
+            return b'{"ok":1}'
+
+        broker, pool = _broker(flaky)
+
+        async def run():
+            with pytest.raises(SimulationError):
+                await broker.submit("req", "digest-1")
+            assert broker.cache.get("digest-1") is None
+            return await broker.submit("req", "digest-1")
+
+        reply = asyncio.run(run())
+        pool.shutdown()
+        assert calls["n"] == 2  # the error was retried, not replayed
+        assert reply.status == "miss"
+        assert reply.body == b'{"ok":1}'

@@ -1,0 +1,213 @@
+"""HTTP surface of the fleet service: routing, parity, backpressure.
+
+Servers bind ``port=0`` (ephemeral) and every test runs its own event
+loop via ``asyncio.run`` — no fixed ports, no cross-test state.
+"""
+
+import asyncio
+import threading
+
+from repro import api
+from repro.loadgen.client import http_request
+from repro.service import (
+    FleetService,
+    ServiceConfig,
+    decode_response,
+    validate_response,
+)
+from repro.telemetry.io import dataset_to_csv_text
+
+
+def _with_service(coro, config=None, runner=None):
+    """Run ``coro(service)`` against a started ephemeral-port service."""
+
+    async def wrapper():
+        service = FleetService(
+            config if config is not None else ServiceConfig(port=0),
+            runner=runner,
+        )
+        await service.start()
+        try:
+            return await coro(service)
+        finally:
+            await service.stop()
+
+    return asyncio.run(wrapper())
+
+
+def _post(service, kind, request, timeout_s=60.0):
+    return http_request(
+        "127.0.0.1", service.port, "POST", f"/v1/{kind}",
+        request.to_json().encode(), timeout_s,
+    )
+
+
+class TestRouting:
+    def test_healthz(self):
+        async def scenario(service):
+            return await http_request(
+                "127.0.0.1", service.port, "GET", "/v1/healthz"
+            )
+
+        reply = _with_service(scenario)
+        assert reply.status == 200
+        assert decode_response(reply.body)["status"] == "ok"
+
+    def test_metrics_exposition(self):
+        async def scenario(service):
+            await _post(
+                service, "characterize",
+                api.CharacterizeRequest(cluster="cloudlab", scale=0.5, days=1),
+            )
+            return await http_request(
+                "127.0.0.1", service.port, "GET", "/metrics"
+            )
+
+        reply = _with_service(scenario)
+        assert reply.status == 200
+        text = reply.body.decode()
+        assert "service_requests_total 1" in text
+        assert "service_request_latency_s" in text
+
+    def test_unknown_route_404(self):
+        async def scenario(service):
+            return await http_request(
+                "127.0.0.1", service.port, "GET", "/v1/nonsense"
+            )
+
+        assert _with_service(scenario).status == 404
+
+    def test_wrong_method_405(self):
+        async def scenario(service):
+            return await http_request(
+                "127.0.0.1", service.port, "GET", "/v1/characterize"
+            )
+
+        assert _with_service(scenario).status == 405
+
+    def test_bad_json_400(self):
+        async def scenario(service):
+            return await http_request(
+                "127.0.0.1", service.port, "POST", "/v1/characterize",
+                b"{not json",
+            )
+
+        reply = _with_service(scenario)
+        assert reply.status == 400
+        assert decode_response(reply.body)["error"]["code"] == "bad_json"
+
+    def test_kind_mismatch_400(self):
+        async def scenario(service):
+            return await http_request(
+                "127.0.0.1", service.port, "POST", "/v1/screen",
+                api.CharacterizeRequest(
+                    cluster="cloudlab", scale=0.5, days=1
+                ).to_json().encode(),
+            )
+
+        assert _with_service(scenario).status == 400
+
+    def test_invalid_field_400(self):
+        async def scenario(service):
+            return await http_request(
+                "127.0.0.1", service.port, "POST", "/v1/characterize",
+                b'{"scale": 7.0}',
+            )
+
+        assert _with_service(scenario).status == 400
+
+
+class TestParity:
+    def test_characterize_csv_matches_offline_facade_bytes(self):
+        request = api.CharacterizeRequest(
+            cluster="cloudlab", scale=0.5, days=1, seed=3
+        )
+
+        async def scenario(service):
+            return await _post(service, "characterize", request)
+
+        reply = _with_service(scenario)
+        assert reply.status == 200
+        payload = decode_response(reply.body)
+        assert validate_response(payload) == "characterize"
+        offline = api.characterize(request=request)
+        assert payload["csv"].encode() == (
+            dataset_to_csv_text(offline.dataset).encode()
+        )
+        assert payload["request"] == request.to_dict()
+
+    def test_cache_hit_bodies_are_byte_identical(self):
+        request = api.CharacterizeRequest(
+            cluster="cloudlab", scale=0.5, days=1
+        )
+
+        async def scenario(service):
+            first = await _post(service, "characterize", request)
+            second = await _post(service, "characterize", request)
+            return first, second
+
+        first, second = _with_service(scenario)
+        assert first.headers["x-repro-cache"] == "miss"
+        assert second.headers["x-repro-cache"] == "hit"
+        assert first.body == second.body
+        assert first.headers["x-repro-digest"] == api.request_digest(request)
+
+
+class TestBackpressureHttp:
+    def test_saturation_returns_429(self):
+        release = threading.Event()
+
+        def slow_runner(request):
+            assert release.wait(5.0)
+            return b'{"ok":1}'
+
+        config = ServiceConfig(port=0, workers=1, max_pending=1)
+        first_req = api.CharacterizeRequest(
+            cluster="cloudlab", scale=0.5, days=1, seed=0
+        )
+        second_req = api.CharacterizeRequest(
+            cluster="cloudlab", scale=0.5, days=1, seed=1
+        )
+
+        async def scenario(service):
+            first = asyncio.ensure_future(
+                _post(service, "characterize", first_req)
+            )
+            await asyncio.sleep(0.05)  # occupy the only admission slot
+            second = await _post(service, "characterize", second_req)
+            release.set()
+            return await first, second
+
+        first, second = _with_service(scenario, config, slow_runner)
+        assert first.status == 200
+        assert second.status == 429
+        assert "retry-after" in second.headers
+
+    def test_deadline_returns_503_then_cache_serves_the_result(self):
+        release = threading.Event()
+
+        def slow_runner(request):
+            assert release.wait(5.0)
+            return b'{"late":1}'
+
+        request = api.CharacterizeRequest(
+            cluster="cloudlab", scale=0.5, days=1, deadline_s=0.05
+        )
+
+        async def scenario(service):
+            timed_out = await _post(service, "characterize", request)
+            release.set()
+            for _ in range(100):
+                if len(service.cache):
+                    break
+                await asyncio.sleep(0.01)
+            served = await _post(service, "characterize", request)
+            return timed_out, served
+
+        timed_out, served = _with_service(
+            scenario, ServiceConfig(port=0), slow_runner
+        )
+        assert timed_out.status == 503
+        assert served.status == 200
+        assert served.headers["x-repro-cache"] == "hit"
+        assert served.body == b'{"late":1}'

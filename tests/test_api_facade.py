@@ -1,8 +1,7 @@
-"""Behavioral tests for the repro.api facade and the deprecation shims."""
+"""Behavioral tests for the repro.api facade and the 2.0 shim removal."""
 
 from __future__ import annotations
 
-import warnings
 
 import pytest
 
@@ -112,28 +111,23 @@ class TestVerbs:
         assert report.projected_variation >= 0
 
 
-class TestDeprecationShims:
-    def test_legacy_object_identity(self):
+class TestLegacyShimRemoval:
+    def test_legacy_names_raise_import_error(self):
+        for name in ("VariabilitySuite", "CampaignConfig", "run_campaign"):
+            with pytest.raises(ImportError, match="removed in repro 2.0"):
+                getattr(repro, name)
+
+    def test_error_names_the_replacement(self):
+        with pytest.raises(ImportError, match=r"repro\.api\.load_workload"):
+            repro.sgemm
+
+    def test_from_import_raises_too(self):
+        with pytest.raises(ImportError, match="removed in repro 2.0"):
+            exec("from repro import cloudlab")
+
+    def test_objects_still_live_in_their_home_subpackages(self):
         import repro.core
         import repro.sim
 
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            assert repro.VariabilitySuite is repro.core.VariabilitySuite
-            assert repro.CampaignConfig is repro.sim.CampaignConfig
-            assert repro.run_campaign is repro.sim.run_campaign
-
-    def test_warning_names_the_replacement(self):
-        with pytest.warns(DeprecationWarning,
-                          match=r"repro\.api\.load_workload"):
-            repro.sgemm
-
-    def test_legacy_workflow_still_works(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            cluster = repro.cloudlab(seed=3, scale=0.5)
-            suite = repro.VariabilitySuite(
-                cluster, repro.CampaignConfig(days=1)
-            )
-            report = suite.characterize(repro.sgemm())
-        assert report.cluster_name == "CloudLab"
+        assert repro.core.VariabilitySuite is not None
+        assert repro.sim.CampaignConfig is api.CampaignConfig

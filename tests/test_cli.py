@@ -238,3 +238,61 @@ class TestObservabilityFlags:
                      "--scale", "0.5", "--days", "1", "--runs", "1",
                      "--solver", "fleet"]) == 0
         assert os.environ["REPRO_DVFS_SOLVER"] == "grid"
+
+
+class TestServiceCli:
+    def test_serve_parses_with_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8642
+        assert args.backend == "thread"
+
+    def test_serve_accepts_tuning_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--host", "0.0.0.0", "--port", "0", "--workers", "4",
+            "--max-pending", "16", "--cache-entries", "32",
+            "--backend", "process",
+        ])
+        assert args.port == 0
+        assert args.workers == 4
+        assert args.max_pending == 16
+        assert args.cache_entries == 32
+        assert args.backend == "process"
+
+    def test_loadgen_parses_with_defaults(self):
+        args = build_parser().parse_args(["loadgen", "--self-host"])
+        assert args.command == "loadgen"
+        assert args.self_host is True
+        assert args.mode == "closed"
+        assert args.duplicate_fraction == 0.75
+
+    def test_loadgen_rejects_bad_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["loadgen", "--self-host", "--mode", "sideways"])
+
+    def test_loadgen_requires_exactly_one_target(self, capsys):
+        assert main(["loadgen"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main([
+            "loadgen", "--url", "http://127.0.0.1:1", "--self-host",
+        ]) == 2
+
+    def test_loadgen_self_host_smoke(self, capsys, tmp_path):
+        report_path = tmp_path / "latency.json"
+        code = main([
+            "loadgen", "--self-host", "--requests", "6",
+            "--concurrency", "3", "--duplicate-fraction", "1.0",
+            "--cluster", "cloudlab", "--scale", "0.5", "--days", "1",
+            "--report", str(report_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "6/6 ok" in out
+        assert "coalescing: 1 campaign(s) served 6 requests" in out
+        assert f"latency report written to {report_path}" in out
+        report = json.loads(report_path.read_text())
+        from repro.loadgen import validate_latency_report
+        validate_latency_report(report)
+        assert report["server"]["service_campaigns_executed"] == 1

@@ -16,6 +16,9 @@ from repro import api
 
 SUBPACKAGES = (
     "repro.api",
+    "repro.api.requests",
+    "repro.service",
+    "repro.loadgen",
     "repro.obs",
     "repro.gpu",
     "repro.cluster",
@@ -63,7 +66,12 @@ API_SURFACE = frozenset({
     "validate_scheduling_report", "write_event_log",
     # steady-state solver selection
     "SOLVER_LADDER", "SOLVER_FLEET", "SOLVER_GRID", "SOLVER_ENV_VAR",
-    "default_solver",
+    "default_solver", "solver_scope",
+    # typed request surface (shared by Python, CLI, and the HTTP service)
+    "REQUEST_SCHEMA_VERSION", "REQUEST_KINDS", "EXECUTION_FIELDS",
+    "CharacterizeRequest", "ScreenRequest", "SweepRequest",
+    "ScheduleRequest", "MonitorRequest", "request_from_dict",
+    "request_from_json", "request_digest", "execute_request",
 })
 
 #: Facade functions whose every optional parameter must be keyword-only.
@@ -113,31 +121,30 @@ class TestFacade:
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "2.0.0"
 
     def test_top_level_exports_only_the_facade(self):
         assert set(repro.__all__) == {"__version__", "api"}
 
-    def test_legacy_names_warn_but_resolve(self):
-        from repro.cluster import longhorn as real_longhorn
+    @pytest.mark.parametrize("name", sorted(repro._REMOVED_EXPORTS))
+    def test_every_legacy_export_is_gone(self, name):
+        """PR 3's deprecation shims are hard removals as of 2.0."""
+        with pytest.raises(ImportError, match="removed in repro 2.0"):
+            getattr(repro, name)
 
-        with pytest.warns(DeprecationWarning, match="load_preset"):
-            assert repro.longhorn is real_longhorn
-
-    @pytest.mark.parametrize("name", sorted(repro._DEPRECATED_EXPORTS))
-    def test_every_legacy_export_resolves(self, name):
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            assert getattr(repro, name) is not None
+    def test_removal_error_names_the_replacement(self):
+        with pytest.raises(ImportError, match=r'load_preset\("longhorn"\)'):
+            repro.longhorn
 
     def test_unknown_attribute_raises(self):
         with pytest.raises(AttributeError):
             repro.does_not_exist
 
-    def test_dir_lists_legacy_and_facade_names(self):
+    def test_dir_lists_only_the_facade(self):
         listed = dir(repro)
         assert "api" in listed
-        assert "longhorn" in listed
-        assert "VariabilitySuite" in listed
+        assert "longhorn" not in listed
+        assert "VariabilitySuite" not in listed
 
 
 @pytest.mark.parametrize("module_name", SUBPACKAGES)

@@ -1,0 +1,164 @@
+"""Flight-recorder overhead: the cost of the timeline hooks, on and off.
+
+The timeline layer (docs/OBSERVABILITY.md, "Timeline & replay") makes the
+same promises as the tracer and monitor, measured the same way as
+``bench_obs_overhead.py``:
+
+1. **Zero perturbation** — the recorded campaign's CSV text is
+   byte-identical to the unrecorded one, and the recorded event stream
+   is byte-identical across repeats.  Asserted unconditionally.
+2. **Unmeasurable overhead when disabled** — with no recorder active,
+   each hook site is one ``active_recorder()`` call (a thread-local
+   attribute read) plus a ``None`` branch.  A wall-clock A/B cannot
+   resolve that against scheduler noise, so this benchmark measures it
+   directly: count the hook executions in a real unrecorded campaign
+   (by wrapping each instrumented module's ``active_recorder``
+   reference), microbench the per-call cost, and assert the product
+   stays under ``MAX_DISABLED_OVERHEAD`` of the campaign wall clock.
+3. **Bounded cost when enabled** — recording is explicit opt-in, so the
+   ceiling is looser (``MAX_RECORDED_OVERHEAD``); this guards against a
+   hot-loop ``record()`` regression, not the price of the events.
+
+Timing assertions are skipped under ``REPRO_BENCH_CHECK_ONLY=1`` (CI
+smoke on noisy shared runners); the equality assertions always run.
+Results land in ``BENCH_timeline.json`` for cross-commit tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from _bench_util import emit
+from repro.cluster import longhorn
+from repro.obs import health as health_mod
+from repro.obs.timeline import TimelineRecorder, active_recorder
+from repro.sched import engine as sched_engine_mod
+from repro.sim import CampaignConfig, run_campaign
+from repro.sim import run as run_mod
+from repro.telemetry.io import dataset_to_csv_text
+from repro.workloads import sgemm
+
+#: Skip timing assertions (equality always asserts) — for CI smoke runs.
+CHECK_ONLY = os.environ.get("REPRO_BENCH_CHECK_ONLY") == "1"
+
+#: Ceiling for the disabled path: hook executions x per-call cost.
+MAX_DISABLED_OVERHEAD = 0.02
+
+#: Lenient regression guard for the opt-in enabled path.
+MAX_RECORDED_OVERHEAD = 0.15
+
+#: Best-of count; the minimum of several runs strips scheduler noise.
+REPEATS = 5
+
+OUTPUT_PATH = pathlib.Path("BENCH_timeline.json")
+
+CONFIG = CampaignConfig(days=10, runs_per_day=2)
+
+#: Every module that calls ``active_recorder()`` at a hook site.
+HOOK_MODULES = (run_mod, health_mod, sched_engine_mod)
+
+
+def _timed_campaign(timeline=None):
+    """One serial Longhorn campaign on a fresh cluster (cold fleet cache)."""
+    cluster = longhorn(seed=2022)
+    started = time.perf_counter()
+    dataset = run_campaign(
+        cluster, sgemm(), CONFIG, workers=1, timeline=timeline,
+    )
+    return dataset, time.perf_counter() - started
+
+
+def _count_hook_executions():
+    """Run one unrecorded campaign counting every active_recorder() call."""
+    calls = 0
+
+    def counting_active_recorder():
+        nonlocal calls
+        calls += 1
+        return active_recorder()
+
+    for module in HOOK_MODULES:
+        assert module.active_recorder is active_recorder, module.__name__
+        module.active_recorder = counting_active_recorder
+    try:
+        _timed_campaign()
+    finally:
+        for module in HOOK_MODULES:
+            module.active_recorder = active_recorder
+    return calls
+
+
+def _per_call_cost(n=200_000):
+    started = time.perf_counter()
+    for _ in range(n):
+        active_recorder()
+    return (time.perf_counter() - started) / n
+
+
+def test_timeline_overhead():
+    baseline_ds, baseline_s = None, float("inf")
+    recorded_ds, recorded_s = None, float("inf")
+    digests = set()
+    for _ in range(REPEATS):
+        dataset, elapsed = _timed_campaign()
+        baseline_ds, baseline_s = dataset, min(baseline_s, elapsed)
+        timeline = TimelineRecorder()
+        recorded_ds, elapsed = _timed_campaign(timeline=timeline)
+        recorded_s = min(recorded_s, elapsed)
+        digests.add(timeline.digest())
+
+    # Guarantee 1: byte-identical output, recorded or not — and the
+    # recorded stream itself is byte-stable across repeats.
+    assert dataset_to_csv_text(recorded_ds) == dataset_to_csv_text(baseline_ds)
+    assert len(digests) == 1, "timeline digest varied across repeats"
+    # ... and the recorder did actually observe the campaign.
+    run_events = [e for e in timeline.events() if e.kind == "run"]
+    assert len(run_events) == CONFIG.days * CONFIG.runs_per_day
+    assert timeline.events()[-1].kind == "campaign_end"
+
+    # Guarantee 2: the disabled path, measured directly.
+    hook_calls = _count_hook_executions()
+    assert hook_calls > 0, "no hook sites executed — instrumentation gone?"
+    hook_cost_s = hook_calls * _per_call_cost()
+    disabled_overhead = hook_cost_s / baseline_s
+
+    recorded_overhead = recorded_s / baseline_s - 1.0
+    emit(None, "Flight recorder hooks: serial Longhorn campaign (10d x 2)", [
+        ("unrecorded best-of-5", "-", f"{baseline_s * 1e3:.1f} ms"),
+        ("disabled hook executions", "-", f"{hook_calls}"),
+        ("disabled-path cost", f"< {MAX_DISABLED_OVERHEAD:.0%}",
+         f"{disabled_overhead:.3%}"),
+        ("recorded best-of-5", "-", f"{recorded_s * 1e3:.1f} ms"),
+        ("recorded overhead (opt-in)", f"< {MAX_RECORDED_OVERHEAD:.0%}",
+         f"{recorded_overhead:+.2%}"),
+        ("events recorded", "-", f"{timeline.n_events}"),
+    ])
+
+    existing = {}
+    if OUTPUT_PATH.exists():
+        existing = json.loads(OUTPUT_PATH.read_text())
+    existing["campaign_serial_longhorn"] = {
+        "days": CONFIG.days,
+        "runs_per_day": CONFIG.runs_per_day,
+        "unrecorded_s": baseline_s,
+        "recorded_s": recorded_s,
+        "hook_calls": hook_calls,
+        "disabled_overhead": disabled_overhead,
+        "recorded_overhead": recorded_overhead,
+        "n_events": timeline.n_events,
+        "check_only": CHECK_ONLY,
+    }
+    OUTPUT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+    if not CHECK_ONLY:
+        assert disabled_overhead < MAX_DISABLED_OVERHEAD, (
+            f"disabled hooks cost {disabled_overhead:.3%} of the campaign "
+            f"(ceiling {MAX_DISABLED_OVERHEAD:.0%})"
+        )
+        assert recorded_overhead < MAX_RECORDED_OVERHEAD, (
+            f"recording overhead {recorded_overhead:.2%} exceeds the "
+            f"{MAX_RECORDED_OVERHEAD:.0%} regression guard"
+        )

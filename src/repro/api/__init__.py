@@ -40,6 +40,8 @@ removed in 2.0 and now raise :class:`ImportError` naming the replacement.
 
 from __future__ import annotations
 
+import json
+from contextlib import ExitStack
 from dataclasses import dataclass
 
 from ..cluster import get_preset, list_presets
@@ -87,15 +89,22 @@ from ..obs import (
     FleetMonitor,
     Manifest,
     MonitorConfig,
+    TimelineEvent,
+    TimelineRecorder,
     Tracer,
     activate,
+    activate_recorder,
     active_monitor,
+    canonical_digest,
     read_manifest,
+    read_timeline,
     render_prometheus,
     validate_manifest,
     write_chrome_trace,
     write_events_jsonl,
+    write_timeline,
 )
+from ..obs.replay import ReplayCheck, TimelineReplayer, load_replayer
 from ..obs.health import (
     FleetHealthReport,
     HealthEvent,
@@ -203,6 +212,16 @@ __all__ = [
     "validate_manifest",
     "write_chrome_trace",
     "write_events_jsonl",
+    # flight recorder / replay
+    "TimelineEvent",
+    "TimelineRecorder",
+    "TimelineReplayer",
+    "ReplayCheck",
+    "activate_recorder",
+    "canonical_digest",
+    "load_replayer",
+    "read_timeline",
+    "write_timeline",
     # monitoring / fleet health
     "FleetMonitor",
     "MonitorConfig",
@@ -302,12 +321,14 @@ def run_campaign(
     tracer: Tracer | None = None,
     manifest: Manifest | None = None,
     monitor: FleetMonitor | None = None,
+    timeline: TimelineRecorder | None = None,
 ) -> MeasurementDataset:
     """Execute a measurement campaign; returns the long-form table.
 
     Identical to :func:`repro.sim.campaign.run_campaign` but fully
     keyword-only.  The result is bit-identical for any ``workers`` value
-    and with or without ``tracer``/``manifest``/``monitor`` attached.
+    and with or without ``tracer``/``manifest``/``monitor``/``timeline``
+    attached.
     """
     return _run_campaign(
         cluster,
@@ -319,6 +340,7 @@ def run_campaign(
         tracer=tracer,
         manifest=manifest,
         monitor=monitor,
+        timeline=timeline,
     )
 
 
@@ -344,6 +366,7 @@ def characterize(
     workers: int | None = None,
     tracer: Tracer | None = None,
     manifest: Manifest | None = None,
+    timeline: TimelineRecorder | None = None,
 ) -> CharacterizationResult:
     """Measure a cluster and compute every analysis the paper performs.
 
@@ -383,6 +406,7 @@ def characterize(
             workers=workers,
             tracer=tracer,
             manifest=manifest,
+            timeline=timeline,
         )
         suite = VariabilitySuite(cluster, config, workers=workers)
         return CharacterizationResult(
@@ -431,6 +455,7 @@ def monitor_fleet(
     progress: CampaignProgress | None = None,
     tracer: Tracer | None = None,
     manifest: Manifest | None = None,
+    timeline: TimelineRecorder | None = None,
 ) -> MonitoringResult:
     """Run a campaign with the streaming metrics + health pipeline attached.
 
@@ -478,10 +503,30 @@ def monitor_fleet(
             tracer=tracer,
             manifest=manifest,
             monitor=monitor,
+            timeline=timeline,
         )
-    tracker, report = analyze_fleet_health(
-        monitor, cluster.topology, policy=policy
-    )
+    # Health analysis replays the merged monitor stream on this thread, so
+    # activating the recorder here captures every transition in the same
+    # deterministic order the tracker emits them — after the campaign's own
+    # events, independent of worker count.
+    with activate_recorder(timeline):
+        tracker, report = analyze_fleet_health(
+            monitor, cluster.topology, policy=policy
+        )
+    if timeline is not None:
+        report_doc = report.to_dict()
+        timeline.record(
+            "health",
+            "health_report",
+            cluster.name,
+            fleet_gpus=cluster.topology.n_gpus,
+            runs_observed=tracker.runs_observed,
+            events_total=len(tracker.events),
+            grade_counts=report.grade_counts(),
+            digest=canonical_digest(
+                json.dumps(report_doc, sort_keys=True, separators=(",", ":"))
+            ),
+        )
     return MonitoringResult(
         dataset=dataset, monitor=monitor, tracker=tracker, report=report
     )
@@ -523,6 +568,7 @@ def screen(
     workers: int | None = None,
     tracer: Tracer | None = None,
     manifest: Manifest | None = None,
+    timeline: TimelineRecorder | None = None,
 ) -> ScreenReport:
     """Flag outlier GPUs per application, confirm across applications.
 
@@ -556,6 +602,7 @@ def screen(
                 workers=workers,
                 tracer=tracer,
                 manifest=manifest,
+                timeline=timeline,
             )
             report = flag_outlier_gpus(dataset, METRIC_PERFORMANCE)
             screens.append(
@@ -605,6 +652,7 @@ def sweep(
     workers: int | None = None,
     tracer: Tracer | None = None,
     manifest: Manifest | None = None,
+    timeline: TimelineRecorder | None = None,
 ) -> SweepReport:
     """Sweep administrative power limits and report the spread at each.
 
@@ -643,6 +691,7 @@ def sweep(
                 workers=workers,
                 tracer=tracer,
                 manifest=manifest,
+                timeline=timeline,
             )
             stats = BoxStats.from_values(dataset.column(METRIC_PERFORMANCE))
             points.append(SweepPoint(power_limit_w=float(limit), stats=stats))
@@ -679,6 +728,7 @@ def project(
     workers: int | None = None,
     tracer: Tracer | None = None,
     manifest: Manifest | None = None,
+    timeline: TimelineRecorder | None = None,
 ) -> ProjectionReport:
     """Measure a cluster, then project its variation to a larger fleet."""
     workload = workload if workload is not None else get_workload("sgemm")
@@ -690,6 +740,7 @@ def project(
         workers=workers,
         tracer=tracer,
         manifest=manifest,
+        timeline=timeline,
     )
     measured = metric_boxstats(dataset, METRIC_PERFORMANCE)
     med = dataset.per_gpu_median(METRIC_PERFORMANCE)
@@ -893,6 +944,7 @@ def schedule(
     workers: int | None = None,
     tracer: Tracer | None = None,
     manifest: Manifest | None = None,
+    timeline: TimelineRecorder | None = None,
 ) -> SchedulingResult:
     """Run a job trace through the batch-queue simulator under one policy.
 
@@ -936,6 +988,12 @@ def schedule(
         Optional observability sinks: ``sched.*`` counters and a run span
         land on the tracer; the profiling campaign (when any) appends its
         usual manifest entry.
+    timeline:
+        Optional :class:`~repro.obs.TimelineRecorder`: the dispatch
+        sequence (submit/start/finish per job, with exact record floats)
+        plus a ``sched_report`` digest event land on the unified flight
+        recorder — enough for ``repro replay --check`` to re-derive the
+        report from the log alone.
 
     Same ``cluster`` seed + same ``trace`` + same ``policy`` ⇒
     byte-identical event log and report, under either engine.
@@ -970,7 +1028,7 @@ def schedule(
             cluster=cluster, policy=policy, trace=trace, engine=engine,
             power_budget_w=power_budget_w, profile_workload=profile_workload,
             profile_config=profile_config, workers=workers, tracer=tracer,
-            manifest=manifest,
+            manifest=manifest, timeline=timeline,
         )
 
 
@@ -986,6 +1044,7 @@ def _schedule_built(
     workers: int | None,
     tracer: Tracer | None,
     manifest: Manifest | None,
+    timeline: TimelineRecorder | None = None,
 ) -> SchedulingResult:
     """The constructed-objects body of :func:`schedule`."""
     if trace is None:
@@ -1006,10 +1065,11 @@ def _schedule_built(
         manifest=manifest,
         power_budget_w=power_budget_w,
     )
-    if tracer is not None:
-        with activate(tracer):
-            outcome = run_schedule(cluster, jobs, built, engine=engine)
-    else:
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(activate(tracer))
+        if timeline is not None:
+            stack.enter_context(activate_recorder(timeline))
         outcome = run_schedule(cluster, jobs, built, engine=engine)
     report = build_scheduling_report(
         cluster.name,
@@ -1018,6 +1078,20 @@ def _schedule_built(
         cluster.topology.n_gpus,
         trace_seed=trace_seed,
     )
+    if timeline is not None:
+        # The claim the replayer's --check verifies: rebuilt records must
+        # reproduce this exact canonical-JSON digest.
+        timeline.record(
+            "sched",
+            "sched_report",
+            cluster.name,
+            cluster=cluster.name,
+            policy=built.describe(),
+            fleet_gpus=cluster.topology.n_gpus,
+            trace_seed=trace_seed,
+            n_jobs=len(jobs),
+            digest=canonical_digest(report.to_json()),
+        )
     return SchedulingResult(report=report, outcome=outcome, profile=profile)
 
 
@@ -1031,6 +1105,7 @@ def execute_request(
     *,
     tracer: Tracer | None = None,
     manifest: Manifest | None = None,
+    timeline: TimelineRecorder | None = None,
 ):
     """Execute any typed request and return its verb's result object.
 
@@ -1050,7 +1125,9 @@ def execute_request(
             f"execute_request() needs one of the repro.api request types, "
             f"got {type(request).__name__!r}"
         )
-    return verb(request=request, tracer=tracer, manifest=manifest)
+    return verb(
+        request=request, tracer=tracer, manifest=manifest, timeline=timeline
+    )
 
 
 #: kind -> facade verb, resolved after all verbs are defined.

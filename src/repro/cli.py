@@ -34,19 +34,27 @@ driven from the shell:
     Drive a seeded closed- or open-loop request mix at a running service
     (or ``--self-host`` one on an ephemeral port) and print/write the
     schema-validated latency report (:mod:`repro.loadgen`).
+``replay``
+    Forensics over a recorded flight-recorder timeline
+    (:mod:`repro.obs.replay`): summarize the event stream, reconstruct
+    fleet state at a logical timestamp (``--at``), filter by entity
+    (``--grep``), or re-derive the report digests from the log alone
+    (``--check``).
 
 Every subcommand accepts the same execution options — ``--seed``,
-``--workers``, ``--solver``, ``--trace PATH`` and ``--manifest PATH`` —
+``--workers``, ``--solver``, ``--trace PATH``, ``--manifest PATH`` and
+``--timeline PATH`` —
 through one shared builder, so observability is uniformly available:
 ``--solver`` selects the steady-state DVFS solver (``ladder``, ``fleet``
 or ``grid`` — bit-identical outputs, different speed; see
 docs/PERFORMANCE.md) by exporting ``REPRO_DVFS_SOLVER`` for the duration
 of the command. ``--trace``
 writes a Chrome-trace JSON (Perfetto-loadable; ``.jsonl`` suffix switches
-to JSON Lines events) and ``--manifest`` writes the reproducibility-audit
-document (see :mod:`repro.obs` and docs/OBSERVABILITY.md).  Neither flag
-changes any computed output: results are bit-identical with or without
-them.
+to JSON Lines events), ``--manifest`` writes the reproducibility-audit
+document, and ``--timeline`` records the unified flight-recorder event
+stream for later ``repro replay`` (see :mod:`repro.obs` and
+docs/OBSERVABILITY.md).  None of these flags changes any computed output:
+results are bit-identical with or without them.
 
 All commands delegate to the stable :mod:`repro.api` facade.  The five
 campaign verbs assemble a typed request object
@@ -191,6 +199,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="thread",
                    choices=("thread", "process"),
                    help="worker-pool backend (see docs/SERVICE.md)")
+    p.add_argument("--timeline", metavar="PATH", default=None,
+                   help="stream service admission events to a "
+                        "flight-recorder timeline file (JSON Lines)")
 
     p = sub.add_parser("loadgen",
                        help="seeded load generator against the service")
@@ -232,6 +243,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", metavar="PATH", default=None,
                    help="write the latency report JSON")
 
+    p = sub.add_parser("replay",
+                       help="forensics over a recorded flight-recorder "
+                            "timeline")
+    p.add_argument("timeline", metavar="PATH",
+                   help="timeline file written with --timeline")
+    p.add_argument("--at", type=int, default=None, metavar="SEQ",
+                   help="reconstruct fleet state at this logical "
+                        "timestamp (inclusive)")
+    p.add_argument("--grep", default=None, metavar="TEXT",
+                   help="print events whose entity or kind contains TEXT")
+    p.add_argument("--check", action="store_true",
+                   help="re-derive the recorded report digests from the "
+                        "log alone; exit 1 on any mismatch")
+
     return parser
 
 
@@ -256,6 +281,10 @@ def _add_execution_args(p: argparse.ArgumentParser) -> None:
                         "JSON Lines events instead)")
     p.add_argument("--manifest", metavar="PATH", default=None,
                    help="write the reproducibility-audit manifest JSON")
+    p.add_argument("--timeline", metavar="PATH", default=None,
+                   help="record the unified flight-recorder event stream "
+                        "as JSON Lines (byte-identical at any worker "
+                        "count; inspect with `repro replay`)")
     p.add_argument("--solver", default=None,
                    choices=(api.SOLVER_LADDER, api.SOLVER_FLEET,
                             api.SOLVER_GRID),
@@ -278,8 +307,12 @@ class _ObsSession:
     def __init__(self, args: argparse.Namespace) -> None:
         self.trace_path: str | None = getattr(args, "trace", None)
         self.manifest_path: str | None = getattr(args, "manifest", None)
+        self.timeline_path: str | None = getattr(args, "timeline", None)
         self.tracer = api.Tracer() if self.trace_path else None
         self.manifest = api.Manifest() if self.manifest_path else None
+        self.timeline = (
+            api.TimelineRecorder() if self.timeline_path else None
+        )
 
     def finish(self) -> None:
         if self.tracer is not None and self.trace_path is not None:
@@ -293,6 +326,10 @@ class _ObsSession:
             self.manifest.write(self.manifest_path)
             print(f"manifest written to {self.manifest_path} "
                   f"({len(self.manifest.campaigns)} campaign(s))")
+        if self.timeline is not None and self.timeline_path is not None:
+            n_events = api.write_timeline(self.timeline, self.timeline_path)
+            print(f"timeline written to {self.timeline_path} "
+                  f"({n_events} events)")
 
 
 def _build_cluster(args: argparse.Namespace) -> "api.Cluster":
@@ -351,6 +388,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         ),
         tracer=obs.tracer,
         manifest=obs.manifest,
+        timeline=obs.timeline,
     )
     print(result.report.render())
     if args.csv:
@@ -378,6 +416,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         ),
         tracer=obs.tracer,
         manifest=obs.manifest,
+        timeline=obs.timeline,
     )
     print(result.report.render())
     if args.metrics:
@@ -417,6 +456,7 @@ def _cmd_screen(args: argparse.Namespace) -> int:
         ),
         tracer=obs.tracer,
         manifest=obs.manifest,
+        timeline=obs.timeline,
     )
     for item in report.screens:
         print(f"{item.workload:<18} {item.outliers.n_outlier_gpus:>3} "
@@ -443,6 +483,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ),
         tracer=obs.tracer,
         manifest=obs.manifest,
+        timeline=obs.timeline,
     )
     print(f"{'limit':>8} {'median':>10} {'variation':>10}")
     for point in report.points:
@@ -461,6 +502,7 @@ def _cmd_project(args: argparse.Namespace) -> int:
         workers=args.workers,
         tracer=obs.tracer,
         manifest=obs.manifest,
+        timeline=obs.timeline,
     )
     print(f"measured on {report.cluster} ({report.n_gpus_measured} GPUs): "
           f"{report.measured_variation:.1%}")
@@ -497,6 +539,7 @@ def _cmd_sched(args: argparse.Namespace) -> int:
         ),
         tracer=obs.tracer,
         manifest=obs.manifest,
+        timeline=obs.timeline,
     )
     print(result.report.render())
     if args.report:
@@ -520,6 +563,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         max_pending=args.max_pending,
         cache_entries=args.cache_entries,
+        timeline_path=args.timeline,
     )
     service = FleetService(config)
 
@@ -611,6 +655,34 @@ def _parse_service_url(url: str) -> tuple[str, int]:
     return host, int(port_text)
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    try:
+        replayer = api.load_replayer(args.timeline)
+    except (OSError, ValueError) as exc:  # TimelineError is a ValueError
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.check:
+        checks = replayer.check()
+        for check in checks:
+            print(check.render())
+        if not checks:
+            print("no summary events on the timeline; nothing to check")
+        return 0 if all(check.ok for check in checks) else 1
+    if args.grep is not None:
+        matched = replayer.grep(args.grep)
+        for event in matched:
+            print(json.dumps(event.as_dict(), sort_keys=True))
+        print(f"{len(matched)}/{len(replayer.events)} events matched "
+              f"{args.grep!r}", file=sys.stderr)
+        return 0
+    if args.at is not None:
+        print(json.dumps(replayer.state_at(args.at), indent=2,
+                         sort_keys=True))
+        return 0
+    print(json.dumps(replayer.summarize(), indent=2, sort_keys=True))
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "characterize": _cmd_characterize,
@@ -621,4 +693,5 @@ _COMMANDS = {
     "sched": _cmd_sched,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "replay": _cmd_replay,
 }

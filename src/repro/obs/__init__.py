@@ -22,7 +22,15 @@ it?  Five pieces:
   in canonical plan order;
 * :mod:`repro.obs.health` — online anomaly detection over the monitor's
   run stream: typed health events with hysteresis, per-GPU grades, and
-  fleet health reports with topology rollups.
+  fleet health reports with topology rollups;
+* :mod:`repro.obs.timeline` — the unified flight recorder: one
+  schema-versioned, byte-stable event stream spanning campaign, sim,
+  health, sched, and service layers, ordered by a monotone logical clock
+  (no wall time) and merged across shards in canonical plan order;
+* :mod:`repro.obs.replay` — the timeline replayer behind ``repro
+  replay``: reconstructs fleet health grades, scheduler occupancy, and
+  counter totals at any logical timestamp, and re-derives report digests
+  from the log alone (``--check``).
 
 Hard guarantees (pinned by ``tests/obs/``): with tracing enabled, campaign
 outputs are **bit-identical** to untraced runs — the tracer never draws
@@ -59,6 +67,20 @@ from .metrics import (
     active_monitor,
     render_prometheus,
 )
+from .timeline import (
+    TIMELINE_LAYERS,
+    TIMELINE_SCHEMA_VERSION,
+    TimelineError,
+    TimelineEvent,
+    TimelineRecorder,
+    activate_recorder,
+    active_recorder,
+    canonical_digest,
+    read_timeline,
+    timeline_lines,
+    validate_timeline_event,
+    write_timeline,
+)
 
 #: Names served lazily from :mod:`repro.obs.health` (PEP 562).  Health
 #: pulls in :mod:`repro.core` — whose package init reaches back through
@@ -80,21 +102,37 @@ _HEALTH_EXPORTS = (
     "write_health_events",
 )
 
+#: Names served lazily from :mod:`repro.obs.replay` — the replayer's
+#: ``--check`` mode rebuilds scheduling reports, so it reaches into
+#: :mod:`repro.sched` and must not load with the hook-side modules.
+_REPLAY_EXPORTS = (
+    "ReplayCheck",
+    "TimelineReplayer",
+    "load_replayer",
+)
+
 
 def __getattr__(name: str):
     if name in _HEALTH_EXPORTS:
         from . import health
 
         return getattr(health, name)
+    if name in _REPLAY_EXPORTS:
+        from . import replay
+
+        return getattr(replay, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def __dir__() -> list[str]:
-    return sorted(set(globals()) | set(_HEALTH_EXPORTS))
+    return sorted(
+        set(globals()) | set(_HEALTH_EXPORTS) | set(_REPLAY_EXPORTS)
+    )
 
 
 __all__ = [
     *_HEALTH_EXPORTS,
+    *_REPLAY_EXPORTS,
     "DEFAULT_HISTOGRAM_EDGES",
     "FleetMonitor",
     "FleetRun",
@@ -112,6 +150,18 @@ __all__ = [
     "NONDETERMINISTIC_COUNTER_PREFIXES",
     "write_chrome_trace",
     "write_events_jsonl",
+    "TIMELINE_LAYERS",
+    "TIMELINE_SCHEMA_VERSION",
+    "TimelineError",
+    "TimelineEvent",
+    "TimelineRecorder",
+    "activate_recorder",
+    "active_recorder",
+    "canonical_digest",
+    "read_timeline",
+    "timeline_lines",
+    "validate_timeline_event",
+    "write_timeline",
     "CampaignManifest",
     "Manifest",
     "MANIFEST_SCHEMA",

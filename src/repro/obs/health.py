@@ -50,6 +50,7 @@ from ..core.boxstats import tukey_fences
 from ..core.outliers import OutlierAccumulator, flag_outlier_values
 from .manifest import validate_manifest
 from .metrics import FleetMonitor, SlidingWindow
+from .timeline import active_recorder
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from ..cluster.topology import Topology
@@ -418,6 +419,20 @@ class HealthTracker:
                     )
                 )
         self.events.extend(emitted)
+        recorder = active_recorder()
+        if recorder is not None:
+            for event in emitted:
+                recorder.record(
+                    "health",
+                    event.kind.value,
+                    event.gpu_label,
+                    gpu_index=event.gpu_index,
+                    day=event.day,
+                    run_index=event.run_index,
+                    value=event.value,
+                    threshold=event.threshold,
+                    **dict(event.details),
+                )
         return emitted
 
     # -- classification ------------------------------------------------------

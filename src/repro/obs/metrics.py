@@ -730,6 +730,11 @@ def render_prometheus(
     and ``_count``, Prometheus-style.  Output ordering is the registry's
     sorted metric order, so two registries with equal contents render to
     equal text (the equivalence tests compare exactly this).
+
+    The exposition always ends with a trailing newline — the text format
+    requires a final line feed, including for a registry with no metrics
+    (or counters only), where the old code returned an unterminated (or
+    empty) string that some scrapers reject.
     """
     registry = source.registry if isinstance(source, FleetMonitor) else source
     lines: list[str] = []
@@ -763,7 +768,7 @@ def render_prometheus(
             lines.append(f'{full}_bucket{{le="+Inf"}} {hist["count"]}')
             lines.append(f"{full}_sum {_fmt(hist['sum'])}")
             lines.append(f"{full}_count {hist['count']}")
-    return "\n".join(lines) + ("\n" if lines else "")
+    return "".join(f"{line}\n" for line in lines) or "\n"
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,362 @@
+"""Replay a recorded flight-recorder timeline: forensics after the fact.
+
+A timeline written by :mod:`repro.obs.timeline` is a complete, byte-stable
+account of what the fleet did — which runs solved, which GPUs opened and
+closed health conditions, which jobs queued, started and finished, which
+requests the service admitted.  :class:`TimelineReplayer` streams those
+events back and reconstructs the derived state at any logical timestamp:
+
+* fleet health grades (open conditions + recovered-watch hysteresis),
+* scheduler queue depth and GPU occupancy,
+* per-layer event counters.
+
+``check()`` is the assertion mode: it re-derives the final
+:class:`~repro.obs.health.FleetHealthReport` grade counts and the
+scheduling-report digest *from the log alone* and compares them against the
+summary events the producer recorded — if the log and the reports disagree,
+one of them is lying, and replay tells you which claim broke.
+
+Backed by ``repro replay`` (summarize / ``--at`` / ``--grep`` /
+``--check``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from .timeline import (
+    TimelineError,
+    TimelineEvent,
+    canonical_digest,
+    read_timeline,
+)
+
+__all__ = [
+    "ReplayCheck",
+    "TimelineReplayer",
+    "load_replayer",
+]
+
+
+@dataclass(frozen=True)
+class ReplayCheck:
+    """One ``--check`` verdict: a re-derived value vs the recorded claim."""
+
+    name: str
+    ok: bool
+    expected: Any
+    actual: Any
+
+    def render(self) -> str:
+        """One-line terminal verdict: ``[ok]``/``[FAIL]`` plus the claim."""
+        mark = "ok" if self.ok else "FAIL"
+        line = f"[{mark}] {self.name}"
+        if not self.ok:
+            line += f": expected {self.expected!r}, got {self.actual!r}"
+        return line
+
+
+@dataclass
+class _HealthState:
+    """Open-condition tracking mirrored from ``HealthTracker`` semantics."""
+
+    open_by_gpu: dict[str, set[str]] = field(default_factory=dict)
+    ever_flagged: set[str] = field(default_factory=set)
+
+    def apply(self, event: TimelineEvent) -> None:
+        if event.kind in ("health_report",):
+            return
+        conditions = self.open_by_gpu.setdefault(event.entity, set())
+        if event.kind == "RECOVERED":
+            conditions.discard(event.value("cleared"))
+        else:
+            conditions.add(event.kind)
+            self.ever_flagged.add(event.entity)
+
+    def grades(self) -> dict[str, str]:
+        """Grade per GPU that ever appeared in a health event."""
+        from .health import _GRADE_OF_OPEN, GRADES, HealthEventKind
+
+        grade_of_open = {
+            kind.value: grade for kind, grade in _GRADE_OF_OPEN.items()
+        }
+        grades: dict[str, str] = {}
+        for label in sorted(self.open_by_gpu):
+            grade = "ok"
+            for kind in self.open_by_gpu[label]:
+                candidate = grade_of_open[kind]
+                if GRADES.index(candidate) > GRADES.index(grade):
+                    grade = candidate
+            if grade == "ok" and label in self.ever_flagged:
+                grade = "watch"  # recovered once: keep an eye on it
+            grades[label] = grade
+        return grades
+
+    def grade_counts(self, fleet_gpus: int) -> dict[str, int]:
+        from .health import GRADES
+
+        counts = {grade: 0 for grade in GRADES}
+        for grade in self.grades().values():
+            counts[grade] += 1
+        counts["ok"] += fleet_gpus - sum(counts.values())
+        return counts
+
+
+@dataclass
+class _SchedState:
+    """Queue/occupancy bookkeeping replayed from submit/start/finish."""
+
+    queued: set[int] = field(default_factory=set)
+    running: dict[int, int] = field(default_factory=dict)
+    finished: set[int] = field(default_factory=set)
+    occupied_gpus: int = 0
+    backfill_starts: int = 0
+
+    def apply(self, event: TimelineEvent) -> None:
+        if event.kind == "submit":
+            self.queued.add(event.value("job"))
+        elif event.kind == "start":
+            job = event.value("job")
+            self.queued.discard(job)
+            n_gpus = len(event.value("gpus", ()))
+            self.running[job] = n_gpus
+            self.occupied_gpus += n_gpus
+            if event.value("backfilled"):
+                self.backfill_starts += 1
+        elif event.kind == "finish":
+            job = event.value("job")
+            self.occupied_gpus -= self.running.pop(job, 0)
+            self.finished.add(job)
+
+
+class TimelineReplayer:
+    """Stream timeline events and reconstruct derived state.
+
+    Construct from in-memory events or via :func:`load_replayer` for a
+    recorded file.  All queries are logical-clock based: ``seq`` bounds are
+    inclusive, matching the monotone event numbering of the recorder.
+    """
+
+    def __init__(self, events: Sequence[TimelineEvent]) -> None:
+        self.events = tuple(events)
+
+    # -- queries ---------------------------------------------------------------
+
+    def counters(self, up_to: int | None = None) -> dict[str, int]:
+        """Event totals keyed ``layer.kind``, up to logical time ``up_to``."""
+        totals: dict[str, int] = {}
+        for event in self._slice(up_to):
+            key = f"{event.layer}.{event.kind}"
+            totals[key] = totals.get(key, 0) + 1
+        return dict(sorted(totals.items()))
+
+    def state_at(self, seq: int | None = None) -> dict[str, Any]:
+        """Reconstructed fleet state after applying events through ``seq``."""
+        health = _HealthState()
+        sched = _SchedState()
+        runs = rows = 0
+        last_seq = -1
+        for event in self._slice(seq):
+            last_seq = event.seq
+            if event.layer == "health":
+                health.apply(event)
+            elif event.layer == "sched":
+                sched.apply(event)
+            elif event.layer == "sim" and event.kind == "run":
+                runs += 1
+            elif event.kind == "campaign_end":
+                rows = event.value("rows", rows)
+        return {
+            "seq": last_seq,
+            "counters": self.counters(seq),
+            "campaign": {"runs_observed": runs, "rows": rows},
+            "health": {
+                "grades": health.grades(),
+                "open_conditions": {
+                    label: sorted(conditions)
+                    for label, conditions in sorted(health.open_by_gpu.items())
+                    if conditions
+                },
+            },
+            "sched": {
+                "queued": len(sched.queued),
+                "running": len(sched.running),
+                "finished": len(sched.finished),
+                "occupied_gpus": sched.occupied_gpus,
+                "backfill_starts": sched.backfill_starts,
+            },
+        }
+
+    def summarize(self) -> dict[str, Any]:
+        """Whole-timeline summary: final state plus per-layer totals."""
+        summary = self.state_at(None)
+        summary["n_events"] = len(self.events)
+        layers: dict[str, int] = {}
+        for event in self.events:
+            layers[event.layer] = layers.get(event.layer, 0) + 1
+        summary["layers"] = dict(sorted(layers.items()))
+        return summary
+
+    def grep(self, needle: str) -> tuple[TimelineEvent, ...]:
+        """Events whose entity or kind contains ``needle``."""
+        return tuple(
+            event
+            for event in self.events
+            if needle in event.entity or needle in event.kind
+        )
+
+    # -- assertion mode --------------------------------------------------------
+
+    def check(self) -> list[ReplayCheck]:
+        """Re-derive the recorded summary claims from the event stream.
+
+        Every summary event found on the timeline is verified:
+
+        * ``campaign_end`` — the run-event count must equal the recorded
+          shard count (one run event per shard, recorded independently).
+        * ``health_report`` — fleet grade counts re-derived from the raw
+          open/close transitions must equal the report's grade counts.
+        * ``sched_report`` — job records rebuilt from submit/start/finish
+          events must re-produce the scheduling report digest bit-for-bit.
+        """
+        checks: list[ReplayCheck] = []
+        run_events = sum(
+            1 for e in self.events if e.layer == "sim" and e.kind == "run"
+        )
+        for event in self.events:
+            if event.kind == "campaign_end":
+                expected = event.value("n_shards")
+                checks.append(
+                    ReplayCheck(
+                        name=f"campaign_end@{event.seq}: run events == shards",
+                        ok=run_events == expected,
+                        expected=expected,
+                        actual=run_events,
+                    )
+                )
+            elif event.kind == "health_report":
+                checks.append(self._check_health_report(event))
+            elif event.kind == "sched_report":
+                checks.append(self._check_sched_report(event))
+        return checks
+
+    def _check_health_report(self, report_event: TimelineEvent) -> ReplayCheck:
+        health = _HealthState()
+        for event in self.events:
+            if event.seq >= report_event.seq:
+                break
+            if event.layer == "health":
+                health.apply(event)
+        expected = report_event.value("grade_counts")
+        actual = health.grade_counts(int(report_event.value("fleet_gpus")))
+        return ReplayCheck(
+            name=f"health_report@{report_event.seq}: grade counts",
+            ok=actual == expected,
+            expected=expected,
+            actual=actual,
+        )
+
+    def _check_sched_report(self, report_event: TimelineEvent) -> ReplayCheck:
+        expected = report_event.value("digest")
+        try:
+            report = self._rebuild_scheduling_report(report_event)
+            actual = canonical_digest(report.to_json())
+        except (TimelineError, KeyError, ValueError) as exc:
+            return ReplayCheck(
+                name=f"sched_report@{report_event.seq}: report digest",
+                ok=False,
+                expected=expected,
+                actual=f"rebuild failed: {exc}",
+            )
+        return ReplayCheck(
+            name=f"sched_report@{report_event.seq}: report digest",
+            ok=actual == expected,
+            expected=expected,
+            actual=actual,
+        )
+
+    def _rebuild_scheduling_report(self, report_event: TimelineEvent):
+        """Rebuild the SchedulingReport from the sched events alone.
+
+        Start events carry the exact (unrounded) record floats, so the
+        reconstructed :class:`~repro.sched.engine.JobRecord` tuple — and
+        therefore the report's canonical JSON — matches the producer's
+        bit-for-bit.
+        """
+        # Deferred: obs must stay importable without the sched stack.
+        from ..sched.engine import JobRecord, ScheduleOutcome
+        from ..sched.report import build_scheduling_report
+
+        submits: dict[int, TimelineEvent] = {}
+        starts: dict[int, TimelineEvent] = {}
+        finishes: dict[int, TimelineEvent] = {}
+        backfilled_starts = 0
+        for event in self.events:
+            if event.seq >= report_event.seq or event.layer != "sched":
+                continue
+            if event.kind == "submit":
+                submits[event.value("job")] = event
+            elif event.kind == "start":
+                starts[event.value("job")] = event
+                if event.value("backfilled"):
+                    backfilled_starts += 1
+            elif event.kind == "finish":
+                finishes[event.value("job")] = event
+        if set(submits) != set(starts) or set(submits) != set(finishes):
+            raise TimelineError(
+                "incomplete sched timeline: every job needs "
+                "submit, start, and finish events"
+            )
+        records = []
+        for job_id in sorted(submits):
+            submit, start, finish = (
+                submits[job_id], starts[job_id], finishes[job_id],
+            )
+            records.append(
+                JobRecord(
+                    job_id=job_id,
+                    workload_name=submit.value("workload"),
+                    n_gpus=submit.value("n_gpus"),
+                    work_units=submit.value("work_units"),
+                    submit_time_s=submit.value("t"),
+                    start_time_s=start.value("t"),
+                    finish_time_s=finish.value("t"),
+                    node_indices=tuple(start.value("nodes")),
+                    gpu_indices=tuple(start.value("gpus")),
+                    runtime_s=start.value("runtime_s"),
+                    energy_j=start.value("energy_j"),
+                    gang_imbalance=start.value("gang_imbalance"),
+                    slow_assigned=start.value("slow_assigned"),
+                )
+            )
+        # The report consumes events only for the backfill count; one
+        # synthetic start per backfilled job reproduces it exactly.
+        events = tuple(
+            {"event": "start", "backfilled": True}
+            for _ in range(backfilled_starts)
+        )
+        return build_scheduling_report(
+            report_event.value("cluster"),
+            ScheduleOutcome(
+                policy_name=report_event.value("policy", {}).get("name", ""),
+                records=tuple(records),
+                events=events,
+            ),
+            dict(report_event.value("policy", {})),
+            int(report_event.value("fleet_gpus")),
+            trace_seed=report_event.value("trace_seed"),
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _slice(self, up_to: int | None) -> Iterable[TimelineEvent]:
+        if up_to is None:
+            return self.events
+        return (event for event in self.events if event.seq <= up_to)
+
+
+def load_replayer(path: Any) -> TimelineReplayer:
+    """Read a timeline file (validating it) and wrap it in a replayer."""
+    _, events = read_timeline(path)
+    return TimelineReplayer(events)

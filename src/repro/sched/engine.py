@@ -52,6 +52,7 @@ import numpy as np
 from ..cluster.allocator import FreeListAllocator, GangAllocation
 from ..cluster.cluster import Cluster
 from ..errors import SimulationError
+from ..obs.timeline import active_recorder
 from ..obs.tracer import active_tracer
 from ..sim.job import (
     JobPricingRequest,
@@ -253,8 +254,79 @@ def run_schedule(
     if engine != "reference":
         spec = policy.indexed_ranking(cluster.topology.n_nodes)
     if spec is None:
-        return _run_reference(cluster, jobs, policy)
-    return _run_indexed(cluster, jobs, policy, spec)
+        outcome = _run_reference(cluster, jobs, policy)
+    else:
+        outcome = _run_indexed(cluster, jobs, policy, spec)
+    recorder = active_recorder()
+    if recorder is not None:
+        _record_timeline(cluster, policy, jobs, outcome, recorder)
+    return outcome
+
+
+def _record_timeline(
+    cluster: Cluster,
+    policy: PlacementPolicy,
+    jobs: tuple[Job, ...],
+    outcome: ScheduleOutcome,
+    recorder,
+) -> None:
+    """Append the run to the unified flight recorder.
+
+    Recorded post-hoc from the outcome — whose event log is byte-identical
+    across engines — rather than inside the dispatch loops, so both paths
+    share one emission order by construction.  Start events carry the
+    *exact* (unrounded) record floats, letting a replayer rebuild every
+    :class:`JobRecord` bit-for-bit and re-derive the scheduling-report
+    digest from the timeline alone.
+    """
+    recorder.record(
+        "sched",
+        "sched_begin",
+        cluster.name,
+        policy=policy.name,
+        backfill=policy.backfill,
+        n_jobs=len(jobs),
+        fleet_gpus=cluster.topology.n_gpus,
+    )
+    by_id = {record.job_id: record for record in outcome.records}
+    for event in outcome.events:
+        job_id = event["job"]
+        record = by_id[job_id]
+        entity = f"job-{job_id}"
+        if event["event"] == "submit":
+            recorder.record(
+                "sched",
+                "submit",
+                entity,
+                job=int(job_id),
+                t=float(record.submit_time_s),
+                workload=record.workload_name,
+                n_gpus=int(record.n_gpus),
+                work_units=int(record.work_units),
+            )
+        elif event["event"] == "start":
+            recorder.record(
+                "sched",
+                "start",
+                entity,
+                job=int(job_id),
+                t=float(record.start_time_s),
+                nodes=[int(n) for n in record.node_indices],
+                gpus=[int(g) for g in record.gpu_indices],
+                backfilled=bool(event["backfilled"]),
+                runtime_s=float(record.runtime_s),
+                energy_j=float(record.energy_j),
+                gang_imbalance=float(record.gang_imbalance),
+                slow_assigned=bool(record.slow_assigned),
+            )
+        else:
+            recorder.record(
+                "sched",
+                "finish",
+                entity,
+                job=int(job_id),
+                t=float(record.finish_time_s),
+            )
 
 
 def _run_reference(

@@ -18,7 +18,19 @@ propagate to every waiter and are deliberately **not** cached, so a
 transient error doesn't become a sticky one.
 
 All counters land in a :class:`~repro.obs.metrics.MetricsRegistry` under
-``service_*`` names (see docs/OBSERVABILITY.md).
+``service_*`` names (see docs/OBSERVABILITY.md).  Runners may return
+``(body, counters)`` instead of plain bytes; the counters — deterministic
+campaign work totals such as ``solver.solves`` — are folded into the same
+registry exactly once per execution (names mapped ``.`` → ``_``), so
+``GET /metrics`` exposes solver/engine work alongside the ``service_*``
+transport counters.
+
+With a :class:`~repro.obs.timeline.TimelineRecorder` attached, the broker
+appends one ``service``-layer admission event per submitted request
+(entity = request digest; status ``hit`` / ``coalesced`` / ``miss`` /
+``saturated``) and hands the event's sequence number back on the
+:class:`BrokerReply` as ``timeline_id`` — the value the server surfaces
+in the ``X-Repro-Timeline`` response header.
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ from typing import Any, Awaitable, Callable
 from ..config import require
 from ..errors import DeadlineExceeded, ServiceSaturated
 from ..obs.metrics import MetricsRegistry
+from ..obs.timeline import TimelineRecorder
 from .pool import WorkerPool
 
 __all__ = ["ResponseCache", "CoalescingBroker", "BrokerReply"]
@@ -76,15 +89,24 @@ class BrokerReply:
     ``status`` is one of ``"hit"`` (response cache), ``"coalesced"``
     (joined an in-flight execution), or ``"miss"`` (this request paid for
     the execution).  It describes transport only — ``body`` is
-    byte-identical across all three for the same digest.
+    byte-identical across all three for the same digest.  ``timeline_id``
+    is the admission event's sequence number on the service timeline, or
+    ``None`` when no recorder is attached.
     """
 
-    __slots__ = ("body", "status", "digest")
+    __slots__ = ("body", "status", "digest", "timeline_id")
 
-    def __init__(self, body: bytes, status: str, digest: str) -> None:
+    def __init__(
+        self,
+        body: bytes,
+        status: str,
+        digest: str,
+        timeline_id: int | None = None,
+    ) -> None:
         self.body = body
         self.status = status
         self.digest = digest
+        self.timeline_id = timeline_id
 
 
 class CoalescingBroker:
@@ -93,15 +115,19 @@ class CoalescingBroker:
     Parameters
     ----------
     runner:
-        Synchronous callable ``request -> bytes`` executed on a pool
-        worker; must return the *canonical* response body.  Injectable so
-        tests drive the broker with stub work.
+        Synchronous callable executed on a pool worker, returning either
+        the *canonical* response body (``bytes``) or ``(bytes, counters)``
+        where ``counters`` maps deterministic work-counter names to
+        totals.  Injectable so tests drive the broker with stub work.
     pool:
         The :class:`~repro.service.pool.WorkerPool` bounding admissions.
     cache:
         The :class:`ResponseCache` for completed bodies.
     metrics:
-        Registry receiving the ``service_*`` counters.
+        Registry receiving the ``service_*`` (and runner work) counters.
+    timeline:
+        Optional streaming :class:`~repro.obs.timeline.TimelineRecorder`
+        receiving one ``service``-layer admission event per request.
 
     Must be used from a single asyncio event loop: the in-flight map is
     loop-confined state (no locks needed), while the runner itself runs on
@@ -110,16 +136,28 @@ class CoalescingBroker:
 
     def __init__(
         self,
-        runner: Callable[[Any], bytes],
+        runner: Callable[[Any], Any],
         pool: WorkerPool,
         cache: ResponseCache,
         metrics: MetricsRegistry,
+        timeline: TimelineRecorder | None = None,
     ) -> None:
         self.runner = runner
         self.pool = pool
         self.cache = cache
         self.metrics = metrics
+        self.timeline = timeline
         self._inflight: dict[str, asyncio.Future] = {}
+
+    def _admit(self, request: Any, digest: str, status: str) -> int | None:
+        """Record the admission on the service timeline (if attached)."""
+        if self.timeline is None:
+            return None
+        return self.timeline.record(
+            "service", "admit", digest,
+            verb=getattr(request, "kind", type(request).__name__),
+            status=status,
+        )
 
     def submit(
         self, request: Any, digest: str, deadline_s: float | None = None
@@ -140,13 +178,17 @@ class CoalescingBroker:
         cached = self.cache.get(digest)
         if cached is not None:
             self.metrics.inc("service_cache_hits")
-            return _immediate(BrokerReply(cached, "hit", digest))
+            timeline_id = self._admit(request, digest, "hit")
+            return _immediate(BrokerReply(cached, "hit", digest, timeline_id))
         self.metrics.inc("service_cache_misses")
 
         shared = self._inflight.get(digest)
         if shared is not None:
             self.metrics.inc("service_coalesced_requests")
-            return self._await_shared(shared, "coalesced", digest, deadline_s)
+            timeline_id = self._admit(request, digest, "coalesced")
+            return self._await_shared(
+                shared, "coalesced", digest, deadline_s, timeline_id
+            )
 
         # First requester for this digest: pay for the execution.  The
         # pool may refuse (ServiceSaturated) — propagated synchronously,
@@ -156,19 +198,29 @@ class CoalescingBroker:
             pool_future = self.pool.try_submit(self.runner, request)
         except ServiceSaturated:
             self.metrics.inc("service_rejected_saturated")
+            self._admit(request, digest, "saturated")
             raise
         self.metrics.inc("service_campaigns_executed")
+        timeline_id = self._admit(request, digest, "miss")
         shared = asyncio.wrap_future(pool_future, loop=loop)
         self._inflight[digest] = shared
         shared.add_done_callback(lambda fut: self._settle(digest, fut))
-        return self._await_shared(shared, "miss", digest, deadline_s)
+        return self._await_shared(shared, "miss", digest, deadline_s,
+                                  timeline_id)
 
     def _settle(self, digest: str, future: asyncio.Future) -> None:
-        """Completion hook: deregister, and cache successes only."""
+        """Completion hook: deregister, merge counters, cache successes.
+
+        Runner work counters are folded into the registry here — once per
+        *execution*, no matter how many waiters shared the future.
+        """
         self._inflight.pop(digest, None)
         if future.cancelled() or future.exception() is not None:
             return
-        self.cache.put(digest, future.result())
+        body, counters = _split_result(future.result())
+        for name, value in sorted(counters.items()):
+            self.metrics.inc(name.replace(".", "_"), value)
+        self.cache.put(digest, body)
 
     async def _await_shared(
         self,
@@ -176,17 +228,27 @@ class CoalescingBroker:
         status: str,
         digest: str,
         deadline_s: float | None,
+        timeline_id: int | None = None,
     ) -> BrokerReply:
         """Wait on the shared future, shielded so timeouts don't cancel it."""
         try:
-            body = await asyncio.wait_for(asyncio.shield(shared), deadline_s)
+            result = await asyncio.wait_for(asyncio.shield(shared), deadline_s)
         except asyncio.TimeoutError:
             self.metrics.inc("service_deadline_expired")
             raise DeadlineExceeded(
                 f"request {digest} missed its {deadline_s}s deadline "
                 "(the shared execution continues and will populate the cache)"
             ) from None
-        return BrokerReply(body, status, digest)
+        body, _ = _split_result(result)
+        return BrokerReply(body, status, digest, timeline_id)
+
+
+def _split_result(result: Any) -> tuple[bytes, dict[str, int | float]]:
+    """Normalize a runner result to ``(body, counters)``."""
+    if isinstance(result, tuple):
+        body, counters = result
+        return body, counters
+    return result, {}
 
 
 async def _immediate(reply: BrokerReply) -> BrokerReply:

@@ -7,16 +7,21 @@ One process serves the paper's whole characterization surface:
   path fixes ``kind``; a mismatching body ``kind`` is a 400);
 * ``GET /v1/healthz`` — liveness + queue depth;
 * ``GET /metrics`` — Prometheus text exposition of the ``service_*``
-  counters and latency histogram.
+  counters and latency histogram, the solver/engine work counters the
+  runner reports per executed campaign (``repro_solver_solves_total``,
+  ``repro_engine_clamp_reevaluations_total``, ...), and a
+  ``service_uptime_seconds`` gauge.
 
 Request flow: parse → deserialize to the exact request object the Python
 facade takes → :class:`~repro.service.coalesce.CoalescingBroker` (cache →
 join in-flight → execute on the bounded
 :class:`~repro.service.pool.WorkerPool`).  Transport status rides in
-headers (``X-Repro-Cache: hit|miss|coalesced``, ``X-Repro-Digest``), so
-response *bodies* stay byte-identical for one digest no matter how they
-were produced.  Saturation maps to 429, expired deadlines to 503, bad
-requests to 400 — all with canonical JSON error bodies.
+headers (``X-Repro-Cache: hit|miss|coalesced``, ``X-Repro-Digest``, and —
+with ``--timeline`` — ``X-Repro-Timeline``, the request's admission event
+id on the flight-recorder timeline), so response *bodies* stay
+byte-identical for one digest no matter how they were produced.
+Saturation maps to 429, expired deadlines to 503, bad requests to 400 —
+all with canonical JSON error bodies.
 
 HTTP/1.1 is hand-rolled on :func:`asyncio.start_server` (no third-party
 web framework, per the repo's stdlib-only constraint): one request per
@@ -43,6 +48,8 @@ from ..errors import (
     ServiceSaturated,
 )
 from ..obs.metrics import MetricsRegistry, render_prometheus
+from ..obs.timeline import TimelineRecorder
+from ..obs.tracer import Tracer, activate
 from .coalesce import CoalescingBroker, ResponseCache
 from .pool import WorkerPool
 from .wire import build_response, encode_response
@@ -67,15 +74,32 @@ _STATUS_TEXT = {
 }
 
 
-def default_runner(request) -> bytes:
-    """Execute a request through the facade and return its canonical body.
+#: Counter prefixes (tracer dotted names) the runner reports per campaign.
+#: Deterministic work totals only — wall-clock-free, so ``GET /metrics``
+#: stays reproducible for a given request history.
+_RUNNER_COUNTER_PREFIXES = ("solver.", "engine.", "sched.")
+
+
+def default_runner(request) -> tuple[bytes, dict[str, int | float]]:
+    """Execute a request through the facade; canonical body + work counters.
 
     This is the unit of work the broker submits to the pool — the same
     :func:`repro.api.execute_request` path Python callers use, then the
-    same canonical encoding the cache stores.
+    same canonical encoding the cache stores.  The campaign runs under a
+    private :class:`~repro.obs.tracer.Tracer` whose deterministic
+    solver/engine counters ride back with the body; the broker folds them
+    into the service registry once per execution.
     """
-    result = execute_request(request)
-    return encode_response(build_response(request, result))
+    tracer = Tracer()
+    with activate(tracer):
+        result = execute_request(request)
+    body = encode_response(build_response(request, result))
+    counters = {
+        name: value
+        for name, value in tracer.deterministic_counters().items()
+        if name.startswith(_RUNNER_COUNTER_PREFIXES)
+    }
+    return body, counters
 
 
 @dataclass(frozen=True)
@@ -86,6 +110,8 @@ class ServiceConfig:
     :attr:`FleetService.port` after :meth:`FleetService.start` — the test
     and in-process loadgen path).  ``max_pending`` and ``cache_entries``
     bound the two queues that make the service safe to leave running.
+    ``timeline_path`` streams one flight-recorder admission event per
+    request to a JSON Lines file (inspect with ``repro replay``).
     """
 
     host: str = "127.0.0.1"
@@ -94,6 +120,7 @@ class ServiceConfig:
     backend: str = "thread"
     max_pending: int = 8
     cache_entries: int = 64
+    timeline_path: str | None = None
 
     def __post_init__(self) -> None:
         require(0 <= self.port <= 65535, f"port out of range: {self.port}")
@@ -128,6 +155,9 @@ class FleetService:
             self.metrics,
         )
         self._server: asyncio.AbstractServer | None = None
+        self.timeline: TimelineRecorder | None = None
+        self._timeline_stream = None
+        self._started_monotonic: float | None = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -142,6 +172,22 @@ class FleetService:
         """Bind and start accepting connections (idempotent)."""
         if self._server is not None:
             return
+        if self.config.timeline_path is not None and self.timeline is None:
+            # Long-lived process: stream events as they happen rather
+            # than buffering an unbounded in-memory timeline.
+            self._timeline_stream = open(
+                self.config.timeline_path, "w", encoding="utf-8"
+            )
+            self.timeline = TimelineRecorder(stream=self._timeline_stream)
+            self.timeline.record(
+                "service", "service_start", self.config.host,
+                workers=self.config.workers,
+                backend=self.config.backend,
+                max_pending=self.config.max_pending,
+                cache_entries=self.config.cache_entries,
+            )
+            self.broker.timeline = self.timeline
+        self._started_monotonic = time.monotonic()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -153,6 +199,11 @@ class FleetService:
             await self._server.wait_closed()
             self._server = None
         self.pool.shutdown(wait=False)
+        if self._timeline_stream is not None:
+            self.broker.timeline = None
+            self.timeline = None
+            self._timeline_stream.close()
+            self._timeline_stream = None
 
     async def serve_forever(self) -> None:
         """Start (if needed) and serve until cancelled — the CLI entry."""
@@ -208,6 +259,13 @@ class FleetService:
         if path == "/metrics":
             if method != "GET":
                 return 405, _error_body("method", "metrics is GET-only"), {}
+            if self._started_monotonic is not None:
+                self.metrics.set_gauge(
+                    "service_uptime_seconds",
+                    time.monotonic() - self._started_monotonic,
+                    help="seconds since the service started accepting "
+                         "connections",
+                )
             text = render_prometheus(self.metrics)
             return 200, text.encode("utf-8"), {
                 "Content-Type": "text/plain; version=0.0.4"
@@ -251,10 +309,13 @@ class FleetService:
             return 400, _error_body("bad_request", str(exc)), {}
         except ReproError as exc:
             return 500, _error_body("error", str(exc)), {}
-        return 200, reply.body, {
+        headers = {
             "X-Repro-Cache": reply.status,
             "X-Repro-Digest": reply.digest,
         }
+        if reply.timeline_id is not None:
+            headers["X-Repro-Timeline"] = str(reply.timeline_id)
+        return 200, reply.body, headers
 
 
 def _error_body(code: str, message: str) -> bytes:

@@ -50,6 +50,7 @@ from ..workloads.base import Workload
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..obs.manifest import Manifest
     from ..obs.metrics import FleetMonitor
+    from ..obs.timeline import TimelineRecorder
     from ..obs.tracer import Tracer
     from .parallel import ParallelConfig
 
@@ -109,6 +110,7 @@ def run_campaign(
     tracer: "Tracer | None" = None,
     manifest: "Manifest | None" = None,
     monitor: "FleetMonitor | None" = None,
+    timeline: "TimelineRecorder | None" = None,
 ) -> MeasurementDataset:
     """Execute a campaign and return the long-form measurement table.
 
@@ -148,6 +150,11 @@ def run_campaign(
         fleet metrics stream (per-GPU gauges, histograms, run samples for
         health analysis).  Like the tracer it is merged in canonical plan
         order and never perturbs the measurement.
+    timeline:
+        Optional :class:`~repro.obs.timeline.TimelineRecorder` receiving
+        the unified flight-recorder event stream (campaign lifecycle plus
+        one event per simulated run).  Events carry a logical clock only —
+        the recorded timeline is byte-identical at any worker count.
     """
     from .parallel import ParallelConfig, execute_campaign
 
@@ -160,7 +167,7 @@ def run_campaign(
         parallel = ParallelConfig(workers=workers)
     return execute_campaign(
         cluster, workload, config, parallel=parallel, progress=progress,
-        tracer=tracer, manifest=manifest, monitor=monitor,
+        tracer=tracer, manifest=manifest, monitor=monitor, timeline=timeline,
     )
 
 

@@ -62,7 +62,14 @@ from ..errors import SimulationError
 from ..gpu.dvfs import SolverStats
 from ..obs.manifest import Manifest, build_campaign_manifest
 from ..obs.metrics import FleetMonitor, activate_monitor
+from ..obs.timeline import TimelineRecorder, activate_recorder, measurement_digest
 from ..obs.tracer import Tracer, activate
+from ..telemetry.sample import (
+    METRIC_FREQUENCY,
+    METRIC_PERFORMANCE,
+    METRIC_POWER,
+    METRIC_TEMPERATURE,
+)
 from ..telemetry.dataset import MeasurementDataset
 from ..telemetry.progress import CampaignProgress, ShardTiming
 from ..workloads.base import Workload
@@ -298,29 +305,38 @@ def _execute_shard_observed(
     task: ShardTask,
     trace_enabled: bool,
     monitor_enabled: bool = False,
+    timeline_enabled: bool = False,
 ) -> tuple[MeasurementDataset, float, "SolverStats | None", "tuple | None",
-           "tuple | None"]:
-    """Execute one shard, optionally under a fresh shard-local tracer/monitor.
+           "tuple | None", "tuple | None"]:
+    """Execute one shard, optionally under fresh shard-local observers.
 
-    Every observed shard gets its *own* tracer and monitor — even on the
-    serial path — activated thread-locally for the duration of the shard,
-    so counter totals, span structure, and the metric sample stream are
-    identical for any worker count or backend: the executors merge the
-    returned payloads in canonical plan order afterwards.
+    Every observed shard gets its *own* tracer, monitor, and timeline
+    recorder — even on the serial path — activated thread-locally for the
+    duration of the shard, so counter totals, span structure, the metric
+    sample stream, and the event timeline are identical for any worker
+    count or backend: the executors merge the returned payloads in
+    canonical plan order afterwards.
     """
-    if not trace_enabled and not monitor_enabled:
+    if not trace_enabled and not monitor_enabled and not timeline_enabled:
         dataset, duration, solver = _execute_shard(
             cluster, workload, power_limit_w, task
         )
-        return dataset, duration, solver, None, None
+        return dataset, duration, solver, None, None, None
     with ExitStack() as stack:
         shard_tracer: Tracer | None = None
         shard_monitor: FleetMonitor | None = None
+        shard_recorder: TimelineRecorder | None = None
         if monitor_enabled:
             # Shard monitors only collect; fleet-level aggregation happens
             # once, after the canonical-order merge (FleetMonitor.finalize).
             shard_monitor = FleetMonitor()
             stack.enter_context(activate_monitor(shard_monitor))
+        if timeline_enabled:
+            # Shard recorders buffer events locally; the campaign recorder
+            # folds the payloads in plan order and only then assigns the
+            # monotone logical clock — no wall time, no worker identity.
+            shard_recorder = TimelineRecorder()
+            stack.enter_context(activate_recorder(shard_recorder))
         if trace_enabled:
             shard_tracer = Tracer(
                 track=_SHARD_TRACK.format(
@@ -348,6 +364,7 @@ def _execute_shard_observed(
         solver,
         shard_tracer.to_payload() if shard_tracer is not None else None,
         shard_monitor.to_payload() if shard_monitor is not None else None,
+        shard_recorder.to_payload() if shard_recorder is not None else None,
     )
 
 
@@ -378,22 +395,26 @@ def _init_worker(
     power_limit_w: float | None,
     trace_enabled: bool,
     monitor_enabled: bool,
+    timeline_enabled: bool,
 ) -> None:
     _WORKER_CONTEXT["campaign"] = (
-        cluster, workload, power_limit_w, trace_enabled, monitor_enabled
+        cluster, workload, power_limit_w, trace_enabled, monitor_enabled,
+        timeline_enabled,
     )
 
 
 def _run_task_in_worker(
     index: int, task: ShardTask
 ) -> tuple[int, MeasurementDataset, float, "SolverStats | None",
-           "tuple | None", "tuple | None"]:
-    (cluster, workload, power_limit_w, trace_enabled,
-     monitor_enabled) = _WORKER_CONTEXT["campaign"]
-    dataset, duration, solver, payload, mpayload = _execute_shard_observed(
-        cluster, workload, power_limit_w, task, trace_enabled, monitor_enabled
+           "tuple | None", "tuple | None", "tuple | None"]:
+    (cluster, workload, power_limit_w, trace_enabled, monitor_enabled,
+     timeline_enabled) = _WORKER_CONTEXT["campaign"]
+    (dataset, duration, solver, payload, mpayload,
+     tpayload) = _execute_shard_observed(
+        cluster, workload, power_limit_w, task, trace_enabled,
+        monitor_enabled, timeline_enabled,
     )
-    return index, dataset, duration, solver, payload, mpayload
+    return index, dataset, duration, solver, payload, mpayload, tpayload
 
 
 def make_executor(
@@ -441,6 +462,7 @@ def _make_executor(
     power_limit_w: float | None,
     trace_enabled: bool,
     monitor_enabled: bool,
+    timeline_enabled: bool,
 ) -> Executor:
     if backend == "thread":
         return ThreadPoolExecutor(max_workers=n_workers)
@@ -449,7 +471,7 @@ def _make_executor(
         n_workers,
         initializer=_init_worker,
         initargs=(cluster, workload, power_limit_w, trace_enabled,
-                  monitor_enabled),
+                  monitor_enabled, timeline_enabled),
     )
 
 
@@ -468,6 +490,7 @@ def execute_campaign(
     tracer: Tracer | None = None,
     manifest: Manifest | None = None,
     monitor: FleetMonitor | None = None,
+    timeline: TimelineRecorder | None = None,
 ) -> MeasurementDataset:
     """Plan, execute (serially or in parallel), and merge a campaign.
 
@@ -486,12 +509,16 @@ def execute_campaign(
     events, and registry totals invariant to ``workers=``.  When
     ``manifest`` is given, one
     :class:`~repro.obs.manifest.CampaignManifest` entry is appended after
-    execution.  No sink perturbs the campaign: outputs are bit-identical
-    with or without them.
+    execution.  ``timeline`` receives the unified flight-recorder event
+    stream: one campaign-lifecycle envelope plus every shard's per-run
+    events, folded in plan order so the recorded timeline is byte-identical
+    at any worker count (events carry no wall time at all).  No sink
+    perturbs the campaign: outputs are bit-identical with or without them.
     """
     parallel = parallel if parallel is not None else ParallelConfig()
     trace = tracer is not None
     monitoring = monitor is not None
+    recording = timeline is not None
     if trace:
         campaign_start, campaign_t0 = time.time(), time.perf_counter()
         plan_start, plan_t0 = time.time(), time.perf_counter()
@@ -507,16 +534,32 @@ def execute_campaign(
         )
     if progress is not None:
         progress.begin(len(tasks))
+    if recording:
+        # Only plan-determined fields: worker count and backend must not
+        # leave a fingerprint on the byte-stable timeline.
+        timeline.record(
+            "campaign",
+            "campaign_begin",
+            cluster.name,
+            workload=workload.name,
+            days=config.days,
+            runs_per_day=config.runs_per_day,
+            coverage=config.coverage,
+            power_limit_w=config.power_limit_w,
+            n_shards=len(tasks),
+            fleet_gpus=cluster.topology.n_gpus,
+        )
     backend = parallel.resolved_backend()
     n_workers = min(parallel.effective_workers, len(tasks))
     if backend == "serial" or n_workers <= 1:
-        parts, payloads, solvers, mpayloads = _execute_serial(
-            cluster, workload, config, tasks, progress, trace, monitoring
+        parts, payloads, solvers, mpayloads, tpayloads = _execute_serial(
+            cluster, workload, config, tasks, progress, trace, monitoring,
+            recording,
         )
     else:
-        parts, payloads, solvers, mpayloads = _execute_pool(
+        parts, payloads, solvers, mpayloads, tpayloads = _execute_pool(
             cluster, workload, config, tasks, backend, n_workers, progress,
-            trace, monitoring,
+            trace, monitoring, recording,
         )
     if trace:
         merge_start, merge_t0 = time.time(), time.perf_counter()
@@ -558,6 +601,32 @@ def execute_campaign(
             runs_per_day=config.runs_per_day,
             backend=backend,
             workers=n_workers,
+        )
+    if recording:
+        # Same canonical-order fold: tpayloads are indexed by plan
+        # position, so the merged event order — and the logical clock
+        # assigned from it — is identical for any worker layout.
+        for tpayload in tpayloads:
+            if tpayload is not None:
+                timeline.merge_payload(tpayload)
+        end_totals = SolverStats()
+        for solver in solvers:
+            if solver is not None:
+                end_totals.merge(solver)
+        timeline.record(
+            "campaign",
+            "campaign_end",
+            cluster.name,
+            rows=dataset.n_rows,
+            n_shards=len(tasks),
+            solves=end_totals.solves,
+            batches=end_totals.batches,
+            measurements=measurement_digest(
+                dataset.column(METRIC_PERFORMANCE),
+                dataset.column(METRIC_FREQUENCY),
+                dataset.column(METRIC_POWER),
+                dataset.column(METRIC_TEMPERATURE),
+            ),
         )
     if manifest is not None:
         totals = SolverStats()
@@ -640,18 +709,21 @@ def _execute_serial(
     progress: CampaignProgress | None,
     trace_enabled: bool,
     monitor_enabled: bool,
+    timeline_enabled: bool,
 ) -> tuple[list[MeasurementDataset], list["tuple | None"],
-           list["SolverStats | None"], list["tuple | None"]]:
+           list["SolverStats | None"], list["tuple | None"],
+           list["tuple | None"]]:
     parts: list[MeasurementDataset] = []
     payloads: list["tuple | None"] = []
     solvers: list["SolverStats | None"] = []
     mpayloads: list["tuple | None"] = []
+    tpayloads: list["tuple | None"] = []
     for task in tasks:
         try:
-            dataset, duration, solver, payload, mpayload = (
+            dataset, duration, solver, payload, mpayload, tpayload = (
                 _execute_shard_observed(
                     cluster, workload, config.power_limit_w, task,
-                    trace_enabled, monitor_enabled,
+                    trace_enabled, monitor_enabled, timeline_enabled,
                 )
             )
         except SimulationError as exc:
@@ -661,7 +733,8 @@ def _execute_serial(
         payloads.append(payload)
         solvers.append(solver)
         mpayloads.append(mpayload)
-    return parts, payloads, solvers, mpayloads
+        tpayloads.append(tpayload)
+    return parts, payloads, solvers, mpayloads, tpayloads
 
 
 def _execute_pool(
@@ -674,15 +747,18 @@ def _execute_pool(
     progress: CampaignProgress | None,
     trace_enabled: bool,
     monitor_enabled: bool,
+    timeline_enabled: bool,
 ) -> tuple[list[MeasurementDataset], list["tuple | None"],
-           list["SolverStats | None"], list["tuple | None"]]:
+           list["SolverStats | None"], list["tuple | None"],
+           list["tuple | None"]]:
     parts: list[MeasurementDataset | None] = [None] * len(tasks)
     payloads: list["tuple | None"] = [None] * len(tasks)
     solvers: list["SolverStats | None"] = [None] * len(tasks)
     mpayloads: list["tuple | None"] = [None] * len(tasks)
+    tpayloads: list["tuple | None"] = [None] * len(tasks)
     executor = _make_executor(
         backend, n_workers, cluster, workload, config.power_limit_w,
-        trace_enabled, monitor_enabled,
+        trace_enabled, monitor_enabled, timeline_enabled,
     )
     submit: Callable
     if backend == "thread":
@@ -690,7 +766,7 @@ def _execute_pool(
         def submit(i: int, t: ShardTask):
             return executor.submit(
                 _run_thread_task, cluster, workload, config.power_limit_w,
-                i, t, trace_enabled, monitor_enabled,
+                i, t, trace_enabled, monitor_enabled, timeline_enabled,
             )
     else:
         def submit(i: int, t: ShardTask):
@@ -705,7 +781,7 @@ def _execute_pool(
                 task = futures[future]
                 try:
                     (index, dataset, duration, solver, payload,
-                     mpayload) = future.result()
+                     mpayload, tpayload) = future.result()
                 except Exception as exc:
                     # Fail fast with shard context rather than letting the
                     # remaining futures drain (or the caller hang on a
@@ -715,11 +791,12 @@ def _execute_pool(
                 payloads[index] = payload
                 solvers[index] = solver
                 mpayloads[index] = mpayload
+                tpayloads[index] = tpayload
                 _record(progress, task, dataset, duration, solver)
     finally:
         executor.shutdown(wait=True, cancel_futures=True)
     assert all(p is not None for p in parts)
-    return parts, payloads, solvers, mpayloads  # type: ignore[return-value]
+    return parts, payloads, solvers, mpayloads, tpayloads  # type: ignore[return-value]
 
 
 def _run_thread_task(
@@ -730,12 +807,15 @@ def _run_thread_task(
     task: ShardTask,
     trace_enabled: bool,
     monitor_enabled: bool,
+    timeline_enabled: bool,
 ) -> tuple[int, MeasurementDataset, float, "SolverStats | None",
-           "tuple | None", "tuple | None"]:
-    dataset, duration, solver, payload, mpayload = _execute_shard_observed(
-        cluster, workload, power_limit_w, task, trace_enabled, monitor_enabled
+           "tuple | None", "tuple | None", "tuple | None"]:
+    (dataset, duration, solver, payload, mpayload,
+     tpayload) = _execute_shard_observed(
+        cluster, workload, power_limit_w, task, trace_enabled,
+        monitor_enabled, timeline_enabled,
     )
-    return index, dataset, duration, solver, payload, mpayload
+    return index, dataset, duration, solver, payload, mpayload, tpayload
 
 
 def default_worker_count(cap: int = 4) -> int:

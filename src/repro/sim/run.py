@@ -31,6 +31,7 @@ from ..config import require
 from ..errors import SimulationError
 from ..gpu.dvfs import SolverStats
 from ..obs.metrics import active_monitor
+from ..obs.timeline import active_recorder, measurement_digest
 from ..obs.tracer import active_tracer
 from ..telemetry.sample import SensorModel
 from ..workloads.base import WAIT_ACTIVITY, Workload
@@ -311,6 +312,29 @@ def simulate_run(
             temperature_c=reported_temp,
             power_capped=op.power_capped,
             thermally_capped=op.thermally_capped,
+        )
+    recorder = active_recorder()
+    if recorder is not None:
+        # Like the monitor: observe only, after everything feeding the
+        # result is computed.  No wall-clock — the digest covers the raw
+        # reported arrays bit-exactly, so a replayed timeline can attest
+        # that the measurements it describes are the measurements produced.
+        stats = fleet.controller.stats
+        recorder.record(
+            "sim",
+            "run",
+            f"day-{day:03d}/run-{run_index:03d}",
+            day=day,
+            run_index=run_index,
+            workload=workload.name,
+            n_gpus=n,
+            gpu_first=int(gpu_indices[0]),
+            gpu_last=int(gpu_indices[-1]),
+            solves=stats.solves,
+            batches=stats.batches,
+            measurements=measurement_digest(
+                performance, reported_freq, reported_power, reported_temp
+            ),
         )
     if tracer is not None:
         tracer.add("run.count", 1)

@@ -371,3 +371,72 @@ class TestDefectInjectedFleet:
     def test_report_schema_valid(self, result):
         _, report = result
         validate_health_report(report.to_dict())
+
+
+class TestRecoveredHysteresis:
+    """RECOVERED semantics under multi-condition opens and closes.
+
+    One GPU goes chronically slow, then additionally hot, then fully
+    heals: the grade must walk down monotonically (ok -> degraded ->
+    critical), both conditions must close in the *same* observation in
+    the fixed ``_CONDITION_KINDS`` evaluation order, and the recovered
+    GPU must land on "watch" — never back on "ok".
+    """
+
+    def _feed(self, tracker):
+        """Slow runs 0-5, additionally hot runs 3-5, healthy 6-9.
+
+        Returns the grade of GPU 0 after every run.
+        """
+        grades = []
+        for i in range(10):
+            perf = _slow(1.5) if i <= 5 else None
+            temp = None
+            if 3 <= i <= 5:
+                temp = np.full(N, 60.0)
+                temp[0] = 75.0
+            _run(tracker, run_index=i, perf=perf, temp=temp)
+            grades.append(tracker.grades()[0])
+        return grades
+
+    def test_grades_downgrade_monotonically_before_recovery(self):
+        tracker = HealthTracker(LABELS, POLICY)
+        grades = self._feed(tracker)
+        first_recovery = next(
+            i for i, e in enumerate(tracker.events)
+            if e.kind == HealthEventKind.RECOVERED
+        )
+        recovery_run = tracker.events[first_recovery].run_index
+        severities = [GRADES.index(g) for g in grades[:recovery_run]]
+        assert severities == sorted(severities)
+        assert grades[2] == "degraded"       # chronic slow opened
+        assert "critical" in grades          # thermal runaway stacked on top
+
+    def test_both_conditions_close_in_same_observation_in_fixed_order(self):
+        tracker = HealthTracker(LABELS, POLICY)
+        self._feed(tracker)
+        recovered = [e for e in tracker.events
+                     if e.kind == HealthEventKind.RECOVERED]
+        assert len(recovered) == 2
+        first, second = recovered
+        # same evaluation: one run closed both conditions at once
+        assert (first.day, first.run_index) == (second.day, second.run_index)
+        # deterministic order: thermal is evaluated before chronic slow
+        assert dict(first.details)["cleared"] == "THERMAL_RUNAWAY"
+        assert dict(second.details)["cleared"] == "CHRONIC_SLOW_OUTLIER"
+
+    def test_recovered_gpu_grades_watch_not_ok(self):
+        tracker = HealthTracker(LABELS, POLICY)
+        grades = self._feed(tracker)
+        assert grades[-1] == "watch"
+        assert tracker.open_conditions(0) == ()
+        # the rest of the fleet never flagged: still plain ok
+        assert set(tracker.grades()[1:]) == {"ok"}
+
+    def test_event_stream_is_reproducible(self):
+        def feed():
+            tracker = HealthTracker(LABELS, POLICY)
+            self._feed(tracker)
+            return tracker.events
+
+        assert feed() == feed()

@@ -265,8 +265,21 @@ class TestPrometheusRendering:
         monitor.finalize(("g0",))
         assert "repro_monitor_runs_total 1" in render_prometheus(monitor)
 
-    def test_empty_registry_renders_empty(self):
-        assert render_prometheus(MetricsRegistry()) == ""
+    def test_empty_registry_renders_terminated_exposition(self):
+        # Regression: the empty exposition used to come back as "" with no
+        # final line feed, which the text format forbids.
+        assert render_prometheus(MetricsRegistry()) == "\n"
+
+    def test_exposition_always_ends_with_trailing_newline(self):
+        counters_only = MetricsRegistry()
+        counters_only.inc("a", 1)
+        counters_only.inc("b", 2)
+        with_histogram = MetricsRegistry()
+        with_histogram.observe("x", np.array([0.5]), edges=(1.0,))
+        for reg in (MetricsRegistry(), counters_only, with_histogram):
+            text = render_prometheus(reg)
+            assert text.endswith("\n")
+            assert not text.endswith("\n\n") or text == "\n"
 
     def test_equal_registries_render_identically(self):
         def build():

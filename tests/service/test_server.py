@@ -211,3 +211,82 @@ class TestBackpressureHttp:
         assert served.status == 200
         assert served.headers["x-repro-cache"] == "hit"
         assert served.body == b'{"late":1}'
+
+
+class TestWorkCountersAndTimeline:
+    def test_metrics_expose_solver_work_and_uptime(self):
+        request = api.CharacterizeRequest(
+            cluster="cloudlab", scale=0.5, days=1
+        )
+
+        async def scenario(service):
+            await _post(service, "characterize", request)
+            await _post(service, "characterize", request)  # cache hit
+            return await http_request(
+                "127.0.0.1", service.port, "GET", "/metrics"
+            )
+
+        reply = _with_service(scenario)
+        text = reply.body.decode()
+        assert text.endswith("\n")
+        assert "repro_solver_solves" in text
+        assert "repro_solver_batches" in text
+        assert "repro_service_uptime_seconds" in text
+        uptime = [line for line in text.splitlines()
+                  if line.startswith("repro_service_uptime_seconds ")]
+        assert float(uptime[0].split()[1]) > 0.0
+
+    def test_runner_counters_merge_once_per_execution(self):
+        def counting_runner(request):
+            return b'{"ok":1}', {"solver.solves": 5, "engine.batches": 2}
+
+        request = api.CharacterizeRequest(
+            cluster="cloudlab", scale=0.5, days=1
+        )
+
+        async def scenario(service):
+            await _post(service, "characterize", request)
+            await _post(service, "characterize", request)  # hit: no re-merge
+            return await http_request(
+                "127.0.0.1", service.port, "GET", "/metrics"
+            )
+
+        reply = _with_service(scenario, runner=counting_runner)
+        text = reply.body.decode()
+        assert "repro_solver_solves 5" in text
+        assert "repro_engine_batches 2" in text
+
+    def test_timeline_streams_admissions_with_header_ids(self, tmp_path):
+        from repro.obs.timeline import read_timeline
+
+        path = tmp_path / "svc.jsonl"
+        config = ServiceConfig(port=0, timeline_path=str(path))
+        request = api.CharacterizeRequest(
+            cluster="cloudlab", scale=0.5, days=1
+        )
+
+        async def scenario(service):
+            first = await _post(service, "characterize", request)
+            second = await _post(service, "characterize", request)
+            return first, second
+
+        first, second = _with_service(scenario, config)
+        assert first.headers["x-repro-timeline"] == "1"
+        assert second.headers["x-repro-timeline"] == "2"
+        _, events = read_timeline(path)
+        assert events[0].kind == "service_start"
+        admits = [e for e in events if e.kind == "admit"]
+        assert [e.value("status") for e in admits] == ["miss", "hit"]
+        assert all(e.value("verb") == "characterize" for e in admits)
+        assert admits[0].entity == api.request_digest(request)
+
+    def test_no_timeline_header_without_recorder(self):
+        request = api.CharacterizeRequest(
+            cluster="cloudlab", scale=0.5, days=1
+        )
+
+        async def scenario(service):
+            return await _post(service, "characterize", request)
+
+        reply = _with_service(scenario)
+        assert "x-repro-timeline" not in reply.headers

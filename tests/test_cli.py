@@ -40,7 +40,7 @@ class TestParser:
     def test_execution_args_accepted_uniformly(self, command):
         argv = [command, "--seed", "7", "--workers", "2",
                 "--trace", "t.json", "--manifest", "m.json",
-                "--solver", "fleet"]
+                "--timeline", "tl.jsonl", "--solver", "fleet"]
         if command == "project":
             argv += ["--target-n", "1000"]
         args = build_parser().parse_args(argv)
@@ -48,6 +48,7 @@ class TestParser:
         assert args.workers == 2
         assert args.trace == "t.json"
         assert args.manifest == "m.json"
+        assert args.timeline == "tl.jsonl"
         assert args.solver == "fleet"
 
     def test_bad_solver_rejected(self):
@@ -296,3 +297,94 @@ class TestServiceCli:
         from repro.loadgen import validate_latency_report
         validate_latency_report(report)
         assert report["server"]["service_campaigns_executed"] == 1
+
+
+class TestReplayCli:
+    """`--timeline` recording plus the `repro replay` forensics command."""
+
+    MONITOR_ARGS = ["monitor", "--cluster", "cloudlab", "--scale", "0.5",
+                    "--seed", "4", "--days", "2", "--runs-per-day", "2"]
+
+    def _record(self, tmp_path, name="t.jsonl", extra=()):
+        path = tmp_path / name
+        assert main([*self.MONITOR_ARGS, *extra,
+                     "--timeline", str(path)]) == 0
+        return path
+
+    def test_timeline_flag_writes_byte_stable_file(self, capsys, tmp_path):
+        one = self._record(tmp_path, "w1.jsonl")
+        two = self._record(tmp_path, "w2.jsonl", extra=["--workers", "2"])
+        out = capsys.readouterr().out
+        assert "timeline written to" in out
+        assert one.read_bytes() == two.read_bytes()
+
+    def test_replay_summarize(self, capsys, tmp_path):
+        path = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["replay", str(path)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_events"] > 0
+        assert set(summary["layers"]) <= {"campaign", "sim", "health"}
+        assert summary["campaign"]["runs_observed"] > 0
+
+    def test_replay_at_and_grep(self, capsys, tmp_path):
+        path = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["replay", str(path), "--at", "0"]) == 0
+        state = json.loads(capsys.readouterr().out)
+        assert state["seq"] == 0
+        assert main(["replay", str(path), "--grep", "campaign"]) == 0
+        captured = capsys.readouterr()
+        for line in captured.out.splitlines():
+            event = json.loads(line)
+            assert "campaign" in (event["entity"] + event["kind"])
+        assert "events matched" in captured.err
+
+    def test_replay_check_verifies_digests_from_log_alone(self, capsys,
+                                                          tmp_path):
+        path = self._record(tmp_path)
+        sched_path = tmp_path / "sched.jsonl"
+        assert main(["sched", "--cluster", "cloudlab", "--scale", "0.5",
+                     "--jobs", "20", "--timeline", str(sched_path)]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(path), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok]" in out and "FAIL" not in out
+        assert "health_report" in out
+        assert main(["replay", str(sched_path), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "sched_report" in out and "report digest" in out
+
+    def test_replay_check_fails_on_tampered_log(self, capsys, tmp_path):
+        path = self._record(tmp_path)
+        lines = path.read_text().splitlines()
+        # drop one sim run event and renumber so the file still parses
+        kept = [lines[0]] + [
+            line for line in lines[1:]
+            if json.loads(line).get("kind") != "run"
+        ]
+        renumbered = [kept[0]]
+        for seq, line in enumerate(kept[1:]):
+            doc = json.loads(line)
+            doc["seq"] = seq
+            renumbered.append(json.dumps(doc, sort_keys=True,
+                                         separators=(",", ":")))
+        path.write_text("\n".join(renumbered) + "\n")
+        capsys.readouterr()
+        assert main(["replay", str(path), "--check"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_replay_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["replay", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_replay_malformed_file_fails_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["replay", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_parser_accepts_timeline(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--timeline", "svc.jsonl"])
+        assert args.timeline == "svc.jsonl"

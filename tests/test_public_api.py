@@ -55,6 +55,10 @@ API_SURFACE = frozenset({
     "FleetHealthReport", "HealthEvent", "HealthEventKind", "HealthPolicy",
     "HealthTracker", "analyze_fleet_health", "validate_health_report",
     "write_health_events",
+    # flight recorder / timeline replay
+    "TimelineEvent", "TimelineRecorder", "TimelineReplayer", "ReplayCheck",
+    "activate_recorder", "canonical_digest", "load_replayer",
+    "read_timeline", "write_timeline",
     # scheduling analysis (Section VII)
     "schedule", "slow_assignment_probability", "node_variability_scores",
     "plan_placements", "PlacementPlan", "classify_workload", "ApplicationClass",

@@ -1,0 +1,166 @@
+"""Chaos-injection hooks: the cost of the fault-plan lookup, on and off.
+
+The chaos layer (docs/CHAOS.md) injects faults through two hook sites —
+``Cluster.fleet_for_day`` and ``plan_shards`` both call
+``active_fault_plan(cluster)`` — and makes the same promises the
+tracer/timeline hooks do, measured the same way as
+``bench_timeline_overhead.py``:
+
+1. **Zero perturbation** — a campaign with a *dormant* plan attached
+   (onset far past the last day) produces CSV text byte-identical to a
+   campaign with no plan at all: the hook branches on
+   ``plan.affects(day)`` and falls through to the exact unfaulted path.
+   Asserted unconditionally.
+2. **Unmeasurable overhead when disabled** — with no plan attached, each
+   hook site is one ``getattr`` plus a ``None`` branch.  A wall-clock
+   A/B cannot resolve that against scheduler noise, so this benchmark
+   counts the hook executions in a real campaign (by wrapping each
+   instrumented module's ``active_fault_plan`` reference), microbenches
+   the per-call cost, and asserts the product stays under
+   ``MAX_DISABLED_OVERHEAD`` of the campaign wall clock.
+
+Timing assertions are skipped under ``REPRO_BENCH_CHECK_ONLY=1`` (CI
+smoke on noisy shared runners); the equality assertions always run.
+Results land in ``BENCH_chaos.json`` for cross-commit tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from _bench_util import emit
+from repro.chaos import FaultSchedule, Scenario, StuckPState, compile_plan
+from repro.cluster import cluster as cluster_mod
+from repro.cluster import longhorn
+from repro.cluster.cluster import active_fault_plan
+from repro.sim import CampaignConfig, run_campaign
+from repro.sim import parallel as parallel_mod
+from repro.telemetry.io import dataset_to_csv_text
+from repro.workloads import sgemm
+
+#: Skip timing assertions (equality always asserts) — for CI smoke runs.
+CHECK_ONLY = os.environ.get("REPRO_BENCH_CHECK_ONLY") == "1"
+
+#: Ceiling for the disabled path: hook executions x per-call cost.
+MAX_DISABLED_OVERHEAD = 0.02
+
+#: Best-of count; the minimum of several runs strips scheduler noise.
+REPEATS = 5
+
+OUTPUT_PATH = pathlib.Path("BENCH_chaos.json")
+
+CONFIG = CampaignConfig(days=10, runs_per_day=2)
+
+#: Every module that calls ``active_fault_plan()`` at a hook site.
+HOOK_MODULES = (cluster_mod, parallel_mod)
+
+
+def _dormant_scenario() -> Scenario:
+    """A real compiled plan whose schedule never activates in CONFIG."""
+    return Scenario(
+        name="dormant",
+        description="onset far past the campaign; exercises only the hooks",
+        faults=(
+            StuckPState(
+                FaultSchedule(onset_day=10_000),
+                frequency_cap_frac=0.5,
+                scope="node",
+                index=0,
+            ),
+        ),
+    )
+
+
+def _timed_campaign(with_plan: bool = False):
+    """One serial Longhorn campaign on a fresh cluster (cold fleet cache)."""
+    cluster = longhorn(seed=2022)
+    if with_plan:
+        cluster.set_fault_plan(compile_plan(_dormant_scenario(), cluster))
+    started = time.perf_counter()
+    dataset = run_campaign(cluster, sgemm(), CONFIG, workers=1)
+    return dataset, time.perf_counter() - started
+
+
+def _count_hook_executions():
+    """Run one plan-free campaign counting every active_fault_plan() call."""
+    calls = 0
+
+    def counting_active_fault_plan(cluster):
+        nonlocal calls
+        calls += 1
+        return active_fault_plan(cluster)
+
+    for module in HOOK_MODULES:
+        assert module.active_fault_plan is active_fault_plan, module.__name__
+        module.active_fault_plan = counting_active_fault_plan
+    try:
+        _timed_campaign()
+    finally:
+        for module in HOOK_MODULES:
+            module.active_fault_plan = active_fault_plan
+    return calls
+
+
+def _per_call_cost(n=200_000):
+    cluster = longhorn(seed=2022)
+    started = time.perf_counter()
+    for _ in range(n):
+        active_fault_plan(cluster)
+    return (time.perf_counter() - started) / n
+
+
+def test_chaos_overhead():
+    baseline_ds, baseline_s = None, float("inf")
+    dormant_ds, dormant_s = None, float("inf")
+    for _ in range(REPEATS):
+        dataset, elapsed = _timed_campaign()
+        baseline_ds, baseline_s = dataset, min(baseline_s, elapsed)
+        dataset, elapsed = _timed_campaign(with_plan=True)
+        dormant_ds, dormant_s = dataset, min(dormant_s, elapsed)
+
+    # Guarantee 1: a dormant plan perturbs nothing — byte-identical CSV.
+    assert dataset_to_csv_text(dormant_ds) == dataset_to_csv_text(baseline_ds)
+
+    # Guarantee 2: the disabled path, measured directly.
+    hook_calls = _count_hook_executions()
+    assert hook_calls > 0, "no hook sites executed — instrumentation gone?"
+    hook_cost_s = hook_calls * _per_call_cost()
+    disabled_overhead = hook_cost_s / baseline_s
+
+    dormant_overhead = dormant_s / baseline_s - 1.0
+    emit(None, "Chaos injection hooks: serial Longhorn campaign (10d x 2)", [
+        ("plan-free best-of-5", "-", f"{baseline_s * 1e3:.1f} ms"),
+        ("disabled hook executions", "-", f"{hook_calls}"),
+        ("disabled-path cost", f"< {MAX_DISABLED_OVERHEAD:.0%}",
+         f"{disabled_overhead:.3%}"),
+        ("dormant-plan best-of-5", "-", f"{dormant_s * 1e3:.1f} ms"),
+        ("dormant-plan overhead", "-", f"{dormant_overhead:+.2%}"),
+    ])
+
+    existing = {}
+    if OUTPUT_PATH.exists():
+        existing = json.loads(OUTPUT_PATH.read_text())
+    existing["campaign_serial_longhorn"] = {
+        "days": CONFIG.days,
+        "runs_per_day": CONFIG.runs_per_day,
+        "plan_free_s": baseline_s,
+        "dormant_plan_s": dormant_s,
+        "hook_calls": hook_calls,
+        "disabled_overhead": disabled_overhead,
+        "dormant_overhead": dormant_overhead,
+        "check_only": CHECK_ONLY,
+    }
+    OUTPUT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+    if not CHECK_ONLY:
+        assert disabled_overhead < MAX_DISABLED_OVERHEAD, (
+            f"disabled hooks cost {disabled_overhead:.3%} of the campaign "
+            f"(ceiling {MAX_DISABLED_OVERHEAD:.0%})"
+        )
+
+
+if __name__ == "__main__":
+    test_chaos_overhead()

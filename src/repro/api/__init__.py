@@ -16,7 +16,10 @@ keyword-only signatures that can grow without breaking callers:
 * :func:`schedule` — the batch-queue simulator under a placement policy
   (Section VII end to end), plus the placement analyses
   :func:`slow_assignment_probability` / :func:`node_variability_scores` /
-  :func:`plan_placements`.
+  :func:`plan_placements`;
+* :func:`chaos` — declarative fault injection: run a named incident
+  scenario end-to-end (injection → detection → scheduler reaction) and
+  score the response against a no-fault baseline (:mod:`repro.chaos`).
 
 Result types (:class:`CharacterizationResult`, :class:`ScreenReport`,
 :class:`SweepReport`, :class:`ProjectionReport`, plus the re-exported
@@ -25,7 +28,7 @@ not mutate.
 
 Every verb also accepts a typed request object (:mod:`repro.api.requests`):
 build a frozen :class:`CharacterizeRequest` (or Screen/Sweep/Schedule/
-Monitor variant), round-trip it through JSON, and pass it as
+Monitor/Chaos variant), round-trip it through JSON, and pass it as
 ``characterize(request=...)`` or dispatch by kind via
 :func:`execute_request`.  The HTTP service (:mod:`repro.service`) and the
 CLI deserialize to these exact objects, so Python, CLI, and wire callers
@@ -68,6 +71,7 @@ from .requests import (
     EXECUTION_FIELDS,
     REQUEST_KINDS,
     REQUEST_SCHEMA_VERSION,
+    ChaosRequest,
     CharacterizeRequest,
     MonitorRequest,
     ScheduleRequest,
@@ -77,6 +81,16 @@ from .requests import (
     request_from_dict,
     request_from_json,
 )
+from ..chaos import (
+    CHAOS_SCORECARD_SCHEMA,
+    ChaosRunResult,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    render_scorecard,
+    validate_scorecard,
+)
+from ..chaos.score import score_scenario as _score_scenario
 from ..core.suite import ClusterReport
 from ..core.classify import ApplicationClass, classify_workload
 from ..core.scheduler import PlacementPlan
@@ -160,6 +174,15 @@ __all__ = [
     "sweep",
     "project",
     "schedule",
+    "chaos",
+    # fault injection / incident scenarios
+    "ChaosRunResult",
+    "Scenario",
+    "CHAOS_SCORECARD_SCHEMA",
+    "get_scenario",
+    "list_scenarios",
+    "render_scorecard",
+    "validate_scorecard",
     # scheduling analysis (Section VII)
     "slow_assignment_probability",
     "node_variability_scores",
@@ -251,6 +274,7 @@ __all__ = [
     "SweepRequest",
     "ScheduleRequest",
     "MonitorRequest",
+    "ChaosRequest",
     "request_from_dict",
     "request_from_json",
     "request_digest",
@@ -1096,6 +1120,99 @@ def _schedule_built(
 
 
 # ---------------------------------------------------------------------------
+# chaos (fault injection + mitigation scorecards)
+# ---------------------------------------------------------------------------
+
+
+def chaos(
+    *,
+    request: ChaosRequest | None = None,
+    scenario: Scenario | str | None = None,
+    cluster: str = "longhorn",
+    workload: str = "sgemm",
+    seed: int = 0,
+    scale: float = 1.0,
+    days: int = 10,
+    runs_per_day: int = 2,
+    n_jobs: int = 40,
+    trace_seed: int = 0,
+    workers: int | None = None,
+    solver: str | None = None,
+    tracer: Tracer | None = None,
+    manifest: Manifest | None = None,
+    timeline: TimelineRecorder | None = None,
+) -> ChaosRunResult:
+    """Run one incident scenario end-to-end and score the response.
+
+    Injects the scenario's faults into a fresh preset cluster, runs a
+    monitored campaign (online health detection included), reacts with a
+    health-aware scheduling pass, and runs an identical *no-fault twin*
+    as the baseline — the returned
+    :class:`~repro.chaos.ChaosRunResult.scorecard` quantifies detection
+    latency, misses, false positives, and the scheduling/energy cost of
+    the incident, validated against
+    :data:`~repro.chaos.CHAOS_SCORECARD_SCHEMA`.
+
+    Parameters
+    ----------
+    request:
+        A :class:`~repro.api.requests.ChaosRequest` carrying every field
+        below in wire-primitive form.  Mutually exclusive with the
+        constructed arguments.
+    scenario:
+        A catalog name (see :func:`list_scenarios`) or a constructed
+        :class:`~repro.chaos.Scenario`.
+    cluster, workload, seed, scale:
+        Preset machine and application, as everywhere on the facade.
+    days, runs_per_day:
+        Campaign shape for both the faulted run and the baseline twin.
+    n_jobs, trace_seed:
+        Job trace for the health-aware scheduling reaction.
+    workers, solver:
+        Execution-only knobs; the scorecard is byte-identical for every
+        combination (same guarantee as every campaign output).
+    tracer, manifest, timeline:
+        Observability sinks.  The timeline receives the *faulted* run's
+        flight log — scenario/fault declarations, campaign, health,
+        scheduling, and the final ``chaos_scorecard`` claims — which
+        ``repro replay --check`` can re-verify from the log alone.  The
+        baseline twin is never recorded.
+    """
+    if request is not None:
+        _require_request_only("chaos", scenario=scenario, workers=workers)
+        scenario = request.scenario
+        cluster = request.cluster
+        workload = request.workload
+        seed = request.seed
+        scale = request.scale
+        days = request.days
+        runs_per_day = request.runs_per_day
+        n_jobs = request.n_jobs
+        trace_seed = request.trace_seed
+        workers = request.workers
+        solver = request.solver
+    _require_built("chaos", scenario=scenario)
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    return _score_scenario(
+        scenario,
+        cluster_name=cluster,
+        seed=seed,
+        scale=scale,
+        workload_name=workload,
+        days=days,
+        runs_per_day=runs_per_day,
+        n_jobs=n_jobs,
+        trace_seed=trace_seed,
+        workers=workers,
+        solver=solver,
+        tracer=tracer,
+        manifest=manifest,
+        timeline=timeline,
+    )
+
+
+# ---------------------------------------------------------------------------
 # request execution (the service layer's single entry point)
 # ---------------------------------------------------------------------------
 
@@ -1113,8 +1230,9 @@ def execute_request(
     :class:`~repro.api.requests.CharacterizeRequest` yields a
     :class:`CharacterizationResult`, a ``ScreenRequest`` a
     :class:`ScreenReport`, a ``SweepRequest`` a :class:`SweepReport`, a
-    ``ScheduleRequest`` a :class:`SchedulingResult`, and a
-    ``MonitorRequest`` a :class:`MonitoringResult` — exactly what the
+    ``ScheduleRequest`` a :class:`SchedulingResult`, a ``MonitorRequest``
+    a :class:`MonitoringResult`, and a ``ChaosRequest`` a
+    :class:`~repro.chaos.ChaosRunResult` — exactly what the
     corresponding facade verb returns for the same parameters, bit for
     bit.  Unknown request types raise :class:`~repro.errors.ConfigError`.
     """
@@ -1137,4 +1255,5 @@ _REQUEST_VERBS = {
     "sweep": sweep,
     "schedule": schedule,
     "monitor": monitor_fleet,
+    "chaos": chaos,
 }

@@ -1,7 +1,8 @@
 """Typed, versioned request objects — one validated surface for every caller.
 
-The five verbs the fleet serves — ``characterize``, ``screen``, ``sweep``,
-``schedule``, ``monitor`` — each have a frozen request dataclass here.  The
+The six verbs the fleet serves — ``characterize``, ``screen``, ``sweep``,
+``schedule``, ``monitor``, ``chaos`` — each have a frozen request dataclass
+here.  The
 CLI builds them from flags, Python callers construct them directly (or keep
 using the keyword paths on :mod:`repro.api`), and the HTTP service
 (:mod:`repro.service`) deserializes its JSON bodies to *the exact same
@@ -47,6 +48,7 @@ __all__ = [
     "SweepRequest",
     "ScheduleRequest",
     "MonitorRequest",
+    "ChaosRequest",
     "request_from_dict",
     "request_from_json",
     "request_digest",
@@ -299,6 +301,59 @@ class ScheduleRequest(_RequestBase):
 
 
 @dataclass(frozen=True)
+class ChaosRequest(_RequestBase):
+    """Run one incident scenario end-to-end and emit a mitigation scorecard.
+
+    Mirrors ``repro chaos`` / :func:`repro.api.chaos`; ``scenario`` names
+    an entry of the :data:`repro.chaos.SCENARIOS` catalog.
+    """
+
+    scenario: str = "pump-degradation"
+    cluster: str = "longhorn"
+    workload: str = "sgemm"
+    seed: int = 0
+    scale: float = 1.0
+    days: int = 10
+    runs_per_day: int = 2
+    n_jobs: int = 40
+    trace_seed: int = 0
+    workers: int | None = None
+    solver: str | None = None
+    deadline_s: float | None = None
+    schema_version: int = REQUEST_SCHEMA_VERSION
+
+    kind = "chaos"
+
+    def __post_init__(self) -> None:
+        self._validate_common()
+        require(
+            isinstance(self.scenario, str) and bool(self.scenario),
+            f"scenario must be a non-empty name, got {self.scenario!r}",
+        )
+        require(
+            isinstance(self.workload, str) and bool(self.workload),
+            f"workload must be a non-empty name, got {self.workload!r}",
+        )
+        require(
+            isinstance(self.days, int) and self.days >= 1,
+            f"days must be an int >= 1, got {self.days!r}",
+        )
+        require(
+            isinstance(self.runs_per_day, int) and self.runs_per_day >= 1,
+            f"runs_per_day must be an int >= 1, got {self.runs_per_day!r}",
+        )
+        require(
+            isinstance(self.n_jobs, int) and self.n_jobs >= 1,
+            f"n_jobs must be an int >= 1, got {self.n_jobs!r}",
+        )
+        require(
+            isinstance(self.trace_seed, int)
+            and not isinstance(self.trace_seed, bool),
+            f"trace_seed must be an integer, got {self.trace_seed!r}",
+        )
+
+
+@dataclass(frozen=True)
 class MonitorRequest(_RequestBase):
     """Campaign with streaming metrics and online health detection.
 
@@ -342,6 +397,7 @@ REQUEST_KINDS: dict[str, type] = {
         SweepRequest,
         ScheduleRequest,
         MonitorRequest,
+        ChaosRequest,
     )
 }
 

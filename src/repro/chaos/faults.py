@@ -1,0 +1,290 @@
+"""Typed, declarative fault specifications with day-keyed schedules.
+
+The paper characterizes a *healthy* fleet; its failure shapes — thermal
+runaways, stuck throttles, chronic slow outliers — exist in the repo as
+static :mod:`repro.gpu.defects` draws fixed at fleet construction.  A
+*fault* is the time-varying counterpart: a declarative description of a
+mid-campaign incident with an onset, an optional severity ramp, and an
+optional recovery, all keyed to campaign days so injection composes with
+the per-day fleet memoization in :class:`repro.cluster.Cluster`.
+
+Five fault families cover the incident classes operators actually see
+(Cankur et al., PAPERS.md — transient, spatially-correlated degradations):
+
+``coolant_pump_degradation``
+    A failing pump raises the effective coolant temperature fleet-wide,
+    slowly (the ramp models the pump losing flow over days).
+``inlet_temperature_drift``
+    One row (grid machines) or cabinet runs hotter than its neighbours —
+    the spatial signature of Summit's row-correlated temperature outliers.
+``stuck_pstate``
+    Firmware / driver regression pins the boost ceiling of a node or
+    cabinet at a fraction of ``f_max`` — the transient cousin of the
+    ``SICK_SLOW`` defect.
+``power_cap_directive``
+    A facility-wide curtailment order: every GPU's power cap drops to a
+    fraction of TDP (the operational form of the paper's Section VII
+    power-limit sweep).
+``node_loss``
+    Nodes leave the machine (hardware pull, maintenance): their
+    allocations vanish from the campaign plan while the fault is active.
+
+Every spec validates eagerly (:class:`~repro.errors.ConfigError`) and
+round-trips through plain dicts for the JSON scenario catalog
+(:mod:`repro.chaos.scenarios`).  Specs are pure data — effects are
+compiled against a concrete cluster by :mod:`repro.chaos.plan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from ..config import require
+
+__all__ = [
+    "FaultSchedule",
+    "CoolantPumpDegradation",
+    "InletTemperatureDrift",
+    "StuckPState",
+    "PowerCapDirective",
+    "NodeLoss",
+    "FAULT_KINDS",
+    "fault_to_dict",
+    "fault_from_dict",
+]
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """When a fault is active, and how hard it hits, as a function of day.
+
+    Severity ramps linearly from ``1/(ramp_days+1)`` on ``onset_day`` to
+    ``1.0`` on ``onset_day + ramp_days`` and stays there until
+    ``recovery_day`` (exclusive), after which it is 0 again — a pure
+    function of the day index, which is what keeps per-day fleet caching
+    and worker-count independence intact.
+    """
+
+    onset_day: int
+    ramp_days: int = 0
+    recovery_day: int | None = None
+
+    def __post_init__(self) -> None:
+        require(
+            isinstance(self.onset_day, int) and not isinstance(self.onset_day, bool)
+            and self.onset_day >= 0,
+            f"onset_day must be an int >= 0, got {self.onset_day!r}",
+        )
+        require(
+            isinstance(self.ramp_days, int) and not isinstance(self.ramp_days, bool)
+            and self.ramp_days >= 0,
+            f"ramp_days must be an int >= 0, got {self.ramp_days!r}",
+        )
+        if self.recovery_day is not None:
+            require(
+                isinstance(self.recovery_day, int)
+                and not isinstance(self.recovery_day, bool)
+                and self.recovery_day > self.onset_day,
+                f"recovery_day must be an int > onset_day "
+                f"({self.onset_day}), got {self.recovery_day!r}",
+            )
+
+    def severity(self, day: int) -> float:
+        """Severity in [0, 1] on campaign day ``day``."""
+        if day < self.onset_day:
+            return 0.0
+        if self.recovery_day is not None and day >= self.recovery_day:
+            return 0.0
+        return min(1.0, (day - self.onset_day + 1) / (self.ramp_days + 1))
+
+    def active(self, day: int) -> bool:
+        """Whether the fault has any effect on ``day``."""
+        return self.severity(day) > 0.0
+
+
+#: Scopes a spatially-targeted fault may name.  ``cluster`` targets every
+#: GPU; the others select one topology group by ascending index, which
+#: keeps scenarios portable across presets and ``scale`` values (labels
+#: differ between machines, indices do not).
+TARGET_SCOPES = ("cluster", "row", "cabinet", "node")
+
+
+def _require_scope(scope: str, allowed: tuple[str, ...]) -> None:
+    require(scope in allowed,
+            f"scope must be one of {allowed}, got {scope!r}")
+
+
+def _require_index(index: int) -> None:
+    require(
+        isinstance(index, int) and not isinstance(index, bool) and index >= 0,
+        f"index must be an int >= 0, got {index!r}",
+    )
+
+
+def _require_frac(value: float, name: str) -> None:
+    require(
+        isinstance(value, (int, float)) and not isinstance(value, bool)
+        and 0.0 < value < 1.0,
+        f"{name} must be in (0, 1), got {value!r}",
+    )
+
+
+def _require_degrees(value: float, name: str, limit: float = 30.0) -> None:
+    require(
+        isinstance(value, (int, float)) and not isinstance(value, bool)
+        and 0.0 < value <= limit,
+        f"{name} must be in (0, {limit}] degC, got {value!r}",
+    )
+
+
+@dataclass(frozen=True)
+class CoolantPumpDegradation:
+    """Fleet-wide coolant temperature rise from a degrading pump."""
+
+    schedule: FaultSchedule
+    coolant_rise_c: float
+
+    kind = "coolant_pump_degradation"
+    detectable = True
+
+    def __post_init__(self) -> None:
+        _require_degrees(self.coolant_rise_c, "coolant_rise_c")
+
+
+@dataclass(frozen=True)
+class InletTemperatureDrift:
+    """One row or cabinet's inlet runs hot relative to the rest."""
+
+    schedule: FaultSchedule
+    drift_c: float
+    scope: str = "cabinet"
+    index: int = 0
+
+    kind = "inlet_temperature_drift"
+    detectable = True
+
+    def __post_init__(self) -> None:
+        _require_degrees(self.drift_c, "drift_c")
+        _require_scope(self.scope, ("row", "cabinet"))
+        _require_index(self.index)
+
+
+@dataclass(frozen=True)
+class StuckPState:
+    """Boost ceiling pinned at a fraction of ``f_max`` for a group."""
+
+    schedule: FaultSchedule
+    frequency_cap_frac: float
+    scope: str = "node"
+    index: int = 0
+
+    kind = "stuck_pstate"
+    detectable = True
+
+    def __post_init__(self) -> None:
+        _require_frac(self.frequency_cap_frac, "frequency_cap_frac")
+        _require_scope(self.scope, ("cabinet", "node"))
+        _require_index(self.index)
+
+
+@dataclass(frozen=True)
+class PowerCapDirective:
+    """Facility curtailment: every GPU capped at a fraction of TDP.
+
+    A uniform cap shifts the whole fleet together, so the Tukey-fence
+    health detector (which flags *relative* outliers) does not see it —
+    operators issue the directive, they do not need to detect it.
+    Applied through the defect power-cap channel, not the campaign
+    ``power_limit_w``, so it works on non-admin clusters too.
+    """
+
+    schedule: FaultSchedule
+    power_cap_frac: float
+
+    kind = "power_cap_directive"
+    detectable = False
+
+    def __post_init__(self) -> None:
+        _require_frac(self.power_cap_frac, "power_cap_frac")
+
+
+@dataclass(frozen=True)
+class NodeLoss:
+    """Nodes leave the machine while the fault is active.
+
+    ``count`` consecutive nodes starting at the scope's first node are
+    dropped from the campaign's allocation sweep — their GPUs simply stop
+    appearing in measurements, exactly like a drained node.  The health
+    tracker never observes them, so node loss is excluded from
+    detection-latency scoring (``detectable = False``).
+    """
+
+    schedule: FaultSchedule
+    scope: str = "node"
+    index: int = 0
+    count: int = 1
+
+    kind = "node_loss"
+    detectable = False
+
+    def __post_init__(self) -> None:
+        _require_scope(self.scope, ("cabinet", "node"))
+        _require_index(self.index)
+        require(
+            isinstance(self.count, int) and not isinstance(self.count, bool)
+            and self.count >= 1,
+            f"count must be an int >= 1, got {self.count!r}",
+        )
+
+
+#: kind string -> spec class, for the JSON catalog.
+FAULT_KINDS = {
+    cls.kind: cls
+    for cls in (
+        CoolantPumpDegradation,
+        InletTemperatureDrift,
+        StuckPState,
+        PowerCapDirective,
+        NodeLoss,
+    )
+}
+
+
+def fault_to_dict(fault) -> dict:
+    """Plain-dict form of a fault spec (inverse of :func:`fault_from_dict`)."""
+    require(type(fault) in FAULT_KINDS.values(),
+            f"not a fault spec: {type(fault).__name__}")
+    doc: dict = {"kind": fault.kind}
+    for f in fields(fault):
+        value = getattr(fault, f.name)
+        if f.name == "schedule":
+            doc["schedule"] = {
+                "onset_day": value.onset_day,
+                "ramp_days": value.ramp_days,
+                "recovery_day": value.recovery_day,
+            }
+        else:
+            doc[f.name] = value
+    return doc
+
+
+def fault_from_dict(doc: dict) -> object:
+    """Build a fault spec from its dict form, validating eagerly."""
+    require(isinstance(doc, dict), f"fault must be an object, got {doc!r}")
+    kind = doc.get("kind")
+    cls = FAULT_KINDS.get(kind)
+    require(cls is not None,
+            f"unknown fault kind {kind!r}; expected one of "
+            f"{sorted(FAULT_KINDS)}")
+    schedule_doc = doc.get("schedule")
+    require(isinstance(schedule_doc, dict),
+            f"fault {kind!r} needs a schedule object")
+    known = {"onset_day", "ramp_days", "recovery_day"}
+    unknown = sorted(set(schedule_doc) - known)
+    require(not unknown, f"unknown schedule keys: {unknown}")
+    schedule = FaultSchedule(**schedule_doc)
+    field_names = {f.name for f in fields(cls)} - {"schedule"}
+    extra = sorted(set(doc) - field_names - {"kind", "schedule"})
+    require(not extra, f"unknown keys for fault {kind!r}: {extra}")
+    kwargs = {name: doc[name] for name in field_names if name in doc}
+    return cls(schedule=schedule, **kwargs)

@@ -1,0 +1,223 @@
+"""Compile a scenario against one cluster: the injection plan.
+
+A :class:`ChaosPlan` is a scenario bound to a concrete topology: every
+fault's target group is resolved to GPU / node index arrays exactly once,
+and every per-day effect is a pure function of the day index.  That purity
+is the whole determinism story — the plan rides on the cluster (a plain
+pickled attribute, so process-pool workers rebuild identical faulted
+fleets), the per-day fleet cache in ``Cluster.fleet_for_day`` stays
+valid, and the shard plan stays worker-independent.
+
+Effects map onto the channels the fleet already models:
+
+* coolant faults add per-GPU deltas to the day's coolant array;
+* stuck p-states multiply ``DefectAssignment.frequency_cap_frac``;
+* power-cap directives multiply ``DefectAssignment.power_cap_frac``;
+* node loss filters whole nodes out of the allocation sweep *after* the
+  coverage RNG draw, so every other day's streams are untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import require
+from ..errors import ConfigError
+from .faults import (
+    CoolantPumpDegradation,
+    InletTemperatureDrift,
+    NodeLoss,
+    PowerCapDirective,
+    StuckPState,
+)
+from .scenarios import Scenario
+
+__all__ = ["CompiledFault", "ChaosPlan", "compile_plan"]
+
+
+@dataclass(frozen=True)
+class CompiledFault:
+    """One fault with its targets resolved against a topology.
+
+    ``gpu_indices`` is ``None`` for fleet-wide faults; ``node_labels``
+    carries the targeted nodes (empty for fleet-wide) for timeline events
+    and detection scoring.  ``lost_nodes`` is non-empty only for node
+    loss.
+    """
+
+    label: str
+    spec: object
+    gpu_indices: np.ndarray | None
+    node_labels: tuple[str, ...]
+    lost_nodes: frozenset[int]
+
+
+def _nodes_of_scope(topology, scope: str, index: int) -> np.ndarray:
+    """Ascending node indices of one topology group."""
+    if scope == "node":
+        require(index < topology.n_nodes,
+                f"node index {index} out of range (n_nodes="
+                f"{topology.n_nodes})")
+        return np.asarray([index])
+    if scope == "cabinet":
+        require(index < topology.n_cabinets,
+                f"cabinet index {index} out of range (n_cabinets="
+                f"{topology.n_cabinets})")
+        return np.flatnonzero(topology.cabinet_of_node == index)
+    if scope == "row":
+        if not topology.has_grid:
+            raise ConfigError(
+                "scope 'row' needs a grid topology (row/column layout); "
+                "this cluster has cabinets only — use scope 'cabinet'"
+            )
+        require(index < len(topology.row_labels),
+                f"row index {index} out of range "
+                f"(n_rows={len(topology.row_labels)})")
+        return np.flatnonzero(topology.row_of_node == index)
+    raise ConfigError(f"unknown target scope {scope!r}")
+
+
+def _gpus_of_nodes(topology, nodes: np.ndarray) -> np.ndarray:
+    return np.flatnonzero(np.isin(topology.node_of_gpu, nodes))
+
+
+def compile_plan(scenario: Scenario, cluster) -> "ChaosPlan":
+    """Resolve every fault's targets against ``cluster``'s topology."""
+    topology = cluster.topology
+    compiled = []
+    for label, spec in zip(scenario.fault_labels(), scenario.faults):
+        if isinstance(spec, (CoolantPumpDegradation, PowerCapDirective)):
+            gpu_indices = None
+            node_labels: tuple[str, ...] = ()
+            lost: frozenset[int] = frozenset()
+        elif isinstance(spec, (InletTemperatureDrift, StuckPState)):
+            nodes = _nodes_of_scope(topology, spec.scope, spec.index)
+            gpu_indices = _gpus_of_nodes(topology, nodes)
+            node_labels = tuple(topology.node_labels[i] for i in nodes)
+            lost = frozenset()
+        elif isinstance(spec, NodeLoss):
+            nodes = _nodes_of_scope(topology, spec.scope, spec.index)
+            nodes = nodes[: spec.count]
+            require(nodes.shape[0] > 0,
+                    f"{label}: no nodes in scope {spec.scope}[{spec.index}]")
+            require(nodes.shape[0] < topology.n_nodes,
+                    f"{label}: cannot lose every node in the cluster")
+            gpu_indices = _gpus_of_nodes(topology, nodes)
+            node_labels = tuple(topology.node_labels[i] for i in nodes)
+            lost = frozenset(int(i) for i in nodes)
+        else:
+            raise ConfigError(
+                f"cannot compile fault of type {type(spec).__name__}"
+            )
+        compiled.append(
+            CompiledFault(
+                label=label,
+                spec=spec,
+                gpu_indices=gpu_indices,
+                node_labels=node_labels,
+                lost_nodes=lost,
+            )
+        )
+    return ChaosPlan(
+        scenario=scenario,
+        faults=tuple(compiled),
+        n_gpus=topology.n_gpus,
+    )
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A scenario's effects, resolved and ready for the injection hooks.
+
+    Pure data (picklable: it travels to campaign workers inside the
+    cluster), and every query is a pure function of the day index.
+    """
+
+    scenario: Scenario
+    faults: tuple[CompiledFault, ...]
+    n_gpus: int
+
+    def affects(self, day: int) -> bool:
+        """Whether any fault changes the fleet (not the plan) on ``day``."""
+        return any(
+            f.spec.schedule.active(day) and not isinstance(f.spec, NodeLoss)
+            for f in self.faults
+        )
+
+    def coolant_delta_c(self, day: int) -> np.ndarray | None:
+        """Per-GPU coolant delta on ``day``; ``None`` when no thermal fault."""
+        delta: np.ndarray | None = None
+        for fault in self.faults:
+            severity = fault.spec.schedule.severity(day)
+            if severity == 0.0:
+                continue
+            if isinstance(fault.spec, CoolantPumpDegradation):
+                if delta is None:
+                    delta = np.zeros(self.n_gpus)
+                delta += fault.spec.coolant_rise_c * severity
+            elif isinstance(fault.spec, InletTemperatureDrift):
+                if delta is None:
+                    delta = np.zeros(self.n_gpus)
+                delta[fault.gpu_indices] += fault.spec.drift_c * severity
+        return delta
+
+    def defect_multipliers(self, day: int) -> tuple[np.ndarray, np.ndarray] | None:
+        """``(power_cap_mult, frequency_cap_mult)`` arrays, or ``None``.
+
+        Severity interpolates each multiplier from 1.0 (no effect) down to
+        the spec's fraction at full severity; overlapping faults compose
+        by taking the tighter cap.
+        """
+        power: np.ndarray | None = None
+        freq: np.ndarray | None = None
+        for fault in self.faults:
+            severity = fault.spec.schedule.severity(day)
+            if severity == 0.0:
+                continue
+            if isinstance(fault.spec, PowerCapDirective):
+                cap = 1.0 - severity * (1.0 - fault.spec.power_cap_frac)
+                if power is None:
+                    power = np.ones(self.n_gpus)
+                np.minimum(power, cap, out=power)
+            elif isinstance(fault.spec, StuckPState):
+                cap = 1.0 - severity * (1.0 - fault.spec.frequency_cap_frac)
+                if freq is None:
+                    freq = np.ones(self.n_gpus)
+                freq[fault.gpu_indices] = np.minimum(
+                    freq[fault.gpu_indices], cap
+                )
+        if power is None and freq is None:
+            return None
+        if power is None:
+            power = np.ones(self.n_gpus)
+        if freq is None:
+            freq = np.ones(self.n_gpus)
+        return power, freq
+
+    def lost_nodes(self, day: int) -> frozenset[int]:
+        """Node indices absent from the machine on ``day``."""
+        lost: set[int] = set()
+        for fault in self.faults:
+            if fault.lost_nodes and fault.spec.schedule.active(day):
+                lost |= fault.lost_nodes
+        return frozenset(lost)
+
+    def faults_meta(self) -> list[dict]:
+        """Per-fault metadata for timeline events and detection scoring."""
+        meta = []
+        for fault in self.faults:
+            schedule = fault.spec.schedule
+            meta.append({
+                "label": fault.label,
+                "kind": fault.spec.kind,
+                "detectable": bool(fault.spec.detectable),
+                "onset_day": schedule.onset_day,
+                "ramp_days": schedule.ramp_days,
+                "recovery_day": schedule.recovery_day,
+                "nodes": (
+                    sorted(fault.node_labels) if fault.node_labels else None
+                ),
+            })
+        return meta

@@ -1,0 +1,277 @@
+"""The named incident scenario catalog: composed faults, JSON-declarable.
+
+A *scenario* is a named composition of fault specs — the unit the scoring
+harness (:mod:`repro.chaos.score`) runs end-to-end and the ``repro chaos``
+CLI exposes.  Scenarios serialize to plain JSON documents validated by the
+same dependency-free schema walker the manifest and health report use
+(:func:`repro.obs.manifest.validate_manifest`), so a catalog entry can be
+checked, stored, and diffed without constructing anything.
+
+The shipped catalog mirrors incident classes from production telemetry
+studies (PAPERS.md): slow pump failures, heatwave curtailments, firmware
+p-state regressions, emergency power caps, maintenance windows, and
+cascading thermal events.  Targets are index-based (cabinet 0, node 3)
+rather than label-based, so every scenario runs on every preset at any
+``scale``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import require
+from ..errors import ConfigError
+from ..obs.manifest import validate_manifest
+from .faults import (
+    CoolantPumpDegradation,
+    FaultSchedule,
+    InletTemperatureDrift,
+    NodeLoss,
+    PowerCapDirective,
+    StuckPState,
+    fault_from_dict,
+    fault_to_dict,
+)
+
+__all__ = [
+    "SCENARIO_SCHEMA_VERSION",
+    "SCENARIO_SCHEMA",
+    "Scenario",
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "validate_scenario",
+    "SCENARIOS",
+    "get_scenario",
+    "list_scenarios",
+]
+
+SCENARIO_SCHEMA_VERSION = 1
+
+#: Schema for the JSON form of a scenario (validate_manifest subset).
+SCENARIO_SCHEMA = {
+    "type": "object",
+    "required": ["schema_version", "name", "description", "faults"],
+    "properties": {
+        "schema_version": {"type": "integer", "enum": [SCENARIO_SCHEMA_VERSION]},
+        "name": {"type": "string"},
+        "description": {"type": "string"},
+        "faults": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["kind", "schedule"],
+                "properties": {
+                    "kind": {"type": "string"},
+                    "schedule": {
+                        "type": "object",
+                        "required": ["onset_day"],
+                        "properties": {
+                            "onset_day": {"type": "integer"},
+                            "ramp_days": {"type": "integer"},
+                            "recovery_day": {"type": ["integer", "null"]},
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named incident: one or more fault specs applied together."""
+
+    name: str
+    description: str
+    faults: tuple
+
+    def __post_init__(self) -> None:
+        require(isinstance(self.name, str) and self.name,
+                "scenario name must be a non-empty string")
+        require(isinstance(self.description, str) and self.description,
+                "scenario description must be a non-empty string")
+        require(len(self.faults) >= 1,
+                f"scenario {self.name!r} needs at least one fault")
+
+    def fault_labels(self) -> tuple[str, ...]:
+        """Stable per-fault labels (position + kind) used in scorecards."""
+        return tuple(
+            f"fault-{i:02d}-{fault.kind}" for i, fault in enumerate(self.faults)
+        )
+
+
+def scenario_to_dict(scenario: Scenario) -> dict:
+    """JSON-able form (inverse of :func:`scenario_from_dict`)."""
+    return {
+        "schema_version": SCENARIO_SCHEMA_VERSION,
+        "name": scenario.name,
+        "description": scenario.description,
+        "faults": [fault_to_dict(fault) for fault in scenario.faults],
+    }
+
+
+def validate_scenario(doc: dict) -> None:
+    """Validate a scenario document against :data:`SCENARIO_SCHEMA`."""
+    validate_manifest(doc, SCENARIO_SCHEMA)
+
+
+def scenario_from_dict(doc: dict) -> Scenario:
+    """Build a :class:`Scenario` from its JSON form, validating eagerly."""
+    validate_scenario(doc)
+    return Scenario(
+        name=doc["name"],
+        description=doc["description"],
+        faults=tuple(fault_from_dict(f) for f in doc["faults"]),
+    )
+
+
+def _catalog() -> dict[str, Scenario]:
+    entries = (
+        Scenario(
+            name="pump-degradation",
+            description=(
+                "A coolant pump loses flow over four days, raising the "
+                "fleet's effective coolant temperature, while the worst-fed "
+                "cabinet drifts further above its neighbours."
+            ),
+            faults=(
+                CoolantPumpDegradation(
+                    schedule=FaultSchedule(onset_day=2, ramp_days=3),
+                    coolant_rise_c=6.0,
+                ),
+                InletTemperatureDrift(
+                    schedule=FaultSchedule(onset_day=4),
+                    drift_c=5.0,
+                    scope="cabinet",
+                    index=0,
+                ),
+            ),
+        ),
+        Scenario(
+            name="summer-heatwave",
+            description=(
+                "Ambient heat pushes coolant temperatures up over several "
+                "days; the facility answers with a fleet-wide power-cap "
+                "directive to hold the thermal envelope."
+            ),
+            faults=(
+                CoolantPumpDegradation(
+                    schedule=FaultSchedule(onset_day=1, ramp_days=4),
+                    coolant_rise_c=5.0,
+                ),
+                PowerCapDirective(
+                    schedule=FaultSchedule(onset_day=3),
+                    power_cap_frac=0.85,
+                ),
+            ),
+        ),
+        Scenario(
+            name="stuck-pstate-cabinet",
+            description=(
+                "A firmware rollout pins one cabinet's boost ceiling at "
+                "62% of f_max; one node is pulled for diagnosis mid-week."
+            ),
+            faults=(
+                StuckPState(
+                    schedule=FaultSchedule(onset_day=2),
+                    frequency_cap_frac=0.62,
+                    scope="cabinet",
+                    index=1,
+                ),
+                NodeLoss(
+                    schedule=FaultSchedule(onset_day=5),
+                    scope="node",
+                    index=0,
+                    count=1,
+                ),
+            ),
+        ),
+        Scenario(
+            name="power-emergency",
+            description=(
+                "A grid event forces a deep fleet-wide power cap; two "
+                "nodes brown out entirely until the cap lifts on day 8."
+            ),
+            faults=(
+                PowerCapDirective(
+                    schedule=FaultSchedule(onset_day=1, recovery_day=8),
+                    power_cap_frac=0.75,
+                ),
+                NodeLoss(
+                    schedule=FaultSchedule(onset_day=2, recovery_day=8),
+                    scope="node",
+                    index=1,
+                    count=2,
+                ),
+            ),
+        ),
+        Scenario(
+            name="maintenance-window",
+            description=(
+                "A planned cabinet drain for three days; the disturbed "
+                "airflow leaves a neighbouring cabinet running hot."
+            ),
+            faults=(
+                NodeLoss(
+                    schedule=FaultSchedule(onset_day=3, recovery_day=6),
+                    scope="cabinet",
+                    index=2,
+                    count=2,
+                ),
+                InletTemperatureDrift(
+                    schedule=FaultSchedule(onset_day=3, recovery_day=7),
+                    drift_c=4.0,
+                    scope="cabinet",
+                    index=1,
+                ),
+            ),
+        ),
+        Scenario(
+            name="cascading-thermal",
+            description=(
+                "A slow pump failure raises fleet coolant; one cabinet "
+                "drifts hotter still, and a node's firmware locks its "
+                "p-state low under the thermal stress."
+            ),
+            faults=(
+                CoolantPumpDegradation(
+                    schedule=FaultSchedule(onset_day=1, ramp_days=2),
+                    coolant_rise_c=4.0,
+                ),
+                InletTemperatureDrift(
+                    schedule=FaultSchedule(onset_day=2),
+                    drift_c=5.0,
+                    scope="cabinet",
+                    index=1,
+                ),
+                StuckPState(
+                    schedule=FaultSchedule(onset_day=4),
+                    frequency_cap_frac=0.70,
+                    scope="node",
+                    index=3,
+                ),
+            ),
+        ),
+    )
+    return {scenario.name: scenario for scenario in entries}
+
+
+#: The shipped incident catalog, by name.
+SCENARIOS: dict[str, Scenario] = _catalog()
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a catalog scenario; raises ``ConfigError`` on unknown names."""
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise ConfigError(
+            f"unknown scenario {name!r}; available: "
+            f"{', '.join(sorted(SCENARIOS))}"
+        )
+    return scenario
+
+
+def list_scenarios() -> tuple[str, ...]:
+    """Catalog scenario names, sorted."""
+    return tuple(sorted(SCENARIOS))

@@ -26,10 +26,16 @@ driven from the shell:
     discrete-event queue engine under a placement policy and print the
     scheduling report (Section VII); ``--report`` / ``--events`` write the
     schema-validated JSON report and the byte-stable JSONL event log.
+``chaos``
+    Declarative fault injection (:mod:`repro.chaos`): run a named incident
+    scenario end to end — injection, online health detection, health-aware
+    scheduler reaction — against an automatically-run no-fault baseline
+    and print the mitigation scorecard; ``--list`` shows the scenario
+    catalog and ``--score`` writes the schema-validated scorecard JSON.
 ``serve``
     Boot the long-lived fleet service (:mod:`repro.service`): asyncio
-    HTTP endpoints for the five verbs with request coalescing, a bounded
-    response cache, and worker-pool backpressure.
+    HTTP endpoints for the request verbs with request coalescing, a
+    bounded response cache, and worker-pool backpressure.
 ``loadgen``
     Drive a seeded closed- or open-loop request mix at a running service
     (or ``--self-host`` one on an ephemeral port) and print/write the
@@ -38,8 +44,8 @@ driven from the shell:
     Forensics over a recorded flight-recorder timeline
     (:mod:`repro.obs.replay`): summarize the event stream, reconstruct
     fleet state at a logical timestamp (``--at``), filter by entity
-    (``--grep``), or re-derive the report digests from the log alone
-    (``--check``).
+    (``--grep``) or by layer (``--layer``), or re-derive the report
+    digests from the log alone (``--check``).
 
 Every subcommand accepts the same execution options — ``--seed``,
 ``--workers``, ``--solver``, ``--trace PATH``, ``--manifest PATH`` and
@@ -184,6 +190,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events", metavar="PATH", default=None,
                    help="write the canonical event log as JSON Lines")
 
+    p = sub.add_parser("chaos",
+                       help="fault injection: run an incident scenario "
+                            "and print the mitigation scorecard")
+    _add_cluster_args(p)
+    _add_execution_args(p)
+    p.add_argument("--scenario", default=None, metavar="NAME",
+                   help="incident scenario from the catalog "
+                        "(see --list)")
+    p.add_argument("--list", action="store_true", dest="list_scenarios",
+                   help="list the incident scenario catalog and exit")
+    p.add_argument("--workload", default="sgemm",
+                   help="workload name (see `repro list`)")
+    p.add_argument("--days", type=int, default=10)
+    p.add_argument("--runs-per-day", type=int, default=2)
+    p.add_argument("--jobs", type=int, default=40,
+                   help="jobs in the health-aware reaction trace")
+    p.add_argument("--trace-seed", type=int, default=0,
+                   help="job-trace seed for the reaction run")
+    p.add_argument("--score", metavar="PATH", default=None,
+                   help="write the schema-validated scorecard JSON")
+
     p = sub.add_parser("serve",
                        help="run the long-lived fleet service (HTTP)")
     p.add_argument("--host", default="127.0.0.1")
@@ -253,6 +280,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "timestamp (inclusive)")
     p.add_argument("--grep", default=None, metavar="TEXT",
                    help="print events whose entity or kind contains TEXT")
+    p.add_argument("--layer", default=None, metavar="NAME",
+                   help="print events of one timeline layer (campaign, "
+                        "sim, health, sched, service, chaos)")
     p.add_argument("--check", action="store_true",
                    help="re-derive the recorded report digests from the "
                         "log alone; exit 1 on any mismatch")
@@ -553,6 +583,47 @@ def _cmd_sched(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.list_scenarios:
+        from .chaos import SCENARIOS
+
+        print("incident scenarios:")
+        for name in api.list_scenarios():
+            print(f"  {name:<22} {SCENARIOS[name].description}")
+        return 0
+    if not args.scenario:
+        print("error: pass --scenario NAME (or --list to see the catalog)",
+              file=sys.stderr)
+        return 2
+    obs = _ObsSession(args)
+    result = api.chaos(
+        request=api.ChaosRequest(
+            scenario=args.scenario,
+            cluster=args.cluster,
+            seed=args.seed,
+            scale=args.scale,
+            workload=args.workload,
+            days=args.days,
+            runs_per_day=args.runs_per_day,
+            n_jobs=args.jobs,
+            trace_seed=args.trace_seed,
+            workers=args.workers,
+            solver=args.solver,
+        ),
+        tracer=obs.tracer,
+        manifest=obs.manifest,
+        timeline=obs.timeline,
+    )
+    print(result.render())
+    if args.score:
+        with open(args.score, "w", encoding="utf-8") as sink:
+            json.dump(result.scorecard, sink, indent=2, sort_keys=True)
+            sink.write("\n")
+        print(f"scorecard written to {args.score}")
+    obs.finish()
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import FleetService, ServiceConfig
 
@@ -675,6 +746,17 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print(f"{len(matched)}/{len(replayer.events)} events matched "
               f"{args.grep!r}", file=sys.stderr)
         return 0
+    if args.layer is not None:
+        try:
+            matched = replayer.layer(args.layer)
+        except ValueError as exc:  # TimelineError: unknown layer name
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for event in matched:
+            print(json.dumps(event.as_dict(), sort_keys=True))
+        print(f"{len(matched)}/{len(replayer.events)} events on layer "
+              f"{args.layer!r}", file=sys.stderr)
+        return 0
     if args.at is not None:
         print(json.dumps(replayer.state_at(args.at), indent=2,
                          sort_keys=True))
@@ -691,6 +773,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "project": _cmd_project,
     "sched": _cmd_sched,
+    "chaos": _cmd_chaos,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "replay": _cmd_replay,

@@ -38,6 +38,19 @@ CoolingModel = AirCooling | WaterCooling | MineralOilCooling
 _FLEET_CACHE_MAX = 128
 
 
+def active_fault_plan(cluster: "Cluster"):
+    """The chaos fault plan injected on ``cluster``, or ``None``.
+
+    The chaos hook mirrors the tracer/timeline protocol: hot paths call
+    this once per site and pay a single attribute read plus a ``None``
+    branch when injection is off (``benchmarks/bench_chaos_overhead.py``
+    bounds that cost).  Plans attach via :meth:`Cluster.set_fault_plan`
+    and, being a plain pickled attribute, follow the cluster into
+    campaign worker processes unchanged.
+    """
+    return getattr(cluster, "fault_plan", None)
+
+
 @dataclass(frozen=True)
 class ForcedDefect:
     """Deterministically place a defect at a named location.
@@ -75,6 +88,14 @@ class ForcedDefect:
                 f"scope must be gpu/node/cabinet, got {self.scope!r}")
         require(self.kind != DefectType.NONE, "cannot force DefectType.NONE")
         require(self.severity > 0, "severity must be positive")
+        if self.kind in (DefectType.POWER_DELIVERY, DefectType.SICK_SLOW):
+            require(self.severity <= 1.0,
+                    f"{self.kind.name} severity is a fraction of nominal "
+                    "and must be <= 1")
+        elif self.kind == DefectType.HOT_RUNNER:
+            require(self.severity >= 1.0,
+                    "HOT_RUNNER severity multiplies thermal resistance "
+                    "and must be >= 1")
         if self.count is not None:
             require(self.count > 0, "count must be positive when given")
 
@@ -172,6 +193,25 @@ class Cluster:
             r_theta_base_c_per_w=self.environment.r_theta_base_c_per_w,
             coolant_c=self.environment.coolant_c,
         )
+        #: Chaos injection plan (:class:`repro.chaos.plan.ChaosPlan`), or
+        #: ``None``.  Attach with :meth:`set_fault_plan`.
+        self.fault_plan = None
+        self._init_fleet_caches()
+
+    def set_fault_plan(self, plan) -> None:
+        """Attach (or clear, with ``None``) a chaos fault-injection plan.
+
+        The plan must be compiled for this cluster's topology
+        (:func:`repro.chaos.plan.compile_plan`).  Cached day fleets are
+        dropped so a plan attached after use still takes effect.
+        """
+        if plan is not None:
+            require(
+                getattr(plan, "n_gpus", None) == self.n_gpus,
+                f"fault plan was compiled for {getattr(plan, 'n_gpus', '?')} "
+                f"GPUs, cluster has {self.n_gpus}",
+            )
+        self.fault_plan = plan
         self._init_fleet_caches()
 
     def _init_fleet_caches(self) -> None:
@@ -227,7 +267,10 @@ class Cluster:
         if tracer is not None:
             tracer.add("cache.fleet_day.miss")
         offset = self.facility.coolant_offset_c(day_index, self.rng_factory)
-        if offset == 0.0:
+        plan = active_fault_plan(self)
+        if plan is not None and plan.affects(day_index):
+            fleet = self._faulted_fleet(day_index, offset, plan)
+        elif offset == 0.0:
             fleet = self._base_fleet
         else:
             fleet = self._base_fleet.with_coolant(
@@ -238,6 +281,42 @@ class Cluster:
                 self._fleet_day_cache.pop(next(iter(self._fleet_day_cache)))
             self._fleet_day_cache[day_index] = fleet
         return fleet
+
+    def _faulted_fleet(self, day_index: int, offset: float, plan) -> GPUFleet:
+        """The day fleet under an active chaos plan.
+
+        Effects are pure functions of the day, so the per-day cache in
+        :meth:`fleet_for_day` stays valid.  Coolant faults stack on the
+        facility offset as per-GPU deltas; cap faults scale the defect
+        arrays into a new :class:`DefectAssignment`.  The silicon
+        population is untouched, so the base fleet's power model — with
+        its cached per-die solver parameters — is reused.
+        """
+        coolant = self.environment.coolant_c + offset
+        delta = plan.coolant_delta_c(day_index)
+        if delta is not None:
+            coolant = coolant + delta
+        multipliers = plan.defect_multipliers(day_index)
+        if multipliers is None:
+            return self._base_fleet.with_coolant(coolant)
+        power_mult, freq_mult = multipliers
+        base = self._base_fleet.defects
+        defects = DefectAssignment(
+            kind=base.kind,
+            power_cap_frac=base.power_cap_frac * power_mult,
+            frequency_cap_frac=base.frequency_cap_frac * freq_mult,
+            efficiency=base.efficiency,
+            extra_thermal_resistance=base.extra_thermal_resistance,
+        )
+        return GPUFleet(
+            spec=self.spec,
+            silicon=self.silicon,
+            defects=defects,
+            r_theta_base_c_per_w=self.environment.r_theta_base_c_per_w,
+            coolant_c=coolant,
+            policy=self._base_fleet.policy,
+            power_model=self._base_fleet.power_model,
+        )
 
     def fleet_slice(self, day_index: int, gpu_indices: np.ndarray) -> GPUFleet:
         """The day fleet restricted to ``gpu_indices``, memoized per (day, shard).

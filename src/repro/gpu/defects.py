@@ -85,8 +85,20 @@ class DefectConfig:
             require(0.0 <= rate <= 0.5, f"{name} must be in [0, 0.5]")
         for name in ("power_delivery_cap_frac", "sick_slow_frequency_cap",
                      "hot_runner_resistance"):
-            lo, hi = getattr(self, name)
+            bounds = getattr(self, name)
+            require(len(bounds) == 2,
+                    f"{name} must be a (lo, hi) pair, got {bounds!r}")
+            lo, hi = bounds
             require(0 < lo <= hi, f"{name} must satisfy 0 < lo <= hi")
+        # Cap fractions are multipliers on TDP / f_max: above 1 they would
+        # silently *overclock* the defective GPUs.
+        for name in ("power_delivery_cap_frac", "sick_slow_frequency_cap"):
+            require(getattr(self, name)[1] <= 1.0,
+                    f"{name} is a fraction of nominal and must be <= 1")
+        # Hot runners add thermal resistance; a multiplier below 1 would
+        # model a defect that *improves* cooling.
+        require(self.hot_runner_resistance[0] >= 1.0,
+                "hot_runner_resistance must be >= 1")
         require(self.spatial_concentration_shape > 0,
                 "spatial_concentration_shape must be positive")
 
@@ -114,6 +126,33 @@ class DefectAssignment:
     frequency_cap_frac: np.ndarray       # fraction of f_max reachable
     efficiency: np.ndarray               # work-throughput multiplier
     extra_thermal_resistance: np.ndarray  # multiplier on R_theta
+
+    def __post_init__(self) -> None:
+        n = self.kind.shape[0] if self.kind.ndim == 1 else -1
+        arrays = {
+            "kind": self.kind,
+            "power_cap_frac": self.power_cap_frac,
+            "frequency_cap_frac": self.frequency_cap_frac,
+            "efficiency": self.efficiency,
+            "extra_thermal_resistance": self.extra_thermal_resistance,
+        }
+        for name, arr in arrays.items():
+            require(arr.ndim == 1 and arr.shape[0] == n,
+                    f"{name} must be a 1-D array of length {n}, "
+                    f"got shape {arr.shape}")
+        valid_kinds = {int(k) for k in DefectType}
+        require(set(np.unique(self.kind)).issubset(valid_kinds),
+                "kind must contain only DefectType values")
+        # Severities are unconditional multipliers: negative or zero
+        # values would silently invert / zero the physics downstream.
+        for name in ("power_cap_frac", "frequency_cap_frac", "efficiency"):
+            arr = arrays[name]
+            require(bool(np.isfinite(arr).all())
+                    and bool((arr > 0.0).all()) and bool((arr <= 1.0).all()),
+                    f"{name} must be finite and in (0, 1]")
+        res = self.extra_thermal_resistance
+        require(bool(np.isfinite(res).all()) and bool((res >= 1.0).all()),
+                "extra_thermal_resistance must be finite and >= 1")
 
     @property
     def n(self) -> int:

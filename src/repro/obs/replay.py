@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from .timeline import (
+    TIMELINE_LAYERS,
     TimelineError,
     TimelineEvent,
     canonical_digest,
@@ -206,6 +207,18 @@ class TimelineReplayer:
             if needle in event.entity or needle in event.kind
         )
 
+    def layer(self, name: str) -> tuple[TimelineEvent, ...]:
+        """Events of one timeline layer; unknown names raise.
+
+        Backs ``repro replay --layer``; raising on unknown names (rather
+        than returning an empty tuple) catches typos like ``helth``.
+        """
+        if name not in TIMELINE_LAYERS:
+            raise TimelineError(
+                f"unknown layer {name!r}; expected one of {TIMELINE_LAYERS}"
+            )
+        return tuple(event for event in self.events if event.layer == name)
+
     # -- assertion mode --------------------------------------------------------
 
     def check(self) -> list[ReplayCheck]:
@@ -219,6 +232,9 @@ class TimelineReplayer:
           open/close transitions must equal the report's grade counts.
         * ``sched_report`` — job records rebuilt from submit/start/finish
           events must re-produce the scheduling report digest bit-for-bit.
+        * ``chaos_scorecard`` — detection claims (detected/missed/false
+          positives/latencies) re-derived from the fault declarations and
+          raw health events must equal the recorded scorecard claims.
         """
         checks: list[ReplayCheck] = []
         run_events = sum(
@@ -239,6 +255,8 @@ class TimelineReplayer:
                 checks.append(self._check_health_report(event))
             elif event.kind == "sched_report":
                 checks.append(self._check_sched_report(event))
+            elif event.kind == "chaos_scorecard":
+                checks.append(self._check_chaos_scorecard(event))
         return checks
 
     def _check_health_report(self, report_event: TimelineEvent) -> ReplayCheck:
@@ -271,6 +289,58 @@ class TimelineReplayer:
             )
         return ReplayCheck(
             name=f"sched_report@{report_event.seq}: report digest",
+            ok=actual == expected,
+            expected=expected,
+            actual=actual,
+        )
+
+    def _check_chaos_scorecard(self, report_event: TimelineEvent) -> ReplayCheck:
+        """Re-derive detection claims from fault declarations + health events.
+
+        The scorecard event records what the scoring harness claimed it
+        detected; the ``fault_onset`` declarations plus the raw health
+        opens earlier on the same timeline are enough to re-derive every
+        one of those claims independently.
+        """
+        # Deferred: obs must stay importable without the chaos stack.
+        from ..chaos.score import derive_detection
+
+        open_kinds = (
+            "THERMAL_RUNAWAY", "STUCK_THROTTLE", "CHRONIC_SLOW_OUTLIER",
+            "DEFECT_DRIFT",
+        )
+        faults_meta = []
+        observations = []
+        for event in self.events:
+            if event.seq >= report_event.seq:
+                break
+            if event.layer == "chaos" and event.kind == "fault_onset":
+                faults_meta.append(
+                    {
+                        "label": event.entity,
+                        "kind": event.value("fault_kind"),
+                        "detectable": event.value("detectable"),
+                        "onset_day": event.value("onset_day"),
+                        "nodes": event.value("nodes"),
+                    }
+                )
+            elif event.layer == "health" and event.kind in open_kinds:
+                observations.append((event.value("day"), event.entity))
+        derived = derive_detection(faults_meta, observations)
+        expected = {
+            "detected": report_event.value("detected"),
+            "missed": report_event.value("missed"),
+            "false_positives": report_event.value("false_positives"),
+            "latency_days": dict(report_event.value("latency_days", {})),
+        }
+        actual = {
+            "detected": derived["detected"],
+            "missed": derived["missed"],
+            "false_positives": derived["false_positives"],
+            "latency_days": derived["latency_days"],
+        }
+        return ReplayCheck(
+            name=f"chaos_scorecard@{report_event.seq}: detection claims",
             ok=actual == expected,
             expected=expected,
             actual=actual,

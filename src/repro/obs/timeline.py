@@ -10,6 +10,7 @@ one canonical stream:
 * ``health`` — anomaly open/close transitions (``repro.obs.health``)
 * ``sched`` — job submit/start/finish dispatch (``repro.sched.engine``)
 * ``service`` — request admission and coalescing (``repro.service``)
+* ``chaos`` — fault-injection declarations and scorecards (``repro.chaos``)
 
 Events carry **no wall-clock timestamps**.  Ordering is a monotone logical
 clock (``seq``) assigned after shard payloads are merged in canonical plan
@@ -51,7 +52,7 @@ __all__ = [
 TIMELINE_SCHEMA_VERSION = 1
 
 #: Layers allowed in ``TimelineEvent.layer``, in stack order.
-TIMELINE_LAYERS = ("campaign", "sim", "health", "sched", "service")
+TIMELINE_LAYERS = ("campaign", "sim", "health", "sched", "service", "chaos")
 
 
 class TimelineError(ValueError):

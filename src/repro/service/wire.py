@@ -44,6 +44,7 @@ _KIND_KEYS: dict[str, tuple[str, ...]] = {
     "screen": ("screens", "confirmed", "min_confirmations"),
     "sweep": ("cluster", "workload", "runs_per_limit", "points"),
     "schedule": ("schedule",),
+    "chaos": ("scorecard",),
 }
 
 
@@ -88,6 +89,8 @@ def build_response(request: Any, result: Any) -> dict:
         payload["points"] = [
             dataclasses.asdict(point) for point in result.points
         ]
+    elif kind == "chaos":
+        payload["scorecard"] = result.scorecard
     else:  # schedule
         payload["schedule"] = result.report.to_dict()
     return payload

@@ -56,7 +56,7 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from ..cluster.allocator import ExclusiveNodeAllocator
-from ..cluster.cluster import Cluster
+from ..cluster.cluster import Cluster, active_fault_plan
 from ..config import require
 from ..errors import SimulationError
 from ..gpu.dvfs import SolverStats
@@ -197,6 +197,18 @@ def plan_shards(
             "coverage"
         )
         allocations = allocator.sweep(coverage=config.coverage, rng=day_rng)
+        plan = active_fault_plan(cluster)
+        if plan is not None:
+            # Chaos node loss drops whole nodes from the day's sweep
+            # *after* the coverage draw, so every other day's RNG stream
+            # — and the plan's worker-independence — is untouched.
+            lost = plan.lost_nodes(day)
+            if lost:
+                allocations = [
+                    a for a in allocations if a.node_index not in lost
+                ]
+        if not allocations:
+            continue
         shards = _partition_nodes(
             [a.gpu_indices for a in allocations], parallel.max_gpus_per_shard
         )

@@ -1,0 +1,127 @@
+"""Fault specs: schedule math, eager validation, dict round-trips."""
+
+import pytest
+
+from repro.chaos import (
+    FAULT_KINDS,
+    CoolantPumpDegradation,
+    FaultSchedule,
+    InletTemperatureDrift,
+    NodeLoss,
+    PowerCapDirective,
+    StuckPState,
+    fault_from_dict,
+    fault_to_dict,
+)
+from repro.errors import ConfigError
+
+
+class TestFaultSchedule:
+    def test_step_onset(self):
+        s = FaultSchedule(onset_day=3)
+        assert [s.severity(d) for d in range(6)] == [0.0, 0.0, 0.0, 1.0, 1.0, 1.0]
+        assert not s.active(2)
+        assert s.active(3)
+
+    def test_linear_ramp_reaches_full_severity(self):
+        s = FaultSchedule(onset_day=2, ramp_days=3)
+        assert s.severity(1) == 0.0
+        assert s.severity(2) == pytest.approx(0.25)
+        assert s.severity(3) == pytest.approx(0.50)
+        assert s.severity(5) == 1.0
+        assert s.severity(500) == 1.0
+
+    def test_recovery_day_is_exclusive(self):
+        s = FaultSchedule(onset_day=1, recovery_day=4)
+        assert s.active(3)
+        assert s.severity(4) == 0.0
+        assert not s.active(4)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(onset_day=-1),
+        dict(onset_day=True),
+        dict(onset_day=0, ramp_days=-2),
+        dict(onset_day=3, recovery_day=3),
+        dict(onset_day=3, recovery_day=1),
+    ])
+    def test_invalid_schedules_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            FaultSchedule(**kwargs)
+
+
+#: One valid spec per fault family, used for round-trip tests.
+SPECS = (
+    CoolantPumpDegradation(FaultSchedule(onset_day=1, ramp_days=2),
+                           coolant_rise_c=5.0),
+    InletTemperatureDrift(FaultSchedule(onset_day=0), drift_c=4.0,
+                          scope="row", index=1),
+    StuckPState(FaultSchedule(onset_day=2, recovery_day=6),
+                frequency_cap_frac=0.7, scope="cabinet", index=2),
+    PowerCapDirective(FaultSchedule(onset_day=1), power_cap_frac=0.8),
+    NodeLoss(FaultSchedule(onset_day=3), scope="node", index=4, count=2),
+)
+
+
+class TestFaultSpecs:
+    def test_catalog_covers_five_families(self):
+        assert sorted(FAULT_KINDS) == [
+            "coolant_pump_degradation",
+            "inlet_temperature_drift",
+            "node_loss",
+            "power_cap_directive",
+            "stuck_pstate",
+        ]
+
+    def test_detectability_split(self):
+        detectable = {k for k, cls in FAULT_KINDS.items() if cls.detectable}
+        # Uniform caps and vanished nodes leave no relative outlier for the
+        # Tukey-fence detector; everything else must be scoreable.
+        assert detectable == {
+            "coolant_pump_degradation",
+            "inlet_temperature_drift",
+            "stuck_pstate",
+        }
+
+    @pytest.mark.parametrize("fault", SPECS, ids=lambda f: f.kind)
+    def test_dict_round_trip(self, fault):
+        doc = fault_to_dict(fault)
+        assert doc["kind"] == fault.kind
+        assert fault_from_dict(doc) == fault
+
+    @pytest.mark.parametrize("build", [
+        lambda: CoolantPumpDegradation(FaultSchedule(0), coolant_rise_c=0.0),
+        lambda: CoolantPumpDegradation(FaultSchedule(0), coolant_rise_c=99.0),
+        lambda: InletTemperatureDrift(FaultSchedule(0), drift_c=4.0,
+                                      scope="node"),
+        lambda: StuckPState(FaultSchedule(0), frequency_cap_frac=1.5),
+        lambda: StuckPState(FaultSchedule(0), frequency_cap_frac=0.5,
+                            index=-1),
+        lambda: PowerCapDirective(FaultSchedule(0), power_cap_frac=0.0),
+        lambda: NodeLoss(FaultSchedule(0), count=0),
+        lambda: NodeLoss(FaultSchedule(0), scope="row"),
+    ])
+    def test_invalid_specs_rejected(self, build):
+        with pytest.raises(ConfigError):
+            build()
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError, match="unknown fault kind"):
+            fault_from_dict({"kind": "gremlins",
+                             "schedule": {"onset_day": 0}})
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError, match="unknown keys"):
+            fault_from_dict({
+                "kind": "node_loss",
+                "schedule": {"onset_day": 0},
+                "blast_radius": 3,
+            })
+
+    def test_from_dict_requires_a_schedule(self):
+        with pytest.raises(ConfigError, match="schedule"):
+            fault_from_dict({"kind": "power_cap_directive",
+                             "power_cap_frac": 0.8})
+
+    def test_to_dict_rejects_non_faults(self):
+        with pytest.raises(ConfigError, match="not a fault spec"):
+            fault_to_dict(FaultSchedule(onset_day=0))

@@ -1,0 +1,229 @@
+"""Injection hooks: compiled plans, fleet effects, determinism guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    CoolantPumpDegradation,
+    FaultSchedule,
+    InletTemperatureDrift,
+    NodeLoss,
+    PowerCapDirective,
+    Scenario,
+    StuckPState,
+    compile_plan,
+)
+from repro.cluster import longhorn, summit
+from repro.errors import ConfigError
+from repro.sim import CampaignConfig, run_campaign
+from repro.telemetry.io import dataset_to_csv_text
+from repro.workloads import sgemm
+
+CONFIG = CampaignConfig(days=6, runs_per_day=1)
+
+
+def fresh_cluster(scale=0.25, seed=11):
+    """A private Longhorn instance (fixtures are shared; plans mutate)."""
+    return longhorn(seed=seed, scale=scale)
+
+
+def one_fault(fault) -> Scenario:
+    return Scenario(name="probe", description="single-fault probe",
+                    faults=(fault,))
+
+
+def faulted_campaign(scenario, *, workers=1, scale=0.25, seed=11):
+    cluster = fresh_cluster(scale=scale, seed=seed)
+    cluster.set_fault_plan(compile_plan(scenario, cluster))
+    return cluster, run_campaign(cluster, sgemm(), CONFIG, workers=workers)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_campaign(fresh_cluster(), sgemm(), CONFIG, workers=1)
+
+
+class TestCompilePlan:
+    def test_cabinet_scope_resolves_to_its_gpus(self):
+        cluster = fresh_cluster()
+        topo = cluster.topology
+        plan = compile_plan(one_fault(StuckPState(
+            FaultSchedule(onset_day=0), frequency_cap_frac=0.6,
+            scope="cabinet", index=1,
+        )), cluster)
+        fault = plan.faults[0]
+        nodes = np.flatnonzero(topo.cabinet_of_node == 1)
+        np.testing.assert_array_equal(
+            fault.gpu_indices,
+            np.flatnonzero(np.isin(topo.node_of_gpu, nodes)),
+        )
+        assert fault.node_labels == tuple(topo.node_labels[i] for i in nodes)
+        assert fault.lost_nodes == frozenset()
+
+    def test_fleet_wide_faults_have_no_targets(self):
+        cluster = fresh_cluster()
+        plan = compile_plan(one_fault(PowerCapDirective(
+            FaultSchedule(onset_day=0), power_cap_frac=0.8,
+        )), cluster)
+        assert plan.faults[0].gpu_indices is None
+        assert plan.faults[0].node_labels == ()
+
+    def test_row_scope_requires_a_grid_topology(self):
+        drift = InletTemperatureDrift(FaultSchedule(onset_day=0),
+                                      drift_c=4.0, scope="row", index=0)
+        with pytest.raises(ConfigError, match="grid topology"):
+            compile_plan(one_fault(drift), fresh_cluster())
+        grid = summit(seed=11, scale=0.0625)
+        plan = compile_plan(one_fault(drift), grid)
+        assert plan.faults[0].gpu_indices.shape[0] > 0
+
+    def test_out_of_range_index_rejected(self):
+        cluster = fresh_cluster()
+        fault = StuckPState(FaultSchedule(onset_day=0),
+                            frequency_cap_frac=0.6, scope="node",
+                            index=10_000)
+        with pytest.raises(ConfigError, match="out of range"):
+            compile_plan(one_fault(fault), cluster)
+
+    def test_set_fault_plan_rejects_mismatched_topology(self):
+        plan = compile_plan(one_fault(PowerCapDirective(
+            FaultSchedule(onset_day=0), power_cap_frac=0.8,
+        )), fresh_cluster(scale=0.25))
+        other = fresh_cluster(scale=0.5)
+        with pytest.raises(ConfigError, match="compiled for"):
+            other.set_fault_plan(plan)
+
+
+class TestPlanQueries:
+    def test_effects_are_pure_functions_of_the_day(self):
+        cluster = fresh_cluster()
+        plan = compile_plan(one_fault(CoolantPumpDegradation(
+            FaultSchedule(onset_day=2, ramp_days=1), coolant_rise_c=6.0,
+        )), cluster)
+        assert not plan.affects(1)
+        assert plan.affects(2)
+        np.testing.assert_allclose(plan.coolant_delta_c(2), 3.0)
+        np.testing.assert_allclose(plan.coolant_delta_c(3), 6.0)
+        assert plan.coolant_delta_c(1) is None
+        assert plan.defect_multipliers(3) is None
+
+    def test_overlapping_caps_compose_by_tighter_minimum(self):
+        cluster = fresh_cluster()
+        scenario = Scenario(
+            name="double-cap", description="two stuck p-states overlap",
+            faults=(
+                StuckPState(FaultSchedule(onset_day=0),
+                            frequency_cap_frac=0.8, scope="node", index=0),
+                StuckPState(FaultSchedule(onset_day=0),
+                            frequency_cap_frac=0.6, scope="cabinet", index=0),
+            ),
+        )
+        plan = compile_plan(scenario, cluster)
+        _, freq = plan.defect_multipliers(0)
+        node0_gpus = np.flatnonzero(cluster.topology.node_of_gpu == 0)
+        np.testing.assert_allclose(freq[node0_gpus], 0.6)
+
+    def test_node_loss_does_not_mark_the_fleet_affected(self):
+        cluster = fresh_cluster()
+        plan = compile_plan(one_fault(NodeLoss(
+            FaultSchedule(onset_day=1), scope="node", index=0,
+        )), cluster)
+        # Losing nodes changes the shard plan, never the day fleet.
+        assert not plan.affects(1)
+        assert plan.lost_nodes(0) == frozenset()
+        assert plan.lost_nodes(1) == frozenset({0})
+
+
+class TestCampaignEffects:
+    def test_thermal_fault_perturbs_only_post_onset_days(self, baseline):
+        _, faulted = faulted_campaign(one_fault(CoolantPumpDegradation(
+            FaultSchedule(onset_day=3), coolant_rise_c=8.0,
+        )))
+        day = baseline.column("day")
+        temp_base = baseline.column("temperature_c")
+        temp_fault = faulted.column("temperature_c")
+        np.testing.assert_array_equal(temp_fault[day < 3], temp_base[day < 3])
+        assert (np.median(temp_fault[day >= 3])
+                > np.median(temp_base[day >= 3]))
+
+    def test_targeted_drift_leaves_other_cabinets_untouched(self, baseline):
+        cluster, faulted = faulted_campaign(one_fault(InletTemperatureDrift(
+            FaultSchedule(onset_day=0), drift_c=8.0, scope="cabinet", index=1,
+        )))
+        topo = cluster.topology
+        targets = {
+            topo.node_labels[i]
+            for i in np.flatnonzero(topo.cabinet_of_node == 1)
+        }
+        hit = np.asarray([
+            label in targets for label in faulted.column("node_label")
+        ])
+        temp_base = baseline.column("temperature_c")
+        temp_fault = faulted.column("temperature_c")
+        np.testing.assert_array_equal(temp_fault[~hit], temp_base[~hit])
+        assert np.median(temp_fault[hit]) > np.median(temp_base[hit])
+        assert not np.array_equal(temp_fault[hit], temp_base[hit])
+
+    def test_node_loss_removes_rows_only_while_active(self, baseline):
+        cluster, faulted = faulted_campaign(one_fault(NodeLoss(
+            FaultSchedule(onset_day=2, recovery_day=4), scope="node", index=0,
+        )))
+        lost_label = cluster.topology.node_labels[0]
+        day = faulted.column("day")
+        node = faulted.column("node_label")
+        for d in range(CONFIG.days):
+            present = set(node[day == d])
+            assert (lost_label in present) == (d not in (2, 3))
+        # Days outside the outage window are byte-identical to baseline.
+        base_day = baseline.column("day")
+        untouched = ~np.isin(base_day, (2, 3))
+        np.testing.assert_array_equal(
+            faulted.column("performance_ms")[~np.isin(day, (2, 3))],
+            baseline.column("performance_ms")[untouched],
+        )
+
+    def test_power_cap_directive_lowers_power_not_rows(self, baseline):
+        _, faulted = faulted_campaign(one_fault(PowerCapDirective(
+            FaultSchedule(onset_day=0), power_cap_frac=0.75,
+        )))
+        assert faulted.n_rows == baseline.n_rows
+        assert (np.median(faulted.column("power_w"))
+                < np.median(baseline.column("power_w")))
+
+
+class TestDeterminism:
+    SCENARIO = Scenario(
+        name="mixed", description="every effect channel at once",
+        faults=(
+            CoolantPumpDegradation(FaultSchedule(onset_day=1, ramp_days=1),
+                                   coolant_rise_c=5.0),
+            StuckPState(FaultSchedule(onset_day=2), frequency_cap_frac=0.7,
+                        scope="cabinet", index=1),
+            PowerCapDirective(FaultSchedule(onset_day=3),
+                              power_cap_frac=0.85),
+            NodeLoss(FaultSchedule(onset_day=4), scope="node", index=0),
+        ),
+    )
+
+    def test_byte_identical_across_worker_counts(self):
+        _, serial = faulted_campaign(self.SCENARIO, workers=1)
+        _, parallel = faulted_campaign(self.SCENARIO, workers=2)
+        assert dataset_to_csv_text(serial) == dataset_to_csv_text(parallel)
+
+    def test_dormant_plan_is_byte_identical_to_no_plan(self, baseline):
+        dormant = Scenario(
+            name="dormant", description="onset past the campaign",
+            faults=(PowerCapDirective(FaultSchedule(onset_day=10_000),
+                                      power_cap_frac=0.5),),
+        )
+        _, faulted = faulted_campaign(dormant)
+        assert dataset_to_csv_text(faulted) == dataset_to_csv_text(baseline)
+
+    def test_plan_survives_pickling_with_the_cluster(self):
+        import pickle
+
+        cluster = fresh_cluster()
+        cluster.set_fault_plan(compile_plan(self.SCENARIO, cluster))
+        clone = pickle.loads(pickle.dumps(cluster))
+        assert clone.fault_plan is not None
+        assert clone.fault_plan.lost_nodes(4) == frozenset({0})

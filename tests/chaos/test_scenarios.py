@@ -1,0 +1,84 @@
+"""The incident scenario catalog: schema validation, round-trips, lookup."""
+
+import pytest
+
+from repro.chaos import (
+    SCENARIO_SCHEMA,
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    scenario_from_dict,
+    scenario_to_dict,
+    validate_scenario,
+)
+from repro.errors import ConfigError
+
+CATALOG = (
+    "cascading-thermal",
+    "maintenance-window",
+    "power-emergency",
+    "pump-degradation",
+    "stuck-pstate-cabinet",
+    "summer-heatwave",
+)
+
+
+class TestCatalog:
+    def test_ships_the_six_incidents(self):
+        assert list_scenarios() == CATALOG
+        assert set(SCENARIOS) == set(CATALOG)
+
+    def test_every_entry_is_schema_valid_and_round_trips(self):
+        for name in list_scenarios():
+            scenario = get_scenario(name)
+            doc = scenario_to_dict(scenario)
+            validate_scenario(doc)
+            assert scenario_from_dict(doc) == scenario
+
+    def test_unknown_name_lists_the_catalog(self):
+        with pytest.raises(ConfigError, match="pump-degradation"):
+            get_scenario("volcano")
+
+    def test_fault_labels_are_positional_and_stable(self):
+        scenario = get_scenario("cascading-thermal")
+        labels = scenario.fault_labels()
+        assert labels[0] == "fault-00-coolant_pump_degradation"
+        assert len(labels) == len(scenario.faults)
+        assert len(set(labels)) == len(labels)
+
+
+class TestScenarioValidation:
+    def test_needs_at_least_one_fault(self):
+        with pytest.raises(ConfigError, match="at least one fault"):
+            Scenario(name="idle", description="nothing happens", faults=())
+
+    def test_needs_a_name_and_description(self):
+        faults = get_scenario("pump-degradation").faults
+        with pytest.raises(ConfigError):
+            Scenario(name="", description="d", faults=faults)
+        with pytest.raises(ConfigError):
+            Scenario(name="n", description="", faults=faults)
+
+    def test_from_dict_rejects_missing_fields(self):
+        doc = scenario_to_dict(get_scenario("pump-degradation"))
+        del doc["description"]
+        with pytest.raises(ConfigError):
+            scenario_from_dict(doc)
+
+    def test_from_dict_rejects_wrong_schema_version(self):
+        doc = scenario_to_dict(get_scenario("pump-degradation"))
+        doc["schema_version"] = 99
+        with pytest.raises(ConfigError):
+            scenario_from_dict(doc)
+
+    def test_from_dict_revalidates_fault_specs(self):
+        doc = scenario_to_dict(get_scenario("summer-heatwave"))
+        doc["faults"][1]["power_cap_frac"] = 2.0
+        with pytest.raises(ConfigError):
+            scenario_from_dict(doc)
+
+    def test_schema_requires_the_catalog_fields(self):
+        assert SCENARIO_SCHEMA["required"] == [
+            "schema_version", "name", "description", "faults",
+        ]

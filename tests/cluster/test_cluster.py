@@ -102,6 +102,17 @@ class TestForcedDefects:
         with pytest.raises(ConfigError):
             ForcedDefect("rack", "x", DefectType.SICK_SLOW, 0.5)
 
+    @pytest.mark.parametrize("kind,severity", [
+        (DefectType.POWER_DELIVERY, 1.2),   # cap fraction above nominal
+        (DefectType.SICK_SLOW, 1.01),       # frequency cap above f_max
+        (DefectType.HOT_RUNNER, 0.9),       # resistance that improves cooling
+        (DefectType.SICK_SLOW, -0.5),
+        (DefectType.HOT_RUNNER, 0.0),
+    ])
+    def test_per_kind_severity_bounds(self, kind, severity):
+        with pytest.raises(ConfigError):
+            ForcedDefect("gpu", "c001-001-0", kind, severity)
+
 
 class TestDayConditions:
     def test_day_zero_offset_applied(self):

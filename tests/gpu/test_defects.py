@@ -118,3 +118,97 @@ class TestTakeAndValidation:
     def test_zero_fleet_rejected(self):
         with pytest.raises(ValueError):
             _assign(n=0)
+
+
+class TestConfigBounds:
+    """Eager DefectConfig validation: out-of-range severities fail loudly."""
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(power_delivery_rate=-0.01),
+        dict(sick_slow_rate=-1.0),
+        dict(hot_runner_rate=0.51),
+    ])
+    def test_negative_or_excess_rates_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            DefectConfig(**kwargs)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(power_delivery_cap_frac=(-0.5, 0.9)),
+        dict(power_delivery_cap_frac=(0.0, 0.9)),
+        dict(sick_slow_frequency_cap=(0.5,)),
+        dict(hot_runner_resistance=(1.5, 1.8, 2.0)),
+    ])
+    def test_malformed_bounds_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            DefectConfig(**kwargs)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(power_delivery_cap_frac=(0.9, 1.2)),
+        dict(sick_slow_frequency_cap=(0.8, 1.05)),
+    ])
+    def test_cap_fractions_above_nominal_rejected(self, kwargs):
+        # Above 1 a "cap" would silently overclock the defective GPUs.
+        with pytest.raises(ConfigError, match="fraction of nominal"):
+            DefectConfig(**kwargs)
+
+    def test_cooling_improving_resistance_rejected(self):
+        with pytest.raises(ConfigError, match="must be >= 1"):
+            DefectConfig(hot_runner_resistance=(0.8, 1.2))
+
+    def test_boundary_values_accepted(self):
+        DefectConfig(power_delivery_cap_frac=(1.0, 1.0),
+                     hot_runner_resistance=(1.0, 1.0))
+
+
+class TestAssignmentValidation:
+    """DefectAssignment rejects arrays the physics cannot consume."""
+
+    def _arrays(self, n=4, **over):
+        arrays = {
+            "kind": np.zeros(n, dtype=np.int8),
+            "power_cap_frac": np.ones(n),
+            "frequency_cap_frac": np.ones(n),
+            "efficiency": np.ones(n),
+            "extra_thermal_resistance": np.ones(n),
+        }
+        arrays.update(over)
+        return arrays
+
+    def test_valid_arrays_accepted(self):
+        assert DefectAssignment(**self._arrays()).n == 4
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigError, match="power_cap_frac"):
+            DefectAssignment(**self._arrays(power_cap_frac=np.ones(3)))
+
+    def test_unknown_kind_values_rejected(self):
+        with pytest.raises(ConfigError, match="DefectType"):
+            DefectAssignment(
+                **self._arrays(kind=np.array([0, 0, 9, 0], dtype=np.int8))
+            )
+
+    @pytest.mark.parametrize("column,bad", [
+        ("power_cap_frac", -0.5),
+        ("power_cap_frac", 0.0),
+        ("power_cap_frac", 1.5),
+        ("frequency_cap_frac", -1.0),
+        ("frequency_cap_frac", np.nan),
+        ("efficiency", np.inf),
+    ])
+    def test_out_of_range_multipliers_rejected(self, column, bad):
+        arrays = self._arrays()
+        arrays[column] = arrays[column].copy()
+        arrays[column][2] = bad
+        with pytest.raises(ConfigError, match=column):
+            DefectAssignment(**arrays)
+
+    @pytest.mark.parametrize("bad", [0.5, -2.0, np.nan])
+    def test_resistance_below_one_rejected(self, bad):
+        arrays = self._arrays()
+        arrays["extra_thermal_resistance"][1] = bad
+        with pytest.raises(ConfigError, match="extra_thermal_resistance"):
+            DefectAssignment(**arrays)
+
+    def test_two_dimensional_columns_rejected(self):
+        with pytest.raises(ConfigError):
+            DefectAssignment(**self._arrays(efficiency=np.ones((4, 1))))

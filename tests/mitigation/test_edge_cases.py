@@ -1,0 +1,106 @@
+"""Mitigation edge cases: healthy fleets, starvation budgets, tiny fleets.
+
+The mitigation toolkit is exercised elsewhere on fleets *with* planted
+outliers; these tests pin the degenerate boundaries — a blacklist built
+over a defect-free fleet must drain nobody, a power budget below the
+fleet's idle floor must fail loudly rather than emit unreachable caps,
+and a one-GPU sharding plan must hand the whole batch to that GPU.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.outliers import flag_outlier_gpus
+from repro.errors import AnalysisError
+from repro.gpu.defects import DefectType
+from repro.mitigation.blacklist import BlacklistPolicy, build_blacklist
+from repro.mitigation.global_power import allocate_equal_frequency
+from repro.mitigation.load_balance import weighted_shards
+from repro.telemetry.dataset import MeasurementDataset
+from repro.workloads import sgemm
+
+
+def healthy_dataset(n_gpus=32, n_runs=4, seed=0):
+    """Tight, defect-free measurements: spread well inside any fence."""
+    rng = np.random.default_rng(seed)
+    gpu = np.repeat(np.arange(n_gpus), n_runs)
+    base = np.repeat(1000.0 + rng.normal(0, 2.0, n_gpus), n_runs)
+    perf = base + rng.normal(0, 1.0, gpu.shape[0])
+    return MeasurementDataset({
+        "gpu_index": gpu,
+        "gpu_label": np.asarray([f"g{i:02d}" for i in gpu], dtype=object),
+        "node_label": np.asarray([f"n{i // 4:02d}" for i in gpu],
+                                 dtype=object),
+        "performance_ms": perf,
+    })
+
+
+class TestBlacklistOnDefectFreeFleet:
+    def test_drains_nobody(self):
+        reports = [
+            flag_outlier_gpus(healthy_dataset(seed=s)) for s in (1, 2, 3)
+        ]
+        drained = build_blacklist(reports, healthy_dataset(seed=1))
+        assert drained == ()
+
+    def test_drains_nobody_even_at_one_confirmation(self):
+        ds = healthy_dataset(seed=4)
+        drained = build_blacklist(
+            [flag_outlier_gpus(ds)], ds,
+            BlacklistPolicy(min_confirmations=1),
+        )
+        assert drained == ()
+
+    def test_campaign_on_defect_free_fleet_drains_nobody(self, tiny_cloudlab):
+        # CloudLab has no forced defects and a near-zero random defect
+        # background; at this seed the draw leaves the fleet clean.
+        from repro.sim import CampaignConfig, run_campaign
+
+        cluster = tiny_cloudlab
+        assert (cluster.defects.kind == int(DefectType.NONE)).all()
+        dataset = run_campaign(
+            cluster, sgemm(), CampaignConfig(days=2, runs_per_day=2),
+        )
+        drained = build_blacklist(
+            [flag_outlier_gpus(dataset)], dataset,
+            BlacklistPolicy(min_confirmations=1),
+        )
+        assert drained == ()
+
+    def test_no_reports_is_an_error_not_an_empty_list(self):
+        with pytest.raises(AnalysisError, match="at least one"):
+            build_blacklist([], healthy_dataset())
+
+
+class TestPowerBudgetBelowIdleFloor:
+    def test_budget_below_idle_floor_rejected(self, small_longhorn):
+        fleet = small_longhorn.fleet
+        # 10 W/GPU is far under any settled power at the lowest ladder
+        # level; the allocator must refuse rather than emit fake caps.
+        with pytest.raises(AnalysisError, match="lowest ladder level"):
+            allocate_equal_frequency(fleet, sgemm(), fleet.n * 10.0)
+
+    def test_error_names_the_budget(self, small_longhorn):
+        fleet = small_longhorn.fleet
+        budget = fleet.n * 10.0
+        with pytest.raises(AnalysisError, match=f"{budget:.0f} W"):
+            allocate_equal_frequency(fleet, sgemm(), budget)
+
+    def test_nonpositive_budget_rejected_eagerly(self, small_longhorn):
+        with pytest.raises(Exception, match="positive"):
+            allocate_equal_frequency(small_longhorn.fleet, sgemm(), 0.0)
+
+
+class TestSingleGpuSharding:
+    def test_whole_batch_on_one_gpu(self):
+        plan = weighted_shards(np.asarray([1.7]), 37)
+        np.testing.assert_array_equal(plan.shards, [37])
+        assert plan.batch_size == 37
+
+    def test_single_gpu_respects_min_per_gpu(self):
+        plan = weighted_shards(np.asarray([0.4]), 8, min_per_gpu=8)
+        np.testing.assert_array_equal(plan.shards, [8])
+
+    def test_single_slow_gpu_still_gets_everything(self):
+        plan = weighted_shards(np.asarray([0.01]), 16)
+        np.testing.assert_array_equal(plan.shards, [16])

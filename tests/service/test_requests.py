@@ -32,6 +32,10 @@ def _sample(kind):
         "monitor": api.MonitorRequest(
             cluster="cloudlab", seed=5, scale=0.5, days=2, window=2,
         ),
+        "chaos": api.ChaosRequest(
+            scenario="pump-degradation", cluster="cloudlab", seed=6,
+            scale=0.5, days=3, runs_per_day=1, n_jobs=5, trace_seed=2,
+        ),
     }[kind]
 
 

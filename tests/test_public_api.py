@@ -74,14 +74,19 @@ API_SURFACE = frozenset({
     # typed request surface (shared by Python, CLI, and the HTTP service)
     "REQUEST_SCHEMA_VERSION", "REQUEST_KINDS", "EXECUTION_FIELDS",
     "CharacterizeRequest", "ScreenRequest", "SweepRequest",
-    "ScheduleRequest", "MonitorRequest", "request_from_dict",
-    "request_from_json", "request_digest", "execute_request",
+    "ScheduleRequest", "MonitorRequest", "ChaosRequest",
+    "request_from_dict", "request_from_json", "request_digest",
+    "execute_request",
+    # chaos / fault injection
+    "chaos", "ChaosRunResult", "Scenario", "CHAOS_SCORECARD_SCHEMA",
+    "get_scenario", "list_scenarios", "render_scorecard",
+    "validate_scorecard",
 })
 
 #: Facade functions whose every optional parameter must be keyword-only.
 KEYWORD_ONLY_FUNCTIONS = (
     "load_preset", "load_workload", "run_campaign", "characterize",
-    "monitor_fleet", "screen", "sweep", "project", "schedule",
+    "monitor_fleet", "screen", "sweep", "project", "schedule", "chaos",
     "slow_assignment_probability", "node_variability_scores",
     "plan_placements",
 )
